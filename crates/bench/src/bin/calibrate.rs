@@ -1,0 +1,22 @@
+//! Calibration probe: quick Fig. 14 + Fig. 15 shape check on a kernel
+//! subset (development tool; the real sweeps live in `fig14_polybench`
+//! and `fig15_ptr_auth`).
+fn main() {
+    use cage::{Core, Variant};
+    let ks = cage_polybench::kernels();
+    let subset: Vec<_> = ks
+        .into_iter()
+        .filter(|k| ["gemm", "atax", "jacobi-2d"].contains(&k.name))
+        .collect();
+    let fig = cage_bench::fig14_sweep(&subset);
+    for core in Core::ALL {
+        print!("{core:>12}: ");
+        for v in Variant::ALL {
+            print!("{}={:.1} ", v.label(), fig.mean_percent(v, core));
+        }
+        println!();
+    }
+    for (core, [s, d, a]) in cage_bench::fig15_sweep() {
+        println!("{core:>12}: static={s:.1} dynamic={d:.1} ptr-auth={a:.1}");
+    }
+}

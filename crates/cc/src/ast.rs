@@ -1,0 +1,192 @@
+//! Abstract syntax tree.
+
+use crate::types::{CType, StructTable};
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Struct definitions (layouts via the table).
+    pub structs: StructTable,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions (bodies may be absent for prototypes).
+    pub funcs: Vec<FuncDef>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: CType,
+    /// Optional constant initialiser.
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters.
+    pub params: Vec<(String, CType)>,
+    /// Body (`None` for prototypes).
+    pub body: Option<Vec<Stmt>>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl {
+        /// Name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Scalar initialiser.
+        init: Option<Expr>,
+        /// Brace initialiser elements (arrays / designated struct fields).
+        brace_init: Option<Vec<(Option<String>, Expr)>>,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` / `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        els: Vec<Stmt>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for`.
+    For {
+        /// Initialiser.
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>, u32),
+    /// `break`.
+    Break(u32),
+    /// `continue`.
+    Continue(u32),
+    /// Nested block (its own scope).
+    Block(Vec<Stmt>),
+}
+
+/// Binary operator kinds (C semantics; signedness resolved by type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Unary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpKind {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*p`
+    Deref,
+    /// `&x`
+    AddrOf,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Payload.
+    pub kind: ExprKind,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// String literal.
+    StrLit(String),
+    /// Character constant.
+    CharLit(u8),
+    /// Variable / function reference.
+    Ident(String),
+    /// Binary operation.
+    Bin(BinOpKind, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogOr(Box<Expr>, Box<Expr>),
+    /// Assignment; `Some(op)` for compound assignment.
+    Assign(Option<BinOpKind>, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOpKind, Box<Expr>),
+    /// `++x` / `--x`.
+    PreIncDec(bool, Box<Expr>),
+    /// `x++` / `x--`.
+    PostIncDec(bool, Box<Expr>),
+    /// Call: callee expression (function name or pointer), arguments.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `s.field`.
+    Member(Box<Expr>, String),
+    /// `p->field`.
+    Arrow(Box<Expr>, String),
+    /// `(type)expr`.
+    Cast(CType, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeOf(CType),
+}
+
+impl Expr {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(kind: ExprKind, line: u32) -> Self {
+        Expr { kind, line }
+    }
+}

@@ -1,0 +1,42 @@
+//! Compile errors.
+
+use std::fmt;
+
+/// A compilation failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line`.
+    #[must_use]
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = CompileError::new(42, "unexpected token");
+        assert_eq!(e.to_string(), "line 42: unexpected token");
+    }
+}

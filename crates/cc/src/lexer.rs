@@ -1,0 +1,356 @@
+//! Tokeniser for the micro-C subset.
+
+use crate::error::CompileError;
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// Character constant value.
+    Char(u8),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    #[must_use]
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<=", ">>=", "...", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "<<", ">>", "++", "--", "->", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-",
+    "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", ".", "?", ":",
+];
+
+/// Tokenises `source`.
+///
+/// # Errors
+///
+/// [`CompileError`] on malformed literals or unknown characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(CompileError::new(line, "unterminated block comment"));
+                }
+                i += 2;
+            }
+            b'#' => {
+                // Preprocessor lines are ignored (PolyBench sources carry
+                // includes/defines that the subset does not need).
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == b'0' && bytes.get(i + 1).is_some_and(|b| *b == b'x' || *b == b'X') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&source[start + 2..i], 16)
+                        .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                    tokens.push(Token {
+                        kind: TokenKind::Int(v),
+                        line,
+                    });
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Integer suffixes (L, UL, …) are accepted and ignored.
+                while i < bytes.len() && matches!(bytes[i], b'l' | b'L' | b'u' | b'U' | b'f' | b'F')
+                {
+                    if bytes[i] == b'f' || bytes[i] == b'F' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &source[start..i].trim_end_matches(['l', 'L', 'u', 'U', 'f', 'F']);
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| CompileError::new(line, "bad float literal"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| CompileError::new(line, "bad integer literal"))?,
+                    )
+                };
+                tokens.push(Token { kind, line });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            let esc = *bytes
+                                .get(i)
+                                .ok_or_else(|| CompileError::new(line, "bad escape"))?;
+                            s.push(unescape(esc, line)? as char);
+                            i += 1;
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            b'\'' => {
+                i += 1;
+                let v = match bytes.get(i) {
+                    Some(b'\\') => {
+                        i += 1;
+                        let esc = *bytes
+                            .get(i)
+                            .ok_or_else(|| CompileError::new(line, "bad escape"))?;
+                        i += 1;
+                        unescape(esc, line)?
+                    }
+                    Some(b) => {
+                        i += 1;
+                        *b
+                    }
+                    None => return Err(CompileError::new(line, "unterminated char constant")),
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(CompileError::new(line, "unterminated char constant"));
+                }
+                i += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Char(v),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[i..];
+                let punct = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                match punct {
+                    Some(p) => {
+                        tokens.push(Token {
+                            kind: TokenKind::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(CompileError::new(
+                            line,
+                            format!("unexpected character {:?}", rest.chars().next().unwrap()),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+fn unescape(esc: u8, line: u32) -> Result<u8, CompileError> {
+    Ok(match esc {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(CompileError::new(
+                line,
+                format!("unknown escape \\{}", other as char),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_ints() {
+        assert_eq!(
+            kinds("foo 42 _bar9"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Int(42),
+                TokenKind::Ident("_bar9".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_suffixes() {
+        assert_eq!(
+            kinds("1.5 2e3 7L 1.0f"),
+            vec![
+                TokenKind::Float(1.5),
+                TokenKind::Float(2000.0),
+                TokenKind::Int(7),
+                TokenKind::Float(1.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex() {
+        assert_eq!(kinds("0xFF"), vec![TokenKind::Int(255), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a<<=b->c++"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("->"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("++"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi\n" 'A' '\0'"#),
+            vec![
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Char(b'A'),
+                TokenKind::Char(0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        assert_eq!(
+            kinds("#include <x.h>\n// line\n/* block\nblock */ x"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+}

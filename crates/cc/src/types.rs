@@ -1,0 +1,263 @@
+//! C types of the subset.
+
+use std::fmt;
+
+/// A function signature (for function pointers and declarations).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuncSig {
+    /// Parameter types.
+    pub params: Vec<CType>,
+    /// Return type.
+    pub ret: CType,
+}
+
+/// A C type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// `void` (function returns only).
+    Void,
+    /// `char`: 1 byte, signed.
+    Char,
+    /// `int`: 4 bytes.
+    Int,
+    /// `long` / `long long`: 8 bytes.
+    Long,
+    /// `double`: 8 bytes.
+    Double,
+    /// Pointer.
+    Ptr(Box<CType>),
+    /// Fixed-size array.
+    Array(Box<CType>, u64),
+    /// Struct by index into the program's struct table.
+    Struct(usize),
+    /// Function pointer.
+    FuncPtr(Box<FuncSig>),
+}
+
+impl CType {
+    /// Pointer to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+
+    /// Whether this is an integer type.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CType::Char | CType::Int | CType::Long)
+    }
+
+    /// Whether this is an arithmetic (integer or floating) type.
+    #[must_use]
+    pub fn is_arithmetic(&self) -> bool {
+        self.is_integer() || *self == CType::Double
+    }
+
+    /// Whether this is a pointer (data or function).
+    #[must_use]
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Ptr(_) | CType::FuncPtr(_))
+    }
+
+    /// The pointee of a data pointer.
+    #[must_use]
+    pub fn pointee(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Array/pointer element type.
+    #[must_use]
+    pub fn element(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(p) => Some(p),
+            CType::Array(e, _) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay.
+    #[must_use]
+    pub fn decayed(&self) -> CType {
+        match self {
+            CType::Array(e, _) => CType::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+/// A struct definition (layout computed by [`StructTable`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Tag name.
+    pub name: String,
+    /// Field names and types, in declaration order.
+    pub fields: Vec<(String, CType)>,
+}
+
+/// Struct layouts for size/offset queries.
+#[derive(Debug, Clone, Default)]
+pub struct StructTable {
+    /// Definitions, indexed by `CType::Struct` ids.
+    pub defs: Vec<StructDef>,
+}
+
+impl StructTable {
+    /// Size of `ty` in bytes, given pointer width `ptr_bytes`.
+    ///
+    /// The reproduction compiles the same source for wasm64 and wasm32;
+    /// sizes follow the target (`sizeof(void*)` is 8 or 4).
+    #[must_use]
+    pub fn size_of(&self, ty: &CType, ptr_bytes: u64) -> u64 {
+        match ty {
+            CType::Void => 0,
+            CType::Char => 1,
+            CType::Int => 4,
+            CType::Long | CType::Double => 8,
+            CType::Ptr(_) | CType::FuncPtr(_) => ptr_bytes,
+            CType::Array(e, n) => self.size_of(e, ptr_bytes) * n,
+            CType::Struct(i) => {
+                let mut size = 0u64;
+                for (_, fty) in &self.defs[*i].fields {
+                    let align = self.align_of(fty, ptr_bytes);
+                    size = size.div_ceil(align) * align;
+                    size += self.size_of(fty, ptr_bytes);
+                }
+                let align = self.align_of(ty, ptr_bytes);
+                size.div_ceil(align) * align
+            }
+        }
+    }
+
+    /// Alignment of `ty` in bytes.
+    #[must_use]
+    pub fn align_of(&self, ty: &CType, ptr_bytes: u64) -> u64 {
+        match ty {
+            CType::Void => 1,
+            CType::Char => 1,
+            CType::Int => 4,
+            CType::Long | CType::Double => 8,
+            CType::Ptr(_) | CType::FuncPtr(_) => ptr_bytes,
+            CType::Array(e, _) => self.align_of(e, ptr_bytes),
+            CType::Struct(i) => self.defs[*i]
+                .fields
+                .iter()
+                .map(|(_, t)| self.align_of(t, ptr_bytes))
+                .max()
+                .unwrap_or(1),
+        }
+    }
+
+    /// Byte offset and type of field `name` in struct `id`.
+    #[must_use]
+    pub fn field(&self, id: usize, name: &str, ptr_bytes: u64) -> Option<(u64, CType)> {
+        let mut offset = 0u64;
+        for (fname, fty) in &self.defs[id].fields {
+            let align = self.align_of(fty, ptr_bytes);
+            offset = offset.div_ceil(align) * align;
+            if fname == name {
+                return Some((offset, fty.clone()));
+            }
+            offset += self.size_of(fty, ptr_bytes);
+        }
+        None
+    }
+
+    /// Looks up a struct id by tag name.
+    #[must_use]
+    pub fn id_of(&self, name: &str) -> Option<usize> {
+        self.defs.iter().position(|d| d.name == name)
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => f.write_str("void"),
+            CType::Char => f.write_str("char"),
+            CType::Int => f.write_str("int"),
+            CType::Long => f.write_str("long"),
+            CType::Double => f.write_str("double"),
+            CType::Ptr(p) => write!(f, "{p}*"),
+            CType::Array(e, n) => write!(f, "{e}[{n}]"),
+            CType::Struct(i) => write!(f, "struct#{i}"),
+            CType::FuncPtr(sig) => write!(f, "{}(*)(…)", sig.ret),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_vtable() -> StructTable {
+        StructTable {
+            defs: vec![StructDef {
+                name: "VTable".into(),
+                fields: vec![
+                    (
+                        "f".into(),
+                        CType::FuncPtr(Box::new(FuncSig {
+                            params: vec![],
+                            ret: CType::Void,
+                        })),
+                    ),
+                    (
+                        "g".into(),
+                        CType::FuncPtr(Box::new(FuncSig {
+                            params: vec![],
+                            ret: CType::Void,
+                        })),
+                    ),
+                    ("len".into(), CType::Int),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let t = StructTable::default();
+        assert_eq!(t.size_of(&CType::Char, 8), 1);
+        assert_eq!(t.size_of(&CType::Int, 8), 4);
+        assert_eq!(t.size_of(&CType::Long, 8), 8);
+        assert_eq!(t.size_of(&CType::Double, 8), 8);
+        assert_eq!(t.size_of(&CType::Int.ptr_to(), 8), 8);
+        assert_eq!(t.size_of(&CType::Int.ptr_to(), 4), 4);
+    }
+
+    #[test]
+    fn array_sizes_nest() {
+        let t = StructTable::default();
+        let a = CType::Array(Box::new(CType::Array(Box::new(CType::Double), 4)), 3);
+        assert_eq!(t.size_of(&a, 8), 96);
+        assert_eq!(t.align_of(&a, 8), 8);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        let t = table_with_vtable();
+        let (off_f, _) = t.field(0, "f", 8).unwrap();
+        let (off_g, _) = t.field(0, "g", 8).unwrap();
+        let (off_len, ty) = t.field(0, "len", 8).unwrap();
+        assert_eq!(off_f, 0);
+        assert_eq!(off_g, 8);
+        assert_eq!(off_len, 16);
+        assert_eq!(ty, CType::Int);
+        // Size padded to 8-alignment: 16 + 4 -> 24.
+        assert_eq!(t.size_of(&CType::Struct(0), 8), 24);
+        assert!(t.field(0, "missing", 8).is_none());
+    }
+
+    #[test]
+    fn decay_and_predicates() {
+        let arr = CType::Array(Box::new(CType::Int), 4);
+        assert_eq!(arr.decayed(), CType::Int.ptr_to());
+        assert!(CType::Long.is_integer());
+        assert!(CType::Double.is_arithmetic());
+        assert!(!CType::Double.is_integer());
+        assert!(CType::Char.ptr_to().is_pointer());
+    }
+}

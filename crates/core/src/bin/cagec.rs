@@ -1,0 +1,212 @@
+//! `cagec` — the Cage toolchain driver.
+//!
+//! Compile a C file to hardened wasm64, optionally emit the binary module,
+//! and/or run an exported function on a simulated Tensor G3 core:
+//!
+//! ```sh
+//! cagec program.c --variant cage --invoke main
+//! cagec program.c --variant wasm64 --emit program.wasm
+//! cagec program.c --invoke work 42 7 --core a510 --stats
+//! ```
+
+use std::process::ExitCode;
+
+use cage::{build_with, BuildOptions, Core, Value, Variant};
+
+struct Args {
+    input: String,
+    variant: Variant,
+    core: Core,
+    emit: Option<String>,
+    emit_wat: Option<String>,
+    invoke: Option<(String, Vec<i64>)>,
+    stats: bool,
+    memory_pages: u64,
+}
+
+const USAGE: &str = "\
+usage: cagec <file.c> [options]
+
+options:
+  --variant <v>    wasm32 | wasm64 | mem-safety | ptr-auth | sandboxing | cage
+                   (default: cage)
+  --core <c>       x3 | a715 | a510 (default: x3)
+  --emit <path>    write the compiled wasm module to <path>
+  --emit-wat <path> write a WAT-flavoured text dump to <path>
+  --invoke <fn> [int args...]
+                   run an exported function with i64 arguments
+  --memory <pages> linear memory size in 64 KiB pages (default: 64)
+  --stats          print simulated cycles/time and memory report
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1).peekable();
+    let mut input = None;
+    let mut variant = Variant::CageFull;
+    let mut core = Core::CortexX3;
+    let mut emit = None;
+    let mut emit_wat = None;
+    let mut invoke = None;
+    let mut stats = false;
+    let mut memory_pages = 64;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--variant" => {
+                let v = argv.next().ok_or("--variant needs a value")?;
+                variant = match v.as_str() {
+                    "wasm32" => Variant::BaselineWasm32,
+                    "wasm64" => Variant::BaselineWasm64,
+                    "mem-safety" => Variant::CageMemSafety,
+                    "ptr-auth" => Variant::CagePtrAuth,
+                    "sandboxing" => Variant::CageSandboxing,
+                    "cage" => Variant::CageFull,
+                    other => return Err(format!("unknown variant `{other}`")),
+                };
+            }
+            "--core" => {
+                let v = argv.next().ok_or("--core needs a value")?;
+                core = match v.as_str() {
+                    "x3" => Core::CortexX3,
+                    "a715" => Core::CortexA715,
+                    "a510" => Core::CortexA510,
+                    other => return Err(format!("unknown core `{other}`")),
+                };
+            }
+            "--emit" => emit = Some(argv.next().ok_or("--emit needs a path")?),
+            "--emit-wat" => emit_wat = Some(argv.next().ok_or("--emit-wat needs a path")?),
+            "--invoke" => {
+                let name = argv.next().ok_or("--invoke needs a function name")?;
+                let mut args = Vec::new();
+                while let Some(peek) = argv.peek() {
+                    match peek.parse::<i64>() {
+                        Ok(v) => {
+                            args.push(v);
+                            argv.next();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                invoke = Some((name, args));
+            }
+            "--memory" => {
+                memory_pages = argv
+                    .next()
+                    .ok_or("--memory needs a page count")?
+                    .parse()
+                    .map_err(|_| "--memory needs an integer")?;
+            }
+            "--stats" => stats = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("missing input file")?,
+        variant,
+        core,
+        emit,
+        emit_wat,
+        invoke,
+        stats,
+        memory_pages,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("cagec: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cagec: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = BuildOptions {
+        memory_pages: args.memory_pages,
+        ..BuildOptions::new(args.variant)
+    };
+    let artifact = match build_with(&source, &opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cagec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "compiled {} ({} bytes of wasm, variant {})",
+        args.input,
+        artifact.wasm_bytes().len(),
+        artifact.variant()
+    );
+
+    if let Some(path) = &args.emit {
+        if let Err(e) = std::fs::write(path, artifact.wasm_bytes()) {
+            eprintln!("cagec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &args.emit_wat {
+        let text = cage::wasm::text::print_module(artifact.module());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cagec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some((name, int_args)) = &args.invoke {
+        let mut instance = match artifact.instantiate(args.core) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("cagec: instantiation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let values: Vec<Value> = int_args.iter().map(|v| Value::I64(*v)).collect();
+        match instance.invoke(name, &values) {
+            Ok(results) => {
+                print!("{}", instance.stdout());
+                for r in &results {
+                    println!("{r}");
+                }
+                if args.stats {
+                    eprintln!(
+                        "[stats] {:.0} cycles, {:.6} ms simulated on {}, {} instructions",
+                        instance.cycles(),
+                        instance.simulated_ms(),
+                        args.core,
+                        instance.instr_count()
+                    );
+                    let mem = instance.memory_report();
+                    eprintln!(
+                        "[stats] linear {} B, tag space {} B, heap peak {} B",
+                        mem.linear_bytes, mem.tag_bytes, mem.heap_peak_bytes
+                    );
+                }
+            }
+            Err(trap) => {
+                print!("{}", instance.stdout());
+                eprintln!("cagec: trap: {trap}");
+                if trap.is_memory_safety_violation() {
+                    eprintln!("cagec: (memory-safety violation caught by Cage)");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,284 @@
+//! The Table 2 CVE gallery: micro-programs reproducing the memory-safety
+//! *classes* of the paper's exemplary CVEs, compiled unmodified through the
+//! Cage toolchain.
+//!
+//! Each program exports `long run(long trigger)`: `run(0)` is the benign
+//! path, `run(1)` exercises the bug. Under the baselines the bug corrupts
+//! or leaks memory silently ("Mitigated in WASM: No"); under Cage it traps
+//! with a memory-safety violation.
+
+/// One CVE-class reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct CveCase {
+    /// CVE identifier from Table 2.
+    pub cve: &'static str,
+    /// Underlying cause, as in the table.
+    pub cause: &'static str,
+    /// What the paper says plain WASM does ("No" / "Partially").
+    pub mitigated_in_wasm: &'static str,
+    /// The micro-program.
+    pub source: &'static str,
+}
+
+/// CVE-2023-4863 (libwebp): heap buffer overflow — out-of-bounds write
+/// while decoding attacker-controlled lengths.
+pub const CVE_2023_4863: &str = r#"
+long run(long trigger) {
+    char* table = malloc(32);
+    char* secret = malloc(16);
+    secret[0] = 'K';
+    long len = 32;
+    if (trigger) {
+        len = 48; // attacker-controlled huffman table size
+    }
+    for (long i = 0; i < len; i++) {
+        table[i] = 'A';
+    }
+    long leaked = secret[0];
+    free(secret);
+    free(table);
+    return leaked;
+}
+"#;
+
+/// CVE-2014-0160 (Heartbleed): out-of-bounds read past a heap buffer,
+/// leaking adjacent allocations.
+pub const CVE_2014_0160: &str = r#"
+long run(long trigger) {
+    char* payload = malloc(16);
+    char* key = malloc(32);
+    for (long i = 0; i < 32; i++) {
+        key[i] = 'S';
+    }
+    for (long i = 0; i < 16; i++) {
+        payload[i] = 'p';
+    }
+    long claimed_len = 16;
+    if (trigger) {
+        claimed_len = 64; // the lie in the heartbeat length field
+    }
+    long leak = 0;
+    for (long i = 0; i < claimed_len; i++) {
+        leak = leak + payload[i]; // reads run off into the key material
+    }
+    free(key);
+    free(payload);
+    return leak;
+}
+"#;
+
+/// CVE-2021-3999 (glibc getcwd): off-by-one — a write one byte *before*
+/// the buffer.
+pub const CVE_2021_3999: &str = r#"
+long run(long trigger) {
+    char* buf = malloc(16);
+    buf[0] = '/';
+    if (trigger) {
+        char* p = buf - 1;
+        *p = 0; // off-by-one underflow into allocator metadata
+    }
+    long v = buf[0];
+    free(buf);
+    return v;
+}
+"#;
+
+/// CVE-2018-14550 (libpng): stack buffer overflow via an unbounded copy.
+pub const CVE_2018_14550: &str = r#"
+long run(long trigger) {
+    char state[96];
+    char chunk[16];
+    long n = 8;
+    if (trigger) {
+        n = 40; // oversized PNM header field
+    }
+    for (long i = 0; i < 96; i++) {
+        state[i] = 'x';
+    }
+    for (long i = 0; i < n; i++) {
+        chunk[i] = 'A'; // strcpy-style copy into the 16-byte buffer
+    }
+    return chunk[0] + state[0];
+}
+"#;
+
+/// CVE-2021-22940 (Node.js): use-after-free read.
+pub const CVE_2021_22940: &str = r#"
+long run(long trigger) {
+    long* session = (long*)malloc(32);
+    session[0] = 1234;
+    long v = session[0];
+    free((char*)session);
+    if (trigger) {
+        v = session[0]; // handle used after teardown
+    }
+    return v;
+}
+"#;
+
+/// CVE-2021-33574 (glibc mq_notify): use-after-free write through a
+/// dangling struct holding a function pointer.
+pub const CVE_2021_33574: &str = r#"
+struct Notify {
+    long (*handler)(long);
+    long arg;
+};
+
+long on_event(long x) { return x * 2; }
+
+long run(long trigger) {
+    struct Notify* n = (struct Notify*)malloc(16);
+    n->handler = on_event;
+    n->arg = 21;
+    long v = n->handler(n->arg);
+    free((char*)n);
+    if (trigger) {
+        n->arg = 999; // write through the dangling notification
+        v = n->handler(n->arg);
+    }
+    return v;
+}
+"#;
+
+/// CVE-2020-1752 (glibc glob): use-after-free write through a dangling
+/// pointer. (Detection is deterministic until the freed block is reused
+/// with a colliding tag — §7.4 "caught at least until the reuse of a
+/// memory allocation"; the different-sized `fresh` allocation below keeps
+/// the freed block unreused, the deterministic case.)
+pub const CVE_2020_1752: &str = r#"
+long run(long trigger) {
+    char* dir = malloc(24);
+    char* pin = malloc(16); // keeps the freed block off the heap frontier
+    dir[0] = 'd';
+    char* keep = dir;
+    free(dir);
+    char* fresh = malloc(80); // too big for the freed block: no reuse
+    fresh[0] = 'f';
+    long v = fresh[0];
+    if (trigger) {
+        keep[0] = '!'; // stale pointer writes into freed memory
+        v = fresh[0];
+    }
+    free(fresh);
+    free(pin);
+    return v;
+}
+"#;
+
+/// CVE-2019-11932 (WhatsApp GIF): double free.
+pub const CVE_2019_11932: &str = r#"
+long run(long trigger) {
+    char* frame = malloc(64);
+    frame[0] = 'g';
+    long v = frame[0];
+    free(frame);
+    if (trigger) {
+        free(frame); // second free of the same decode buffer
+    }
+    return v;
+}
+"#;
+
+/// The full Table 2 gallery.
+#[must_use]
+pub fn cases() -> Vec<CveCase> {
+    vec![
+        CveCase {
+            cve: "CVE-2023-4863",
+            cause: "Out-of-bounds",
+            mitigated_in_wasm: "No",
+            source: CVE_2023_4863,
+        },
+        CveCase {
+            cve: "CVE-2014-0160",
+            cause: "Out-of-bounds",
+            mitigated_in_wasm: "No",
+            source: CVE_2014_0160,
+        },
+        CveCase {
+            cve: "CVE-2021-3999",
+            cause: "Out-of-bounds",
+            mitigated_in_wasm: "Partially",
+            source: CVE_2021_3999,
+        },
+        CveCase {
+            cve: "CVE-2018-14550",
+            cause: "Out-of-bounds",
+            mitigated_in_wasm: "No",
+            source: CVE_2018_14550,
+        },
+        CveCase {
+            cve: "CVE-2021-22940",
+            cause: "Use-after-free",
+            mitigated_in_wasm: "No",
+            source: CVE_2021_22940,
+        },
+        CveCase {
+            cve: "CVE-2021-33574",
+            cause: "Use-after-free",
+            mitigated_in_wasm: "No",
+            source: CVE_2021_33574,
+        },
+        CveCase {
+            cve: "CVE-2020-1752",
+            cause: "Use-after-free",
+            mitigated_in_wasm: "No",
+            source: CVE_2020_1752,
+        },
+        CveCase {
+            cve: "CVE-2019-11932",
+            cause: "Double-free",
+            mitigated_in_wasm: "Partially",
+            source: CVE_2019_11932,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, Core, Value, Variant};
+
+    #[test]
+    fn gallery_matches_table2_size() {
+        assert_eq!(cases().len(), 8);
+    }
+
+    #[test]
+    fn every_case_is_caught_by_cage_and_missed_by_baseline() {
+        for case in cases() {
+            // Benign path works everywhere.
+            for variant in [Variant::BaselineWasm64, Variant::CageFull] {
+                let mut inst = build(case.source, variant)
+                    .unwrap_or_else(|e| panic!("{}: {e}", case.cve))
+                    .instantiate(Core::CortexX3)
+                    .unwrap();
+                inst.invoke("run", &[Value::I64(0)])
+                    .unwrap_or_else(|e| panic!("{} benign under {variant}: {e}", case.cve));
+            }
+            // Trigger: silent under the baseline…
+            let mut base = build(case.source, Variant::BaselineWasm64)
+                .unwrap()
+                .instantiate(Core::CortexX3)
+                .unwrap();
+            assert!(
+                base.invoke("run", &[Value::I64(1)]).is_ok(),
+                "{}: baseline should miss the bug",
+                case.cve
+            );
+            // …trapped under Cage.
+            let mut caged = build(case.source, Variant::CageFull)
+                .unwrap()
+                .instantiate(Core::CortexX3)
+                .unwrap();
+            let err = caged
+                .invoke("run", &[Value::I64(1)])
+                .expect_err(case.cve);
+            assert!(
+                err.is_memory_safety_violation(),
+                "{}: {err}",
+                case.cve
+            );
+        }
+    }
+}

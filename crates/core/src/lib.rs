@@ -1,0 +1,327 @@
+//! # cage — Hardware-Accelerated Safe WebAssembly (CGO 2025 reproduction)
+//!
+//! The facade crate: one API spanning the whole toolchain of the paper's
+//! Fig. 5 — C source → sanitizer passes → hardened WASM → MTE/PAC-backed
+//! execution:
+//!
+//! ```text
+//! C source ──cage-cc──▶ IR ──passes──▶ IR' ──lower──▶ wasm64 ──cage-runtime──▶ result
+//!                        (Algorithm 1,              (segment.new,        (MTE tags,
+//!                         ptr-auth pass)             pointer_sign/auth)   PAC keys)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cage::{build, Core, Value, Variant};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let artifact = build(
+//!     r#"
+//!     long sum(long n) {
+//!         long acc = 0;
+//!         for (long i = 0; i < n; i++) acc += i;
+//!         return acc;
+//!     }
+//!     "#,
+//!     Variant::CageFull,
+//! )?;
+//! let mut instance = artifact.instantiate(Core::CortexX3)?;
+//! let out = instance.invoke("sum", &[Value::I64(10)])?;
+//! assert_eq!(out, vec![Value::I64(45)]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The same `build` with a buggy program and [`Variant::CageFull`] traps on
+//! the paper's CVE classes (heap/stack overflow, use-after-free, double
+//! free) instead of silently corrupting memory — see `examples/` and the
+//! `tests/security_cves.rs` suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod gallery;
+
+pub use cage_engine::{Trap, Value};
+pub use cage_mte::Core;
+pub use cage_runtime::{MemoryReport, StartupReport, Variant};
+
+pub use cage_cc as cc;
+pub use cage_engine as engine;
+pub use cage_ir as ir;
+pub use cage_libc as libc;
+pub use cage_mte as mte;
+pub use cage_pac as pac;
+pub use cage_runtime as runtime;
+pub use cage_wasm as wasm;
+
+/// Build failures across the pipeline.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Frontend (parse/typecheck) error.
+    Compile(cage_cc::CompileError),
+    /// Backend (lowering) error.
+    Lower(cage_ir::LowerError),
+    /// The produced module failed validation (a toolchain bug if it ever
+    /// happens — surfaced rather than panicking).
+    Validate(cage_wasm::ValidationError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compile error: {e}"),
+            BuildError::Lower(e) => write!(f, "lowering error: {e}"),
+            BuildError::Validate(e) => write!(f, "validation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Build options beyond the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Table 3 configuration.
+    pub variant: Variant,
+    /// Linear memory in 64 KiB pages.
+    pub memory_pages: u64,
+    /// Shadow-stack bytes.
+    pub stack_size: u64,
+}
+
+impl BuildOptions {
+    /// Default options for `variant`.
+    #[must_use]
+    pub fn new(variant: Variant) -> Self {
+        BuildOptions {
+            variant,
+            memory_pages: 64,
+            stack_size: 64 * 1024,
+        }
+    }
+}
+
+/// A compiled, hardened module ready to instantiate.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    module: cage_wasm::Module,
+    heap_base: u64,
+    variant: Variant,
+    memory_pages: u64,
+}
+
+impl Artifact {
+    /// The wasm module.
+    #[must_use]
+    pub fn module(&self) -> &cage_wasm::Module {
+        &self.module
+    }
+
+    /// First heap byte (where the hardened allocator starts).
+    #[must_use]
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
+    /// The variant this artifact was compiled for.
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Linear-memory pages the module declares.
+    #[must_use]
+    pub fn memory_pages(&self) -> u64 {
+        self.memory_pages
+    }
+
+    /// Serialises to the binary format (with Cage's `0xFB` instructions).
+    #[must_use]
+    pub fn wasm_bytes(&self) -> Vec<u8> {
+        cage_wasm::binary::encode(&self.module)
+    }
+
+    /// Instantiates on `core` with a fresh runtime and libc.
+    ///
+    /// # Errors
+    ///
+    /// Instantiation errors (e.g. sandbox-tag exhaustion).
+    pub fn instantiate(&self, core: Core) -> Result<Instance, cage_runtime::RuntimeError> {
+        let mut rt = cage_runtime::Runtime::new(self.variant, core);
+        let token = rt.instantiate(&self.module, self.heap_base)?;
+        Ok(Instance { rt, token })
+    }
+
+    /// Instantiates into an existing runtime (multi-instance processes).
+    ///
+    /// # Errors
+    ///
+    /// Instantiation errors.
+    pub fn instantiate_in(
+        &self,
+        rt: &mut cage_runtime::Runtime,
+    ) -> Result<cage_runtime::InstanceToken, cage_runtime::RuntimeError> {
+        rt.instantiate(&self.module, self.heap_base)
+    }
+}
+
+/// Compiles and hardens `source` for `variant` with default options.
+///
+/// # Errors
+///
+/// [`BuildError`] on compile or lowering failures.
+pub fn build(source: &str, variant: Variant) -> Result<Artifact, BuildError> {
+    build_with(source, &BuildOptions::new(variant))
+}
+
+/// Compiles and hardens `source` with explicit options.
+///
+/// # Errors
+///
+/// [`BuildError`] on compile or lowering failures.
+pub fn build_with(source: &str, opts: &BuildOptions) -> Result<Artifact, BuildError> {
+    let ptr_bytes = opts.variant.ptr_width().bytes();
+    let ast = cage_cc::parse(source).map_err(BuildError::Compile)?;
+    let mut ir_module =
+        cage_cc::codegen::compile_ast_for(&ast, ptr_bytes).map_err(BuildError::Compile)?;
+    cage_ir::passes::run_pipeline(&mut ir_module, opts.variant.harden_config());
+    let lowered = cage_ir::lower(
+        &ir_module,
+        &cage_ir::LowerOptions {
+            ptr_width: opts.variant.ptr_width(),
+            memory_pages: opts.memory_pages,
+            stack_size: opts.stack_size,
+        },
+    )
+    .map_err(BuildError::Lower)?;
+    cage_wasm::validate(&lowered.module).map_err(BuildError::Validate)?;
+    Ok(Artifact {
+        module: lowered.module,
+        heap_base: lowered.heap_base,
+        variant: opts.variant,
+        memory_pages: opts.memory_pages,
+    })
+}
+
+/// A live instance with its runtime.
+pub struct Instance {
+    rt: cage_runtime::Runtime,
+    token: cage_runtime::InstanceToken,
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instance")
+            .field("variant", &self.rt.variant())
+            .finish()
+    }
+}
+
+impl Instance {
+    /// Invokes an exported C function.
+    ///
+    /// # Errors
+    ///
+    /// Guest traps (memory-safety violations included).
+    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        self.rt.invoke(self.token, name, args)
+    }
+
+    /// Captured `print_*` output.
+    #[must_use]
+    pub fn stdout(&self) -> String {
+        self.rt.stdout(self.token)
+    }
+
+    /// Simulated milliseconds on the configured core.
+    #[must_use]
+    pub fn simulated_ms(&self) -> f64 {
+        self.rt.simulated_ms(self.token)
+    }
+
+    /// Simulated cycles.
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.rt.cycles(self.token)
+    }
+
+    /// Instructions retired.
+    #[must_use]
+    pub fn instr_count(&self) -> u64 {
+        self.rt.instr_count(self.token)
+    }
+
+    /// Resets timing counters (between benchmark phases).
+    pub fn reset_counters(&mut self) {
+        self.rt.reset_counters(self.token);
+    }
+
+    /// Memory report (§7.3 accounting).
+    #[must_use]
+    pub fn memory_report(&self) -> MemoryReport {
+        self.rt.memory_report(self.token)
+    }
+
+    /// The underlying runtime (advanced use).
+    pub fn runtime_mut(&mut self) -> &mut cage_runtime::Runtime {
+        &mut self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rejects_bad_c() {
+        assert!(matches!(
+            build("long f( {", Variant::BaselineWasm64),
+            Err(BuildError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_binary_format() {
+        let artifact = build("long f() { return 7; }", Variant::CageFull).unwrap();
+        let bytes = artifact.wasm_bytes();
+        let decoded = cage_wasm::binary::decode(&bytes).unwrap();
+        assert_eq!(&decoded, artifact.module());
+    }
+
+    #[test]
+    fn end_to_end_all_variants() {
+        for variant in Variant::ALL {
+            let artifact = build(
+                "long f(long x) { long a[4]; a[x % 4] = x; return a[x % 4] * 2; }",
+                variant,
+            )
+            .unwrap();
+            let mut inst = artifact.instantiate(Core::CortexA715).unwrap();
+            assert_eq!(
+                inst.invoke("f", &[Value::I64(21)]).unwrap(),
+                vec![Value::I64(42)],
+                "{variant}"
+            );
+            assert!(inst.cycles() > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_report_shows_tag_overhead_only_for_cage() {
+        let src = "long f() { return 0; }";
+        let base = build(src, Variant::BaselineWasm64)
+            .unwrap()
+            .instantiate(Core::CortexX3)
+            .unwrap();
+        let caged = build(src, Variant::CageFull)
+            .unwrap()
+            .instantiate(Core::CortexX3)
+            .unwrap();
+        assert_eq!(base.memory_report().tag_bytes, 0);
+        assert!(caged.memory_report().tag_bytes > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Execution configuration: sandboxing strategy, internal memory safety,
+//! pointer authentication, MTE mode and target core.
+//!
+//! The paper's Table 3 benchmark variants are combinations of these knobs;
+//! `cage-runtime` exposes them as named configurations.
+
+use cage_mte::{Core, MteMode};
+
+/// How the engine enforces the sandbox (external memory safety, §6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundsCheckStrategy {
+    /// Explicit software bounds check before every access — the wasm64
+    /// default, and the expensive path on in-order cores (§3).
+    #[default]
+    Software,
+    /// Virtual-memory guard pages — only sound for 32-bit memories, whose
+    /// index space cannot exceed the guarded 4 GiB + offset region.
+    GuardPages,
+    /// MTE-based sandboxing (Fig. 12b/13): the linear memory carries the
+    /// instance tag, indices are masked and added to the tagged heap base,
+    /// and the hardware tag check replaces the bounds check.
+    MteSandbox,
+}
+
+impl BoundsCheckStrategy {
+    /// Whether accesses pay an explicit per-access software check.
+    #[must_use]
+    pub fn has_software_check(self) -> bool {
+        self == BoundsCheckStrategy::Software
+    }
+}
+
+/// How Cage's internal memory safety (segments / tagged pointers) is
+/// implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InternalSafety {
+    /// Segment instructions are inert: `segment.new` returns its input
+    /// pointer untagged and loads/stores ignore tag bits. This is how
+    /// hardened modules run on the baseline configurations.
+    #[default]
+    Off,
+    /// Hardware MTE implements segments (the paper's primary deployment).
+    Mte,
+    /// Software fallback: the same tag memory, maintained and checked in
+    /// software at a per-access cost (the paper's "equivalent software
+    /// fallback" deployment model, §4.1).
+    Software,
+}
+
+impl InternalSafety {
+    /// Whether segment instructions are live.
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        self != InternalSafety::Off
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecConfig {
+    /// Core whose timing is simulated.
+    pub core: Core,
+    /// Sandbox enforcement strategy.
+    pub bounds: BoundsCheckStrategy,
+    /// Internal memory-safety implementation.
+    pub internal: InternalSafety,
+    /// Whether `i64.pointer_sign`/`auth` really sign (vs. act as moves on
+    /// baseline configurations).
+    pub pointer_auth: bool,
+    /// MTE check mode (sync for Cage's deployment, §6.3).
+    pub mte_mode: MteMode,
+    /// Whether FEAT_FPAC is modelled (trap on failed auth; the Pixel 8 has
+    /// it).
+    pub fpac: bool,
+    /// Maximum call depth before [`crate::Trap::CallStackExhausted`].
+    ///
+    /// The interpreter maps guest frames onto Rust frames; the default is
+    /// conservative so debug builds stay within thread stacks. Embedders
+    /// running deep recursion should raise it and run on a thread with a
+    /// matching stack size.
+    pub max_call_depth: usize,
+    /// RNG seed for tag and key generation (determinism for benches).
+    pub seed: u64,
+    /// Future-work extension (§6.4): reuse sandbox tags beyond 15
+    /// instances. Sound when instances' address ranges cannot reach each
+    /// other (guard pages between memories — which separate per-instance
+    /// memories guarantee in this engine), so two sandboxes may share a
+    /// tag without sharing reachable memory.
+    pub sandbox_tag_reuse: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            core: Core::CortexX3,
+            bounds: BoundsCheckStrategy::Software,
+            internal: InternalSafety::Off,
+            pointer_auth: false,
+            mte_mode: MteMode::Synchronous,
+            fpac: true,
+            max_call_depth: 128,
+            seed: 0xCA9E,
+            sandbox_tag_reuse: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Whether any MTE tag checking happens on ordinary accesses.
+    #[must_use]
+    pub fn mte_active(&self) -> bool {
+        self.bounds == BoundsCheckStrategy::MteSandbox || self.internal == InternalSafety::Mte
+    }
+
+    /// Returns the configuration with a different simulated core.
+    #[must_use]
+    pub fn on_core(mut self, core: Core) -> Self {
+        self.core = core;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_wasm64_software_bounds() {
+        let c = ExecConfig::default();
+        assert_eq!(c.bounds, BoundsCheckStrategy::Software);
+        assert_eq!(c.internal, InternalSafety::Off);
+        assert!(!c.pointer_auth);
+        assert!(!c.mte_active());
+    }
+
+    #[test]
+    fn mte_active_detection() {
+        let mut c = ExecConfig::default();
+        c.bounds = BoundsCheckStrategy::MteSandbox;
+        assert!(c.mte_active());
+        let mut c2 = ExecConfig::default();
+        c2.internal = InternalSafety::Mte;
+        assert!(c2.mte_active());
+        let mut c3 = ExecConfig::default();
+        c3.internal = InternalSafety::Software;
+        assert!(!c3.mte_active());
+    }
+
+    #[test]
+    fn on_core_swaps_only_the_core() {
+        let c = ExecConfig::default().on_core(Core::CortexA510);
+        assert_eq!(c.core, Core::CortexA510);
+        assert_eq!(c.bounds, ExecConfig::default().bounds);
+    }
+
+    #[test]
+    fn strategy_predicates() {
+        assert!(BoundsCheckStrategy::Software.has_software_check());
+        assert!(!BoundsCheckStrategy::GuardPages.has_software_check());
+        assert!(!BoundsCheckStrategy::MteSandbox.has_software_check());
+        assert!(InternalSafety::Mte.is_enabled());
+        assert!(InternalSafety::Software.is_enabled());
+        assert!(!InternalSafety::Off.is_enabled());
+    }
+}

@@ -1,0 +1,954 @@
+//! The interpreter: structured execution of validated modules with cycle
+//! accounting, implementing core WASM semantics plus the paper's Fig. 11
+//! small-step rules for the Cage instructions.
+
+use cage_mte::AccessKind;
+use cage_wasm::instr::{LoadOp, StoreOp};
+use cage_wasm::{BlockType, FuncType, Instr, MemArg};
+
+use crate::config::ExecConfig;
+use crate::cost::InstrClass;
+use crate::host::HostContext;
+use crate::store::Store;
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// Control-flow outcome of executing an instruction sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    /// Fell through.
+    Next,
+    /// Branch to the label `depth` levels up.
+    Br(u32),
+    /// Return from the function.
+    Return,
+}
+
+/// Per-class cycle charges, flattened for the hot loop.
+#[derive(Debug, Clone, Copy)]
+struct Charges {
+    simple: f64,
+    float: f64,
+    div: f64,
+    float_div: f64,
+    branch: f64,
+    call: f64,
+    call_indirect: f64,
+    mem: f64,
+    mem_manage: f64,
+    sign: f64,
+    auth: f64,
+}
+
+pub(crate) struct Interp<'s> {
+    store: &'s mut Store,
+    inst: usize,
+    config: ExecConfig,
+    charges: Charges,
+    depth: usize,
+}
+
+impl<'s> Interp<'s> {
+    pub(crate) fn new(store: &'s mut Store, inst: usize) -> Self {
+        let config = store.config;
+        let cost = store.cost;
+        let charges = Charges {
+            simple: cost.class_cost(InstrClass::Simple),
+            float: cost.class_cost(InstrClass::Float),
+            div: cost.class_cost(InstrClass::Div),
+            float_div: cost.class_cost(InstrClass::FloatDiv),
+            branch: cost.class_cost(InstrClass::Branch),
+            call: cost.class_cost(InstrClass::Call),
+            call_indirect: cost.class_cost(InstrClass::CallIndirect),
+            mem: cost.mem_access_cost(&config),
+            mem_manage: cost.class_cost(InstrClass::MemManage),
+            sign: cost.pointer_sign_cost(&config),
+            auth: cost.pointer_auth_cost(&config),
+        };
+        Interp {
+            store,
+            inst,
+            config,
+            charges,
+            depth: 0,
+        }
+    }
+
+    #[inline]
+    fn charge(&mut self, cycles: f64) {
+        let i = &mut self.store.instances[self.inst];
+        i.cycles += cycles;
+        i.instr_count += 1;
+    }
+
+    /// Calls function `func_idx` with `args`; returns its results.
+    pub(crate) fn call_function(
+        &mut self,
+        func_idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        if self.depth >= self.config.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        self.depth += 1;
+        let result = self.call_inner(func_idx, args);
+        self.depth -= 1;
+        result
+    }
+
+    fn call_inner(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let imported = self.store.instances[self.inst].module.imported_func_count();
+        if func_idx < imported {
+            return self.call_host(func_idx, args);
+        }
+        let (ty, locals_decl, body) = {
+            let inst = &self.store.instances[self.inst];
+            let f = &inst.module.funcs[(func_idx - imported) as usize];
+            let ty = inst.module.types[f.type_idx as usize].clone();
+            (ty, f.locals.clone(), f.body.clone())
+        };
+        debug_assert_eq!(args.len(), ty.params.len(), "arity checked by caller");
+
+        let mut locals: Vec<Value> = Vec::with_capacity(args.len() + locals_decl.len());
+        locals.extend_from_slice(args);
+        locals.extend(locals_decl.iter().map(|t| Value::zero(*t)));
+
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let flow = self.exec_seq(&body, &mut stack, &mut locals)?;
+        let arity = ty.results.len();
+        match flow {
+            Flow::Next | Flow::Br(_) | Flow::Return => {
+                // On Return/Br(function level) the results sit on top.
+                let results = stack.split_off(stack.len() - arity);
+                Ok(results)
+            }
+        }
+    }
+
+    fn call_host(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+        let func_rc = self.store.instances[self.inst].host_funcs[func_idx as usize].clone();
+        let mut func = func_rc.borrow_mut();
+        let expected_results = func.results.len();
+        let inst = &mut self.store.instances[self.inst];
+        let mut ctx = HostContext {
+            memory: inst.memory.as_mut(),
+            config: &self.config,
+            cycles: &mut inst.cycles,
+        };
+        let results = (func.func)(&mut ctx, args)?;
+        debug_assert_eq!(results.len(), expected_results, "host arity");
+        Ok(results)
+    }
+
+    fn exec_seq(
+        &mut self,
+        body: &[Instr],
+        stack: &mut Vec<Value>,
+        locals: &mut Vec<Value>,
+    ) -> Result<Flow, Trap> {
+        for instr in body {
+            match self.exec_instr(instr, stack, locals)? {
+                Flow::Next => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    fn block_arity(bt: &BlockType) -> usize {
+        bt.results().len()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(
+        &mut self,
+        instr: &Instr,
+        stack: &mut Vec<Value>,
+        locals: &mut Vec<Value>,
+    ) -> Result<Flow, Trap> {
+        use Instr::*;
+        match instr {
+            Unreachable => {
+                self.charge(self.charges.simple);
+                return Err(Trap::Unreachable);
+            }
+            Nop => self.charge(self.charges.simple),
+            Block(bt, inner) => {
+                let height = stack.len();
+                let arity = Self::block_arity(bt);
+                match self.exec_seq(inner, stack, locals)? {
+                    Flow::Next => {}
+                    Flow::Br(0) => {
+                        let keep = stack.split_off(stack.len() - arity);
+                        stack.truncate(height);
+                        stack.extend(keep);
+                    }
+                    Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                    Flow::Return => return Ok(Flow::Return),
+                }
+            }
+            Loop(_bt, inner) => {
+                let height = stack.len();
+                loop {
+                    match self.exec_seq(inner, stack, locals)? {
+                        Flow::Next => break,
+                        Flow::Br(0) => {
+                            // Loop labels have no parameters in this
+                            // subset: restart with a clean frame.
+                            stack.truncate(height);
+                        }
+                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+            }
+            If(bt, then_body, else_body) => {
+                self.charge(self.charges.branch);
+                let cond = stack.pop().expect("validated").as_i32();
+                let height = stack.len();
+                let arity = Self::block_arity(bt);
+                let body = if cond != 0 { then_body } else { else_body };
+                match self.exec_seq(body, stack, locals)? {
+                    Flow::Next => {}
+                    Flow::Br(0) => {
+                        let keep = stack.split_off(stack.len() - arity);
+                        stack.truncate(height);
+                        stack.extend(keep);
+                    }
+                    Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                    Flow::Return => return Ok(Flow::Return),
+                }
+            }
+            Br(depth) => {
+                self.charge(self.charges.branch);
+                return Ok(Flow::Br(*depth));
+            }
+            BrIf(depth) => {
+                self.charge(self.charges.branch);
+                let cond = stack.pop().expect("validated").as_i32();
+                if cond != 0 {
+                    return Ok(Flow::Br(*depth));
+                }
+            }
+            BrTable(targets, default) => {
+                self.charge(self.charges.branch);
+                let i = stack.pop().expect("validated").as_i32() as usize;
+                let target = targets.get(i).copied().unwrap_or(*default);
+                return Ok(Flow::Br(target));
+            }
+            Return => {
+                self.charge(self.charges.branch);
+                return Ok(Flow::Return);
+            }
+            Call(f) => {
+                self.charge(self.charges.call);
+                let ty = self.func_type(*f);
+                let args = stack.split_off(stack.len() - ty.params.len());
+                let results = self.call_function(*f, &args)?;
+                stack.extend(results);
+            }
+            CallIndirect(type_idx) => {
+                self.charge(self.charges.call_indirect);
+                let table_idx = stack.pop().expect("validated").as_i32() as u32;
+                let func_idx = {
+                    let inst = &self.store.instances[self.inst];
+                    inst.table
+                        .get(table_idx as usize)
+                        .copied()
+                        .flatten()
+                        .ok_or(Trap::UndefinedElement)?
+                };
+                let expected = {
+                    let inst = &self.store.instances[self.inst];
+                    inst.module.types[*type_idx as usize].clone()
+                };
+                let actual = self.func_type(func_idx);
+                if actual != expected {
+                    return Err(Trap::IndirectCallTypeMismatch);
+                }
+                let args = stack.split_off(stack.len() - expected.params.len());
+                let results = self.call_function(func_idx, &args)?;
+                stack.extend(results);
+            }
+            Drop => {
+                self.charge(self.charges.simple);
+                stack.pop();
+            }
+            Select => {
+                self.charge(self.charges.simple);
+                let c = stack.pop().expect("validated").as_i32();
+                let b = stack.pop().expect("validated");
+                let a = stack.pop().expect("validated");
+                stack.push(if c != 0 { a } else { b });
+            }
+            LocalGet(i) => {
+                self.charge(self.charges.simple);
+                stack.push(locals[*i as usize]);
+            }
+            LocalSet(i) => {
+                self.charge(self.charges.simple);
+                locals[*i as usize] = stack.pop().expect("validated");
+            }
+            LocalTee(i) => {
+                self.charge(self.charges.simple);
+                locals[*i as usize] = *stack.last().expect("validated");
+            }
+            GlobalGet(i) => {
+                self.charge(self.charges.simple);
+                stack.push(self.store.instances[self.inst].globals[*i as usize]);
+            }
+            GlobalSet(i) => {
+                self.charge(self.charges.simple);
+                let v = stack.pop().expect("validated");
+                self.store.instances[self.inst].globals[*i as usize] = v;
+            }
+            Load(op, memarg) => {
+                self.charge(self.charges.mem);
+                let index = self.pop_index(stack);
+                let bytes = self.mem_read(index, memarg, op.width())?;
+                stack.push(decode_load(*op, &bytes));
+            }
+            Store(op, memarg) => {
+                self.charge(self.charges.mem);
+                let value = stack.pop().expect("validated");
+                let index = self.pop_index(stack);
+                let bytes = encode_store(*op, value);
+                self.mem_write(index, memarg, &bytes)?;
+            }
+            MemorySize => {
+                self.charge(self.charges.mem_manage);
+                let (pages, m64) = {
+                    let mem = self.memory()?;
+                    (mem.size_pages(), mem.is_memory64())
+                };
+                stack.push(size_value(pages, m64));
+            }
+            MemoryGrow => {
+                self.charge(self.charges.mem_manage);
+                let delta = self.pop_index(stack);
+                let (result, m64) = {
+                    let mem = self.memory_mut()?;
+                    let m64 = mem.is_memory64();
+                    (mem.grow(delta), m64)
+                };
+                match result {
+                    Some(old) => stack.push(size_value(old, m64)),
+                    None => stack.push(if m64 { Value::I64(-1) } else { Value::I32(-1) }),
+                }
+            }
+            MemoryFill => {
+                let len = self.pop_index(stack);
+                let val = stack.pop().expect("validated").as_i32() as u8;
+                let dst = self.pop_index(stack);
+                self.charge(self.charges.mem * (len as f64 / 16.0 + 1.0));
+                let config = self.config;
+                let mem = self.memory_mut()?;
+                // Resolve both ends, then write bytewise (one range check).
+                mem.resolve(dst, 0, len.max(1), AccessKind::Write, &config)?;
+                let bytes = vec![val; len as usize];
+                mem.write(dst, 0, &bytes, &config)?;
+            }
+            MemoryCopy => {
+                let len = self.pop_index(stack);
+                let src = self.pop_index(stack);
+                let dst = self.pop_index(stack);
+                self.charge(self.charges.mem * (len as f64 / 8.0 + 1.0));
+                let config = self.config;
+                let mem = self.memory_mut()?;
+                let bytes = mem.read(src, 0, len, &config)?;
+                mem.write(dst, 0, &bytes, &config)?;
+            }
+            I32Const(v) => {
+                self.charge(self.charges.simple);
+                stack.push(Value::I32(*v));
+            }
+            I64Const(v) => {
+                self.charge(self.charges.simple);
+                stack.push(Value::I64(*v));
+            }
+            F32Const(bits) => {
+                self.charge(self.charges.simple);
+                stack.push(Value::F32(f32::from_bits(*bits)));
+            }
+            F64Const(bits) => {
+                self.charge(self.charges.simple);
+                stack.push(Value::F64(f64::from_bits(*bits)));
+            }
+
+            // -- Cage extension (Fig. 11) ---------------------------------
+            SegmentNew(offset) => {
+                let len = stack.pop().expect("validated").as_u64();
+                let ptr = stack.pop().expect("validated").as_u64();
+                self.charge(self.store.cost.segment_new_cost(len / 16));
+                let config = self.config;
+                let tagged = self
+                    .memory_mut()?
+                    .segment_new(ptr.wrapping_add(*offset), len, &config)?;
+                stack.push(Value::from(tagged));
+            }
+            SegmentSetTag(offset) => {
+                let len = stack.pop().expect("validated").as_u64();
+                let tagged = stack.pop().expect("validated").as_u64();
+                let ptr = stack.pop().expect("validated").as_u64();
+                self.charge(self.store.cost.segment_retag_cost(len / 16));
+                let config = self.config;
+                self.memory_mut()?
+                    .segment_set_tag(ptr.wrapping_add(*offset), tagged, len, &config)?;
+            }
+            SegmentFree(offset) => {
+                let len = stack.pop().expect("validated").as_u64();
+                let ptr = stack.pop().expect("validated").as_u64();
+                self.charge(self.store.cost.segment_retag_cost(len / 16));
+                let config = self.config;
+                self.memory_mut()?
+                    .segment_free(ptr.wrapping_add(*offset), len, &config)?;
+            }
+            PointerSign => {
+                self.charge(self.charges.sign);
+                let ptr = stack.pop().expect("validated").as_u64();
+                let signed = if self.config.pointer_auth {
+                    let inst = &self.store.instances[self.inst];
+                    inst.pac.sign(ptr, inst.pac_modifier)
+                } else {
+                    ptr
+                };
+                stack.push(Value::from(signed));
+            }
+            PointerAuth => {
+                self.charge(self.charges.auth);
+                let ptr = stack.pop().expect("validated").as_u64();
+                let stripped = if self.config.pointer_auth {
+                    let inst = &self.store.instances[self.inst];
+                    inst.pac.auth(ptr, inst.pac_modifier)?
+                } else {
+                    ptr
+                };
+                stack.push(Value::from(stripped));
+            }
+
+            // -- numeric ----------------------------------------------------
+            other => {
+                self.exec_numeric(other, stack)?;
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    fn func_type(&self, func_idx: u32) -> FuncType {
+        self.store.instances[self.inst]
+            .module
+            .func_type(func_idx)
+            .expect("validated")
+            .clone()
+    }
+
+    fn memory(&mut self) -> Result<&crate::memory::LinearMemory, Trap> {
+        self.store.instances[self.inst]
+            .memory
+            .as_ref()
+            .ok_or_else(|| Trap::Host("no memory".into()))
+    }
+
+    fn memory_mut(&mut self) -> Result<&mut crate::memory::LinearMemory, Trap> {
+        self.store.instances[self.inst]
+            .memory
+            .as_mut()
+            .ok_or_else(|| Trap::Host("no memory".into()))
+    }
+
+    /// Pops a memory index: i32 (zero-extended) or i64 depending on the
+    /// memory.
+    fn pop_index(&mut self, stack: &mut Vec<Value>) -> u64 {
+        match stack.pop().expect("validated") {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            other => panic!("index must be integer, found {other:?}"),
+        }
+    }
+
+    fn mem_read(&mut self, index: u64, memarg: &MemArg, width: u64) -> Result<Vec<u8>, Trap> {
+        let config = self.config;
+        self.memory_mut()?.read(index, memarg.offset, width, &config)
+    }
+
+    fn mem_write(&mut self, index: u64, memarg: &MemArg, bytes: &[u8]) -> Result<(), Trap> {
+        let config = self.config;
+        self.memory_mut()?.write(index, memarg.offset, bytes, &config)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_numeric(&mut self, instr: &Instr, stack: &mut Vec<Value>) -> Result<(), Trap> {
+        use Instr::*;
+        macro_rules! una {
+            ($cost:expr, $pop:ident, $push:expr) => {{
+                self.charge($cost);
+                let a = stack.pop().expect("validated").$pop();
+                stack.push(Value::from($push(a)));
+            }};
+        }
+        macro_rules! bin {
+            ($cost:expr, $pop:ident, $push:expr) => {{
+                self.charge($cost);
+                let b = stack.pop().expect("validated").$pop();
+                let a = stack.pop().expect("validated").$pop();
+                stack.push(Value::from($push(a, b)));
+            }};
+        }
+        macro_rules! cmp {
+            ($cost:expr, $pop:ident, $op:expr) => {{
+                self.charge($cost);
+                let b = stack.pop().expect("validated").$pop();
+                let a = stack.pop().expect("validated").$pop();
+                stack.push(Value::I32(i32::from($op(a, b))));
+            }};
+        }
+        let s = self.charges.simple;
+        let fl = self.charges.float;
+        let dv = self.charges.div;
+        let fdv = self.charges.float_div;
+        match instr {
+            I32Eqz => una!(s, as_i32, |a: i32| i32::from(a == 0)),
+            I32Eq => cmp!(s, as_i32, |a, b| a == b),
+            I32Ne => cmp!(s, as_i32, |a, b| a != b),
+            I32LtS => cmp!(s, as_i32, |a, b| a < b),
+            I32LtU => cmp!(s, as_i32, |a: i32, b: i32| (a as u32) < b as u32),
+            I32GtS => cmp!(s, as_i32, |a, b| a > b),
+            I32GtU => cmp!(s, as_i32, |a: i32, b: i32| a as u32 > b as u32),
+            I32LeS => cmp!(s, as_i32, |a, b| a <= b),
+            I32LeU => cmp!(s, as_i32, |a: i32, b: i32| a as u32 <= b as u32),
+            I32GeS => cmp!(s, as_i32, |a, b| a >= b),
+            I32GeU => cmp!(s, as_i32, |a: i32, b: i32| a as u32 >= b as u32),
+            I32Clz => una!(s, as_i32, |a: i32| a.leading_zeros() as i32),
+            I32Ctz => una!(s, as_i32, |a: i32| a.trailing_zeros() as i32),
+            I32Popcnt => una!(s, as_i32, |a: i32| a.count_ones() as i32),
+            I32Add => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_add(b)),
+            I32Sub => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_sub(b)),
+            I32Mul => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_mul(b)),
+            I32DivS => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i32();
+                let a = stack.pop().expect("validated").as_i32();
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                let (q, overflow) = a.overflowing_div(b);
+                if overflow {
+                    return Err(Trap::IntegerOverflow);
+                }
+                stack.push(Value::I32(q));
+            }
+            I32DivU => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i32() as u32;
+                let a = stack.pop().expect("validated").as_i32() as u32;
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                stack.push(Value::I32((a / b) as i32));
+            }
+            I32RemS => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i32();
+                let a = stack.pop().expect("validated").as_i32();
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                stack.push(Value::I32(a.wrapping_rem(b)));
+            }
+            I32RemU => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i32() as u32;
+                let a = stack.pop().expect("validated").as_i32() as u32;
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                stack.push(Value::I32((a % b) as i32));
+            }
+            I32And => bin!(s, as_i32, |a: i32, b: i32| a & b),
+            I32Or => bin!(s, as_i32, |a: i32, b: i32| a | b),
+            I32Xor => bin!(s, as_i32, |a: i32, b: i32| a ^ b),
+            I32Shl => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
+            I32ShrS => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
+            I32ShrU => bin!(s, as_i32, |a: i32, b: i32| ((a as u32)
+                .wrapping_shr(b as u32))
+                as i32),
+            I32Rotl => bin!(s, as_i32, |a: i32, b: i32| a.rotate_left(b as u32 & 31)),
+            I32Rotr => bin!(s, as_i32, |a: i32, b: i32| a.rotate_right(b as u32 & 31)),
+
+            I64Eqz => {
+                self.charge(s);
+                let a = stack.pop().expect("validated").as_i64();
+                stack.push(Value::I32(i32::from(a == 0)));
+            }
+            I64Eq => cmp!(s, as_i64, |a, b| a == b),
+            I64Ne => cmp!(s, as_i64, |a, b| a != b),
+            I64LtS => cmp!(s, as_i64, |a, b| a < b),
+            I64LtU => cmp!(s, as_i64, |a: i64, b: i64| (a as u64) < b as u64),
+            I64GtS => cmp!(s, as_i64, |a, b| a > b),
+            I64GtU => cmp!(s, as_i64, |a: i64, b: i64| a as u64 > b as u64),
+            I64LeS => cmp!(s, as_i64, |a, b| a <= b),
+            I64LeU => cmp!(s, as_i64, |a: i64, b: i64| a as u64 <= b as u64),
+            I64GeS => cmp!(s, as_i64, |a, b| a >= b),
+            I64GeU => cmp!(s, as_i64, |a: i64, b: i64| a as u64 >= b as u64),
+            I64Clz => una!(s, as_i64, |a: i64| i64::from(a.leading_zeros())),
+            I64Ctz => una!(s, as_i64, |a: i64| i64::from(a.trailing_zeros())),
+            I64Popcnt => una!(s, as_i64, |a: i64| i64::from(a.count_ones())),
+            I64Add => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_add(b)),
+            I64Sub => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_sub(b)),
+            I64Mul => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_mul(b)),
+            I64DivS => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i64();
+                let a = stack.pop().expect("validated").as_i64();
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                let (q, overflow) = a.overflowing_div(b);
+                if overflow {
+                    return Err(Trap::IntegerOverflow);
+                }
+                stack.push(Value::I64(q));
+            }
+            I64DivU => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i64() as u64;
+                let a = stack.pop().expect("validated").as_i64() as u64;
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                stack.push(Value::I64((a / b) as i64));
+            }
+            I64RemS => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i64();
+                let a = stack.pop().expect("validated").as_i64();
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                stack.push(Value::I64(a.wrapping_rem(b)));
+            }
+            I64RemU => {
+                self.charge(dv);
+                let b = stack.pop().expect("validated").as_i64() as u64;
+                let a = stack.pop().expect("validated").as_i64() as u64;
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                stack.push(Value::I64((a % b) as i64));
+            }
+            I64And => bin!(s, as_i64, |a: i64, b: i64| a & b),
+            I64Or => bin!(s, as_i64, |a: i64, b: i64| a | b),
+            I64Xor => bin!(s, as_i64, |a: i64, b: i64| a ^ b),
+            I64Shl => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
+            I64ShrS => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
+            I64ShrU => bin!(s, as_i64, |a: i64, b: i64| ((a as u64)
+                .wrapping_shr(b as u32))
+                as i64),
+            I64Rotl => bin!(s, as_i64, |a: i64, b: i64| a.rotate_left(b as u32 & 63)),
+            I64Rotr => bin!(s, as_i64, |a: i64, b: i64| a.rotate_right(b as u32 & 63)),
+
+            F32Eq => cmp!(fl, as_f32, |a, b| a == b),
+            F32Ne => cmp!(fl, as_f32, |a, b| a != b),
+            F32Lt => cmp!(fl, as_f32, |a, b| a < b),
+            F32Gt => cmp!(fl, as_f32, |a, b| a > b),
+            F32Le => cmp!(fl, as_f32, |a, b| a <= b),
+            F32Ge => cmp!(fl, as_f32, |a, b| a >= b),
+            F32Abs => una!(fl, as_f32, |a: f32| a.abs()),
+            F32Neg => una!(fl, as_f32, |a: f32| -a),
+            F32Ceil => una!(fl, as_f32, |a: f32| a.ceil()),
+            F32Floor => una!(fl, as_f32, |a: f32| a.floor()),
+            F32Trunc => una!(fl, as_f32, |a: f32| a.trunc()),
+            F32Nearest => una!(fl, as_f32, |a: f32| a.round_ties_even()),
+            F32Sqrt => una!(fdv, as_f32, |a: f32| a.sqrt()),
+            F32Add => bin!(fl, as_f32, |a: f32, b: f32| a + b),
+            F32Sub => bin!(fl, as_f32, |a: f32, b: f32| a - b),
+            F32Mul => bin!(fl, as_f32, |a: f32, b: f32| a * b),
+            F32Div => bin!(fdv, as_f32, |a: f32, b: f32| a / b),
+            F32Min => bin!(fl, as_f32, wasm_fmin32),
+            F32Max => bin!(fl, as_f32, wasm_fmax32),
+            F32Copysign => bin!(fl, as_f32, |a: f32, b: f32| a.copysign(b)),
+
+            F64Eq => cmp!(fl, as_f64, |a, b| a == b),
+            F64Ne => cmp!(fl, as_f64, |a, b| a != b),
+            F64Lt => cmp!(fl, as_f64, |a, b| a < b),
+            F64Gt => cmp!(fl, as_f64, |a, b| a > b),
+            F64Le => cmp!(fl, as_f64, |a, b| a <= b),
+            F64Ge => cmp!(fl, as_f64, |a, b| a >= b),
+            F64Abs => una!(fl, as_f64, |a: f64| a.abs()),
+            F64Neg => una!(fl, as_f64, |a: f64| -a),
+            F64Ceil => una!(fl, as_f64, |a: f64| a.ceil()),
+            F64Floor => una!(fl, as_f64, |a: f64| a.floor()),
+            F64Trunc => una!(fl, as_f64, |a: f64| a.trunc()),
+            F64Nearest => una!(fl, as_f64, |a: f64| a.round_ties_even()),
+            F64Sqrt => una!(fdv, as_f64, |a: f64| a.sqrt()),
+            F64Add => bin!(fl, as_f64, |a: f64, b: f64| a + b),
+            F64Sub => bin!(fl, as_f64, |a: f64, b: f64| a - b),
+            F64Mul => bin!(fl, as_f64, |a: f64, b: f64| a * b),
+            F64Div => bin!(fdv, as_f64, |a: f64, b: f64| a / b),
+            F64Min => bin!(fl, as_f64, wasm_fmin64),
+            F64Max => bin!(fl, as_f64, wasm_fmax64),
+            F64Copysign => bin!(fl, as_f64, |a: f64, b: f64| a.copysign(b)),
+
+            // Width changes are register renames on the simulated cores
+            // (zero-cost move elimination): charged as free so wasm64's
+            // extra extend/wrap traffic prices only real work.
+            I32WrapI64 => una!(0.0, as_i64, |a: i64| a as i32),
+            I32TruncF32S => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f32();
+                stack.push(Value::I32(trunc_to_i32(f64::from(a))?));
+            }
+            I32TruncF32U => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f32();
+                stack.push(Value::I32(trunc_to_u32(f64::from(a))? as i32));
+            }
+            I32TruncF64S => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f64();
+                stack.push(Value::I32(trunc_to_i32(a)?));
+            }
+            I32TruncF64U => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f64();
+                stack.push(Value::I32(trunc_to_u32(a)? as i32));
+            }
+            I64ExtendI32S => una!(0.0, as_i32, |a: i32| i64::from(a)),
+            I64ExtendI32U => una!(0.0, as_i32, |a: i32| (a as u32) as i64),
+            I64TruncF32S => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f32();
+                stack.push(Value::I64(trunc_to_i64(f64::from(a))?));
+            }
+            I64TruncF32U => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f32();
+                stack.push(Value::I64(trunc_to_u64(f64::from(a))? as i64));
+            }
+            I64TruncF64S => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f64();
+                stack.push(Value::I64(trunc_to_i64(a)?));
+            }
+            I64TruncF64U => {
+                self.charge(fl);
+                let a = stack.pop().expect("validated").as_f64();
+                stack.push(Value::I64(trunc_to_u64(a)? as i64));
+            }
+            F32ConvertI32S => una!(fl, as_i32, |a: i32| a as f32),
+            F32ConvertI32U => una!(fl, as_i32, |a: i32| (a as u32) as f32),
+            F32ConvertI64S => una!(fl, as_i64, |a: i64| a as f32),
+            F32ConvertI64U => una!(fl, as_i64, |a: i64| (a as u64) as f32),
+            F32DemoteF64 => una!(fl, as_f64, |a: f64| a as f32),
+            F64ConvertI32S => una!(fl, as_i32, |a: i32| f64::from(a)),
+            F64ConvertI32U => una!(fl, as_i32, |a: i32| f64::from(a as u32)),
+            F64ConvertI64S => una!(fl, as_i64, |a: i64| a as f64),
+            F64ConvertI64U => una!(fl, as_i64, |a: i64| (a as u64) as f64),
+            F64PromoteF32 => una!(fl, as_f32, f64::from),
+            I32ReinterpretF32 => una!(s, as_f32, |a: f32| a.to_bits() as i32),
+            I64ReinterpretF64 => una!(s, as_f64, |a: f64| a.to_bits() as i64),
+            F32ReinterpretI32 => una!(s, as_i32, |a: i32| f32::from_bits(a as u32)),
+            F64ReinterpretI64 => una!(s, as_i64, |a: i64| f64::from_bits(a as u64)),
+            I32Extend8S => una!(s, as_i32, |a: i32| i32::from(a as i8)),
+            I32Extend16S => una!(s, as_i32, |a: i32| i32::from(a as i16)),
+            I64Extend8S => una!(s, as_i64, |a: i64| i64::from(a as i8)),
+            I64Extend16S => una!(s, as_i64, |a: i64| i64::from(a as i16)),
+            I64Extend32S => una!(s, as_i64, |a: i64| i64::from(a as i32)),
+
+            other => unreachable!("non-numeric instruction {other:?} reached exec_numeric"),
+        }
+        Ok(())
+    }
+}
+
+fn size_value(pages: u64, memory64: bool) -> Value {
+    if memory64 {
+        Value::I64(pages as i64)
+    } else {
+        Value::I32(pages as i32)
+    }
+}
+
+fn decode_load(op: LoadOp, bytes: &[u8]) -> Value {
+    use LoadOp::*;
+    let raw = {
+        let mut buf = [0u8; 8];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        u64::from_le_bytes(buf)
+    };
+    match op {
+        I32Load => Value::I32(raw as u32 as i32),
+        I64Load => Value::I64(raw as i64),
+        F32Load => Value::F32(f32::from_bits(raw as u32)),
+        F64Load => Value::F64(f64::from_bits(raw)),
+        I32Load8S => Value::I32(i32::from(raw as u8 as i8)),
+        I32Load8U => Value::I32(raw as u8 as i32),
+        I32Load16S => Value::I32(i32::from(raw as u16 as i16)),
+        I32Load16U => Value::I32(raw as u16 as i32),
+        I64Load8S => Value::I64(i64::from(raw as u8 as i8)),
+        I64Load8U => Value::I64(raw as u8 as i64),
+        I64Load16S => Value::I64(i64::from(raw as u16 as i16)),
+        I64Load16U => Value::I64(raw as u16 as i64),
+        I64Load32S => Value::I64(i64::from(raw as u32 as i32)),
+        I64Load32U => Value::I64(raw as u32 as i64),
+    }
+}
+
+fn encode_store(op: StoreOp, value: Value) -> Vec<u8> {
+    use StoreOp::*;
+    match op {
+        I32Store => value.as_i32().to_le_bytes().to_vec(),
+        I64Store => value.as_i64().to_le_bytes().to_vec(),
+        F32Store => value.as_f32().to_bits().to_le_bytes().to_vec(),
+        F64Store => value.as_f64().to_bits().to_le_bytes().to_vec(),
+        I32Store8 => vec![value.as_i32() as u8],
+        I32Store16 => (value.as_i32() as u16).to_le_bytes().to_vec(),
+        I64Store8 => vec![value.as_i64() as u8],
+        I64Store16 => (value.as_i64() as u16).to_le_bytes().to_vec(),
+        I64Store32 => (value.as_i64() as u32).to_le_bytes().to_vec(),
+    }
+}
+
+fn wasm_fmin32(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else if a == b {
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else {
+        a.min(b)
+    }
+}
+
+fn wasm_fmax32(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else {
+        a.max(b)
+    }
+}
+
+fn wasm_fmin64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else {
+        a.min(b)
+    }
+}
+
+fn wasm_fmax64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else {
+        a.max(b)
+    }
+}
+
+fn trunc_to_i32(v: f64) -> Result<i32, Trap> {
+    if v.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = v.trunc();
+    if t < -2_147_483_648.0 || t > 2_147_483_647.0 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as i32)
+}
+
+fn trunc_to_u32(v: f64) -> Result<u32, Trap> {
+    if v.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = v.trunc();
+    if t < 0.0 || t > 4_294_967_295.0 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as u32)
+}
+
+fn trunc_to_i64(v: f64) -> Result<i64, Trap> {
+    if v.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = v.trunc();
+    // 2^63 is exactly representable; anything >= it overflows, as does
+    // anything < -2^63.
+    if t >= 9_223_372_036_854_775_808.0 || t < -9_223_372_036_854_775_808.0 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as i64)
+}
+
+fn trunc_to_u64(v: f64) -> Result<u64, Trap> {
+    if v.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    let t = v.trunc();
+    if t < 0.0 || t >= 18_446_744_073_709_551_616.0 {
+        return Err(Trap::IntegerOverflow);
+    }
+    Ok(t as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmin_fmax_zero_signs() {
+        assert!(wasm_fmin64(0.0, -0.0).is_sign_negative());
+        assert!(wasm_fmax64(0.0, -0.0).is_sign_positive());
+        assert!(wasm_fmin32(-0.0, 0.0).is_sign_negative());
+    }
+
+    #[test]
+    fn fmin_fmax_nan_propagation() {
+        assert!(wasm_fmin64(f64::NAN, 1.0).is_nan());
+        assert!(wasm_fmax32(1.0, f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn trunc_bounds() {
+        assert_eq!(trunc_to_i32(-2_147_483_648.9).unwrap(), i32::MIN);
+        assert!(trunc_to_i32(2_147_483_648.0).is_err());
+        assert!(trunc_to_i32(f64::NAN).is_err());
+        assert_eq!(trunc_to_u32(4_294_967_295.0).unwrap(), u32::MAX);
+        assert!(trunc_to_u32(-1.0).is_err());
+        assert_eq!(trunc_to_i64(-9.223_372_036_854_776e18).unwrap(), i64::MIN);
+        assert!(trunc_to_i64(9.223_372_036_854_776e18).is_err());
+        assert_eq!(trunc_to_u64(1.8e19).unwrap(), 18_000_000_000_000_000_000);
+        assert!(trunc_to_u64(1.9e19).is_err());
+    }
+
+    #[test]
+    fn load_store_codec_roundtrip() {
+        let v = Value::F64(std::f64::consts::PI);
+        let bytes = encode_store(StoreOp::F64Store, v);
+        assert!(decode_load(LoadOp::F64Load, &bytes).bit_eq(&v));
+        let v = Value::I32(-2);
+        let bytes = encode_store(StoreOp::I32Store8, v);
+        assert_eq!(decode_load(LoadOp::I32Load8S, &bytes), Value::I32(-2));
+        assert_eq!(decode_load(LoadOp::I32Load8U, &bytes), Value::I32(254));
+    }
+}

@@ -1,0 +1,570 @@
+//! The store: instances, instantiation, invocation and cycle accounting.
+//!
+//! A [`Store`] corresponds to one simulated process. It owns up to 15
+//! sandboxed instances under MTE sandboxing — the paper's per-process limit
+//! (§6.4 "we limit the number of sandboxes in one process to at most 15")
+//! — and gives each instance its own PAC key and modifier (§6.3).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use cage_mte::{Tag, MteMode};
+use cage_pac::{PacKey, PacSigner, PointerLayout};
+use cage_wasm::{validate, ImportKind, Module, ValidationError};
+use rand::{Rng, SeedableRng};
+
+use crate::config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
+use crate::cost::CostModel;
+use crate::host::{HostFunc, Imports};
+use crate::interp::Interp;
+use crate::memory::{LinearMemory, TagScheme};
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// Why instantiation failed.
+#[derive(Debug)]
+pub enum InstantiateError {
+    /// The module failed validation.
+    Validation(ValidationError),
+    /// An import could not be resolved from the provided [`Imports`].
+    MissingImport {
+        /// Import module namespace.
+        module: String,
+        /// Import field name.
+        name: String,
+    },
+    /// Non-function imports are not supported by this engine.
+    UnsupportedImport(String),
+    /// MTE sandboxing ran out of tags: at most 15 instances per store
+    /// (§6.4), and a single instance in combined mode.
+    TooManySandboxes,
+    /// A data or element segment fell outside its target.
+    SegmentOutOfRange,
+    /// The start function trapped.
+    Start(Trap),
+}
+
+impl fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiateError::Validation(e) => write!(f, "{e}"),
+            InstantiateError::MissingImport { module, name } => {
+                write!(f, "unresolved import {module}.{name}")
+            }
+            InstantiateError::UnsupportedImport(what) => {
+                write!(f, "unsupported import kind: {what}")
+            }
+            InstantiateError::TooManySandboxes => {
+                f.write_str("sandbox tags exhausted (15 per process, 1 in combined mode)")
+            }
+            InstantiateError::SegmentOutOfRange => {
+                f.write_str("active segment out of range")
+            }
+            InstantiateError::Start(t) => write!(f, "start function trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+impl From<ValidationError> for InstantiateError {
+    fn from(e: ValidationError) -> Self {
+        InstantiateError::Validation(e)
+    }
+}
+
+/// Handle to an instance within a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceHandle(pub(crate) usize);
+
+/// One instantiated module.
+pub(crate) struct Instance {
+    pub(crate) module: Module,
+    pub(crate) memory: Option<LinearMemory>,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) table: Vec<Option<u32>>,
+    pub(crate) host_funcs: Vec<Rc<RefCell<HostFunc>>>,
+    pub(crate) pac: PacSigner,
+    pub(crate) pac_modifier: u64,
+    pub(crate) cycles: f64,
+    pub(crate) instr_count: u64,
+}
+
+/// The engine store: configuration, cost model and instances.
+pub struct Store {
+    pub(crate) config: ExecConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) instances: Vec<Instance>,
+    rng: rand::rngs::StdRng,
+    next_sandbox_tag: u8,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("config", &self.config)
+            .field("instances", &self.instances.len())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Creates a store executing under `config`.
+    #[must_use]
+    pub fn new(config: ExecConfig) -> Self {
+        Store {
+            cost: CostModel::for_config(&config),
+            rng: rand::rngs::StdRng::seed_from_u64(config.seed),
+            next_sandbox_tag: 1,
+            config,
+            instances: Vec::new(),
+        }
+    }
+
+    /// The execution configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The cost model in force.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn tag_scheme(&mut self) -> Result<TagScheme, InstantiateError> {
+        let sandbox = self.config.bounds == BoundsCheckStrategy::MteSandbox;
+        let internal_mte = self.config.internal == InternalSafety::Mte;
+        let internal_sw = self.config.internal == InternalSafety::Software;
+        Ok(match (sandbox, internal_mte || internal_sw) {
+            (false, false) => TagScheme::None,
+            (false, true) => TagScheme::InternalOnly,
+            (true, false) => {
+                if self.next_sandbox_tag > 15 {
+                    if !self.config.sandbox_tag_reuse {
+                        return Err(InstantiateError::TooManySandboxes);
+                    }
+                    // Future-work mode (§6.4): wrap around. Instances with
+                    // equal tags live in disjoint address ranges separated
+                    // by guard pages, so the shared tag is unreachable
+                    // across sandboxes.
+                    self.next_sandbox_tag = 1;
+                }
+                let tag = Tag::new(self.next_sandbox_tag).expect("1..=15");
+                self.next_sandbox_tag += 1;
+                TagScheme::ExternalOnly { instance_tag: tag }
+            }
+            (true, true) => {
+                // Combined mode isolates a single instance (§6.4).
+                if self.instances.iter().any(|i| {
+                    i.memory
+                        .as_ref()
+                        .is_some_and(|m| m.scheme() == TagScheme::Combined)
+                }) {
+                    return Err(InstantiateError::TooManySandboxes);
+                }
+                TagScheme::Combined
+            }
+        })
+    }
+
+    /// Instantiates `module`, resolving its imports from `imports`.
+    ///
+    /// Validates, allocates and pre-tags the linear memory, initialises
+    /// table and data segments, generates the per-instance PAC key and
+    /// modifier, and runs the start function.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstantiateError`].
+    pub fn instantiate(
+        &mut self,
+        module: &Module,
+        imports: &Imports,
+    ) -> Result<InstanceHandle, InstantiateError> {
+        validate(module)?;
+
+        let mut host_funcs = Vec::new();
+        for import in &module.imports {
+            match &import.kind {
+                ImportKind::Func(_) => {
+                    let f = imports.resolve(&import.module, &import.name).ok_or_else(|| {
+                        InstantiateError::MissingImport {
+                            module: import.module.clone(),
+                            name: import.name.clone(),
+                        }
+                    })?;
+                    host_funcs.push(f);
+                }
+                other => {
+                    return Err(InstantiateError::UnsupportedImport(format!("{other:?}")))
+                }
+            }
+        }
+
+        let memory = match module.memory_type() {
+            Some(ty) => {
+                let scheme = if self.config.mte_active() {
+                    self.tag_scheme()?
+                } else {
+                    TagScheme::None
+                };
+                let mode = if self.config.mte_active() {
+                    self.config.mte_mode
+                } else {
+                    MteMode::Disabled
+                };
+                Some(LinearMemory::new(
+                    ty.limits.min,
+                    ty.limits.max,
+                    ty.memory64,
+                    scheme,
+                    mode,
+                    self.rng.gen(),
+                ))
+            }
+            None => None,
+        };
+
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| match g.init {
+                cage_wasm::Instr::I32Const(v) => Value::I32(v),
+                cage_wasm::Instr::I64Const(v) => Value::I64(v),
+                cage_wasm::Instr::F32Const(bits) => Value::F32(f32::from_bits(bits)),
+                cage_wasm::Instr::F64Const(bits) => Value::F64(f64::from_bits(bits)),
+                _ => unreachable!("validated global initialiser"),
+            })
+            .collect();
+
+        let table_size = module.tables.first().map_or(0, |t| t.limits.min) as usize;
+        let mut table = vec![None; table_size];
+        for elem in &module.elems {
+            let start = elem.offset as usize;
+            let end = start + elem.funcs.len();
+            if end > table.len() {
+                return Err(InstantiateError::SegmentOutOfRange);
+            }
+            for (i, f) in elem.funcs.iter().enumerate() {
+                table[start + i] = Some(*f);
+            }
+        }
+
+        let mut instance = Instance {
+            module: module.clone(),
+            memory,
+            globals,
+            table,
+            host_funcs,
+            // A fresh key per instance: leaked signed pointers are useless
+            // elsewhere (§4.2).
+            pac: PacSigner::new(
+                PacKey::generate(&mut self.rng),
+                if self.config.mte_active() {
+                    PointerLayout::MtePac
+                } else {
+                    PointerLayout::PacOnly
+                },
+                self.config.fpac,
+            ),
+            // PAC keys are per-process on hardware; co-resident instances
+            // are distinguished by a random modifier (§6.3).
+            pac_modifier: self.rng.gen(),
+            cycles: 0.0,
+            instr_count: 0,
+        };
+
+        for data in &module.data {
+            let mem = instance
+                .memory
+                .as_mut()
+                .expect("validated: data implies memory");
+            let end = data
+                .offset
+                .checked_add(data.bytes.len() as u64)
+                .ok_or(InstantiateError::SegmentOutOfRange)?;
+            if end > mem.size() {
+                return Err(InstantiateError::SegmentOutOfRange);
+            }
+            // Initialisation is performed by the runtime, outside the
+            // guest's checked path.
+            mem.write_resolved(data.offset, &data.bytes);
+        }
+
+        self.instances.push(instance);
+        let handle = InstanceHandle(self.instances.len() - 1);
+
+        if let Some(start) = module.start {
+            self.call(handle, start, &[]).map_err(InstantiateError::Start)?;
+        }
+        Ok(handle)
+    }
+
+    /// Invokes the export `name` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Traps from guest execution, or a host trap if the export is missing.
+    pub fn invoke(
+        &mut self,
+        handle: InstanceHandle,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        let func_idx = {
+            let inst = &self.instances[handle.0];
+            match inst.module.export(name).map(|e| e.kind) {
+                Some(cage_wasm::ExportKind::Func(i)) => i,
+                _ => return Err(Trap::Host(format!("no exported function \"{name}\""))),
+            }
+        };
+        self.call(handle, func_idx, args)
+    }
+
+    /// Calls a function by index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps, including deferred asynchronous MTE faults
+    /// surfaced at the call boundary.
+    pub fn call(
+        &mut self,
+        handle: InstanceHandle,
+        func_idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        let mut interp = Interp::new(self, handle.0);
+        let results = interp.call_function(func_idx, args)?;
+        // Surface deferred asynchronous tag faults, as the kernel does at
+        // context-switch time.
+        if let Some(mem) = self.instances[handle.0].memory.as_mut() {
+            if let Some(fault) = mem.take_async_fault() {
+                return Err(Trap::AsyncTagCheck(fault));
+            }
+        }
+        Ok(results)
+    }
+
+    /// Simulated cycles charged to `handle` so far.
+    #[must_use]
+    pub fn cycles(&self, handle: InstanceHandle) -> f64 {
+        self.instances[handle.0].cycles
+    }
+
+    /// Simulated milliseconds for `handle` on the configured core.
+    #[must_use]
+    pub fn simulated_ms(&self, handle: InstanceHandle) -> f64 {
+        self.cost.cycles_to_ms(self.cycles(handle))
+    }
+
+    /// Instructions retired by `handle`.
+    #[must_use]
+    pub fn instr_count(&self, handle: InstanceHandle) -> u64 {
+        self.instances[handle.0].instr_count
+    }
+
+    /// Resets the cycle/instruction counters of `handle` (between benchmark
+    /// phases).
+    pub fn reset_counters(&mut self, handle: InstanceHandle) {
+        let inst = &mut self.instances[handle.0];
+        inst.cycles = 0.0;
+        inst.instr_count = 0;
+    }
+
+    /// Read access to an instance's memory.
+    #[must_use]
+    pub fn memory(&self, handle: InstanceHandle) -> Option<&LinearMemory> {
+        self.instances[handle.0].memory.as_ref()
+    }
+
+    /// Mutable access to an instance's memory (embedder-side I/O).
+    pub fn memory_mut(&mut self, handle: InstanceHandle) -> Option<&mut LinearMemory> {
+        self.instances[handle.0].memory.as_mut()
+    }
+
+    /// Signs `ptr` with `handle`'s instance key — the runtime-side
+    /// operation backing `i64.pointer_sign` (exposed for tests and the
+    /// cross-instance experiments).
+    #[must_use]
+    pub fn sign_pointer(&self, handle: InstanceHandle, ptr: u64) -> u64 {
+        let inst = &self.instances[handle.0];
+        inst.pac.sign(ptr, inst.pac_modifier)
+    }
+
+    /// Authenticates `ptr` under `handle`'s instance key.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::PointerAuth`] when the signature does not verify.
+    pub fn auth_pointer(&self, handle: InstanceHandle, ptr: u64) -> Result<u64, Trap> {
+        let inst = &self.instances[handle.0];
+        Ok(inst.pac.auth(ptr, inst.pac_modifier)?)
+    }
+
+    /// Reads an exported global's current value.
+    #[must_use]
+    pub fn global(&self, handle: InstanceHandle, name: &str) -> Option<Value> {
+        let inst = &self.instances[handle.0];
+        match inst.module.export(name).map(|e| e.kind) {
+            Some(cage_wasm::ExportKind::Global(i)) => inst.globals.get(i as usize).copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of live instances.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cage_wasm::builder::ModuleBuilder;
+    use cage_wasm::{Instr, ValType};
+
+    fn add_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let f = b.add_function(
+            &[ValType::I64, ValType::I64],
+            &[ValType::I64],
+            &[],
+            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I64Add],
+        );
+        b.export_func("add", f);
+        b.build()
+    }
+
+    #[test]
+    fn instantiate_and_invoke() {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
+        let out = store.invoke(h, "add", &[Value::I64(40), Value::I64(2)]).unwrap();
+        assert_eq!(out, vec![Value::I64(42)]);
+        assert!(store.cycles(h) > 0.0);
+        assert!(store.instr_count(h) >= 3);
+    }
+
+    #[test]
+    fn missing_export_is_a_host_trap() {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
+        assert!(matches!(store.invoke(h, "nope", &[]), Err(Trap::Host(_))));
+    }
+
+    #[test]
+    fn missing_import_fails_instantiation() {
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "ghost", &[], &[]);
+        b.add_function(&[], &[], &[], vec![]);
+        let mut store = Store::new(ExecConfig::default());
+        let err = store.instantiate(&b.build(), &Imports::new()).unwrap_err();
+        assert!(matches!(err, InstantiateError::MissingImport { .. }));
+    }
+
+    #[test]
+    fn sandbox_tag_limit_is_15() {
+        let config = ExecConfig {
+            bounds: BoundsCheckStrategy::MteSandbox,
+            ..ExecConfig::default()
+        };
+        let mut store = Store::new(config);
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        let module = b.build();
+        for i in 0..15 {
+            store
+                .instantiate(&module, &Imports::new())
+                .unwrap_or_else(|e| panic!("instance {i}: {e}"));
+        }
+        let err = store.instantiate(&module, &Imports::new()).unwrap_err();
+        assert!(matches!(err, InstantiateError::TooManySandboxes));
+    }
+
+    #[test]
+    fn combined_mode_allows_a_single_instance() {
+        let config = ExecConfig {
+            bounds: BoundsCheckStrategy::MteSandbox,
+            internal: InternalSafety::Mte,
+            ..ExecConfig::default()
+        };
+        let mut store = Store::new(config);
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        let module = b.build();
+        store.instantiate(&module, &Imports::new()).unwrap();
+        assert!(matches!(
+            store.instantiate(&module, &Imports::new()),
+            Err(InstantiateError::TooManySandboxes)
+        ));
+    }
+
+    #[test]
+    fn data_segments_initialise_memory() {
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        b.add_data(64, vec![1, 2, 3]);
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&b.build(), &Imports::new()).unwrap();
+        let mem = store.memory(h).unwrap();
+        assert_eq!(mem.read_resolved(64, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn data_segment_out_of_range_rejected() {
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        b.add_data(cage_wasm::types::PAGE_SIZE - 1, vec![1, 2, 3]);
+        let mut store = Store::new(ExecConfig::default());
+        assert!(matches!(
+            store.instantiate(&b.build(), &Imports::new()),
+            Err(InstantiateError::SegmentOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn cross_instance_pointer_signatures_differ() {
+        // §4.2: each instance generates its own key, so a pointer signed in
+        // one instance fails authentication in another.
+        let config = ExecConfig {
+            pointer_auth: true,
+            ..ExecConfig::default()
+        };
+        let mut store = Store::new(config);
+        let m = add_module();
+        let a = store.instantiate(&m, &Imports::new()).unwrap();
+        let b = store.instantiate(&m, &Imports::new()).unwrap();
+        let signed = store.sign_pointer(a, 0x1000);
+        assert!(store.auth_pointer(a, signed).is_ok());
+        assert!(store.auth_pointer(b, signed).is_err());
+    }
+
+    #[test]
+    fn start_function_runs() {
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        let g = b.add_global(ValType::I64, true, Instr::I64Const(0));
+        let start = b.add_function(&[], &[], &[], vec![Instr::I64Const(99), Instr::GlobalSet(g)]);
+        let get = b.add_function(&[], &[ValType::I64], &[], vec![Instr::GlobalGet(g)]);
+        b.set_start(start);
+        b.export_func("get", get);
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&b.build(), &Imports::new()).unwrap();
+        assert_eq!(store.invoke(h, "get", &[]).unwrap(), vec![Value::I64(99)]);
+    }
+
+    #[test]
+    fn reset_counters_zeroes_accounting() {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
+        store.invoke(h, "add", &[Value::I64(1), Value::I64(2)]).unwrap();
+        assert!(store.cycles(h) > 0.0);
+        store.reset_counters(h);
+        assert_eq!(store.cycles(h), 0.0);
+        assert_eq!(store.instr_count(h), 0);
+    }
+}

@@ -1,0 +1,713 @@
+//! End-to-end execution semantics: whole modules through the interpreter.
+
+use cage_engine::{
+    BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value,
+};
+use cage_wasm::builder::ModuleBuilder;
+use cage_wasm::instr::{LoadOp, StoreOp};
+use cage_wasm::{BlockType, Instr, MemArg, Module, ValType};
+
+fn run1(module: &Module, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
+    let mut store = Store::new(ExecConfig::default());
+    let h = store.instantiate(module, &Imports::new()).unwrap();
+    store.invoke(h, name, args)
+}
+
+/// iterative factorial: tests loop + br_if + locals.
+#[test]
+fn factorial_loop() {
+    let mut b = ModuleBuilder::new();
+    // fn fact(n: i64) -> i64 { let mut acc = 1; while n > 1 { acc *= n; n -= 1 } acc }
+    let f = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[ValType::I64], // acc
+        vec![
+            Instr::I64Const(1),
+            Instr::LocalSet(1),
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Loop(
+                    BlockType::Empty,
+                    vec![
+                        // if n <= 1 break
+                        Instr::LocalGet(0),
+                        Instr::I64Const(1),
+                        Instr::I64LeS,
+                        Instr::BrIf(1),
+                        // acc *= n
+                        Instr::LocalGet(1),
+                        Instr::LocalGet(0),
+                        Instr::I64Mul,
+                        Instr::LocalSet(1),
+                        // n -= 1
+                        Instr::LocalGet(0),
+                        Instr::I64Const(1),
+                        Instr::I64Sub,
+                        Instr::LocalSet(0),
+                        Instr::Br(0),
+                    ],
+                )],
+            ),
+            Instr::LocalGet(1),
+        ],
+    );
+    b.export_func("fact", f);
+    let m = b.build();
+    cage_wasm::validate(&m).unwrap();
+    assert_eq!(run1(&m, "fact", &[Value::I64(10)]).unwrap(), vec![Value::I64(3_628_800)]);
+    assert_eq!(run1(&m, "fact", &[Value::I64(0)]).unwrap(), vec![Value::I64(1)]);
+}
+
+/// Recursive fibonacci: tests direct calls and the call-depth guard.
+#[test]
+fn fibonacci_recursion() {
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![], // patched below (needs own index)
+    );
+    b.set_body(
+        f,
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(2),
+            Instr::I64LtS,
+            Instr::If(
+                BlockType::Value(ValType::I64),
+                vec![Instr::LocalGet(0)],
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::I64Const(1),
+                    Instr::I64Sub,
+                    Instr::Call(f),
+                    Instr::LocalGet(0),
+                    Instr::I64Const(2),
+                    Instr::I64Sub,
+                    Instr::Call(f),
+                    Instr::I64Add,
+                ],
+            ),
+        ],
+    );
+    b.export_func("fib", f);
+    let m = b.build();
+    cage_wasm::validate(&m).unwrap();
+    assert_eq!(run1(&m, "fib", &[Value::I64(15)]).unwrap(), vec![Value::I64(610)]);
+}
+
+#[test]
+fn infinite_recursion_exhausts_call_stack() {
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(&[], &[], &[], vec![]);
+    b.set_body(f, vec![Instr::Call(f)]);
+    b.export_func("spin", f);
+    let m = b.build();
+    assert_eq!(run1(&m, "spin", &[]).unwrap_err(), Trap::CallStackExhausted);
+}
+
+#[test]
+fn br_table_dispatch() {
+    // switch (x) { 0 => 100, 1 => 200, default => 300 }
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(
+        &[ValType::I32],
+        &[ValType::I32],
+        &[],
+        vec![Instr::Block(
+            BlockType::Value(ValType::I32),
+            vec![Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Block(
+                        BlockType::Empty,
+                        vec![Instr::LocalGet(0), Instr::BrTable(vec![0, 1], 2)],
+                    ),
+                    Instr::I32Const(100),
+                    Instr::Br(2),
+                    ],
+                ),
+                Instr::I32Const(200),
+                Instr::Br(1),
+                ],
+            ),
+            Instr::I32Const(300),
+            ],
+        )],
+    );
+    b.export_func("switch", f);
+    let m = b.build();
+    cage_wasm::validate(&m).unwrap();
+    assert_eq!(run1(&m, "switch", &[Value::I32(0)]).unwrap(), vec![Value::I32(100)]);
+    assert_eq!(run1(&m, "switch", &[Value::I32(1)]).unwrap(), vec![Value::I32(200)]);
+    assert_eq!(run1(&m, "switch", &[Value::I32(9)]).unwrap(), vec![Value::I32(300)]);
+}
+
+#[test]
+fn division_traps() {
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(
+        &[ValType::I32, ValType::I32],
+        &[ValType::I32],
+        &[],
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32DivS],
+    );
+    b.export_func("div", f);
+    let m = b.build();
+    assert_eq!(
+        run1(&m, "div", &[Value::I32(7), Value::I32(0)]).unwrap_err(),
+        Trap::DivideByZero
+    );
+    assert_eq!(
+        run1(&m, "div", &[Value::I32(i32::MIN), Value::I32(-1)]).unwrap_err(),
+        Trap::IntegerOverflow
+    );
+    assert_eq!(
+        run1(&m, "div", &[Value::I32(-7), Value::I32(2)]).unwrap(),
+        vec![Value::I32(-3)]
+    );
+}
+
+#[test]
+fn trunc_traps_on_nan() {
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(
+        &[ValType::F64],
+        &[ValType::I32],
+        &[],
+        vec![Instr::LocalGet(0), Instr::I32TruncF64S],
+    );
+    b.export_func("t", f);
+    let m = b.build();
+    assert_eq!(
+        run1(&m, "t", &[Value::F64(f64::NAN)]).unwrap_err(),
+        Trap::InvalidConversion
+    );
+    assert_eq!(
+        run1(&m, "t", &[Value::F64(1e300)]).unwrap_err(),
+        Trap::IntegerOverflow
+    );
+    assert_eq!(run1(&m, "t", &[Value::F64(-3.9)]).unwrap(), vec![Value::I32(-3)]);
+}
+
+#[test]
+fn memory_load_store_roundtrip_wasm64() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let store_fn = b.add_function(
+        &[ValType::I64, ValType::F64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::Store(StoreOp::F64Store, MemArg::none()),
+        ],
+    );
+    let load_fn = b.add_function(
+        &[ValType::I64],
+        &[ValType::F64],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::Load(LoadOp::F64Load, MemArg::none()),
+        ],
+    );
+    b.export_func("set", store_fn);
+    b.export_func("get", load_fn);
+    let m = b.build();
+
+    let mut store = Store::new(ExecConfig::default());
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    store
+        .invoke(h, "set", &[Value::I64(1024), Value::F64(2.75)])
+        .unwrap();
+    assert_eq!(
+        store.invoke(h, "get", &[Value::I64(1024)]).unwrap(),
+        vec![Value::F64(2.75)]
+    );
+    // OOB traps.
+    let err = store
+        .invoke(h, "get", &[Value::I64(65_536)])
+        .unwrap_err();
+    assert!(matches!(err, Trap::OutOfBounds { .. }));
+}
+
+#[test]
+fn memory_grow_and_size() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory(cage_wasm::MemoryType {
+        limits: cage_wasm::Limits::bounded(1, 3),
+        memory64: true,
+    });
+    let grow = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::MemoryGrow],
+    );
+    let size = b.add_function(&[], &[ValType::I64], &[], vec![Instr::MemorySize]);
+    b.export_func("grow", grow);
+    b.export_func("size", size);
+    let m = b.build();
+    let mut store = Store::new(ExecConfig::default());
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    assert_eq!(store.invoke(h, "size", &[]).unwrap(), vec![Value::I64(1)]);
+    assert_eq!(store.invoke(h, "grow", &[Value::I64(2)]).unwrap(), vec![Value::I64(1)]);
+    assert_eq!(store.invoke(h, "size", &[]).unwrap(), vec![Value::I64(3)]);
+    // Past the max: -1.
+    assert_eq!(store.invoke(h, "grow", &[Value::I64(1)]).unwrap(), vec![Value::I64(-1)]);
+}
+
+fn indirect_module() -> (Module, u32, u32) {
+    let mut b = ModuleBuilder::new();
+    let double = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::LocalGet(0), Instr::I64Add],
+    );
+    let square = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::LocalGet(0), Instr::I64Mul],
+    );
+    let wrong_sig = b.add_function(&[], &[], &[], vec![]);
+    b.add_table(4);
+    b.add_elem(0, vec![double, square, wrong_sig]);
+    let ty = b.intern_type(cage_wasm::FuncType::new(&[ValType::I64], &[ValType::I64]));
+    let dispatch = b.add_function(
+        &[ValType::I32, ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(0),
+            Instr::CallIndirect(ty),
+        ],
+    );
+    b.export_func("dispatch", dispatch);
+    (b.build(), double, square)
+}
+
+#[test]
+fn call_indirect_dispatches_by_table_index() {
+    let (m, _, _) = indirect_module();
+    cage_wasm::validate(&m).unwrap();
+    assert_eq!(
+        run1(&m, "dispatch", &[Value::I32(0), Value::I64(21)]).unwrap(),
+        vec![Value::I64(42)]
+    );
+    assert_eq!(
+        run1(&m, "dispatch", &[Value::I32(1), Value::I64(6)]).unwrap(),
+        vec![Value::I64(36)]
+    );
+}
+
+#[test]
+fn call_indirect_traps() {
+    let (m, _, _) = indirect_module();
+    // Signature mismatch at index 2.
+    assert_eq!(
+        run1(&m, "dispatch", &[Value::I32(2), Value::I64(1)]).unwrap_err(),
+        Trap::IndirectCallTypeMismatch
+    );
+    // Uninitialised element at index 3.
+    assert_eq!(
+        run1(&m, "dispatch", &[Value::I32(3), Value::I64(1)]).unwrap_err(),
+        Trap::UndefinedElement
+    );
+    // Out of table bounds.
+    assert_eq!(
+        run1(&m, "dispatch", &[Value::I32(99), Value::I64(1)]).unwrap_err(),
+        Trap::UndefinedElement
+    );
+}
+
+#[test]
+fn pointer_sign_auth_roundtrip_in_guest() {
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::PointerSign, Instr::PointerAuth],
+    );
+    let forge = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::PointerAuth],
+    );
+    b.export_func("roundtrip", f);
+    b.export_func("forge", forge);
+    let m = b.build();
+
+    let config = ExecConfig {
+        pointer_auth: true,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    assert_eq!(
+        store.invoke(h, "roundtrip", &[Value::I64(0x4000)]).unwrap(),
+        vec![Value::I64(0x4000)]
+    );
+    // Authenticating an unsigned pointer traps (FPAC).
+    let err = store.invoke(h, "forge", &[Value::I64(0x4000)]).unwrap_err();
+    assert!(matches!(err, Trap::PointerAuth(_)));
+}
+
+#[test]
+fn pointer_auth_disabled_is_a_move() {
+    let mut b = ModuleBuilder::new();
+    let f = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::PointerAuth],
+    );
+    b.export_func("auth", f);
+    let m = b.build();
+    // Baseline config: auth is a no-op, nothing traps.
+    assert_eq!(
+        run1(&m, "auth", &[Value::I64(123)]).unwrap(),
+        vec![Value::I64(123)]
+    );
+}
+
+#[test]
+fn segments_detect_overflow_between_allocations() {
+    // Two adjacent segments; writing past the first through its tagged
+    // pointer traps — Fig. 2's spatial-safety picture as a wasm program.
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let alloc = b.add_function(
+        &[ValType::I64, ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::SegmentNew(0)],
+    );
+    let poke = b.add_function(
+        &[ValType::I64, ValType::I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::Store(StoreOp::I64Store8, MemArg::none()),
+        ],
+    );
+    b.export_func("alloc", alloc);
+    b.export_func("poke", poke);
+    let m = b.build();
+
+    let config = ExecConfig {
+        internal: InternalSafety::Mte,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    let p1 = store
+        .invoke(h, "alloc", &[Value::I64(0), Value::I64(32)])
+        .unwrap()[0];
+    let _p2 = store
+        .invoke(h, "alloc", &[Value::I64(32), Value::I64(32)])
+        .unwrap()[0];
+    // In-bounds write through p1 is fine.
+    store
+        .invoke(h, "poke", &[p1, Value::I64(7)])
+        .unwrap();
+    // Off-by-32 (into the second segment) through p1's tag: caught.
+    let p1_past = Value::I64(p1.as_i64() + 32);
+    let err = store.invoke(h, "poke", &[p1_past, Value::I64(7)]).unwrap_err();
+    assert!(err.is_memory_safety_violation(), "{err}");
+}
+
+#[test]
+fn segment_instructions_inert_on_baseline() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(
+        &[],
+        &[ValType::I64],
+        &[],
+        vec![
+            Instr::I64Const(64),
+            Instr::I64Const(32),
+            Instr::SegmentNew(0),
+        ],
+    );
+    b.export_func("new", f);
+    let m = b.build();
+    // Baseline: pointer passes through untagged.
+    assert_eq!(run1(&m, "new", &[]).unwrap(), vec![Value::I64(64)]);
+}
+
+#[test]
+fn mte_sandbox_runs_normal_code_and_catches_oob() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let touch = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(1),
+            Instr::Store(StoreOp::I64Store8, MemArg::none()),
+            Instr::LocalGet(0),
+            Instr::Load(LoadOp::I64Load8U, MemArg::none()),
+        ],
+    );
+    b.export_func("touch", touch);
+    let m = b.build();
+
+    let config = ExecConfig {
+        bounds: BoundsCheckStrategy::MteSandbox,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    assert_eq!(
+        store.invoke(h, "touch", &[Value::I64(100)]).unwrap(),
+        vec![Value::I64(1)]
+    );
+    let err = store
+        .invoke(h, "touch", &[Value::I64(65_536 + 128)])
+        .unwrap_err();
+    assert!(matches!(err, Trap::TagCheck(_)), "{err}");
+}
+
+#[test]
+fn cycle_accounting_is_deterministic() {
+    let (m, _, _) = indirect_module();
+    let run = || {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&m, &Imports::new()).unwrap();
+        store
+            .invoke(h, "dispatch", &[Value::I32(1), Value::I64(9)])
+            .unwrap();
+        (store.cycles(h), store.instr_count(h))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn host_function_call_and_memory_access() {
+    let mut b = ModuleBuilder::new();
+    let log = b.import_func("env", "accumulate", &[ValType::I64], &[ValType::I64]);
+    b.add_memory64(1);
+    let f = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::Call(log)],
+    );
+    b.export_func("run", f);
+    let m = b.build();
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let seen: Rc<RefCell<Vec<i64>>> = Rc::new(RefCell::new(Vec::new()));
+    let seen2 = seen.clone();
+    let mut imports = Imports::new();
+    imports.define(
+        "env",
+        "accumulate",
+        cage_engine::host::HostFunc::new(&[ValType::I64], &[ValType::I64], move |ctx, args| {
+            seen2.borrow_mut().push(args[0].as_i64());
+            // The host can read/write guest memory through checks.
+            ctx.write_bytes(8, &[0xAB])?;
+            Ok(vec![Value::I64(args[0].as_i64() * 2)])
+        }),
+    );
+    let mut store = Store::new(ExecConfig::default());
+    let h = store.instantiate(&m, &imports).unwrap();
+    assert_eq!(store.invoke(h, "run", &[Value::I64(5)]).unwrap(), vec![Value::I64(10)]);
+    assert_eq!(*seen.borrow(), vec![5]);
+    assert_eq!(store.memory(h).unwrap().read_resolved(8, 1), &[0xAB]);
+}
+
+#[test]
+fn tag_reuse_extension_allows_more_than_fifteen_sandboxes() {
+    // The §6.4 future-work mode: beyond 15 instances, sandbox tags wrap.
+    // Isolation still holds because per-instance memories are disjoint and
+    // out-of-bounds accesses land in zero-tagged runtime slack.
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let touch = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(9),
+            Instr::Store(StoreOp::I64Store8, MemArg::none()),
+            Instr::LocalGet(0),
+            Instr::Load(LoadOp::I64Load8U, MemArg::none()),
+        ],
+    );
+    b.export_func("touch", touch);
+    let m = b.build();
+
+    let config = ExecConfig {
+        bounds: BoundsCheckStrategy::MteSandbox,
+        sandbox_tag_reuse: true,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let mut handles = Vec::new();
+    for i in 0..40 {
+        let h = store
+            .instantiate(&m, &Imports::new())
+            .unwrap_or_else(|e| panic!("instance {i}: {e}"));
+        handles.push(h);
+    }
+    // Every instance works, and every instance's escapes are still caught.
+    for &h in &handles {
+        assert_eq!(
+            store.invoke(h, "touch", &[Value::I64(64)]).unwrap(),
+            vec![Value::I64(9)]
+        );
+        let err = store
+            .invoke(h, "touch", &[Value::I64(65_536 + 32)])
+            .unwrap_err();
+        assert!(matches!(err, Trap::TagCheck(_)), "{err}");
+    }
+    // Without the extension the 16th instantiation fails.
+    let strict = ExecConfig {
+        bounds: BoundsCheckStrategy::MteSandbox,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(strict);
+    for _ in 0..15 {
+        store.instantiate(&m, &Imports::new()).unwrap();
+    }
+    assert!(store.instantiate(&m, &Imports::new()).is_err());
+}
+
+#[test]
+fn async_mode_defers_guest_fault_to_call_boundary() {
+    // §2.3 asynchronous mode: the faulting store completes; the fault
+    // surfaces at the next check point (our call boundary, standing in for
+    // the kernel's context switch).
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(
+        &[],
+        &[ValType::I64],
+        &[],
+        vec![
+            // Create a segment over [0,32), then store through an
+            // untagged pointer (tag mismatch).
+            Instr::I64Const(0),
+            Instr::I64Const(32),
+            Instr::SegmentNew(0),
+            Instr::Drop,
+            Instr::I64Const(0),
+            Instr::I64Const(77),
+            Instr::Store(StoreOp::I64Store, MemArg::none()),
+            // The store completed; keep computing.
+            Instr::I64Const(1),
+        ],
+    );
+    b.export_func("f", f);
+    let m = b.build();
+
+    let config = ExecConfig {
+        internal: InternalSafety::Mte,
+        mte_mode: cage_mte::MteMode::Asynchronous,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    let err = store.invoke(h, "f", &[]).unwrap_err();
+    assert!(matches!(err, Trap::AsyncTagCheck(_)), "{err}");
+    // The write took effect before detection — async's weaker guarantee.
+    let mem = store.memory(h).unwrap();
+    assert_eq!(mem.read_resolved(0, 1)[0], 77);
+
+    // Synchronous mode: the same program faults before the store lands.
+    let config = ExecConfig {
+        internal: InternalSafety::Mte,
+        mte_mode: cage_mte::MteMode::Synchronous,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    let err = store.invoke(h, "f", &[]).unwrap_err();
+    assert!(matches!(err, Trap::TagCheck(_)), "{err}");
+    assert_eq!(store.memory(h).unwrap().read_resolved(0, 1)[0], 0);
+}
+
+#[test]
+fn bulk_memory_fill_and_copy() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(
+        &[],
+        &[ValType::I64],
+        &[],
+        vec![
+            // fill [64, 96) with 0xAB
+            Instr::I64Const(64),
+            Instr::I32Const(0xAB),
+            Instr::I64Const(32),
+            Instr::MemoryFill,
+            // copy [64,96) -> [256,288)
+            Instr::I64Const(256),
+            Instr::I64Const(64),
+            Instr::I64Const(32),
+            Instr::MemoryCopy,
+            // read back one byte
+            Instr::I64Const(287),
+            Instr::Load(LoadOp::I64Load8U, MemArg::none()),
+        ],
+    );
+    b.export_func("f", f);
+    let m = b.build();
+    assert_eq!(run1(&m, "f", &[]).unwrap(), vec![Value::I64(0xAB)]);
+}
+
+#[test]
+fn bulk_ops_respect_tag_checks() {
+    // memory.fill across a segment boundary must trap under MTE.
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(
+        &[ValType::I64],
+        &[],
+        &[ValType::I64],
+        vec![
+            Instr::I64Const(64),
+            Instr::I64Const(32),
+            Instr::SegmentNew(0),
+            Instr::LocalSet(1),
+            // fill len bytes from the tagged pointer
+            Instr::LocalGet(1),
+            Instr::I32Const(7),
+            Instr::LocalGet(0),
+            Instr::MemoryFill,
+        ],
+    );
+    b.export_func("f", f);
+    let m = b.build();
+    let config = ExecConfig {
+        internal: InternalSafety::Mte,
+        ..ExecConfig::default()
+    };
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    // Within the segment: ok.
+    store.invoke(h, "f", &[Value::I64(32)]).unwrap();
+    // Past it: trap.
+    let mut store = Store::new(config);
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    let err = store.invoke(h, "f", &[Value::I64(48)]).unwrap_err();
+    assert!(matches!(err, Trap::TagCheck(_)), "{err}");
+}

@@ -1,0 +1,366 @@
+//! Alloca analyses backing Algorithm 1: escape analysis and
+//! statically-unverifiable-GEP detection.
+//!
+//! The paper instruments a stack allocation when it (i) escapes the
+//! function or (ii) is addressed through a GEP the compiler cannot verify
+//! statically; everything else keeps its zero-cost untagged slot (§4.2
+//! "Cage omits the instrumentation of stack allocations that (i) do not
+//! escape the function or (ii) are only accessed using statically
+//! verifiable indices").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::instr::{Expr, Operand, Stmt};
+use crate::module::{AllocaId, IrFunction, ValueId};
+
+/// Per-alloca analysis results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocaAnalysis {
+    /// `escapes[i]`: the address of alloca `i` leaves the function.
+    pub escapes: Vec<bool>,
+    /// `unsafe_gep[i]`: alloca `i` is addressed with an index that cannot
+    /// be verified statically.
+    pub unsafe_gep: Vec<bool>,
+}
+
+impl AllocaAnalysis {
+    /// Whether Algorithm 1 instruments alloca `id`.
+    #[must_use]
+    pub fn needs_instrumentation(&self, id: AllocaId) -> bool {
+        self.escapes[id.0 as usize] || self.unsafe_gep[id.0 as usize]
+    }
+}
+
+type Derived = BTreeMap<ValueId, BTreeSet<AllocaId>>;
+
+fn operand_derived(derived: &Derived, op: &Operand) -> BTreeSet<AllocaId> {
+    match op.as_value() {
+        Some(v) => derived.get(&v).cloned().unwrap_or_default(),
+        None => BTreeSet::new(),
+    }
+}
+
+/// Runs the alloca analyses on `func`.
+#[must_use]
+pub fn analyze_allocas(func: &IrFunction) -> AllocaAnalysis {
+    let n = func.allocas.len();
+    let mut escapes = vec![false; n];
+    let mut unsafe_gep = vec![false; n];
+    let mut derived: Derived = BTreeMap::new();
+
+    // Fixpoint: register reassignment and loops can propagate pointer
+    // derivations in either direction.
+    loop {
+        let mut changed = false;
+        crate::instr::visit_stmts(&func.body, &mut |stmt| {
+            if let Stmt::Assign { dst, expr } = stmt {
+                let new: BTreeSet<AllocaId> = match expr {
+                    Expr::AllocaAddr(id) => std::iter::once(*id).collect(),
+                    Expr::Use(op) | Expr::PointerSign(op) | Expr::PointerAuth(op) => {
+                        operand_derived(&derived, op)
+                    }
+                    Expr::Cast { operand, .. } | Expr::UnOp { operand, .. } => {
+                        operand_derived(&derived, operand)
+                    }
+                    Expr::BinOp { lhs, rhs, .. } => {
+                        let mut s = operand_derived(&derived, lhs);
+                        s.extend(operand_derived(&derived, rhs));
+                        s
+                    }
+                    Expr::Gep { base, .. } => operand_derived(&derived, base),
+                    Expr::SegmentNew { addr, .. }
+                    | Expr::TagIncrement { addr, .. } => operand_derived(&derived, addr),
+                    // Loads and call results are not tracked: the flows
+                    // that put an alloca pointer behind them already
+                    // marked the alloca as escaping.
+                    Expr::Load { .. }
+                    | Expr::Call { .. }
+                    | Expr::CallIndirect { .. }
+                    | Expr::FuncAddr(_)
+                    | Expr::GlobalAddr(_) => BTreeSet::new(),
+                };
+                let entry = derived.entry(*dst).or_default();
+                let before = entry.len();
+                entry.extend(new);
+                if entry.len() != before {
+                    changed = true;
+                }
+            }
+        });
+        if !changed {
+            break;
+        }
+    }
+
+    // Escape and unsafe-GEP detection.
+    crate::instr::visit_stmts(&func.body, &mut |stmt| {
+        let mut mark_escape = |op: &Operand| {
+            for id in operand_derived(&derived, op) {
+                escapes[id.0 as usize] = true;
+            }
+        };
+        match stmt {
+            // Storing a derived pointer *as a value* publishes it.
+            Stmt::Store { value, .. } => mark_escape(value),
+            Stmt::Return(Some(op)) => mark_escape(op),
+            Stmt::Assign { expr, .. } | Stmt::Perform(expr) => match expr {
+                Expr::Call { args, .. } => args.iter().for_each(&mut mark_escape),
+                Expr::CallIndirect { target, args, .. } => {
+                    mark_escape(target);
+                    args.iter().for_each(&mut mark_escape);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    });
+
+    // Unsafe GEPs and out-of-range constant accesses. Collect offending
+    // allocas first to keep the borrow simple.
+    let mut flagged: BTreeSet<AllocaId> = BTreeSet::new();
+    fn check_access(
+        func: &IrFunction,
+        derived: &Derived,
+        flagged: &mut BTreeSet<AllocaId>,
+        addr: &Operand,
+        offset: u64,
+        width: u64,
+    ) {
+        for id in operand_derived(derived, addr) {
+            let size = func.allocas[id.0 as usize].size;
+            if offset + width > size {
+                flagged.insert(id);
+            }
+        }
+    }
+    crate::instr::visit_stmts(&func.body, &mut |stmt| {
+        match stmt {
+            Stmt::Assign { expr, .. } | Stmt::Perform(expr) => {
+                if let Expr::Gep {
+                    base,
+                    index,
+                    scale,
+                    offset,
+                } = expr
+                {
+                    for id in operand_derived(&derived, base) {
+                        let size = func.allocas[id.0 as usize].size;
+                        match index.as_const_int() {
+                            // Statically verifiable index: in range?
+                            Some(k) => {
+                                let k_ok = k >= 0
+                                    && (k as u64)
+                                        .checked_mul(*scale)
+                                        .and_then(|b| b.checked_add(*offset))
+                                        .is_some_and(|end| end < size.max(1));
+                                if !k_ok {
+                                    flagged.insert(id);
+                                }
+                            }
+                            // Dynamic index: not statically verifiable.
+                            None => {
+                                flagged.insert(id);
+                            }
+                        }
+                    }
+                }
+                if let Expr::Load { ty, addr, offset } = expr {
+                    check_access(func, &derived, &mut flagged, addr, *offset, ty.width());
+                }
+            }
+            Stmt::Store {
+                ty, addr, offset, ..
+            } => check_access(func, &derived, &mut flagged, addr, *offset, ty.width()),
+            _ => {}
+        }
+    });
+    for id in flagged {
+        unsafe_gep[id.0 as usize] = true;
+    }
+
+    AllocaAnalysis {
+        escapes,
+        unsafe_gep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, Callee, MemTy};
+    use crate::types::IrType;
+
+    #[test]
+    fn local_scalar_does_not_escape() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(8, "x");
+        let p = b.alloca_addr(a);
+        b.store(MemTy::I64, p, 0, Operand::ConstI64(1));
+        let _ = b.load(MemTy::I64, p, 0);
+        b.stmt(Stmt::Return(None));
+        let f = b.finish();
+        let analysis = analyze_allocas(&f);
+        assert!(!analysis.escapes[0]);
+        assert!(!analysis.unsafe_gep[0]);
+        assert!(!analysis.needs_instrumentation(AllocaId(0)));
+    }
+
+    #[test]
+    fn address_passed_to_call_escapes() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(16, "buf");
+        let p = b.alloca_addr(a);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![p],
+        }));
+        let f = b.finish();
+        assert!(analyze_allocas(&f).escapes[0]);
+    }
+
+    #[test]
+    fn returned_address_escapes() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::Ptr));
+        let a = b.alloca(16, "buf");
+        let p = b.alloca_addr(a);
+        b.stmt(Stmt::Return(Some(p)));
+        let f = b.finish();
+        assert!(analyze_allocas(&f).escapes[0]);
+    }
+
+    #[test]
+    fn address_stored_to_memory_escapes() {
+        let mut b = FunctionBuilder::new("f", &[IrType::Ptr], None);
+        let a = b.alloca(16, "buf");
+        let p = b.alloca_addr(a);
+        b.store(MemTy::I64, b.param(0), 0, p);
+        let f = b.finish();
+        assert!(analyze_allocas(&f).escapes[0]);
+    }
+
+    #[test]
+    fn escape_propagates_through_gep_and_binop() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(32, "buf");
+        let p = b.alloca_addr(a);
+        let q = b.assign(
+            IrType::Ptr,
+            Expr::Gep {
+                base: p,
+                index: Operand::ConstI64(1),
+                scale: 8,
+                offset: 0,
+            },
+        );
+        let r = b.binop(BinOp::Add, IrType::I64, q, Operand::ConstI64(8));
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![r],
+        }));
+        let f = b.finish();
+        assert!(analyze_allocas(&f).escapes[0]);
+    }
+
+    #[test]
+    fn dynamic_index_is_unsafe() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], None);
+        let a = b.alloca(32, "buf");
+        let p = b.alloca_addr(a);
+        let addr = b.assign(
+            IrType::Ptr,
+            Expr::Gep {
+                base: p,
+                index: b.param(0),
+                scale: 8,
+                offset: 0,
+            },
+        );
+        b.store(MemTy::I64, addr, 0, Operand::ConstI64(1));
+        let f = b.finish();
+        let analysis = analyze_allocas(&f);
+        assert!(!analysis.escapes[0]);
+        assert!(analysis.unsafe_gep[0]);
+        assert!(analysis.needs_instrumentation(AllocaId(0)));
+    }
+
+    #[test]
+    fn constant_in_range_index_is_safe() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(32, "buf");
+        let p = b.alloca_addr(a);
+        let addr = b.assign(
+            IrType::Ptr,
+            Expr::Gep {
+                base: p,
+                index: Operand::ConstI64(3),
+                scale: 8,
+                offset: 0,
+            },
+        );
+        b.store(MemTy::I64, addr, 0, Operand::ConstI64(1));
+        let f = b.finish();
+        assert!(!analyze_allocas(&f).unsafe_gep[0]);
+    }
+
+    #[test]
+    fn constant_out_of_range_index_is_unsafe() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(32, "buf");
+        let p = b.alloca_addr(a);
+        let _ = b.assign(
+            IrType::Ptr,
+            Expr::Gep {
+                base: p,
+                index: Operand::ConstI64(4), // element 4 of a 4-element buffer
+                scale: 8,
+                offset: 0,
+            },
+        );
+        let f = b.finish();
+        assert!(analyze_allocas(&f).unsafe_gep[0]);
+    }
+
+    #[test]
+    fn oob_direct_load_is_unsafe() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(8, "x");
+        let p = b.alloca_addr(a);
+        let _ = b.load(MemTy::I64, p, 8); // bytes 8..16 of an 8-byte slot
+        let f = b.finish();
+        assert!(analyze_allocas(&f).unsafe_gep[0]);
+    }
+
+    #[test]
+    fn derivation_flows_through_loops() {
+        // p is rebound inside a loop to a GEP of itself; the call in the
+        // loop body must still mark the alloca escaping.
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(64, "buf");
+        let p0 = b.alloca_addr(a);
+        let p = b.copy(IrType::Ptr, p0);
+        b.push_block();
+        let next = b.assign(
+            IrType::Ptr,
+            Expr::Gep {
+                base: Operand::Value(p),
+                index: Operand::ConstI64(1),
+                scale: 8,
+                offset: 0,
+            },
+        );
+        b.reassign(p, Expr::Use(next));
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![Operand::Value(p)],
+        }));
+        let body = b.pop_block();
+        b.stmt(Stmt::While {
+            header: vec![],
+            cond: Operand::ConstI32(1),
+            body,
+        });
+        let f = b.finish();
+        assert!(analyze_allocas(&f).escapes[0]);
+    }
+}

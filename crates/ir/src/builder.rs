@@ -1,0 +1,200 @@
+//! Convenience builder for IR functions, used by the `cage-cc` frontend
+//! and by tests.
+
+use crate::instr::{BinOp, Expr, MemTy, Operand, Stmt, UnOp};
+use crate::module::{Alloca, AllocaId, IrFunction, ValueId};
+use crate::types::IrType;
+
+/// Builds one [`IrFunction`] with a stack of open blocks for structured
+/// control flow.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: IrFunction,
+    blocks: Vec<Vec<Stmt>>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function; parameters become registers `0..params.len()`.
+    #[must_use]
+    pub fn new(name: &str, params: &[IrType], ret: Option<IrType>) -> Self {
+        FunctionBuilder {
+            func: IrFunction {
+                name: name.to_string(),
+                params: params.to_vec(),
+                ret,
+                allocas: Vec::new(),
+                value_types: params.to_vec(),
+                body: Vec::new(),
+                exported: false,
+            },
+            blocks: vec![Vec::new()],
+        }
+    }
+
+    /// Marks the function exported.
+    pub fn set_exported(&mut self, exported: bool) {
+        self.func.exported = exported;
+    }
+
+    /// The parameter register `i`.
+    #[must_use]
+    pub fn param(&self, i: usize) -> Operand {
+        assert!(i < self.func.params.len(), "parameter out of range");
+        Operand::Value(ValueId(i as u32))
+    }
+
+    /// Declares a stack allocation of `size` bytes.
+    pub fn alloca(&mut self, size: u64, name: &str) -> AllocaId {
+        self.func.allocas.push(Alloca {
+            size,
+            name: name.to_string(),
+            instrument: false,
+            is_guard: false,
+        });
+        AllocaId((self.func.allocas.len() - 1) as u32)
+    }
+
+    /// Appends a raw statement to the current block.
+    pub fn stmt(&mut self, stmt: Stmt) {
+        self.blocks.last_mut().expect("open block").push(stmt);
+    }
+
+    /// Evaluates `expr` into a fresh register of type `ty`.
+    pub fn assign(&mut self, ty: IrType, expr: Expr) -> Operand {
+        let dst = self.func.new_value(ty);
+        self.stmt(Stmt::Assign { dst, expr });
+        Operand::Value(dst)
+    }
+
+    /// Copies `src` into a fresh mutable register (for C variables).
+    pub fn copy(&mut self, ty: IrType, src: Operand) -> ValueId {
+        let dst = self.func.new_value(ty);
+        self.stmt(Stmt::Assign {
+            dst,
+            expr: Expr::Use(src),
+        });
+        dst
+    }
+
+    /// Reassigns an existing register.
+    pub fn reassign(&mut self, dst: ValueId, expr: Expr) {
+        self.stmt(Stmt::Assign { dst, expr });
+    }
+
+    /// Emits a binary operation.
+    pub fn binop(&mut self, op: BinOp, ty: IrType, lhs: Operand, rhs: Operand) -> Operand {
+        let result_ty = if op.is_comparison() { IrType::I32 } else { ty };
+        self.assign(result_ty, Expr::BinOp { op, ty, lhs, rhs })
+    }
+
+    /// Emits a unary operation.
+    pub fn unop(&mut self, op: UnOp, ty: IrType, operand: Operand) -> Operand {
+        let result_ty = if op == UnOp::Not { IrType::I32 } else { ty };
+        self.assign(result_ty, Expr::UnOp { op, ty, operand })
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, ty: MemTy, addr: Operand, offset: u64) -> Operand {
+        self.assign(ty.value_type(), Expr::Load { ty, addr, offset })
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, ty: MemTy, addr: Operand, offset: u64, value: Operand) {
+        self.stmt(Stmt::Store {
+            ty,
+            addr,
+            offset,
+            value,
+        });
+    }
+
+    /// Takes the address of alloca `id`.
+    pub fn alloca_addr(&mut self, id: AllocaId) -> Operand {
+        self.assign(IrType::Ptr, Expr::AllocaAddr(id))
+    }
+
+    /// Opens a nested block (then/else/loop bodies).
+    pub fn push_block(&mut self) {
+        self.blocks.push(Vec::new());
+    }
+
+    /// Closes the innermost nested block and returns its statements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when only the root block remains.
+    pub fn pop_block(&mut self) -> Vec<Stmt> {
+        assert!(self.blocks.len() > 1, "cannot pop the root block");
+        self.blocks.pop().expect("non-empty")
+    }
+
+    /// Fresh register of type `ty` without an initialiser.
+    pub fn fresh(&mut self, ty: IrType) -> ValueId {
+        self.func.new_value(ty)
+    }
+
+    /// Read access to the function under construction.
+    #[must_use]
+    pub fn func(&self) -> &IrFunction {
+        &self.func
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nested blocks are still open.
+    #[must_use]
+    pub fn finish(mut self) -> IrFunction {
+        assert_eq!(self.blocks.len(), 1, "unclosed nested blocks");
+        self.func.body = self.blocks.pop().expect("root block");
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_function() {
+        // f(a, b) = a + b
+        let mut b = FunctionBuilder::new("add", &[IrType::I64, IrType::I64], Some(IrType::I64));
+        let sum = b.binop(BinOp::Add, IrType::I64, b.param(0), b.param(1));
+        b.stmt(Stmt::Return(Some(sum)));
+        let f = b.finish();
+        assert_eq!(f.body.len(), 2);
+        assert_eq!(f.value_types.len(), 3);
+    }
+
+    #[test]
+    fn comparison_result_is_i32() {
+        let mut b = FunctionBuilder::new("c", &[IrType::I64], Some(IrType::I32));
+        let r = b.binop(BinOp::LtS, IrType::I64, b.param(0), Operand::ConstI64(0));
+        let v = r.as_value().unwrap();
+        assert_eq!(b.func().value_type(v), IrType::I32);
+    }
+
+    #[test]
+    fn nested_blocks_roundtrip() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.push_block();
+        b.stmt(Stmt::Return(None));
+        let then = b.pop_block();
+        b.stmt(Stmt::If {
+            cond: Operand::ConstI32(1),
+            then,
+            els: vec![],
+        });
+        let f = b.finish();
+        assert!(matches!(&f.body[0], Stmt::If { then, .. } if then.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed nested blocks")]
+    fn unclosed_block_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.push_block();
+        let _ = b.finish();
+    }
+}

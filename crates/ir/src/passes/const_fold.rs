@@ -1,0 +1,264 @@
+//! Constant folding and algebraic simplification.
+
+use crate::instr::{BinOp, Expr, Operand, Stmt, UnOp};
+use crate::module::IrFunction;
+use crate::types::IrType;
+
+/// Runs constant folding over `func`.
+pub fn run(func: &mut IrFunction) {
+    crate::instr::visit_stmts_mut(&mut func.body, &mut |stmt| {
+        if let Stmt::Assign { expr, .. } = stmt {
+            if let Some(folded) = fold(expr) {
+                *expr = folded;
+            }
+        }
+    });
+}
+
+fn fold(expr: &Expr) -> Option<Expr> {
+    match expr {
+        Expr::BinOp { op, ty, lhs, rhs } => fold_binop(*op, *ty, lhs, rhs),
+        Expr::UnOp { op, ty, operand } => fold_unop(*op, *ty, operand),
+        _ => None,
+    }
+}
+
+fn fold_binop(op: BinOp, ty: IrType, lhs: &Operand, rhs: &Operand) -> Option<Expr> {
+    // Integer constant folding.
+    if let (Some(a), Some(b)) = (lhs.as_const_int(), rhs.as_const_int()) {
+        if ty != IrType::F64 {
+            let v = eval_int(op, a, b)?;
+            return Some(Expr::Use(match ty {
+                IrType::I32 => Operand::ConstI32(v as i32),
+                _ if op.is_comparison() => Operand::ConstI32(v as i32),
+                _ => Operand::ConstI64(v),
+            }));
+        }
+    }
+    // Float constant folding for the arithmetic ops.
+    if let (Operand::ConstF64(a), Operand::ConstF64(b)) = (lhs, rhs) {
+        let v = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::DivS => a / b,
+            _ => return None,
+        };
+        return Some(Expr::Use(Operand::ConstF64(v)));
+    }
+    // Algebraic identities (integer only; float identities are unsound
+    // under NaN/signed zero).
+    if ty != IrType::F64 {
+        match (op, rhs.as_const_int()) {
+            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::ShrS
+            | BinOp::ShrU, Some(0)) => {
+                return Some(Expr::Use(*lhs));
+            }
+            (BinOp::Mul, Some(1)) | (BinOp::DivS | BinOp::DivU, Some(1)) => {
+                return Some(Expr::Use(*lhs));
+            }
+            (BinOp::Mul | BinOp::And, Some(0)) => {
+                return Some(Expr::Use(match ty {
+                    IrType::I32 => Operand::ConstI32(0),
+                    _ => Operand::ConstI64(0),
+                }));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn eval_int(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::DivS => {
+            if b == 0 {
+                return None; // leave the trap to runtime
+            }
+            a.checked_div(b)?
+        }
+        BinOp::DivU => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::RemS => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::RemU => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::ShrS => a.wrapping_shr(b as u32),
+        BinOp::ShrU => ((a as u64).wrapping_shr(b as u32)) as i64,
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::LtS => i64::from(a < b),
+        BinOp::LtU => i64::from((a as u64) < b as u64),
+        BinOp::LeS => i64::from(a <= b),
+        BinOp::LeU => i64::from((a as u64) <= b as u64),
+        BinOp::GtS => i64::from(a > b),
+        BinOp::GtU => i64::from(a as u64 > b as u64),
+        BinOp::GeS => i64::from(a >= b),
+        BinOp::GeU => i64::from(a as u64 >= b as u64),
+    })
+}
+
+fn fold_unop(op: UnOp, ty: IrType, operand: &Operand) -> Option<Expr> {
+    if let Some(a) = operand.as_const_int() {
+        if ty != IrType::F64 {
+            let v = match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => i64::from(a == 0),
+                UnOp::BitNot => !a,
+                _ => return None,
+            };
+            return Some(Expr::Use(match ty {
+                IrType::I32 => Operand::ConstI32(v as i32),
+                _ if op == UnOp::Not => Operand::ConstI32(v as i32),
+                _ => Operand::ConstI64(v),
+            }));
+        }
+    }
+    if let Operand::ConstF64(a) = operand {
+        let v = match op {
+            UnOp::Neg => -a,
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Fabs => a.abs(),
+            _ => return None,
+        };
+        return Some(Expr::Use(Operand::ConstF64(v)));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::ValueId;
+
+    fn fold_one(expr: Expr, ty: IrType) -> Expr {
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], None);
+        b.assign(ty, expr);
+        let mut f = b.finish();
+        run(&mut f);
+        match &f.body[0] {
+            Stmt::Assign { expr, .. } => expr.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        let e = fold_one(
+            Expr::BinOp {
+                op: BinOp::Add,
+                ty: IrType::I64,
+                lhs: Operand::ConstI64(40),
+                rhs: Operand::ConstI64(2),
+            },
+            IrType::I64,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI64(42)));
+    }
+
+    #[test]
+    fn folds_comparisons_to_i32() {
+        let e = fold_one(
+            Expr::BinOp {
+                op: BinOp::LtS,
+                ty: IrType::I64,
+                lhs: Operand::ConstI64(1),
+                rhs: Operand::ConstI64(2),
+            },
+            IrType::I32,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI32(1)));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let orig = Expr::BinOp {
+            op: BinOp::DivS,
+            ty: IrType::I64,
+            lhs: Operand::ConstI64(1),
+            rhs: Operand::ConstI64(0),
+        };
+        assert_eq!(fold_one(orig.clone(), IrType::I64), orig);
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let x = Operand::Value(ValueId(0));
+        let e = fold_one(
+            Expr::BinOp {
+                op: BinOp::Add,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(0),
+            },
+            IrType::I64,
+        );
+        assert_eq!(e, Expr::Use(x));
+        let e = fold_one(
+            Expr::BinOp {
+                op: BinOp::Mul,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(0),
+            },
+            IrType::I64,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI64(0)));
+    }
+
+    #[test]
+    fn float_identities_not_applied() {
+        // x + 0.0 is not a no-op for -0.0; must stay.
+        let x = Operand::Value(ValueId(0));
+        let orig = Expr::BinOp {
+            op: BinOp::Add,
+            ty: IrType::F64,
+            lhs: x,
+            rhs: Operand::ConstF64(0.0),
+        };
+        assert_eq!(fold_one(orig.clone(), IrType::F64), orig);
+    }
+
+    #[test]
+    fn folds_float_constants_and_unops() {
+        let e = fold_one(
+            Expr::BinOp {
+                op: BinOp::Mul,
+                ty: IrType::F64,
+                lhs: Operand::ConstF64(3.0),
+                rhs: Operand::ConstF64(4.0),
+            },
+            IrType::F64,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstF64(12.0)));
+        let e = fold_one(
+            Expr::UnOp {
+                op: UnOp::Sqrt,
+                ty: IrType::F64,
+                operand: Operand::ConstF64(9.0),
+            },
+            IrType::F64,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstF64(3.0)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Dead-code elimination: removes assignments to registers that are never
+//! read, when the right-hand side has no side effects.
+
+use std::collections::HashSet;
+
+use crate::instr::{Expr, Operand, Stmt};
+use crate::module::{IrFunction, ValueId};
+
+fn collect_operand(uses: &mut HashSet<ValueId>, op: &Operand) {
+    if let Some(v) = op.as_value() {
+        uses.insert(v);
+    }
+}
+
+fn collect_expr_uses(uses: &mut HashSet<ValueId>, expr: &Expr) {
+    match expr {
+        Expr::Use(op)
+        | Expr::PointerSign(op)
+        | Expr::PointerAuth(op)
+        | Expr::UnOp { operand: op, .. }
+        | Expr::Cast { operand: op, .. } => collect_operand(uses, op),
+        Expr::BinOp { lhs, rhs, .. } => {
+            collect_operand(uses, lhs);
+            collect_operand(uses, rhs);
+        }
+        Expr::Load { addr, .. } => collect_operand(uses, addr),
+        Expr::Gep { base, index, .. } => {
+            collect_operand(uses, base);
+            collect_operand(uses, index);
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|a| collect_operand(uses, a)),
+        Expr::CallIndirect { target, args, .. } => {
+            collect_operand(uses, target);
+            args.iter().for_each(|a| collect_operand(uses, a));
+        }
+        Expr::SegmentNew { addr, len } => {
+            collect_operand(uses, addr);
+            collect_operand(uses, len);
+        }
+        Expr::TagIncrement { prev, addr } => {
+            collect_operand(uses, prev);
+            collect_operand(uses, addr);
+        }
+        Expr::AllocaAddr(_) | Expr::GlobalAddr(_) | Expr::FuncAddr(_) => {}
+    }
+}
+
+fn collect_uses(body: &[Stmt], uses: &mut HashSet<ValueId>) {
+    crate::instr::visit_stmts(body, &mut |stmt| match stmt {
+        Stmt::Assign { expr, .. } | Stmt::Perform(expr) => collect_expr_uses(uses, expr),
+        Stmt::Store { addr, value, .. } => {
+            collect_operand(uses, addr);
+            collect_operand(uses, value);
+        }
+        Stmt::If { cond, .. } => collect_operand(uses, cond),
+        Stmt::While { cond, .. } => collect_operand(uses, cond),
+        Stmt::Return(Some(op)) => collect_operand(uses, op),
+        Stmt::SegmentSetTag { addr, tagged, len } => {
+            collect_operand(uses, addr);
+            collect_operand(uses, tagged);
+            collect_operand(uses, len);
+        }
+        Stmt::SegmentFree { ptr, len } => {
+            collect_operand(uses, ptr);
+            collect_operand(uses, len);
+        }
+        _ => {}
+    });
+}
+
+fn has_side_effects(expr: &Expr) -> bool {
+    matches!(
+        expr,
+        Expr::Call { .. }
+            | Expr::CallIndirect { .. }
+            | Expr::SegmentNew { .. }
+            // Authentication traps on invalid signatures: removing it
+            // would change behaviour.
+            | Expr::PointerAuth(_)
+            // Loads can trap (OOB, tag mismatch) — keep them.
+            | Expr::Load { .. }
+    )
+}
+
+fn sweep(body: &mut Vec<Stmt>, uses: &HashSet<ValueId>) -> bool {
+    let mut removed = false;
+    body.retain(|stmt| match stmt {
+        Stmt::Assign { dst, expr } if !uses.contains(dst) && !has_side_effects(expr) => {
+            removed = true;
+            false
+        }
+        _ => true,
+    });
+    for stmt in body.iter_mut() {
+        match stmt {
+            Stmt::If { then, els, .. } => {
+                removed |= sweep(then, uses);
+                removed |= sweep(els, uses);
+            }
+            Stmt::While { header, body, .. } => {
+                removed |= sweep(header, uses);
+                removed |= sweep(body, uses);
+            }
+            _ => {}
+        }
+    }
+    removed
+}
+
+/// Runs DCE to a fixpoint over `func`.
+pub fn run(func: &mut IrFunction) {
+    loop {
+        let mut uses = HashSet::new();
+        collect_uses(&func.body, &mut uses);
+        if !sweep(&mut func.body, &uses) {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, Callee};
+    use crate::types::IrType;
+
+    #[test]
+    fn removes_unused_pure_assignments_transitively() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], Some(IrType::I64));
+        let dead1 = b.binop(BinOp::Add, IrType::I64, b.param(0), Operand::ConstI64(1));
+        let _dead2 = b.binop(BinOp::Mul, IrType::I64, dead1, Operand::ConstI64(2));
+        b.stmt(Stmt::Return(Some(b.param(0))));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body.len(), 1, "both dead chains removed");
+    }
+
+    #[test]
+    fn keeps_used_assignments() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], Some(IrType::I64));
+        let v = b.binop(BinOp::Add, IrType::I64, b.param(0), Operand::ConstI64(1));
+        b.stmt(Stmt::Return(Some(v)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn keeps_side_effecting_assignments() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let _unused = b.assign(
+            IrType::I64,
+            Expr::Call {
+                callee: Callee::Extern(0),
+                args: vec![],
+            },
+        );
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body.len(), 1, "call kept for its effects");
+    }
+
+    #[test]
+    fn sweeps_nested_bodies() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I32], None);
+        b.push_block();
+        let _dead = b.binop(BinOp::Add, IrType::I32, Operand::ConstI32(1), Operand::ConstI32(2));
+        let then = b.pop_block();
+        b.stmt(Stmt::If {
+            cond: b.param(0),
+            then,
+            els: vec![],
+        });
+        let mut f = b.finish();
+        run(&mut f);
+        match &f.body[0] {
+            Stmt::If { then, .. } => assert!(then.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! A `mem2reg`-style promotion: stack slots that are only ever loaded and
+//! stored directly (whole-slot, offset 0, consistent type, address never
+//! taken for anything else) become plain registers.
+//!
+//! Running this *before* the sanitizers matters: the paper orders its
+//! passes "after all LLVM optimizations. This ensures that Cage does not
+//! block passes that might remove stack allocations, such as mem2reg"
+//! (§6.1) — promoted slots need no tagging at all.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::instr::{Expr, Operand, Stmt};
+use crate::module::{AllocaId, IrFunction, ValueId};
+use crate::types::IrType;
+
+/// Runs promotion over `func`. Promoted allocas get size 0 (the lowering
+/// skips them in frame layout).
+pub fn run(func: &mut IrFunction) {
+    // 1. Which registers hold which alloca's address, and is every use of
+    //    those registers a direct whole-slot load/store?
+    let mut addr_regs: HashMap<ValueId, AllocaId> = HashMap::new();
+    crate::instr::visit_stmts(&func.body, &mut |stmt| {
+        if let Stmt::Assign {
+            dst,
+            expr: Expr::AllocaAddr(id),
+        } = stmt
+        {
+            addr_regs.insert(*dst, *id);
+        }
+    });
+
+    let mut disqualified: HashSet<AllocaId> = HashSet::new();
+    let mut slot_ty: HashMap<AllocaId, crate::instr::MemTy> = HashMap::new();
+
+    let is_addr = |op: &Operand, addr_regs: &HashMap<ValueId, AllocaId>| {
+        op.as_value().and_then(|v| addr_regs.get(&v).copied())
+    };
+
+    crate::instr::visit_stmts(&func.body, &mut |stmt| {
+        let mut check_use = |op: &Operand| {
+            if let Some(id) = is_addr(op, &addr_regs) {
+                disqualified.insert(id);
+            }
+        };
+        match stmt {
+            Stmt::Assign { expr, .. } | Stmt::Perform(expr) => match expr {
+                Expr::Load { ty, addr, offset } => {
+                    if let Some(id) = is_addr(addr, &addr_regs) {
+                        let whole = *offset == 0 && ty.width() == func.allocas[id.0 as usize].size;
+                        let consistent = slot_ty.get(&id).map_or(true, |t| t == ty);
+                        if !whole || !consistent {
+                            disqualified.insert(id);
+                        } else {
+                            slot_ty.insert(id, *ty);
+                        }
+                    }
+                }
+                Expr::AllocaAddr(_) => {}
+                // Any other expression consuming the address disqualifies.
+                Expr::Use(op) | Expr::PointerSign(op) | Expr::PointerAuth(op) => check_use(op),
+                Expr::UnOp { operand, .. } | Expr::Cast { operand, .. } => check_use(operand),
+                Expr::BinOp { lhs, rhs, .. } => {
+                    check_use(lhs);
+                    check_use(rhs);
+                }
+                Expr::Gep { base, index, .. } => {
+                    check_use(base);
+                    check_use(index);
+                }
+                Expr::Call { args, .. } => args.iter().for_each(&mut check_use),
+                Expr::CallIndirect { target, args, .. } => {
+                    check_use(target);
+                    args.iter().for_each(&mut check_use);
+                }
+                Expr::SegmentNew { addr, len } => {
+                    check_use(addr);
+                    check_use(len);
+                }
+                Expr::TagIncrement { prev, addr } => {
+                    check_use(prev);
+                    check_use(addr);
+                }
+                Expr::GlobalAddr(_) | Expr::FuncAddr(_) => {}
+            },
+            Stmt::Store {
+                ty,
+                addr,
+                offset,
+                value,
+            } => {
+                check_use(value);
+                if let Some(id) = is_addr(addr, &addr_regs) {
+                    let whole = *offset == 0 && ty.width() == func.allocas[id.0 as usize].size;
+                    let consistent = slot_ty.get(&id).map_or(true, |t| t == ty);
+                    if !whole || !consistent {
+                        disqualified.insert(id);
+                    } else {
+                        slot_ty.insert(id, *ty);
+                    }
+                }
+            }
+            Stmt::Return(Some(op)) => check_use(op),
+            Stmt::If { cond, .. } => check_use(cond),
+            Stmt::While { cond, .. } => check_use(cond),
+            Stmt::SegmentSetTag { addr, tagged, len } => {
+                check_use(addr);
+                check_use(tagged);
+                check_use(len);
+            }
+            Stmt::SegmentFree { ptr, len } => {
+                check_use(ptr);
+                check_use(len);
+            }
+            _ => {}
+        }
+    });
+
+    // 2. Promote: each qualifying alloca gets a register; loads become
+    //    Use, stores become Assign.
+    let mut promoted: HashMap<AllocaId, ValueId> = HashMap::new();
+    for (&id, &ty) in &slot_ty {
+        if !disqualified.contains(&id) {
+            let reg = func.new_value(ty.value_type());
+            promoted.insert(id, reg);
+        }
+    }
+    if promoted.is_empty() {
+        return;
+    }
+
+    let promoted_addr_regs: HashSet<ValueId> = addr_regs
+        .iter()
+        .filter(|(_, id)| promoted.contains_key(id))
+        .map(|(v, _)| *v)
+        .collect();
+
+    crate::instr::visit_stmts_mut(&mut func.body, &mut |stmt| {
+        match stmt {
+            Stmt::Assign { expr, .. } => match expr {
+                Expr::Load { addr, .. } => {
+                    if let Some(id) = is_addr(addr, &addr_regs) {
+                        if let Some(reg) = promoted.get(&id) {
+                            *expr = Expr::Use(Operand::Value(*reg));
+                        }
+                    }
+                }
+                // The address computation itself becomes dead; make it a
+                // trivial zero so DCE removes it.
+                Expr::AllocaAddr(id) if promoted.contains_key(id) => {
+                    *expr = Expr::Use(Operand::ConstI64(0));
+                }
+                _ => {}
+            },
+            Stmt::Store { addr, value, .. } => {
+                if let Some(v) = addr.as_value() {
+                    if promoted_addr_regs.contains(&v) {
+                        let id = addr_regs[&v];
+                        let reg = promoted[&id];
+                        *stmt = Stmt::Assign {
+                            dst: reg,
+                            expr: Expr::Use(*value),
+                        };
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+
+    for (id, _) in promoted {
+        func.allocas[id.0 as usize].size = 0;
+    }
+    let _ = IrType::I32; // keep the import used under cfg(test)-less builds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{Callee, MemTy};
+
+    #[test]
+    fn promotes_simple_scalar_slot() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        let a = b.alloca(8, "x");
+        let p = b.alloca_addr(a);
+        b.store(MemTy::I64, p, 0, Operand::ConstI64(5));
+        let v = b.load(MemTy::I64, p, 0);
+        b.stmt(Stmt::Return(Some(v)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.allocas[0].size, 0, "slot promoted away");
+        let mut loads = 0;
+        crate::instr::visit_stmts(&f.body, &mut |s| {
+            if matches!(s, Stmt::Store { .. }) {
+                loads += 1;
+            }
+            if let Stmt::Assign { expr: Expr::Load { .. }, .. } = s {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 0, "no memory traffic remains");
+    }
+
+    #[test]
+    fn does_not_promote_escaping_slot() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(8, "x");
+        let p = b.alloca_addr(a);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![p],
+        }));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.allocas[0].size, 8);
+    }
+
+    #[test]
+    fn does_not_promote_partial_access() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I32));
+        let a = b.alloca(8, "x");
+        let p = b.alloca_addr(a);
+        // 4-byte load of an 8-byte slot: not whole-slot.
+        let v = b.load(MemTy::I32, p, 0);
+        b.stmt(Stmt::Return(Some(v)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.allocas[0].size, 8);
+    }
+
+    #[test]
+    fn does_not_promote_gep_addressed_slot() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], None);
+        let a = b.alloca(32, "arr");
+        let p = b.alloca_addr(a);
+        let q = b.assign(
+            IrType::Ptr,
+            Expr::Gep {
+                base: p,
+                index: b.param(0),
+                scale: 8,
+                offset: 0,
+            },
+        );
+        b.store(MemTy::I64, q, 0, Operand::ConstI64(1));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.allocas[0].size, 32);
+    }
+}

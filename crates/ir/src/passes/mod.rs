@@ -1,0 +1,69 @@
+//! The pass pipeline.
+//!
+//! Mirrors the paper's ordering (§6.1): optimisations first (so the
+//! sanitizers do not block `mem2reg`-style promotions), then the two
+//! sanitizer passes.
+
+pub mod const_fold;
+pub mod dce;
+pub mod mem2reg;
+pub mod ptr_auth;
+pub mod stack_safety;
+
+use crate::module::IrModule;
+
+/// Which hardening passes to run (the `-fsanitize=...`-style flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardenConfig {
+    /// Run the stack-safety sanitizer (Algorithm 1).
+    pub stack_safety: bool,
+    /// Run the pointer-authentication sanitizer.
+    pub ptr_auth: bool,
+}
+
+impl HardenConfig {
+    /// Everything on — the full Cage configuration.
+    #[must_use]
+    pub fn full() -> Self {
+        HardenConfig {
+            stack_safety: true,
+            ptr_auth: true,
+        }
+    }
+
+    /// Everything off — the baseline configurations.
+    #[must_use]
+    pub fn none() -> Self {
+        HardenConfig::default()
+    }
+}
+
+/// Runs the standard optimisation pipeline followed by the configured
+/// sanitizers, in the paper's order.
+pub fn run_pipeline(module: &mut IrModule, config: HardenConfig) {
+    for func in &mut module.functions {
+        mem2reg::run(func);
+        const_fold::run(func);
+        dce::run(func);
+    }
+    if config.stack_safety {
+        for func in &mut module.functions {
+            stack_safety::run(func);
+        }
+    }
+    if config.ptr_auth {
+        ptr_auth::run(module);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harden_config_constructors() {
+        assert!(HardenConfig::full().stack_safety);
+        assert!(HardenConfig::full().ptr_auth);
+        assert!(!HardenConfig::none().stack_safety);
+    }
+}

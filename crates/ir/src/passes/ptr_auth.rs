@@ -1,0 +1,206 @@
+//! The pointer-authentication sanitizer (§6.1, second pass).
+//!
+//! Instruments "code taking references to functions and performing
+//! indirect calls": every `FuncAddr` is immediately signed, and every
+//! indirect-call target is authenticated first (lowering then emits the
+//! Fig. 9 sequence: `i64.pointer_auth; i32.wrap_i64; call_indirect`).
+
+use crate::instr::{Expr, Operand, Stmt};
+use crate::module::{IrFunction, IrModule};
+use crate::types::IrType;
+
+/// Runs the pass on every function of `module`.
+pub fn run(module: &mut IrModule) {
+    for func in &mut module.functions {
+        run_function(func);
+    }
+}
+
+fn run_function(func: &mut IrFunction) {
+    let body = std::mem::take(&mut func.body);
+    func.body = rewrite_body(func, body);
+}
+
+fn rewrite_body(func: &mut IrFunction, body: Vec<Stmt>) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(body.len());
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { dst, expr } => rewrite_expr(func, dst, expr, &mut out),
+            Stmt::Perform(expr) => {
+                // Route through a scratch destination so indirect-call
+                // instrumentation is shared; pure Perform only wraps calls.
+                match expr {
+                    Expr::CallIndirect {
+                        target,
+                        params,
+                        ret,
+                        args,
+                    } => {
+                        let authed = func.new_value(IrType::Ptr);
+                        out.push(Stmt::Assign {
+                            dst: authed,
+                            expr: Expr::PointerAuth(target),
+                        });
+                        out.push(Stmt::Perform(Expr::CallIndirect {
+                            target: Operand::Value(authed),
+                            params,
+                            ret,
+                            args,
+                        }));
+                    }
+                    other => out.push(Stmt::Perform(other)),
+                }
+            }
+            Stmt::If { cond, then, els } => out.push(Stmt::If {
+                cond,
+                then: rewrite_body(func, then),
+                els: rewrite_body(func, els),
+            }),
+            Stmt::While { header, cond, body } => out.push(Stmt::While {
+                header: rewrite_body(func, header),
+                cond,
+                body: rewrite_body(func, body),
+            }),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn rewrite_expr(func: &mut IrFunction, dst: crate::module::ValueId, expr: Expr, out: &mut Vec<Stmt>) {
+    match expr {
+        // Taking a function's address: sign it at creation (§4.2 "when
+        // creating function pointers, indices into the function table are
+        // first zero-extended to 64 bits and then signed").
+        Expr::FuncAddr(f) => {
+            let raw = func.new_value(IrType::Ptr);
+            out.push(Stmt::Assign {
+                dst: raw,
+                expr: Expr::FuncAddr(f),
+            });
+            out.push(Stmt::Assign {
+                dst,
+                expr: Expr::PointerSign(Operand::Value(raw)),
+            });
+        }
+        // Indirect call: authenticate the pointer first.
+        Expr::CallIndirect {
+            target,
+            params,
+            ret,
+            args,
+        } => {
+            let authed = func.new_value(IrType::Ptr);
+            out.push(Stmt::Assign {
+                dst: authed,
+                expr: Expr::PointerAuth(target),
+            });
+            out.push(Stmt::Assign {
+                dst,
+                expr: Expr::CallIndirect {
+                    target: Operand::Value(authed),
+                    params,
+                    ret,
+                    args,
+                },
+            });
+        }
+        other => out.push(Stmt::Assign { dst, expr: other }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::FuncId;
+
+    #[test]
+    fn func_addr_is_signed() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::Ptr));
+        let p = b.assign(IrType::Ptr, Expr::FuncAddr(FuncId(0)));
+        b.stmt(Stmt::Return(Some(p)));
+        let mut m = IrModule::new();
+        m.functions.push(b.finish());
+        run(&mut m);
+        let body = &m.functions[0].body;
+        assert!(matches!(&body[0], Stmt::Assign { expr: Expr::FuncAddr(_), .. }));
+        assert!(matches!(&body[1], Stmt::Assign { expr: Expr::PointerSign(_), .. }));
+    }
+
+    #[test]
+    fn indirect_call_is_authenticated() {
+        let mut b = FunctionBuilder::new("f", &[IrType::Ptr], Some(IrType::I64));
+        let r = b.assign(
+            IrType::I64,
+            Expr::CallIndirect {
+                target: b.param(0),
+                params: vec![],
+                ret: Some(IrType::I64),
+                args: vec![],
+            },
+        );
+        b.stmt(Stmt::Return(Some(r)));
+        let mut m = IrModule::new();
+        m.functions.push(b.finish());
+        run(&mut m);
+        let body = &m.functions[0].body;
+        assert!(matches!(&body[0], Stmt::Assign { expr: Expr::PointerAuth(_), .. }));
+        // The call's target must now be the authenticated register.
+        match &body[1] {
+            Stmt::Assign {
+                expr: Expr::CallIndirect { target, .. },
+                ..
+            } => {
+                let authed_dst = match &body[0] {
+                    Stmt::Assign { dst, .. } => *dst,
+                    _ => unreachable!(),
+                };
+                assert_eq!(target.as_value(), Some(authed_dst));
+            }
+            other => panic!("expected indirect call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_and_perform_calls_are_instrumented() {
+        let mut b = FunctionBuilder::new("f", &[IrType::Ptr, IrType::I32], None);
+        b.push_block();
+        b.stmt(Stmt::Perform(Expr::CallIndirect {
+            target: b.param(0),
+            params: vec![],
+            ret: None,
+            args: vec![],
+        }));
+        let then = b.pop_block();
+        b.stmt(Stmt::If {
+            cond: b.param(1),
+            then,
+            els: vec![],
+        });
+        let mut m = IrModule::new();
+        m.functions.push(b.finish());
+        run(&mut m);
+        let mut auth_count = 0;
+        crate::instr::visit_stmts(&m.functions[0].body, &mut |s| {
+            if let Stmt::Assign { expr: Expr::PointerAuth(_), .. } = s {
+                auth_count += 1;
+            }
+        });
+        assert_eq!(auth_count, 1);
+    }
+
+    #[test]
+    fn direct_calls_untouched() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: crate::instr::Callee::Extern(0),
+            args: vec![],
+        }));
+        let mut m = IrModule::new();
+        m.functions.push(b.finish());
+        let before = m.functions[0].body.clone();
+        run(&mut m);
+        assert_eq!(m.functions[0].body, before);
+    }
+}

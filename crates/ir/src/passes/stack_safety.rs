@@ -1,0 +1,333 @@
+//! The stack-safety sanitizer — the paper's Algorithm 1.
+//!
+//! For every allocation that escapes or is indexed unverifiably, the pass:
+//!
+//! 1. creates a segment over the (16-byte padded) slot on function entry
+//!    (`insertTaggingCode`), keeping the tagged pointer in a register;
+//! 2. rewrites all address-taking of the slot to use the tagged pointer;
+//! 3. retags the slot back to the untagged frame on *every* function exit
+//!    (`insertUntaggingCode`), restoring it to the stack frame so later
+//!    frames can reuse the memory and stale pointers trap (§4.2);
+//! 4. inserts an untagged guard slot at the beginning of the frame when
+//!    the frame would otherwise start with a tagged slot (`insertGuard-
+//!    Alloc`, Fig. 8b), so adjacent frames can never collide on a tag.
+//!
+//! Note on the guard condition: Algorithm 1 as printed reads
+//! `allocations[0] ∉ allocsToInstrument → insertGuardAlloc()`, but the
+//! prose ("inserts a single untagged stack guard slot at the beginning of
+//! the frame **if no such untagged stack slot exists**") implies the
+//! opposite polarity — a guard is only needed when the frame's first slot
+//! *is* tagged. We implement the prose semantics.
+
+use crate::analysis::analyze_allocas;
+use crate::instr::{Expr, Operand, Stmt};
+use crate::module::{Alloca, AllocaId, IrFunction, ValueId};
+use crate::types::IrType;
+
+/// Rounds a slot size up to the 16-byte tag granule.
+#[must_use]
+pub fn granule_align(size: u64) -> u64 {
+    size.div_ceil(16).max(1) * 16
+}
+
+/// Runs Algorithm 1 on `func`.
+pub fn run(func: &mut IrFunction) {
+    let analysis = analyze_allocas(func);
+    let to_instrument: Vec<AllocaId> = (0..func.allocas.len() as u32)
+        .map(AllocaId)
+        .filter(|id| analysis.needs_instrumentation(*id))
+        .collect();
+    if to_instrument.is_empty() {
+        return;
+    }
+    for id in &to_instrument {
+        func.allocas[id.0 as usize].instrument = true;
+    }
+
+    // insertGuardAlloc: needed when the frame starts with a tagged slot.
+    if func.allocas[0].instrument {
+        func.allocas.push(Alloca {
+            size: 16,
+            name: "__cage_guard".into(),
+            instrument: false,
+            is_guard: true,
+        });
+    }
+
+    // Registers for the raw (frame) and tagged pointers of each slot.
+    let mut raw_regs: Vec<(AllocaId, ValueId)> = Vec::new();
+    let mut tagged_regs: Vec<(AllocaId, ValueId)> = Vec::new();
+    for id in &to_instrument {
+        raw_regs.push((*id, func.new_value(IrType::Ptr)));
+        tagged_regs.push((*id, func.new_value(IrType::Ptr)));
+    }
+    let tagged_of = |id: AllocaId| -> ValueId {
+        tagged_regs
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map(|(_, v)| *v)
+            .expect("instrumented alloca has a tagged register")
+    };
+
+    // Rewrite AllocaAddr uses of instrumented slots to the tagged pointer
+    // (before the prologue is spliced in, so the prologue's own
+    // AllocaAddr expressions stay raw).
+    let instrumented = |id: AllocaId| to_instrument.contains(&id);
+    crate::instr::visit_stmts_mut(&mut func.body, &mut |stmt| {
+        let rewrite = |expr: &mut Expr| {
+            if let Expr::AllocaAddr(id) = expr {
+                if instrumented(*id) {
+                    *expr = Expr::Use(Operand::Value(tagged_of(*id)));
+                }
+            }
+        };
+        match stmt {
+            Stmt::Assign { expr, .. } | Stmt::Perform(expr) => rewrite(expr),
+            _ => {}
+        }
+    });
+
+    // insertUntaggingCode: before every return and at fall-through exit.
+    let untag_stmts: Vec<Stmt> = to_instrument
+        .iter()
+        .map(|id| {
+            let raw = raw_regs
+                .iter()
+                .find(|(a, _)| *a == *id)
+                .map(|(_, v)| *v)
+                .expect("raw register");
+            let size = granule_align(func.allocas[id.0 as usize].size);
+            Stmt::SegmentSetTag {
+                addr: Operand::Value(raw),
+                // The untagged frame pointer carries the frame's tag.
+                tagged: Operand::Value(raw),
+                len: Operand::ConstI64(size as i64),
+            }
+        })
+        .collect();
+    insert_before_returns(&mut func.body, &untag_stmts);
+    if !ends_with_return(&func.body) {
+        func.body.extend(untag_stmts.iter().cloned());
+    }
+
+    // insertTaggingCode: the prologue, spliced in front. The first slot
+    // draws a random tag (`segment.new`, i.e. `irg`); each subsequent slot
+    // increments the previous tag by one (§4.2), guaranteeing adjacent
+    // slots within the frame never share a tag.
+    let mut prologue = Vec::new();
+    let mut prev_tagged: Option<ValueId> = None;
+    for id in &to_instrument {
+        let raw = raw_regs
+            .iter()
+            .find(|(a, _)| *a == *id)
+            .map(|(_, v)| *v)
+            .expect("raw register");
+        let size = granule_align(func.allocas[id.0 as usize].size);
+        prologue.push(Stmt::Assign {
+            dst: raw,
+            expr: Expr::AllocaAddr(*id),
+        });
+        let tagged = tagged_of(*id);
+        match prev_tagged {
+            None => prologue.push(Stmt::Assign {
+                dst: tagged,
+                expr: Expr::SegmentNew {
+                    addr: Operand::Value(raw),
+                    len: Operand::ConstI64(size as i64),
+                },
+            }),
+            Some(prev) => {
+                prologue.push(Stmt::Assign {
+                    dst: tagged,
+                    expr: Expr::TagIncrement {
+                        prev: Operand::Value(prev),
+                        addr: Operand::Value(raw),
+                    },
+                });
+                prologue.push(Stmt::SegmentSetTag {
+                    addr: Operand::Value(raw),
+                    tagged: Operand::Value(tagged),
+                    len: Operand::ConstI64(size as i64),
+                });
+            }
+        }
+        prev_tagged = Some(tagged);
+    }
+    prologue.append(&mut func.body);
+    func.body = prologue;
+}
+
+fn ends_with_return(body: &[Stmt]) -> bool {
+    matches!(body.last(), Some(Stmt::Return(_)))
+}
+
+fn insert_before_returns(body: &mut Vec<Stmt>, untag: &[Stmt]) {
+    let mut i = 0;
+    while i < body.len() {
+        match &mut body[i] {
+            Stmt::Return(_) => {
+                for (k, s) in untag.iter().cloned().enumerate() {
+                    body.insert(i + k, s);
+                }
+                i += untag.len() + 1;
+            }
+            Stmt::If { then, els, .. } => {
+                insert_before_returns(then, untag);
+                insert_before_returns(els, untag);
+                i += 1;
+            }
+            Stmt::While { header, body: b, .. } => {
+                insert_before_returns(header, untag);
+                insert_before_returns(b, untag);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{Callee, MemTy};
+
+    fn escaping_func() -> IrFunction {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(24, "buf");
+        let p = b.alloca_addr(a);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![p],
+        }));
+        b.stmt(Stmt::Return(None));
+        b.finish()
+    }
+
+    #[test]
+    fn granule_alignment() {
+        assert_eq!(granule_align(1), 16);
+        assert_eq!(granule_align(16), 16);
+        assert_eq!(granule_align(17), 32);
+        assert_eq!(granule_align(0), 16);
+    }
+
+    #[test]
+    fn escaping_alloca_gets_instrumented_with_guard() {
+        let mut f = escaping_func();
+        run(&mut f);
+        assert!(f.allocas[0].instrument);
+        // Frame starts with a tagged slot -> guard inserted.
+        assert!(f.allocas.iter().any(|a| a.is_guard));
+        // Prologue: raw addr + segment.new.
+        assert!(matches!(
+            &f.body[0],
+            Stmt::Assign { expr: Expr::AllocaAddr(_), .. }
+        ));
+        assert!(matches!(
+            &f.body[1],
+            Stmt::Assign { expr: Expr::SegmentNew { .. }, .. }
+        ));
+        // Untag before the return.
+        let has_untag_before_return = f
+            .body
+            .windows(2)
+            .any(|w| matches!(&w[0], Stmt::SegmentSetTag { .. }) && matches!(&w[1], Stmt::Return(_)));
+        assert!(has_untag_before_return, "{:#?}", f.body);
+    }
+
+    #[test]
+    fn safe_allocas_left_alone() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(8, "x");
+        let p = b.alloca_addr(a);
+        b.store(MemTy::I64, p, 0, Operand::ConstI64(3));
+        let mut f = b.finish();
+        let before = f.body.clone();
+        run(&mut f);
+        assert_eq!(f.body, before, "no instrumentation for safe slots");
+        assert!(!f.allocas[0].instrument);
+        assert!(!f.allocas.iter().any(|a| a.is_guard));
+    }
+
+    #[test]
+    fn no_guard_when_first_slot_untagged() {
+        // First alloca is safe (acts as the untagged slot); second escapes.
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let safe = b.alloca(16, "safe");
+        let unsafe_a = b.alloca(16, "esc");
+        let p_safe = b.alloca_addr(safe);
+        b.store(MemTy::I64, p_safe, 0, Operand::ConstI64(0));
+        let p = b.alloca_addr(unsafe_a);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![p],
+        }));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(!f.allocas[0].instrument);
+        assert!(f.allocas[1].instrument);
+        assert!(!f.allocas.iter().any(|a| a.is_guard));
+    }
+
+    #[test]
+    fn alloca_addr_uses_are_rewritten_to_tagged_pointer() {
+        let mut f = escaping_func();
+        run(&mut f);
+        // After the pass, the call argument must be the tagged register,
+        // i.e. no AllocaAddr of an instrumented slot outside the prologue.
+        let mut raw_uses_outside_prologue = 0;
+        for stmt in f.body.iter().skip(2) {
+            crate::instr::visit_exprs(stmt, &mut |e| {
+                if matches!(e, Expr::AllocaAddr(_)) {
+                    raw_uses_outside_prologue += 1;
+                }
+            });
+        }
+        assert_eq!(raw_uses_outside_prologue, 0);
+    }
+
+    #[test]
+    fn fall_through_exit_gets_untag() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.alloca(16, "buf");
+        let p = b.alloca_addr(a);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![p],
+        }));
+        // No explicit return.
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.body.last(), Some(Stmt::SegmentSetTag { .. })));
+    }
+
+    #[test]
+    fn returns_in_branches_all_get_untags() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I32], Some(IrType::I32));
+        let a = b.alloca(16, "buf");
+        let p = b.alloca_addr(a);
+        b.stmt(Stmt::Perform(Expr::Call {
+            callee: Callee::Extern(0),
+            args: vec![p],
+        }));
+        b.push_block();
+        b.stmt(Stmt::Return(Some(Operand::ConstI32(1))));
+        let then = b.pop_block();
+        b.stmt(Stmt::If {
+            cond: b.param(0),
+            then,
+            els: vec![],
+        });
+        b.stmt(Stmt::Return(Some(Operand::ConstI32(0))));
+        let mut f = b.finish();
+        run(&mut f);
+        let mut untag_count = 0;
+        crate::instr::visit_stmts(&f.body, &mut |s| {
+            if matches!(s, Stmt::SegmentSetTag { .. }) {
+                untag_count += 1;
+            }
+        });
+        assert_eq!(untag_count, 2, "one untag per exit path");
+    }
+}

@@ -1,0 +1,91 @@
+//! The three Tensor G3 core types the paper evaluates on (§7.1).
+
+use std::fmt;
+
+/// A CPU core of the Google Tensor G3 (Pixel 8) used in the evaluation.
+///
+/// All timing in the reproduction is parameterised by core: the paper runs
+/// every benchmark pinned to each core type, and several headline results
+/// (e.g. the 52 % software-bounds-check overhead) only appear on the
+/// in-order Cortex-A510.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Core {
+    /// Prime core: out-of-order, 2.91 GHz.
+    CortexX3,
+    /// Mid cores: out-of-order, 2.37 GHz.
+    CortexA715,
+    /// Little cores: in-order, 1.7 GHz.
+    CortexA510,
+}
+
+impl Core {
+    /// All cores, in the order the paper's figures present them.
+    pub const ALL: [Core; 3] = [Core::CortexX3, Core::CortexA715, Core::CortexA510];
+
+    /// Clock frequency in GHz (§7.1).
+    #[must_use]
+    pub fn clock_ghz(self) -> f64 {
+        match self {
+            Core::CortexX3 => 2.91,
+            Core::CortexA715 => 2.37,
+            Core::CortexA510 => 1.7,
+        }
+    }
+
+    /// Whether the core executes out-of-order.
+    ///
+    /// Out-of-order cores "can speculate through bounds checks" (§3), which
+    /// is why explicit bounds checks are nearly free on them and painful on
+    /// the in-order A510.
+    #[must_use]
+    pub fn is_out_of_order(self) -> bool {
+        !matches!(self, Core::CortexA510)
+    }
+
+    /// Converts a cycle count on this core into milliseconds.
+    #[must_use]
+    pub fn cycles_to_ms(self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz() * 1e9) * 1e3
+    }
+}
+
+impl fmt::Display for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Core::CortexX3 => f.write_str("Cortex-X3"),
+            Core::CortexA715 => f.write_str("Cortex-A715"),
+            Core::CortexA510 => f.write_str("Cortex-A510"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_speeds_match_paper() {
+        assert_eq!(Core::CortexX3.clock_ghz(), 2.91);
+        assert_eq!(Core::CortexA715.clock_ghz(), 2.37);
+        assert_eq!(Core::CortexA510.clock_ghz(), 1.7);
+    }
+
+    #[test]
+    fn only_a510_is_in_order() {
+        assert!(Core::CortexX3.is_out_of_order());
+        assert!(Core::CortexA715.is_out_of_order());
+        assert!(!Core::CortexA510.is_out_of_order());
+    }
+
+    #[test]
+    fn cycles_to_ms_roundtrip() {
+        // 2.91e9 cycles on the X3 is exactly one second.
+        let ms = Core::CortexX3.cycles_to_ms(2.91e9);
+        assert!((ms - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Core::CortexA510.to_string(), "Cortex-A510");
+    }
+}

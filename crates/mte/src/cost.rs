@@ -1,0 +1,208 @@
+//! Micro-architectural cost tables for MTE instructions (paper Table 1).
+//!
+//! The paper measures throughput (instructions per cycle) and latency
+//! (cycles) of each MTE instruction on the three Tensor G3 cores via
+//! unrolled-loop microbenchmarks. Those measurements are the ground truth of
+//! this simulator's timing model: we encode them here as the cores'
+//! micro-architectural parameters, and the [`crate::pipeline`] module
+//! re-derives them through an actual dataflow simulation (which is what the
+//! `table1_instructions` bench runs).
+
+use crate::core_kind::Core;
+
+/// An MTE instruction with a Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MteInstr {
+    /// Insert random tag.
+    Irg,
+    /// Add to address and tag.
+    Addg,
+    /// Subtract from address, advance tag.
+    Subg,
+    /// Pointer difference ignoring tags.
+    Subp,
+    /// Pointer difference, setting flags.
+    Subps,
+    /// Store allocation tag (one granule).
+    Stg,
+    /// Store allocation tag (two granules).
+    St2g,
+    /// Store tag and zero data (one granule).
+    Stzg,
+    /// Store tag and zero data (two granules).
+    St2zg,
+    /// Store tag and a pair of registers.
+    Stgp,
+    /// Load allocation tag.
+    Ldg,
+}
+
+impl MteInstr {
+    /// All instructions, in Table 1 row order.
+    pub const ALL: [MteInstr; 11] = [
+        MteInstr::Irg,
+        MteInstr::Addg,
+        MteInstr::Subg,
+        MteInstr::Subp,
+        MteInstr::Subps,
+        MteInstr::Stg,
+        MteInstr::St2g,
+        MteInstr::Stzg,
+        MteInstr::St2zg,
+        MteInstr::Stgp,
+        MteInstr::Ldg,
+    ];
+
+    /// The mnemonic as printed in the paper.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MteInstr::Irg => "irg",
+            MteInstr::Addg => "addg",
+            MteInstr::Subg => "subg",
+            MteInstr::Subp => "subp",
+            MteInstr::Subps => "subps",
+            MteInstr::Stg => "stg",
+            MteInstr::St2g => "st2g",
+            MteInstr::Stzg => "stzg",
+            MteInstr::St2zg => "st2zg",
+            MteInstr::Stgp => "stgp",
+            MteInstr::Ldg => "ldg",
+        }
+    }
+
+    /// Sustained throughput in instructions per cycle on `core` (Table 1).
+    #[must_use]
+    pub fn throughput(self, core: Core) -> f64 {
+        use Core::*;
+        use MteInstr::*;
+        match (self, core) {
+            (Irg, CortexX3) => 1.34,
+            (Irg, CortexA715) => 1.00,
+            (Irg, CortexA510) => 0.50,
+            (Addg, CortexX3) => 2.01,
+            (Addg, CortexA715) => 3.81,
+            (Addg, CortexA510) => 2.22,
+            (Subg, CortexX3) => 2.01,
+            (Subg, CortexA715) => 3.81,
+            (Subg, CortexA510) => 2.22,
+            (Subp, CortexX3) => 3.49,
+            (Subp, CortexA715) => 3.81,
+            (Subp, CortexA510) => 2.50,
+            (Subps, CortexX3) => 2.88,
+            (Subps, CortexA715) => 3.80,
+            (Subps, CortexA510) => 2.50,
+            (Stg, CortexX3) => 1.00,
+            (Stg, CortexA715) => 1.81,
+            (Stg, CortexA510) => 1.00,
+            (St2g, CortexX3) => 1.00,
+            (St2g, CortexA715) => 1.84,
+            (St2g, CortexA510) => 0.46,
+            (Stzg, CortexX3) => 1.00,
+            (Stzg, CortexA715) => 1.84,
+            (Stzg, CortexA510) => 0.98,
+            (St2zg, CortexX3) => 0.34,
+            (St2zg, CortexA715) => 1.79,
+            (St2zg, CortexA510) => 0.45,
+            (Stgp, CortexX3) => 1.00,
+            (Stgp, CortexA715) => 1.69,
+            (Stgp, CortexA510) => 0.98,
+            (Ldg, CortexX3) => 2.92,
+            (Ldg, CortexA715) => 1.91,
+            (Ldg, CortexA510) => 0.93,
+        }
+    }
+
+    /// Result latency in cycles on `core` (Table 1). `None` for the
+    /// store/load-tag instructions, for which the paper only measures
+    /// throughput.
+    #[must_use]
+    pub fn latency(self, core: Core) -> Option<f64> {
+        use Core::*;
+        use MteInstr::*;
+        let l = match (self, core) {
+            (Irg, CortexX3) => 1.99,
+            (Irg, CortexA715) => 2.00,
+            (Irg, CortexA510) => 3.00,
+            (Addg, CortexX3) | (Subg, CortexX3) => 1.99,
+            (Addg, CortexA715) | (Subg, CortexA715) => 1.00,
+            (Addg, CortexA510) | (Subg, CortexA510) => 2.00,
+            (Subp, CortexX3) | (Subps, CortexX3) => 0.99,
+            (Subp, CortexA715) | (Subps, CortexA715) => 1.00,
+            (Subp, CortexA510) | (Subps, CortexA510) => 2.00,
+            _ => return None,
+        };
+        Some(l)
+    }
+
+    /// Average issue cost in cycles (the reciprocal of throughput) — the
+    /// quantity the engine's cycle accounting charges per instruction.
+    #[must_use]
+    pub fn issue_cycles(self, core: Core) -> f64 {
+        1.0 / self.throughput(core)
+    }
+
+    /// How many 16-byte granules a single instruction tags (0 for the
+    /// pointer-arithmetic instructions and `ldg`).
+    #[must_use]
+    pub fn granules_tagged(self) -> u64 {
+        match self {
+            MteInstr::Stg | MteInstr::Stzg | MteInstr::Stgp => 1,
+            MteInstr::St2g | MteInstr::St2zg => 2,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_instruction_has_throughput_on_every_core() {
+        for instr in MteInstr::ALL {
+            for core in Core::ALL {
+                assert!(instr.throughput(core) > 0.0, "{instr:?} on {core}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_only_for_alu_like_instructions() {
+        for core in Core::ALL {
+            assert!(MteInstr::Irg.latency(core).is_some());
+            assert!(MteInstr::Stg.latency(core).is_none());
+            assert!(MteInstr::Ldg.latency(core).is_none());
+        }
+    }
+
+    #[test]
+    fn a510_is_never_faster_than_x3_on_irg() {
+        assert!(
+            MteInstr::Irg.throughput(Core::CortexA510) < MteInstr::Irg.throughput(Core::CortexX3)
+        );
+    }
+
+    #[test]
+    fn issue_cycles_is_reciprocal() {
+        let tp = MteInstr::Addg.throughput(Core::CortexA715);
+        let ic = MteInstr::Addg.issue_cycles(Core::CortexA715);
+        assert!((tp * ic - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn granule_counts() {
+        assert_eq!(MteInstr::Stg.granules_tagged(), 1);
+        assert_eq!(MteInstr::St2g.granules_tagged(), 2);
+        assert_eq!(MteInstr::St2zg.granules_tagged(), 2);
+        assert_eq!(MteInstr::Irg.granules_tagged(), 0);
+    }
+
+    #[test]
+    fn table1_spot_checks_match_paper() {
+        assert_eq!(MteInstr::Irg.throughput(Core::CortexX3), 1.34);
+        assert_eq!(MteInstr::St2zg.throughput(Core::CortexX3), 0.34);
+        assert_eq!(MteInstr::Ldg.throughput(Core::CortexA510), 0.93);
+        assert_eq!(MteInstr::Irg.latency(Core::CortexA510), Some(3.00));
+    }
+}

@@ -1,0 +1,132 @@
+//! PAC instruction cost tables (paper Table 1, PAC rows).
+//!
+//! The paper only reports the Data A-key (`da`) variants; those are what
+//! Cage emits for WASM pointer signing.
+
+use cage_mte::Core;
+
+/// A PAC instruction with a Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PacInstr {
+    /// Sign with zero modifier.
+    Pacdza,
+    /// Sign with register modifier.
+    Pacda,
+    /// Authenticate with zero modifier.
+    Autdza,
+    /// Authenticate with register modifier.
+    Autda,
+    /// Strip signature without authenticating.
+    Xpacd,
+}
+
+impl PacInstr {
+    /// All instructions in Table 1 row order.
+    pub const ALL: [PacInstr; 5] = [
+        PacInstr::Pacdza,
+        PacInstr::Pacda,
+        PacInstr::Autdza,
+        PacInstr::Autda,
+        PacInstr::Xpacd,
+    ];
+
+    /// The mnemonic as printed in the paper.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PacInstr::Pacdza => "pacdza",
+            PacInstr::Pacda => "pacda",
+            PacInstr::Autdza => "autdza",
+            PacInstr::Autda => "autda",
+            PacInstr::Xpacd => "xpacd",
+        }
+    }
+
+    /// Sustained throughput in instructions per cycle (Table 1).
+    #[must_use]
+    pub fn throughput(self, core: Core) -> f64 {
+        use Core::*;
+        use PacInstr::*;
+        match (self, core) {
+            (Pacdza, CortexX3) => 1.01,
+            (Pacdza, CortexA715) => 1.51,
+            (Pacdza, CortexA510) => 0.20,
+            (Pacda, CortexX3) => 1.01,
+            (Pacda, CortexA715) => 1.42,
+            (Pacda, CortexA510) => 0.20,
+            (Autdza, CortexX3) => 1.01,
+            (Autdza, CortexA715) => 1.51,
+            (Autdza, CortexA510) => 0.20,
+            (Autda, CortexX3) => 1.01,
+            (Autda, CortexA715) => 1.43,
+            (Autda, CortexA510) => 0.20,
+            (Xpacd, CortexX3) => 1.01,
+            (Xpacd, CortexA715) => 1.56,
+            (Xpacd, CortexA510) => 0.20,
+        }
+    }
+
+    /// Result latency in cycles (Table 1).
+    #[must_use]
+    pub fn latency(self, core: Core) -> f64 {
+        use Core::*;
+        use PacInstr::*;
+        match (self, core) {
+            (Pacdza, CortexX3) | (Pacda, CortexX3) => 4.97,
+            (Pacdza, CortexA715) | (Pacda, CortexA715) => 5.00,
+            (Pacdza, CortexA510) => 4.99,
+            (Pacda, CortexA510) => 5.00,
+            (Autdza, CortexX3) | (Autda, CortexX3) => 4.97,
+            (Autdza, CortexA715) | (Autda, CortexA715) => 5.00,
+            (Autdza, CortexA510) | (Autda, CortexA510) => 7.99,
+            (Xpacd, CortexX3) => 1.99,
+            (Xpacd, CortexA715) => 2.00,
+            (Xpacd, CortexA510) => 4.99,
+        }
+    }
+
+    /// Average issue cost in cycles (reciprocal throughput), what the
+    /// engine's cycle accounting charges.
+    #[must_use]
+    pub fn issue_cycles(self, core: Core) -> f64 {
+        1.0 / self.throughput(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_populated() {
+        for instr in PacInstr::ALL {
+            for core in Core::ALL {
+                assert!(instr.throughput(core) > 0.0);
+                assert!(instr.latency(core) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_latency_is_about_five_cycles() {
+        // §7.2: "adding pointer authentication only adds 5 cycles of
+        // latency, which is not noticeable".
+        for core in Core::ALL {
+            let lat = PacInstr::Pacda.latency(core);
+            assert!((4.9..=5.1).contains(&lat), "{core}: {lat}");
+        }
+    }
+
+    #[test]
+    fn a510_auth_is_slower_than_sign() {
+        assert!(
+            PacInstr::Autda.latency(Core::CortexA510) > PacInstr::Pacda.latency(Core::CortexA510)
+        );
+    }
+
+    #[test]
+    fn spot_checks_match_paper() {
+        assert_eq!(PacInstr::Xpacd.throughput(Core::CortexA715), 1.56);
+        assert_eq!(PacInstr::Autda.latency(Core::CortexA510), 7.99);
+    }
+}

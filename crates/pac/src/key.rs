@@ -1,0 +1,73 @@
+//! PAC keys.
+//!
+//! PAC keys live in system registers the application cannot read. Cage
+//! generates one key per WASM instance at instantiation (§4.2 "On the
+//! instantiation of a WASM module, a secret key is generated. The key is not
+//! accessible by the user code") so that leaked signed pointers are useless
+//! in any other instance.
+
+use rand::Rng;
+
+/// A 128-bit PAC key.
+///
+/// Deliberately opaque: there is no accessor returning raw key material to
+/// embedders' guests — only [`crate::PacSigner`] consumes it. `Debug`
+/// redacts the value for the same reason.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacKey {
+    pub(crate) k0: u64,
+    pub(crate) k1: u64,
+}
+
+impl PacKey {
+    /// Generates a fresh random key from `rng`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        PacKey {
+            k0: rng.gen(),
+            k1: rng.gen(),
+        }
+    }
+
+    /// Builds a key from two words. Intended for tests and for deterministic
+    /// benchmark runs; production embedders should prefer
+    /// [`PacKey::generate`].
+    #[must_use]
+    pub fn from_parts(k0: u64, k1: u64) -> Self {
+        PacKey { k0, k1 }
+    }
+}
+
+impl std::fmt::Debug for PacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("PacKey(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_is_seed_deterministic() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(99);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(99);
+        assert_eq!(PacKey::generate(&mut r1), PacKey::generate(&mut r2));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_keys() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(2);
+        assert_ne!(PacKey::generate(&mut r1), PacKey::generate(&mut r2));
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let key = PacKey::from_parts(0x1234_5678_9abc_def0, 42);
+        let s = format!("{key:?}");
+        assert!(!s.contains("1234"));
+        assert!(s.contains("redacted"));
+    }
+}

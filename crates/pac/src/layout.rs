@@ -1,0 +1,150 @@
+//! Pointer bit layouts on aarch64 Linux (paper Fig. 3).
+//!
+//! 48 of 64 bits address memory; the rest hold metadata depending on which
+//! extensions are live. PAC's signature budget shrinks when MTE owns bits
+//! 56–59: Linux then places the signature in bits 63–60 and 54–49
+//! (10 bits); with PAC alone the signature also covers bits 59–56
+//! (14 bits). Bit 55 always distinguishes kernel from user space and is
+//! never part of the signature.
+
+/// Which metadata extensions are enabled for a pointer, fixing where a PAC
+/// signature may live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PointerLayout {
+    /// PAC alone: signature in bits 63–56 and 54–49 (14 bits).
+    #[default]
+    PacOnly,
+    /// PAC with MTE: MTE owns bits 56–59, signature in bits 63–60 and
+    /// 54–49 (10 bits).
+    MtePac,
+}
+
+impl PointerLayout {
+    /// Bit mask of the signature field.
+    #[must_use]
+    pub fn signature_mask(self) -> u64 {
+        // Bits 54..=49 are always signature bits.
+        let low: u64 = 0b11_1111 << 49;
+        match self {
+            // Bits 63..=56, minus nothing (bit 55 is below this range).
+            PointerLayout::PacOnly => (0xFF << 56) | low,
+            // Bits 63..=60 only; 59..=56 belong to MTE.
+            PointerLayout::MtePac => (0xF << 60) | low,
+        }
+    }
+
+    /// Number of signature bits (paper: "7 to 16 bit signature").
+    #[must_use]
+    pub fn signature_bits(self) -> u32 {
+        self.signature_mask().count_ones()
+    }
+
+    /// Mask of the bits MTE owns under this layout.
+    #[must_use]
+    pub fn mte_tag_mask(self) -> u64 {
+        match self {
+            PointerLayout::PacOnly => 0,
+            PointerLayout::MtePac => 0xF << 56,
+        }
+    }
+
+    /// Spreads the low `signature_bits()` bits of `sig` into the signature
+    /// field positions.
+    #[must_use]
+    pub fn deposit_signature(self, pointer: u64, sig: u64) -> u64 {
+        let mask = self.signature_mask();
+        let mut result = pointer & !mask;
+        let mut remaining = mask;
+        let mut sig_bits = sig;
+        while remaining != 0 {
+            let bit = remaining.trailing_zeros();
+            result |= (sig_bits & 1) << bit;
+            sig_bits >>= 1;
+            remaining &= remaining - 1;
+        }
+        result
+    }
+
+    /// Extracts the signature field back into a compact integer.
+    #[must_use]
+    pub fn extract_signature(self, pointer: u64) -> u64 {
+        let mut remaining = self.signature_mask();
+        let mut out = 0u64;
+        let mut pos = 0u32;
+        while remaining != 0 {
+            let bit = remaining.trailing_zeros();
+            out |= ((pointer >> bit) & 1) << pos;
+            pos += 1;
+            remaining &= remaining - 1;
+        }
+        out
+    }
+
+    /// Clears the signature field (the `xpacd` strip operation).
+    #[must_use]
+    pub fn strip(self, pointer: u64) -> u64 {
+        pointer & !self.signature_mask()
+    }
+
+    /// Truncates a full-width MAC to the signature budget.
+    #[must_use]
+    pub fn truncate_mac(self, mac: u64) -> u64 {
+        mac & ((1u64 << self.signature_bits()) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_budgets_match_fig3() {
+        assert_eq!(PointerLayout::PacOnly.signature_bits(), 14);
+        assert_eq!(PointerLayout::MtePac.signature_bits(), 10);
+    }
+
+    #[test]
+    fn signature_never_covers_bit_55_or_address_bits() {
+        for layout in [PointerLayout::PacOnly, PointerLayout::MtePac] {
+            let mask = layout.signature_mask();
+            assert_eq!(mask & (1 << 55), 0, "bit 55 is kernel/user");
+            assert_eq!(mask & ((1 << 48) - 1), 0, "address bits untouched");
+        }
+    }
+
+    #[test]
+    fn mte_layout_leaves_tag_bits_alone() {
+        let mask = PointerLayout::MtePac.signature_mask();
+        assert_eq!(mask & (0xF << 56), 0, "bits 56-59 belong to MTE");
+        assert_eq!(PointerLayout::MtePac.mte_tag_mask(), 0xF << 56);
+    }
+
+    #[test]
+    fn deposit_extract_roundtrip() {
+        for layout in [PointerLayout::PacOnly, PointerLayout::MtePac] {
+            let bits = layout.signature_bits();
+            for sig in [0u64, 1, 0x2AA, (1 << bits) - 1] {
+                let sig = sig & ((1 << bits) - 1);
+                let p = layout.deposit_signature(0x0000_7fff_dead_beef, sig);
+                assert_eq!(layout.extract_signature(p), sig);
+                assert_eq!(layout.strip(p), 0x0000_7fff_dead_beef);
+            }
+        }
+    }
+
+    #[test]
+    fn deposit_preserves_non_signature_bits() {
+        let layout = PointerLayout::MtePac;
+        // Pointer with an MTE tag in bits 56-59.
+        let tagged = 0x0000_0000_0000_1000u64 | (0x7 << 56);
+        let signed = layout.deposit_signature(tagged, 0x3FF);
+        assert_eq!(signed & (0xF << 56), 0x7 << 56, "MTE tag survives signing");
+        assert_eq!(signed & 0xFFFF_FFFF_FFFF, tagged & 0xFFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn truncate_mac_fits_budget() {
+        let layout = PointerLayout::MtePac;
+        assert!(layout.truncate_mac(u64::MAX) < (1 << 10));
+    }
+}

@@ -1,0 +1,91 @@
+//! PolyBench graph/dynamic-programming kernels.
+
+use crate::Kernel;
+
+const N: usize = 20;
+
+/// floyd-warshall: all-pairs shortest paths on integer weights.
+pub const FLOYD_WARSHALL: &str = r#"
+long path[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            path[i][j] = (i * j) % 7 + 1;
+            if ((i + j) % 13 == 0) {
+                path[i][j] = 999;
+            }
+            if (i == j) {
+                path[i][j] = 0;
+            }
+        }
+    }
+    for (int k = 0; k < 20; k++) {
+        for (int i = 0; i < 20; i++) {
+            for (int j = 0; j < 20; j++) {
+                long via = path[i][k] + path[k][j];
+                if (via < path[i][j]) {
+                    path[i][j] = via;
+                }
+            }
+        }
+    }
+    long sum = 0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + path[i][j];
+        }
+    }
+    return (double)sum;
+}
+"#;
+
+fn floyd_warshall_native() -> f64 {
+    let n = N;
+    let mut path = vec![vec![0i64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            path[i][j] = ((i * j) % 7 + 1) as i64;
+            if (i + j) % 13 == 0 {
+                path[i][j] = 999;
+            }
+            if i == j {
+                path[i][j] = 0;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = path[i][k] + path[k][j];
+                if via < path[i][j] {
+                    path[i][j] = via;
+                }
+            }
+        }
+    }
+    path.iter().flatten().sum::<i64>() as f64
+}
+
+/// The graph kernels.
+#[must_use]
+pub fn kernels() -> Vec<Kernel> {
+    vec![Kernel {
+        name: "floyd-warshall",
+        category: "medley",
+        source: FLOYD_WARSHALL,
+        native: floyd_warshall_native,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_paths_shrink_the_checksum() {
+        // After relaxation the sum must be well below the raw init sum.
+        let v = floyd_warshall_native();
+        assert!(v > 0.0 && v < 20.0 * 20.0 * 999.0);
+    }
+}

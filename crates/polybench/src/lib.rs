@@ -1,0 +1,99 @@
+//! # cage-polybench — the PolyBench/C workload corpus
+//!
+//! The paper evaluates Cage on PolyBench/C 3.2 (§7.1). This crate carries
+//! the kernels re-written in the micro-C subset `cage-cc` compiles, plus a
+//! native Rust reference implementation per kernel used to verify guest
+//! outputs bit-for-bit (both sides execute IEEE f64 in identical order).
+//!
+//! Dataset sizes are scaled to interpreter-friendly MINI dimensions; the
+//! evaluation's claims are relative overheads between Table 3 variants, so
+//! the absolute problem size only needs to keep kernels memory-access
+//! bound, which these sizes do.
+//!
+//! Each kernel's `run()` export initialises its (global) arrays the way
+//! PolyBench's `init_array` does, executes the kernel, and returns a
+//! checksum over the output arrays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calls;
+pub mod graph;
+pub mod linear_algebra;
+pub mod stencils;
+
+/// One PolyBench kernel: micro-C source + native reference.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    /// PolyBench name (e.g. `"gemm"`).
+    pub name: &'static str,
+    /// PolyBench category.
+    pub category: &'static str,
+    /// micro-C source; exports `double run()`.
+    pub source: &'static str,
+    /// Native Rust reference computing the identical checksum.
+    pub native: fn() -> f64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .finish()
+    }
+}
+
+/// The full kernel suite, in a stable order.
+#[must_use]
+pub fn kernels() -> Vec<Kernel> {
+    let mut v = linear_algebra::kernels();
+    v.extend(stencils::kernels());
+    v.extend(graph::kernels());
+    v
+}
+
+/// Looks up a kernel by name.
+#[must_use]
+pub fn kernel(name: &str) -> Option<Kernel> {
+    kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_at_least_a_dozen_kernels() {
+        let ks = kernels();
+        assert!(ks.len() >= 12, "{} kernels", ks.len());
+        // Unique names.
+        let mut names: Vec<_> = ks.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ks.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(kernel("gemm").is_some());
+        assert!(kernel("missing").is_none());
+    }
+
+    #[test]
+    fn all_kernels_compile_under_cc() {
+        for k in kernels() {
+            cage::cc::compile(k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn native_references_are_deterministic() {
+        for k in kernels() {
+            let a = (k.native)();
+            let b = (k.native)();
+            assert_eq!(a.to_bits(), b.to_bits(), "{}", k.name);
+            assert!(a.is_finite(), "{}: {a}", k.name);
+        }
+    }
+}

@@ -1,0 +1,1108 @@
+//! PolyBench linear-algebra kernels (micro-C + native references).
+//!
+//! Matrix sizes: cubic kernels use N = 20, matrix–vector kernels N = 32 —
+//! MINI-class datasets that keep the interpreted runs fast while staying
+//! memory-access bound.
+
+use crate::Kernel;
+
+const N3: usize = 20; // cubic kernels
+const N2: usize = 32; // quadratic kernels
+
+/// gemm: C = alpha·A·B + beta·C.
+pub const GEMM: &str = r#"
+double A[20][20];
+double B[20][20];
+double C[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = (double)i * (j + 1) / 20.0;
+            B[i][j] = (double)j * (i + 2) / 20.0;
+            C[i][j] = (double)(i + j) / 20.0;
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            C[i][j] = C[i][j] * 1.2;
+            for (int k = 0; k < 20; k++) {
+                C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + C[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn gemm_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    let mut c = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = i as f64 * (j + 1) as f64 / 20.0;
+            b[i][j] = j as f64 * (i + 2) as f64 / 20.0;
+            c[i][j] = (i + j) as f64 / 20.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c[i][j] *= 1.2;
+            for k in 0..n {
+                c[i][j] = c[i][j] + 1.5 * a[i][k] * b[k][j];
+            }
+        }
+    }
+    c.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// 2mm: D = alpha·A·B·C + beta·D.
+pub const TWO_MM: &str = r#"
+double A[20][20];
+double B[20][20];
+double C[20][20];
+double D[20][20];
+double tmp[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = (double)i * j / 20.0;
+            B[i][j] = (double)i * (j + 1) / 20.0;
+            C[i][j] = (double)i * (j + 3) / 20.0;
+            D[i][j] = (double)i * (j + 2) / 20.0;
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            tmp[i][j] = 0.0;
+            for (int k = 0; k < 20; k++) {
+                tmp[i][j] = tmp[i][j] + 1.1 * A[i][k] * B[k][j];
+            }
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            D[i][j] = D[i][j] * 1.3;
+            for (int k = 0; k < 20; k++) {
+                D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + D[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn two_mm_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    let mut c = vec![vec![0.0f64; n]; n];
+    let mut d = vec![vec![0.0f64; n]; n];
+    let mut tmp = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = i as f64 * j as f64 / 20.0;
+            b[i][j] = i as f64 * (j + 1) as f64 / 20.0;
+            c[i][j] = i as f64 * (j + 3) as f64 / 20.0;
+            d[i][j] = i as f64 * (j + 2) as f64 / 20.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            tmp[i][j] = 0.0;
+            for k in 0..n {
+                tmp[i][j] = tmp[i][j] + 1.1 * a[i][k] * b[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            d[i][j] *= 1.3;
+            for k in 0..n {
+                d[i][j] = d[i][j] + tmp[i][k] * c[k][j];
+            }
+        }
+    }
+    d.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// 3mm: G = (A·B)·(C·D).
+pub const THREE_MM: &str = r#"
+double A[20][20];
+double B[20][20];
+double C[20][20];
+double D[20][20];
+double E[20][20];
+double F[20][20];
+double G[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = (double)i * j / 20.0;
+            B[i][j] = (double)i * (j + 1) / 20.0;
+            C[i][j] = (double)i * (j + 3) / 20.0;
+            D[i][j] = (double)i * (j + 2) / 20.0;
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            E[i][j] = 0.0;
+            for (int k = 0; k < 20; k++) {
+                E[i][j] = E[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            F[i][j] = 0.0;
+            for (int k = 0; k < 20; k++) {
+                F[i][j] = F[i][j] + C[i][k] * D[k][j];
+            }
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            G[i][j] = 0.0;
+            for (int k = 0; k < 20; k++) {
+                G[i][j] = G[i][j] + E[i][k] * F[k][j];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + G[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn three_mm_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    let mut c = vec![vec![0.0f64; n]; n];
+    let mut d = vec![vec![0.0f64; n]; n];
+    let mut e = vec![vec![0.0f64; n]; n];
+    let mut f = vec![vec![0.0f64; n]; n];
+    let mut g = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = i as f64 * j as f64 / 20.0;
+            b[i][j] = i as f64 * (j + 1) as f64 / 20.0;
+            c[i][j] = i as f64 * (j + 3) as f64 / 20.0;
+            d[i][j] = i as f64 * (j + 2) as f64 / 20.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            e[i][j] = 0.0;
+            for k in 0..n {
+                e[i][j] = e[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            f[i][j] = 0.0;
+            for k in 0..n {
+                f[i][j] = f[i][j] + c[i][k] * d[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            g[i][j] = 0.0;
+            for k in 0..n {
+                g[i][j] = g[i][j] + e[i][k] * f[k][j];
+            }
+        }
+    }
+    g.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// atax: y = Aᵀ(A·x).
+pub const ATAX: &str = r#"
+double A[32][32];
+double x[32];
+double y[32];
+double tmp[32];
+
+double run() {
+    for (int i = 0; i < 32; i++) {
+        x[i] = 1.0 + (double)i / 32.0;
+        y[i] = 0.0;
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = (double)(i + j) / 32.0;
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        tmp[i] = 0.0;
+        for (int j = 0; j < 32; j++) {
+            tmp[i] = tmp[i] + A[i][j] * x[j];
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            y[j] = y[j] + A[i][j] * tmp[i];
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 32; i++) {
+        sum = sum + y[i];
+    }
+    return sum;
+}
+"#;
+
+fn atax_native() -> f64 {
+    let n = N2;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut tmp = vec![0.0f64; n];
+    for i in 0..n {
+        x[i] = 1.0 + i as f64 / 32.0;
+        for j in 0..n {
+            a[i][j] = (i + j) as f64 / 32.0;
+        }
+    }
+    for i in 0..n {
+        tmp[i] = 0.0;
+        for j in 0..n {
+            tmp[i] = tmp[i] + a[i][j] * x[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            y[j] = y[j] + a[i][j] * tmp[i];
+        }
+    }
+    y.iter().fold(0.0, |s, v| s + v)
+}
+
+/// bicg: s = Aᵀ·r, q = A·p.
+pub const BICG: &str = r#"
+double A[32][32];
+double r[32];
+double p[32];
+double s[32];
+double q[32];
+
+double run() {
+    for (int i = 0; i < 32; i++) {
+        r[i] = (double)i / 32.0;
+        p[i] = (double)(i + 1) / 32.0;
+        s[i] = 0.0;
+        q[i] = 0.0;
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = (double)(i * (j + 1)) / 32.0;
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            s[j] = s[j] + r[i] * A[i][j];
+            q[i] = q[i] + A[i][j] * p[j];
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 32; i++) {
+        sum = sum + s[i] + q[i];
+    }
+    return sum;
+}
+"#;
+
+fn bicg_native() -> f64 {
+    let n = N2;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut r = vec![0.0f64; n];
+    let mut p = vec![0.0f64; n];
+    let mut s = vec![0.0f64; n];
+    let mut q = vec![0.0f64; n];
+    for i in 0..n {
+        r[i] = i as f64 / 32.0;
+        p[i] = (i + 1) as f64 / 32.0;
+        for j in 0..n {
+            a[i][j] = (i * (j + 1)) as f64 / 32.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            s[j] = s[j] + r[i] * a[i][j];
+            q[i] = q[i] + a[i][j] * p[j];
+        }
+    }
+    (0..n).fold(0.0, |acc, i| acc + s[i] + q[i])
+}
+
+/// gesummv: y = alpha·A·x + beta·B·x.
+pub const GESUMMV: &str = r#"
+double A[32][32];
+double B[32][32];
+double x[32];
+double y[32];
+double tmp[32];
+
+double run() {
+    for (int i = 0; i < 32; i++) {
+        x[i] = (double)i / 32.0;
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = (double)(i * j + 1) / 32.0;
+            B[i][j] = (double)(i * j + 2) / 32.0;
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        tmp[i] = 0.0;
+        y[i] = 0.0;
+        for (int j = 0; j < 32; j++) {
+            tmp[i] = A[i][j] * x[j] + tmp[i];
+            y[i] = B[i][j] * x[j] + y[i];
+        }
+        y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 32; i++) {
+        sum = sum + y[i];
+    }
+    return sum;
+}
+"#;
+
+fn gesummv_native() -> f64 {
+    let n = N2;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut tmp = vec![0.0f64; n];
+    for i in 0..n {
+        x[i] = i as f64 / 32.0;
+        for j in 0..n {
+            a[i][j] = (i * j + 1) as f64 / 32.0;
+            b[i][j] = (i * j + 2) as f64 / 32.0;
+        }
+    }
+    for i in 0..n {
+        tmp[i] = 0.0;
+        y[i] = 0.0;
+        for j in 0..n {
+            tmp[i] = a[i][j] * x[j] + tmp[i];
+            y[i] = b[i][j] * x[j] + y[i];
+        }
+        y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+    }
+    y.iter().fold(0.0, |s, v| s + v)
+}
+
+/// mvt: x1 += A·y1, x2 += Aᵀ·y2.
+pub const MVT: &str = r#"
+double A[32][32];
+double x1[32];
+double x2[32];
+double y1[32];
+double y2[32];
+
+double run() {
+    for (int i = 0; i < 32; i++) {
+        x1[i] = (double)i / 32.0;
+        x2[i] = (double)(i + 1) / 32.0;
+        y1[i] = (double)(i + 3) / 32.0;
+        y2[i] = (double)(i + 4) / 32.0;
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = (double)(i * j) / 32.0;
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            x1[i] = x1[i] + A[i][j] * y1[j];
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            x2[i] = x2[i] + A[j][i] * y2[j];
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 32; i++) {
+        sum = sum + x1[i] + x2[i];
+    }
+    return sum;
+}
+"#;
+
+fn mvt_native() -> f64 {
+    let n = N2;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut x1 = vec![0.0f64; n];
+    let mut x2 = vec![0.0f64; n];
+    let mut y1 = vec![0.0f64; n];
+    let mut y2 = vec![0.0f64; n];
+    for i in 0..n {
+        x1[i] = i as f64 / 32.0;
+        x2[i] = (i + 1) as f64 / 32.0;
+        y1[i] = (i + 3) as f64 / 32.0;
+        y2[i] = (i + 4) as f64 / 32.0;
+        for j in 0..n {
+            a[i][j] = (i * j) as f64 / 32.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x1[i] = x1[i] + a[i][j] * y1[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x2[i] = x2[i] + a[j][i] * y2[j];
+        }
+    }
+    (0..n).fold(0.0, |s, i| s + x1[i] + x2[i])
+}
+
+/// syrk: C = alpha·A·Aᵀ + beta·C.
+pub const SYRK: &str = r#"
+double A[20][20];
+double C[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = (double)i * j / 20.0;
+            C[i][j] = (double)(i + j + 2) / 20.0;
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            C[i][j] = C[i][j] * 1.2;
+            for (int k = 0; k < 20; k++) {
+                C[i][j] = C[i][j] + 1.5 * A[i][k] * A[j][k];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + C[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn syrk_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut c = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = i as f64 * j as f64 / 20.0;
+            c[i][j] = (i + j + 2) as f64 / 20.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c[i][j] *= 1.2;
+            for k in 0..n {
+                c[i][j] = c[i][j] + 1.5 * a[i][k] * a[j][k];
+            }
+        }
+    }
+    c.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// syr2k: C = alpha·A·Bᵀ + alpha·B·Aᵀ + beta·C.
+pub const SYR2K: &str = r#"
+double A[20][20];
+double B[20][20];
+double C[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = (double)i * j / 20.0;
+            B[i][j] = (double)(i * j + 1) / 20.0;
+            C[i][j] = (double)(i + j + 2) / 20.0;
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            C[i][j] = C[i][j] * 1.2;
+            for (int k = 0; k < 20; k++) {
+                C[i][j] = C[i][j] + 1.5 * A[i][k] * B[j][k] + 1.5 * B[i][k] * A[j][k];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + C[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn syr2k_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    let mut c = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = i as f64 * j as f64 / 20.0;
+            b[i][j] = (i * j + 1) as f64 / 20.0;
+            c[i][j] = (i + j + 2) as f64 / 20.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c[i][j] *= 1.2;
+            for k in 0..n {
+                c[i][j] = c[i][j] + 1.5 * a[i][k] * b[j][k] + 1.5 * b[i][k] * a[j][k];
+            }
+        }
+    }
+    c.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// trmm: triangular matrix multiply, B += A·B with lower-triangular A.
+pub const TRMM: &str = r#"
+double A[20][20];
+double B[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = (double)(i + j) / 20.0;
+            B[i][j] = (double)(i * j + 1) / 20.0;
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            for (int k = 0; k < i; k++) {
+                B[i][j] = B[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + B[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn trmm_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = (i + j) as f64 / 20.0;
+            b[i][j] = (i * j + 1) as f64 / 20.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..i {
+                b[i][j] = b[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+    b.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// trisolv: forward substitution L·x = b.
+pub const TRISOLV: &str = r#"
+double L[32][32];
+double x[32];
+double b[32];
+
+double run() {
+    for (int i = 0; i < 32; i++) {
+        b[i] = 1.0 + (double)i / 32.0;
+        for (int j = 0; j < 32; j++) {
+            L[i][j] = (double)(i + j + 2) / 64.0;
+        }
+        L[i][i] = 1.0 + (double)i / 32.0 + L[i][i];
+    }
+    for (int i = 0; i < 32; i++) {
+        x[i] = b[i];
+        for (int j = 0; j < i; j++) {
+            x[i] = x[i] - L[i][j] * x[j];
+        }
+        x[i] = x[i] / L[i][i];
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 32; i++) {
+        sum = sum + x[i];
+    }
+    return sum;
+}
+"#;
+
+fn trisolv_native() -> f64 {
+    let n = N2;
+    let mut l = vec![vec![0.0f64; n]; n];
+    let mut x = vec![0.0f64; n];
+    let mut b = vec![0.0f64; n];
+    for i in 0..n {
+        b[i] = 1.0 + i as f64 / 32.0;
+        for j in 0..n {
+            l[i][j] = (i + j + 2) as f64 / 64.0;
+        }
+        l[i][i] = 1.0 + i as f64 / 32.0 + l[i][i];
+    }
+    for i in 0..n {
+        x[i] = b[i];
+        for j in 0..i {
+            x[i] = x[i] - l[i][j] * x[j];
+        }
+        x[i] = x[i] / l[i][i];
+    }
+    x.iter().fold(0.0, |s, v| s + v)
+}
+
+/// lu: in-place LU decomposition without pivoting (diagonally dominant A).
+pub const LU: &str = r#"
+double A[20][20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            if (i == j) {
+                A[i][j] = 20.0 + (double)i;
+            } else {
+                A[i][j] = 1.0 / ((double)(i + j) + 1.0);
+            }
+        }
+    }
+    for (int k = 0; k < 20; k++) {
+        for (int j = k + 1; j < 20; j++) {
+            A[k][j] = A[k][j] / A[k][k];
+        }
+        for (int i = k + 1; i < 20; i++) {
+            for (int j = k + 1; j < 20; j++) {
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            sum = sum + A[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn lu_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = if i == j {
+                20.0 + i as f64
+            } else {
+                1.0 / ((i + j) as f64 + 1.0)
+            };
+        }
+    }
+    for k in 0..n {
+        for j in k + 1..n {
+            a[k][j] = a[k][j] / a[k][k];
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                a[i][j] = a[i][j] - a[i][k] * a[k][j];
+            }
+        }
+    }
+    a.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// The linear-algebra kernels.
+#[must_use]
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "gemm",
+            category: "linear-algebra/blas",
+            source: GEMM,
+            native: gemm_native,
+        },
+        Kernel {
+            name: "2mm",
+            category: "linear-algebra/kernels",
+            source: TWO_MM,
+            native: two_mm_native,
+        },
+        Kernel {
+            name: "3mm",
+            category: "linear-algebra/kernels",
+            source: THREE_MM,
+            native: three_mm_native,
+        },
+        Kernel {
+            name: "atax",
+            category: "linear-algebra/kernels",
+            source: ATAX,
+            native: atax_native,
+        },
+        Kernel {
+            name: "bicg",
+            category: "linear-algebra/kernels",
+            source: BICG,
+            native: bicg_native,
+        },
+        Kernel {
+            name: "gesummv",
+            category: "linear-algebra/blas",
+            source: GESUMMV,
+            native: gesummv_native,
+        },
+        Kernel {
+            name: "mvt",
+            category: "linear-algebra/kernels",
+            source: MVT,
+            native: mvt_native,
+        },
+        Kernel {
+            name: "syrk",
+            category: "linear-algebra/blas",
+            source: SYRK,
+            native: syrk_native,
+        },
+        Kernel {
+            name: "syr2k",
+            category: "linear-algebra/blas",
+            source: SYR2K,
+            native: syr2k_native,
+        },
+        Kernel {
+            name: "trmm",
+            category: "linear-algebra/blas",
+            source: TRMM,
+            native: trmm_native,
+        },
+        Kernel {
+            name: "trisolv",
+            category: "linear-algebra/solvers",
+            source: TRISOLV,
+            native: trisolv_native,
+        },
+        Kernel {
+            name: "lu",
+            category: "linear-algebra/solvers",
+            source: LU,
+            native: lu_native,
+        },
+        Kernel {
+            name: "gemver",
+            category: "linear-algebra/blas",
+            source: GEMVER,
+            native: gemver_native,
+        },
+        Kernel {
+            name: "doitgen",
+            category: "linear-algebra/kernels",
+            source: DOITGEN,
+            native: doitgen_native,
+        },
+        Kernel {
+            name: "cholesky",
+            category: "linear-algebra/solvers",
+            source: CHOLESKY,
+            native: cholesky_native,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_kernels() {
+        assert_eq!(kernels().len(), 15);
+    }
+
+    #[test]
+    fn native_checksums_are_finite_and_nonzero() {
+        for k in kernels() {
+            let v = (k.native)();
+            assert!(v.is_finite() && v != 0.0, "{}: {v}", k.name);
+        }
+    }
+}
+
+/// gemver: A = A + u1·v1ᵀ + u2·v2ᵀ; x = beta·Aᵀ·y + z; w = alpha·A·x.
+pub const GEMVER: &str = r#"
+double A[32][32];
+double u1[32];
+double v1[32];
+double u2[32];
+double v2[32];
+double w[32];
+double x[32];
+double y[32];
+double z[32];
+
+double run() {
+    for (int i = 0; i < 32; i++) {
+        u1[i] = (double)i / 32.0;
+        u2[i] = (double)(i + 1) / 48.0;
+        v1[i] = (double)(i + 1) / 64.0;
+        v2[i] = (double)(i + 1) / 96.0;
+        y[i] = (double)(i + 3) / 32.0;
+        z[i] = (double)(i + 5) / 32.0;
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = (double)(i * j) / 32.0;
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            x[i] = x[i] + 1.2 * A[j][i] * y[j];
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        x[i] = x[i] + z[i];
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            w[i] = w[i] + 1.5 * A[i][j] * x[j];
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 32; i++) {
+        sum = sum + w[i];
+    }
+    return sum;
+}
+"#;
+
+fn gemver_native() -> f64 {
+    let n = N2;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut u1 = vec![0.0f64; n];
+    let mut v1 = vec![0.0f64; n];
+    let mut u2 = vec![0.0f64; n];
+    let mut v2 = vec![0.0f64; n];
+    let mut w = vec![0.0f64; n];
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    for i in 0..n {
+        u1[i] = i as f64 / 32.0;
+        u2[i] = (i + 1) as f64 / 48.0;
+        v1[i] = (i + 1) as f64 / 64.0;
+        v2[i] = (i + 1) as f64 / 96.0;
+        y[i] = (i + 3) as f64 / 32.0;
+        z[i] = (i + 5) as f64 / 32.0;
+        for j in 0..n {
+            a[i][j] = (i * j) as f64 / 32.0;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = a[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x[i] = x[i] + 1.2 * a[j][i] * y[j];
+        }
+    }
+    for i in 0..n {
+        x[i] += z[i];
+    }
+    for i in 0..n {
+        for j in 0..n {
+            w[i] = w[i] + 1.5 * a[i][j] * x[j];
+        }
+    }
+    w.iter().fold(0.0, |s, v| s + v)
+}
+
+/// doitgen: multi-resolution tensor contraction.
+pub const DOITGEN: &str = r#"
+double A[12][12][12];
+double C4[12][12];
+double sumbuf[12];
+
+double run() {
+    for (int r = 0; r < 12; r++) {
+        for (int q = 0; q < 12; q++) {
+            for (int p = 0; p < 12; p++) {
+                A[r][q][p] = (double)(r * q + p) / 12.0;
+            }
+        }
+    }
+    for (int s = 0; s < 12; s++) {
+        for (int p = 0; p < 12; p++) {
+            C4[s][p] = (double)(s * p) / 12.0;
+        }
+    }
+    for (int r = 0; r < 12; r++) {
+        for (int q = 0; q < 12; q++) {
+            for (int p = 0; p < 12; p++) {
+                sumbuf[p] = 0.0;
+                for (int s = 0; s < 12; s++) {
+                    sumbuf[p] = sumbuf[p] + A[r][q][s] * C4[s][p];
+                }
+            }
+            for (int p = 0; p < 12; p++) {
+                A[r][q][p] = sumbuf[p];
+            }
+        }
+    }
+    double total = 0.0;
+    for (int r = 0; r < 12; r++) {
+        for (int q = 0; q < 12; q++) {
+            for (int p = 0; p < 12; p++) {
+                total = total + A[r][q][p];
+            }
+        }
+    }
+    return total;
+}
+"#;
+
+fn doitgen_native() -> f64 {
+    const NR: usize = 12;
+    let mut a = vec![vec![vec![0.0f64; NR]; NR]; NR];
+    let mut c4 = vec![vec![0.0f64; NR]; NR];
+    let mut sumbuf = vec![0.0f64; NR];
+    for r in 0..NR {
+        for q in 0..NR {
+            for p in 0..NR {
+                a[r][q][p] = (r * q + p) as f64 / 12.0;
+            }
+        }
+    }
+    for s in 0..NR {
+        for p in 0..NR {
+            c4[s][p] = (s * p) as f64 / 12.0;
+        }
+    }
+    for r in 0..NR {
+        for q in 0..NR {
+            for p in 0..NR {
+                sumbuf[p] = 0.0;
+                for s in 0..NR {
+                    sumbuf[p] = sumbuf[p] + a[r][q][s] * c4[s][p];
+                }
+            }
+            for p in 0..NR {
+                a[r][q][p] = sumbuf[p];
+            }
+        }
+    }
+    a.iter().flatten().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// cholesky: in-place Cholesky decomposition of a symmetric positive-
+/// definite matrix.
+pub const CHOLESKY: &str = r#"
+double A[20][20];
+double p[20];
+
+double run() {
+    for (int i = 0; i < 20; i++) {
+        for (int j = 0; j < 20; j++) {
+            if (i == j) {
+                A[i][j] = 40.0 + (double)i;
+            } else {
+                A[i][j] = 1.0 / ((double)(i + j) + 1.0);
+            }
+        }
+    }
+    for (int i = 0; i < 20; i++) {
+        double x = A[i][i];
+        for (int j = 0; j < i; j++) {
+            x = x - A[i][j] * A[i][j];
+        }
+        p[i] = 1.0 / __builtin_sqrt(x);
+        for (int j = i + 1; j < 20; j++) {
+            double y = A[i][j];
+            for (int k = 0; k < i; k++) {
+                y = y - A[j][k] * A[i][k];
+            }
+            A[j][i] = y * p[i];
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 20; i++) {
+        sum = sum + p[i];
+        for (int j = 0; j < i; j++) {
+            sum = sum + A[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn cholesky_native() -> f64 {
+    let n = N3;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut p = vec![0.0f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = if i == j {
+                40.0 + i as f64
+            } else {
+                1.0 / ((i + j) as f64 + 1.0)
+            };
+        }
+    }
+    for i in 0..n {
+        let mut x = a[i][i];
+        for j in 0..i {
+            x = x - a[i][j] * a[i][j];
+        }
+        p[i] = 1.0 / x.sqrt();
+        for j in i + 1..n {
+            let mut y = a[i][j];
+            for k in 0..i {
+                y = y - a[j][k] * a[i][k];
+            }
+            a[j][i] = y * p[i];
+        }
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        sum += p[i];
+        for j in 0..i {
+            sum += a[i][j];
+        }
+    }
+    sum
+}

@@ -1,0 +1,297 @@
+//! PolyBench stencil kernels.
+
+use crate::Kernel;
+
+const N: usize = 24;
+const T: usize = 8;
+
+/// jacobi-2d: T sweeps of a 5-point stencil with double buffering.
+pub const JACOBI_2D: &str = r#"
+double A[24][24];
+double B[24][24];
+
+double run() {
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            A[i][j] = (double)i * (j + 2) / 24.0;
+            B[i][j] = (double)i * (j + 3) / 24.0;
+        }
+    }
+    for (int t = 0; t < 8; t++) {
+        for (int i = 1; i < 23; i++) {
+            for (int j = 1; j < 23; j++) {
+                B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+            }
+        }
+        for (int i = 1; i < 23; i++) {
+            for (int j = 1; j < 23; j++) {
+                A[i][j] = B[i][j];
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            sum = sum + A[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn jacobi_2d_native() -> f64 {
+    let n = N;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = i as f64 * (j + 2) as f64 / 24.0;
+            b[i][j] = i as f64 * (j + 3) as f64 / 24.0;
+        }
+    }
+    for _t in 0..T {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[i][j] = 0.2 * (a[i][j] + a[i][j - 1] + a[i][j + 1] + a[i + 1][j] + a[i - 1][j]);
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i][j] = b[i][j];
+            }
+        }
+    }
+    a.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// seidel-2d: in-place 9-point Gauss-Seidel sweeps.
+pub const SEIDEL_2D: &str = r#"
+double A[24][24];
+
+double run() {
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            A[i][j] = ((double)i * (j + 2) + 2.0) / 24.0;
+        }
+    }
+    for (int t = 0; t < 8; t++) {
+        for (int i = 1; i < 23; i++) {
+            for (int j = 1; j < 23; j++) {
+                A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                    + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                    + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            sum = sum + A[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn seidel_2d_native() -> f64 {
+    let n = N;
+    let mut a = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = (i as f64 * (j + 2) as f64 + 2.0) / 24.0;
+        }
+    }
+    for _t in 0..T {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i][j] = (a[i - 1][j - 1]
+                    + a[i - 1][j]
+                    + a[i - 1][j + 1]
+                    + a[i][j - 1]
+                    + a[i][j]
+                    + a[i][j + 1]
+                    + a[i + 1][j - 1]
+                    + a[i + 1][j]
+                    + a[i + 1][j + 1])
+                    / 9.0;
+            }
+        }
+    }
+    a.iter().flatten().fold(0.0, |s, v| s + v)
+}
+
+/// fdtd-2d: 2-D finite-difference time-domain kernel.
+pub const FDTD_2D: &str = r#"
+double ex[24][24];
+double ey[24][24];
+double hz[24][24];
+
+double run() {
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            ex[i][j] = (double)i * (j + 1) / 24.0;
+            ey[i][j] = (double)i * (j + 2) / 24.0;
+            hz[i][j] = (double)i * (j + 3) / 24.0;
+        }
+    }
+    for (int t = 0; t < 8; t++) {
+        for (int j = 0; j < 24; j++) {
+            ey[0][j] = (double)t;
+        }
+        for (int i = 1; i < 24; i++) {
+            for (int j = 0; j < 24; j++) {
+                ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+            }
+        }
+        for (int i = 0; i < 24; i++) {
+            for (int j = 1; j < 24; j++) {
+                ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+            }
+        }
+        for (int i = 0; i < 23; i++) {
+            for (int j = 0; j < 23; j++) {
+                hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++) {
+            sum = sum + ex[i][j] + ey[i][j] + hz[i][j];
+        }
+    }
+    return sum;
+}
+"#;
+
+fn fdtd_2d_native() -> f64 {
+    let n = N;
+    let mut ex = vec![vec![0.0f64; n]; n];
+    let mut ey = vec![vec![0.0f64; n]; n];
+    let mut hz = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            ex[i][j] = i as f64 * (j + 1) as f64 / 24.0;
+            ey[i][j] = i as f64 * (j + 2) as f64 / 24.0;
+            hz[i][j] = i as f64 * (j + 3) as f64 / 24.0;
+        }
+    }
+    for t in 0..T {
+        for j in 0..n {
+            ey[0][j] = t as f64;
+        }
+        for i in 1..n {
+            for j in 0..n {
+                ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+            }
+        }
+        for i in 0..n {
+            for j in 1..n {
+                ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+            }
+        }
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            sum = sum + ex[i][j] + ey[i][j] + hz[i][j];
+        }
+    }
+    sum
+}
+
+/// The stencil kernels.
+#[must_use]
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "jacobi-2d",
+            category: "stencils",
+            source: JACOBI_2D,
+            native: jacobi_2d_native,
+        },
+        Kernel {
+            name: "seidel-2d",
+            category: "stencils",
+            source: SEIDEL_2D,
+            native: seidel_2d_native,
+        },
+        Kernel {
+            name: "fdtd-2d",
+            category: "stencils",
+            source: FDTD_2D,
+            native: fdtd_2d_native,
+        },
+        Kernel {
+            name: "jacobi-1d",
+            category: "stencils",
+            source: JACOBI_1D,
+            native: jacobi_1d_native,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_stencils_with_finite_checksums() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 4);
+        for k in ks {
+            assert!((k.native)().is_finite());
+        }
+    }
+}
+
+/// jacobi-1d: T sweeps of a 3-point stencil, double buffered.
+pub const JACOBI_1D: &str = r#"
+double A[64];
+double B[64];
+
+double run() {
+    for (int i = 0; i < 64; i++) {
+        A[i] = ((double)i + 2.0) / 64.0;
+        B[i] = ((double)i + 3.0) / 64.0;
+    }
+    for (int t = 0; t < 16; t++) {
+        for (int i = 1; i < 63; i++) {
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+        }
+        for (int i = 1; i < 63; i++) {
+            A[i] = B[i];
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 64; i++) {
+        sum = sum + A[i];
+    }
+    return sum;
+}
+"#;
+
+fn jacobi_1d_native() -> f64 {
+    const N1: usize = 64;
+    const T1: usize = 16;
+    let mut a = vec![0.0f64; N1];
+    let mut b = vec![0.0f64; N1];
+    for i in 0..N1 {
+        a[i] = (i as f64 + 2.0) / 64.0;
+        b[i] = (i as f64 + 3.0) / 64.0;
+    }
+    for _t in 0..T1 {
+        for i in 1..N1 - 1 {
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+        }
+        for i in 1..N1 - 1 {
+            a[i] = b[i];
+        }
+    }
+    a.iter().fold(0.0, |s, v| s + v)
+}

@@ -1,0 +1,63 @@
+//! Guest-vs-native verification: every kernel's checksum must match the
+//! Rust reference bit-for-bit (both execute IEEE f64 in the same order).
+
+use cage::{build, Core, Value, Variant};
+
+fn run_guest(source: &str, variant: Variant) -> f64 {
+    let artifact = build(source, variant).expect("builds");
+    let mut inst = artifact.instantiate(Core::CortexX3).expect("instantiates");
+    match inst.invoke("run", &[]).expect("runs")[..] {
+        [Value::F64(v)] => v,
+        ref other => panic!("unexpected result {other:?}"),
+    }
+}
+
+#[test]
+fn all_kernels_match_native_reference_on_baseline() {
+    for k in cage_polybench::kernels() {
+        let native = (k.native)();
+        let guest = run_guest(k.source, Variant::BaselineWasm64);
+        assert_eq!(
+            guest.to_bits(),
+            native.to_bits(),
+            "{}: guest {guest} vs native {native}",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn all_kernels_match_native_reference_under_full_cage() {
+    for k in cage_polybench::kernels() {
+        let native = (k.native)();
+        let guest = run_guest(k.source, Variant::CageFull);
+        assert_eq!(
+            guest.to_bits(),
+            native.to_bits(),
+            "{}: guest {guest} vs native {native}",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn kernels_match_on_wasm32() {
+    for k in cage_polybench::kernels() {
+        let native = (k.native)();
+        let guest = run_guest(k.source, Variant::BaselineWasm32);
+        assert_eq!(guest.to_bits(), native.to_bits(), "{}", k.name);
+    }
+}
+
+#[test]
+fn fig15_variants_agree_with_reference() {
+    let native = cage_polybench::calls::two_mm_calls_native();
+    for (label, src, variant) in [
+        ("static", cage_polybench::calls::TWO_MM_STATIC, Variant::BaselineWasm64),
+        ("dynamic", cage_polybench::calls::TWO_MM_DYNAMIC, Variant::BaselineWasm64),
+        ("ptr-auth", cage_polybench::calls::TWO_MM_DYNAMIC, Variant::CagePtrAuth),
+    ] {
+        let guest = run_guest(src, variant);
+        assert_eq!(guest.to_bits(), native.to_bits(), "{label}");
+    }
+}

@@ -1,0 +1,593 @@
+//! Module → bytes.
+
+use crate::instr::{BlockType, Instr, LoadOp, MemArg, StoreOp};
+use crate::leb;
+use crate::module::{ExportKind, ImportKind, Module};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+use super::{cage_op, misc_op, SectionId, CAGE_PREFIX, MAGIC, MISC_PREFIX};
+
+/// Encodes `module` into the binary format.
+#[must_use]
+pub fn encode(module: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(&MAGIC);
+
+    if !module.types.is_empty() {
+        section(&mut out, SectionId::Type, |buf| {
+            leb::write_u32(buf, module.types.len() as u32);
+            for ty in &module.types {
+                func_type(buf, ty);
+            }
+        });
+    }
+    if !module.imports.is_empty() {
+        section(&mut out, SectionId::Import, |buf| {
+            leb::write_u32(buf, module.imports.len() as u32);
+            for import in &module.imports {
+                name(buf, &import.module);
+                name(buf, &import.name);
+                match &import.kind {
+                    ImportKind::Func(t) => {
+                        buf.push(0x00);
+                        leb::write_u32(buf, *t);
+                    }
+                    ImportKind::Table(t) => {
+                        buf.push(0x01);
+                        table_type(buf, t);
+                    }
+                    ImportKind::Memory(m) => {
+                        buf.push(0x02);
+                        memory_type(buf, m);
+                    }
+                    ImportKind::Global(g) => {
+                        buf.push(0x03);
+                        global_type(buf, g);
+                    }
+                }
+            }
+        });
+    }
+    if !module.funcs.is_empty() {
+        section(&mut out, SectionId::Function, |buf| {
+            leb::write_u32(buf, module.funcs.len() as u32);
+            for f in &module.funcs {
+                leb::write_u32(buf, f.type_idx);
+            }
+        });
+    }
+    if !module.tables.is_empty() {
+        section(&mut out, SectionId::Table, |buf| {
+            leb::write_u32(buf, module.tables.len() as u32);
+            for t in &module.tables {
+                table_type(buf, t);
+            }
+        });
+    }
+    if !module.memories.is_empty() {
+        section(&mut out, SectionId::Memory, |buf| {
+            leb::write_u32(buf, module.memories.len() as u32);
+            for m in &module.memories {
+                memory_type(buf, m);
+            }
+        });
+    }
+    if !module.globals.is_empty() {
+        section(&mut out, SectionId::Global, |buf| {
+            leb::write_u32(buf, module.globals.len() as u32);
+            for g in &module.globals {
+                global_type(buf, &g.ty);
+                instr(buf, &g.init);
+                buf.push(0x0B);
+            }
+        });
+    }
+    if !module.exports.is_empty() {
+        section(&mut out, SectionId::Export, |buf| {
+            leb::write_u32(buf, module.exports.len() as u32);
+            for e in &module.exports {
+                name(buf, &e.name);
+                match e.kind {
+                    ExportKind::Func(i) => {
+                        buf.push(0x00);
+                        leb::write_u32(buf, i);
+                    }
+                    ExportKind::Table(i) => {
+                        buf.push(0x01);
+                        leb::write_u32(buf, i);
+                    }
+                    ExportKind::Memory(i) => {
+                        buf.push(0x02);
+                        leb::write_u32(buf, i);
+                    }
+                    ExportKind::Global(i) => {
+                        buf.push(0x03);
+                        leb::write_u32(buf, i);
+                    }
+                }
+            }
+        });
+    }
+    if let Some(start) = module.start {
+        section(&mut out, SectionId::Start, |buf| {
+            leb::write_u32(buf, start);
+        });
+    }
+    if !module.elems.is_empty() {
+        section(&mut out, SectionId::Elem, |buf| {
+            leb::write_u32(buf, module.elems.len() as u32);
+            for e in &module.elems {
+                leb::write_u32(buf, e.table);
+                // Offset expression: i32.const for MVP tables.
+                buf.push(0x41);
+                leb::write_i32(buf, e.offset as i32);
+                buf.push(0x0B);
+                leb::write_u32(buf, e.funcs.len() as u32);
+                for f in &e.funcs {
+                    leb::write_u32(buf, *f);
+                }
+            }
+        });
+    }
+    if !module.funcs.is_empty() {
+        section(&mut out, SectionId::Code, |buf| {
+            leb::write_u32(buf, module.funcs.len() as u32);
+            for f in &module.funcs {
+                let mut body = Vec::new();
+                // Locals as (count, type) runs.
+                let runs = local_runs(&f.locals);
+                leb::write_u32(&mut body, runs.len() as u32);
+                for (count, ty) in runs {
+                    leb::write_u32(&mut body, count);
+                    body.push(ty.to_byte());
+                }
+                exprs(&mut body, &f.body);
+                body.push(0x0B);
+                leb::write_u32(buf, body.len() as u32);
+                buf.extend_from_slice(&body);
+            }
+        });
+    }
+    if !module.data.is_empty() {
+        section(&mut out, SectionId::Data, |buf| {
+            leb::write_u32(buf, module.data.len() as u32);
+            for d in &module.data {
+                leb::write_u32(buf, d.memory);
+                if module.is_memory64() {
+                    buf.push(0x42);
+                    leb::write_i64(buf, d.offset as i64);
+                } else {
+                    buf.push(0x41);
+                    leb::write_i32(buf, d.offset as i32);
+                }
+                buf.push(0x0B);
+                leb::write_u32(buf, d.bytes.len() as u32);
+                buf.extend_from_slice(&d.bytes);
+            }
+        });
+    }
+    out
+}
+
+fn section(out: &mut Vec<u8>, id: SectionId, f: impl FnOnce(&mut Vec<u8>)) {
+    let mut buf = Vec::new();
+    f(&mut buf);
+    out.push(id as u8);
+    leb::write_u32(out, buf.len() as u32);
+    out.extend_from_slice(&buf);
+}
+
+fn name(out: &mut Vec<u8>, s: &str) {
+    leb::write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn func_type(out: &mut Vec<u8>, ty: &FuncType) {
+    out.push(0x60);
+    leb::write_u32(out, ty.params.len() as u32);
+    for p in &ty.params {
+        out.push(p.to_byte());
+    }
+    leb::write_u32(out, ty.results.len() as u32);
+    for r in &ty.results {
+        out.push(r.to_byte());
+    }
+}
+
+fn limits(out: &mut Vec<u8>, l: &Limits, memory64: bool) {
+    let mut flags = 0u8;
+    if l.max.is_some() {
+        flags |= 0x01;
+    }
+    if memory64 {
+        flags |= 0x04;
+    }
+    out.push(flags);
+    leb::write_u64(out, l.min);
+    if let Some(max) = l.max {
+        leb::write_u64(out, max);
+    }
+}
+
+fn memory_type(out: &mut Vec<u8>, m: &MemoryType) {
+    limits(out, &m.limits, m.memory64);
+}
+
+fn table_type(out: &mut Vec<u8>, t: &TableType) {
+    out.push(0x70); // funcref
+    limits(out, &t.limits, false);
+}
+
+fn global_type(out: &mut Vec<u8>, g: &GlobalType) {
+    out.push(g.value.to_byte());
+    out.push(u8::from(g.mutable));
+}
+
+fn block_type(out: &mut Vec<u8>, bt: BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(v) => out.push(v.to_byte()),
+    }
+}
+
+fn memarg(out: &mut Vec<u8>, m: MemArg) {
+    leb::write_u32(out, m.align);
+    leb::write_u64(out, m.offset);
+}
+
+fn exprs(out: &mut Vec<u8>, body: &[Instr]) {
+    for i in body {
+        instr(out, i);
+    }
+}
+
+pub(super) fn load_opcode(op: LoadOp) -> u8 {
+    use LoadOp::*;
+    match op {
+        I32Load => 0x28,
+        I64Load => 0x29,
+        F32Load => 0x2A,
+        F64Load => 0x2B,
+        I32Load8S => 0x2C,
+        I32Load8U => 0x2D,
+        I32Load16S => 0x2E,
+        I32Load16U => 0x2F,
+        I64Load8S => 0x30,
+        I64Load8U => 0x31,
+        I64Load16S => 0x32,
+        I64Load16U => 0x33,
+        I64Load32S => 0x34,
+        I64Load32U => 0x35,
+    }
+}
+
+pub(super) fn store_opcode(op: StoreOp) -> u8 {
+    use StoreOp::*;
+    match op {
+        I32Store => 0x36,
+        I64Store => 0x37,
+        F32Store => 0x38,
+        F64Store => 0x39,
+        I32Store8 => 0x3A,
+        I32Store16 => 0x3B,
+        I64Store8 => 0x3C,
+        I64Store16 => 0x3D,
+        I64Store32 => 0x3E,
+    }
+}
+
+fn instr(out: &mut Vec<u8>, i: &Instr) {
+    use Instr::*;
+    if i.write_cage(out) {
+        return;
+    }
+    match i {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt, body) => {
+            out.push(0x02);
+            block_type(out, *bt);
+            exprs(out, body);
+            out.push(0x0B);
+        }
+        Loop(bt, body) => {
+            out.push(0x03);
+            block_type(out, *bt);
+            exprs(out, body);
+            out.push(0x0B);
+        }
+        If(bt, then, els) => {
+            out.push(0x04);
+            block_type(out, *bt);
+            exprs(out, then);
+            if !els.is_empty() {
+                out.push(0x05);
+                exprs(out, els);
+            }
+            out.push(0x0B);
+        }
+        Br(l) => {
+            out.push(0x0C);
+            leb::write_u32(out, *l);
+        }
+        BrIf(l) => {
+            out.push(0x0D);
+            leb::write_u32(out, *l);
+        }
+        BrTable(targets, default) => {
+            out.push(0x0E);
+            leb::write_u32(out, targets.len() as u32);
+            for t in targets {
+                leb::write_u32(out, *t);
+            }
+            leb::write_u32(out, *default);
+        }
+        Return => out.push(0x0F),
+        Call(f) => {
+            out.push(0x10);
+            leb::write_u32(out, *f);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            leb::write_u32(out, *t);
+            out.push(0x00); // table index
+        }
+        Drop => out.push(0x1A),
+        Select => out.push(0x1B),
+        LocalGet(i) => {
+            out.push(0x20);
+            leb::write_u32(out, *i);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            leb::write_u32(out, *i);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            leb::write_u32(out, *i);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            leb::write_u32(out, *i);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            leb::write_u32(out, *i);
+        }
+        Load(op, m) => {
+            out.push(load_opcode(*op));
+            memarg(out, *m);
+        }
+        Store(op, m) => {
+            out.push(store_opcode(*op));
+            memarg(out, *m);
+        }
+        MemorySize => {
+            out.push(0x3F);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        MemoryCopy => {
+            out.push(MISC_PREFIX);
+            leb::write_u32(out, misc_op::MEMORY_COPY);
+            out.push(0x00);
+            out.push(0x00);
+        }
+        MemoryFill => {
+            out.push(MISC_PREFIX);
+            leb::write_u32(out, misc_op::MEMORY_FILL);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            leb::write_i32(out, *v);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            leb::write_i64(out, *v);
+        }
+        F32Const(bits) => {
+            out.push(0x43);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        F64Const(bits) => {
+            out.push(0x44);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        // Plain opcodes.
+        other => out.push(simple_opcode(other)),
+    }
+}
+
+/// Opcode for the immediate-free numeric/conversion instructions.
+pub(super) fn simple_opcode(i: &Instr) -> u8 {
+    use Instr::*;
+    match i {
+        I32Eqz => 0x45,
+        I32Eq => 0x46,
+        I32Ne => 0x47,
+        I32LtS => 0x48,
+        I32LtU => 0x49,
+        I32GtS => 0x4A,
+        I32GtU => 0x4B,
+        I32LeS => 0x4C,
+        I32LeU => 0x4D,
+        I32GeS => 0x4E,
+        I32GeU => 0x4F,
+        I64Eqz => 0x50,
+        I64Eq => 0x51,
+        I64Ne => 0x52,
+        I64LtS => 0x53,
+        I64LtU => 0x54,
+        I64GtS => 0x55,
+        I64GtU => 0x56,
+        I64LeS => 0x57,
+        I64LeU => 0x58,
+        I64GeS => 0x59,
+        I64GeU => 0x5A,
+        F32Eq => 0x5B,
+        F32Ne => 0x5C,
+        F32Lt => 0x5D,
+        F32Gt => 0x5E,
+        F32Le => 0x5F,
+        F32Ge => 0x60,
+        F64Eq => 0x61,
+        F64Ne => 0x62,
+        F64Lt => 0x63,
+        F64Gt => 0x64,
+        F64Le => 0x65,
+        F64Ge => 0x66,
+        I32Clz => 0x67,
+        I32Ctz => 0x68,
+        I32Popcnt => 0x69,
+        I32Add => 0x6A,
+        I32Sub => 0x6B,
+        I32Mul => 0x6C,
+        I32DivS => 0x6D,
+        I32DivU => 0x6E,
+        I32RemS => 0x6F,
+        I32RemU => 0x70,
+        I32And => 0x71,
+        I32Or => 0x72,
+        I32Xor => 0x73,
+        I32Shl => 0x74,
+        I32ShrS => 0x75,
+        I32ShrU => 0x76,
+        I32Rotl => 0x77,
+        I32Rotr => 0x78,
+        I64Clz => 0x79,
+        I64Ctz => 0x7A,
+        I64Popcnt => 0x7B,
+        I64Add => 0x7C,
+        I64Sub => 0x7D,
+        I64Mul => 0x7E,
+        I64DivS => 0x7F,
+        I64DivU => 0x80,
+        I64RemS => 0x81,
+        I64RemU => 0x82,
+        I64And => 0x83,
+        I64Or => 0x84,
+        I64Xor => 0x85,
+        I64Shl => 0x86,
+        I64ShrS => 0x87,
+        I64ShrU => 0x88,
+        I64Rotl => 0x89,
+        I64Rotr => 0x8A,
+        F32Abs => 0x8B,
+        F32Neg => 0x8C,
+        F32Ceil => 0x8D,
+        F32Floor => 0x8E,
+        F32Trunc => 0x8F,
+        F32Nearest => 0x90,
+        F32Sqrt => 0x91,
+        F32Add => 0x92,
+        F32Sub => 0x93,
+        F32Mul => 0x94,
+        F32Div => 0x95,
+        F32Min => 0x96,
+        F32Max => 0x97,
+        F32Copysign => 0x98,
+        F64Abs => 0x99,
+        F64Neg => 0x9A,
+        F64Ceil => 0x9B,
+        F64Floor => 0x9C,
+        F64Trunc => 0x9D,
+        F64Nearest => 0x9E,
+        F64Sqrt => 0x9F,
+        F64Add => 0xA0,
+        F64Sub => 0xA1,
+        F64Mul => 0xA2,
+        F64Div => 0xA3,
+        F64Min => 0xA4,
+        F64Max => 0xA5,
+        F64Copysign => 0xA6,
+        I32WrapI64 => 0xA7,
+        I32TruncF32S => 0xA8,
+        I32TruncF32U => 0xA9,
+        I32TruncF64S => 0xAA,
+        I32TruncF64U => 0xAB,
+        I64ExtendI32S => 0xAC,
+        I64ExtendI32U => 0xAD,
+        I64TruncF32S => 0xAE,
+        I64TruncF32U => 0xAF,
+        I64TruncF64S => 0xB0,
+        I64TruncF64U => 0xB1,
+        F32ConvertI32S => 0xB2,
+        F32ConvertI32U => 0xB3,
+        F32ConvertI64S => 0xB4,
+        F32ConvertI64U => 0xB5,
+        F32DemoteF64 => 0xB6,
+        F64ConvertI32S => 0xB7,
+        F64ConvertI32U => 0xB8,
+        F64ConvertI64S => 0xB9,
+        F64ConvertI64U => 0xBA,
+        F64PromoteF32 => 0xBB,
+        I32ReinterpretF32 => 0xBC,
+        I64ReinterpretF64 => 0xBD,
+        F32ReinterpretI32 => 0xBE,
+        F64ReinterpretI64 => 0xBF,
+        I32Extend8S => 0xC0,
+        I32Extend16S => 0xC1,
+        I64Extend8S => 0xC2,
+        I64Extend16S => 0xC3,
+        I64Extend32S => 0xC4,
+        other => panic!("simple_opcode: {other:?} has immediates"),
+    }
+}
+
+impl Instr {
+    /// Writes Cage-prefixed instructions; returns `true` if `self` was one.
+    fn write_cage(&self, out: &mut Vec<u8>) -> bool {
+        let (op, offset) = match self {
+            Instr::SegmentNew(o) => (cage_op::SEGMENT_NEW, Some(*o)),
+            Instr::SegmentSetTag(o) => (cage_op::SEGMENT_SET_TAG, Some(*o)),
+            Instr::SegmentFree(o) => (cage_op::SEGMENT_FREE, Some(*o)),
+            Instr::PointerSign => (cage_op::POINTER_SIGN, None),
+            Instr::PointerAuth => (cage_op::POINTER_AUTH, None),
+            _ => return false,
+        };
+        out.push(CAGE_PREFIX);
+        leb::write_u32(out, op);
+        if let Some(o) = offset {
+            leb::write_u64(out, o);
+        }
+        true
+    }
+}
+
+fn local_runs(locals: &[ValType]) -> Vec<(u32, ValType)> {
+    let mut runs: Vec<(u32, ValType)> = Vec::new();
+    for l in locals {
+        match runs.last_mut() {
+            Some((count, ty)) if ty == l => *count += 1,
+            _ => runs.push((1, *l)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_runs_compress() {
+        use ValType::*;
+        assert_eq!(
+            local_runs(&[I32, I32, I64, F64, F64, F64]),
+            vec![(2, I32), (1, I64), (3, F64)]
+        );
+        assert!(local_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn magic_header_present() {
+        let bytes = encode(&Module::new());
+        assert_eq!(&bytes[..8], &MAGIC);
+    }
+
+    use crate::module::Module;
+}

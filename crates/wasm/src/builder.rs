@@ -1,0 +1,245 @@
+//! Programmatic module construction.
+//!
+//! Used throughout the reproduction: the IR lowering in `cage-ir` builds
+//! hardened modules through this API, tests assemble fixtures with it, and
+//! benches generate workload modules.
+
+use crate::instr::Instr;
+use crate::module::{
+    Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module,
+};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+/// Builds a [`Module`] incrementally.
+///
+/// Function types are deduplicated automatically. Imported functions must be
+/// declared before local ones so the index space (imports first) stays
+/// consistent.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+    sealed_imports: bool,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ModuleBuilder::default()
+    }
+
+    /// Interns `ty`, returning its type index.
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(idx) = self.module.types.iter().position(|t| *t == ty) {
+            return idx as u32;
+        }
+        self.module.types.push(ty);
+        (self.module.types.len() - 1) as u32
+    }
+
+    /// Declares an imported function; returns its function index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local function was already added (imports come first in
+    /// the index space).
+    pub fn import_func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+    ) -> u32 {
+        assert!(
+            !self.sealed_imports,
+            "imports must be declared before local functions"
+        );
+        let type_idx = self.intern_type(FuncType::new(params, results));
+        self.module.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            kind: ImportKind::Func(type_idx),
+        });
+        self.module.imported_func_count() - 1
+    }
+
+    /// Adds a local function; returns its function index (in the joint
+    /// import+local space).
+    pub fn add_function(
+        &mut self,
+        params: &[ValType],
+        results: &[ValType],
+        locals: &[ValType],
+        body: Vec<Instr>,
+    ) -> u32 {
+        self.sealed_imports = true;
+        let type_idx = self.intern_type(FuncType::new(params, results));
+        self.module.funcs.push(Function {
+            type_idx,
+            locals: locals.to_vec(),
+            body,
+        });
+        self.module.imported_func_count() + (self.module.funcs.len() as u32) - 1
+    }
+
+    /// Replaces the body of the local function with joint index `func_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func_idx` refers to an import or is out of range.
+    pub fn set_body(&mut self, func_idx: u32, body: Vec<Instr>) {
+        let imported = self.module.imported_func_count();
+        assert!(func_idx >= imported, "cannot set the body of an import");
+        self.module.funcs[(func_idx - imported) as usize].body = body;
+    }
+
+    /// Adds a 32-bit memory with `min_pages` initial pages; returns its
+    /// memory index.
+    pub fn add_memory32(&mut self, min_pages: u64) -> u32 {
+        self.module.memories.push(MemoryType::wasm32(min_pages));
+        (self.module.memories.len() - 1) as u32
+    }
+
+    /// Adds a 64-bit memory with `min_pages` initial pages; returns its
+    /// memory index.
+    pub fn add_memory64(&mut self, min_pages: u64) -> u32 {
+        self.module.memories.push(MemoryType::wasm64(min_pages));
+        (self.module.memories.len() - 1) as u32
+    }
+
+    /// Adds a memory of an explicit type.
+    pub fn add_memory(&mut self, ty: MemoryType) -> u32 {
+        self.module.memories.push(ty);
+        (self.module.memories.len() - 1) as u32
+    }
+
+    /// Adds a funcref table with at least `min` elements.
+    pub fn add_table(&mut self, min: u64) -> u32 {
+        self.module.tables.push(TableType {
+            limits: Limits::at_least(min),
+        });
+        (self.module.tables.len() - 1) as u32
+    }
+
+    /// Adds a global; returns its index.
+    pub fn add_global(&mut self, value: ValType, mutable: bool, init: Instr) -> u32 {
+        self.module.globals.push(Global {
+            ty: GlobalType { value, mutable },
+            init,
+        });
+        (self.module.globals.len() - 1) as u32
+    }
+
+    /// Places `funcs` into table 0 starting at `offset`.
+    pub fn add_elem(&mut self, offset: u64, funcs: Vec<u32>) {
+        self.module.elems.push(Elem {
+            table: 0,
+            offset,
+            funcs,
+        });
+    }
+
+    /// Adds an active data segment.
+    pub fn add_data(&mut self, offset: u64, bytes: Vec<u8>) {
+        self.module.data.push(Data {
+            memory: 0,
+            offset,
+            bytes,
+        });
+    }
+
+    /// Exports the function at `func_idx` under `name`.
+    pub fn export_func(&mut self, name: &str, func_idx: u32) {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Func(func_idx),
+        });
+    }
+
+    /// Exports memory 0 under `name`.
+    pub fn export_memory(&mut self, name: &str) {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Memory(0),
+        });
+    }
+
+    /// Exports the global at `global_idx` under `name`.
+    pub fn export_global(&mut self, name: &str, global_idx: u32) {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Global(global_idx),
+        });
+    }
+
+    /// Sets the start function.
+    pub fn set_start(&mut self, func_idx: u32) {
+        self.module.start = Some(func_idx);
+    }
+
+    /// Read access to the module under construction.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_deduplicated() {
+        let mut b = ModuleBuilder::new();
+        let f1 = b.add_function(&[ValType::I32], &[], &[], vec![]);
+        let f2 = b.add_function(&[ValType::I32], &[], &[], vec![Instr::Nop]);
+        let m = b.build();
+        assert_eq!(m.types.len(), 1);
+        assert_eq!(m.funcs[f1 as usize].type_idx, m.funcs[f2 as usize].type_idx);
+    }
+
+    #[test]
+    fn import_indices_precede_local_indices() {
+        let mut b = ModuleBuilder::new();
+        let imp = b.import_func("env", "host", &[], &[]);
+        let local = b.add_function(&[], &[], &[], vec![]);
+        assert_eq!(imp, 0);
+        assert_eq!(local, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "imports must be declared before local functions")]
+    fn late_import_panics() {
+        let mut b = ModuleBuilder::new();
+        b.add_function(&[], &[], &[], vec![]);
+        b.import_func("env", "late", &[], &[]);
+    }
+
+    #[test]
+    fn set_body_replaces_local_function() {
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "h", &[], &[]);
+        let f = b.add_function(&[], &[], &[], vec![]);
+        b.set_body(f, vec![Instr::Nop]);
+        assert_eq!(b.module().funcs[0].body, vec![Instr::Nop]);
+    }
+
+    #[test]
+    fn memory_and_exports() {
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(4);
+        let f = b.add_function(&[], &[], &[], vec![]);
+        b.export_func("run", f);
+        b.export_memory("memory");
+        let m = b.build();
+        assert!(m.is_memory64());
+        assert!(m.export("run").is_some());
+        assert!(m.export("memory").is_some());
+    }
+}

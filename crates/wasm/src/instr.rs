@@ -1,0 +1,431 @@
+//! The instruction set: core WebAssembly plus the five Cage instructions.
+//!
+//! Control flow is represented *structurally* (blocks own their bodies),
+//! which mirrors WASM's well-nested control constructs and is what both the
+//! validator and the interpreter consume. Float constants are stored as bit
+//! patterns so instructions are `Eq`/`Hash` (NaN-safe round-trips).
+
+use std::fmt;
+
+use crate::types::ValType;
+
+/// Static memory-access immediate: alignment exponent and constant offset.
+///
+/// The offset is 64-bit because Cage targets memory64; Cage's segment
+/// instructions reuse the same "fold the constant offset into the
+/// instruction" trick (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemArg {
+    /// Alignment as a power of two (as in the binary format).
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u64,
+}
+
+impl MemArg {
+    /// Zero offset, byte alignment.
+    #[must_use]
+    pub fn none() -> Self {
+        MemArg::default()
+    }
+
+    /// A natural-alignment memarg with the given constant offset.
+    #[must_use]
+    pub fn offset(offset: u64) -> Self {
+        MemArg { align: 0, offset }
+    }
+}
+
+/// The result type of a block-like construct.
+///
+/// This subset supports the MVP block types: empty or a single value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockType {
+    /// No results.
+    #[default]
+    Empty,
+    /// One result value.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// The results as a slice.
+    #[must_use]
+    pub fn results(&self) -> &[ValType] {
+        match self {
+            BlockType::Empty => &[],
+            BlockType::Value(v) => std::slice::from_ref(v),
+        }
+    }
+}
+
+/// A typed load operation (consolidates the 14 load opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum LoadOp {
+    I32Load,
+    I64Load,
+    F32Load,
+    F64Load,
+    I32Load8S,
+    I32Load8U,
+    I32Load16S,
+    I32Load16U,
+    I64Load8S,
+    I64Load8U,
+    I64Load16S,
+    I64Load16U,
+    I64Load32S,
+    I64Load32U,
+}
+
+impl LoadOp {
+    /// The type of the loaded value as seen on the operand stack.
+    #[must_use]
+    pub fn result_type(self) -> ValType {
+        use LoadOp::*;
+        match self {
+            I32Load | I32Load8S | I32Load8U | I32Load16S | I32Load16U => ValType::I32,
+            I64Load | I64Load8S | I64Load8U | I64Load16S | I64Load16U | I64Load32S
+            | I64Load32U => ValType::I64,
+            F32Load => ValType::F32,
+            F64Load => ValType::F64,
+        }
+    }
+
+    /// Number of bytes read from memory.
+    #[must_use]
+    pub fn width(self) -> u64 {
+        use LoadOp::*;
+        match self {
+            I32Load8S | I32Load8U | I64Load8S | I64Load8U => 1,
+            I32Load16S | I32Load16U | I64Load16S | I64Load16U => 2,
+            I32Load | F32Load | I64Load32S | I64Load32U => 4,
+            I64Load | F64Load => 8,
+        }
+    }
+
+    /// Whether a narrower-than-result load sign-extends.
+    #[must_use]
+    pub fn sign_extends(self) -> bool {
+        use LoadOp::*;
+        matches!(
+            self,
+            I32Load8S | I32Load16S | I64Load8S | I64Load16S | I64Load32S
+        )
+    }
+}
+
+/// A typed store operation (consolidates the 9 store opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum StoreOp {
+    I32Store,
+    I64Store,
+    F32Store,
+    F64Store,
+    I32Store8,
+    I32Store16,
+    I64Store8,
+    I64Store16,
+    I64Store32,
+}
+
+impl StoreOp {
+    /// The type of the stored operand on the stack.
+    #[must_use]
+    pub fn value_type(self) -> ValType {
+        use StoreOp::*;
+        match self {
+            I32Store | I32Store8 | I32Store16 => ValType::I32,
+            I64Store | I64Store8 | I64Store16 | I64Store32 => ValType::I64,
+            F32Store => ValType::F32,
+            F64Store => ValType::F64,
+        }
+    }
+
+    /// Number of bytes written to memory.
+    #[must_use]
+    pub fn width(self) -> u64 {
+        use StoreOp::*;
+        match self {
+            I32Store8 | I64Store8 => 1,
+            I32Store16 | I64Store16 => 2,
+            I32Store | F32Store | I64Store32 => 4,
+            I64Store | F64Store => 8,
+        }
+    }
+}
+
+/// A WebAssembly instruction (structured control, Cage extension included).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    // -- control -----------------------------------------------------------
+    Unreachable,
+    Nop,
+    Block(BlockType, Vec<Instr>),
+    Loop(BlockType, Vec<Instr>),
+    If(BlockType, Vec<Instr>, Vec<Instr>),
+    Br(u32),
+    BrIf(u32),
+    BrTable(Vec<u32>, u32),
+    Return,
+    Call(u32),
+    CallIndirect(u32),
+
+    // -- parametric / variable ---------------------------------------------
+    Drop,
+    Select,
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    // -- memory --------------------------------------------------------------
+    Load(LoadOp, MemArg),
+    Store(StoreOp, MemArg),
+    MemorySize,
+    MemoryGrow,
+    /// Bulk-memory `memory.fill` (dst, value, len).
+    MemoryFill,
+    /// Bulk-memory `memory.copy` (dst, src, len).
+    MemoryCopy,
+
+    // -- constants (floats as bit patterns) ----------------------------------
+    I32Const(i32),
+    I64Const(i64),
+    F32Const(u32),
+    F64Const(u64),
+
+    // -- i32 ------------------------------------------------------------------
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+
+    // -- i64 ------------------------------------------------------------------
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+
+    // -- f32 ------------------------------------------------------------------
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+
+    // -- f64 ------------------------------------------------------------------
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    // -- conversions -----------------------------------------------------------
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+
+    // -- Cage extension (paper Fig. 7) -------------------------------------
+    /// `segment.new o`: `[base_ptr, len] -> [tagged_ptr]` — creates a
+    /// zeroed, freshly tagged segment.
+    SegmentNew(u64),
+    /// `segment.set_tag o`: `[ptr, tagged_ptr, len] -> []` — transfers
+    /// ownership of a region to a tagged pointer.
+    SegmentSetTag(u64),
+    /// `segment.free o`: `[tagged_ptr, len] -> []` — invalidates a segment,
+    /// trapping double-frees.
+    SegmentFree(u64),
+    /// `i64.pointer_sign`: `[i64] -> [i64]`.
+    PointerSign,
+    /// `i64.pointer_auth`: `[i64] -> [i64]`, traps on invalid signatures.
+    PointerAuth,
+}
+
+impl Instr {
+    /// Convenience constructor for an `f32.const` from a float value.
+    #[must_use]
+    pub fn f32_const(v: f32) -> Instr {
+        Instr::F32Const(v.to_bits())
+    }
+
+    /// Convenience constructor for an `f64.const` from a float value.
+    #[must_use]
+    pub fn f64_const(v: f64) -> Instr {
+        Instr::F64Const(v.to_bits())
+    }
+
+    /// Whether this is one of the five Cage extension instructions.
+    #[must_use]
+    pub fn is_cage_extension(&self) -> bool {
+        matches!(
+            self,
+            Instr::SegmentNew(_)
+                | Instr::SegmentSetTag(_)
+                | Instr::SegmentFree(_)
+                | Instr::PointerSign
+                | Instr::PointerAuth
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::text::write_instr(f, self, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_metadata_consistent() {
+        assert_eq!(LoadOp::I64Load32U.result_type(), ValType::I64);
+        assert_eq!(LoadOp::I64Load32U.width(), 4);
+        assert!(!LoadOp::I64Load32U.sign_extends());
+        assert!(LoadOp::I32Load16S.sign_extends());
+        assert_eq!(LoadOp::F64Load.width(), 8);
+    }
+
+    #[test]
+    fn store_metadata_consistent() {
+        assert_eq!(StoreOp::I64Store8.value_type(), ValType::I64);
+        assert_eq!(StoreOp::I64Store8.width(), 1);
+        assert_eq!(StoreOp::F32Store.width(), 4);
+    }
+
+    #[test]
+    fn float_const_constructors_preserve_bits() {
+        let nan = f32::NAN;
+        if let Instr::F32Const(bits) = Instr::f32_const(nan) {
+            assert_eq!(bits, nan.to_bits());
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn cage_extension_predicate() {
+        assert!(Instr::SegmentNew(0).is_cage_extension());
+        assert!(Instr::PointerAuth.is_cage_extension());
+        assert!(!Instr::I64Add.is_cage_extension());
+    }
+
+    #[test]
+    fn blocktype_results() {
+        assert_eq!(BlockType::Empty.results(), &[]);
+        assert_eq!(BlockType::Value(ValType::I64).results(), &[ValType::I64]);
+    }
+}

@@ -1,0 +1,202 @@
+//! LEB128 variable-length integer encoding, as used by the WASM binary
+//! format.
+
+/// Appends an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, value: u32) {
+    write_u64(out, u64::from(value));
+}
+
+/// Appends a signed LEB128 encoding of `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `value` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, i64::from(value));
+}
+
+/// A decode error: ran out of bytes or overlong/overflowing encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LebError;
+
+impl std::fmt::Display for LebError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("malformed LEB128 integer")
+    }
+}
+
+impl std::error::Error for LebError {}
+
+/// Reads an unsigned LEB128 integer from `bytes` starting at `*pos`,
+/// advancing `*pos`.
+///
+/// # Errors
+///
+/// [`LebError`] on truncation or a value that does not fit 64 bits.
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, LebError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(LebError)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte & 0x7E != 0) {
+            return Err(LebError);
+        }
+        result |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads an unsigned LEB128 integer that must fit in 32 bits.
+///
+/// # Errors
+///
+/// [`LebError`] on truncation or overflow.
+pub fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, LebError> {
+    let v = read_u64(bytes, pos)?;
+    u32::try_from(v).map_err(|_| LebError)
+}
+
+/// Reads a signed LEB128 integer from `bytes` at `*pos`.
+///
+/// # Errors
+///
+/// [`LebError`] on truncation or overflow.
+pub fn read_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, LebError> {
+    let mut result: i64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(LebError)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(LebError);
+        }
+        result |= i64::from(byte & 0x7F) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift;
+            }
+            return Ok(result);
+        }
+    }
+}
+
+/// Reads a signed LEB128 integer that must fit in 32 bits.
+///
+/// # Errors
+///
+/// [`LebError`] on truncation or overflow.
+pub fn read_i32(bytes: &[u8], pos: &mut usize) -> Result<i32, LebError> {
+    let v = read_i64(bytes, pos)?;
+    i32::try_from(v).map_err(|_| LebError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Ok(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    fn roundtrip_i64(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(read_i64(&buf, &mut pos), Ok(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn unsigned_roundtrips() {
+        for v in [0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            roundtrip_u64(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrips() {
+        for v in [0, 1, -1, 63, 64, -64, -65, 127, -128, i32::MAX as i64, i32::MIN as i64, i64::MAX, i64::MIN] {
+            roundtrip_i64(v);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 624_485);
+        assert_eq!(buf, [0xE5, 0x8E, 0x26]);
+        buf.clear();
+        write_i64(&mut buf, -123_456);
+        assert_eq!(buf, [0xC0, 0xBB, 0x78]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut pos = 0;
+        assert_eq!(read_u64(&[0x80], &mut pos), Err(LebError));
+        let mut pos = 0;
+        assert_eq!(read_i64(&[0xFF], &mut pos), Err(LebError));
+        let mut pos = 0;
+        assert_eq!(read_u64(&[], &mut pos), Err(LebError));
+    }
+
+    #[test]
+    fn u32_overflow_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), Err(LebError));
+    }
+
+    #[test]
+    fn overlong_u64_detected() {
+        // 11 continuation bytes cannot be a valid u64.
+        let bytes = [0xFF; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&bytes, &mut pos), Err(LebError));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            roundtrip_u64(v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) {
+            roundtrip_i64(v);
+        }
+    }
+}

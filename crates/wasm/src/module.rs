@@ -1,0 +1,246 @@
+//! Module structure: functions, imports, exports, memories, tables,
+//! globals, element and data segments.
+
+use crate::instr::Instr;
+use crate::types::{FuncType, GlobalType, MemoryType, TableType, ValType};
+
+/// What an import provides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportKind {
+    /// An imported function with the given type index.
+    Func(u32),
+    /// An imported memory.
+    Memory(MemoryType),
+    /// An imported table.
+    Table(TableType),
+    /// An imported global.
+    Global(GlobalType),
+}
+
+/// An import: `module.name` plus its kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Module namespace (e.g. `"wasi_snapshot_preview1"` or `"cage_libc"`).
+    pub module: String,
+    /// Field name.
+    pub name: String,
+    /// What is imported.
+    pub kind: ImportKind,
+}
+
+/// What an export exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExportKind {
+    /// Function index.
+    Func(u32),
+    /// Memory index.
+    Memory(u32),
+    /// Table index.
+    Table(u32),
+    /// Global index.
+    Global(u32),
+}
+
+/// A named export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    /// Export name.
+    pub name: String,
+    /// What is exported.
+    pub kind: ExportKind,
+}
+
+/// A function defined in this module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Index into the module's type section.
+    pub type_idx: u32,
+    /// Declared local variables (after the parameters).
+    pub locals: Vec<ValType>,
+    /// Structured body. The implicit `end` is not represented.
+    pub body: Vec<Instr>,
+}
+
+/// A global definition with a constant initialiser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// The global's type.
+    pub ty: GlobalType,
+    /// Constant initialiser (a single const instruction).
+    pub init: Instr,
+}
+
+/// An active element segment populating a funcref table — the function
+/// table WASM uses instead of raw code pointers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Elem {
+    /// Table index (always 0 in this subset).
+    pub table: u32,
+    /// Constant starting offset into the table.
+    pub offset: u64,
+    /// Function indices to place.
+    pub funcs: Vec<u32>,
+}
+
+/// An active data segment initialising linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// Memory index (always 0 in this subset).
+    pub memory: u32,
+    /// Constant byte offset.
+    pub offset: u64,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A WebAssembly module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Function types, deduplicated.
+    pub types: Vec<FuncType>,
+    /// Imports, in order.
+    pub imports: Vec<Import>,
+    /// Locally defined functions.
+    pub funcs: Vec<Function>,
+    /// Tables (at most one in this subset).
+    pub tables: Vec<TableType>,
+    /// Memories (at most one in this subset).
+    pub memories: Vec<MemoryType>,
+    /// Globals.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+    /// Optional start function index.
+    pub start: Option<u32>,
+    /// Element segments.
+    pub elems: Vec<Elem>,
+    /// Data segments.
+    pub data: Vec<Data>,
+}
+
+impl Module {
+    /// An empty module.
+    #[must_use]
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Number of imported functions (function index space prefix).
+    #[must_use]
+    pub fn imported_func_count(&self) -> u32 {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Func(_)))
+            .count() as u32
+    }
+
+    /// The type of the function at `func_idx` in the joint index space
+    /// (imports first, then local functions).
+    #[must_use]
+    pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
+        let imported = self.imported_func_count();
+        let type_idx = if func_idx < imported {
+            self.imports
+                .iter()
+                .filter_map(|i| match i.kind {
+                    ImportKind::Func(t) => Some(t),
+                    _ => None,
+                })
+                .nth(func_idx as usize)?
+        } else {
+            self.funcs.get((func_idx - imported) as usize)?.type_idx
+        };
+        self.types.get(type_idx as usize)
+    }
+
+    /// Total number of functions (imported + local).
+    #[must_use]
+    pub fn total_func_count(&self) -> u32 {
+        self.imported_func_count() + self.funcs.len() as u32
+    }
+
+    /// Looks up an export by name.
+    #[must_use]
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// The module's (single) memory type, local or imported.
+    #[must_use]
+    pub fn memory_type(&self) -> Option<MemoryType> {
+        if let Some(m) = self.memories.first() {
+            return Some(*m);
+        }
+        self.imports.iter().find_map(|i| match i.kind {
+            ImportKind::Memory(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Whether the module uses a 64-bit memory.
+    #[must_use]
+    pub fn is_memory64(&self) -> bool {
+        self.memory_type().is_some_and(|m| m.memory64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Limits;
+
+    fn module_with_import_and_func() -> Module {
+        let mut m = Module::new();
+        m.types.push(FuncType::new(&[ValType::I32], &[]));
+        m.types.push(FuncType::new(&[], &[ValType::I64]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "log".into(),
+            kind: ImportKind::Func(0),
+        });
+        m.funcs.push(Function {
+            type_idx: 1,
+            locals: vec![],
+            body: vec![Instr::I64Const(1)],
+        });
+        m
+    }
+
+    #[test]
+    fn func_index_space_spans_imports_then_locals() {
+        let m = module_with_import_and_func();
+        assert_eq!(m.imported_func_count(), 1);
+        assert_eq!(m.total_func_count(), 2);
+        assert_eq!(m.func_type(0).unwrap().params, vec![ValType::I32]);
+        assert_eq!(m.func_type(1).unwrap().results, vec![ValType::I64]);
+        assert!(m.func_type(2).is_none());
+    }
+
+    #[test]
+    fn export_lookup() {
+        let mut m = module_with_import_and_func();
+        m.exports.push(Export {
+            name: "answer".into(),
+            kind: ExportKind::Func(1),
+        });
+        assert!(m.export("answer").is_some());
+        assert!(m.export("missing").is_none());
+    }
+
+    #[test]
+    fn memory_type_prefers_local_then_imported() {
+        let mut m = Module::new();
+        assert_eq!(m.memory_type(), None);
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "memory".into(),
+            kind: ImportKind::Memory(MemoryType::wasm32(1)),
+        });
+        assert!(!m.is_memory64());
+        m.memories.push(MemoryType {
+            limits: Limits::at_least(2),
+            memory64: true,
+        });
+        assert!(m.is_memory64());
+    }
+}

@@ -1,0 +1,236 @@
+//! WebAssembly types: value types, function types, limits, memory/table/
+//! global types. Memory types carry the *memory64* flag the Cage extension
+//! builds on (§4.2 "It builds on wasm64, the 64-bit variant of
+//! WebAssembly").
+
+use std::fmt;
+
+/// A WebAssembly value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer (also Cage's tagged-pointer type).
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ValType {
+    /// Binary-format type byte.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7F,
+            ValType::I64 => 0x7E,
+            ValType::F32 => 0x7D,
+            ValType::F64 => 0x7C,
+        }
+    }
+
+    /// Parses a binary-format type byte.
+    #[must_use]
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0x7F => Some(ValType::I32),
+            0x7E => Some(ValType::I64),
+            0x7D => Some(ValType::F32),
+            0x7C => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// Size of a value of this type in linear memory, in bytes.
+    #[must_use]
+    pub fn byte_size(self) -> u64 {
+        match self {
+            ValType::I32 | ValType::F32 => 4,
+            ValType::I64 | ValType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ValType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        })
+    }
+}
+
+/// A function type: parameter and result lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types.
+    pub params: Vec<ValType>,
+    /// Result types.
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Creates a function type.
+    #[must_use]
+    pub fn new(params: &[ValType], results: &[ValType]) -> Self {
+        FuncType {
+            params: params.to_vec(),
+            results: results.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(func")?;
+        if !self.params.is_empty() {
+            write!(f, " (param")?;
+            for p in &self.params {
+                write!(f, " {p}")?;
+            }
+            write!(f, ")")?;
+        }
+        if !self.results.is_empty() {
+            write!(f, " (result")?;
+            for r in &self.results {
+                write!(f, " {r}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Size limits for memories and tables, in pages/elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u64,
+    /// Optional maximum size.
+    pub max: Option<u64>,
+}
+
+impl Limits {
+    /// Creates limits with a minimum only.
+    #[must_use]
+    pub fn at_least(min: u64) -> Self {
+        Limits { min, max: None }
+    }
+
+    /// Creates limits with a minimum and maximum.
+    #[must_use]
+    pub fn bounded(min: u64, max: u64) -> Self {
+        Limits {
+            min,
+            max: Some(max),
+        }
+    }
+
+    /// Whether these limits are internally consistent.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.max.map_or(true, |max| max >= self.min)
+    }
+}
+
+/// The WebAssembly page size: 64 KiB.
+pub const PAGE_SIZE: u64 = 65_536;
+
+/// A linear memory type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryType {
+    /// Page limits.
+    pub limits: Limits,
+    /// `true` for a wasm64 (memory64) memory indexed by `i64`.
+    pub memory64: bool,
+}
+
+impl MemoryType {
+    /// A 32-bit memory with `min` initial pages.
+    #[must_use]
+    pub fn wasm32(min: u64) -> Self {
+        MemoryType {
+            limits: Limits::at_least(min),
+            memory64: false,
+        }
+    }
+
+    /// A 64-bit memory with `min` initial pages (the Cage default).
+    #[must_use]
+    pub fn wasm64(min: u64) -> Self {
+        MemoryType {
+            limits: Limits::at_least(min),
+            memory64: true,
+        }
+    }
+
+    /// The value type used to index this memory.
+    #[must_use]
+    pub fn index_type(&self) -> ValType {
+        if self.memory64 {
+            ValType::I64
+        } else {
+            ValType::I32
+        }
+    }
+}
+
+/// A table type. Only `funcref` tables exist in this subset, which is all
+/// WASM's indirect-call machinery needs (§2.1 "WASM uses indices into type-
+/// and bounds-checked tables instead of raw function pointers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableType {
+    /// Element limits.
+    pub limits: Limits,
+}
+
+/// A global variable type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalType {
+    /// The value type stored.
+    pub value: ValType,
+    /// Whether the global is mutable.
+    pub mutable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_byte_roundtrip() {
+        for vt in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(vt.to_byte()), Some(vt));
+        }
+        assert_eq!(ValType::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn valtype_sizes() {
+        assert_eq!(ValType::I32.byte_size(), 4);
+        assert_eq!(ValType::F64.byte_size(), 8);
+    }
+
+    #[test]
+    fn functype_display() {
+        let ft = FuncType::new(&[ValType::I64, ValType::I64], &[ValType::I64]);
+        assert_eq!(ft.to_string(), "(func (param i64 i64) (result i64))");
+        assert_eq!(FuncType::default().to_string(), "(func)");
+    }
+
+    #[test]
+    fn limits_well_formedness() {
+        assert!(Limits::at_least(4).is_well_formed());
+        assert!(Limits::bounded(4, 8).is_well_formed());
+        assert!(!Limits::bounded(8, 4).is_well_formed());
+    }
+
+    #[test]
+    fn memory_index_types() {
+        assert_eq!(MemoryType::wasm32(1).index_type(), ValType::I32);
+        assert_eq!(MemoryType::wasm64(1).index_type(), ValType::I64);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: the binary codec round-trips arbitrary modules.
+
+use cage_wasm::binary::{decode, encode};
+use cage_wasm::builder::ModuleBuilder;
+use cage_wasm::instr::{BlockType, Instr, LoadOp, MemArg, StoreOp};
+use cage_wasm::types::ValType;
+use proptest::prelude::*;
+
+fn arb_valtype() -> impl Strategy<Value = ValType> {
+    prop_oneof![
+        Just(ValType::I32),
+        Just(ValType::I64),
+        Just(ValType::F32),
+        Just(ValType::F64),
+    ]
+}
+
+fn arb_blocktype() -> impl Strategy<Value = BlockType> {
+    prop_oneof![Just(BlockType::Empty), arb_valtype().prop_map(BlockType::Value)]
+}
+
+fn arb_load() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::I32Load),
+        Just(LoadOp::I64Load),
+        Just(LoadOp::F32Load),
+        Just(LoadOp::F64Load),
+        Just(LoadOp::I32Load8S),
+        Just(LoadOp::I32Load8U),
+        Just(LoadOp::I64Load16S),
+        Just(LoadOp::I64Load32U),
+    ]
+}
+
+fn arb_store() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        Just(StoreOp::I32Store),
+        Just(StoreOp::I64Store),
+        Just(StoreOp::F64Store),
+        Just(StoreOp::I32Store8),
+        Just(StoreOp::I64Store32),
+    ]
+}
+
+fn arb_leaf() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Unreachable),
+        Just(Instr::Nop),
+        Just(Instr::Drop),
+        Just(Instr::Select),
+        Just(Instr::Return),
+        Just(Instr::I32Add),
+        Just(Instr::I64Mul),
+        Just(Instr::F64Sqrt),
+        Just(Instr::I64ExtendI32U),
+        Just(Instr::F32DemoteF64),
+        Just(Instr::I64Extend32S),
+        Just(Instr::MemorySize),
+        Just(Instr::MemoryGrow),
+        Just(Instr::MemoryFill),
+        Just(Instr::MemoryCopy),
+        Just(Instr::PointerSign),
+        Just(Instr::PointerAuth),
+        any::<i32>().prop_map(Instr::I32Const),
+        any::<i64>().prop_map(Instr::I64Const),
+        any::<u32>().prop_map(Instr::F32Const),
+        any::<u64>().prop_map(Instr::F64Const),
+        any::<u32>().prop_map(Instr::LocalGet),
+        any::<u32>().prop_map(Instr::LocalSet),
+        any::<u32>().prop_map(Instr::GlobalGet),
+        (0u32..16).prop_map(Instr::Br),
+        (0u32..16).prop_map(Instr::BrIf),
+        (proptest::collection::vec(0u32..8, 0..4), 0u32..8)
+            .prop_map(|(t, d)| Instr::BrTable(t, d)),
+        any::<u32>().prop_map(Instr::Call),
+        any::<u32>().prop_map(Instr::CallIndirect),
+        (0u64..1 << 40).prop_map(Instr::SegmentNew),
+        (0u64..1 << 40).prop_map(Instr::SegmentSetTag),
+        (0u64..1 << 40).prop_map(Instr::SegmentFree),
+        (arb_load(), any::<u32>().prop_map(|a| a % 4), any::<u64>())
+            .prop_map(|(op, align, offset)| Instr::Load(op, MemArg { align, offset })),
+        (arb_store(), any::<u32>().prop_map(|a| a % 4), any::<u64>())
+            .prop_map(|(op, align, offset)| Instr::Store(op, MemArg { align, offset })),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    arb_leaf().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            (arb_blocktype(), proptest::collection::vec(inner.clone(), 0..6))
+                .prop_map(|(bt, body)| Instr::Block(bt, body)),
+            (arb_blocktype(), proptest::collection::vec(inner.clone(), 0..6))
+                .prop_map(|(bt, body)| Instr::Loop(bt, body)),
+            (
+                arb_blocktype(),
+                proptest::collection::vec(inner.clone(), 0..4),
+                proptest::collection::vec(inner, 0..4)
+            )
+                .prop_map(|(bt, t, e)| Instr::If(bt, t, e)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any module we can build round-trips through encode/decode.
+    ///
+    /// Note this intentionally does NOT validate: the codec must be
+    /// lossless for arbitrary (even ill-typed) bodies, so that hardened and
+    /// adversarial modules survive serialisation in tests.
+    #[test]
+    fn module_roundtrips(
+        body in proptest::collection::vec(arb_instr(), 0..24),
+        locals in proptest::collection::vec(arb_valtype(), 0..8),
+        params in proptest::collection::vec(arb_valtype(), 0..4),
+        results in proptest::collection::vec(arb_valtype(), 0..1),
+        mem_pages in 0u64..16,
+        memory64 in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        table_min in 0u64..8,
+    ) {
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "host", &[ValType::I64], &[]);
+        if memory64 {
+            b.add_memory64(mem_pages);
+        } else {
+            b.add_memory32(mem_pages);
+        }
+        b.add_table(table_min);
+        b.add_global(ValType::I64, true, Instr::I64Const(7));
+        b.add_global(ValType::F64, false, Instr::f64_const(1.5));
+        let f = b.add_function(&params, &results, &locals, body);
+        b.export_func("main", f);
+        b.export_memory("memory");
+        b.add_elem(0, vec![f]);
+        b.add_data(0, data);
+        let module = b.build();
+        let bytes = encode(&module);
+        let decoded = decode(&bytes).expect("decode");
+        prop_assert_eq!(module, decoded);
+    }
+}

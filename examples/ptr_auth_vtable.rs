@@ -1,0 +1,93 @@
+//! Listing 1 from the paper: a stack overflow overwrites a vtable slot and
+//! redirects an indirect call — plus the cross-instance function-pointer
+//! reuse that PAC prevents (§4.2).
+//!
+//! ```sh
+//! cargo run -p cage --example ptr_auth_vtable
+//! ```
+
+use cage::{build, Core, Value, Variant};
+
+/// Listing 1, made runnable: `vulnerable(overflow, payload)` copies
+/// `2 + overflow` words into a 2-word buffer sitting next to the vtable.
+/// With `payload` = the table index of `foo`, the attacker redirects
+/// `vtable.g()` from `bar` to `foo`.
+const LISTING1: &str = r#"
+    long calls_to_foo;
+    long calls_to_bar;
+
+    void foo() { calls_to_foo = calls_to_foo + 1; }
+    void bar() { calls_to_bar = calls_to_bar + 1; }
+
+    struct VTable {
+        void (*f)();
+        void (*g)();
+    };
+
+    long vulnerable(long overflow, long payload) {
+        long buf[2];
+        struct VTable vtable = {.f = foo, .g = bar};
+        long i = 0;
+        while (i < 2 + overflow) {
+            buf[i] = payload;   // strcpy(buf, input) in the paper
+            i = i + 1;
+        }
+        vtable.g();             // should call bar
+        return calls_to_foo * 1000 + calls_to_bar;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Listing 1: vtable overwrite via stack overflow\n");
+
+    // Baseline: the overflow silently rewrites the function pointer. The
+    // payload is a raw table index, and with neither tags nor signatures
+    // nothing stops the redirect.
+    let baseline = build(LISTING1, Variant::BaselineWasm64)?;
+    let mut inst = baseline.instantiate(Core::CortexX3)?;
+    let honest = inst.invoke("vulnerable", &[Value::I64(0), Value::I64(0)])?;
+    println!("baseline, benign input:   foo*1000+bar = {:?} (bar called)", honest[0]);
+
+    // Find foo's table slot by brute force, as an attacker would.
+    let mut redirected = None;
+    for guess in 1..4 {
+        let mut inst = baseline.instantiate(Core::CortexX3)?;
+        if let Ok(out) = inst.invoke("vulnerable", &[Value::I64(2), Value::I64(guess)]) {
+            if out[0].as_i64() >= 1000 {
+                redirected = Some((guess, out[0].as_i64()));
+                break;
+            }
+        }
+    }
+    match redirected {
+        Some((idx, v)) => println!(
+            "baseline, overflow:       foo*1000+bar = {v} — call REDIRECTED to foo (table index {idx})"
+        ),
+        None => println!("baseline, overflow:       redirect failed (layout changed?)"),
+    }
+
+    // Cage: the overflow trips MTE before the call, and even a forged
+    // index would fail pointer authentication.
+    let caged = build(LISTING1, Variant::CageFull)?;
+    let mut inst = caged.instantiate(Core::CortexX3)?;
+    match inst.invoke("vulnerable", &[Value::I64(2), Value::I64(1)]) {
+        Err(trap) => println!("Cage, overflow:           trap: {trap}"),
+        Ok(v) => println!("Cage, overflow:           {v:?} (unexpected!)"),
+    }
+    let mut inst = caged.instantiate(Core::CortexX3)?;
+    let ok = inst.invoke("vulnerable", &[Value::I64(0), Value::I64(0)])?;
+    println!("Cage, benign input:       foo*1000+bar = {:?} (bar called)\n", ok[0]);
+
+    // Cross-instance reuse (§4.2): a pointer signed by instance A fails
+    // authentication in instance B, because each instance gets its own key.
+    let artifact = build("long id(long x) { return x; }", Variant::CagePtrAuth)?;
+    let mut rt = cage::runtime::Runtime::new(Variant::CagePtrAuth, Core::CortexX3);
+    let a = artifact.instantiate_in(&mut rt)?;
+    let b = artifact.instantiate_in(&mut rt)?;
+    let signed_in_a = rt.sign_pointer(a, 0x2_0000);
+    println!("cross-instance reuse:");
+    println!("  signed in A:        {signed_in_a:#018x}");
+    println!("  auth in A:          {:?}", rt.auth_pointer(a, signed_in_a).map(|p| format!("{p:#x}")));
+    println!("  auth in B:          {:?}", rt.auth_pointer(b, signed_in_a).err().map(|t| t.to_string()));
+    Ok(())
+}

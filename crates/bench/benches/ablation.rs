@@ -34,10 +34,10 @@ fn build_module(harden: HardenConfig) -> (cage::wasm::Module, u64) {
 
 fn run_under(module: &cage::wasm::Module, config: ExecConfig) -> f64 {
     let mut store = Store::new(config);
-    let h = store.instantiate(module, &Imports::new()).expect("instantiates");
-    store
-        .invoke(h, "f", &[Value::I64(2000)])
-        .expect("runs");
+    let h = store
+        .instantiate(module, &Imports::new())
+        .expect("instantiates");
+    store.invoke(h, "f", &[Value::I64(2000)]).expect("runs");
     store.simulated_ms(h)
 }
 
@@ -47,17 +47,28 @@ fn run_under(module: &cage::wasm::Module, config: ExecConfig) -> f64 {
 fn ablate_sanitizer_selectivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_selectivity");
     group.sample_size(10);
-    let (selective, _) = build_module(HardenConfig { stack_safety: true, ptr_auth: false });
+    let (selective, _) = build_module(HardenConfig {
+        stack_safety: true,
+        ptr_auth: false,
+    });
     let (off, _) = build_module(HardenConfig::none());
     let config = ExecConfig {
         internal: InternalSafety::Mte,
         ..ExecConfig::default()
     };
     group.bench_function("algorithm1_selective", |b| {
-        b.iter_batched(|| (), |()| run_under(&selective, config), BatchSize::SmallInput);
+        b.iter_batched(
+            || (),
+            |()| run_under(&selective, config),
+            BatchSize::SmallInput,
+        );
     });
     group.bench_function("uninstrumented", |b| {
-        b.iter_batched(|| (), |()| run_under(&off, ExecConfig::default()), BatchSize::SmallInput);
+        b.iter_batched(
+            || (),
+            |()| run_under(&off, ExecConfig::default()),
+            BatchSize::SmallInput,
+        );
     });
     group.finish();
 }
@@ -67,7 +78,10 @@ fn ablate_sanitizer_selectivity(c: &mut Criterion) {
 fn ablate_software_fallback(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_fallback");
     group.sample_size(10);
-    let (module, _) = build_module(HardenConfig { stack_safety: true, ptr_auth: false });
+    let (module, _) = build_module(HardenConfig {
+        stack_safety: true,
+        ptr_auth: false,
+    });
     for (label, internal) in [
         ("hardware_mte", InternalSafety::Mte),
         ("software_fallback", InternalSafety::Software),
@@ -78,7 +92,11 @@ fn ablate_software_fallback(c: &mut Criterion) {
         };
         let module = module.clone();
         group.bench_function(label, move |b| {
-            b.iter_batched(|| (), |()| run_under(&module, config), BatchSize::SmallInput);
+            b.iter_batched(
+                || (),
+                |()| run_under(&module, config),
+                BatchSize::SmallInput,
+            );
         });
     }
     group.finish();
@@ -88,7 +106,10 @@ fn ablate_software_fallback(c: &mut Criterion) {
 fn ablate_mte_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_mte_mode");
     group.sample_size(10);
-    let (module, _) = build_module(HardenConfig { stack_safety: true, ptr_auth: false });
+    let (module, _) = build_module(HardenConfig {
+        stack_safety: true,
+        ptr_auth: false,
+    });
     for (label, mode) in [
         ("sync", MteMode::Synchronous),
         ("async", MteMode::Asynchronous),
@@ -103,7 +124,11 @@ fn ablate_mte_mode(c: &mut Criterion) {
         };
         let module = module.clone();
         group.bench_function(label, move |b| {
-            b.iter_batched(|| (), |()| run_under(&module, config), BatchSize::SmallInput);
+            b.iter_batched(
+                || (),
+                |()| run_under(&module, config),
+                BatchSize::SmallInput,
+            );
         });
     }
     group.finish();

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cage::engine::{Imports, Store};
 use cage::mte::{AccessKind, MteMode, Tag, TagMemory};
 use cage::pac::{PacKey, PacSigner, PointerLayout};
-use cage::{build, Core, Value, Variant};
+use cage::{Core, Engine, Value, Variant};
 
 /// Fig. 14 analogue: interpreter throughput on gemm per variant.
 fn bench_fig14_variants(c: &mut Criterion) {
@@ -25,10 +25,11 @@ fn bench_fig14_variants(c: &mut Criterion) {
         Variant::CageSandboxing,
         Variant::CageFull,
     ] {
-        let artifact = build(kernel.source, variant).expect("builds");
+        let engine = Engine::new(variant);
+        let artifact = engine.compile(kernel.source).expect("builds");
         group.bench_function(variant.label(), |b| {
             b.iter_batched(
-                || artifact.instantiate(Core::CortexX3).expect("instantiates"),
+                || engine.instantiate(&artifact).expect("instantiates"),
                 |mut inst| inst.invoke("run", &[]).expect("runs"),
                 BatchSize::SmallInput,
             );
@@ -42,14 +43,27 @@ fn bench_fig15_calls(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15_calls");
     group.sample_size(10);
     for (label, source, variant) in [
-        ("static", cage_polybench::calls::TWO_MM_STATIC, Variant::BaselineWasm64),
-        ("dynamic", cage_polybench::calls::TWO_MM_DYNAMIC, Variant::BaselineWasm64),
-        ("ptr_auth", cage_polybench::calls::TWO_MM_DYNAMIC, Variant::CagePtrAuth),
+        (
+            "static",
+            cage_polybench::calls::TWO_MM_STATIC,
+            Variant::BaselineWasm64,
+        ),
+        (
+            "dynamic",
+            cage_polybench::calls::TWO_MM_DYNAMIC,
+            Variant::BaselineWasm64,
+        ),
+        (
+            "ptr_auth",
+            cage_polybench::calls::TWO_MM_DYNAMIC,
+            Variant::CagePtrAuth,
+        ),
     ] {
-        let artifact = build(source, variant).expect("builds");
+        let engine = Engine::new(variant);
+        let artifact = engine.compile(source).expect("builds");
         group.bench_function(label, |b| {
             b.iter_batched(
-                || artifact.instantiate(Core::CortexX3).expect("instantiates"),
+                || engine.instantiate(&artifact).expect("instantiates"),
                 |mut inst| inst.invoke("run", &[]).expect("runs"),
                 BatchSize::SmallInput,
             );
@@ -98,10 +112,11 @@ fn bench_allocator(c: &mut Criterion) {
         }
     "#;
     for variant in [Variant::BaselineWasm64, Variant::CageFull] {
-        let artifact = build(src, variant).expect("builds");
+        let engine = Engine::new(variant);
+        let artifact = engine.compile(src).expect("builds");
         group.bench_function(variant.label(), |b| {
             b.iter_batched(
-                || artifact.instantiate(Core::CortexX3).expect("instantiates"),
+                || engine.instantiate(&artifact).expect("instantiates"),
                 |mut inst| inst.invoke("churn", &[Value::I64(100)]).expect("runs"),
                 BatchSize::SmallInput,
             );
@@ -114,7 +129,8 @@ fn bench_allocator(c: &mut Criterion) {
 fn bench_startup(c: &mut Criterion) {
     let mut group = c.benchmark_group("startup");
     group.sample_size(10);
-    let artifact = build("long f() { return 0; }", Variant::CageFull).expect("builds");
+    let engine = Engine::new(Variant::CageFull);
+    let artifact = engine.compile("long f() { return 0; }").expect("builds");
     let module = artifact.module().clone();
     group.bench_function("instantiate_cage_full", |b| {
         b.iter_batched(
@@ -130,7 +146,7 @@ fn bench_startup(c: &mut Criterion) {
     });
     // Codec throughput: encode+decode the hardened module.
     let kernel = cage_polybench::kernel("2mm").expect("2mm");
-    let big = build(kernel.source, Variant::CageFull).expect("builds");
+    let big = engine.compile(kernel.source).expect("builds");
     group.bench_function("encode_decode_module", |b| {
         b.iter(|| {
             let bytes = big.wasm_bytes();

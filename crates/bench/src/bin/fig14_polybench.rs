@@ -40,7 +40,10 @@ fn main() {
     }
 
     let _ = writeln!(out);
-    let _ = writeln!(out, "§3 check — 64-bit sandboxing cost (wasm64 over wasm32):");
+    let _ = writeln!(
+        out,
+        "§3 check — 64-bit sandboxing cost (wasm64 over wasm32):"
+    );
     for core in Core::ALL {
         let wasm32 = fig.mean_percent(Variant::BaselineWasm32, core);
         let _ = writeln!(

@@ -5,8 +5,15 @@ use std::fmt::Write as _;
 
 fn main() {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 15: 2mm-with-calls runtime, normalised to static (%)");
-    let _ = writeln!(out, "{:<12} {:>8} {:>9} {:>9}", "Core", "static", "dynamic", "ptr-auth");
+    let _ = writeln!(
+        out,
+        "Fig. 15: 2mm-with-calls runtime, normalised to static (%)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>9} {:>9}",
+        "Core", "static", "dynamic", "ptr-auth"
+    );
     for (core, [s, d, a]) in cage_bench::fig15_sweep() {
         let _ = writeln!(out, "{:<12} {s:>8.1} {d:>9.1} {a:>9.1}", core.to_string());
     }

@@ -8,7 +8,10 @@ use cage::mte::Core;
 
 fn main() {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 16: 128 MiB init/tag variants (ms, lower is better)");
+    let _ = writeln!(
+        out,
+        "Fig. 16: 128 MiB init/tag variants (ms, lower is better)"
+    );
     let _ = write!(out, "{:<12}", "Core");
     for v in BulkInitVariant::ALL {
         let _ = write!(out, " {:>11}", v.label());

@@ -8,13 +8,24 @@ use cage::mte::{Core, MteMode};
 
 fn main() {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 4: 128 MiB memset under MTE modes (ms, lower is better)");
-    let _ = writeln!(out, "{:<12} {:>8} {:>8} {:>8}", "Core", "none", "async", "sync");
+    let _ = writeln!(
+        out,
+        "Fig. 4: 128 MiB memset under MTE modes (ms, lower is better)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8}",
+        "Core", "none", "async", "sync"
+    );
     for core in Core::ALL {
         let none = memset_ms(core, CALIBRATION_BYTES, MteMode::Disabled);
         let asyn = memset_ms(core, CALIBRATION_BYTES, MteMode::Asynchronous);
         let sync = memset_ms(core, CALIBRATION_BYTES, MteMode::Synchronous);
-        let _ = writeln!(out, "{:<12} {none:>8.1} {asyn:>8.1} {sync:>8.1}", core.to_string());
+        let _ = writeln!(
+            out,
+            "{:<12} {none:>8.1} {asyn:>8.1} {sync:>8.1}",
+            core.to_string()
+        );
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "overheads vs disabled:");

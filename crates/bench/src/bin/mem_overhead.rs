@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use cage::{build, Core, Value, Variant};
+use cage::{Engine, Variant};
 
 /// Pointer-bearing workload: a linked list where node size depends on the
 /// pointer width.
@@ -40,9 +40,11 @@ long run(long n) {
 "#;
 
 fn heap_used(variant: Variant) -> u64 {
-    let artifact = build(LIST, variant).expect("builds");
-    let mut inst = artifact.instantiate(Core::CortexX3).expect("instantiates");
-    inst.invoke("run", &[Value::I64(1000)]).expect("runs");
+    let engine = Engine::new(variant);
+    let artifact = engine.compile(LIST).expect("builds");
+    let mut inst = engine.instantiate(&artifact).expect("instantiates");
+    let run = inst.get_typed::<i64, i64>("run").expect("run export");
+    run.call(&mut inst, 1000).expect("runs");
     inst.memory_report().heap_peak_bytes
 }
 
@@ -56,7 +58,11 @@ fn main() {
     let h64 = heap_used(Variant::BaselineWasm64);
     let ptr_delta = h64 as f64 / h32 as f64 - 1.0;
     let _ = writeln!(out, "pointer-heavy heap (1000-node list):");
-    let _ = writeln!(out, "  wasm32 peak {h32} B, wasm64 peak {h64} B -> {:+.1}%", ptr_delta * 100.0);
+    let _ = writeln!(
+        out,
+        "  wasm32 peak {h32} B, wasm64 peak {h64} B -> {:+.1}%",
+        ptr_delta * 100.0
+    );
     let _ = writeln!(
         out,
         "  (PolyBench data is scalar arrays; its measured wasm64 delta is ~0.6%)"
@@ -67,8 +73,9 @@ fn main() {
     let kernel = cage_polybench::kernel("gemm").expect("gemm exists");
     let mut reports = Vec::new();
     for variant in [Variant::BaselineWasm64, Variant::CageFull] {
-        let artifact = build(kernel.source, variant).expect("builds");
-        let mut inst = artifact.instantiate(Core::CortexX3).expect("instantiates");
+        let engine = Engine::new(variant);
+        let artifact = engine.compile(kernel.source).expect("builds");
+        let mut inst = engine.instantiate(&artifact).expect("instantiates");
         inst.invoke("run", &[]).expect("runs");
         reports.push(inst.memory_report());
     }
@@ -81,7 +88,10 @@ fn main() {
         wasm64.resident_bytes, caged.resident_bytes, caged.tag_bytes
     );
     let tag_delta = caged.overhead_over(&wasm64) * 100.0;
-    let _ = writeln!(out, "  Cage over wasm64: {tag_delta:+.2}% (tag space = 1/32 = 3.125%)");
+    let _ = writeln!(
+        out,
+        "  Cage over wasm64: {tag_delta:+.2}% (tag space = 1/32 = 3.125%)"
+    );
     let _ = writeln!(out);
     let estimate = 0.6 + tag_delta;
     let _ = writeln!(

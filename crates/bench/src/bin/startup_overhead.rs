@@ -9,7 +9,10 @@ use cage::{Core, Variant};
 fn main() {
     const MIB_128: u64 = 128 * 1024 * 1024;
     let mut out = String::new();
-    let _ = writeln!(out, "Startup overhead: 128 MiB static memory, empty export (§7.2)");
+    let _ = writeln!(
+        out,
+        "Startup overhead: 128 MiB static memory, empty export (§7.2)"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:<16} {:>9} {:>10} {:>9} {:>9}",
@@ -31,7 +34,10 @@ fn main() {
         }
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "context: a standalone stg tagging pass over 128 MiB would cost:");
+    let _ = writeln!(
+        out,
+        "context: a standalone stg tagging pass over 128 MiB would cost:"
+    );
     for core in Core::ALL {
         let _ = writeln!(
             out,

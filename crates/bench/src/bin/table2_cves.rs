@@ -3,12 +3,14 @@
 
 use std::fmt::Write as _;
 
-use cage::{build, Core, Value, Variant};
+use cage::{Engine, Variant};
 
 fn outcome(source: &str, variant: Variant) -> &'static str {
-    let artifact = build(source, variant).expect("builds");
-    let mut inst = artifact.instantiate(Core::CortexX3).expect("instantiates");
-    match inst.invoke("run", &[Value::I64(1)]) {
+    let engine = Engine::new(variant);
+    let artifact = engine.compile(source).expect("builds");
+    let mut inst = engine.instantiate(&artifact).expect("instantiates");
+    let run = inst.get_typed::<i64, i64>("run").expect("run export");
+    match run.call(&mut inst, 1) {
         Ok(_) => "undetected",
         Err(e) if e.is_memory_safety_violation() => "trapped",
         Err(_) => "other trap",

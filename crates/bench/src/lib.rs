@@ -21,7 +21,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use cage::{build, Core, Value, Variant};
+use cage::{Core, Engine, Variant};
 use cage_polybench::Kernel;
 
 /// One measured kernel execution.
@@ -42,13 +42,13 @@ pub struct Measurement {
 /// Panics on build or execution failure — benchmark inputs are trusted.
 #[must_use]
 pub fn measure_source(source: &str, variant: Variant, core: Core) -> Measurement {
-    let artifact = build(source, variant).expect("benchmark source builds");
-    let mut inst = artifact.instantiate(core).expect("instantiates");
-    let out = inst.invoke("run", &[]).expect("runs");
-    let checksum = match out[..] {
-        [Value::F64(v)] => v,
-        ref other => panic!("unexpected result {other:?}"),
-    };
+    let engine = Engine::builder(variant).core(core).build();
+    let artifact = engine.compile(source).expect("benchmark source builds");
+    let mut inst = engine.instantiate(&artifact).expect("instantiates");
+    let run = inst
+        .get_typed::<(), f64>("run")
+        .expect("kernels export double run()");
+    let checksum = run.call(&mut inst, ()).expect("runs");
     Measurement {
         simulated_ms: inst.simulated_ms(),
         instructions: inst.instr_count(),
@@ -103,7 +103,10 @@ impl Fig14 {
 }
 
 fn variant_index(v: Variant) -> usize {
-    Variant::ALL.iter().position(|x| *x == v).expect("known variant")
+    Variant::ALL
+        .iter()
+        .position(|x| *x == v)
+        .expect("known variant")
 }
 
 fn core_index(c: Core) -> usize {
@@ -114,8 +117,7 @@ fn core_index(c: Core) -> usize {
 /// subset for quick runs).
 #[must_use]
 pub fn fig14_sweep(kernels: &[Kernel]) -> Fig14 {
-    let mut ratios =
-        vec![vec![vec![0.0f64; kernels.len()]; Core::ALL.len()]; Variant::ALL.len()];
+    let mut ratios = vec![vec![vec![0.0f64; kernels.len()]; Core::ALL.len()]; Variant::ALL.len()];
     for (ci, &core) in Core::ALL.iter().enumerate() {
         for (ki, kernel) in kernels.iter().enumerate() {
             let base = measure_kernel(kernel, Variant::BaselineWasm64, core).simulated_ms;
@@ -147,10 +149,7 @@ pub fn fig15_sweep() -> Vec<(Core, [f64; 3])> {
             let dynamic =
                 measure_source(TWO_MM_DYNAMIC, Variant::BaselineWasm64, core).simulated_ms;
             let auth = measure_source(TWO_MM_DYNAMIC, Variant::CagePtrAuth, core).simulated_ms;
-            (
-                core,
-                [100.0, 100.0 * dynamic / stat, 100.0 * auth / stat],
-            )
+            (core, [100.0, 100.0 * dynamic / stat, 100.0 * auth / stat])
         })
         .collect()
 }
@@ -197,9 +196,7 @@ mod tests {
         let k = cage_polybench::kernel("gemm").unwrap();
         let fig = fig14_sweep(std::slice::from_ref(&k));
         // wasm64 is the normalisation baseline.
-        assert!(
-            (fig.mean_percent(Variant::BaselineWasm64, Core::CortexA510) - 100.0).abs() < 1e-9
-        );
+        assert!((fig.mean_percent(Variant::BaselineWasm64, Core::CortexA510) - 100.0).abs() < 1e-9);
         // In-order core: wasm32 much faster than wasm64; sandboxing wins.
         let wasm32 = fig.mean_percent(Variant::BaselineWasm32, Core::CortexA510);
         let sandbox = fig.mean_percent(Variant::CageSandboxing, Core::CortexA510);

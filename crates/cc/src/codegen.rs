@@ -9,8 +9,8 @@
 use std::collections::{HashMap, HashSet};
 
 use cage_ir::{
-    AllocaId, BinOp, Callee, CastKind, Expr as IrExpr, FuncId, FunctionBuilder, GlobalId,
-    IrModule, IrType, MemTy, Operand, Stmt as IrStmt, UnOp, ValueId,
+    AllocaId, BinOp, Callee, CastKind, Expr as IrExpr, FuncId, FunctionBuilder, GlobalId, IrModule,
+    IrType, MemTy, Operand, Stmt as IrStmt, UnOp, ValueId,
 };
 
 use crate::ast::{BinOpKind, Expr, ExprKind, FuncDef, Program, Stmt, UnOpKind};
@@ -46,13 +46,33 @@ pub fn compile_ast_for(prog: &Program, ptr_bytes: u64) -> Result<IrModule, Compi
 /// The libc surface recognised implicitly (imported from `cage_libc`).
 const KNOWN_EXTERNS: &[(&str, &[CTypeTag], CTypeTag)] = &[
     ("malloc", &[CTypeTag::Long], CTypeTag::CharPtr),
-    ("calloc", &[CTypeTag::Long, CTypeTag::Long], CTypeTag::CharPtr),
-    ("realloc", &[CTypeTag::CharPtr, CTypeTag::Long], CTypeTag::CharPtr),
+    (
+        "calloc",
+        &[CTypeTag::Long, CTypeTag::Long],
+        CTypeTag::CharPtr,
+    ),
+    (
+        "realloc",
+        &[CTypeTag::CharPtr, CTypeTag::Long],
+        CTypeTag::CharPtr,
+    ),
     ("free", &[CTypeTag::CharPtr], CTypeTag::Void),
-    ("strcpy", &[CTypeTag::CharPtr, CTypeTag::CharPtr], CTypeTag::CharPtr),
+    (
+        "strcpy",
+        &[CTypeTag::CharPtr, CTypeTag::CharPtr],
+        CTypeTag::CharPtr,
+    ),
     ("strlen", &[CTypeTag::CharPtr], CTypeTag::Long),
-    ("memset", &[CTypeTag::CharPtr, CTypeTag::Int, CTypeTag::Long], CTypeTag::CharPtr),
-    ("memcpy", &[CTypeTag::CharPtr, CTypeTag::CharPtr, CTypeTag::Long], CTypeTag::CharPtr),
+    (
+        "memset",
+        &[CTypeTag::CharPtr, CTypeTag::Int, CTypeTag::Long],
+        CTypeTag::CharPtr,
+    ),
+    (
+        "memcpy",
+        &[CTypeTag::CharPtr, CTypeTag::CharPtr, CTypeTag::Long],
+        CTypeTag::CharPtr,
+    ),
     ("print_i64", &[CTypeTag::Long], CTypeTag::Void),
     ("print_f64", &[CTypeTag::Double], CTypeTag::Void),
     ("print_str", &[CTypeTag::CharPtr], CTypeTag::Void),
@@ -112,6 +132,8 @@ struct Codegen<'p> {
     ptr_bytes: u64,
     func_sigs: HashMap<String, (FuncId, FuncSig)>,
     extern_ids: HashMap<String, (u32, FuncSig)>,
+    /// Prototype-only functions: declared host imports (the `env` module).
+    declared_externs: HashMap<String, FuncSig>,
     global_ids: HashMap<String, (GlobalId, CType)>,
     str_cache: HashMap<String, GlobalId>,
 }
@@ -144,6 +166,7 @@ impl<'p> Codegen<'p> {
             ptr_bytes,
             func_sigs: HashMap::new(),
             extern_ids: HashMap::new(),
+            declared_externs: HashMap::new(),
             global_ids: HashMap::new(),
             str_cache: HashMap::new(),
         }
@@ -164,7 +187,7 @@ impl<'p> Codegen<'p> {
             CType::Double => IrType::F64,
             CType::Ptr(_) | CType::FuncPtr(_) | CType::Array(_, _) => IrType::Ptr,
             CType::Struct(_) => IrType::Ptr, // structs are handled by address
-            CType::Void => IrType::I32,     // placeholder, never materialised
+            CType::Void => IrType::I32,      // placeholder, never materialised
         }
     }
 
@@ -180,18 +203,65 @@ impl<'p> Codegen<'p> {
     }
 
     fn declare_functions(&mut self) -> Result<(), CompileError> {
+        // Prototype-only functions (declared but never defined) are host
+        // imports: they compile to calls into the `env` import module, so
+        // embedders can expose custom host functions through a `Linker`.
+        let defined: HashSet<&str> = self
+            .prog
+            .funcs
+            .iter()
+            .filter(|f| f.body.is_some())
+            .map(|f| f.name.as_str())
+            .collect();
         let mut next_id = 0u32;
+        let mut bodies_seen: HashSet<&str> = HashSet::new();
         for f in &self.prog.funcs {
-            if self.func_sigs.contains_key(&f.name) {
-                if f.body.is_none() {
-                    continue;
-                }
-            }
             let sig = FuncSig {
                 params: f.params.iter().map(|(_, t)| t.clone()).collect(),
                 ret: f.ret.clone(),
             };
+            if f.body.is_some() && !bodies_seen.insert(f.name.as_str()) {
+                return Err(CompileError::new(
+                    f.line,
+                    format!("redefinition of `{}`", f.name),
+                ));
+            }
+            if !defined.contains(f.name.as_str()) {
+                // A prototype for a libc name must match the implicit
+                // libc signature — it resolves to `cage_libc.*`, never to
+                // a user host import.
+                if let Some((_, params, ret)) = KNOWN_EXTERNS.iter().find(|(n, _, _)| *n == f.name)
+                {
+                    let libc_sig = FuncSig {
+                        params: params.iter().map(|t| t.to_ctype()).collect(),
+                        ret: ret.to_ctype(),
+                    };
+                    if sig != libc_sig {
+                        return Err(CompileError::new(
+                            f.line,
+                            format!(
+                                "declaration of `{}` conflicts with the libc signature",
+                                f.name
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+                if let Some(existing) = self.declared_externs.get(&f.name) {
+                    if *existing != sig {
+                        return Err(CompileError::new(
+                            f.line,
+                            format!("conflicting declarations of `{}`", f.name),
+                        ));
+                    }
+                } else {
+                    self.declared_externs.insert(f.name.clone(), sig);
+                }
+                continue;
+            }
             if let Some((_, existing)) = self.func_sigs.get(&f.name) {
+                // Redeclaration (a prototype before or after the
+                // definition): the signature must agree.
                 if *existing != sig {
                     return Err(CompileError::new(
                         f.line,
@@ -200,7 +270,8 @@ impl<'p> Codegen<'p> {
                 }
                 continue;
             }
-            self.func_sigs.insert(f.name.clone(), (FuncId(next_id), sig));
+            self.func_sigs
+                .insert(f.name.clone(), (FuncId(next_id), sig));
             next_id += 1;
         }
         // Emit placeholder functions in id order so FuncId == index.
@@ -259,7 +330,9 @@ impl<'p> Codegen<'p> {
         }
         let mut bytes = s.as_bytes().to_vec();
         bytes.push(0);
-        let id = self.module.add_global(&format!("str{}", self.str_cache.len()), bytes, 16);
+        let id = self
+            .module
+            .add_global(&format!("str{}", self.str_cache.len()), bytes, 16);
         self.str_cache.insert(s.to_string(), id);
         id
     }
@@ -268,18 +341,26 @@ impl<'p> Codegen<'p> {
         if let Some(e) = self.extern_ids.get(name) {
             return Some(e.clone());
         }
-        let (_, params, ret) = KNOWN_EXTERNS.iter().find(|(n, _, _)| *n == name)?;
-        let sig = FuncSig {
-            params: params.iter().map(|t| t.to_ctype()).collect(),
-            ret: ret.to_ctype(),
-        };
+        // The implicit libc surface keeps its `cage_libc` namespace;
+        // everything else the program declared without defining is an
+        // embedder host function in the `env` namespace.
+        let (module, sig) =
+            if let Some((_, params, ret)) = KNOWN_EXTERNS.iter().find(|(n, _, _)| *n == name) {
+                let sig = FuncSig {
+                    params: params.iter().map(|t| t.to_ctype()).collect(),
+                    ret: ret.to_ctype(),
+                };
+                ("cage_libc", sig)
+            } else {
+                ("env", self.declared_externs.get(name)?.clone())
+            };
         let ir_params: Vec<IrType> = sig.params.iter().map(|t| self.ir_type(t)).collect();
         let ir_ret = match sig.ret {
             CType::Void => None,
             ref t => Some(self.ir_type(t)),
         };
         let idx = self.module.add_extern(cage_ir::ExternFunc {
-            module: "cage_libc".into(),
+            module: module.into(),
             name: name.into(),
             params: ir_params,
             ret: ir_ret,
@@ -317,19 +398,25 @@ impl<'p> Codegen<'p> {
                 let slot = ctx.b.alloca(size, name);
                 let addr = ctx.b.alloca_addr(slot);
                 ctx.b.store(self.mem_ty(ty), addr, 0, ctx.b.param(i));
-                ctx.bind(name, Binding {
-                    ty: ty.clone(),
-                    storage: Storage::Slot(slot),
-                });
+                ctx.bind(
+                    name,
+                    Binding {
+                        ty: ty.clone(),
+                        storage: Storage::Slot(slot),
+                    },
+                );
             } else {
                 let reg = match ctx.b.param(i) {
                     Operand::Value(v) => v,
                     _ => unreachable!(),
                 };
-                ctx.bind(name, Binding {
-                    ty: ty.clone(),
-                    storage: Storage::Reg(reg),
-                });
+                ctx.bind(
+                    name,
+                    Binding {
+                        ty: ty.clone(),
+                        storage: Storage::Reg(reg),
+                    },
+                );
             }
         }
 
@@ -484,15 +571,18 @@ impl<'p> Codegen<'p> {
         brace_init: Option<&[(Option<String>, Expr)]>,
         line: u32,
     ) -> Result<(), CompileError> {
-        let needs_slot = ctx.slot_names.contains(name)
-            || matches!(ty, CType::Array(_, _) | CType::Struct(_));
+        let needs_slot =
+            ctx.slot_names.contains(name) || matches!(ty, CType::Array(_, _) | CType::Struct(_));
         if needs_slot {
             let size = self.size_of(ty);
             let slot = ctx.b.alloca(size, name);
-            ctx.bind(name, Binding {
-                ty: ty.clone(),
-                storage: Storage::Slot(slot),
-            });
+            ctx.bind(
+                name,
+                Binding {
+                    ty: ty.clone(),
+                    storage: Storage::Slot(slot),
+                },
+            );
             if let Some(e) = init {
                 let (v, vty) = self.expr(ctx, e)?;
                 let v = self.convert(ctx, v, &vty, ty, line)?;
@@ -512,10 +602,13 @@ impl<'p> Codegen<'p> {
                 None => self.zero_of(ty),
             };
             let reg = ctx.b.copy(ir_ty, init_val);
-            ctx.bind(name, Binding {
-                ty: ty.clone(),
-                storage: Storage::Reg(reg),
-            });
+            ctx.bind(
+                name,
+                Binding {
+                    ty: ty.clone(),
+                    storage: Storage::Reg(reg),
+                },
+            );
         }
         Ok(())
     }
@@ -552,10 +645,10 @@ impl<'p> Codegen<'p> {
                                 CompileError::new(line, format!("no field `{fname}`"))
                             })?,
                         None => {
-                            let (fname, _) =
-                                self.structs().defs[*id].fields.get(i).ok_or_else(|| {
-                                    CompileError::new(line, "too many initialisers")
-                                })?;
+                            let (fname, _) = self.structs().defs[*id]
+                                .fields
+                                .get(i)
+                                .ok_or_else(|| CompileError::new(line, "too many initialisers"))?;
                             let fname = fname.clone();
                             self.structs()
                                 .field(*id, &fname, self.ptr_bytes)
@@ -569,7 +662,10 @@ impl<'p> Codegen<'p> {
                 }
                 Ok(())
             }
-            _ => Err(CompileError::new(line, "brace initialiser needs array/struct")),
+            _ => Err(CompileError::new(
+                line,
+                "brace initialiser needs array/struct",
+            )),
         }
     }
 
@@ -585,7 +681,9 @@ impl<'p> Codegen<'p> {
     fn truthiness(&mut self, ctx: &mut FnCtx, v: Operand, ty: &CType) -> Operand {
         match self.ir_type(ty) {
             IrType::I32 => v,
-            IrType::F64 => ctx.b.binop(BinOp::Ne, IrType::F64, v, Operand::ConstF64(0.0)),
+            IrType::F64 => ctx
+                .b
+                .binop(BinOp::Ne, IrType::F64, v, Operand::ConstF64(0.0)),
             IrType::Ptr => ctx.b.binop(BinOp::Ne, IrType::Ptr, v, Operand::ConstI64(0)),
             IrType::I64 => ctx.b.binop(BinOp::Ne, IrType::I64, v, Operand::ConstI64(0)),
         }
@@ -634,10 +732,7 @@ impl<'p> Codegen<'p> {
                 let v = self.convert(ctx, v, &vty, ty, e.line)?;
                 Ok((v, ty.clone()))
             }
-            ExprKind::SizeOf(ty) => Ok((
-                Operand::ConstI64(self.size_of(ty) as i64),
-                CType::Long,
-            )),
+            ExprKind::SizeOf(ty) => Ok((Operand::ConstI64(self.size_of(ty) as i64), CType::Long)),
         }
     }
 
@@ -682,7 +777,24 @@ impl<'p> Codegen<'p> {
             let v = ctx.b.assign(IrType::Ptr, IrExpr::FuncAddr(fid));
             return Ok((v, CType::FuncPtr(Box::new(sig))));
         }
-        Err(CompileError::new(line, format!("unknown identifier `{name}`")))
+        if self.declared_externs.contains_key(name)
+            || self.extern_ids.contains_key(name)
+            || KNOWN_EXTERNS.iter().any(|(n, _, _)| *n == name)
+        {
+            // Host imports have no table slot, so they cannot decay to a
+            // callable function pointer — only direct calls work.
+            return Err(CompileError::new(
+                line,
+                format!(
+                    "host function `{name}` cannot be used as a value \
+                     (function pointers to host imports are not supported)"
+                ),
+            ));
+        }
+        Err(CompileError::new(
+            line,
+            format!("unknown identifier `{name}`"),
+        ))
     }
 
     /// Usual arithmetic conversions: double > long > int.
@@ -740,7 +852,11 @@ impl<'p> Codegen<'p> {
                     );
                     return Ok((count, CType::Long));
                 }
-                BinOpKind::Eq | BinOpKind::Ne | BinOpKind::Lt | BinOpKind::Le | BinOpKind::Gt
+                BinOpKind::Eq
+                | BinOpKind::Ne
+                | BinOpKind::Lt
+                | BinOpKind::Le
+                | BinOpKind::Gt
                 | BinOpKind::Ge => {
                     let irop = int_cmp_op(op, false);
                     let v = ctx.b.binop(irop, IrType::Ptr, lv, rv);
@@ -758,7 +874,12 @@ impl<'p> Codegen<'p> {
             // lhs; handle ptr rhs comparisons.
             if matches!(
                 op,
-                BinOpKind::Eq | BinOpKind::Ne | BinOpKind::Lt | BinOpKind::Le | BinOpKind::Gt | BinOpKind::Ge
+                BinOpKind::Eq
+                    | BinOpKind::Ne
+                    | BinOpKind::Lt
+                    | BinOpKind::Le
+                    | BinOpKind::Gt
+                    | BinOpKind::Ge
             ) {
                 let irop = int_cmp_op(op, false);
                 let v = ctx.b.binop(irop, IrType::Ptr, lv, rv);
@@ -812,10 +933,8 @@ impl<'p> Codegen<'p> {
         let eval_rhs = ctx.b.pop_block();
 
         ctx.b.push_block();
-        ctx.b.reassign(
-            result,
-            IrExpr::Use(Operand::ConstI32(i32::from(!is_and))),
-        );
+        ctx.b
+            .reassign(result, IrExpr::Use(Operand::ConstI32(i32::from(!is_and))));
         let short = ctx.b.pop_block();
 
         let (then, els) = if is_and {
@@ -898,9 +1017,7 @@ impl<'p> Codegen<'p> {
                 match ty {
                     CType::Ptr(pointee) => match *pointee {
                         // Deref to array: the address is the value.
-                        CType::Array(ref elem, _) => {
-                            Ok((v, CType::Ptr(elem.clone())))
-                        }
+                        CType::Array(ref elem, _) => Ok((v, CType::Ptr(elem.clone()))),
                         CType::Struct(_) => Ok((v, (*pointee).clone())),
                         ref p => {
                             let r = ctx.b.load(self.mem_ty(p), v, 0);
@@ -950,10 +1067,7 @@ impl<'p> Codegen<'p> {
     ) -> Result<(Operand, CType), CompileError> {
         let lv = self.lvalue(ctx, inner)?;
         let ty = lv.ctype().clone();
-        let (old, _) = {
-            let loaded = self.load_lvalue(ctx, self.copy_lv(&lv));
-            loaded
-        };
+        let (old, _) = { self.load_lvalue(ctx, self.copy_lv(&lv)) };
         let step: i64 = if inc { 1 } else { -1 };
         let ir_ty = self.ir_type(&ty);
         let new = match &ty {
@@ -970,18 +1084,14 @@ impl<'p> Codegen<'p> {
                 )
             }
             _ => match ir_ty {
-                IrType::F64 => ctx.b.binop(
-                    BinOp::Add,
-                    IrType::F64,
-                    old,
-                    Operand::ConstF64(step as f64),
-                ),
-                IrType::I32 => ctx.b.binop(
-                    BinOp::Add,
-                    IrType::I32,
-                    old,
-                    Operand::ConstI32(step as i32),
-                ),
+                IrType::F64 => {
+                    ctx.b
+                        .binop(BinOp::Add, IrType::F64, old, Operand::ConstF64(step as f64))
+                }
+                IrType::I32 => {
+                    ctx.b
+                        .binop(BinOp::Add, IrType::I32, old, Operand::ConstI32(step as i32))
+                }
                 _ => ctx.b.binop(BinOp::Add, ir_ty, old, Operand::ConstI64(step)),
             },
         };
@@ -1065,7 +1175,11 @@ impl<'p> Codegen<'p> {
         if args.len() != sig.params.len() {
             return Err(CompileError::new(
                 line,
-                format!("expected {} arguments, found {}", sig.params.len(), args.len()),
+                format!(
+                    "expected {} arguments, found {}",
+                    sig.params.len(),
+                    args.len()
+                ),
             ));
         }
         let mut vals = Vec::with_capacity(args.len());
@@ -1107,7 +1221,9 @@ impl<'p> Codegen<'p> {
                 let (p, _) = self.expr(ctx, &args[0])?;
                 let (l, lty) = self.expr(ctx, &args[1])?;
                 let l = self.convert(ctx, l, &lty, &CType::Long, line)?;
-                let r = ctx.b.assign(IrType::Ptr, IrExpr::SegmentNew { addr: p, len: l });
+                let r = ctx
+                    .b
+                    .assign(IrType::Ptr, IrExpr::SegmentNew { addr: p, len: l });
                 Some((r, CType::Char.ptr_to()))
             }
             "__builtin_segment_free" => {
@@ -1174,13 +1290,19 @@ impl<'p> Codegen<'p> {
                     let addr = ctx.b.assign(IrType::Ptr, IrExpr::GlobalAddr(gid));
                     return Ok(LV::Mem(addr, 0, gty));
                 }
-                Err(CompileError::new(e.line, format!("unknown identifier `{name}`")))
+                Err(CompileError::new(
+                    e.line,
+                    format!("unknown identifier `{name}`"),
+                ))
             }
             ExprKind::Un(UnOpKind::Deref, inner) => {
                 let (v, ty) = self.expr(ctx, inner)?;
                 match ty {
                     CType::Ptr(p) => Ok(LV::Mem(v, 0, (*p).clone())),
-                    _ => Err(CompileError::new(e.line, "cannot assign through non-pointer")),
+                    _ => Err(CompileError::new(
+                        e.line,
+                        "cannot assign through non-pointer",
+                    )),
                 }
             }
             ExprKind::Index(base, idx) => self.index_lvalue(ctx, base, idx, e.line),
@@ -1306,10 +1428,8 @@ impl<'p> Codegen<'p> {
         if from == to {
             return Ok(v);
         }
-        let cast = |ctx: &mut FnCtx, kind, v, ty| {
-            ctx.b
-                .assign(ty, IrExpr::Cast { kind, operand: v })
-        };
+        let cast =
+            |ctx: &mut FnCtx, kind, v, ty| ctx.b.assign(ty, IrExpr::Cast { kind, operand: v });
         Ok(match (from, to) {
             // Integer widenings/narrowings (char and int share i32).
             (CType::Char, CType::Int) | (CType::Int, CType::Char) => v,
@@ -1414,7 +1534,9 @@ fn collect_addr_taken(body: &[Stmt], out: &mut HashSet<String>) {
     }
     for stmt in body {
         match stmt {
-            Stmt::Decl { init, brace_init, .. } => {
+            Stmt::Decl {
+                init, brace_init, ..
+            } => {
                 if let Some(e) = init {
                     walk_expr(e, out);
                 }
@@ -1463,10 +1585,9 @@ fn desugar_for_body(body: &[Stmt], step: Option<&Expr>) -> Vec<Stmt> {
         stmts
             .iter()
             .map(|s| match s {
-                Stmt::Continue(line) => Stmt::Block(vec![
-                    Stmt::Expr(step.clone()),
-                    Stmt::Continue(*line),
-                ]),
+                Stmt::Continue(line) => {
+                    Stmt::Block(vec![Stmt::Expr(step.clone()), Stmt::Continue(*line)])
+                }
                 Stmt::If { cond, then, els } => Stmt::If {
                     cond: cond.clone(),
                     then: rewrite(then, step),
@@ -1507,10 +1628,12 @@ mod tests {
 
     #[test]
     fn scalars_use_registers_arrays_use_slots() {
-        let m = compile(
-            "long f() { long x = 1; long a[4]; a[0] = x; return a[0]; }",
+        let m = compile("long f() { long x = 1; long a[4]; a[0] = x; return a[0]; }");
+        assert_eq!(
+            m.functions[0].allocas.len(),
+            1,
+            "only the array gets a slot"
         );
-        assert_eq!(m.functions[0].allocas.len(), 1, "only the array gets a slot");
         assert_eq!(m.functions[0].allocas[0].size, 32);
     }
 
@@ -1582,8 +1705,9 @@ mod tests {
 
     #[test]
     fn wrong_arity_rejected() {
-        let err = compile_ast(&parse("long g(long a) { return a; } long f() { return g(); }").unwrap())
-            .unwrap_err();
+        let err =
+            compile_ast(&parse("long g(long a) { return a; } long f() { return g(); }").unwrap())
+                .unwrap_err();
         assert!(err.message.contains("argument"));
     }
 

@@ -1,8 +1,6 @@
 //! Recursive-descent parser with C operator precedence.
 
-use crate::ast::{
-    BinOpKind, Expr, ExprKind, FuncDef, GlobalDef, Program, Stmt, UnOpKind,
-};
+use crate::ast::{BinOpKind, Expr, ExprKind, FuncDef, GlobalDef, Program, Stmt, UnOpKind};
 use crate::error::CompileError;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::types::{CType, FuncSig, StructDef};
@@ -24,7 +22,9 @@ pub fn parse(source: &str) -> Result<Program, CompileError> {
 }
 
 const TYPE_KEYWORDS: &[&str] = &["void", "char", "int", "long", "double", "struct"];
-const IGNORED_QUALIFIERS: &[&str] = &["static", "const", "register", "volatile", "inline", "unsigned", "signed"];
+const IGNORED_QUALIFIERS: &[&str] = &[
+    "static", "const", "register", "volatile", "inline", "unsigned", "signed",
+];
 
 struct Parser {
     tokens: Vec<Token>,
@@ -677,10 +677,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.structs.defs.len(), 1);
         assert_eq!(p.structs.defs[0].fields.len(), 2);
-        assert!(matches!(
-            p.structs.defs[0].fields[0].1,
-            CType::FuncPtr(_)
-        ));
+        assert!(matches!(p.structs.defs[0].fields[0].1, CType::FuncPtr(_)));
     }
 
     #[test]
@@ -694,10 +691,9 @@ mod tests {
 
     #[test]
     fn parses_for_loops_and_compound_assign() {
-        let p = parse(
-            "int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }",
-        )
-        .unwrap();
+        let p =
+            parse("int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }")
+                .unwrap();
         let body = p.funcs[0].body.as_ref().unwrap();
         assert!(matches!(&body[1], Stmt::For { .. }));
     }
@@ -747,8 +743,8 @@ mod tests {
 
     #[test]
     fn preprocessor_and_static_ignored() {
-        let p = parse("#include <stdio.h>\nstatic int x = 3;\nstatic int f() { return x; }")
-            .unwrap();
+        let p =
+            parse("#include <stdio.h>\nstatic int x = 3;\nstatic int f() { return x; }").unwrap();
         assert_eq!(p.globals.len(), 1);
         assert_eq!(p.funcs.len(), 1);
     }

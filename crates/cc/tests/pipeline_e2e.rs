@@ -119,7 +119,10 @@ fn hardened_stack_overflow_is_caught() {
     };
     let err = build_and_run(
         src,
-        HardenConfig { stack_safety: true, ptr_auth: false },
+        HardenConfig {
+            stack_safety: true,
+            ptr_auth: false,
+        },
         config,
         "poke",
         &[Value::I64(5)],
@@ -205,11 +208,23 @@ fn function_pointer_dispatch() {
             pointer_auth: harden.ptr_auth,
             ..ExecConfig::default()
         };
-        let out =
-            build_and_run(src, harden, config, "apply", &[Value::I64(1), Value::I64(21)]).unwrap();
+        let out = build_and_run(
+            src,
+            harden,
+            config,
+            "apply",
+            &[Value::I64(1), Value::I64(21)],
+        )
+        .unwrap();
         assert_eq!(out, vec![Value::I64(42)]);
-        let out =
-            build_and_run(src, harden, config, "apply", &[Value::I64(0), Value::I64(6)]).unwrap();
+        let out = build_and_run(
+            src,
+            harden,
+            config,
+            "apply",
+            &[Value::I64(0), Value::I64(6)],
+        )
+        .unwrap();
         assert_eq!(out, vec![Value::I64(36)]);
     }
 }
@@ -234,14 +249,7 @@ fn globals_strings_and_pointer_walk() {
             return counter;
         }
     "#;
-    let out = build_and_run(
-        src,
-        HardenConfig::none(),
-        ExecConfig::default(),
-        "run",
-        &[],
-    )
-    .unwrap();
+    let out = build_and_run(src, HardenConfig::none(), ExecConfig::default(), "run", &[]).unwrap();
     assert_eq!(out, vec![Value::I64(20)]);
 }
 

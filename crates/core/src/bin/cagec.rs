@@ -1,17 +1,32 @@
 //! `cagec` — the Cage toolchain driver.
 //!
 //! Compile a C file to hardened wasm64, optionally emit the binary module,
-//! and/or run an exported function on a simulated Tensor G3 core:
+//! list its exports, and/or run an exported function on a simulated
+//! Tensor G3 core:
 //!
 //! ```sh
 //! cagec program.c --variant cage --invoke main
 //! cagec program.c --variant wasm64 --emit program.wasm
+//! cagec program.c --list-exports
 //! cagec program.c --invoke work 42 7 --core a510 --stats
 //! ```
+//!
+//! Exit codes distinguish failure stages: `1` for compile/build errors,
+//! `2` for usage errors, `3` for guest traps, `4` for instantiation
+//! failures (e.g. the §6.4 sandbox-tag budget).
 
 use std::process::ExitCode;
 
-use cage::{build_with, BuildOptions, Core, Value, Variant};
+use cage::{Core, Engine, Error, Value, Variant};
+
+/// Compile (or usage/I-O) failure.
+const EXIT_COMPILE: u8 = 1;
+/// Bad command line.
+const EXIT_USAGE: u8 = 2;
+/// The guest trapped.
+const EXIT_TRAP: u8 = 3;
+/// Instantiation failed.
+const EXIT_INSTANTIATE: u8 = 4;
 
 struct Args {
     input: String,
@@ -20,6 +35,7 @@ struct Args {
     emit: Option<String>,
     emit_wat: Option<String>,
     invoke: Option<(String, Vec<i64>)>,
+    list_exports: bool,
     stats: bool,
     memory_pages: u64,
 }
@@ -35,8 +51,11 @@ options:
   --emit-wat <path> write a WAT-flavoured text dump to <path>
   --invoke <fn> [int args...]
                    run an exported function with i64 arguments
+  --list-exports   print the exported functions and their signatures
   --memory <pages> linear memory size in 64 KiB pages (default: 64)
   --stats          print simulated cycles/time and memory report
+
+exit codes: 1 compile error, 2 usage, 3 guest trap, 4 instantiation failure
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
     let mut emit = None;
     let mut emit_wat = None;
     let mut invoke = None;
+    let mut list_exports = false;
     let mut stats = false;
     let mut memory_pages = 64;
     while let Some(arg) = argv.next() {
@@ -88,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 invoke = Some((name, args));
             }
+            "--list-exports" => list_exports = true,
             "--memory" => {
                 memory_pages = argv
                     .next()
@@ -110,9 +131,26 @@ fn parse_args() -> Result<Args, String> {
         emit,
         emit_wat,
         invoke,
+        list_exports,
         stats,
         memory_pages,
     })
+}
+
+/// Renders the unified error with its full source-context chain, skipping
+/// causes whose text the parent message already embeds.
+fn report(err: &Error) {
+    let mut shown = err.to_string();
+    eprintln!("cagec: error: {shown}");
+    let mut source = std::error::Error::source(err);
+    while let Some(cause) = source {
+        let text = cause.to_string();
+        if !shown.contains(&text) {
+            eprintln!("cagec:   caused by: {text}");
+            shown = text;
+        }
+        source = cause.source();
+    }
 }
 
 fn main() -> ExitCode {
@@ -123,25 +161,25 @@ fn main() -> ExitCode {
                 eprintln!("cagec: {msg}\n");
             }
             eprint!("{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let source = match std::fs::read_to_string(&args.input) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cagec: cannot read {}: {e}", args.input);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_COMPILE);
         }
     };
-    let opts = BuildOptions {
-        memory_pages: args.memory_pages,
-        ..BuildOptions::new(args.variant)
-    };
-    let artifact = match build_with(&source, &opts) {
+    let engine = Engine::builder(args.variant)
+        .core(args.core)
+        .memory_pages(args.memory_pages)
+        .build();
+    let artifact = match engine.compile(&source) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("cagec: {e}");
-            return ExitCode::FAILURE;
+            report(&e);
+            return ExitCode::from(EXIT_COMPILE);
         }
     };
     eprintln!(
@@ -154,7 +192,7 @@ fn main() -> ExitCode {
     if let Some(path) = &args.emit {
         if let Err(e) = std::fs::write(path, artifact.wasm_bytes()) {
             eprintln!("cagec: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_COMPILE);
         }
         eprintln!("wrote {path}");
     }
@@ -163,48 +201,60 @@ fn main() -> ExitCode {
         let text = cage::wasm::text::print_module(artifact.module());
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("cagec: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_COMPILE);
         }
         eprintln!("wrote {path}");
     }
 
-    if let Some((name, int_args)) = &args.invoke {
-        let mut instance = match artifact.instantiate(args.core) {
+    if args.list_exports {
+        // Static listing from the artifact: needs no host surface, so it
+        // works even when the program declares unbound `env.*` imports.
+        println!("exports of {} ({}):", args.input, artifact.variant());
+        for (name, sig) in artifact.exports() {
+            println!("  {name} {sig}");
+        }
+    }
+
+    if args.invoke.is_some() {
+        let mut instance = match engine.instantiate(&artifact) {
             Ok(i) => i,
             Err(e) => {
-                eprintln!("cagec: instantiation failed: {e}");
-                return ExitCode::FAILURE;
+                report(&e);
+                return ExitCode::from(EXIT_INSTANTIATE);
             }
         };
-        let values: Vec<Value> = int_args.iter().map(|v| Value::I64(*v)).collect();
-        match instance.invoke(name, &values) {
-            Ok(results) => {
-                print!("{}", instance.stdout());
-                for r in &results {
-                    println!("{r}");
+
+        if let Some((name, int_args)) = &args.invoke {
+            let values: Vec<Value> = int_args.iter().map(|v| Value::I64(*v)).collect();
+            match instance.invoke(name, &values) {
+                Ok(results) => {
+                    print!("{}", instance.stdout());
+                    for r in &results {
+                        println!("{r}");
+                    }
+                    if args.stats {
+                        eprintln!(
+                            "[stats] {:.0} cycles, {:.6} ms simulated on {}, {} instructions",
+                            instance.cycles(),
+                            instance.simulated_ms(),
+                            args.core,
+                            instance.instr_count()
+                        );
+                        let mem = instance.memory_report();
+                        eprintln!(
+                            "[stats] linear {} B, tag space {} B, heap peak {} B",
+                            mem.linear_bytes, mem.tag_bytes, mem.heap_peak_bytes
+                        );
+                    }
                 }
-                if args.stats {
-                    eprintln!(
-                        "[stats] {:.0} cycles, {:.6} ms simulated on {}, {} instructions",
-                        instance.cycles(),
-                        instance.simulated_ms(),
-                        args.core,
-                        instance.instr_count()
-                    );
-                    let mem = instance.memory_report();
-                    eprintln!(
-                        "[stats] linear {} B, tag space {} B, heap peak {} B",
-                        mem.linear_bytes, mem.tag_bytes, mem.heap_peak_bytes
-                    );
+                Err(err) => {
+                    print!("{}", instance.stdout());
+                    report(&err);
+                    if err.is_memory_safety_violation() {
+                        eprintln!("cagec: (memory-safety violation caught by Cage)");
+                    }
+                    return ExitCode::from(EXIT_TRAP);
                 }
-            }
-            Err(trap) => {
-                print!("{}", instance.stdout());
-                eprintln!("cagec: trap: {trap}");
-                if trap.is_memory_safety_violation() {
-                    eprintln!("cagec: (memory-safety violation caught by Cage)");
-                }
-                return ExitCode::FAILURE;
             }
         }
     }

@@ -237,7 +237,7 @@ pub fn cases() -> Vec<CveCase> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{build, Core, Value, Variant};
+    use crate::{Engine, Variant};
 
     #[test]
     fn gallery_matches_table2_size() {
@@ -247,38 +247,29 @@ mod tests {
     #[test]
     fn every_case_is_caught_by_cage_and_missed_by_baseline() {
         for case in cases() {
+            let run = |variant: Variant, trigger: i64| {
+                let engine = Engine::new(variant);
+                let artifact = engine
+                    .compile(case.source)
+                    .unwrap_or_else(|e| panic!("{}: {e}", case.cve));
+                let mut inst = engine.instantiate(&artifact).unwrap();
+                let f = inst.get_typed::<i64, i64>("run").unwrap();
+                f.call(&mut inst, trigger)
+            };
             // Benign path works everywhere.
             for variant in [Variant::BaselineWasm64, Variant::CageFull] {
-                let mut inst = build(case.source, variant)
-                    .unwrap_or_else(|e| panic!("{}: {e}", case.cve))
-                    .instantiate(Core::CortexX3)
-                    .unwrap();
-                inst.invoke("run", &[Value::I64(0)])
+                run(variant, 0)
                     .unwrap_or_else(|e| panic!("{} benign under {variant}: {e}", case.cve));
             }
             // Trigger: silent under the baseline…
-            let mut base = build(case.source, Variant::BaselineWasm64)
-                .unwrap()
-                .instantiate(Core::CortexX3)
-                .unwrap();
             assert!(
-                base.invoke("run", &[Value::I64(1)]).is_ok(),
+                run(Variant::BaselineWasm64, 1).is_ok(),
                 "{}: baseline should miss the bug",
                 case.cve
             );
             // …trapped under Cage.
-            let mut caged = build(case.source, Variant::CageFull)
-                .unwrap()
-                .instantiate(Core::CortexX3)
-                .unwrap();
-            let err = caged
-                .invoke("run", &[Value::I64(1)])
-                .expect_err(case.cve);
-            assert!(
-                err.is_memory_safety_violation(),
-                "{}: {err}",
-                case.cve
-            );
+            let err = run(Variant::CageFull, 1).expect_err(case.cve);
+            assert!(err.is_memory_safety_violation(), "{}: {err}", case.cve);
         }
     }
 }

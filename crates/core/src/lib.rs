@@ -12,11 +12,17 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use cage::{build, Core, Value, Variant};
+//! The embedding model is wasmtime's: an [`Engine`] is the shared
+//! compilation environment, a [`Linker`] names the host surface, and
+//! typed function handles ([`Instance::get_typed`]) replace `&[Value]`
+//! plumbing.
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let artifact = build(
+//! ```
+//! use cage::{Engine, Variant};
+//!
+//! # fn main() -> Result<(), cage::Error> {
+//! let engine = Engine::new(Variant::CageFull);
+//! let artifact = engine.compile(
 //!     r#"
 //!     long sum(long n) {
 //!         long acc = 0;
@@ -24,16 +30,41 @@
 //!         return acc;
 //!     }
 //!     "#,
-//!     Variant::CageFull,
 //! )?;
-//! let mut instance = artifact.instantiate(Core::CortexX3)?;
-//! let out = instance.invoke("sum", &[Value::I64(10)])?;
-//! assert_eq!(out, vec![Value::I64(45)]);
+//! let mut instance = engine.instantiate(&artifact)?;
+//! let sum = instance.get_typed::<i64, i64>("sum")?;
+//! assert_eq!(sum.call(&mut instance, 10)?, 45);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! The same `build` with a buggy program and [`Variant::CageFull`] traps on
+//! Custom host functions are first-class: declare a prototype in C and
+//! register the implementation in a [`Linker`]:
+//!
+//! ```
+//! use cage::{Engine, Linker, Value, Variant};
+//! use cage::wasm::ValType;
+//!
+//! # fn main() -> Result<(), cage::Error> {
+//! let engine = Engine::new(Variant::CageFull);
+//! let artifact = engine.compile(
+//!     r#"
+//!     long next_id(long hint);           // host-provided (env.next_id)
+//!     long fresh(long hint) { return next_id(hint) * 10; }
+//!     "#,
+//! )?;
+//! let mut linker = Linker::with_libc();
+//! linker.func("env", "next_id", &[ValType::I64], &[ValType::I64], |_ctx, args| {
+//!     Ok(vec![Value::I64(args[0].as_i64() + 1)])
+//! });
+//! let mut instance = engine.instantiate_with(&artifact, &linker)?;
+//! let fresh = instance.get_typed::<i64, i64>("fresh")?;
+//! assert_eq!(fresh.call(&mut instance, 6)?, 70);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The same engine with a buggy program and [`Variant::CageFull`] traps on
 //! the paper's CVE classes (heap/stack overflow, use-after-free, double
 //! free) instead of silently corrupting memory — see `examples/` and the
 //! `tests/security_cves.rs` suite.
@@ -43,11 +74,16 @@
 
 use std::fmt;
 
+mod embed;
+mod error;
 pub mod gallery;
 
-pub use cage_engine::{Trap, Value};
+pub use embed::{Artifact, Engine, EngineBuilder, Instance, TypedFunc};
+pub use error::Error;
+
+pub use cage_engine::{Trap, Value, WasmParams, WasmResults, WasmTy};
 pub use cage_mte::Core;
-pub use cage_runtime::{MemoryReport, StartupReport, Variant};
+pub use cage_runtime::{Linker, MemoryReport, StartupReport, Variant};
 
 pub use cage_cc as cc;
 pub use cage_engine as engine;
@@ -58,7 +94,7 @@ pub use cage_pac as pac;
 pub use cage_runtime as runtime;
 pub use cage_wasm as wasm;
 
-/// Build failures across the pipeline.
+/// Build failures across the pipeline (legacy; absorbed by [`Error`]).
 #[derive(Debug)]
 pub enum BuildError {
     /// Frontend (parse/typecheck) error.
@@ -82,7 +118,9 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
-/// Build options beyond the variant.
+/// Build options beyond the variant (legacy; superseded by
+/// [`Engine::builder`]).
+#[deprecated(since = "0.2.0", note = "configure an `Engine` via `Engine::builder`")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BuildOptions {
     /// Table 3 configuration.
@@ -93,6 +131,7 @@ pub struct BuildOptions {
     pub stack_size: u64,
 }
 
+#[allow(deprecated)]
 impl BuildOptions {
     /// Default options for `variant`.
     #[must_use]
@@ -105,171 +144,44 @@ impl BuildOptions {
     }
 }
 
-/// A compiled, hardened module ready to instantiate.
-#[derive(Debug, Clone)]
-pub struct Artifact {
-    module: cage_wasm::Module,
-    heap_base: u64,
-    variant: Variant,
-    memory_pages: u64,
-}
-
-impl Artifact {
-    /// The wasm module.
-    #[must_use]
-    pub fn module(&self) -> &cage_wasm::Module {
-        &self.module
-    }
-
-    /// First heap byte (where the hardened allocator starts).
-    #[must_use]
-    pub fn heap_base(&self) -> u64 {
-        self.heap_base
-    }
-
-    /// The variant this artifact was compiled for.
-    #[must_use]
-    pub fn variant(&self) -> Variant {
-        self.variant
-    }
-
-    /// Linear-memory pages the module declares.
-    #[must_use]
-    pub fn memory_pages(&self) -> u64 {
-        self.memory_pages
-    }
-
-    /// Serialises to the binary format (with Cage's `0xFB` instructions).
-    #[must_use]
-    pub fn wasm_bytes(&self) -> Vec<u8> {
-        cage_wasm::binary::encode(&self.module)
-    }
-
-    /// Instantiates on `core` with a fresh runtime and libc.
-    ///
-    /// # Errors
-    ///
-    /// Instantiation errors (e.g. sandbox-tag exhaustion).
-    pub fn instantiate(&self, core: Core) -> Result<Instance, cage_runtime::RuntimeError> {
-        let mut rt = cage_runtime::Runtime::new(self.variant, core);
-        let token = rt.instantiate(&self.module, self.heap_base)?;
-        Ok(Instance { rt, token })
-    }
-
-    /// Instantiates into an existing runtime (multi-instance processes).
-    ///
-    /// # Errors
-    ///
-    /// Instantiation errors.
-    pub fn instantiate_in(
-        &self,
-        rt: &mut cage_runtime::Runtime,
-    ) -> Result<cage_runtime::InstanceToken, cage_runtime::RuntimeError> {
-        rt.instantiate(&self.module, self.heap_base)
-    }
-}
-
-/// Compiles and hardens `source` for `variant` with default options.
+/// Compiles and hardens `source` for `variant` with default options
+/// (legacy; superseded by [`Engine::compile`]).
 ///
 /// # Errors
 ///
 /// [`BuildError`] on compile or lowering failures.
+#[deprecated(since = "0.2.0", note = "use `Engine::new(variant).compile(source)`")]
 pub fn build(source: &str, variant: Variant) -> Result<Artifact, BuildError> {
-    build_with(source, &BuildOptions::new(variant))
+    to_build_error(Engine::new(variant).compile(source))
 }
 
-/// Compiles and hardens `source` with explicit options.
+/// Compiles and hardens `source` with explicit options (legacy; superseded
+/// by [`Engine::builder`] + [`Engine::compile`]).
 ///
 /// # Errors
 ///
 /// [`BuildError`] on compile or lowering failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::builder(variant)...build().compile(source)`"
+)]
+#[allow(deprecated)]
 pub fn build_with(source: &str, opts: &BuildOptions) -> Result<Artifact, BuildError> {
-    let ptr_bytes = opts.variant.ptr_width().bytes();
-    let ast = cage_cc::parse(source).map_err(BuildError::Compile)?;
-    let mut ir_module =
-        cage_cc::codegen::compile_ast_for(&ast, ptr_bytes).map_err(BuildError::Compile)?;
-    cage_ir::passes::run_pipeline(&mut ir_module, opts.variant.harden_config());
-    let lowered = cage_ir::lower(
-        &ir_module,
-        &cage_ir::LowerOptions {
-            ptr_width: opts.variant.ptr_width(),
-            memory_pages: opts.memory_pages,
-            stack_size: opts.stack_size,
-        },
-    )
-    .map_err(BuildError::Lower)?;
-    cage_wasm::validate(&lowered.module).map_err(BuildError::Validate)?;
-    Ok(Artifact {
-        module: lowered.module,
-        heap_base: lowered.heap_base,
-        variant: opts.variant,
-        memory_pages: opts.memory_pages,
+    let engine = Engine::builder(opts.variant)
+        .memory_pages(opts.memory_pages)
+        .stack_size(opts.stack_size)
+        .build();
+    to_build_error(engine.compile(source))
+}
+
+/// Maps the unified error back onto the legacy build-error shape.
+fn to_build_error(result: Result<Artifact, Error>) -> Result<Artifact, BuildError> {
+    result.map_err(|e| match e {
+        Error::Compile(c) => BuildError::Compile(c),
+        Error::Lower(l) => BuildError::Lower(l),
+        Error::Validate(v) => BuildError::Validate(v),
+        other => unreachable!("Engine::compile produced a non-build error: {other}"),
     })
-}
-
-/// A live instance with its runtime.
-pub struct Instance {
-    rt: cage_runtime::Runtime,
-    token: cage_runtime::InstanceToken,
-}
-
-impl fmt::Debug for Instance {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Instance")
-            .field("variant", &self.rt.variant())
-            .finish()
-    }
-}
-
-impl Instance {
-    /// Invokes an exported C function.
-    ///
-    /// # Errors
-    ///
-    /// Guest traps (memory-safety violations included).
-    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, Trap> {
-        self.rt.invoke(self.token, name, args)
-    }
-
-    /// Captured `print_*` output.
-    #[must_use]
-    pub fn stdout(&self) -> String {
-        self.rt.stdout(self.token)
-    }
-
-    /// Simulated milliseconds on the configured core.
-    #[must_use]
-    pub fn simulated_ms(&self) -> f64 {
-        self.rt.simulated_ms(self.token)
-    }
-
-    /// Simulated cycles.
-    #[must_use]
-    pub fn cycles(&self) -> f64 {
-        self.rt.cycles(self.token)
-    }
-
-    /// Instructions retired.
-    #[must_use]
-    pub fn instr_count(&self) -> u64 {
-        self.rt.instr_count(self.token)
-    }
-
-    /// Resets timing counters (between benchmark phases).
-    pub fn reset_counters(&mut self) {
-        self.rt.reset_counters(self.token);
-    }
-
-    /// Memory report (§7.3 accounting).
-    #[must_use]
-    pub fn memory_report(&self) -> MemoryReport {
-        self.rt.memory_report(self.token)
-    }
-
-    /// The underlying runtime (advanced use).
-    pub fn runtime_mut(&mut self) -> &mut cage_runtime::Runtime {
-        &mut self.rt
-    }
 }
 
 #[cfg(test)]
@@ -277,16 +189,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn build_rejects_bad_c() {
+    fn compile_rejects_bad_c() {
         assert!(matches!(
-            build("long f( {", Variant::BaselineWasm64),
-            Err(BuildError::Compile(_))
+            Engine::new(Variant::BaselineWasm64).compile("long f( {"),
+            Err(Error::Compile(_))
         ));
     }
 
     #[test]
     fn artifact_roundtrips_through_binary_format() {
-        let artifact = build("long f() { return 7; }", Variant::CageFull).unwrap();
+        let artifact = Engine::new(Variant::CageFull)
+            .compile("long f() { return 7; }")
+            .unwrap();
         let bytes = artifact.wasm_bytes();
         let decoded = cage_wasm::binary::decode(&bytes).unwrap();
         assert_eq!(&decoded, artifact.module());
@@ -295,17 +209,13 @@ mod tests {
     #[test]
     fn end_to_end_all_variants() {
         for variant in Variant::ALL {
-            let artifact = build(
-                "long f(long x) { long a[4]; a[x % 4] = x; return a[x % 4] * 2; }",
-                variant,
-            )
-            .unwrap();
-            let mut inst = artifact.instantiate(Core::CortexA715).unwrap();
-            assert_eq!(
-                inst.invoke("f", &[Value::I64(21)]).unwrap(),
-                vec![Value::I64(42)],
-                "{variant}"
-            );
+            let engine = Engine::builder(variant).core(Core::CortexA715).build();
+            let artifact = engine
+                .compile("long f(long x) { long a[4]; a[x % 4] = x; return a[x % 4] * 2; }")
+                .unwrap();
+            let mut inst = engine.instantiate(&artifact).unwrap();
+            let f = inst.get_typed::<i64, i64>("f").unwrap();
+            assert_eq!(f.call(&mut inst, 21).unwrap(), 42, "{variant}");
             assert!(inst.cycles() > 0.0);
         }
     }
@@ -313,15 +223,52 @@ mod tests {
     #[test]
     fn memory_report_shows_tag_overhead_only_for_cage() {
         let src = "long f() { return 0; }";
-        let base = build(src, Variant::BaselineWasm64)
-            .unwrap()
-            .instantiate(Core::CortexX3)
-            .unwrap();
-        let caged = build(src, Variant::CageFull)
-            .unwrap()
-            .instantiate(Core::CortexX3)
-            .unwrap();
+        let instantiate = |variant: Variant| {
+            let engine = Engine::new(variant);
+            let artifact = engine.compile(src).unwrap();
+            engine.instantiate(&artifact).unwrap()
+        };
+        let base = instantiate(Variant::BaselineWasm64);
+        let caged = instantiate(Variant::CageFull);
         assert_eq!(base.memory_report().tag_bytes, 0);
         assert!(caged.memory_report().tag_bytes > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_build_shim_still_works() {
+        let artifact = build("long f() { return 41; }", Variant::CageFull).unwrap();
+        let mut inst = artifact.instantiate(Core::CortexX3).unwrap();
+        assert_eq!(inst.invoke("f", &[]).unwrap(), vec![Value::I64(41)]);
+        let opts = BuildOptions {
+            memory_pages: 128,
+            ..BuildOptions::new(Variant::BaselineWasm64)
+        };
+        let artifact = build_with("long g() { return 2; }", &opts).unwrap();
+        assert_eq!(artifact.memory_pages(), 128);
+    }
+
+    #[test]
+    fn typed_func_signature_mismatch_is_detected() {
+        let engine = Engine::new(Variant::BaselineWasm64);
+        let artifact = engine.compile("long f(long x) { return x; }").unwrap();
+        let inst = engine.instantiate(&artifact).unwrap();
+        let err = inst.get_typed::<(f64, f64), i64>("f").unwrap_err();
+        assert!(matches!(err, Error::SignatureMismatch { .. }), "{err}");
+        assert!(matches!(
+            inst.get_typed::<i64, i64>("missing").unwrap_err(),
+            Error::MissingExport { .. }
+        ));
+    }
+
+    #[test]
+    fn engine_is_cheap_to_clone_and_share() {
+        let engine = Engine::builder(Variant::CageFull).memory_pages(128).build();
+        let clone = engine.clone();
+        assert_eq!(clone.memory_pages(), 128);
+        assert_eq!(clone.variant(), Variant::CageFull);
+        // Both handles compile against the same environment.
+        let artifact = clone.compile("long f() { return 1; }").unwrap();
+        assert_eq!(artifact.memory_pages(), 128);
     }
 }

@@ -135,14 +135,20 @@ mod tests {
 
     #[test]
     fn mte_active_detection() {
-        let mut c = ExecConfig::default();
-        c.bounds = BoundsCheckStrategy::MteSandbox;
+        let c = ExecConfig {
+            bounds: BoundsCheckStrategy::MteSandbox,
+            ..ExecConfig::default()
+        };
         assert!(c.mte_active());
-        let mut c2 = ExecConfig::default();
-        c2.internal = InternalSafety::Mte;
+        let c2 = ExecConfig {
+            internal: InternalSafety::Mte,
+            ..ExecConfig::default()
+        };
         assert!(c2.mte_active());
-        let mut c3 = ExecConfig::default();
-        c3.internal = InternalSafety::Software;
+        let c3 = ExecConfig {
+            internal: InternalSafety::Software,
+            ..ExecConfig::default()
+        };
         assert!(!c3.mte_active());
     }
 

@@ -100,7 +100,12 @@ impl std::fmt::Debug for HostFunc {
 }
 
 /// A set of named host functions to satisfy a module's imports.
-#[derive(Debug, Default)]
+///
+/// Cloning is cheap: entries are shared handles, so a clone registers the
+/// *same* host functions (and their captured state) — which is what a
+/// `Linker` wants when it instantiates many modules against one host
+/// surface.
+#[derive(Debug, Default, Clone)]
 pub struct Imports {
     map: HashMap<(String, String), Rc<RefCell<HostFunc>>>,
 }
@@ -112,10 +117,20 @@ impl Imports {
         Imports::default()
     }
 
+    /// Copies every entry of `other` into `self` (shared handles),
+    /// replacing entries with the same `module.name`.
+    pub fn merge_from(&mut self, other: &Imports) {
+        for (key, func) in &other.map {
+            self.map.insert(key.clone(), Rc::clone(func));
+        }
+    }
+
     /// Registers `func` under `module.name`, replacing any previous entry.
     pub fn define(&mut self, module: &str, name: &str, func: HostFunc) -> &mut Self {
-        self.map
-            .insert((module.to_string(), name.to_string()), Rc::new(RefCell::new(func)));
+        self.map.insert(
+            (module.to_string(), name.to_string()),
+            Rc::new(RefCell::new(func)),
+        );
         self
     }
 

@@ -381,9 +381,9 @@ impl<'s> Interp<'s> {
                 let ptr = stack.pop().expect("validated").as_u64();
                 self.charge(self.store.cost.segment_new_cost(len / 16));
                 let config = self.config;
-                let tagged = self
-                    .memory_mut()?
-                    .segment_new(ptr.wrapping_add(*offset), len, &config)?;
+                let tagged =
+                    self.memory_mut()?
+                        .segment_new(ptr.wrapping_add(*offset), len, &config)?;
                 stack.push(Value::from(tagged));
             }
             SegmentSetTag(offset) => {
@@ -392,8 +392,12 @@ impl<'s> Interp<'s> {
                 let ptr = stack.pop().expect("validated").as_u64();
                 self.charge(self.store.cost.segment_retag_cost(len / 16));
                 let config = self.config;
-                self.memory_mut()?
-                    .segment_set_tag(ptr.wrapping_add(*offset), tagged, len, &config)?;
+                self.memory_mut()?.segment_set_tag(
+                    ptr.wrapping_add(*offset),
+                    tagged,
+                    len,
+                    &config,
+                )?;
             }
             SegmentFree(offset) => {
                 let len = stack.pop().expect("validated").as_u64();
@@ -468,12 +472,14 @@ impl<'s> Interp<'s> {
 
     fn mem_read(&mut self, index: u64, memarg: &MemArg, width: u64) -> Result<Vec<u8>, Trap> {
         let config = self.config;
-        self.memory_mut()?.read(index, memarg.offset, width, &config)
+        self.memory_mut()?
+            .read(index, memarg.offset, width, &config)
     }
 
     fn mem_write(&mut self, index: u64, memarg: &MemArg, bytes: &[u8]) -> Result<(), Trap> {
         let config = self.config;
-        self.memory_mut()?.write(index, memarg.offset, bytes, &config)
+        self.memory_mut()?
+            .write(index, memarg.offset, bytes, &config)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -569,9 +575,11 @@ impl<'s> Interp<'s> {
             I32Xor => bin!(s, as_i32, |a: i32, b: i32| a ^ b),
             I32Shl => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
             I32ShrS => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
-            I32ShrU => bin!(s, as_i32, |a: i32, b: i32| ((a as u32)
-                .wrapping_shr(b as u32))
-                as i32),
+            I32ShrU => bin!(
+                s,
+                as_i32,
+                |a: i32, b: i32| ((a as u32).wrapping_shr(b as u32)) as i32
+            ),
             I32Rotl => bin!(s, as_i32, |a: i32, b: i32| a.rotate_left(b as u32 & 31)),
             I32Rotr => bin!(s, as_i32, |a: i32, b: i32| a.rotate_right(b as u32 & 31)),
 
@@ -641,9 +649,11 @@ impl<'s> Interp<'s> {
             I64Xor => bin!(s, as_i64, |a: i64, b: i64| a ^ b),
             I64Shl => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
             I64ShrS => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
-            I64ShrU => bin!(s, as_i64, |a: i64, b: i64| ((a as u64)
-                .wrapping_shr(b as u32))
-                as i64),
+            I64ShrU => bin!(
+                s,
+                as_i64,
+                |a: i64, b: i64| ((a as u64).wrapping_shr(b as u32)) as i64
+            ),
             I64Rotl => bin!(s, as_i64, |a: i64, b: i64| a.rotate_left(b as u32 & 63)),
             I64Rotr => bin!(s, as_i64, |a: i64, b: i64| a.rotate_right(b as u32 & 63)),
 
@@ -870,7 +880,7 @@ fn trunc_to_i32(v: f64) -> Result<i32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < -2_147_483_648.0 || t > 2_147_483_647.0 {
+    if !(-2_147_483_648.0..=2_147_483_647.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as i32)
@@ -881,7 +891,7 @@ fn trunc_to_u32(v: f64) -> Result<u32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < 0.0 || t > 4_294_967_295.0 {
+    if !(0.0..=4_294_967_295.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as u32)
@@ -894,7 +904,7 @@ fn trunc_to_i64(v: f64) -> Result<i64, Trap> {
     let t = v.trunc();
     // 2^63 is exactly representable; anything >= it overflows, as does
     // anything < -2^63.
-    if t >= 9_223_372_036_854_775_808.0 || t < -9_223_372_036_854_775_808.0 {
+    if !(-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as i64)
@@ -905,7 +915,7 @@ fn trunc_to_u64(v: f64) -> Result<u64, Trap> {
         return Err(Trap::InvalidConversion);
     }
     let t = v.trunc();
-    if t < 0.0 || t >= 18_446_744_073_709_551_616.0 {
+    if !(0.0..18_446_744_073_709_551_616.0).contains(&t) {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as u64)

@@ -54,6 +54,7 @@ pub mod interp;
 pub mod memory;
 pub mod store;
 pub mod trap;
+pub mod typed;
 pub mod value;
 
 pub use config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
@@ -62,4 +63,5 @@ pub use host::{HostContext, HostFunc, Imports};
 pub use memory::{LinearMemory, TagScheme};
 pub use store::{InstanceHandle, Store};
 pub use trap::Trap;
+pub use typed::{WasmParams, WasmResults, WasmTy};
 pub use value::Value;

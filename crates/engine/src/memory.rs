@@ -216,7 +216,9 @@ impl LinearMemory {
         self.data.resize((new_size + RUNTIME_SLACK) as usize, 0);
         // Zero the region that used to be slack and is now guest memory.
         let old_size = self.guest_size;
-        for b in &mut self.data[old_size as usize..(old_size + RUNTIME_SLACK.min(new_size - old_size)) as usize] {
+        for b in &mut self.data
+            [old_size as usize..(old_size + RUNTIME_SLACK.min(new_size - old_size)) as usize]
+        {
             *b = 0;
         }
         self.tags.grow(new_size + RUNTIME_SLACK);
@@ -257,9 +259,10 @@ impl LinearMemory {
         } else {
             index // already zero-extended from u32
         };
-        let addr = base
-            .checked_add(offset)
-            .ok_or(Trap::OutOfBounds { addr: u64::MAX, len: width })?;
+        let addr = base.checked_add(offset).ok_or(Trap::OutOfBounds {
+            addr: u64::MAX,
+            len: width,
+        })?;
 
         let mte_sandbox = config.bounds == BoundsCheckStrategy::MteSandbox && config.mte_active();
         if !mte_sandbox {
@@ -349,7 +352,8 @@ impl LinearMemory {
         let width = bytes.len() as u64;
         if config.mte_active() {
             let ptr_tag = self.scheme.ptr_tag(index);
-            self.tags.check_access(addr, width.max(1), ptr_tag, AccessKind::Write)?;
+            self.tags
+                .check_access(addr, width.max(1), ptr_tag, AccessKind::Write)?;
         }
         if addr + width > self.data.len() as u64 {
             return Err(Trap::OutOfBounds { addr, len: width });
@@ -370,7 +374,7 @@ impl LinearMemory {
     // -- Fig. 11: segment semantics -----------------------------------------
 
     fn segment_range_check(&self, addr: u64, len: u64) -> Result<(), Trap> {
-        if addr % 16 != 0 || len % 16 != 0 {
+        if !addr.is_multiple_of(16) || !len.is_multiple_of(16) {
             return Err(Trap::SegmentFault {
                 addr,
                 reason: SegmentFaultReason::Unaligned,
@@ -606,9 +610,8 @@ mod tests {
         let b = m.segment_new(32, 32, &c).unwrap();
         // Merge: give [0,32) to b's tag.
         m.segment_set_tag(0, b, 32, &c).unwrap();
-        assert!(m.read(b & !(0xF << 56), 0, 16, &c).is_err() || true);
         // b can now access the first segment through its own tag.
-        let b_first = (b & !ADDR_MASK) | 0; // b's tag, address 0
+        let b_first = b & !ADDR_MASK; // b's tag, address 0
         assert!(m.read(b_first, 0, 16, &c).is_ok());
         // a's pointer lost access.
         assert!(m.read(a, 0, 16, &c).is_err());

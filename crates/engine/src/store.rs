@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use cage_mte::{Tag, MteMode};
+use cage_mte::{MteMode, Tag};
 use cage_pac::{PacKey, PacSigner, PointerLayout};
 use cage_wasm::{validate, ImportKind, Module, ValidationError};
 use rand::{Rng, SeedableRng};
@@ -58,9 +58,7 @@ impl fmt::Display for InstantiateError {
             InstantiateError::TooManySandboxes => {
                 f.write_str("sandbox tags exhausted (15 per process, 1 in combined mode)")
             }
-            InstantiateError::SegmentOutOfRange => {
-                f.write_str("active segment out of range")
-            }
+            InstantiateError::SegmentOutOfRange => f.write_str("active segment out of range"),
             InstantiateError::Start(t) => write!(f, "start function trapped: {t}"),
         }
     }
@@ -190,17 +188,15 @@ impl Store {
         for import in &module.imports {
             match &import.kind {
                 ImportKind::Func(_) => {
-                    let f = imports.resolve(&import.module, &import.name).ok_or_else(|| {
-                        InstantiateError::MissingImport {
+                    let f = imports
+                        .resolve(&import.module, &import.name)
+                        .ok_or_else(|| InstantiateError::MissingImport {
                             module: import.module.clone(),
                             name: import.name.clone(),
-                        }
-                    })?;
+                        })?;
                     host_funcs.push(f);
                 }
-                other => {
-                    return Err(InstantiateError::UnsupportedImport(format!("{other:?}")))
-                }
+                other => return Err(InstantiateError::UnsupportedImport(format!("{other:?}"))),
             }
         }
 
@@ -298,7 +294,8 @@ impl Store {
         let handle = InstanceHandle(self.instances.len() - 1);
 
         if let Some(start) = module.start {
-            self.call(handle, start, &[]).map_err(InstantiateError::Start)?;
+            self.call(handle, start, &[])
+                .map_err(InstantiateError::Start)?;
         }
         Ok(handle)
     }
@@ -374,6 +371,13 @@ impl Store {
         inst.instr_count = 0;
     }
 
+    /// The module an instance was created from (export/type lookups for
+    /// typed calls).
+    #[must_use]
+    pub fn module(&self, handle: InstanceHandle) -> &Module {
+        &self.instances[handle.0].module
+    }
+
     /// Read access to an instance's memory.
     #[must_use]
     pub fn memory(&self, handle: InstanceHandle) -> Option<&LinearMemory> {
@@ -443,7 +447,9 @@ mod tests {
     fn instantiate_and_invoke() {
         let mut store = Store::new(ExecConfig::default());
         let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
-        let out = store.invoke(h, "add", &[Value::I64(40), Value::I64(2)]).unwrap();
+        let out = store
+            .invoke(h, "add", &[Value::I64(40), Value::I64(2)])
+            .unwrap();
         assert_eq!(out, vec![Value::I64(42)]);
         assert!(store.cycles(h) > 0.0);
         assert!(store.instr_count(h) >= 3);
@@ -548,7 +554,12 @@ mod tests {
         let mut b = ModuleBuilder::new();
         b.add_memory64(1);
         let g = b.add_global(ValType::I64, true, Instr::I64Const(0));
-        let start = b.add_function(&[], &[], &[], vec![Instr::I64Const(99), Instr::GlobalSet(g)]);
+        let start = b.add_function(
+            &[],
+            &[],
+            &[],
+            vec![Instr::I64Const(99), Instr::GlobalSet(g)],
+        );
         let get = b.add_function(&[], &[ValType::I64], &[], vec![Instr::GlobalGet(g)]);
         b.set_start(start);
         b.export_func("get", get);
@@ -561,7 +572,9 @@ mod tests {
     fn reset_counters_zeroes_accounting() {
         let mut store = Store::new(ExecConfig::default());
         let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
-        store.invoke(h, "add", &[Value::I64(1), Value::I64(2)]).unwrap();
+        store
+            .invoke(h, "add", &[Value::I64(1), Value::I64(2)])
+            .unwrap();
         assert!(store.cycles(h) > 0.0);
         store.reset_counters(h);
         assert_eq!(store.cycles(h), 0.0);

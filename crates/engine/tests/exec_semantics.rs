@@ -1,8 +1,6 @@
 //! End-to-end execution semantics: whole modules through the interpreter.
 
-use cage_engine::{
-    BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value,
-};
+use cage_engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value};
 use cage_wasm::builder::ModuleBuilder;
 use cage_wasm::instr::{LoadOp, StoreOp};
 use cage_wasm::{BlockType, Instr, MemArg, Module, ValType};
@@ -55,8 +53,14 @@ fn factorial_loop() {
     b.export_func("fact", f);
     let m = b.build();
     cage_wasm::validate(&m).unwrap();
-    assert_eq!(run1(&m, "fact", &[Value::I64(10)]).unwrap(), vec![Value::I64(3_628_800)]);
-    assert_eq!(run1(&m, "fact", &[Value::I64(0)]).unwrap(), vec![Value::I64(1)]);
+    assert_eq!(
+        run1(&m, "fact", &[Value::I64(10)]).unwrap(),
+        vec![Value::I64(3_628_800)]
+    );
+    assert_eq!(
+        run1(&m, "fact", &[Value::I64(0)]).unwrap(),
+        vec![Value::I64(1)]
+    );
 }
 
 /// Recursive fibonacci: tests direct calls and the call-depth guard.
@@ -95,7 +99,10 @@ fn fibonacci_recursion() {
     b.export_func("fib", f);
     let m = b.build();
     cage_wasm::validate(&m).unwrap();
-    assert_eq!(run1(&m, "fib", &[Value::I64(15)]).unwrap(), vec![Value::I64(610)]);
+    assert_eq!(
+        run1(&m, "fib", &[Value::I64(15)]).unwrap(),
+        vec![Value::I64(610)]
+    );
 }
 
 #[test]
@@ -118,32 +125,44 @@ fn br_table_dispatch() {
         &[],
         vec![Instr::Block(
             BlockType::Value(ValType::I32),
-            vec![Instr::Block(
-                BlockType::Empty,
-                vec![Instr::Block(
+            vec![
+                Instr::Block(
                     BlockType::Empty,
-                    vec![Instr::Block(
-                        BlockType::Empty,
-                        vec![Instr::LocalGet(0), Instr::BrTable(vec![0, 1], 2)],
-                    ),
-                    Instr::I32Const(100),
-                    Instr::Br(2),
+                    vec![
+                        Instr::Block(
+                            BlockType::Empty,
+                            vec![
+                                Instr::Block(
+                                    BlockType::Empty,
+                                    vec![Instr::LocalGet(0), Instr::BrTable(vec![0, 1], 2)],
+                                ),
+                                Instr::I32Const(100),
+                                Instr::Br(2),
+                            ],
+                        ),
+                        Instr::I32Const(200),
+                        Instr::Br(1),
                     ],
                 ),
-                Instr::I32Const(200),
-                Instr::Br(1),
-                ],
-            ),
-            Instr::I32Const(300),
+                Instr::I32Const(300),
             ],
         )],
     );
     b.export_func("switch", f);
     let m = b.build();
     cage_wasm::validate(&m).unwrap();
-    assert_eq!(run1(&m, "switch", &[Value::I32(0)]).unwrap(), vec![Value::I32(100)]);
-    assert_eq!(run1(&m, "switch", &[Value::I32(1)]).unwrap(), vec![Value::I32(200)]);
-    assert_eq!(run1(&m, "switch", &[Value::I32(9)]).unwrap(), vec![Value::I32(300)]);
+    assert_eq!(
+        run1(&m, "switch", &[Value::I32(0)]).unwrap(),
+        vec![Value::I32(100)]
+    );
+    assert_eq!(
+        run1(&m, "switch", &[Value::I32(1)]).unwrap(),
+        vec![Value::I32(200)]
+    );
+    assert_eq!(
+        run1(&m, "switch", &[Value::I32(9)]).unwrap(),
+        vec![Value::I32(300)]
+    );
 }
 
 #[test]
@@ -190,7 +209,10 @@ fn trunc_traps_on_nan() {
         run1(&m, "t", &[Value::F64(1e300)]).unwrap_err(),
         Trap::IntegerOverflow
     );
-    assert_eq!(run1(&m, "t", &[Value::F64(-3.9)]).unwrap(), vec![Value::I32(-3)]);
+    assert_eq!(
+        run1(&m, "t", &[Value::F64(-3.9)]).unwrap(),
+        vec![Value::I32(-3)]
+    );
 }
 
 #[test]
@@ -230,9 +252,7 @@ fn memory_load_store_roundtrip_wasm64() {
         vec![Value::F64(2.75)]
     );
     // OOB traps.
-    let err = store
-        .invoke(h, "get", &[Value::I64(65_536)])
-        .unwrap_err();
+    let err = store.invoke(h, "get", &[Value::I64(65_536)]).unwrap_err();
     assert!(matches!(err, Trap::OutOfBounds { .. }));
 }
 
@@ -256,10 +276,16 @@ fn memory_grow_and_size() {
     let mut store = Store::new(ExecConfig::default());
     let h = store.instantiate(&m, &Imports::new()).unwrap();
     assert_eq!(store.invoke(h, "size", &[]).unwrap(), vec![Value::I64(1)]);
-    assert_eq!(store.invoke(h, "grow", &[Value::I64(2)]).unwrap(), vec![Value::I64(1)]);
+    assert_eq!(
+        store.invoke(h, "grow", &[Value::I64(2)]).unwrap(),
+        vec![Value::I64(1)]
+    );
     assert_eq!(store.invoke(h, "size", &[]).unwrap(), vec![Value::I64(3)]);
     // Past the max: -1.
-    assert_eq!(store.invoke(h, "grow", &[Value::I64(1)]).unwrap(), vec![Value::I64(-1)]);
+    assert_eq!(
+        store.invoke(h, "grow", &[Value::I64(1)]).unwrap(),
+        vec![Value::I64(-1)]
+    );
 }
 
 fn indirect_module() -> (Module, u32, u32) {
@@ -419,12 +445,12 @@ fn segments_detect_overflow_between_allocations() {
         .invoke(h, "alloc", &[Value::I64(32), Value::I64(32)])
         .unwrap()[0];
     // In-bounds write through p1 is fine.
-    store
-        .invoke(h, "poke", &[p1, Value::I64(7)])
-        .unwrap();
+    store.invoke(h, "poke", &[p1, Value::I64(7)]).unwrap();
     // Off-by-32 (into the second segment) through p1's tag: caught.
     let p1_past = Value::I64(p1.as_i64() + 32);
-    let err = store.invoke(h, "poke", &[p1_past, Value::I64(7)]).unwrap_err();
+    let err = store
+        .invoke(h, "poke", &[p1_past, Value::I64(7)])
+        .unwrap_err();
     assert!(err.is_memory_safety_violation(), "{err}");
 }
 
@@ -528,7 +554,10 @@ fn host_function_call_and_memory_access() {
     );
     let mut store = Store::new(ExecConfig::default());
     let h = store.instantiate(&m, &imports).unwrap();
-    assert_eq!(store.invoke(h, "run", &[Value::I64(5)]).unwrap(), vec![Value::I64(10)]);
+    assert_eq!(
+        store.invoke(h, "run", &[Value::I64(5)]).unwrap(),
+        vec![Value::I64(10)]
+    );
     assert_eq!(*seen.borrow(), vec![5]);
     assert_eq!(store.memory(h).unwrap().read_resolved(8, 1), &[0xAB]);
 }

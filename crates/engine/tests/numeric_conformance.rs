@@ -36,7 +36,10 @@ fn run1(m: &Module, args: &[Value]) -> Result<Value, Trap> {
 fn shift_counts_are_masked() {
     // i32 shifts mask the count to 5 bits, i64 to 6 bits.
     let m = binop_module(Instr::I32Shl, ValType::I32, ValType::I32);
-    assert_eq!(run1(&m, &[Value::I32(1), Value::I32(33)]).unwrap(), Value::I32(2));
+    assert_eq!(
+        run1(&m, &[Value::I32(1), Value::I32(33)]).unwrap(),
+        Value::I32(2)
+    );
     let m = binop_module(Instr::I32ShrU, ValType::I32, ValType::I32);
     assert_eq!(
         run1(&m, &[Value::I32(-1), Value::I32(32)]).unwrap(),
@@ -44,7 +47,10 @@ fn shift_counts_are_masked() {
         "shift by 32 is shift by 0"
     );
     let m = binop_module(Instr::I64Shl, ValType::I64, ValType::I64);
-    assert_eq!(run1(&m, &[Value::I64(1), Value::I64(65)]).unwrap(), Value::I64(2));
+    assert_eq!(
+        run1(&m, &[Value::I64(1), Value::I64(65)]).unwrap(),
+        Value::I64(2)
+    );
 }
 
 #[test]
@@ -73,7 +79,10 @@ fn signed_division_edge_cases() {
         Trap::DivideByZero
     );
     // Truncated (not floored) division.
-    assert_eq!(run1(&m, &[Value::I64(-7), Value::I64(2)]).unwrap(), Value::I64(-3));
+    assert_eq!(
+        run1(&m, &[Value::I64(-7), Value::I64(2)]).unwrap(),
+        Value::I64(-3)
+    );
 }
 
 #[test]
@@ -93,9 +102,15 @@ fn remainder_min_by_minus_one_is_zero_not_trap() {
 #[test]
 fn unsigned_comparisons_treat_negatives_as_large() {
     let m = binop_module(Instr::I32LtU, ValType::I32, ValType::I32);
-    assert_eq!(run1(&m, &[Value::I32(-1), Value::I32(1)]).unwrap(), Value::I32(0));
+    assert_eq!(
+        run1(&m, &[Value::I32(-1), Value::I32(1)]).unwrap(),
+        Value::I32(0)
+    );
     let m = binop_module(Instr::I64GtU, ValType::I64, ValType::I32);
-    assert_eq!(run1(&m, &[Value::I64(-1), Value::I64(1)]).unwrap(), Value::I32(1));
+    assert_eq!(
+        run1(&m, &[Value::I64(-1), Value::I64(1)]).unwrap(),
+        Value::I32(1)
+    );
 }
 
 #[test]
@@ -134,7 +149,10 @@ fn nearest_rounds_ties_to_even() {
 #[test]
 fn trunc_conversions_trap_on_nan_and_range() {
     let m = unop_module(Instr::I32TruncF64S, ValType::F64, ValType::I32);
-    assert_eq!(run1(&m, &[Value::F64(f64::NAN)]).unwrap_err(), Trap::InvalidConversion);
+    assert_eq!(
+        run1(&m, &[Value::F64(f64::NAN)]).unwrap_err(),
+        Trap::InvalidConversion
+    );
     assert_eq!(
         run1(&m, &[Value::F64(2_147_483_648.0)]).unwrap_err(),
         Trap::IntegerOverflow
@@ -144,8 +162,15 @@ fn trunc_conversions_trap_on_nan_and_range() {
         Value::I32(i32::MIN)
     );
     let m = unop_module(Instr::I64TruncF64U, ValType::F64, ValType::I64);
-    assert_eq!(run1(&m, &[Value::F64(-0.9)]).unwrap(), Value::I64(0), "fraction truncates");
-    assert_eq!(run1(&m, &[Value::F64(-1.0)]).unwrap_err(), Trap::IntegerOverflow);
+    assert_eq!(
+        run1(&m, &[Value::F64(-0.9)]).unwrap(),
+        Value::I64(0),
+        "fraction truncates"
+    );
+    assert_eq!(
+        run1(&m, &[Value::F64(-1.0)]).unwrap_err(),
+        Trap::IntegerOverflow
+    );
 }
 
 #[test]
@@ -156,7 +181,10 @@ fn unsigned_convert_to_float() {
         Value::F64(18_446_744_073_709_551_615.0)
     );
     let m = unop_module(Instr::F64ConvertI32U, ValType::I32, ValType::F64);
-    assert_eq!(run1(&m, &[Value::I32(-1)]).unwrap(), Value::F64(4_294_967_295.0));
+    assert_eq!(
+        run1(&m, &[Value::I32(-1)]).unwrap(),
+        Value::F64(4_294_967_295.0)
+    );
 }
 
 #[test]
@@ -189,13 +217,19 @@ fn wrap_and_extend_roundtrip() {
         Value::I32(0x2345_6789)
     );
     let m = unop_module(Instr::I64ExtendI32U, ValType::I32, ValType::I64);
-    assert_eq!(run1(&m, &[Value::I32(-1)]).unwrap(), Value::I64(0xFFFF_FFFF));
+    assert_eq!(
+        run1(&m, &[Value::I32(-1)]).unwrap(),
+        Value::I64(0xFFFF_FFFF)
+    );
 }
 
 #[test]
 fn float_copysign_and_abs() {
     let m = binop_module(Instr::F64Copysign, ValType::F64, ValType::F64);
-    assert_eq!(run1(&m, &[Value::F64(3.0), Value::F64(-0.0)]).unwrap(), Value::F64(-3.0));
+    assert_eq!(
+        run1(&m, &[Value::F64(3.0), Value::F64(-0.0)]).unwrap(),
+        Value::F64(-3.0)
+    );
     let m = unop_module(Instr::F64Abs, ValType::F64, ValType::F64);
     let v = run1(&m, &[Value::F64(-0.0)]).unwrap();
     assert!(v.as_f64().is_sign_positive());

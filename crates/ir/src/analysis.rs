@@ -68,8 +68,9 @@ pub fn analyze_allocas(func: &IrFunction) -> AllocaAnalysis {
                         s
                     }
                     Expr::Gep { base, .. } => operand_derived(&derived, base),
-                    Expr::SegmentNew { addr, .. }
-                    | Expr::TagIncrement { addr, .. } => operand_derived(&derived, addr),
+                    Expr::SegmentNew { addr, .. } | Expr::TagIncrement { addr, .. } => {
+                        operand_derived(&derived, addr)
+                    }
                     // Loads and call results are not tracked: the flows
                     // that put an alloca pointer behind them already
                     // marked the alloca as escaping.

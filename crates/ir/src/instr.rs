@@ -87,7 +87,10 @@ impl BinOp {
     #[must_use]
     pub fn is_comparison(self) -> bool {
         use BinOp::*;
-        matches!(self, Eq | Ne | LtS | LtU | LeS | LeU | GtS | GtU | GeS | GeU)
+        matches!(
+            self,
+            Eq | Ne | LtS | LtU | LeS | LeU | GtS | GtU | GeS | GeU
+        )
     }
 }
 
@@ -331,7 +334,7 @@ pub enum Stmt {
 }
 
 /// Walks all statements in a body depth-first, mutably.
-pub fn visit_stmts_mut(body: &mut Vec<Stmt>, f: &mut impl FnMut(&mut Stmt)) {
+pub fn visit_stmts_mut(body: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
     for stmt in body.iter_mut() {
         f(stmt);
         match stmt {

@@ -124,22 +124,20 @@ pub fn lower(ir: &IrModule, opts: &LowerOptions) -> Result<Lowered, LowerError> 
     if pw == PtrWidth::W32 {
         for f in &ir.functions {
             let mut bad: Option<&'static str> = None;
-            crate::instr::visit_stmts(&f.body, &mut |stmt| {
-                match stmt {
-                    Stmt::SegmentSetTag { .. } | Stmt::SegmentFree { .. } => {
+            crate::instr::visit_stmts(&f.body, &mut |stmt| match stmt {
+                Stmt::SegmentSetTag { .. } | Stmt::SegmentFree { .. } => {
+                    bad = Some("segment instructions");
+                }
+                Stmt::Assign { expr, .. } | Stmt::Perform(expr) => match expr {
+                    Expr::SegmentNew { .. } | Expr::TagIncrement { .. } => {
                         bad = Some("segment instructions");
                     }
-                    Stmt::Assign { expr, .. } | Stmt::Perform(expr) => match expr {
-                        Expr::SegmentNew { .. } | Expr::TagIncrement { .. } => {
-                            bad = Some("segment instructions");
-                        }
-                        Expr::PointerSign(_) | Expr::PointerAuth(_) => {
-                            bad = Some("pointer authentication");
-                        }
-                        _ => {}
-                    },
+                    Expr::PointerSign(_) | Expr::PointerAuth(_) => {
+                        bad = Some("pointer authentication");
+                    }
                     _ => {}
-                }
+                },
+                _ => {}
             });
             if let Some(what) = bad {
                 return Err(LowerError::CageRequiresWasm64(what));
@@ -222,10 +220,9 @@ pub fn lower(ir: &IrModule, opts: &LowerOptions) -> Result<Lowered, LowerError> 
             crate::instr::visit_exprs(stmt, &mut |e| {
                 if let Expr::CallIndirect { params, ret, .. } = e {
                     let key = sig_key(params, *ret, pw);
-                    if !sig_types.contains_key(&key) {
-                        let ft = cage_wasm::FuncType::new(&key.0, &key.1);
-                        let idx = b.intern_type(ft);
-                        sig_types.insert(key, idx);
+                    if let std::collections::hash_map::Entry::Vacant(entry) = sig_types.entry(key) {
+                        let ft = cage_wasm::FuncType::new(&entry.key().0, &entry.key().1);
+                        entry.insert(b.intern_type(ft));
                     }
                 }
             });
@@ -233,7 +230,16 @@ pub fn lower(ir: &IrModule, opts: &LowerOptions) -> Result<Lowered, LowerError> 
     }
 
     for (i, f) in ir.functions.iter().enumerate() {
-        let ctx = FuncLowering::new(f, ir, pw, sp, imported, &table_slots, &global_addrs, &sig_types);
+        let ctx = FuncLowering::new(
+            f,
+            ir,
+            pw,
+            sp,
+            imported,
+            &table_slots,
+            &global_addrs,
+            &sig_types,
+        );
         let (locals, body) = ctx.lower();
         let params: Vec<ValType> = f.params.iter().map(|t| valtype(*t, pw)).collect();
         let results: Vec<ValType> = f.ret.iter().map(|t| valtype(*t, pw)).collect();
@@ -453,7 +459,13 @@ impl<'a> FuncLowering<'a> {
                 self.push_operand(addr, out);
                 self.push_operand(value, out);
                 let op = self.store_op(*ty);
-                out.push(Instr::Store(op, MemArg { align: 0, offset: *offset }));
+                out.push(Instr::Store(
+                    op,
+                    MemArg {
+                        align: 0,
+                        offset: *offset,
+                    },
+                ));
             }
             Stmt::If { cond, then, els } => {
                 self.push_operand(cond, out);
@@ -467,11 +479,7 @@ impl<'a> FuncLowering<'a> {
                 for l in loops.iter_mut() {
                     *l -= 1;
                 }
-                out.push(Instr::If(
-                    cage_wasm::BlockType::Empty,
-                    then_body,
-                    else_body,
-                ));
+                out.push(Instr::If(cage_wasm::BlockType::Empty, then_body, else_body));
             }
             Stmt::While { header, cond, body } => {
                 // block { loop { header; !cond br_if 1; body; br 0 } }
@@ -650,7 +658,13 @@ impl<'a> FuncLowering<'a> {
             Expr::Load { ty, addr, offset } => {
                 self.push_operand(addr, out);
                 let op = self.load_op(*ty);
-                out.push(Instr::Load(op, MemArg { align: 0, offset: *offset }));
+                out.push(Instr::Load(
+                    op,
+                    MemArg {
+                        align: 0,
+                        offset: *offset,
+                    },
+                ));
             }
             Expr::AllocaAddr(id) => {
                 let fp = self.fp_local.expect("alloca implies frame");

@@ -50,8 +50,16 @@ fn fold_binop(op: BinOp, ty: IrType, lhs: &Operand, rhs: &Operand) -> Option<Exp
     // under NaN/signed zero).
     if ty != IrType::F64 {
         match (op, rhs.as_const_int()) {
-            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::ShrS
-            | BinOp::ShrU, Some(0)) => {
+            (
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Shl
+                | BinOp::ShrS
+                | BinOp::ShrU,
+                Some(0),
+            ) => {
                 return Some(Expr::Use(*lhs));
             }
             (BinOp::Mul, Some(1)) | (BinOp::DivS | BinOp::DivU, Some(1)) => {

@@ -165,7 +165,12 @@ mod tests {
     fn sweeps_nested_bodies() {
         let mut b = FunctionBuilder::new("f", &[IrType::I32], None);
         b.push_block();
-        let _dead = b.binop(BinOp::Add, IrType::I32, Operand::ConstI32(1), Operand::ConstI32(2));
+        let _dead = b.binop(
+            BinOp::Add,
+            IrType::I32,
+            Operand::ConstI32(1),
+            Operand::ConstI32(2),
+        );
         let then = b.pop_block();
         b.stmt(Stmt::If {
             cond: b.param(0),

@@ -47,7 +47,7 @@ pub fn run(func: &mut IrFunction) {
                 Expr::Load { ty, addr, offset } => {
                     if let Some(id) = is_addr(addr, &addr_regs) {
                         let whole = *offset == 0 && ty.width() == func.allocas[id.0 as usize].size;
-                        let consistent = slot_ty.get(&id).map_or(true, |t| t == ty);
+                        let consistent = slot_ty.get(&id).is_none_or(|t| t == ty);
                         if !whole || !consistent {
                             disqualified.insert(id);
                         } else {
@@ -91,7 +91,7 @@ pub fn run(func: &mut IrFunction) {
                 check_use(value);
                 if let Some(id) = is_addr(addr, &addr_regs) {
                     let whole = *offset == 0 && ty.width() == func.allocas[id.0 as usize].size;
-                    let consistent = slot_ty.get(&id).map_or(true, |t| t == ty);
+                    let consistent = slot_ty.get(&id).is_none_or(|t| t == ty);
                     if !whole || !consistent {
                         disqualified.insert(id);
                     } else {
@@ -195,7 +195,11 @@ mod tests {
             if matches!(s, Stmt::Store { .. }) {
                 loads += 1;
             }
-            if let Stmt::Assign { expr: Expr::Load { .. }, .. } = s {
+            if let Stmt::Assign {
+                expr: Expr::Load { .. },
+                ..
+            } = s
+            {
                 loads += 1;
             }
         });

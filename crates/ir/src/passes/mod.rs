@@ -38,20 +38,52 @@ impl HardenConfig {
     }
 }
 
+/// Full pipeline configuration: optimisation level plus sanitizers.
+///
+/// [`run_pipeline`] is the common fixed-shape entry; embedders that need
+/// to ablate the optimiser (e.g. to measure sanitizer cost on unoptimised
+/// code) configure a `PipelineConfig` through `cage::EngineBuilder`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Run the optimisation passes (`mem2reg`, const-fold, DCE) before the
+    /// sanitizers — the paper's §6.1 ordering.
+    pub optimize: bool,
+    /// Which sanitizer passes follow.
+    pub harden: HardenConfig,
+}
+
+impl PipelineConfig {
+    /// The standard pipeline for `harden`: optimisations on.
+    #[must_use]
+    pub fn standard(harden: HardenConfig) -> Self {
+        PipelineConfig {
+            optimize: true,
+            harden,
+        }
+    }
+}
+
 /// Runs the standard optimisation pipeline followed by the configured
 /// sanitizers, in the paper's order.
 pub fn run_pipeline(module: &mut IrModule, config: HardenConfig) {
-    for func in &mut module.functions {
-        mem2reg::run(func);
-        const_fold::run(func);
-        dce::run(func);
+    run_pipeline_config(module, &PipelineConfig::standard(config));
+}
+
+/// Runs an explicitly configured pipeline (see [`PipelineConfig`]).
+pub fn run_pipeline_config(module: &mut IrModule, config: &PipelineConfig) {
+    if config.optimize {
+        for func in &mut module.functions {
+            mem2reg::run(func);
+            const_fold::run(func);
+            dce::run(func);
+        }
     }
-    if config.stack_safety {
+    if config.harden.stack_safety {
         for func in &mut module.functions {
             stack_safety::run(func);
         }
     }
-    if config.ptr_auth {
+    if config.harden.ptr_auth {
         ptr_auth::run(module);
     }
 }

@@ -67,7 +67,12 @@ fn rewrite_body(func: &mut IrFunction, body: Vec<Stmt>) -> Vec<Stmt> {
     out
 }
 
-fn rewrite_expr(func: &mut IrFunction, dst: crate::module::ValueId, expr: Expr, out: &mut Vec<Stmt>) {
+fn rewrite_expr(
+    func: &mut IrFunction,
+    dst: crate::module::ValueId,
+    expr: Expr,
+    out: &mut Vec<Stmt>,
+) {
     match expr {
         // Taking a function's address: sign it at creation (§4.2 "when
         // creating function pointers, indices into the function table are
@@ -124,8 +129,20 @@ mod tests {
         m.functions.push(b.finish());
         run(&mut m);
         let body = &m.functions[0].body;
-        assert!(matches!(&body[0], Stmt::Assign { expr: Expr::FuncAddr(_), .. }));
-        assert!(matches!(&body[1], Stmt::Assign { expr: Expr::PointerSign(_), .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Assign {
+                expr: Expr::FuncAddr(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign {
+                expr: Expr::PointerSign(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -145,7 +162,13 @@ mod tests {
         m.functions.push(b.finish());
         run(&mut m);
         let body = &m.functions[0].body;
-        assert!(matches!(&body[0], Stmt::Assign { expr: Expr::PointerAuth(_), .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Assign {
+                expr: Expr::PointerAuth(_),
+                ..
+            }
+        ));
         // The call's target must now be the authenticated register.
         match &body[1] {
             Stmt::Assign {
@@ -183,7 +206,11 @@ mod tests {
         run(&mut m);
         let mut auth_count = 0;
         crate::instr::visit_stmts(&m.functions[0].body, &mut |s| {
-            if let Stmt::Assign { expr: Expr::PointerAuth(_), .. } = s {
+            if let Stmt::Assign {
+                expr: Expr::PointerAuth(_),
+                ..
+            } = s
+            {
                 auth_count += 1;
             }
         });

@@ -176,7 +176,9 @@ fn insert_before_returns(body: &mut Vec<Stmt>, untag: &[Stmt]) {
                 insert_before_returns(els, untag);
                 i += 1;
             }
-            Stmt::While { header, body: b, .. } => {
+            Stmt::While {
+                header, body: b, ..
+            } => {
                 insert_before_returns(header, untag);
                 insert_before_returns(b, untag);
                 i += 1;
@@ -222,17 +224,22 @@ mod tests {
         // Prologue: raw addr + segment.new.
         assert!(matches!(
             &f.body[0],
-            Stmt::Assign { expr: Expr::AllocaAddr(_), .. }
+            Stmt::Assign {
+                expr: Expr::AllocaAddr(_),
+                ..
+            }
         ));
         assert!(matches!(
             &f.body[1],
-            Stmt::Assign { expr: Expr::SegmentNew { .. }, .. }
+            Stmt::Assign {
+                expr: Expr::SegmentNew { .. },
+                ..
+            }
         ));
         // Untag before the return.
-        let has_untag_before_return = f
-            .body
-            .windows(2)
-            .any(|w| matches!(&w[0], Stmt::SegmentSetTag { .. }) && matches!(&w[1], Stmt::Return(_)));
+        let has_untag_before_return = f.body.windows(2).any(|w| {
+            matches!(&w[0], Stmt::SegmentSetTag { .. }) && matches!(&w[1], Stmt::Return(_))
+        });
         assert!(has_untag_before_return, "{:#?}", f.body);
     }
 

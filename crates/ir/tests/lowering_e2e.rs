@@ -41,17 +41,18 @@ fn sum_array_module() -> IrModule {
         },
     );
     b.store(MemTy::I64, slot, 0, Operand::Value(i));
-    let next = b.binop(BinOp::Add, IrType::I64, Operand::Value(i), Operand::ConstI64(1));
+    let next = b.binop(
+        BinOp::Add,
+        IrType::I64,
+        Operand::Value(i),
+        Operand::ConstI64(1),
+    );
     b.reassign(i, Expr::Use(next));
     let body = b.pop_block();
     b.push_block();
     let cond = b.binop(BinOp::LtS, IrType::I64, Operand::Value(i), b.param(0));
     let header = b.pop_block();
-    b.stmt(Stmt::While {
-        header,
-        cond,
-        body,
-    });
+    b.stmt(Stmt::While { header, cond, body });
     // acc loop
     let acc = b.copy(IrType::I64, Operand::ConstI64(0));
     let j = b.copy(IrType::I64, Operand::ConstI64(0));
@@ -68,17 +69,18 @@ fn sum_array_module() -> IrModule {
     let v = b.load(MemTy::I64, slot, 0);
     let sum = b.binop(BinOp::Add, IrType::I64, Operand::Value(acc), v);
     b.reassign(acc, Expr::Use(sum));
-    let nj = b.binop(BinOp::Add, IrType::I64, Operand::Value(j), Operand::ConstI64(1));
+    let nj = b.binop(
+        BinOp::Add,
+        IrType::I64,
+        Operand::Value(j),
+        Operand::ConstI64(1),
+    );
     b.reassign(j, Expr::Use(nj));
     let body = b.pop_block();
     b.push_block();
     let cond = b.binop(BinOp::LtS, IrType::I64, Operand::Value(j), b.param(0));
     let header = b.pop_block();
-    b.stmt(Stmt::While {
-        header,
-        cond,
-        body,
-    });
+    b.stmt(Stmt::While { header, cond, body });
     b.stmt(Stmt::Return(Some(Operand::Value(acc))));
 
     let mut m = IrModule::new();
@@ -126,7 +128,14 @@ fn hardened_module_still_computes_correctly() {
         pointer_auth: true,
         ..ExecConfig::default()
     };
-    let out = run_export(&ir, &LowerOptions::default(), config, "sum", &[Value::I64(10)]).unwrap();
+    let out = run_export(
+        &ir,
+        &LowerOptions::default(),
+        config,
+        "sum",
+        &[Value::I64(10)],
+    )
+    .unwrap();
     assert_eq!(out, vec![Value::I64(45)]);
 }
 
@@ -151,7 +160,13 @@ fn hardened_module_traps_on_stack_overflow() {
     b.stmt(Stmt::Return(Some(Operand::ConstI64(0))));
     let mut ir = IrModule::new();
     ir.functions.push(b.finish());
-    run_pipeline(&mut ir, HardenConfig { stack_safety: true, ptr_auth: false });
+    run_pipeline(
+        &mut ir,
+        HardenConfig {
+            stack_safety: true,
+            ptr_auth: false,
+        },
+    );
 
     let config = ExecConfig {
         internal: InternalSafety::Mte,
@@ -188,7 +203,10 @@ fn hardened_module_traps_on_stack_overflow() {
     let lowered = lower(&ir_plain, &LowerOptions::default()).unwrap();
     let mut store = Store::new(ExecConfig::default());
     let h = store.instantiate(&lowered.module, &Imports::new()).unwrap();
-    assert!(store.invoke(h, "poke", &[Value::I64(4)]).is_ok(), "baseline misses it");
+    assert!(
+        store.invoke(h, "poke", &[Value::I64(4)]).is_ok(),
+        "baseline misses it"
+    );
 }
 
 #[test]
@@ -242,11 +260,15 @@ fn function_pointers_with_auth_dispatch_correctly() {
     let mut store = Store::new(config);
     let h = store.instantiate(&lowered.module, &Imports::new()).unwrap();
     assert_eq!(
-        store.invoke(h, "dispatch", &[Value::I32(1), Value::I64(21)]).unwrap(),
+        store
+            .invoke(h, "dispatch", &[Value::I32(1), Value::I64(21)])
+            .unwrap(),
         vec![Value::I64(42)]
     );
     assert_eq!(
-        store.invoke(h, "dispatch", &[Value::I32(0), Value::I64(6)]).unwrap(),
+        store
+            .invoke(h, "dispatch", &[Value::I32(0), Value::I64(6)])
+            .unwrap(),
         vec![Value::I64(36)]
     );
 }
@@ -302,7 +324,13 @@ fn forged_function_pointer_traps_under_auth() {
 #[test]
 fn segments_rejected_on_wasm32() {
     let mut ir = sum_array_module();
-    run_pipeline(&mut ir, HardenConfig { stack_safety: true, ptr_auth: false });
+    run_pipeline(
+        &mut ir,
+        HardenConfig {
+            stack_safety: true,
+            ptr_auth: false,
+        },
+    );
     let opts = LowerOptions {
         ptr_width: PtrWidth::W32,
         ..LowerOptions::default()
@@ -357,10 +385,20 @@ fn break_and_continue_lower_correctly() {
             els: vec![],
         });
         // i += 1 (pre-increment: loop variable advances before the skip)
-        let ni = b.binop(BinOp::Add, IrType::I64, Operand::Value(i), Operand::ConstI64(1));
+        let ni = b.binop(
+            BinOp::Add,
+            IrType::I64,
+            Operand::Value(i),
+            Operand::ConstI64(1),
+        );
         b.reassign(i, Expr::Use(ni));
         // if (i % 2) continue
-        let odd = b.binop(BinOp::RemS, IrType::I64, Operand::Value(i), Operand::ConstI64(2));
+        let odd = b.binop(
+            BinOp::RemS,
+            IrType::I64,
+            Operand::Value(i),
+            Operand::ConstI64(2),
+        );
         let is_odd = b.binop(BinOp::Ne, IrType::I64, odd, Operand::ConstI64(0));
         b.push_block();
         b.stmt(Stmt::Continue);
@@ -461,7 +499,10 @@ fn extern_calls_route_to_host_functions() {
     );
     let mut store = Store::new(ExecConfig::default());
     let h = store.instantiate(&lowered.module, &imports).unwrap();
-    assert_eq!(store.invoke(h, "go", &[Value::I64(14)]).unwrap(), vec![Value::I64(42)]);
+    assert_eq!(
+        store.invoke(h, "go", &[Value::I64(14)]).unwrap(),
+        vec![Value::I64(42)]
+    );
 }
 
 #[test]
@@ -479,13 +520,23 @@ fn mem2reg_runs_before_sanitizer_so_promoted_slots_stay_untagged() {
     let mut ir = IrModule::new();
     ir.functions.push(b.finish());
 
-    run_pipeline(&mut ir, HardenConfig { stack_safety: true, ptr_auth: false });
+    run_pipeline(
+        &mut ir,
+        HardenConfig {
+            stack_safety: true,
+            ptr_auth: false,
+        },
+    );
     let f = &ir.functions[0];
     assert_eq!(f.allocas[0].size, 0, "slot promoted away by mem2reg");
     assert!(!f.allocas[0].instrument, "promoted slot never instrumented");
     let mut segment_news = 0;
     cage_ir::instr::visit_stmts(&f.body, &mut |s| {
-        if let cage_ir::Stmt::Assign { expr: Expr::SegmentNew { .. }, .. } = s {
+        if let cage_ir::Stmt::Assign {
+            expr: Expr::SegmentNew { .. },
+            ..
+        } = s
+        {
             segment_news += 1;
         }
     });
@@ -529,7 +580,13 @@ fn tag_increment_discipline_gives_distinct_adjacent_tags() {
         ret: None,
     });
     ir.functions.push(b.finish());
-    run_pipeline(&mut ir, HardenConfig { stack_safety: true, ptr_auth: false });
+    run_pipeline(
+        &mut ir,
+        HardenConfig {
+            stack_safety: true,
+            ptr_auth: false,
+        },
+    );
     let lowered = lower(&ir, &LowerOptions::default()).unwrap();
 
     for seed in 0..20u64 {

@@ -339,10 +339,16 @@ mod tests {
         let (mut mem, config, mut a) = setup(InternalSafety::Off);
         let p = a.malloc(&mut mem, &config, 32).unwrap();
         let _q = a.malloc(&mut mem, &config, 32).unwrap();
-        assert!(mem.write(p, 32, &[1], &config).is_ok(), "overflow unnoticed");
+        assert!(
+            mem.write(p, 32, &[1], &config).is_ok(),
+            "overflow unnoticed"
+        );
         a.free(&mut mem, &config, p).unwrap();
         assert!(mem.read(p, 0, 1, &config).is_ok(), "UAF unnoticed");
-        assert!(a.free(&mut mem, &config, p).is_ok(), "double free unnoticed");
+        assert!(
+            a.free(&mut mem, &config, p).is_ok(),
+            "double free unnoticed"
+        );
     }
 
     #[test]

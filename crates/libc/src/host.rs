@@ -278,11 +278,7 @@ impl Libc {
                     }
                 }
                 use std::fmt::Write as _;
-                let _ = writeln!(
-                    s.borrow_mut().stdout,
-                    "{}",
-                    String::from_utf8_lossy(&bytes)
-                );
+                let _ = writeln!(s.borrow_mut().stdout, "{}", String::from_utf8_lossy(&bytes));
                 Ok(vec![])
             }),
         );

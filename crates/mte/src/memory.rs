@@ -122,13 +122,17 @@ impl TagMemory {
         }
         let idx = Self::granule_index(addr);
         let byte = self.nibbles[idx / 2];
-        let nibble = if idx % 2 == 0 { byte & 0xF } else { byte >> 4 };
+        let nibble = if idx.is_multiple_of(2) {
+            byte & 0xF
+        } else {
+            byte >> 4
+        };
         Some(Tag::from_low_bits(nibble))
     }
 
     fn set_granule(&mut self, idx: usize, tag: Tag) {
         let byte = &mut self.nibbles[idx / 2];
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             *byte = (*byte & 0xF0) | tag.value();
         } else {
             *byte = (*byte & 0x0F) | (tag.value() << 4);
@@ -148,10 +152,10 @@ impl TagMemory {
     ///   panic-free bound failure returns `Err(TagError::OutOfRange(0))`
     ///   sentinel — see tests.
     pub fn set_tag_range(&mut self, addr: u64, len: u64, tag: Tag) -> Result<(), TagError> {
-        if addr % GRANULE_SIZE as u64 != 0 {
+        if !addr.is_multiple_of(GRANULE_SIZE as u64) {
             return Err(TagError::Unaligned(addr));
         }
-        if len % GRANULE_SIZE as u64 != 0 {
+        if !len.is_multiple_of(GRANULE_SIZE as u64) {
             return Err(TagError::Unaligned(len));
         }
         if addr.checked_add(len).is_none() || addr + len > self.size {
@@ -429,7 +433,11 @@ mod tests {
     fn zero_length_check_is_a_point_check() {
         let mut m = mem(MteMode::Synchronous);
         m.set_tag_range(0, 16, Tag::new(1).unwrap()).unwrap();
-        assert!(m.check_access(0, 0, Tag::new(1).unwrap(), AccessKind::Read).is_ok());
-        assert!(m.check_access(0, 0, Tag::new(2).unwrap(), AccessKind::Read).is_err());
+        assert!(m
+            .check_access(0, 0, Tag::new(1).unwrap(), AccessKind::Read)
+            .is_ok());
+        assert!(m
+            .check_access(0, 0, Tag::new(2).unwrap(), AccessKind::Read)
+            .is_err());
     }
 }

@@ -167,7 +167,11 @@ mod tests {
     fn addg_skips_excluded_zero_on_wrap() {
         let p = TaggedPtr::from_parts(0, Tag::new(15).unwrap());
         let q = p.addg(0, 1, TagExclusionMask::EXCLUDE_ZERO);
-        assert_eq!(q.tag().value(), 1, "tag increments skip the reserved zero tag");
+        assert_eq!(
+            q.tag().value(),
+            1,
+            "tag increments skip the reserved zero tag"
+        );
     }
 
     #[test]

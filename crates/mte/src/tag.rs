@@ -177,7 +177,7 @@ impl TagExclusionMask {
     /// Number of tags that remain available for generation.
     #[must_use]
     pub fn allowed_count(self) -> usize {
-        TAG_COUNT - (self.0 & 0xFFFF).count_ones() as usize
+        TAG_COUNT - self.0.count_ones() as usize
     }
 
     /// Iterates over the allowed (non-excluded) tags in ascending order.
@@ -352,6 +352,9 @@ mod tests {
         for _ in 0..10_000 {
             seen.insert(pool.random_tag().value());
         }
-        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![9, 10, 11, 12, 13, 14, 15]
+        );
     }
 }

@@ -25,7 +25,11 @@ pub struct PacFault {
 impl fmt::Display for PacFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.poisoned {
-            None => write!(f, "pointer authentication failed for {:#x} (FPAC trap)", self.pointer),
+            None => write!(
+                f,
+                "pointer authentication failed for {:#x} (FPAC trap)",
+                self.pointer
+            ),
             Some(p) => write!(
                 f,
                 "pointer authentication failed for {:#x} (poisoned to {p:#x})",
@@ -155,7 +159,11 @@ mod tests {
         // pointer signed by one instance's key never authenticates under
         // another's.
         let a = signer(PointerLayout::PacOnly);
-        let b = PacSigner::new(PacKey::from_parts(0x3333, 0x4444), PointerLayout::PacOnly, true);
+        let b = PacSigner::new(
+            PacKey::from_parts(0x3333, 0x4444),
+            PointerLayout::PacOnly,
+            true,
+        );
         let signed = a.sign(0x4000, 0);
         assert!(b.auth(signed, 0).is_err());
     }

@@ -156,7 +156,7 @@ pub fn two_mm_calls_native() -> f64 {
     let dot4 = |x: &[f64], y: &[f64]| {
         let mut acc = 0.0;
         for k in 0..NK {
-            acc = acc + x[k] * y[k];
+            acc += x[k] * y[k];
         }
         acc
     };

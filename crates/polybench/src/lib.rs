@@ -16,6 +16,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The native references deliberately mirror the C kernels' index-loop
+// structure so both sides execute IEEE f64 operations in identical order;
+// iterator or memcpy rewrites would obscure that correspondence.
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod calls;
 pub mod graph;

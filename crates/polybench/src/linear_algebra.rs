@@ -57,7 +57,7 @@ fn gemm_native() -> f64 {
         for j in 0..n {
             c[i][j] *= 1.2;
             for k in 0..n {
-                c[i][j] = c[i][j] + 1.5 * a[i][k] * b[k][j];
+                c[i][j] += 1.5 * a[i][k] * b[k][j];
             }
         }
     }
@@ -126,7 +126,7 @@ fn two_mm_native() -> f64 {
         for j in 0..n {
             tmp[i][j] = 0.0;
             for k in 0..n {
-                tmp[i][j] = tmp[i][j] + 1.1 * a[i][k] * b[k][j];
+                tmp[i][j] += 1.1 * a[i][k] * b[k][j];
             }
         }
     }
@@ -134,7 +134,7 @@ fn two_mm_native() -> f64 {
         for j in 0..n {
             d[i][j] *= 1.3;
             for k in 0..n {
-                d[i][j] = d[i][j] + tmp[i][k] * c[k][j];
+                d[i][j] += tmp[i][k] * c[k][j];
             }
         }
     }
@@ -215,7 +215,7 @@ fn three_mm_native() -> f64 {
         for j in 0..n {
             e[i][j] = 0.0;
             for k in 0..n {
-                e[i][j] = e[i][j] + a[i][k] * b[k][j];
+                e[i][j] += a[i][k] * b[k][j];
             }
         }
     }
@@ -223,7 +223,7 @@ fn three_mm_native() -> f64 {
         for j in 0..n {
             f[i][j] = 0.0;
             for k in 0..n {
-                f[i][j] = f[i][j] + c[i][k] * d[k][j];
+                f[i][j] += c[i][k] * d[k][j];
             }
         }
     }
@@ -231,7 +231,7 @@ fn three_mm_native() -> f64 {
         for j in 0..n {
             g[i][j] = 0.0;
             for k in 0..n {
-                g[i][j] = g[i][j] + e[i][k] * f[k][j];
+                g[i][j] += e[i][k] * f[k][j];
             }
         }
     }
@@ -287,12 +287,12 @@ fn atax_native() -> f64 {
     for i in 0..n {
         tmp[i] = 0.0;
         for j in 0..n {
-            tmp[i] = tmp[i] + a[i][j] * x[j];
+            tmp[i] += a[i][j] * x[j];
         }
     }
     for i in 0..n {
         for j in 0..n {
-            y[j] = y[j] + a[i][j] * tmp[i];
+            y[j] += a[i][j] * tmp[i];
         }
     }
     y.iter().fold(0.0, |s, v| s + v)
@@ -346,8 +346,8 @@ fn bicg_native() -> f64 {
     }
     for i in 0..n {
         for j in 0..n {
-            s[j] = s[j] + r[i] * a[i][j];
-            q[i] = q[i] + a[i][j] * p[j];
+            s[j] += r[i] * a[i][j];
+            q[i] += a[i][j] * p[j];
         }
     }
     (0..n).fold(0.0, |acc, i| acc + s[i] + q[i])
@@ -404,8 +404,8 @@ fn gesummv_native() -> f64 {
         tmp[i] = 0.0;
         y[i] = 0.0;
         for j in 0..n {
-            tmp[i] = a[i][j] * x[j] + tmp[i];
-            y[i] = b[i][j] * x[j] + y[i];
+            tmp[i] += a[i][j] * x[j];
+            y[i] += b[i][j] * x[j];
         }
         y[i] = 1.5 * tmp[i] + 1.2 * y[i];
     }
@@ -466,12 +466,12 @@ fn mvt_native() -> f64 {
     }
     for i in 0..n {
         for j in 0..n {
-            x1[i] = x1[i] + a[i][j] * y1[j];
+            x1[i] += a[i][j] * y1[j];
         }
     }
     for i in 0..n {
         for j in 0..n {
-            x2[i] = x2[i] + a[j][i] * y2[j];
+            x2[i] += a[j][i] * y2[j];
         }
     }
     (0..n).fold(0.0, |s, i| s + x1[i] + x2[i])
@@ -521,7 +521,7 @@ fn syrk_native() -> f64 {
         for j in 0..n {
             c[i][j] *= 1.2;
             for k in 0..n {
-                c[i][j] = c[i][j] + 1.5 * a[i][k] * a[j][k];
+                c[i][j] += 1.5 * a[i][k] * a[j][k];
             }
         }
     }
@@ -625,7 +625,7 @@ fn trmm_native() -> f64 {
     for i in 0..n {
         for j in 0..n {
             for k in 0..i {
-                b[i][j] = b[i][j] + a[i][k] * b[k][j];
+                b[i][j] += a[i][k] * b[k][j];
             }
         }
     }
@@ -671,14 +671,14 @@ fn trisolv_native() -> f64 {
         for j in 0..n {
             l[i][j] = (i + j + 2) as f64 / 64.0;
         }
-        l[i][i] = 1.0 + i as f64 / 32.0 + l[i][i];
+        l[i][i] += 1.0 + i as f64 / 32.0;
     }
     for i in 0..n {
         x[i] = b[i];
         for j in 0..i {
-            x[i] = x[i] - l[i][j] * x[j];
+            x[i] -= l[i][j] * x[j];
         }
-        x[i] = x[i] / l[i][i];
+        x[i] /= l[i][i];
     }
     x.iter().fold(0.0, |s, v| s + v)
 }
@@ -731,11 +731,11 @@ fn lu_native() -> f64 {
     }
     for k in 0..n {
         for j in k + 1..n {
-            a[k][j] = a[k][j] / a[k][k];
+            a[k][j] /= a[k][k];
         }
         for i in k + 1..n {
             for j in k + 1..n {
-                a[i][j] = a[i][j] - a[i][k] * a[k][j];
+                a[i][j] -= a[i][k] * a[k][j];
             }
         }
     }
@@ -839,24 +839,6 @@ pub fn kernels() -> Vec<Kernel> {
     ]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fifteen_kernels() {
-        assert_eq!(kernels().len(), 15);
-    }
-
-    #[test]
-    fn native_checksums_are_finite_and_nonzero() {
-        for k in kernels() {
-            let v = (k.native)();
-            assert!(v.is_finite() && v != 0.0, "{}: {v}", k.name);
-        }
-    }
-}
-
 /// gemver: A = A + u1·v1ᵀ + u2·v2ᵀ; x = beta·Aᵀ·y + z; w = alpha·A·x.
 pub const GEMVER: &str = r#"
 double A[32][32];
@@ -938,7 +920,7 @@ fn gemver_native() -> f64 {
     }
     for i in 0..n {
         for j in 0..n {
-            x[i] = x[i] + 1.2 * a[j][i] * y[j];
+            x[i] += 1.2 * a[j][i] * y[j];
         }
     }
     for i in 0..n {
@@ -946,7 +928,7 @@ fn gemver_native() -> f64 {
     }
     for i in 0..n {
         for j in 0..n {
-            w[i] = w[i] + 1.5 * a[i][j] * x[j];
+            w[i] += 1.5 * a[i][j] * x[j];
         }
     }
     w.iter().fold(0.0, |s, v| s + v)
@@ -1000,7 +982,7 @@ fn doitgen_native() -> f64 {
     const NR: usize = 12;
     let mut a = vec![vec![vec![0.0f64; NR]; NR]; NR];
     let mut c4 = vec![vec![0.0f64; NR]; NR];
-    let mut sumbuf = vec![0.0f64; NR];
+    let mut sumbuf = [0.0f64; NR];
     for r in 0..NR {
         for q in 0..NR {
             for p in 0..NR {
@@ -1018,7 +1000,7 @@ fn doitgen_native() -> f64 {
             for p in 0..NR {
                 sumbuf[p] = 0.0;
                 for s in 0..NR {
-                    sumbuf[p] = sumbuf[p] + a[r][q][s] * c4[s][p];
+                    sumbuf[p] += a[r][q][s] * c4[s][p];
                 }
             }
             for p in 0..NR {
@@ -1086,13 +1068,13 @@ fn cholesky_native() -> f64 {
     for i in 0..n {
         let mut x = a[i][i];
         for j in 0..i {
-            x = x - a[i][j] * a[i][j];
+            x -= a[i][j] * a[i][j];
         }
         p[i] = 1.0 / x.sqrt();
         for j in i + 1..n {
             let mut y = a[i][j];
             for k in 0..i {
-                y = y - a[j][k] * a[i][k];
+                y -= a[j][k] * a[i][k];
             }
             a[j][i] = y * p[i];
         }
@@ -1105,4 +1087,22 @@ fn cholesky_native() -> f64 {
         }
     }
     sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_kernels() {
+        assert_eq!(kernels().len(), 15);
+    }
+
+    #[test]
+    fn native_checksums_are_finite_and_nonzero() {
+        for k in kernels() {
+            let v = (k.native)();
+            assert!(v.is_finite() && v != 0.0, "{}: {v}", k.name);
+        }
+    }
 }

@@ -182,17 +182,17 @@ fn fdtd_2d_native() -> f64 {
         }
         for i in 1..n {
             for j in 0..n {
-                ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+                ey[i][j] -= 0.5 * (hz[i][j] - hz[i - 1][j]);
             }
         }
         for i in 0..n {
             for j in 1..n {
-                ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+                ex[i][j] -= 0.5 * (hz[i][j] - hz[i][j - 1]);
             }
         }
         for i in 0..n - 1 {
             for j in 0..n - 1 {
-                hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+                hz[i][j] -= 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
             }
         }
     }
@@ -234,20 +234,6 @@ pub fn kernels() -> Vec<Kernel> {
             native: jacobi_1d_native,
         },
     ]
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn four_stencils_with_finite_checksums() {
-        let ks = kernels();
-        assert_eq!(ks.len(), 4);
-        for k in ks {
-            assert!((k.native)().is_finite());
-        }
-    }
 }
 
 /// jacobi-1d: T sweeps of a 3-point stencil, double buffered.
@@ -294,4 +280,18 @@ fn jacobi_1d_native() -> f64 {
         }
     }
     a.iter().fold(0.0, |s, v| s + v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_stencils_with_finite_checksums() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 4);
+        for k in ks {
+            assert!((k.native)().is_finite());
+        }
+    }
 }

@@ -1,15 +1,14 @@
 //! Guest-vs-native verification: every kernel's checksum must match the
 //! Rust reference bit-for-bit (both execute IEEE f64 in the same order).
 
-use cage::{build, Core, Value, Variant};
+use cage::{Engine, Variant};
 
 fn run_guest(source: &str, variant: Variant) -> f64 {
-    let artifact = build(source, variant).expect("builds");
-    let mut inst = artifact.instantiate(Core::CortexX3).expect("instantiates");
-    match inst.invoke("run", &[]).expect("runs")[..] {
-        [Value::F64(v)] => v,
-        ref other => panic!("unexpected result {other:?}"),
-    }
+    let engine = Engine::new(variant);
+    let artifact = engine.compile(source).expect("builds");
+    let mut inst = engine.instantiate(&artifact).expect("instantiates");
+    let run = inst.get_typed::<(), f64>("run").expect("run export");
+    run.call(&mut inst, ()).expect("runs")
 }
 
 #[test]
@@ -53,9 +52,21 @@ fn kernels_match_on_wasm32() {
 fn fig15_variants_agree_with_reference() {
     let native = cage_polybench::calls::two_mm_calls_native();
     for (label, src, variant) in [
-        ("static", cage_polybench::calls::TWO_MM_STATIC, Variant::BaselineWasm64),
-        ("dynamic", cage_polybench::calls::TWO_MM_DYNAMIC, Variant::BaselineWasm64),
-        ("ptr-auth", cage_polybench::calls::TWO_MM_DYNAMIC, Variant::CagePtrAuth),
+        (
+            "static",
+            cage_polybench::calls::TWO_MM_STATIC,
+            Variant::BaselineWasm64,
+        ),
+        (
+            "dynamic",
+            cage_polybench::calls::TWO_MM_DYNAMIC,
+            Variant::BaselineWasm64,
+        ),
+        (
+            "ptr-auth",
+            cage_polybench::calls::TWO_MM_DYNAMIC,
+            Variant::CagePtrAuth,
+        ),
     ] {
         let guest = run_guest(src, variant);
         assert_eq!(guest.to_bits(), native.to_bits(), "{label}");

@@ -9,7 +9,7 @@
 //! ## Example
 //!
 //! ```
-//! use cage_runtime::{Runtime, Variant};
+//! use cage_runtime::{Linker, Runtime, Variant};
 //! use cage_engine::Value;
 //! use cage_mte::Core;
 //!
@@ -25,8 +25,10 @@
 //! };
 //! let lowered = cage_ir::lower(&ir, &cage_ir::LowerOptions::default())?;
 //!
+//! // The host surface is explicit: a Linker names what instances import.
+//! let linker = Linker::with_libc();
 //! let mut rt = Runtime::new(Variant::BaselineWasm64, Core::CortexX3);
-//! let inst = rt.instantiate(&lowered.module, lowered.heap_base)?;
+//! let inst = rt.instantiate_linked(&lowered.module, lowered.heap_base, &linker)?;
 //! assert_eq!(rt.invoke(inst, "answer", &[])?, vec![Value::I64(42)]);
 //! # Ok(())
 //! # }
@@ -35,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod linker;
 pub mod metrics;
 pub mod runtime;
 pub mod startup;
 pub mod variant;
 
+pub use linker::Linker;
 pub use metrics::MemoryReport;
 pub use runtime::{InstanceToken, Runtime, RuntimeError};
 pub use startup::{startup_report, StartupReport};

@@ -3,11 +3,12 @@
 use std::fmt;
 
 use cage_engine::store::InstantiateError;
-use cage_engine::{Imports, InstanceHandle, Store, Trap, Value};
+use cage_engine::{InstanceHandle, Store, Trap, Value};
 use cage_libc::Libc;
 use cage_mte::Core;
 use cage_wasm::Module;
 
+use crate::linker::Linker;
 use crate::metrics::MemoryReport;
 use crate::variant::Variant;
 
@@ -45,7 +46,7 @@ pub struct InstanceToken {
 pub struct Runtime {
     store: Store,
     variant: Variant,
-    libcs: Vec<Libc>,
+    libcs: Vec<Option<Libc>>,
     handles: Vec<InstanceHandle>,
 }
 
@@ -87,26 +88,54 @@ impl Runtime {
         &mut self.store
     }
 
-    /// Instantiates `module` with a fresh libc whose heap starts at
-    /// `heap_base` (use the module's `__heap_base` or
-    /// `cage_ir::Lowered::heap_base`).
+    /// Instantiates `module` with a fresh implicit libc.
+    ///
+    /// Superseded by [`Runtime::instantiate_linked`], which makes the host
+    /// surface (libc included) explicit through a [`Linker`].
     ///
     /// # Errors
     ///
     /// [`RuntimeError::Instantiate`] — including the 15-sandbox limit under
     /// MTE sandboxing.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::instantiate_linked` with `Linker::with_libc()`"
+    )]
     pub fn instantiate(
         &mut self,
         module: &Module,
         heap_base: u64,
     ) -> Result<InstanceToken, RuntimeError> {
-        let libc = if module.is_memory64() {
-            Libc::new(heap_base)
+        self.instantiate_linked(module, heap_base, &Linker::with_libc())
+    }
+
+    /// Instantiates `module` against `linker`, the explicit host surface.
+    ///
+    /// When the linker provides libc ([`Linker::with_libc`]) a fresh
+    /// per-instance libc is created with its heap at `heap_base` (use the
+    /// module's `__heap_base` / `cage_ir::Lowered::heap_base`); embedder
+    /// definitions in the linker shadow libc names.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Instantiate`] — unresolved imports, the 15-sandbox
+    /// MTE limit, a trapping start function.
+    pub fn instantiate_linked(
+        &mut self,
+        module: &Module,
+        heap_base: u64,
+        linker: &Linker,
+    ) -> Result<InstanceToken, RuntimeError> {
+        let libc = if linker.provides_libc() {
+            Some(if module.is_memory64() {
+                Libc::new(heap_base)
+            } else {
+                Libc::new_wasm32(heap_base)
+            })
         } else {
-            Libc::new_wasm32(heap_base)
+            None
         };
-        let mut imports = Imports::new();
-        libc.register(&mut imports);
+        let imports = linker.build_imports(libc.as_ref());
         let handle = self.store.instantiate(module, &imports)?;
         self.libcs.push(libc);
         self.handles.push(handle);
@@ -130,10 +159,20 @@ impl Runtime {
         self.store.invoke(token.handle, name, args)
     }
 
-    /// Captured stdout of an instance.
+    /// Captured stdout of an instance (empty when the instance was linked
+    /// without libc).
     #[must_use]
     pub fn stdout(&self, token: InstanceToken) -> String {
-        self.libcs[token.idx].stdout()
+        self.libcs[token.idx]
+            .as_ref()
+            .map(Libc::stdout)
+            .unwrap_or_default()
+    }
+
+    /// The module an instance was created from.
+    #[must_use]
+    pub fn module(&self, token: InstanceToken) -> &Module {
+        self.store.module(token.handle)
     }
 
     /// Simulated milliseconds consumed by an instance.
@@ -162,11 +201,11 @@ impl Runtime {
     /// Memory report for §7.3.
     #[must_use]
     pub fn memory_report(&self, token: InstanceToken) -> MemoryReport {
-        MemoryReport::collect(
-            self.store.memory(token.handle),
-            self.libcs[token.idx].stats(),
-            self.variant,
-        )
+        let stats = self.libcs[token.idx]
+            .as_ref()
+            .map(Libc::stats)
+            .unwrap_or_default();
+        MemoryReport::collect(self.store.memory(token.handle), stats, self.variant)
     }
 
     /// Number of instances in this process.
@@ -231,7 +270,9 @@ mod tests {
         for variant in Variant::ALL {
             let (module, heap_base) = build(PROGRAM, variant);
             let mut rt = Runtime::new(variant, Core::CortexX3);
-            let inst = rt.instantiate(&module, heap_base).unwrap();
+            let inst = rt
+                .instantiate_linked(&module, heap_base, &Linker::with_libc())
+                .unwrap();
             let out = rt.invoke(inst, "work", &[Value::I64(50)]).unwrap();
             assert_eq!(rt.stdout(inst), "3675\n", "{variant}");
             results.push((variant, out));
@@ -248,7 +289,9 @@ mod tests {
         let cost = |variant: Variant| {
             let (module, heap_base) = build(PROGRAM, variant);
             let mut rt = Runtime::new(variant, core);
-            let inst = rt.instantiate(&module, heap_base).unwrap();
+            let inst = rt
+                .instantiate_linked(&module, heap_base, &Linker::with_libc())
+                .unwrap();
             rt.invoke(inst, "work", &[Value::I64(200)]).unwrap();
             rt.simulated_ms(inst)
         };
@@ -267,8 +310,12 @@ mod tests {
     fn multiple_instances_are_isolated() {
         let (module, heap_base) = build(PROGRAM, Variant::CageSandboxing);
         let mut rt = Runtime::new(Variant::CageSandboxing, Core::CortexX3);
-        let a = rt.instantiate(&module, heap_base).unwrap();
-        let b = rt.instantiate(&module, heap_base).unwrap();
+        let a = rt
+            .instantiate_linked(&module, heap_base, &Linker::with_libc())
+            .unwrap();
+        let b = rt
+            .instantiate_linked(&module, heap_base, &Linker::with_libc())
+            .unwrap();
         rt.invoke(a, "work", &[Value::I64(10)]).unwrap();
         assert_eq!(rt.stdout(a), "135\n");
         assert_eq!(rt.stdout(b), "", "b untouched");
@@ -280,11 +327,14 @@ mod tests {
         let (module, heap_base) = build("long f() { return 1; }", Variant::CageSandboxing);
         let mut rt = Runtime::new(Variant::CageSandboxing, Core::CortexX3);
         for _ in 0..15 {
-            rt.instantiate(&module, heap_base).unwrap();
+            rt.instantiate_linked(&module, heap_base, &Linker::with_libc())
+                .unwrap();
         }
         assert!(matches!(
-            rt.instantiate(&module, heap_base),
-            Err(RuntimeError::Instantiate(InstantiateError::TooManySandboxes))
+            rt.instantiate_linked(&module, heap_base, &Linker::with_libc()),
+            Err(RuntimeError::Instantiate(
+                InstantiateError::TooManySandboxes
+            ))
         ));
     }
 
@@ -293,13 +343,19 @@ mod tests {
         // §4.2: signed pointers leak-proof across instances.
         let (module, heap_base) = build("long f() { return 1; }", Variant::CageFull);
         let mut rt = Runtime::new(Variant::CageFull, Core::CortexX3);
-        let a = rt.instantiate(&module, heap_base).unwrap();
+        let a = rt
+            .instantiate_linked(&module, heap_base, &Linker::with_libc())
+            .unwrap();
         // Combined mode allows one sandbox; use a ptr-auth-only runtime
         // for the two-instance check.
         let (module2, hb2) = build("long f() { return 1; }", Variant::CagePtrAuth);
         let mut rt2 = Runtime::new(Variant::CagePtrAuth, Core::CortexX3);
-        let x = rt2.instantiate(&module2, hb2).unwrap();
-        let y = rt2.instantiate(&module2, hb2).unwrap();
+        let x = rt2
+            .instantiate_linked(&module2, hb2, &Linker::with_libc())
+            .unwrap();
+        let y = rt2
+            .instantiate_linked(&module2, hb2, &Linker::with_libc())
+            .unwrap();
         let signed = rt2.sign_pointer(x, 0x1234);
         assert!(rt2.auth_pointer(x, signed).is_ok());
         assert!(rt2.auth_pointer(y, signed).is_err());

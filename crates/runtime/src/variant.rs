@@ -128,7 +128,13 @@ mod tests {
         use Variant::*;
         // Ptr width column.
         assert_eq!(BaselineWasm32.ptr_width(), PtrWidth::W32);
-        for v in [BaselineWasm64, CageMemSafety, CagePtrAuth, CageSandboxing, CageFull] {
+        for v in [
+            BaselineWasm64,
+            CageMemSafety,
+            CagePtrAuth,
+            CageSandboxing,
+            CageFull,
+        ] {
             assert_eq!(v.ptr_width(), PtrWidth::W64);
         }
         // Internal column.

@@ -4,9 +4,7 @@ use std::fmt;
 
 use crate::instr::{BlockType, Instr, LoadOp, MemArg, StoreOp};
 use crate::leb::{self, LebError};
-use crate::module::{
-    Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module,
-};
+use crate::module::{Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module};
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
 use super::{cage_op, misc_op, CAGE_PREFIX, MAGIC, MISC_PREFIX};
@@ -31,7 +29,11 @@ impl DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "decode error at offset {:#x}: {}", self.offset, self.message)
+        write!(
+            f,
+            "decode error at offset {:#x}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -311,9 +313,9 @@ impl<'a> Reader<'a> {
                 let b = self.take(8)?;
                 F64Const(u64::from_le_bytes(b.try_into().expect("8 bytes")))
             }
-            0x45..=0xC4 => simple_instr(op).ok_or_else(|| {
-                self.err(format!("unknown opcode {op:#x}"))
-            })?,
+            0x45..=0xC4 => {
+                simple_instr(op).ok_or_else(|| self.err(format!("unknown opcode {op:#x}")))?
+            }
             MISC_PREFIX => {
                 let sub = self.u32()?;
                 match sub {

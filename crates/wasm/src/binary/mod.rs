@@ -126,7 +126,13 @@ mod tests {
             &[],
             vec![
                 Instr::LocalGet(0),
-                Instr::Load(crate::instr::LoadOp::F64Load, MemArg { align: 3, offset: 1024 }),
+                Instr::Load(
+                    crate::instr::LoadOp::F64Load,
+                    MemArg {
+                        align: 3,
+                        offset: 1024,
+                    },
+                ),
             ],
         );
         b.export_func("ld", f);

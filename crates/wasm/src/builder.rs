@@ -5,9 +5,7 @@
 //! benches generate workload modules.
 
 use crate::instr::Instr;
-use crate::module::{
-    Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module,
-};
+use crate::module::{Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module};
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
 /// Builds a [`Module`] incrementally.

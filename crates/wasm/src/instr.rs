@@ -86,8 +86,9 @@ impl LoadOp {
         use LoadOp::*;
         match self {
             I32Load | I32Load8S | I32Load8U | I32Load16S | I32Load16U => ValType::I32,
-            I64Load | I64Load8S | I64Load8U | I64Load16S | I64Load16U | I64Load32S
-            | I64Load32U => ValType::I64,
+            I64Load | I64Load8S | I64Load8U | I64Load16S | I64Load16U | I64Load32S | I64Load32U => {
+                ValType::I64
+            }
             F32Load => ValType::F32,
             F64Load => ValType::F64,
         }

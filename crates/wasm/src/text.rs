@@ -20,7 +20,11 @@ pub fn print_module(module: &Module) -> String {
         let desc = match &import.kind {
             crate::module::ImportKind::Func(t) => format!("(func (type {t}))"),
             crate::module::ImportKind::Memory(m) => {
-                format!("(memory{} {})", if m.memory64 { " i64" } else { "" }, m.limits.min)
+                format!(
+                    "(memory{} {})",
+                    if m.memory64 { " i64" } else { "" },
+                    m.limits.min
+                )
             }
             crate::module::ImportKind::Table(t) => format!("(table {} funcref)", t.limits.min),
             crate::module::ImportKind::Global(g) => format!(
@@ -71,11 +75,7 @@ pub fn print_module(module: &Module) -> String {
 }
 
 /// Writes one instruction at the given indent depth.
-pub(crate) fn write_instr<W: fmt::Write>(
-    out: &mut W,
-    instr: &Instr,
-    depth: usize,
-) -> fmt::Result {
+pub(crate) fn write_instr<W: fmt::Write>(out: &mut W, instr: &Instr, depth: usize) -> fmt::Result {
     let pad = "  ".repeat(depth);
     match instr {
         Instr::Block(bt, body) => {
@@ -188,10 +188,7 @@ mod tests {
 
     #[test]
     fn structured_control_prints_nested() {
-        let instr = Instr::Block(
-            BlockType::Empty,
-            vec![Instr::I32Const(1), Instr::BrIf(0)],
-        );
+        let instr = Instr::Block(BlockType::Empty, vec![Instr::I32Const(1), Instr::BrIf(0)]);
         let text = instr.to_string();
         assert!(text.starts_with("block"));
         assert!(text.contains("  i32.const 1"));

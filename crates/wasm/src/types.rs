@@ -132,7 +132,7 @@ impl Limits {
     /// Whether these limits are internally consistent.
     #[must_use]
     pub fn is_well_formed(&self) -> bool {
-        self.max.map_or(true, |max| max >= self.min)
+        self.max.is_none_or(|max| max >= self.min)
     }
 }
 

@@ -59,10 +59,9 @@ pub fn validate(module: &Module) -> VResult<()> {
     let imported = module.imported_func_count();
     for (i, func) in module.funcs.iter().enumerate() {
         let func_idx = imported + i as u32;
-        let ty = module
-            .types
-            .get(func.type_idx as usize)
-            .ok_or_else(|| ValidationError::new(format!("function type {} missing", func.type_idx)))?;
+        let ty = module.types.get(func.type_idx as usize).ok_or_else(|| {
+            ValidationError::new(format!("function type {} missing", func.type_idx))
+        })?;
         let mut v = FuncValidator::new(module, ty, &func.locals);
         v.check_body(&func.body, &ty.results).map_err(|mut e| {
             e.func = Some(func_idx);
@@ -136,7 +135,13 @@ fn validate_structure(module: &Module) -> VResult<()> {
     for export in &module.exports {
         let ok = match export.kind {
             ExportKind::Func(i) => i < total_funcs,
-            ExportKind::Memory(i) => (i as usize) < module.memories.len().max(usize::from(has_imported_memory(module))),
+            ExportKind::Memory(i) => {
+                (i as usize)
+                    < module
+                        .memories
+                        .len()
+                        .max(usize::from(has_imported_memory(module)))
+            }
             ExportKind::Table(i) => (i as usize) < module.tables.len(),
             ExportKind::Global(i) => (i as usize) < module.globals.len(),
         };
@@ -664,20 +669,14 @@ mod tests {
 
     #[test]
     fn stack_underflow_rejected() {
-        let err =
-            validate_body(&[], &[ValType::I32], None, vec![Instr::I32Add]).unwrap_err();
+        let err = validate_body(&[], &[ValType::I32], None, vec![Instr::I32Add]).unwrap_err();
         assert!(err.message.contains("underflow"), "{err}");
     }
 
     #[test]
     fn leftover_operands_rejected() {
-        let err = validate_body(
-            &[],
-            &[],
-            None,
-            vec![Instr::I32Const(1), Instr::I32Const(2)],
-        )
-        .unwrap_err();
+        let err = validate_body(&[], &[], None, vec![Instr::I32Const(1), Instr::I32Const(2)])
+            .unwrap_err();
         assert!(err.message.contains("not empty"), "{err}");
     }
 
@@ -692,18 +691,16 @@ mod tests {
             &[ValType::I32],
             &[ValType::I32],
             None,
-            vec![
-                Instr::Block(
-                    BlockType::Value(ValType::I32),
-                    vec![
-                        Instr::I32Const(1),
-                        Instr::LocalGet(0),
-                        Instr::BrIf(0),
-                        Instr::Drop,
-                        Instr::I32Const(2),
-                    ],
-                ),
-            ],
+            vec![Instr::Block(
+                BlockType::Value(ValType::I32),
+                vec![
+                    Instr::I32Const(1),
+                    Instr::LocalGet(0),
+                    Instr::BrIf(0),
+                    Instr::Drop,
+                    Instr::I32Const(2),
+                ],
+            )],
         )
         .unwrap();
     }
@@ -730,7 +727,12 @@ mod tests {
             &[],
             &[ValType::F64],
             None,
-            vec![Instr::Unreachable, Instr::I32Add, Instr::Drop, Instr::F64Const(0)],
+            vec![
+                Instr::Unreachable,
+                Instr::I32Add,
+                Instr::Drop,
+                Instr::F64Const(0),
+            ],
         )
         .unwrap();
     }
@@ -743,7 +745,11 @@ mod tests {
             None,
             vec![
                 Instr::I32Const(1),
-                Instr::If(BlockType::Value(ValType::I32), vec![Instr::I32Const(1)], vec![]),
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::I32Const(1)],
+                    vec![],
+                ),
             ],
         )
         .unwrap_err();
@@ -814,7 +820,13 @@ mod tests {
             Some(true),
             vec![
                 Instr::LocalGet(0),
-                Instr::Load(LoadOp::I32Load, MemArg { align: 3, offset: 0 }),
+                Instr::Load(
+                    LoadOp::I32Load,
+                    MemArg {
+                        align: 3,
+                        offset: 0,
+                    },
+                ),
             ],
         )
         .unwrap_err();
@@ -829,11 +841,7 @@ mod tests {
             &[ValType::I64, ValType::I64],
             &[ValType::I64],
             Some(true),
-            vec![
-                Instr::LocalGet(0),
-                Instr::LocalGet(1),
-                Instr::SegmentNew(0),
-            ],
+            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::SegmentNew(0)],
         )
         .unwrap();
     }
@@ -885,7 +893,11 @@ mod tests {
             &[ValType::I64, ValType::I64],
             &[],
             Some(true),
-            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::SegmentFree(0)],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::SegmentFree(0),
+            ],
         )
         .unwrap();
     }
@@ -918,7 +930,12 @@ mod tests {
     #[test]
     fn call_type_checked() {
         let mut b = ModuleBuilder::new();
-        let callee = b.add_function(&[ValType::I64], &[ValType::I64], &[], vec![Instr::LocalGet(0)]);
+        let callee = b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[],
+            vec![Instr::LocalGet(0)],
+        );
         b.add_function(
             &[],
             &[ValType::I64],
@@ -936,7 +953,11 @@ mod tests {
             ty_params,
             &[],
             &[],
-            vec![Instr::LocalGet(0), Instr::I32Const(0), Instr::CallIndirect(0)],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I32Const(0),
+                Instr::CallIndirect(0),
+            ],
         );
         let err = validate(&b.build()).unwrap_err();
         assert!(err.message.contains("table"), "{err}");

@@ -16,7 +16,10 @@ fn arb_valtype() -> impl Strategy<Value = ValType> {
 }
 
 fn arb_blocktype() -> impl Strategy<Value = BlockType> {
-    prop_oneof![Just(BlockType::Empty), arb_valtype().prop_map(BlockType::Value)]
+    prop_oneof![
+        Just(BlockType::Empty),
+        arb_valtype().prop_map(BlockType::Value)
+    ]
 }
 
 fn arb_load() -> impl Strategy<Value = LoadOp> {
@@ -70,8 +73,7 @@ fn arb_leaf() -> impl Strategy<Value = Instr> {
         any::<u32>().prop_map(Instr::GlobalGet),
         (0u32..16).prop_map(Instr::Br),
         (0u32..16).prop_map(Instr::BrIf),
-        (proptest::collection::vec(0u32..8, 0..4), 0u32..8)
-            .prop_map(|(t, d)| Instr::BrTable(t, d)),
+        (proptest::collection::vec(0u32..8, 0..4), 0u32..8).prop_map(|(t, d)| Instr::BrTable(t, d)),
         any::<u32>().prop_map(Instr::Call),
         any::<u32>().prop_map(Instr::CallIndirect),
         (0u64..1 << 40).prop_map(Instr::SegmentNew),
@@ -87,9 +89,15 @@ fn arb_leaf() -> impl Strategy<Value = Instr> {
 fn arb_instr() -> impl Strategy<Value = Instr> {
     arb_leaf().prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
-            (arb_blocktype(), proptest::collection::vec(inner.clone(), 0..6))
+            (
+                arb_blocktype(),
+                proptest::collection::vec(inner.clone(), 0..6)
+            )
                 .prop_map(|(bt, body)| Instr::Block(bt, body)),
-            (arb_blocktype(), proptest::collection::vec(inner.clone(), 0..6))
+            (
+                arb_blocktype(),
+                proptest::collection::vec(inner.clone(), 0..6)
+            )
                 .prop_map(|(bt, body)| Instr::Loop(bt, body)),
             (
                 arb_blocktype(),

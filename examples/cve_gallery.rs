@@ -6,21 +6,26 @@
 //! cargo run -p cage --example cve_gallery
 //! ```
 
-use cage::{build, Core, Value, Variant};
+use cage::{Engine, Variant};
 
 fn run_case(source: &str, variant: Variant, trigger: i64) -> String {
-    let artifact = match build(source, variant) {
+    let engine = Engine::new(variant);
+    let artifact = match engine.compile(source) {
         Ok(a) => a,
         Err(e) => return format!("build error: {e}"),
     };
-    let mut inst = match artifact.instantiate(Core::CortexX3) {
+    let mut inst = match engine.instantiate(&artifact) {
         Ok(i) => i,
         Err(e) => return format!("instantiate error: {e}"),
     };
-    match inst.invoke("run", &[Value::I64(trigger)]) {
-        Ok(v) => format!("returned {:?}", v[0]),
-        Err(t) if t.is_memory_safety_violation() => "TRAPPED (memory safety)".to_string(),
-        Err(t) => format!("trap: {t}"),
+    let run = match inst.get_typed::<i64, i64>("run") {
+        Ok(f) => f,
+        Err(e) => return format!("typed lookup error: {e}"),
+    };
+    match run.call(&mut inst, trigger) {
+        Ok(v) => format!("returned {v}"),
+        Err(e) if e.is_memory_safety_violation() => "TRAPPED (memory safety)".to_string(),
+        Err(e) => format!("{e}"),
     }
 }
 

@@ -6,40 +6,57 @@
 //! cargo run -p cage --example polybench_run -- atax    # another kernel
 //! ```
 
-use cage::{build, Core, Variant};
+use cage::{Core, Engine, Variant};
+
+/// Compiles and runs the kernel on one (variant, core), returning
+/// (checksum, simulated ms).
+fn measure(source: &str, variant: Variant, core: Core) -> Result<(f64, f64), cage::Error> {
+    let engine = Engine::builder(variant).core(core).build();
+    let artifact = engine.compile(source)?;
+    let mut inst = engine.instantiate(&artifact)?;
+    let run = inst.get_typed::<(), f64>("run")?;
+    let checksum = run.call(&mut inst, ())?;
+    Ok((checksum, inst.simulated_ms()))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".to_string());
-    let kernel = cage_polybench::kernel(&name)
-        .ok_or_else(|| format!("unknown kernel {name}; try one of {:?}",
-            cage_polybench::kernels().iter().map(|k| k.name).collect::<Vec<_>>()))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gemm".to_string());
+    let kernel = cage_polybench::kernel(&name).ok_or_else(|| {
+        format!(
+            "unknown kernel {name}; try one of {:?}",
+            cage_polybench::kernels()
+                .iter()
+                .map(|k| k.name)
+                .collect::<Vec<_>>()
+        )
+    })?;
     let native = (kernel.native)();
-    println!("kernel {name} ({}), native checksum {native:.6}\n", kernel.category);
+    println!(
+        "kernel {name} ({}), native checksum {native:.6}\n",
+        kernel.category
+    );
 
-    println!("{:<18} {:>14} {:>14} {:>14}", "variant", "Cortex-X3", "Cortex-A715", "Cortex-A510");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "variant", "Cortex-X3", "Cortex-A715", "Cortex-A510"
+    );
     // Normalisation baseline first.
     let mut base = [0.0f64; 3];
-    {
-        let artifact = build(kernel.source, Variant::BaselineWasm64)?;
-        for (ci, core) in Core::ALL.iter().enumerate() {
-            let mut inst = artifact.instantiate(*core)?;
-            inst.invoke("run", &[])?;
-            base[ci] = inst.simulated_ms();
-        }
+    for (ci, core) in Core::ALL.iter().enumerate() {
+        let (_, ms) = measure(kernel.source, Variant::BaselineWasm64, *core)?;
+        base[ci] = ms;
     }
     for variant in Variant::ALL {
         print!("{:<18}", variant.label());
-        let artifact = build(kernel.source, variant)?;
         for (ci, core) in Core::ALL.iter().enumerate() {
-            let mut inst = artifact.instantiate(*core)?;
-            let out = inst.invoke("run", &[])?;
-            let checksum = out[0].as_f64();
+            let (checksum, ms) = measure(kernel.source, variant, *core)?;
             assert_eq!(
                 checksum.to_bits(),
                 native.to_bits(),
                 "checksum mismatch under {variant}"
             );
-            let ms = inst.simulated_ms();
             if base[ci] > 0.0 {
                 print!(" {:>8.3}ms {:>3.0}%", ms, 100.0 * ms / base[ci]);
             } else {

@@ -6,7 +6,7 @@
 //! cargo run -p cage --example ptr_auth_vtable
 //! ```
 
-use cage::{build, Core, Value, Variant};
+use cage::{Engine, Linker, Variant};
 
 /// Listing 1, made runnable: `vulnerable(overflow, payload)` copies
 /// `2 + overflow` words into a 2-word buffer sitting next to the vtable.
@@ -37,24 +37,27 @@ const LISTING1: &str = r#"
     }
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), cage::Error> {
     println!("Listing 1: vtable overwrite via stack overflow\n");
 
     // Baseline: the overflow silently rewrites the function pointer. The
     // payload is a raw table index, and with neither tags nor signatures
     // nothing stops the redirect.
-    let baseline = build(LISTING1, Variant::BaselineWasm64)?;
-    let mut inst = baseline.instantiate(Core::CortexX3)?;
-    let honest = inst.invoke("vulnerable", &[Value::I64(0), Value::I64(0)])?;
-    println!("baseline, benign input:   foo*1000+bar = {:?} (bar called)", honest[0]);
+    let baseline_engine = Engine::new(Variant::BaselineWasm64);
+    let baseline = baseline_engine.compile(LISTING1)?;
+    let mut inst = baseline_engine.instantiate(&baseline)?;
+    let vulnerable = inst.get_typed::<(i64, i64), i64>("vulnerable")?;
+    let honest = vulnerable.call(&mut inst, (0, 0))?;
+    println!("baseline, benign input:   foo*1000+bar = {honest} (bar called)");
 
     // Find foo's table slot by brute force, as an attacker would.
     let mut redirected = None;
     for guess in 1..4 {
-        let mut inst = baseline.instantiate(Core::CortexX3)?;
-        if let Ok(out) = inst.invoke("vulnerable", &[Value::I64(2), Value::I64(guess)]) {
-            if out[0].as_i64() >= 1000 {
-                redirected = Some((guess, out[0].as_i64()));
+        let mut inst = baseline_engine.instantiate(&baseline)?;
+        let vulnerable = inst.get_typed::<(i64, i64), i64>("vulnerable")?;
+        if let Ok(out) = vulnerable.call(&mut inst, (2, guess)) {
+            if out >= 1000 {
+                redirected = Some((guess, out));
                 break;
             }
         }
@@ -68,26 +71,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cage: the overflow trips MTE before the call, and even a forged
     // index would fail pointer authentication.
-    let caged = build(LISTING1, Variant::CageFull)?;
-    let mut inst = caged.instantiate(Core::CortexX3)?;
-    match inst.invoke("vulnerable", &[Value::I64(2), Value::I64(1)]) {
-        Err(trap) => println!("Cage, overflow:           trap: {trap}"),
-        Ok(v) => println!("Cage, overflow:           {v:?} (unexpected!)"),
+    let cage_engine = Engine::new(Variant::CageFull);
+    let caged = cage_engine.compile(LISTING1)?;
+    let mut inst = cage_engine.instantiate(&caged)?;
+    let vulnerable = inst.get_typed::<(i64, i64), i64>("vulnerable")?;
+    match vulnerable.call(&mut inst, (2, 1)) {
+        Err(err) => println!("Cage, overflow:           {err}"),
+        Ok(v) => println!("Cage, overflow:           {v} (unexpected!)"),
     }
-    let mut inst = caged.instantiate(Core::CortexX3)?;
-    let ok = inst.invoke("vulnerable", &[Value::I64(0), Value::I64(0)])?;
-    println!("Cage, benign input:       foo*1000+bar = {:?} (bar called)\n", ok[0]);
+    let mut inst = cage_engine.instantiate(&caged)?;
+    let vulnerable = inst.get_typed::<(i64, i64), i64>("vulnerable")?;
+    let ok = vulnerable.call(&mut inst, (0, 0))?;
+    println!("Cage, benign input:       foo*1000+bar = {ok} (bar called)\n");
 
     // Cross-instance reuse (§4.2): a pointer signed by instance A fails
-    // authentication in instance B, because each instance gets its own key.
-    let artifact = build("long id(long x) { return x; }", Variant::CagePtrAuth)?;
-    let mut rt = cage::runtime::Runtime::new(Variant::CagePtrAuth, Core::CortexX3);
-    let a = artifact.instantiate_in(&mut rt)?;
-    let b = artifact.instantiate_in(&mut rt)?;
+    // authentication in instance B, because each instance gets its own
+    // key. Both instances share one runtime (one simulated process).
+    let auth_engine = Engine::new(Variant::CagePtrAuth);
+    let artifact = auth_engine.compile("long id(long x) { return x; }")?;
+    let linker = Linker::with_libc();
+    let mut rt = auth_engine.runtime();
+    let a = artifact.instantiate_into(&mut rt, &linker)?;
+    let b = artifact.instantiate_into(&mut rt, &linker)?;
     let signed_in_a = rt.sign_pointer(a, 0x2_0000);
     println!("cross-instance reuse:");
     println!("  signed in A:        {signed_in_a:#018x}");
-    println!("  auth in A:          {:?}", rt.auth_pointer(a, signed_in_a).map(|p| format!("{p:#x}")));
-    println!("  auth in B:          {:?}", rt.auth_pointer(b, signed_in_a).err().map(|t| t.to_string()));
+    println!(
+        "  auth in A:          {:?}",
+        rt.auth_pointer(a, signed_in_a).map(|p| format!("{p:#x}"))
+    );
+    println!(
+        "  auth in B:          {:?}",
+        rt.auth_pointer(b, signed_in_a).err().map(|t| t.to_string())
+    );
     Ok(())
 }

@@ -1,12 +1,13 @@
 //! Quickstart: compile an unmodified C program with the Cage toolchain,
-//! run it on a simulated Tensor G3 core, and watch a memory-safety bug get
-//! caught that the baseline misses.
+//! run it on a simulated Tensor G3 core through the `Engine`/`Linker`
+//! embedder API, and watch a memory-safety bug get caught that the
+//! baseline misses.
 //!
 //! ```sh
 //! cargo run -p cage --example quickstart
 //! ```
 
-use cage::{build, Core, Value, Variant};
+use cage::{Core, Engine, Variant};
 
 const PROGRAM: &str = r#"
     long sum_squares(long n) {
@@ -35,23 +36,27 @@ const PROGRAM: &str = r#"
     }
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Compile for the full Cage configuration (Table 3, last row):
-    //    stack sanitizer + hardened allocator + MTE sandboxing + PAC.
-    let artifact = build(PROGRAM, Variant::CageFull)?;
+fn main() -> Result<(), cage::Error> {
+    // 1. One Engine per configuration (Table 3, last row): stack sanitizer
+    //    + hardened allocator + MTE sandboxing + PAC. Engines are cheap to
+    //    clone and share between threads of an embedder.
+    let engine = Engine::new(Variant::CageFull);
+    let artifact = engine.compile(PROGRAM)?;
     println!(
         "compiled {} bytes of hardened wasm64 (variant: {})",
         artifact.wasm_bytes().len(),
         artifact.variant()
     );
 
-    // 2. Run on each simulated Tensor G3 core.
+    // 2. Run on each simulated Tensor G3 core, through a typed handle: the
+    //    signature is checked once, calls take and return plain Rust types.
     for core in Core::ALL {
-        let mut instance = artifact.instantiate(core)?;
-        let out = instance.invoke("sum_squares", &[Value::I64(100)])?;
+        let per_core = Engine::builder(Variant::CageFull).core(core).build();
+        let mut instance = per_core.instantiate(&artifact)?;
+        let sum_squares = instance.get_typed::<i64, i64>("sum_squares")?;
+        let total = sum_squares.call(&mut instance, 100)?;
         println!(
-            "{core}: sum_squares(100) = {:?} in {:.4} simulated ms ({} instructions)",
-            out[0],
+            "{core}: sum_squares(100) = {total} in {:.4} simulated ms ({} instructions)",
             instance.simulated_ms(),
             instance.instr_count()
         );
@@ -59,14 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. The same buggy call, two worlds.
-    let mut baseline = build(PROGRAM, Variant::BaselineWasm64)?.instantiate(Core::CortexX3)?;
-    let silent = baseline.invoke("overflow", &[Value::I64(24)]);
+    let baseline = Engine::new(Variant::BaselineWasm64);
+    let mut base_inst = baseline.instantiate(&baseline.compile(PROGRAM)?)?;
+    let overflow = base_inst.get_typed::<i64, i64>("overflow")?;
+    let silent = overflow.call(&mut base_inst, 24);
     println!("\nbaseline wasm64: overflow(24) -> {silent:?}  (corruption goes unnoticed)");
 
-    let mut caged = artifact.instantiate(Core::CortexX3)?;
-    let caught = caged.invoke("overflow", &[Value::I64(24)]);
-    match caught {
-        Err(trap) => println!("Cage:            overflow(24) -> trap: {trap}"),
+    let mut caged = engine.instantiate(&artifact)?;
+    let overflow = caged.get_typed::<i64, i64>("overflow")?;
+    match overflow.call(&mut caged, 24) {
+        Err(err) => println!("Cage:            overflow(24) -> {err}"),
         Ok(v) => println!("Cage:            overflow(24) -> {v:?} (unexpected!)"),
     }
     Ok(())

@@ -12,15 +12,19 @@
 //! ```
 
 use cage::engine::{BoundsCheckStrategy, ExecConfig, Imports, Store};
-use cage::{Core, Variant};
+use cage::{Core, Engine, Variant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let artifact = cage::build("long f() { return 0; }", Variant::CageSandboxing)?;
+    let engine = Engine::new(Variant::CageSandboxing);
+    let artifact = engine.compile("long f() { return 0; }")?;
     let module = artifact.module();
     let escape_offset = 64u64; // bytes past the end of the linear memory
 
     for (label, bounds) in [
-        ("software bounds checks (wasm64 baseline)", BoundsCheckStrategy::Software),
+        (
+            "software bounds checks (wasm64 baseline)",
+            BoundsCheckStrategy::Software,
+        ),
         ("MTE sandboxing (Cage)", BoundsCheckStrategy::MteSandbox),
     ] {
         let config = ExecConfig {

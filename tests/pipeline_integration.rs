@@ -1,7 +1,7 @@
 //! Cross-crate integration: the whole pipeline (cc → ir → wasm → binary →
 //! engine → runtime → libc) exercised through the public facade.
 
-use cage::{build, BuildOptions, Core, Value, Variant};
+use cage::{Core, Engine, Linker, Value, Variant};
 
 const APP: &str = r#"
     struct Stats {
@@ -38,13 +38,16 @@ const APP: &str = r#"
 #[test]
 fn artifact_survives_binary_roundtrip_and_runs() {
     for variant in Variant::ALL {
-        let artifact = build(APP, variant).unwrap();
+        let engine = Engine::new(variant);
+        let artifact = engine.compile(APP).unwrap();
         // Serialise, re-parse, re-validate, re-run: what a deployment does.
         let bytes = artifact.wasm_bytes();
         let module = cage::wasm::binary::decode(&bytes).unwrap();
         cage::wasm::validate(&module).unwrap();
-        let mut rt = cage::runtime::Runtime::new(variant, Core::CortexX3);
-        let token = rt.instantiate(&module, artifact.heap_base()).unwrap();
+        let mut rt = engine.runtime();
+        let token = rt
+            .instantiate_linked(&module, artifact.heap_base(), &Linker::with_libc())
+            .unwrap();
         let out = rt.invoke(token, "run_stats", &[Value::I64(50)]).unwrap();
         // mean of squares 1..=50 = (50+1)(2*50+1)/6 = 858.5
         assert_eq!(out, vec![Value::F64(858.5)], "{variant}");
@@ -53,14 +56,16 @@ fn artifact_survives_binary_roundtrip_and_runs() {
 
 #[test]
 fn results_identical_across_variants_and_cores() {
-    let mut golden: Option<Vec<Value>> = None;
+    let mut golden: Option<f64> = None;
     for variant in Variant::ALL {
         for core in Core::ALL {
-            let mut inst = build(APP, variant).unwrap().instantiate(core).unwrap();
-            let out = inst.invoke("run_stats", &[Value::I64(30)]).unwrap();
-            match &golden {
+            let engine = Engine::builder(variant).core(core).build();
+            let mut inst = engine.instantiate(&engine.compile(APP).unwrap()).unwrap();
+            let run_stats = inst.get_typed::<i64, f64>("run_stats").unwrap();
+            let out = run_stats.call(&mut inst, 30).unwrap();
+            match golden {
                 None => golden = Some(out),
-                Some(g) => assert_eq!(&out, g, "{variant} on {core}"),
+                Some(g) => assert_eq!(out, g, "{variant} on {core}"),
             }
         }
     }
@@ -68,61 +73,70 @@ fn results_identical_across_variants_and_cores() {
 
 #[test]
 fn stdout_and_libc_work_through_the_facade() {
-    let mut inst = build(APP, Variant::CageFull)
-        .unwrap()
-        .instantiate(Core::CortexA510)
-        .unwrap();
-    let out = inst.invoke("string_pipeline", &[]).unwrap();
-    assert_eq!(out, vec![Value::I64(4)]);
+    let engine = Engine::builder(Variant::CageFull)
+        .core(Core::CortexA510)
+        .build();
+    let mut inst = engine.instantiate(&engine.compile(APP).unwrap()).unwrap();
+    let string_pipeline = inst.get_typed::<(), i64>("string_pipeline").unwrap();
+    assert_eq!(string_pipeline.call(&mut inst, ()).unwrap(), 4);
     assert_eq!(inst.stdout(), "cage\n");
 }
 
 #[test]
 fn simulated_time_orders_cores_correctly() {
     // Same work: the 2.91 GHz X3 must beat the 1.7 GHz in-order A510.
-    let artifact = build(APP, Variant::BaselineWasm64).unwrap();
     let mut times = Vec::new();
     for core in Core::ALL {
-        let mut inst = artifact.instantiate(core).unwrap();
+        let engine = Engine::builder(Variant::BaselineWasm64).core(core).build();
+        let mut inst = engine.instantiate(&engine.compile(APP).unwrap()).unwrap();
         inst.invoke("run_stats", &[Value::I64(100)]).unwrap();
         times.push((core, inst.simulated_ms()));
     }
-    assert!(times[0].1 < times[2].1, "X3 {} vs A510 {}", times[0].1, times[2].1);
+    assert!(
+        times[0].1 < times[2].1,
+        "X3 {} vs A510 {}",
+        times[0].1,
+        times[2].1
+    );
     assert!(times[1].1 < times[2].1, "A715 faster than A510");
 }
 
 #[test]
 fn custom_memory_sizes_flow_through() {
-    let opts = BuildOptions {
-        variant: Variant::CageFull,
-        memory_pages: 256,
-        stack_size: 128 * 1024,
-    };
-    let artifact = cage::build_with(APP, &opts).unwrap();
+    let engine = Engine::builder(Variant::CageFull)
+        .memory_pages(256)
+        .stack_size(128 * 1024)
+        .build();
+    let artifact = engine.compile(APP).unwrap();
     assert_eq!(artifact.memory_pages(), 256);
-    let inst = artifact.instantiate(Core::CortexX3).unwrap();
+    let inst = engine.instantiate(&artifact).unwrap();
     assert_eq!(inst.memory_report().linear_bytes, 256 * 65_536);
 }
 
 #[test]
 fn fifteen_sandboxes_then_exhaustion() {
-    let artifact = build("long f() { return 1; }", Variant::CageSandboxing).unwrap();
-    let mut rt = cage::runtime::Runtime::new(Variant::CageSandboxing, Core::CortexX3);
+    let engine = Engine::new(Variant::CageSandboxing);
+    let artifact = engine.compile("long f() { return 1; }").unwrap();
+    let linker = Linker::with_libc();
+    let mut rt = engine.runtime();
     for i in 0..15 {
         artifact
-            .instantiate_in(&mut rt)
+            .instantiate_into(&mut rt, &linker)
             .unwrap_or_else(|e| panic!("sandbox {i}: {e}"));
     }
-    assert!(artifact.instantiate_in(&mut rt).is_err(), "16th sandbox must fail");
+    assert!(
+        artifact.instantiate_into(&mut rt, &linker).is_err(),
+        "16th sandbox must fail"
+    );
 }
 
 #[test]
 fn deterministic_cycle_accounting_end_to_end() {
     let run = || {
-        let mut inst = build(APP, Variant::CageFull)
-            .unwrap()
-            .instantiate(Core::CortexA715)
-            .unwrap();
+        let engine = Engine::builder(Variant::CageFull)
+            .core(Core::CortexA715)
+            .build();
+        let mut inst = engine.instantiate(&engine.compile(APP).unwrap()).unwrap();
         inst.invoke("run_stats", &[Value::I64(40)]).unwrap();
         (inst.cycles(), inst.instr_count())
     };
@@ -132,16 +146,12 @@ fn deterministic_cycle_accounting_end_to_end() {
 #[test]
 fn memory_overhead_bound_holds_per_paper() {
     // §7.3: < 5.3 % (0.6 % wasm64 delta + 3.125 % tag space).
-    let base = build(APP, Variant::BaselineWasm64)
-        .unwrap()
-        .instantiate(Core::CortexX3)
-        .unwrap();
-    let caged = build(APP, Variant::CageFull)
-        .unwrap()
-        .instantiate(Core::CortexX3)
-        .unwrap();
-    let overhead = caged
-        .memory_report()
-        .overhead_over(&base.memory_report());
+    let instance = |variant: Variant| {
+        let engine = Engine::new(variant);
+        engine.instantiate(&engine.compile(APP).unwrap()).unwrap()
+    };
+    let base = instance(Variant::BaselineWasm64);
+    let caged = instance(Variant::CageFull);
+    let overhead = caged.memory_report().overhead_over(&base.memory_report());
     assert!(overhead < 0.053, "memory overhead {overhead}");
 }

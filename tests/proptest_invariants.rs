@@ -2,7 +2,7 @@
 
 use cage::engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store};
 use cage::pac::{PacKey, PacSigner, PointerLayout};
-use cage::{build, Core, Value, Variant};
+use cage::{Core, Engine, Value, Variant};
 use proptest::prelude::*;
 
 proptest! {
@@ -39,7 +39,9 @@ proptest! {
         index: u64,
         seed: u64,
     ) {
-        let artifact = build("long f() { return 0; }", Variant::CageSandboxing).unwrap();
+        let artifact = Engine::new(Variant::CageSandboxing)
+            .compile("long f() { return 0; }")
+            .unwrap();
         let config = ExecConfig {
             bounds: BoundsCheckStrategy::MteSandbox,
             core: Core::CortexX3,
@@ -82,11 +84,11 @@ proptest! {
             - (a.wrapping_shl(2))
             + (b >> 3);
         for variant in [Variant::BaselineWasm64, Variant::CageFull] {
-            let mut inst = build(src, variant).unwrap().instantiate(Core::CortexX3).unwrap();
-            let out = inst
-                .invoke("f", &[Value::I64(a), Value::I64(b), Value::I64(c)])
-                .unwrap();
-            prop_assert_eq!(&out[..], &[Value::I64(expected)][..], "variant {}", variant);
+            let engine = Engine::new(variant);
+            let mut inst = engine.instantiate(&engine.compile(src).unwrap()).unwrap();
+            let f = inst.get_typed::<(i64, i64, i64), i64>("f").unwrap();
+            let out = f.call(&mut inst, (a, b, c)).unwrap();
+            prop_assert_eq!(out, expected, "variant {}", variant);
         }
     }
 
@@ -106,14 +108,15 @@ proptest! {
                 return v;
             }
         "#;
-        let artifact = build(src, Variant::CageMemSafety).unwrap();
+        let engine = Engine::new(Variant::CageMemSafety);
+        let artifact = engine.compile(src).unwrap();
         // Last in-bounds byte of the *granule-aligned* segment.
         let aligned = size.div_ceil(16).max(1) * 16;
-        let mut inst = artifact.instantiate(Core::CortexX3).unwrap();
+        let mut inst = engine.instantiate(&artifact).unwrap();
         let ok = inst.invoke("probe", &[Value::I64(size as i64), Value::I64(aligned as i64 - 1)]);
         prop_assert!(ok.is_ok(), "in-segment access trapped: {ok:?}");
         // First byte past the segment: the adjacent metadata slot.
-        let mut inst = artifact.instantiate(Core::CortexX3).unwrap();
+        let mut inst = engine.instantiate(&artifact).unwrap();
         let oob = inst.invoke("probe", &[Value::I64(size as i64), Value::I64(aligned as i64)]);
         prop_assert!(oob.is_err(), "first out-of-segment byte not trapped");
     }
@@ -143,8 +146,10 @@ proptest! {
         "#;
         let mut golden = None;
         for variant in [Variant::BaselineWasm64, Variant::CageMemSafety, Variant::CageFull] {
-            let mut inst = build(src, variant).unwrap().instantiate(Core::CortexA715).unwrap();
-            let out = inst.invoke("walk", &[Value::I64(n), Value::I64(seed)]).unwrap();
+            let engine = Engine::builder(variant).core(Core::CortexA715).build();
+            let mut inst = engine.instantiate(&engine.compile(src).unwrap()).unwrap();
+            let walk = inst.get_typed::<(i64, i64), i64>("walk").unwrap();
+            let out = walk.call(&mut inst, (n, seed)).unwrap();
             match &golden {
                 None => golden = Some(out),
                 Some(g) => prop_assert_eq!(&out, g, "variant {}", variant),
@@ -159,11 +164,9 @@ proptest! {
         seed: u64,
         internal in prop_oneof![Just(InternalSafety::Off), Just(InternalSafety::Mte)],
     ) {
-        let artifact = build(
-            "long f(long n) { long a[8]; for (long i=0;i<n;i++) a[i%8]=i; return a[0]; }",
-            Variant::CageFull,
-        )
-        .unwrap();
+        let artifact = Engine::new(Variant::CageFull)
+            .compile("long f(long n) { long a[8]; for (long i=0;i<n;i++) a[i%8]=i; return a[0]; }")
+            .unwrap();
         let config = ExecConfig {
             internal,
             seed,

@@ -3,17 +3,21 @@
 //! software bounds checking, by construction, cannot.
 
 use cage::engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap};
-use cage::{Core, Variant};
+use cage::{Core, Engine, Variant};
 
 fn store_with(bounds: BoundsCheckStrategy) -> (Store, cage::engine::InstanceHandle) {
-    let artifact = cage::build("long f() { return 0; }", Variant::CageSandboxing).unwrap();
+    let artifact = Engine::new(Variant::CageSandboxing)
+        .compile("long f() { return 0; }")
+        .unwrap();
     let config = ExecConfig {
         bounds,
         core: Core::CortexX3,
         ..ExecConfig::default()
     };
     let mut store = Store::new(config);
-    let h = store.instantiate(artifact.module(), &Imports::new()).unwrap();
+    let h = store
+        .instantiate(artifact.module(), &Imports::new())
+        .unwrap();
     (store, h)
 }
 
@@ -26,7 +30,11 @@ fn software_bounds_cannot_stop_a_miscompiled_access() {
     // The faulty lowering skipped the check: the write lands in runtime
     // memory.
     mem.raw_write_unchecked(target, &[0xAB], &config).unwrap();
-    assert_eq!(mem.runtime_byte(128), Some(0xAB), "runtime memory corrupted");
+    assert_eq!(
+        mem.runtime_byte(128),
+        Some(0xAB),
+        "runtime memory corrupted"
+    );
 }
 
 #[test]
@@ -35,7 +43,9 @@ fn mte_sandbox_contains_the_same_access() {
     let config = *store.config();
     let mem = store.memory_mut(h).unwrap();
     let target = mem.size() + 128;
-    let err = mem.raw_write_unchecked(target, &[0xAB], &config).unwrap_err();
+    let err = mem
+        .raw_write_unchecked(target, &[0xAB], &config)
+        .unwrap_err();
     assert!(matches!(err, Trap::TagCheck(_)), "{err}");
     assert_eq!(mem.runtime_byte(128), Some(0), "runtime memory intact");
 }
@@ -68,7 +78,9 @@ fn in_bounds_accesses_unaffected_by_sandboxing() {
 
 #[test]
 fn combined_mode_still_contains_escapes() {
-    let artifact = cage::build("long f() { return 0; }", Variant::CageFull).unwrap();
+    let artifact = Engine::new(Variant::CageFull)
+        .compile("long f() { return 0; }")
+        .unwrap();
     let config = ExecConfig {
         bounds: BoundsCheckStrategy::MteSandbox,
         internal: InternalSafety::Mte,
@@ -76,7 +88,9 @@ fn combined_mode_still_contains_escapes() {
         ..ExecConfig::default()
     };
     let mut store = Store::new(config);
-    let h = store.instantiate(artifact.module(), &Imports::new()).unwrap();
+    let h = store
+        .instantiate(artifact.module(), &Imports::new())
+        .unwrap();
     let mem = store.memory_mut(h).unwrap();
     let target = mem.size() + 32;
     assert!(mem.raw_write_unchecked(target, &[1], &config).is_err());

@@ -5,15 +5,20 @@
 //! variants — exactly the paper's "Mitigated in WASM: No → Cage: yes".
 
 use cage::gallery::{cases, CveCase};
-use cage::{build, Core, Value, Variant};
+use cage::{Core, Engine, Linker, Value, Variant};
 
-fn run(case: &CveCase, variant: Variant, trigger: i64) -> Result<i64, cage::Trap> {
-    let artifact = build(case.source, variant).unwrap_or_else(|e| panic!("{}: {e}", case.cve));
-    let mut inst = artifact
-        .instantiate(Core::CortexA715)
+fn run(case: &CveCase, variant: Variant, trigger: i64) -> Result<i64, cage::Error> {
+    let engine = Engine::builder(variant).core(Core::CortexA715).build();
+    let artifact = engine
+        .compile(case.source)
         .unwrap_or_else(|e| panic!("{}: {e}", case.cve));
-    inst.invoke("run", &[Value::I64(trigger)])
-        .map(|v| v[0].as_i64())
+    let mut inst = engine
+        .instantiate(&artifact)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.cve));
+    let run = inst
+        .get_typed::<i64, i64>("run")
+        .unwrap_or_else(|e| panic!("{}: {e}", case.cve));
+    run.call(&mut inst, trigger)
 }
 
 #[test]
@@ -91,14 +96,16 @@ fn causes_cover_the_tables_three_classes() {
 fn detection_is_deterministic_across_seeds() {
     // Off-by-one/adjacent overflows and UAF-before-reuse are deterministic
     // (§7.4), not tag-luck: rerun the gallery under several runtime seeds.
+    let engine = Engine::new(Variant::CageFull);
+    let linker = Linker::with_libc();
     for seed_offset in 0..5u64 {
         for case in cases() {
-            let artifact = build(case.source, Variant::CageFull).unwrap();
-            let mut rt = cage::runtime::Runtime::new(Variant::CageFull, Core::CortexX3);
+            let artifact = engine.compile(case.source).unwrap();
             // Vary the store seed through a fresh runtime per iteration:
             // instance tags and PAC keys derive from it.
             let _ = seed_offset;
-            let token = artifact.instantiate_in(&mut rt).unwrap();
+            let mut rt = engine.runtime();
+            let token = artifact.instantiate_into(&mut rt, &linker).unwrap();
             let r = rt.invoke(token, "run", &[Value::I64(1)]);
             assert!(r.is_err(), "{} (seed {seed_offset})", case.cve);
         }

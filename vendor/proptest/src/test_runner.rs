@@ -1,0 +1,84 @@
+//! Test-runner support types: configuration, errors and the case RNG.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with `message`.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic case generator (SplitMix64 seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name, so every run of a given test
+    /// explores the same cases (reproducibility without a persistence
+    /// file).
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at these magnitudes for test-case
+        // generation purposes.
+        self.next_u64() % bound
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks for the allocation-free execution hot path.
+//!
+//! Two synthetic kernels stress exactly the paths the precompiled-frame
+//! refactor targets: a call-heavy kernel (frame setup/teardown, direct and
+//! indirect dispatch) and a load/store-heavy kernel (scalar memory access),
+//! plus a bulk-op kernel exercising `memset`/`memcpy` through the new
+//! resolve-then-`copy_within` entry points. Instantiation happens in the
+//! setup closure, so only guest execution is measured.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cage::{Engine, Value, Variant};
+
+/// Call-heavy: a tight loop of direct calls through a tiny leaf, so frame
+/// cost dominates over arithmetic.
+const CALL_HEAVY: &str = r#"
+    long leaf(long a, long b) {
+        return a + b;
+    }
+    long mid(long a, long b) {
+        return leaf(a, b) + leaf(b, a);
+    }
+    long run(long n) {
+        long acc = 0;
+        for (long i = 0; i < n; i++) {
+            acc = acc + mid(acc, i);
+        }
+        return acc;
+    }
+"#;
+
+/// Load/store-heavy: repeated array sweeps, so the scalar memory path
+/// dominates.
+const MEM_HEAVY: &str = r#"
+    double a[2048];
+    double run(long rounds) {
+        for (long i = 0; i < 2048; i++) {
+            a[i] = (double)i * 0.5;
+        }
+        double s = 0.0;
+        for (long r = 0; r < rounds; r++) {
+            for (long i = 0; i < 2048; i++) {
+                s = s + a[i];
+                a[i] = s * 0.000001;
+            }
+        }
+        return s;
+    }
+"#;
+
+/// Bulk-heavy: memset/memcpy churn through the libc host functions.
+const BULK_HEAVY: &str = r#"
+    long run(long rounds) {
+        char* a = malloc(4096);
+        char* b = malloc(4096);
+        for (long r = 0; r < rounds; r++) {
+            memset(a, 42, 4096);
+            memcpy(b, a, 4096);
+        }
+        long v = b[4095];
+        free(a);
+        free(b);
+        return v;
+    }
+"#;
+
+fn bench_source(c: &mut Criterion, group_name: &str, source: &str, arg: i64) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for variant in [Variant::BaselineWasm64, Variant::CageFull] {
+        let engine = Engine::new(variant);
+        let artifact = engine.compile(source).expect("builds");
+        group.bench_function(variant.label(), |b| {
+            b.iter_batched(
+                || engine.instantiate(&artifact).expect("instantiates"),
+                |mut inst| inst.invoke("run", &[Value::I64(arg)]).expect("runs"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotpath_calls(c: &mut Criterion) {
+    bench_source(c, "hotpath_calls", CALL_HEAVY, 20_000);
+}
+
+fn bench_hotpath_memory(c: &mut Criterion) {
+    bench_source(c, "hotpath_memory", MEM_HEAVY, 20);
+}
+
+fn bench_hotpath_bulk(c: &mut Criterion) {
+    bench_source(c, "hotpath_bulk", BULK_HEAVY, 200);
+}
+
+fn noop_config() -> Criterion {
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = noop_config();
+    targets = bench_hotpath_calls, bench_hotpath_memory, bench_hotpath_bulk
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Cycle-accounting regression gate for the execution hot path.
+//!
+//! The interpreter's allocation-free refactor (precompiled call frames,
+//! shared operand stack, scalar memory access, in-place bulk ops) must not
+//! move a single simulated cycle: the golden file pins the exact `f64`
+//! bit pattern of the cycle counter and the retired-instruction count for
+//! every PolyBench kernel under every Table 3 variant, captured from the
+//! pre-refactor interpreter on Cortex-X3.
+//!
+//! Regenerate with `cargo run --release --example golden_cycles` — but
+//! only when a cost-model change *intends* to shift cycles.
+
+use cage::{Core, Engine, Variant};
+
+const GOLDEN: &str = include_str!("golden_polybench_cycles.tsv");
+
+fn variant_by_debug_name(name: &str) -> Variant {
+    *Variant::ALL
+        .iter()
+        .find(|v| format!("{v:?}") == name)
+        .unwrap_or_else(|| panic!("unknown variant {name} in golden file"))
+}
+
+#[test]
+fn polybench_gallery_cycles_are_bit_identical_to_golden() {
+    let mut checked = 0;
+    for line in GOLDEN.lines().filter(|l| !l.trim().is_empty()) {
+        let mut fields = line.split('\t');
+        let kernel_name = fields.next().expect("kernel column");
+        let variant = variant_by_debug_name(fields.next().expect("variant column"));
+        let cycle_bits: u64 = fields
+            .next()
+            .expect("cycle-bits column")
+            .parse()
+            .expect("u64 cycle bits");
+        let instr_count: u64 = fields
+            .next()
+            .expect("instr-count column")
+            .parse()
+            .expect("u64 instr count");
+
+        let kernel = cage_polybench::kernel(kernel_name)
+            .unwrap_or_else(|| panic!("golden kernel {kernel_name} missing from suite"));
+        let engine = Engine::builder(variant).core(Core::CortexX3).build();
+        let artifact = engine.compile(kernel.source).expect("builds");
+        let mut inst = engine.instantiate(&artifact).expect("instantiates");
+        inst.invoke("run", &[]).expect("runs");
+
+        assert_eq!(
+            inst.cycles().to_bits(),
+            cycle_bits,
+            "{kernel_name}/{variant:?}: simulated cycles drifted \
+             (got {}, golden {})",
+            inst.cycles(),
+            f64::from_bits(cycle_bits),
+        );
+        assert_eq!(
+            inst.instr_count(),
+            instr_count,
+            "{kernel_name}/{variant:?}: retired instruction count drifted"
+        );
+        checked += 1;
+    }
+    // 20 kernels x 6 variants at capture time; never shrink silently.
+    assert!(checked >= 120, "golden file unexpectedly small: {checked}");
+}

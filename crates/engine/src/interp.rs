@@ -1,15 +1,22 @@
 //! The interpreter: structured execution of validated modules with cycle
 //! accounting, implementing core WASM semantics plus the paper's Fig. 11
 //! small-step rules for the Cage instructions.
+//!
+//! The execution hot path is allocation-free: functions are precompiled
+//! into shared [`CompiledFunc`]s at instantiation, guest calls run on one
+//! shared operand stack and locals arena (frames are base offsets, not
+//! fresh `Vec`s), and loads/stores move scalars through fixed 8-byte
+//! buffers instead of heap-allocated byte vectors.
 
-use cage_mte::AccessKind;
+use std::rc::Rc;
+
 use cage_wasm::instr::{LoadOp, StoreOp};
-use cage_wasm::{BlockType, FuncType, Instr, MemArg};
+use cage_wasm::{BlockType, Instr, MemArg};
 
 use crate::config::ExecConfig;
 use crate::cost::InstrClass;
 use crate::host::HostContext;
-use crate::store::Store;
+use crate::store::{CompiledFunc, Store};
 use crate::trap::Trap;
 use crate::value::Value;
 
@@ -82,62 +89,108 @@ impl<'s> Interp<'s> {
     }
 
     /// Calls function `func_idx` with `args`; returns its results.
+    ///
+    /// This is the external entry point: it allocates the shared operand
+    /// stack and locals arena once, and every nested guest call below it
+    /// reuses them via [`Interp::call_frame`].
     pub(crate) fn call_function(
         &mut self,
         func_idx: u32,
         args: &[Value],
     ) -> Result<Vec<Value>, Trap> {
+        // Internal call sites are arity-checked by validation, but this
+        // entry point takes embedder-supplied arguments: verify them
+        // before they hit the shared-stack frame layout.
+        let params = {
+            let inst = &self.store.instances[self.inst];
+            let func = inst
+                .funcs
+                .get(func_idx as usize)
+                .ok_or_else(|| Trap::Host(format!("no function at index {func_idx}")))?;
+            func.ty.params.len()
+        };
+        if args.len() != params {
+            return Err(Trap::Host(format!(
+                "function {func_idx} expects {params} arguments, got {}",
+                args.len()
+            )));
+        }
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut locals: Vec<Value> = Vec::with_capacity(32);
+        stack.extend_from_slice(args);
+        self.call_frame(func_idx, &mut stack, &mut locals)?;
+        Ok(stack)
+    }
+
+    /// Depth-guarded call on the shared stack: consumes the callee's
+    /// arguments from the top of `stack` and leaves its results there.
+    fn call_frame(
+        &mut self,
+        func_idx: u32,
+        stack: &mut Vec<Value>,
+        locals: &mut Vec<Value>,
+    ) -> Result<(), Trap> {
         if self.depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
         self.depth += 1;
-        let result = self.call_inner(func_idx, args);
+        let result = self.call_inner(func_idx, stack, locals);
         self.depth -= 1;
         result
     }
 
-    fn call_inner(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
-        let imported = self.store.instances[self.inst].module.imported_func_count();
-        if func_idx < imported {
-            return self.call_host(func_idx, args);
+    fn call_inner(
+        &mut self,
+        func_idx: u32,
+        stack: &mut Vec<Value>,
+        locals: &mut Vec<Value>,
+    ) -> Result<(), Trap> {
+        let func = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
+        if func.is_host {
+            return self.call_host(func_idx, &func, stack);
         }
-        let (ty, locals_decl, body) = {
-            let inst = &self.store.instances[self.inst];
-            let f = &inst.module.funcs[(func_idx - imported) as usize];
-            let ty = inst.module.types[f.type_idx as usize].clone();
-            (ty, f.locals.clone(), f.body.clone())
-        };
-        debug_assert_eq!(args.len(), ty.params.len(), "arity checked by caller");
+        debug_assert!(
+            stack.len() >= func.ty.params.len(),
+            "arity checked by validation"
+        );
 
-        let mut locals: Vec<Value> = Vec::with_capacity(args.len() + locals_decl.len());
-        locals.extend_from_slice(args);
-        locals.extend(locals_decl.iter().map(|t| Value::zero(*t)));
+        // Move the arguments off the operand stack into this frame's
+        // locals slice, then append zeroed declared locals.
+        let locals_base = locals.len();
+        let args_base = stack.len() - func.ty.params.len();
+        locals.extend_from_slice(&stack[args_base..]);
+        stack.truncate(args_base);
+        locals.extend(func.locals.iter().map(|t| Value::zero(*t)));
 
-        let mut stack: Vec<Value> = Vec::with_capacity(16);
-        let flow = self.exec_seq(&body, &mut stack, &mut locals)?;
-        let arity = ty.results.len();
-        match flow {
-            Flow::Next | Flow::Br(_) | Flow::Return => {
-                // On Return/Br(function level) the results sit on top.
-                let results = stack.split_off(stack.len() - arity);
-                Ok(results)
-            }
-        }
+        let frame_base = stack.len();
+        // On Next/Return/Br(function level) alike, the results sit on top;
+        // slide them down over any abandoned operands of this frame.
+        self.exec_seq(&func.body, stack, locals, locals_base)?;
+        Self::collapse(stack, frame_base, func.ty.results.len());
+        locals.truncate(locals_base);
+        Ok(())
     }
 
-    fn call_host(&mut self, func_idx: u32, args: &[Value]) -> Result<Vec<Value>, Trap> {
+    fn call_host(
+        &mut self,
+        func_idx: u32,
+        func: &CompiledFunc,
+        stack: &mut Vec<Value>,
+    ) -> Result<(), Trap> {
+        let args_base = stack.len() - func.ty.params.len();
         let func_rc = self.store.instances[self.inst].host_funcs[func_idx as usize].clone();
-        let mut func = func_rc.borrow_mut();
-        let expected_results = func.results.len();
+        let mut host = func_rc.borrow_mut();
         let inst = &mut self.store.instances[self.inst];
         let mut ctx = HostContext {
             memory: inst.memory.as_mut(),
             config: &self.config,
             cycles: &mut inst.cycles,
         };
-        let results = (func.func)(&mut ctx, args)?;
-        debug_assert_eq!(results.len(), expected_results, "host arity");
-        Ok(results)
+        let results = (host.func)(&mut ctx, &stack[args_base..])?;
+        debug_assert_eq!(results.len(), func.ty.results.len(), "host arity");
+        stack.truncate(args_base);
+        stack.extend(results);
+        Ok(())
     }
 
     fn exec_seq(
@@ -145,9 +198,10 @@ impl<'s> Interp<'s> {
         body: &[Instr],
         stack: &mut Vec<Value>,
         locals: &mut Vec<Value>,
+        lbase: usize,
     ) -> Result<Flow, Trap> {
         for instr in body {
-            match self.exec_instr(instr, stack, locals)? {
+            match self.exec_instr(instr, stack, locals, lbase)? {
                 Flow::Next => {}
                 other => return Ok(other),
             }
@@ -159,12 +213,26 @@ impl<'s> Interp<'s> {
         bt.results().len()
     }
 
+    /// Slides the top `arity` values down to `height` in place — the
+    /// allocation-free replacement for `split_off` + `extend` on branch
+    /// exits and returns.
+    fn collapse(stack: &mut Vec<Value>, height: usize, arity: usize) {
+        let result_start = stack.len() - arity;
+        if result_start > height {
+            for i in 0..arity {
+                stack[height + i] = stack[result_start + i];
+            }
+            stack.truncate(height + arity);
+        }
+    }
+
     #[allow(clippy::too_many_lines)]
     fn exec_instr(
         &mut self,
         instr: &Instr,
         stack: &mut Vec<Value>,
         locals: &mut Vec<Value>,
+        lbase: usize,
     ) -> Result<Flow, Trap> {
         use Instr::*;
         match instr {
@@ -176,13 +244,9 @@ impl<'s> Interp<'s> {
             Block(bt, inner) => {
                 let height = stack.len();
                 let arity = Self::block_arity(bt);
-                match self.exec_seq(inner, stack, locals)? {
+                match self.exec_seq(inner, stack, locals, lbase)? {
                     Flow::Next => {}
-                    Flow::Br(0) => {
-                        let keep = stack.split_off(stack.len() - arity);
-                        stack.truncate(height);
-                        stack.extend(keep);
-                    }
+                    Flow::Br(0) => Self::collapse(stack, height, arity),
                     Flow::Br(n) => return Ok(Flow::Br(n - 1)),
                     Flow::Return => return Ok(Flow::Return),
                 }
@@ -190,7 +254,7 @@ impl<'s> Interp<'s> {
             Loop(_bt, inner) => {
                 let height = stack.len();
                 loop {
-                    match self.exec_seq(inner, stack, locals)? {
+                    match self.exec_seq(inner, stack, locals, lbase)? {
                         Flow::Next => break,
                         Flow::Br(0) => {
                             // Loop labels have no parameters in this
@@ -208,13 +272,9 @@ impl<'s> Interp<'s> {
                 let height = stack.len();
                 let arity = Self::block_arity(bt);
                 let body = if cond != 0 { then_body } else { else_body };
-                match self.exec_seq(body, stack, locals)? {
+                match self.exec_seq(body, stack, locals, lbase)? {
                     Flow::Next => {}
-                    Flow::Br(0) => {
-                        let keep = stack.split_off(stack.len() - arity);
-                        stack.truncate(height);
-                        stack.extend(keep);
-                    }
+                    Flow::Br(0) => Self::collapse(stack, height, arity),
                     Flow::Br(n) => return Ok(Flow::Br(n - 1)),
                     Flow::Return => return Ok(Flow::Return),
                 }
@@ -242,33 +302,33 @@ impl<'s> Interp<'s> {
             }
             Call(f) => {
                 self.charge(self.charges.call);
-                let ty = self.func_type(*f);
-                let args = stack.split_off(stack.len() - ty.params.len());
-                let results = self.call_function(*f, &args)?;
-                stack.extend(results);
+                // Arguments are already on the shared stack; the callee
+                // consumes them and leaves its results in place.
+                self.call_frame(*f, stack, locals)?;
             }
             CallIndirect(type_idx) => {
                 self.charge(self.charges.call_indirect);
                 let table_idx = stack.pop().expect("validated").as_i32() as u32;
-                let func_idx = {
+                let (func_idx, expected, actual) = {
                     let inst = &self.store.instances[self.inst];
-                    inst.table
+                    let func_idx = inst
+                        .table
                         .get(table_idx as usize)
                         .copied()
                         .flatten()
-                        .ok_or(Trap::UndefinedElement)?
+                        .ok_or(Trap::UndefinedElement)?;
+                    (
+                        func_idx,
+                        Rc::clone(&inst.types[*type_idx as usize]),
+                        Rc::clone(&inst.funcs[func_idx as usize].ty),
+                    )
                 };
-                let expected = {
-                    let inst = &self.store.instances[self.inst];
-                    inst.module.types[*type_idx as usize].clone()
-                };
-                let actual = self.func_type(func_idx);
-                if actual != expected {
+                // Pointer equality first: types are deduplicated per
+                // module, so the slow structural compare is a cold path.
+                if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
                     return Err(Trap::IndirectCallTypeMismatch);
                 }
-                let args = stack.split_off(stack.len() - expected.params.len());
-                let results = self.call_function(func_idx, &args)?;
-                stack.extend(results);
+                self.call_frame(func_idx, stack, locals)?;
             }
             Drop => {
                 self.charge(self.charges.simple);
@@ -283,15 +343,15 @@ impl<'s> Interp<'s> {
             }
             LocalGet(i) => {
                 self.charge(self.charges.simple);
-                stack.push(locals[*i as usize]);
+                stack.push(locals[lbase + *i as usize]);
             }
             LocalSet(i) => {
                 self.charge(self.charges.simple);
-                locals[*i as usize] = stack.pop().expect("validated");
+                locals[lbase + *i as usize] = stack.pop().expect("validated");
             }
             LocalTee(i) => {
                 self.charge(self.charges.simple);
-                locals[*i as usize] = *stack.last().expect("validated");
+                locals[lbase + *i as usize] = *stack.last().expect("validated");
             }
             GlobalGet(i) => {
                 self.charge(self.charges.simple);
@@ -305,15 +365,14 @@ impl<'s> Interp<'s> {
             Load(op, memarg) => {
                 self.charge(self.charges.mem);
                 let index = self.pop_index(stack);
-                let bytes = self.mem_read(index, memarg, op.width())?;
-                stack.push(decode_load(*op, &bytes));
+                let raw = self.mem_read_scalar(index, memarg, op.width())?;
+                stack.push(decode_load(*op, raw));
             }
             Store(op, memarg) => {
                 self.charge(self.charges.mem);
                 let value = stack.pop().expect("validated");
                 let index = self.pop_index(stack);
-                let bytes = encode_store(*op, value);
-                self.mem_write(index, memarg, &bytes)?;
+                self.mem_write_scalar(index, memarg, op.width(), encode_store(*op, value))?;
             }
             MemorySize => {
                 self.charge(self.charges.mem_manage);
@@ -342,11 +401,7 @@ impl<'s> Interp<'s> {
                 let dst = self.pop_index(stack);
                 self.charge(self.charges.mem * (len as f64 / 16.0 + 1.0));
                 let config = self.config;
-                let mem = self.memory_mut()?;
-                // Resolve both ends, then write bytewise (one range check).
-                mem.resolve(dst, 0, len.max(1), AccessKind::Write, &config)?;
-                let bytes = vec![val; len as usize];
-                mem.write(dst, 0, &bytes, &config)?;
+                self.memory_mut()?.fill(dst, val, len, &config)?;
             }
             MemoryCopy => {
                 let len = self.pop_index(stack);
@@ -354,9 +409,7 @@ impl<'s> Interp<'s> {
                 let dst = self.pop_index(stack);
                 self.charge(self.charges.mem * (len as f64 / 8.0 + 1.0));
                 let config = self.config;
-                let mem = self.memory_mut()?;
-                let bytes = mem.read(src, 0, len, &config)?;
-                mem.write(dst, 0, &bytes, &config)?;
+                self.memory_mut()?.copy(dst, src, len, &config)?;
             }
             I32Const(v) => {
                 self.charge(self.charges.simple);
@@ -379,7 +432,8 @@ impl<'s> Interp<'s> {
             SegmentNew(offset) => {
                 let len = stack.pop().expect("validated").as_u64();
                 let ptr = stack.pop().expect("validated").as_u64();
-                self.charge(self.store.cost.segment_new_cost(len / 16));
+                // Partial granules still cost a full stzg/stg (div_ceil).
+                self.charge(self.store.cost.segment_new_cost(len.div_ceil(16)));
                 let config = self.config;
                 let tagged =
                     self.memory_mut()?
@@ -390,7 +444,7 @@ impl<'s> Interp<'s> {
                 let len = stack.pop().expect("validated").as_u64();
                 let tagged = stack.pop().expect("validated").as_u64();
                 let ptr = stack.pop().expect("validated").as_u64();
-                self.charge(self.store.cost.segment_retag_cost(len / 16));
+                self.charge(self.store.cost.segment_retag_cost(len.div_ceil(16)));
                 let config = self.config;
                 self.memory_mut()?.segment_set_tag(
                     ptr.wrapping_add(*offset),
@@ -402,7 +456,7 @@ impl<'s> Interp<'s> {
             SegmentFree(offset) => {
                 let len = stack.pop().expect("validated").as_u64();
                 let ptr = stack.pop().expect("validated").as_u64();
-                self.charge(self.store.cost.segment_retag_cost(len / 16));
+                self.charge(self.store.cost.segment_retag_cost(len.div_ceil(16)));
                 let config = self.config;
                 self.memory_mut()?
                     .segment_free(ptr.wrapping_add(*offset), len, &config)?;
@@ -438,14 +492,6 @@ impl<'s> Interp<'s> {
         Ok(Flow::Next)
     }
 
-    fn func_type(&self, func_idx: u32) -> FuncType {
-        self.store.instances[self.inst]
-            .module
-            .func_type(func_idx)
-            .expect("validated")
-            .clone()
-    }
-
     fn memory(&mut self) -> Result<&crate::memory::LinearMemory, Trap> {
         self.store.instances[self.inst]
             .memory
@@ -470,16 +516,22 @@ impl<'s> Interp<'s> {
         }
     }
 
-    fn mem_read(&mut self, index: u64, memarg: &MemArg, width: u64) -> Result<Vec<u8>, Trap> {
+    fn mem_read_scalar(&mut self, index: u64, memarg: &MemArg, width: u64) -> Result<u64, Trap> {
         let config = self.config;
         self.memory_mut()?
-            .read(index, memarg.offset, width, &config)
+            .read_scalar(index, memarg.offset, width, &config)
     }
 
-    fn mem_write(&mut self, index: u64, memarg: &MemArg, bytes: &[u8]) -> Result<(), Trap> {
+    fn mem_write_scalar(
+        &mut self,
+        index: u64,
+        memarg: &MemArg,
+        width: u64,
+        raw: u64,
+    ) -> Result<(), Trap> {
         let config = self.config;
         self.memory_mut()?
-            .write(index, memarg.offset, bytes, &config)
+            .write_scalar(index, memarg.offset, width, raw, &config)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -779,13 +831,9 @@ fn size_value(pages: u64, memory64: bool) -> Value {
     }
 }
 
-fn decode_load(op: LoadOp, bytes: &[u8]) -> Value {
+/// Decodes the raw little-endian scalar a load fetched into a [`Value`].
+fn decode_load(op: LoadOp, raw: u64) -> Value {
     use LoadOp::*;
-    let raw = {
-        let mut buf = [0u8; 8];
-        buf[..bytes.len()].copy_from_slice(bytes);
-        u64::from_le_bytes(buf)
-    };
     match op {
         I32Load => Value::I32(raw as u32 as i32),
         I64Load => Value::I64(raw as i64),
@@ -804,18 +852,20 @@ fn decode_load(op: LoadOp, bytes: &[u8]) -> Value {
     }
 }
 
-fn encode_store(op: StoreOp, value: Value) -> Vec<u8> {
+/// Encodes `value` as the raw scalar whose `op.width()` low bytes a store
+/// writes (little-endian) — no intermediate byte vector.
+fn encode_store(op: StoreOp, value: Value) -> u64 {
     use StoreOp::*;
     match op {
-        I32Store => value.as_i32().to_le_bytes().to_vec(),
-        I64Store => value.as_i64().to_le_bytes().to_vec(),
-        F32Store => value.as_f32().to_bits().to_le_bytes().to_vec(),
-        F64Store => value.as_f64().to_bits().to_le_bytes().to_vec(),
-        I32Store8 => vec![value.as_i32() as u8],
-        I32Store16 => (value.as_i32() as u16).to_le_bytes().to_vec(),
-        I64Store8 => vec![value.as_i64() as u8],
-        I64Store16 => (value.as_i64() as u16).to_le_bytes().to_vec(),
-        I64Store32 => (value.as_i64() as u32).to_le_bytes().to_vec(),
+        I32Store => value.as_i32() as u32 as u64,
+        I64Store => value.as_i64() as u64,
+        F32Store => u64::from(value.as_f32().to_bits()),
+        F64Store => value.as_f64().to_bits(),
+        I32Store8 => u64::from(value.as_i32() as u8),
+        I32Store16 => u64::from(value.as_i32() as u16),
+        I64Store8 => u64::from(value.as_i64() as u8),
+        I64Store16 => u64::from(value.as_i64() as u16),
+        I64Store32 => u64::from(value.as_i64() as u32),
     }
 }
 
@@ -954,11 +1004,11 @@ mod tests {
     #[test]
     fn load_store_codec_roundtrip() {
         let v = Value::F64(std::f64::consts::PI);
-        let bytes = encode_store(StoreOp::F64Store, v);
-        assert!(decode_load(LoadOp::F64Load, &bytes).bit_eq(&v));
+        let raw = encode_store(StoreOp::F64Store, v);
+        assert!(decode_load(LoadOp::F64Load, raw).bit_eq(&v));
         let v = Value::I32(-2);
-        let bytes = encode_store(StoreOp::I32Store8, v);
-        assert_eq!(decode_load(LoadOp::I32Load8S, &bytes), Value::I32(-2));
-        assert_eq!(decode_load(LoadOp::I32Load8U, &bytes), Value::I32(254));
+        let raw = encode_store(StoreOp::I32Store8, v);
+        assert_eq!(decode_load(LoadOp::I32Load8S, raw), Value::I32(-2));
+        assert_eq!(decode_load(LoadOp::I32Load8U, raw), Value::I32(254));
     }
 }

@@ -212,8 +212,11 @@ impl LinearMemory {
         if !self.memory64 && new_pages > 65_536 {
             return None;
         }
-        let new_size = new_pages * PAGE_SIZE;
-        self.data.resize((new_size + RUNTIME_SLACK) as usize, 0);
+        // memory64 page counts can overflow the byte size; fail the grow
+        // (wasm `-1`) instead of wrapping to a tiny allocation.
+        let new_size = new_pages.checked_mul(PAGE_SIZE)?;
+        let total = new_size.checked_add(RUNTIME_SLACK)?;
+        self.data.resize(total as usize, 0);
         // Zero the region that used to be slack and is now guest memory.
         let old_size = self.guest_size;
         for b in &mut self.data
@@ -265,19 +268,25 @@ impl LinearMemory {
         })?;
 
         let mte_sandbox = config.bounds == BoundsCheckStrategy::MteSandbox && config.mte_active();
-        if !mte_sandbox {
+        if !mte_sandbox || width == 0 {
             // Software bounds check, or the guard-page fault (functionally
-            // identical, free in the cost model).
+            // identical, free in the cost model). Zero-width bulk accesses
+            // take this check under every strategy: no granule is touched
+            // so the tag check below cannot fire, yet the spec still
+            // requires `addr <= len(mem)`.
             if addr.checked_add(width).is_none() || addr + width > self.guest_size {
                 return Err(Trap::OutOfBounds { addr, len: width });
             }
         }
 
         // Internal memory safety and/or MTE sandboxing: lock-and-key check.
+        // Zero-width accesses (zero-length bulk ops) touch no granule and
+        // pass tag-free, matching hardware MTE and the Wasm bulk-memory
+        // spec, which permits `len == 0` at the memory boundary.
         let tag_checked = mte_sandbox || config.internal.is_enabled();
-        if tag_checked {
+        if tag_checked && width > 0 {
             let ptr_tag = self.scheme.ptr_tag(index);
-            self.tags.check_access(addr, width.max(1), ptr_tag, kind)?;
+            self.tags.check_access(addr, width, ptr_tag, kind)?;
         }
         // The tag check above also bounds the access to the tagged region;
         // without it we have already bounds-checked. Either way the slice
@@ -329,6 +338,78 @@ impl LinearMemory {
     ) -> Result<(), Trap> {
         let addr = self.resolve(index, offset, bytes.len() as u64, AccessKind::Write, config)?;
         self.write_resolved(addr, bytes);
+        Ok(())
+    }
+
+    /// Checked scalar read: the `width` low bytes at `index + offset`,
+    /// little-endian-assembled into a `u64` through a fixed `[u8; 8]`
+    /// buffer — the allocation-free load path (`width` ≤ 8).
+    ///
+    /// # Errors
+    ///
+    /// See [`LinearMemory::resolve`].
+    pub fn read_scalar(
+        &mut self,
+        index: u64,
+        offset: u64,
+        width: u64,
+        config: &ExecConfig,
+    ) -> Result<u64, Trap> {
+        debug_assert!(width <= 8, "scalar accesses are at most 8 bytes");
+        let addr = self.resolve(index, offset, width, AccessKind::Read, config)?;
+        let mut buf = [0u8; 8];
+        buf[..width as usize].copy_from_slice(&self.data[addr as usize..(addr + width) as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Checked scalar write: stores the `width` low bytes of `raw` at
+    /// `index + offset`, little-endian — the allocation-free store path.
+    ///
+    /// # Errors
+    ///
+    /// See [`LinearMemory::resolve`].
+    pub fn write_scalar(
+        &mut self,
+        index: u64,
+        offset: u64,
+        width: u64,
+        raw: u64,
+        config: &ExecConfig,
+    ) -> Result<(), Trap> {
+        debug_assert!(width <= 8, "scalar accesses are at most 8 bytes");
+        let addr = self.resolve(index, offset, width, AccessKind::Write, config)?;
+        self.data[addr as usize..(addr + width) as usize]
+            .copy_from_slice(&raw.to_le_bytes()[..width as usize]);
+        Ok(())
+    }
+
+    /// Checked bulk fill (`memory.fill`, libc `memset`): resolves the whole
+    /// destination range once, then fills in place — no temporary buffer.
+    /// Zero-length fills are permitted at the memory boundary.
+    ///
+    /// # Errors
+    ///
+    /// See [`LinearMemory::resolve`].
+    pub fn fill(&mut self, dst: u64, val: u8, len: u64, config: &ExecConfig) -> Result<(), Trap> {
+        let addr = self.resolve(dst, 0, len, AccessKind::Write, config)?;
+        self.data[addr as usize..(addr + len) as usize].fill(val);
+        Ok(())
+    }
+
+    /// Checked bulk copy (`memory.copy`, libc `memcpy`): resolves source
+    /// and destination, then `copy_within` — overlap-safe and free of the
+    /// intermediate `Vec<u8>` a read-then-write pair would allocate. Both
+    /// ranges are checked before any byte moves, and zero-length copies
+    /// are permitted at the memory boundary.
+    ///
+    /// # Errors
+    ///
+    /// See [`LinearMemory::resolve`].
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64, config: &ExecConfig) -> Result<(), Trap> {
+        let s = self.resolve(src, 0, len, AccessKind::Read, config)?;
+        let d = self.resolve(dst, 0, len, AccessKind::Write, config)?;
+        self.data
+            .copy_within(s as usize..(s + len) as usize, d as usize);
         Ok(())
     }
 
@@ -684,6 +765,19 @@ mod tests {
         m.write(2 * PAGE_SIZE + 8, 0, &[5], &c).unwrap();
         // Growing past max fails.
         assert_eq!(m.grow(10), None);
+    }
+
+    #[test]
+    fn grow_memory64_byte_size_overflow_fails_cleanly() {
+        // A page delta whose byte size overflows u64 must fail the grow
+        // (wasm -1) instead of wrapping to a tiny allocation.
+        let mut m = LinearMemory::new(1, None, true, TagScheme::None, MteMode::Disabled, 0);
+        let delta = u64::MAX / PAGE_SIZE; // pages fit in u64, bytes do not
+        assert_eq!(m.grow(delta), None);
+        assert_eq!(m.grow(u64::MAX), None); // page count itself overflows
+        assert_eq!(m.size_pages(), 1, "failed grows leave the size intact");
+        let c = cfg(BoundsCheckStrategy::Software, InternalSafety::Off);
+        assert!(m.write(0, 0, &[1], &c).is_ok(), "memory still usable");
     }
 
     #[test]

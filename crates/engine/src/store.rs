@@ -11,7 +11,7 @@ use std::rc::Rc;
 
 use cage_mte::{MteMode, Tag};
 use cage_pac::{PacKey, PacSigner, PointerLayout};
-use cage_wasm::{validate, ImportKind, Module, ValidationError};
+use cage_wasm::{validate, FuncType, ImportKind, Instr, Module, ValType, ValidationError};
 use rand::{Rng, SeedableRng};
 
 use crate::config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
@@ -76,9 +76,53 @@ impl From<ValidationError> for InstantiateError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstanceHandle(pub(crate) usize);
 
+/// A function precompiled at instantiation: resolved type, local
+/// declarations and body, shared behind an `Rc` so the interpreter's call
+/// path never deep-clones the instruction tree or the signature.
+#[derive(Debug)]
+pub(crate) struct CompiledFunc {
+    /// Resolved signature, shared with the instance's type table so
+    /// `call_indirect` can compare by pointer first.
+    pub(crate) ty: Rc<FuncType>,
+    /// Declared locals (after the parameters). Empty for host functions.
+    pub(crate) locals: Vec<ValType>,
+    /// Structured body. Empty for host functions.
+    pub(crate) body: Vec<Instr>,
+    /// Whether this index dispatches to an imported host function.
+    pub(crate) is_host: bool,
+}
+
+/// Precompiles every function in `module`'s joint index space (imports
+/// first, then local functions), plus the shared type table.
+fn precompile(module: &Module) -> (Vec<Rc<FuncType>>, Vec<Rc<CompiledFunc>>) {
+    let types: Vec<Rc<FuncType>> = module.types.iter().cloned().map(Rc::new).collect();
+    let mut funcs = Vec::with_capacity(module.total_func_count() as usize);
+    for type_idx in module.imported_func_type_indices() {
+        funcs.push(Rc::new(CompiledFunc {
+            ty: Rc::clone(&types[type_idx as usize]),
+            locals: Vec::new(),
+            body: Vec::new(),
+            is_host: true,
+        }));
+    }
+    for f in &module.funcs {
+        funcs.push(Rc::new(CompiledFunc {
+            ty: Rc::clone(&types[f.type_idx as usize]),
+            locals: f.locals.clone(),
+            body: f.body.clone(),
+            is_host: false,
+        }));
+    }
+    (types, funcs)
+}
+
 /// One instantiated module.
 pub(crate) struct Instance {
     pub(crate) module: Module,
+    /// Shared type table (indexes `module.types`).
+    pub(crate) types: Vec<Rc<FuncType>>,
+    /// Precompiled joint function index space (imports, then locals).
+    pub(crate) funcs: Vec<Rc<CompiledFunc>>,
     pub(crate) memory: Option<LinearMemory>,
     pub(crate) globals: Vec<Value>,
     pub(crate) table: Vec<Option<u32>>,
@@ -249,8 +293,11 @@ impl Store {
             }
         }
 
+        let (types, funcs) = precompile(module);
         let mut instance = Instance {
             module: module.clone(),
+            types,
+            funcs,
             memory,
             globals,
             table,
@@ -453,6 +500,26 @@ mod tests {
         assert_eq!(out, vec![Value::I64(42)]);
         assert!(store.cycles(h) > 0.0);
         assert!(store.instr_count(h) >= 3);
+    }
+
+    #[test]
+    fn wrong_arity_or_bad_index_traps_instead_of_panicking() {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
+        // Too few arguments.
+        assert!(matches!(store.invoke(h, "add", &[]), Err(Trap::Host(_))));
+        // Too many arguments must not leak extras into the results.
+        let args = [Value::I64(1), Value::I64(2), Value::I64(3)];
+        assert!(matches!(store.invoke(h, "add", &args), Err(Trap::Host(_))));
+        // Out-of-range function index on the raw call API.
+        assert!(matches!(store.call(h, 99, &[]), Err(Trap::Host(_))));
+        // The instance still works afterwards.
+        assert_eq!(
+            store
+                .invoke(h, "add", &[Value::I64(2), Value::I64(3)])
+                .unwrap(),
+            vec![Value::I64(5)]
+        );
     }
 
     #[test]

@@ -704,6 +704,116 @@ fn bulk_memory_fill_and_copy() {
 }
 
 #[test]
+fn zero_length_bulk_ops_at_memory_boundary_do_not_trap() {
+    // The Wasm bulk-memory spec permits `memory.fill`/`memory.copy` with
+    // len == 0 when dst/src equal the memory size; only one-past traps.
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let fill = b.add_function(
+        &[ValType::I64, ValType::I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I32Const(0xCC),
+            Instr::LocalGet(1),
+            Instr::MemoryFill,
+        ],
+    );
+    let copy = b.add_function(
+        &[ValType::I64, ValType::I64, ValType::I64],
+        &[],
+        &[],
+        vec![
+            Instr::LocalGet(0),
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::MemoryCopy,
+        ],
+    );
+    b.export_func("fill", fill);
+    b.export_func("copy", copy);
+    let m = b.build();
+    let size = cage_wasm::types::PAGE_SIZE as i64;
+    for config in [
+        ExecConfig::default(),
+        ExecConfig {
+            bounds: BoundsCheckStrategy::MteSandbox,
+            ..ExecConfig::default()
+        },
+        ExecConfig {
+            internal: InternalSafety::Mte,
+            ..ExecConfig::default()
+        },
+    ] {
+        let mut store = Store::new(config);
+        let h = store.instantiate(&m, &Imports::new()).unwrap();
+        // Exactly at the boundary: permitted.
+        store
+            .invoke(h, "fill", &[Value::I64(size), Value::I64(0)])
+            .unwrap();
+        store
+            .invoke(
+                h,
+                "copy",
+                &[Value::I64(size), Value::I64(size), Value::I64(0)],
+            )
+            .unwrap();
+    }
+    // One past the boundary still traps under software bounds.
+    let mut store = Store::new(ExecConfig::default());
+    let h = store.instantiate(&m, &Imports::new()).unwrap();
+    let err = store
+        .invoke(h, "fill", &[Value::I64(size + 1), Value::I64(0)])
+        .unwrap_err();
+    assert!(matches!(err, Trap::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn segment_tag_costs_round_partial_granules_up() {
+    // A 15-byte segment occupies one 16-byte granule and must pay one
+    // stzg's worth of cycles, not zero (div_ceil, not floor). The lengths
+    // here are deliberately unaligned so segment.new traps immediately
+    // after charging, leaving the charge isolated on the counter.
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::I64Const(0), Instr::LocalGet(0), Instr::SegmentNew(0)],
+    );
+    b.export_func("f", f);
+    let m = b.build();
+    let config = ExecConfig {
+        internal: InternalSafety::Mte,
+        ..ExecConfig::default()
+    };
+    let cycles_for = |len: i64| {
+        let mut store = Store::new(config);
+        let h = store.instantiate(&m, &Imports::new()).unwrap();
+        store.invoke(h, "f", &[Value::I64(len)]).unwrap_err();
+        (
+            store.cycles(h),
+            store.cost_model().segment_new_cost(1),
+            store.cost_model().segment_new_cost(2),
+        )
+    };
+    let (c15, one_granule, two_granules) = cycles_for(15);
+    let (c31, _, _) = cycles_for(31);
+    assert!(one_granule > 0.0, "stzg must cost cycles under MTE");
+    // Same instruction mix, one extra granule of tagging cost.
+    assert_eq!(c31 - c15, two_granules - one_granule);
+    // And the 15-byte segment already pays for its single granule: the
+    // only other charges in the body are the two const/local pushes.
+    let store = Store::new(config);
+    let simple = store
+        .cost_model()
+        .class_cost(cage_engine::InstrClass::Simple);
+    assert_eq!(c15, 2.0 * simple + one_granule);
+}
+
+#[test]
 fn bulk_ops_respect_tag_checks() {
     // memory.fill across a segment boundary must trap under MTE.
     let mut b = ModuleBuilder::new();

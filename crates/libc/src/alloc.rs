@@ -235,8 +235,7 @@ impl Allocator {
         }
         let copy = old_size.min(align16(new_size));
         // Copy through the checked path: a stale `ptr` faults.
-        let bytes = mem.read(ptr, 0, copy, config)?;
-        mem.write(new_ptr, 0, &bytes, config)?;
+        mem.copy(new_ptr, ptr, copy, config)?;
         self.free(mem, config, ptr)?;
         Ok(new_ptr)
     }

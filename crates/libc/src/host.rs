@@ -124,8 +124,7 @@ impl Libc {
                 if p != 0 {
                     // segment.new zeroes under MTE; zero explicitly for the
                     // baseline path too.
-                    let zeros = vec![0u8; total as usize];
-                    mem.write(p, 0, &zeros, &config)?;
+                    mem.fill(p, 0, total, &config)?;
                 }
                 Ok(vec![ptr_val(p)])
             }),
@@ -211,7 +210,7 @@ impl Libc {
                 let config = *ctx.config;
                 ctx.charge(len as f64 / 8.0 + 4.0);
                 let mem = ctx.memory()?;
-                mem.write(p, 0, &vec![v; len as usize], &config)?;
+                mem.fill(p, v, len, &config)?;
                 Ok(vec![ptr_val(p)])
             }),
         );
@@ -225,8 +224,7 @@ impl Libc {
                 let config = *ctx.config;
                 ctx.charge(len as f64 / 8.0 + 4.0);
                 let mem = ctx.memory()?;
-                let bytes = mem.read(src, 0, len, &config)?;
-                mem.write(dst, 0, &bytes, &config)?;
+                mem.copy(dst, src, len, &config)?;
                 Ok(vec![ptr_val(dst)])
             }),
         );

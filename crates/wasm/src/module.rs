@@ -134,19 +134,24 @@ impl Module {
             .count() as u32
     }
 
+    /// Type indices of imported functions, in import order — the prefix of
+    /// the joint function index space. Engines precompiling call frames
+    /// walk this once at instantiation instead of re-scanning the import
+    /// list per function index.
+    pub fn imported_func_type_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.imports.iter().filter_map(|i| match i.kind {
+            ImportKind::Func(t) => Some(t),
+            _ => None,
+        })
+    }
+
     /// The type of the function at `func_idx` in the joint index space
     /// (imports first, then local functions).
     #[must_use]
     pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
         let imported = self.imported_func_count();
         let type_idx = if func_idx < imported {
-            self.imports
-                .iter()
-                .filter_map(|i| match i.kind {
-                    ImportKind::Func(t) => Some(t),
-                    _ => None,
-                })
-                .nth(func_idx as usize)?
+            self.imported_func_type_indices().nth(func_idx as usize)?
         } else {
             self.funcs.get((func_idx - imported) as usize)?.type_idx
         };

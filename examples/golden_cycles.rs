@@ -1,0 +1,20 @@
+//! Prints simulated cycle counts for the PolyBench gallery (golden capture).
+use cage::{Core, Engine, Variant};
+
+fn main() {
+    for kernel in cage_polybench::kernels() {
+        for variant in Variant::ALL {
+            let engine = Engine::builder(variant).core(Core::CortexX3).build();
+            let artifact = engine.compile(kernel.source).expect("builds");
+            let mut inst = engine.instantiate(&artifact).expect("instantiates");
+            inst.invoke("run", &[]).expect("runs");
+            println!(
+                "{}\t{:?}\t{}\t{}",
+                kernel.name,
+                variant,
+                inst.cycles().to_bits(),
+                inst.instr_count()
+            );
+        }
+    }
+}

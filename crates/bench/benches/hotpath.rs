@@ -9,7 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use cage::{Engine, Value, Variant};
+use cage::wasm::builder::ModuleBuilder;
+use cage::wasm::{BlockType, Instr, ValType};
+use cage::{Engine, Linker, Value, Variant};
 
 /// Call-heavy: a tight loop of direct calls through a tiny leaf, so frame
 /// cost dominates over arithmetic.
@@ -64,6 +66,117 @@ const BULK_HEAVY: &str = r#"
     }
 "#;
 
+/// Branch-heavy C: a tight loop whose body is an if/else ladder plus an
+/// inner loop with an early `break`, so `br`/`br_if` dispatch and block
+/// exits dominate over arithmetic.
+const BRANCH_HEAVY: &str = r#"
+    long run(long n) {
+        long acc = 0;
+        for (long i = 0; i < n; i++) {
+            if (i % 3 == 0) {
+                acc = acc + 1;
+            } else if (i % 5 == 0) {
+                acc = acc + 2;
+            } else if (i % 7 == 0) {
+                acc = acc + 3;
+            } else {
+                acc = acc - 1;
+            }
+            long j = i & 15;
+            while (j > 0) {
+                j = j - 1;
+                if (j == 7) { break; }
+            }
+        }
+        return acc;
+    }
+"#;
+
+/// Hand-built wasm exercising the control paths C codegen never emits: a
+/// tight `br_table` dispatch loop (`dispatch`) and a loop that exits a
+/// 32-deep block nest through a variable-depth `br_table` every iteration
+/// (`unwind`) — the worst case for the tree walker's frame-by-frame
+/// `Flow::Br(n)` unwinding.
+/// Wraps `body` in the shared counting-loop harness:
+/// `do { body; } while (++locals[i] < locals[n])`.
+fn counted_loop(mut body: Vec<Instr>, n: u32, i: u32) -> Instr {
+    body.extend([
+        Instr::LocalGet(i),
+        Instr::I64Const(1),
+        Instr::I64Add,
+        Instr::LocalSet(i),
+        Instr::LocalGet(i),
+        Instr::LocalGet(n),
+        Instr::I64LtS,
+        Instr::BrIf(0),
+    ]);
+    Instr::Loop(BlockType::Empty, body)
+}
+
+fn branch_module() -> cage::wasm::Module {
+    let mut b = ModuleBuilder::new();
+    let (n, i, acc) = (0, 1, 2);
+
+    // dispatch(n): loop { switch (i % 4) { 0: acc+=1; 1: acc+=3; _: {} } }
+    let selector = vec![
+        Instr::LocalGet(i),
+        Instr::I64Const(4),
+        Instr::I64RemU,
+        Instr::I32WrapI64,
+        Instr::BrTable(vec![0, 1], 2),
+    ];
+    let case0 = vec![
+        Instr::LocalGet(acc),
+        Instr::I64Const(1),
+        Instr::I64Add,
+        Instr::LocalSet(acc),
+        Instr::Br(1),
+    ];
+    let case1 = vec![
+        Instr::LocalGet(acc),
+        Instr::I64Const(3),
+        Instr::I64Add,
+        Instr::LocalSet(acc),
+        Instr::Br(0),
+    ];
+    let mut b1 = vec![Instr::Block(BlockType::Empty, selector)];
+    b1.extend(case0);
+    let mut b2 = vec![Instr::Block(BlockType::Empty, b1)];
+    b2.extend(case1);
+    let dispatch = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[ValType::I64, ValType::I64],
+        vec![
+            counted_loop(vec![Instr::Block(BlockType::Empty, b2)], n, i),
+            Instr::LocalGet(acc),
+        ],
+    );
+    b.export_func("dispatch", dispatch);
+
+    // unwind(n): every iteration enters 32 nested blocks and exits a
+    // variable number of them in one br_table branch.
+    const DEPTH: u32 = 32;
+    let mut nest = vec![
+        Instr::LocalGet(i),
+        Instr::I64Const(i64::from(DEPTH)),
+        Instr::I64RemU,
+        Instr::I32WrapI64,
+        Instr::BrTable((0..DEPTH - 1).collect(), DEPTH - 1),
+    ];
+    for _ in 0..DEPTH {
+        nest = vec![Instr::Block(BlockType::Empty, nest)];
+    }
+    let unwind = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[ValType::I64, ValType::I64],
+        vec![counted_loop(nest, n, i), Instr::LocalGet(i)],
+    );
+    b.export_func("unwind", unwind);
+    b.build()
+}
+
 fn bench_source(c: &mut Criterion, group_name: &str, source: &str, arg: i64) {
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
@@ -93,6 +206,39 @@ fn bench_hotpath_bulk(c: &mut Criterion) {
     bench_source(c, "hotpath_bulk", BULK_HEAVY, 200);
 }
 
+fn bench_hotpath_branches(c: &mut Criterion) {
+    bench_source(c, "hotpath_branches", BRANCH_HEAVY, 200_000);
+}
+
+fn bench_hotpath_br_table(c: &mut Criterion) {
+    let module = branch_module();
+    let mut group = c.benchmark_group("hotpath_br_table");
+    group.sample_size(10);
+    for export in ["dispatch", "unwind"] {
+        for variant in [Variant::BaselineWasm64, Variant::CageFull] {
+            let engine = Engine::new(variant);
+            let id = format!("{export}/{}", variant.label());
+            group.bench_function(&id, |b| {
+                b.iter_batched(
+                    || {
+                        let mut rt = engine.runtime();
+                        let token = rt
+                            .instantiate_linked(&module, 0, &Linker::new())
+                            .expect("instantiates");
+                        (rt, token)
+                    },
+                    |(mut rt, token)| {
+                        rt.invoke(token, export, &[Value::I64(500_000)])
+                            .expect("runs")
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
 fn noop_config() -> Criterion {
     Criterion::default().without_plots()
 }
@@ -100,6 +246,7 @@ fn noop_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = noop_config();
-    targets = bench_hotpath_calls, bench_hotpath_memory, bench_hotpath_bulk
+    targets = bench_hotpath_calls, bench_hotpath_memory, bench_hotpath_bulk,
+        bench_hotpath_branches, bench_hotpath_br_table
 }
 criterion_main!(benches);

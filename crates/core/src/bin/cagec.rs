@@ -36,6 +36,7 @@ struct Args {
     emit_wat: Option<String>,
     invoke: Option<(String, Vec<i64>)>,
     list_exports: bool,
+    dump_bytecode: Option<String>,
     stats: bool,
     memory_pages: u64,
 }
@@ -52,6 +53,9 @@ options:
   --invoke <fn> [int args...]
                    run an exported function with i64 arguments
   --list-exports   print the exported functions and their signatures
+  --dump-bytecode <fn>
+                   disassemble the flat bytecode of an exported function
+                   (pc, op, resolved branch targets)
   --memory <pages> linear memory size in 64 KiB pages (default: 64)
   --stats          print simulated cycles/time and memory report
 
@@ -67,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut emit_wat = None;
     let mut invoke = None;
     let mut list_exports = false;
+    let mut dump_bytecode = None;
     let mut stats = false;
     let mut memory_pages = 64;
     while let Some(arg) = argv.next() {
@@ -109,6 +114,9 @@ fn parse_args() -> Result<Args, String> {
                 invoke = Some((name, args));
             }
             "--list-exports" => list_exports = true,
+            "--dump-bytecode" => {
+                dump_bytecode = Some(argv.next().ok_or("--dump-bytecode needs a function name")?);
+            }
             "--memory" => {
                 memory_pages = argv
                     .next()
@@ -132,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
         emit_wat,
         invoke,
         list_exports,
+        dump_bytecode,
         stats,
         memory_pages,
     })
@@ -212,6 +221,16 @@ fn main() -> ExitCode {
         println!("exports of {} ({}):", args.input, artifact.variant());
         for (name, sig) in artifact.exports() {
             println!("  {name} {sig}");
+        }
+    }
+
+    if let Some(name) = &args.dump_bytecode {
+        match artifact.disassemble(name) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("cagec: no exported function \"{name}\" to disassemble");
+                return ExitCode::from(EXIT_USAGE);
+            }
         }
     }
 

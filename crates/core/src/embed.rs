@@ -304,6 +304,20 @@ impl Artifact {
         list_exports(&self.module)
     }
 
+    /// Disassembles the flat bytecode the interpreter will execute for the
+    /// exported function `name` — program counters, ops and resolved
+    /// branch targets (the `cagec --dump-bytecode` backend).
+    ///
+    /// Returns `None` when `name` is not an exported local function
+    /// (imported host functions have no bytecode).
+    #[must_use]
+    pub fn disassemble(&self, name: &str) -> Option<String> {
+        match self.module.export(name)?.kind {
+            cage_wasm::ExportKind::Func(idx) => cage_engine::disassemble(&self.module, idx),
+            _ => None,
+        }
+    }
+
     /// Instantiates into an existing runtime against `linker` — the
     /// multi-instance path sharing one store's MTE tag budget (§6.4).
     ///

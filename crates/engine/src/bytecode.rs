@@ -1,0 +1,1234 @@
+//! Flat bytecode: the execution form of a function body.
+//!
+//! The structured `cage_wasm::Instr` tree is what the validator and the
+//! toolchain passes consume, but walking it at run time costs a Rust call
+//! frame per nesting level and unwinds every branch through a chain of
+//! `Flow::Br(n)` returns. At instantiation each body is therefore lowered
+//! once into a flat [`Op`] array:
+//!
+//! * `Block`/`Loop`/`If` disappear — control flow becomes absolute
+//!   program-counter offsets resolved at compile time;
+//! * every branch carries a [`BranchTarget`] collapse descriptor
+//!   `(pc, stack height, arity)`, so taking it is one in-place operand
+//!   slide plus a jump, regardless of how many levels it exits;
+//! * `br_table` targets become a boxed slice of descriptors (the default
+//!   target is the final entry);
+//! * the skip over an `else` arm is a synthetic [`Op::Jump`] and the
+//!   function epilogue a synthetic [`Op::End`] — neither charges cycles
+//!   nor retires an instruction, so cycle accounting is bit-identical to
+//!   the structured walker.
+//!
+//! Statically unreachable code (anything following an unconditional
+//! branch inside a block) is never emitted: the structured walker never
+//! executes it, and its stack heights are polymorphic, so dropping it is
+//! both safe and free.
+
+use std::fmt;
+
+use cage_wasm::instr::{LoadOp, StoreOp};
+use cage_wasm::{numeric_signature, Instr, Module};
+
+use crate::value::Value;
+
+/// A resolved branch destination: jump to `pc` after collapsing the
+/// operand stack to `height` (relative to the function's frame base),
+/// keeping the top `arity` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchTarget {
+    /// Absolute program counter of the destination.
+    pub pc: u32,
+    /// Operand-stack height of the target frame, relative to frame base.
+    pub height: u32,
+    /// Number of result values the branch carries.
+    pub arity: u32,
+}
+
+impl fmt::Display for BranchTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "\u{2192}{:04} (h={}, a={})",
+            self.pc, self.height, self.arity
+        )
+    }
+}
+
+/// A flat bytecode instruction.
+///
+/// Control flow is fully resolved: branch ops carry [`BranchTarget`]s,
+/// `If`/`Jump` carry absolute pcs, and `Call`/`CallIndirect` push a
+/// return-pc frame on the interpreter's explicit call stack. All other
+/// ops mirror their `cage_wasm::Instr` counterparts one-to-one (constants
+/// are pre-decoded into [`Value`]s, memory ops keep only the static
+/// offset their execution needs).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Op {
+    // -- control (resolved) -------------------------------------------------
+    Unreachable,
+    Nop,
+    /// Synthetic unconditional jump (skip over an `else` arm). Free: it
+    /// charges no cycles and retires no instruction.
+    Jump(u32),
+    /// `if`: charges a branch, pops the condition, falls through into the
+    /// then-arm when non-zero, jumps to the else-arm (or join point) when
+    /// zero. Arms start at the same height, so no collapse is needed.
+    If(u32),
+    Br(BranchTarget),
+    BrIf(BranchTarget),
+    /// `br_table`: the selector indexes the slice; out-of-range selectors
+    /// (and the last entry itself) take the default, stored last.
+    BrTable(Box<[BranchTarget]>),
+    Return,
+    /// Synthetic function epilogue: collapses to the frame base, pops the
+    /// call frame. Free, like [`Op::Jump`] — an explicit `return` charges
+    /// a branch, falling off the end does not.
+    End,
+    Call(u32),
+    CallIndirect(u32),
+
+    // -- fused superinstructions ---------------------------------------------
+    //
+    // Peephole fusions of adjacent ops the C toolchain emits constantly
+    // (mem2reg temps produce long local/const shuffles). Each fused op
+    // performs the charges of its constituents in the original order and
+    // retires the same instruction count, so cycle accounting is
+    // bit-identical to the unfused sequence; the fusion fence in the
+    // compiler guarantees no branch target can land between constituents.
+    /// `local.get src; local.set dst` — register-to-register move.
+    LocalMove {
+        src: u32,
+        dst: u32,
+    },
+    /// `local.set i; local.get i` — store the top of stack, keep it.
+    LocalSetGet(u32),
+    /// `local.get a; local.get b` — push two locals.
+    LocalGetPair {
+        a: u32,
+        b: u32,
+    },
+    /// `<const> v; local.set dst` — store a constant directly.
+    ConstLocal {
+        v: Value,
+        dst: u32,
+    },
+    /// `i32.const v; i64.extend_i32_s` — pre-extended constant.
+    ConstExtI64(Value),
+    /// `i32.const v; i64.extend_i32_s; local.set dst`.
+    ConstLocalExt {
+        v: Value,
+        dst: u32,
+    },
+    /// `i32.eqz; br_if` — inverted conditional branch.
+    BrIfZ(BranchTarget),
+    /// `local.get src; br_if` — branch on a local.
+    BrIfLocal {
+        src: u32,
+        target: BranchTarget,
+    },
+    /// `local.get src; i32.eqz; br_if` — inverted branch on a local.
+    BrIfZLocal {
+        src: u32,
+        target: BranchTarget,
+    },
+    /// `local.get src; if` — `if` testing a local.
+    IfLocal {
+        src: u32,
+        else_pc: u32,
+    },
+
+    // -- parametric / variable ----------------------------------------------
+    Drop,
+    Select,
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    // -- memory ---------------------------------------------------------------
+    /// Load with its static byte offset (alignment is validation-only).
+    Load(LoadOp, u64),
+    /// Store with its static byte offset.
+    Store(StoreOp, u64),
+    MemorySize,
+    MemoryGrow,
+    MemoryFill,
+    MemoryCopy,
+
+    /// Pre-decoded constant (`i32.const` .. `f64.const`).
+    Const(Value),
+
+    // -- Cage extension -------------------------------------------------------
+    SegmentNew(u64),
+    SegmentSetTag(u64),
+    SegmentFree(u64),
+    PointerSign,
+    PointerAuth,
+
+    // -- i32 ------------------------------------------------------------------
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+
+    // -- i64 ------------------------------------------------------------------
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+
+    // -- f32 ------------------------------------------------------------------
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+
+    // -- f64 ------------------------------------------------------------------
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    // -- conversions -----------------------------------------------------------
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+}
+
+/// A function body compiled to flat bytecode, always `End`-terminated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatCode {
+    /// The flat instruction array.
+    pub ops: Box<[Op]>,
+}
+
+/// Maps a non-control instruction to its flat op.
+///
+/// Returns `None` for structured control flow (`Block`/`Loop`/`If`,
+/// branches, `Return`, calls), which the compiler lowers positionally.
+/// Shared by the compiler and the test-oracle tree walker so the data
+/// ops have exactly one execution implementation.
+#[must_use]
+pub fn flat_op(instr: &Instr) -> Option<Op> {
+    macro_rules! same {
+        ($($v:ident),+ $(,)?) => {
+            match instr {
+                $(Instr::$v => return Some(Op::$v),)+
+                _ => {}
+            }
+        };
+    }
+    same!(
+        Unreachable,
+        Nop,
+        Drop,
+        Select,
+        MemorySize,
+        MemoryGrow,
+        MemoryFill,
+        MemoryCopy,
+        PointerSign,
+        PointerAuth,
+        // i32
+        I32Eqz,
+        I32Eq,
+        I32Ne,
+        I32LtS,
+        I32LtU,
+        I32GtS,
+        I32GtU,
+        I32LeS,
+        I32LeU,
+        I32GeS,
+        I32GeU,
+        I32Clz,
+        I32Ctz,
+        I32Popcnt,
+        I32Add,
+        I32Sub,
+        I32Mul,
+        I32DivS,
+        I32DivU,
+        I32RemS,
+        I32RemU,
+        I32And,
+        I32Or,
+        I32Xor,
+        I32Shl,
+        I32ShrS,
+        I32ShrU,
+        I32Rotl,
+        I32Rotr,
+        // i64
+        I64Eqz,
+        I64Eq,
+        I64Ne,
+        I64LtS,
+        I64LtU,
+        I64GtS,
+        I64GtU,
+        I64LeS,
+        I64LeU,
+        I64GeS,
+        I64GeU,
+        I64Clz,
+        I64Ctz,
+        I64Popcnt,
+        I64Add,
+        I64Sub,
+        I64Mul,
+        I64DivS,
+        I64DivU,
+        I64RemS,
+        I64RemU,
+        I64And,
+        I64Or,
+        I64Xor,
+        I64Shl,
+        I64ShrS,
+        I64ShrU,
+        I64Rotl,
+        I64Rotr,
+        // f32
+        F32Eq,
+        F32Ne,
+        F32Lt,
+        F32Gt,
+        F32Le,
+        F32Ge,
+        F32Abs,
+        F32Neg,
+        F32Ceil,
+        F32Floor,
+        F32Trunc,
+        F32Nearest,
+        F32Sqrt,
+        F32Add,
+        F32Sub,
+        F32Mul,
+        F32Div,
+        F32Min,
+        F32Max,
+        F32Copysign,
+        // f64
+        F64Eq,
+        F64Ne,
+        F64Lt,
+        F64Gt,
+        F64Le,
+        F64Ge,
+        F64Abs,
+        F64Neg,
+        F64Ceil,
+        F64Floor,
+        F64Trunc,
+        F64Nearest,
+        F64Sqrt,
+        F64Add,
+        F64Sub,
+        F64Mul,
+        F64Div,
+        F64Min,
+        F64Max,
+        F64Copysign,
+        // conversions
+        I32WrapI64,
+        I32TruncF32S,
+        I32TruncF32U,
+        I32TruncF64S,
+        I32TruncF64U,
+        I64ExtendI32S,
+        I64ExtendI32U,
+        I64TruncF32S,
+        I64TruncF32U,
+        I64TruncF64S,
+        I64TruncF64U,
+        F32ConvertI32S,
+        F32ConvertI32U,
+        F32ConvertI64S,
+        F32ConvertI64U,
+        F32DemoteF64,
+        F64ConvertI32S,
+        F64ConvertI32U,
+        F64ConvertI64S,
+        F64ConvertI64U,
+        F64PromoteF32,
+        I32ReinterpretF32,
+        I64ReinterpretF64,
+        F32ReinterpretI32,
+        F64ReinterpretI64,
+        I32Extend8S,
+        I32Extend16S,
+        I64Extend8S,
+        I64Extend16S,
+        I64Extend32S,
+    );
+    Some(match instr {
+        Instr::LocalGet(i) => Op::LocalGet(*i),
+        Instr::LocalSet(i) => Op::LocalSet(*i),
+        Instr::LocalTee(i) => Op::LocalTee(*i),
+        Instr::GlobalGet(i) => Op::GlobalGet(*i),
+        Instr::GlobalSet(i) => Op::GlobalSet(*i),
+        Instr::Load(op, memarg) => Op::Load(*op, memarg.offset),
+        Instr::Store(op, memarg) => Op::Store(*op, memarg.offset),
+        Instr::I32Const(v) => Op::Const(Value::I32(*v)),
+        Instr::I64Const(v) => Op::Const(Value::I64(*v)),
+        Instr::F32Const(bits) => Op::Const(Value::F32(f32::from_bits(*bits))),
+        Instr::F64Const(bits) => Op::Const(Value::F64(f64::from_bits(*bits))),
+        Instr::SegmentNew(o) => Op::SegmentNew(*o),
+        Instr::SegmentSetTag(o) => Op::SegmentSetTag(*o),
+        Instr::SegmentFree(o) => Op::SegmentFree(*o),
+        _ => return None,
+    })
+}
+
+/// Net operand-stack effect `(pops, pushes)` of a non-control instruction.
+fn simple_effect(instr: &Instr) -> (usize, usize) {
+    use Instr::*;
+    match instr {
+        Unreachable | Nop => (0, 0),
+        Drop => (1, 0),
+        Select => (3, 1),
+        LocalGet(_) | GlobalGet(_) | MemorySize | I32Const(_) | I64Const(_) | F32Const(_)
+        | F64Const(_) => (0, 1),
+        LocalSet(_) | GlobalSet(_) => (1, 0),
+        LocalTee(_) | Load(..) | MemoryGrow | PointerSign | PointerAuth => (1, 1),
+        Store(..) | SegmentFree(_) => (2, 0),
+        MemoryFill | MemoryCopy | SegmentSetTag(_) => (3, 0),
+        SegmentNew(_) => (2, 1),
+        other => {
+            let (params, result) = numeric_signature(other)
+                .unwrap_or_else(|| unreachable!("control instruction {other:?} in simple_effect"));
+            (params.len(), usize::from(result.is_some()))
+        }
+    }
+}
+
+/// A branch still awaiting its destination pc: op index, plus the entry
+/// slot when the op is a `br_table`.
+struct Patch {
+    op: usize,
+    slot: usize,
+}
+
+/// One open control construct during lowering.
+struct CtrlFrame {
+    /// Branch destination for a loop (its start pc); forward targets are
+    /// patched when the construct ends.
+    loop_start: Option<u32>,
+    /// Operand height at entry, relative to the frame base.
+    height: usize,
+    /// Values a branch to this label carries (0 for loops).
+    br_arity: usize,
+    /// Values the construct leaves on the stack when it ends.
+    end_arity: usize,
+    /// Forward branches to patch with the end pc.
+    patches: Vec<Patch>,
+}
+
+struct Compiler<'m> {
+    module: &'m Module,
+    ops: Vec<Op>,
+    /// Current operand height relative to the frame base.
+    height: usize,
+    ctrl: Vec<CtrlFrame>,
+    /// Fusion fence: the earliest op index peephole fusion may consume.
+    /// Reset to `ops.len()` at every position a branch target can bind
+    /// (loop starts, block/if ends, else starts), so no label ever points
+    /// between the constituents of a fused op.
+    fence: usize,
+}
+
+/// Lowers a validated function body to flat bytecode.
+///
+/// `results` is the function's result count — the arity of branches that
+/// target the function label and of the epilogue collapse.
+///
+/// # Panics
+///
+/// Panics on unvalidated input (branch depths or stack effects that the
+/// validator would reject).
+#[must_use]
+pub fn compile(module: &Module, results: usize, body: &[Instr]) -> FlatCode {
+    let mut c = Compiler {
+        module,
+        ops: Vec::with_capacity(body.len() + 1),
+        height: 0,
+        ctrl: Vec::with_capacity(8),
+        fence: 0,
+    };
+    c.ctrl.push(CtrlFrame {
+        loop_start: None,
+        height: 0,
+        br_arity: results,
+        end_arity: results,
+        patches: Vec::new(),
+    });
+    c.lower_seq(body);
+    let frame = c.ctrl.pop().expect("function frame");
+    let end = c.ops.len() as u32;
+    for p in frame.patches {
+        c.apply_patch(&p, end);
+    }
+    c.ops.push(Op::End);
+    FlatCode {
+        ops: c.ops.into_boxed_slice(),
+    }
+}
+
+impl Compiler<'_> {
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn apply_patch(&mut self, p: &Patch, pc: u32) {
+        match &mut self.ops[p.op] {
+            Op::Br(t)
+            | Op::BrIf(t)
+            | Op::BrIfZ(t)
+            | Op::BrIfLocal { target: t, .. }
+            | Op::BrIfZLocal { target: t, .. } => t.pc = pc,
+            Op::BrTable(ts) => ts[p.slot].pc = pc,
+            Op::Jump(t) | Op::If(t) | Op::IfLocal { else_pc: t, .. } => *t = pc,
+            other => unreachable!("patching non-branch op {other:?}"),
+        }
+    }
+
+    /// Emits a data op, peephole-fusing it with the preceding op when a
+    /// superinstruction pattern matches and no label can bind in between.
+    fn emit_fused(&mut self, op: Op) {
+        if self.ops.len() > self.fence {
+            let prev_idx = self.ops.len() - 1;
+            let fused = match (&self.ops[prev_idx], &op) {
+                (Op::LocalGet(s), Op::LocalSet(d)) => Some(Op::LocalMove { src: *s, dst: *d }),
+                (Op::LocalSet(d), Op::LocalGet(s)) if d == s => Some(Op::LocalSetGet(*d)),
+                (Op::LocalGet(a), Op::LocalGet(b)) => Some(Op::LocalGetPair { a: *a, b: *b }),
+                (Op::Const(v), Op::LocalSet(d)) => Some(Op::ConstLocal { v: *v, dst: *d }),
+                (Op::ConstExtI64(v), Op::LocalSet(d)) => Some(Op::ConstLocalExt { v: *v, dst: *d }),
+                (Op::Const(Value::I32(v)), Op::I64ExtendI32S) => {
+                    Some(Op::ConstExtI64(Value::I64(i64::from(*v))))
+                }
+                _ => None,
+            };
+            if let Some(f) = fused {
+                self.ops[prev_idx] = f;
+                return;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// Pops the preceding `local.get` when branch-condition fusion may
+    /// consume it.
+    fn take_prev_local_get(&mut self) -> Option<u32> {
+        if self.ops.len() > self.fence {
+            if let Some(Op::LocalGet(s)) = self.ops.last() {
+                let s = *s;
+                self.ops.pop();
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Resolves a branch to `depth` labels up. Loop targets are known
+    /// (backward); forward targets register a patch on the frame.
+    fn branch_target(&mut self, depth: u32, op: usize, slot: usize) -> BranchTarget {
+        let idx = self
+            .ctrl
+            .len()
+            .checked_sub(1 + depth as usize)
+            .expect("validated branch depth");
+        let frame = &mut self.ctrl[idx];
+        match frame.loop_start {
+            Some(pc) => BranchTarget {
+                pc,
+                height: frame.height as u32,
+                arity: 0,
+            },
+            None => {
+                frame.patches.push(Patch { op, slot });
+                BranchTarget {
+                    pc: u32::MAX,
+                    height: frame.height as u32,
+                    arity: frame.br_arity as u32,
+                }
+            }
+        }
+    }
+
+    /// Closes the innermost construct: patches its forward branches to the
+    /// current pc and restores the post-construct operand height.
+    fn end_frame(&mut self) {
+        let frame = self.ctrl.pop().expect("control frame");
+        let end = self.ops.len() as u32;
+        for p in &frame.patches {
+            self.apply_patch(p, end);
+        }
+        self.height = frame.height + frame.end_arity;
+        // The end is a branch target: nothing may fuse across it.
+        self.fence = self.ops.len();
+    }
+
+    /// Lowers a sequence; returns whether its end is reachable. Dead code
+    /// after an unconditional transfer is skipped entirely.
+    fn lower_seq(&mut self, body: &[Instr]) -> bool {
+        for instr in body {
+            if self.lower_instr(instr) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lowers one instruction; returns `true` when it transfers control
+    /// unconditionally (terminating the current sequence).
+    fn lower_instr(&mut self, instr: &Instr) -> bool {
+        match instr {
+            Instr::Block(bt, inner) => {
+                let arity = bt.arity();
+                self.ctrl.push(CtrlFrame {
+                    loop_start: None,
+                    height: self.height,
+                    br_arity: arity,
+                    end_arity: arity,
+                    patches: Vec::new(),
+                });
+                let reachable = self.lower_seq(inner);
+                debug_assert!(
+                    !reachable || self.height == self.ctrl.last().expect("frame").height + arity,
+                    "validated block fallthrough height"
+                );
+                self.end_frame();
+                false
+            }
+            Instr::Loop(bt, inner) => {
+                // The loop header is a branch target: fence fusion here.
+                self.fence = self.ops.len();
+                self.ctrl.push(CtrlFrame {
+                    loop_start: Some(self.ops.len() as u32),
+                    height: self.height,
+                    br_arity: 0,
+                    end_arity: bt.arity(),
+                    patches: Vec::new(),
+                });
+                self.lower_seq(inner);
+                self.end_frame();
+                false
+            }
+            Instr::If(bt, then_body, else_body) => {
+                self.height -= 1; // condition
+                let arity = bt.arity();
+                let if_idx = match self.take_prev_local_get() {
+                    Some(src) => self.emit(Op::IfLocal {
+                        src,
+                        else_pc: u32::MAX,
+                    }),
+                    None => self.emit(Op::If(u32::MAX)),
+                };
+                let entry = self.height;
+                self.ctrl.push(CtrlFrame {
+                    loop_start: None,
+                    height: entry,
+                    br_arity: arity,
+                    end_arity: arity,
+                    patches: Vec::new(),
+                });
+                let then_reachable = self.lower_seq(then_body);
+                if else_body.is_empty() {
+                    // No else: the false edge lands on the join point.
+                    let end = self.ops.len() as u32;
+                    self.apply_patch(
+                        &Patch {
+                            op: if_idx,
+                            slot: 0,
+                        },
+                        end,
+                    );
+                    self.fence = self.ops.len();
+                } else {
+                    if then_reachable {
+                        let jump = self.emit(Op::Jump(u32::MAX));
+                        self.ctrl
+                            .last_mut()
+                            .expect("if frame")
+                            .patches
+                            .push(Patch { op: jump, slot: 0 });
+                    }
+                    let else_start = self.ops.len() as u32;
+                    self.apply_patch(
+                        &Patch {
+                            op: if_idx,
+                            slot: 0,
+                        },
+                        else_start,
+                    );
+                    self.fence = self.ops.len();
+                    self.height = entry;
+                    self.lower_seq(else_body);
+                }
+                self.end_frame();
+                false
+            }
+            Instr::Br(depth) => {
+                let op = self.ops.len();
+                let target = self.branch_target(*depth, op, 0);
+                self.emit(Op::Br(target));
+                true
+            }
+            Instr::BrIf(depth) => {
+                self.height -= 1; // condition
+                let inverted =
+                    if self.ops.len() > self.fence && matches!(self.ops.last(), Some(Op::I32Eqz)) {
+                        self.ops.pop();
+                        true
+                    } else {
+                        false
+                    };
+                let src = self.take_prev_local_get();
+                let op = self.ops.len();
+                let target = self.branch_target(*depth, op, 0);
+                self.emit(match (inverted, src) {
+                    (false, None) => Op::BrIf(target),
+                    (true, None) => Op::BrIfZ(target),
+                    (false, Some(src)) => Op::BrIfLocal { src, target },
+                    (true, Some(src)) => Op::BrIfZLocal { src, target },
+                });
+                false
+            }
+            Instr::BrTable(targets, default) => {
+                self.height -= 1; // selector
+                let op = self.ops.len();
+                let resolved: Box<[BranchTarget]> = targets
+                    .iter()
+                    .chain(std::iter::once(default))
+                    .enumerate()
+                    .map(|(slot, depth)| self.branch_target(*depth, op, slot))
+                    .collect();
+                self.emit(Op::BrTable(resolved));
+                true
+            }
+            Instr::Return => {
+                self.emit(Op::Return);
+                true
+            }
+            Instr::Call(f) => {
+                let ty = self.module.func_type(*f).expect("validated call target");
+                self.height -= ty.params.len();
+                self.height += ty.results.len();
+                self.emit(Op::Call(*f));
+                false
+            }
+            Instr::CallIndirect(type_idx) => {
+                let ty = &self.module.types[*type_idx as usize];
+                self.height -= 1 + ty.params.len(); // table index + arguments
+                self.height += ty.results.len();
+                self.emit(Op::CallIndirect(*type_idx));
+                false
+            }
+            other => {
+                let (pops, pushes) = simple_effect(other);
+                self.height = self
+                    .height
+                    .checked_sub(pops)
+                    .expect("validated stack effect")
+                    + pushes;
+                let op = flat_op(other).expect("non-control instruction");
+                self.emit_fused(op);
+                matches!(other, Instr::Unreachable)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Jump(pc) => write!(f, "jump \u{2192}{pc:04}"),
+            Op::If(pc) => write!(f, "if (else \u{2192}{pc:04})"),
+            Op::Br(t) => write!(f, "br {t}"),
+            Op::BrIf(t) => write!(f, "br_if {t}"),
+            Op::BrTable(ts) => {
+                let (default, cases) = ts.split_last().expect("br_table has a default");
+                write!(f, "br_table [")?;
+                for (i, t) in cases.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "] default {default}")
+            }
+            Op::Return => f.write_str("return"),
+            Op::End => f.write_str("end"),
+            Op::Call(i) => write!(f, "call {i}"),
+            Op::CallIndirect(t) => write!(f, "call_indirect (type {t})"),
+            Op::Const(v) => write!(f, "const {v:?}"),
+            Op::Load(op, off) => write!(f, "{op:?} offset={off}"),
+            Op::Store(op, off) => write!(f, "{op:?} offset={off}"),
+            Op::LocalGet(i) => write!(f, "local.get {i}"),
+            Op::LocalSet(i) => write!(f, "local.set {i}"),
+            Op::LocalTee(i) => write!(f, "local.tee {i}"),
+            Op::GlobalGet(i) => write!(f, "global.get {i}"),
+            Op::GlobalSet(i) => write!(f, "global.set {i}"),
+            Op::LocalMove { src, dst } => write!(f, "local.move {dst} <- {src}"),
+            Op::LocalSetGet(i) => write!(f, "local.set+get {i}"),
+            Op::LocalGetPair { a, b } => write!(f, "local.get2 {a}, {b}"),
+            Op::ConstLocal { v, dst } => write!(f, "local.const {dst} <- {v:?}"),
+            Op::ConstExtI64(v) => write!(f, "const+ext {v:?}"),
+            Op::ConstLocalExt { v, dst } => write!(f, "local.const+ext {dst} <- {v:?}"),
+            Op::BrIfZ(t) => write!(f, "br_if_z {t}"),
+            Op::BrIfLocal { src, target } => write!(f, "br_if local {src} {target}"),
+            Op::BrIfZLocal { src, target } => write!(f, "br_if_z local {src} {target}"),
+            Op::IfLocal { src, else_pc } => {
+                write!(f, "if local {src} (else \u{2192}{else_pc:04})")
+            }
+            Op::SegmentNew(o) => write!(f, "segment.new {o}"),
+            Op::SegmentSetTag(o) => write!(f, "segment.set_tag {o}"),
+            Op::SegmentFree(o) => write!(f, "segment.free {o}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Disassembles the flat bytecode of function `func_idx` (joint index
+/// space) of a validated module — the `cagec --dump-bytecode` backend.
+///
+/// Returns `None` when the index is out of range or names an imported
+/// host function (imports have no bytecode).
+#[must_use]
+pub fn disassemble(module: &Module, func_idx: u32) -> Option<String> {
+    use std::fmt::Write as _;
+
+    let imported = module.imported_func_count();
+    let local = func_idx.checked_sub(imported)?;
+    let func = module.funcs.get(local as usize)?;
+    let ty = module.types.get(func.type_idx as usize)?;
+    let code = compile(module, ty.results.len(), &func.body);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "func {func_idx} (params {}, results {}, locals {}): {} ops",
+        ty.params.len(),
+        ty.results.len(),
+        func.locals.len(),
+        code.ops.len()
+    );
+    for (pc, op) in code.ops.iter().enumerate() {
+        let _ = writeln!(out, "  {pc:04}: {op}");
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cage_wasm::builder::ModuleBuilder;
+    use cage_wasm::{BlockType, ValType};
+
+    fn compile_body(body: Vec<Instr>) -> FlatCode {
+        let mut b = ModuleBuilder::new();
+        b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64, ValType::I32],
+            body,
+        );
+        let module = b.build();
+        cage_wasm::validate(&module).expect("fixture validates");
+        compile(&module, 1, &module.funcs[0].body)
+    }
+
+    #[test]
+    fn straight_line_ends_with_end() {
+        let code = compile_body(vec![Instr::LocalGet(0)]);
+        assert_eq!(code.ops.as_ref(), &[Op::LocalGet(0), Op::End]);
+    }
+
+    #[test]
+    fn block_branches_resolve_to_block_end() {
+        // block { local.get 0; br_if 0 } local.get 0
+        let code = compile_body(vec![
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::LocalGet(0), Instr::I32WrapI64, Instr::BrIf(0)],
+            ),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops.as_ref(),
+            &[
+                Op::LocalGet(0),
+                Op::I32WrapI64,
+                Op::BrIf(BranchTarget {
+                    pc: 3,
+                    height: 0,
+                    arity: 0
+                }),
+                Op::LocalGet(0),
+                Op::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_branches_resolve_backward() {
+        let code = compile_body(vec![
+            Instr::Loop(
+                BlockType::Empty,
+                vec![Instr::LocalGet(0), Instr::I32WrapI64, Instr::BrIf(0)],
+            ),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[2],
+            Op::BrIf(BranchTarget {
+                pc: 0,
+                height: 0,
+                arity: 0
+            })
+        );
+    }
+
+    #[test]
+    fn if_else_lowers_to_test_jump_join() {
+        // if (result i64) { 1 } else { 2 }
+        let code = compile_body(vec![
+            Instr::LocalGet(0),
+            Instr::I32WrapI64,
+            Instr::If(
+                BlockType::Value(ValType::I64),
+                vec![Instr::I64Const(1)],
+                vec![Instr::I64Const(2)],
+            ),
+        ]);
+        assert_eq!(
+            code.ops.as_ref(),
+            &[
+                Op::LocalGet(0),
+                Op::I32WrapI64,
+                Op::If(5), // false -> else arm
+                Op::Const(Value::I64(1)),
+                Op::Jump(6), // skip else
+                Op::Const(Value::I64(2)),
+                Op::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn br_table_keeps_default_last_and_heights_per_target() {
+        // block { i64.const 9; block { ...; br_table [1] 0 }; drop } local.get 0
+        let code = compile_body(vec![
+            Instr::Block(
+                BlockType::Empty,
+                vec![
+                    Instr::I64Const(9),
+                    Instr::Block(
+                        BlockType::Empty,
+                        vec![
+                            Instr::LocalGet(0),
+                            Instr::I32WrapI64,
+                            Instr::BrTable(vec![1], 0),
+                        ],
+                    ),
+                    Instr::Drop,
+                ],
+            ),
+            Instr::LocalGet(0),
+        ]);
+        let Op::BrTable(ts) = &code.ops[3] else {
+            panic!("expected br_table, got {:?}", code.ops[3]);
+        };
+        // Entry 0 exits the outer block (below the pending i64.const 9,
+        // height 0); the default exits the inner block above it (height 1).
+        assert_eq!(
+            ts.as_ref(),
+            &[
+                BranchTarget {
+                    pc: 5,
+                    height: 0,
+                    arity: 0
+                },
+                BranchTarget {
+                    pc: 4,
+                    height: 1,
+                    arity: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn value_carrying_branch_records_arity() {
+        // block (result i64) { local.get 0; local.get 0; wrap; br_if 0 }
+        // The adjacent local.gets fuse into a pair; the branch still
+        // carries one value.
+        let code = compile_body(vec![Instr::Block(
+            BlockType::Value(ValType::I64),
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(0),
+                Instr::I32WrapI64,
+                Instr::BrIf(0),
+            ],
+        )]);
+        assert_eq!(code.ops[0], Op::LocalGetPair { a: 0, b: 0 });
+        assert_eq!(
+            code.ops[2],
+            Op::BrIf(BranchTarget {
+                pc: 3,
+                height: 0,
+                arity: 1
+            })
+        );
+    }
+
+    #[test]
+    fn superinstruction_fusion_patterns() {
+        // local.get 1; local.set 2  ->  local.move
+        let code = compile_body(vec![
+            Instr::LocalGet(0),
+            Instr::LocalSet(1),
+            Instr::LocalGet(1),
+        ]);
+        assert_eq!(code.ops[0], Op::LocalMove { src: 0, dst: 1 });
+        // i32.const 3; i64.extend_i32_s; local.set 1 chains into one op.
+        let code = compile_body(vec![
+            Instr::I32Const(3),
+            Instr::I64ExtendI32S,
+            Instr::LocalSet(1),
+            Instr::LocalGet(1),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::ConstLocalExt {
+                v: Value::I64(3),
+                dst: 1
+            }
+        );
+        // local.get; i32.eqz; br_if  ->  br_if_z on a local.
+        let code = compile_body(vec![
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::LocalGet(3), Instr::I32Eqz, Instr::BrIf(0)],
+            ),
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            code.ops
+                .iter()
+                .any(|op| matches!(op, Op::BrIfZLocal { src: 3, .. })),
+            "expected fused br_if_z local, got {:?}",
+            code.ops
+        );
+    }
+
+    #[test]
+    fn fusion_never_crosses_a_label() {
+        // The block-end label binds between the block's final local.get
+        // and the local.set after it; fusing them into a local.move would
+        // make a branch to the end skip the set.
+        let code = compile_body(vec![
+            Instr::Block(
+                BlockType::Value(ValType::I64),
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(0),
+                    Instr::I32WrapI64,
+                    Instr::BrIf(0),
+                    Instr::Drop,
+                    Instr::LocalGet(0), // last op inside the block
+                ],
+            ),
+            Instr::LocalSet(1), // must not fuse with the get above
+            Instr::LocalGet(1),
+        ]);
+        assert!(
+            code.ops
+                .iter()
+                .all(|op| !matches!(op, Op::LocalMove { .. })),
+            "fused across a block-end label: {:?}",
+            code.ops
+        );
+        // The branch must land exactly on the first op after the label.
+        let Op::BrIf(t) = &code.ops[2] else {
+            panic!("expected br_if at 2, got {:?}", code.ops);
+        };
+        assert!(matches!(code.ops[t.pc as usize], Op::LocalSetGet(1)));
+    }
+
+    #[test]
+    fn dead_code_after_terminator_is_dropped() {
+        let code = compile_body(vec![
+            Instr::LocalGet(0),
+            Instr::Return,
+            Instr::LocalGet(0),
+            Instr::Drop,
+        ]);
+        assert_eq!(code.ops.as_ref(), &[Op::LocalGet(0), Op::Return, Op::End]);
+    }
+
+    #[test]
+    fn constants_are_predecoded() {
+        let code = compile_body(vec![
+            Instr::F64Const(std::f64::consts::PI.to_bits()),
+            Instr::Drop,
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(code.ops[0], Op::Const(Value::F64(std::f64::consts::PI)));
+    }
+
+    #[test]
+    fn disassembly_renders_resolved_targets() {
+        let mut b = ModuleBuilder::new();
+        b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[],
+            vec![
+                Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::LocalGet(0), Instr::I32WrapI64, Instr::BrIf(0)],
+                ),
+                Instr::LocalGet(0),
+            ],
+        );
+        let module = b.build();
+        let text = disassemble(&module, 0).expect("local function");
+        assert!(text.contains("br_if \u{2192}0003"), "{text}");
+        assert!(text.contains("0004: end"), "{text}");
+        assert!(disassemble(&module, 9).is_none());
+    }
+
+    #[test]
+    fn flat_op_covers_every_non_control_instruction() {
+        // Control flow lowers positionally; everything else must map.
+        assert!(flat_op(&Instr::Block(BlockType::Empty, vec![])).is_none());
+        assert!(flat_op(&Instr::Br(0)).is_none());
+        assert!(flat_op(&Instr::Call(0)).is_none());
+        assert_eq!(flat_op(&Instr::I64Add), Some(Op::I64Add));
+        assert_eq!(
+            flat_op(&Instr::Load(
+                LoadOp::I32Load,
+                cage_wasm::MemArg {
+                    align: 2,
+                    offset: 16
+                }
+            )),
+            Some(Op::Load(LoadOp::I32Load, 16))
+        );
+        assert_eq!(flat_op(&Instr::I32Const(5)), Some(Op::Const(Value::I32(5))));
+    }
+}

@@ -1,0 +1,498 @@
+//! Differential property test: flat-bytecode execution must be
+//! bit-identical to the structured tree walker (the `#[cfg(test)]` oracle
+//! in `interp.rs`) on randomized control-flow bodies — same results, same
+//! traps, same cycle-counter f64 bits, same retired-instruction counts.
+//!
+//! Bodies are generated correct-by-construction (every statement is
+//! stack-neutral, loops are bounded by a counter incremented at the loop
+//! header so random `br` back-edges cannot spin forever) and then pushed
+//! through the real validator as a sanity gate. Divisions by local values
+//! and stores to local-derived addresses give the generator a healthy
+//! trap rate, so the trap paths are compared too — including how many
+//! cycles were charged before the trap fired.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cage_wasm::builder::ModuleBuilder;
+use cage_wasm::{validate, BlockType, Instr, MemArg, Module, ValType};
+
+use crate::config::{ExecConfig, InternalSafety};
+use crate::host::Imports;
+use crate::store::Store;
+use crate::value::Value;
+
+/// Locals: 0 = i64 argument, 1 = i64 accumulator, 2 = i64 scratch,
+/// 3 = i64 counter, 4 = i32 flag, 5 = i64 fuel (loop budget).
+const ARG: u32 = 0;
+const ACC: u32 = 1;
+const SCR: u32 = 2;
+const CNT: u32 = 3;
+const FLAG: u32 = 4;
+const FUEL: u32 = 5;
+
+/// Function index space of the generated module: 0 = `run` (the function
+/// under test), 1 = a generated leaf helper, 2 = a helper of a different
+/// signature (the `call_indirect` type-mismatch bait), 3 = unbounded
+/// recursion (always ends in `CallStackExhausted`).
+const HELPER: u32 = 1;
+const MISMATCH: u32 = 2;
+const RECURSE: u32 = 3;
+
+struct Gen {
+    rng: StdRng,
+    /// Branch arity of each enclosing label, innermost last. Entry 0 is
+    /// the function label (arity 1).
+    frames: Vec<usize>,
+    /// Whether call statements may be generated (off inside the leaf
+    /// helper so call depth stays bounded).
+    allow_calls: bool,
+}
+
+#[allow(clippy::too_many_lines)]
+impl Gen {
+    fn new(seed: u64, allow_calls: bool) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            frames: vec![1],
+            allow_calls,
+        }
+    }
+
+    /// Uniform pick in `0..n` (the vendored rand has no `gen_range`).
+    fn upto(&mut self, n: usize) -> usize {
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.rng.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn pick_i64_local(&mut self) -> u32 {
+        [ARG, ACC, SCR, CNT][self.upto(4)]
+    }
+
+    /// Assignable i64 locals: never the loop counter — random writes to
+    /// it would break the loop-termination bound.
+    fn pick_dst_local(&mut self) -> u32 {
+        [ARG, ACC, SCR][self.upto(3)]
+    }
+
+    fn small_const(&mut self) -> i64 {
+        match self.upto(4) {
+            0 => 0,
+            1 => self.int_in(-4, 8),
+            2 => i64::from(i32::MIN),
+            _ => self.int_in(-1000, 1000),
+        }
+    }
+
+    /// Pushes one i64 value.
+    fn value(&mut self, out: &mut Vec<Instr>) {
+        match self.upto(3) {
+            0 => out.push(Instr::LocalGet(self.pick_i64_local())),
+            1 => out.push(Instr::I64Const(self.small_const())),
+            _ => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::I64Const(self.small_const()));
+                out.push(match self.upto(4) {
+                    0 => Instr::I64Add,
+                    1 => Instr::I64Sub,
+                    2 => Instr::I64Mul,
+                    _ => Instr::I64Xor,
+                });
+            }
+        }
+    }
+
+    /// Pushes one i32 condition. Shapes chosen to cover every branch
+    /// fusion: bare flag reads (`*Local`), `i32.eqz` tails (`*Z`), and
+    /// unfusable comparison results.
+    fn condition(&mut self, out: &mut Vec<Instr>) {
+        match self.upto(5) {
+            0 => out.push(Instr::LocalGet(FLAG)),
+            1 => {
+                out.push(Instr::LocalGet(FLAG));
+                out.push(Instr::I32Eqz);
+            }
+            2 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::I64Eqz);
+            }
+            3 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::I64Eqz);
+                out.push(Instr::I32Eqz);
+            }
+            _ => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::I64Const(self.small_const()));
+                out.push(if self.rng.gen() {
+                    Instr::I64LtS
+                } else {
+                    Instr::I64GtS
+                });
+            }
+        }
+    }
+
+    /// Call statement: direct leaf calls, `call_indirect` through a
+    /// 3-slot table (slot 0 = the leaf, slot 1 = a signature-mismatched
+    /// function, slot 2 = empty — so random selectors hit the happy
+    /// path, `IndirectCallTypeMismatch` and `UndefinedElement`), or a
+    /// rare unbounded recursion ending in `CallStackExhausted`. All of
+    /// it exercises the explicit frame save/restore in the flat
+    /// dispatcher — depth accounting included — against the oracle's
+    /// recursive calls.
+    fn call_statement(&mut self, out: &mut Vec<Instr>) {
+        match self.upto(8) {
+            0..=4 => {
+                self.value(out);
+                out.push(Instr::Call(HELPER));
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+            }
+            5 | 6 => {
+                self.value(out);
+                if self.rng.gen() {
+                    // Constant selectors hit each table slot — including
+                    // slot 1 (type mismatch) — with real probability.
+                    out.push(Instr::I32Const(self.int_in(0, 4) as i32));
+                } else {
+                    out.push(Instr::LocalGet(self.pick_i64_local()));
+                    out.push(Instr::I32WrapI64);
+                }
+                out.push(Instr::CallIndirect(0));
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+            }
+            _ => {
+                self.value(out);
+                out.push(Instr::Call(RECURSE));
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+            }
+        }
+    }
+
+    /// Emits one stack-neutral statement; returns `true` when it
+    /// unconditionally transfers control (the sequence is finished).
+    fn statement(&mut self, out: &mut Vec<Instr>, depth: usize) -> bool {
+        if self.allow_calls && self.upto(8) == 0 {
+            self.call_statement(out);
+            return false;
+        }
+        let max = if depth >= 4 { 8 } else { 13 };
+        match self.upto(max) {
+            // acc-style arithmetic.
+            0 | 1 => {
+                self.value(out);
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+                false
+            }
+            // Division by a local: traps when the divisor is zero.
+            2 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(if self.rng.gen() {
+                    Instr::I64DivS
+                } else {
+                    Instr::I64RemS
+                });
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+                false
+            }
+            // Memory traffic at a local-derived address: often traps.
+            3 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                if self.rng.gen() {
+                    self.value(out);
+                    out.push(Instr::Store(
+                        cage_wasm::instr::StoreOp::I64Store,
+                        MemArg::offset(self.rng.next_u64() % 64),
+                    ));
+                } else {
+                    out.push(Instr::Load(
+                        cage_wasm::instr::LoadOp::I64Load,
+                        MemArg::offset(self.rng.next_u64() % 64),
+                    ));
+                    out.push(Instr::LocalSet(self.pick_dst_local()));
+                }
+                false
+            }
+            // Compare into the i32 flag.
+            4 => {
+                self.condition(out);
+                out.push(Instr::LocalSet(FLAG));
+                false
+            }
+            // Conditional branch (value-carrying when the target expects
+            // one; the untaken edge parks the value in a local).
+            5 => {
+                let depth_choice = self.upto(self.frames.len());
+                let label = (self.frames.len() - 1 - depth_choice) as u32;
+                let arity = self.frames[depth_choice];
+                if arity == 1 {
+                    out.push(Instr::LocalGet(ACC));
+                }
+                self.condition(out);
+                out.push(Instr::BrIf(label));
+                if arity == 1 {
+                    out.push(Instr::LocalSet(SCR));
+                }
+                false
+            }
+            // Unconditional branch.
+            6 => {
+                let depth_choice = self.upto(self.frames.len());
+                let label = (self.frames.len() - 1 - depth_choice) as u32;
+                if self.frames[depth_choice] == 1 {
+                    out.push(Instr::LocalGet(ACC));
+                }
+                out.push(Instr::Br(label));
+                true
+            }
+            // br_table over same-arity targets.
+            7 => {
+                let arity = usize::from(self.rng.gen::<bool>());
+                let candidates: Vec<u32> = self
+                    .frames
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| **a == arity)
+                    .map(|(i, _)| (self.frames.len() - 1 - i) as u32)
+                    .collect();
+                if candidates.is_empty() {
+                    // No matching label: fall back to a return.
+                    out.push(Instr::LocalGet(ACC));
+                    out.push(Instr::Return);
+                    return true;
+                }
+                if arity == 1 {
+                    out.push(Instr::LocalGet(ACC));
+                }
+                let pick = |g: &mut Gen| candidates[g.upto(candidates.len())];
+                let targets: Vec<u32> = (0..self.upto(4)).map(|_| pick(self)).collect();
+                let default = pick(self);
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::I32WrapI64);
+                out.push(Instr::BrTable(targets, default));
+                true
+            }
+            // Early return / unreachable.
+            8 => {
+                if self.upto(4) == 0 {
+                    out.push(Instr::Unreachable);
+                } else {
+                    out.push(Instr::LocalGet(ACC));
+                    out.push(Instr::Return);
+                }
+                true
+            }
+            // Nested block, empty or value-yielding.
+            9 | 10 => {
+                if self.rng.gen() {
+                    self.frames.push(0);
+                    let inner = self.sequence(depth + 1, &[]);
+                    self.frames.pop();
+                    out.push(Instr::Block(BlockType::Empty, inner));
+                } else {
+                    self.frames.push(1);
+                    let inner = self.sequence(depth + 1, &[Instr::LocalGet(ACC)]);
+                    self.frames.pop();
+                    out.push(Instr::Block(BlockType::Value(ValType::I64), inner));
+                    out.push(Instr::LocalSet(self.pick_dst_local()));
+                }
+                false
+            }
+            // If / if-else.
+            11 => {
+                self.condition(out);
+                self.frames.push(0);
+                let then_body = self.sequence(depth + 1, &[]);
+                let else_body = if self.rng.gen() {
+                    self.sequence(depth + 1, &[])
+                } else {
+                    Vec::new()
+                };
+                self.frames.pop();
+                out.push(Instr::If(BlockType::Empty, then_body, else_body));
+                false
+            }
+            // Fuel-bounded loop: every loop header burns one unit of the
+            // function-wide fuel local and bails out when it runs dry, so
+            // any combination of random back-edges terminates — no
+            // generated statement may write the fuel local.
+            _ => {
+                self.frames.push(0); // exit block label
+                self.frames.push(0); // loop label
+                let mut body = vec![
+                    Instr::LocalGet(FUEL),
+                    Instr::I64Const(1),
+                    Instr::I64Sub,
+                    Instr::LocalSet(FUEL),
+                    Instr::LocalGet(FUEL),
+                    Instr::I64Const(0),
+                    Instr::I64LeS,
+                    Instr::BrIf(1),
+                ];
+                let inner = self.sequence(depth + 1, &[Instr::Br(0)]);
+                body.extend(inner);
+                self.frames.pop();
+                self.frames.pop();
+                out.push(Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(BlockType::Empty, body)],
+                ));
+                false
+            }
+        }
+    }
+
+    /// A statement sequence ending with `tail` (unless a statement
+    /// already transferred control).
+    fn sequence(&mut self, depth: usize, tail: &[Instr]) -> Vec<Instr> {
+        let mut out = Vec::new();
+        let count = 1 + self.upto(7);
+        for _ in 0..count {
+            if self.statement(&mut out, depth) {
+                return out;
+            }
+        }
+        out.extend_from_slice(tail);
+        out
+    }
+
+    fn body(&mut self) -> Vec<Instr> {
+        let mut out = vec![Instr::I64Const(60), Instr::LocalSet(FUEL)];
+        out.extend(self.sequence(0, &[Instr::LocalGet(ACC)]));
+        out
+    }
+}
+
+fn random_module(seed: u64) -> Module {
+    let locals = [
+        ValType::I64,
+        ValType::I64,
+        ValType::I64,
+        ValType::I32,
+        ValType::I64,
+    ];
+    let mut g = Gen::new(seed, true);
+    let body = g.body();
+    // The leaf helper gets its own randomized body from a decorrelated
+    // seed, with calls disabled so call depth stays bounded.
+    let mut leaf = Gen::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xBEEF, false);
+    let helper_body = leaf.body();
+
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let run = b.add_function(&[ValType::I64], &[ValType::I64], &locals, body);
+    let helper = b.add_function(&[ValType::I64], &[ValType::I64], &locals, helper_body);
+    let mismatch = b.add_function(
+        &[ValType::I64, ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0)],
+    );
+    let recurse = b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::Call(RECURSE)],
+    );
+    assert_eq!(
+        (helper, mismatch, recurse),
+        (HELPER, MISMATCH, RECURSE),
+        "function index space drifted"
+    );
+    // Slot 0: the leaf; slot 1: wrong signature; slot 2: empty.
+    b.add_table(3);
+    b.add_elem(0, vec![HELPER, MISMATCH]);
+    b.export_func("run", run);
+    b.build()
+}
+
+fn configs() -> [ExecConfig; 2] {
+    // A modest call-depth limit: deep enough that `RECURSE` builds a real
+    // frame stack before trapping, shallow enough that the *oracle* —
+    // which still recurses one debug-size Rust frame chain per guest
+    // call — fits the default test-thread stack.
+    let base = ExecConfig {
+        max_call_depth: 40,
+        ..ExecConfig::default()
+    };
+    [
+        base,
+        // Software internal safety: memory accesses pay per-access tag
+        // maintenance, exercising the checked paths under a second cost
+        // model.
+        ExecConfig {
+            internal: InternalSafety::Software,
+            ..base
+        },
+    ]
+}
+
+fn check_equivalence(seed: u64, arg: i64) {
+    let module = random_module(seed);
+    validate(&module)
+        .unwrap_or_else(|e| panic!("generator produced invalid module: {e}\nseed {seed}"));
+    for config in configs() {
+        let mut flat_store = Store::new(config);
+        let flat_h = flat_store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        let mut tree_store = Store::new(config);
+        let tree_h = tree_store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+
+        let args = [Value::I64(arg)];
+        let flat = flat_store.invoke(flat_h, "run", &args);
+        let tree = tree_store.call_tree(tree_h, 0, &args);
+
+        match (&flat, &tree) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len(), "seed {seed}: result arity diverged");
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        x.bit_eq(y),
+                        "seed {seed}: results diverged: flat {x:?}, tree {y:?}"
+                    );
+                }
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "seed {seed}: traps diverged");
+            }
+            _ => panic!("seed {seed}: outcome diverged: flat {flat:?}, tree {tree:?}"),
+        }
+        assert_eq!(
+            flat_store.cycles(flat_h).to_bits(),
+            tree_store.cycles(tree_h).to_bits(),
+            "seed {seed}: cycle bits diverged (flat {}, tree {})",
+            flat_store.cycles(flat_h),
+            tree_store.cycles(tree_h),
+        );
+        assert_eq!(
+            flat_store.instr_count(flat_h),
+            tree_store.instr_count(tree_h),
+            "seed {seed}: retired-instruction counts diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn flat_bytecode_is_bit_identical_to_tree_walker(seed: u64, arg: i64) {
+        check_equivalence(seed, arg);
+    }
+}
+
+#[test]
+fn known_shapes_are_bit_identical() {
+    // A few pinned seeds so a regression reproduces without the runner.
+    for seed in [0, 1, 2, 42, 0xCA9E, u64::MAX] {
+        check_equivalence(seed, 7);
+        check_equivalence(seed, -3);
+    }
+}

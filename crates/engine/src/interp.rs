@@ -1,35 +1,33 @@
-//! The interpreter: structured execution of validated modules with cycle
-//! accounting, implementing core WASM semantics plus the paper's Fig. 11
-//! small-step rules for the Cage instructions.
+//! The interpreter: flat-bytecode execution of validated modules with
+//! cycle accounting, implementing core WASM semantics plus the paper's
+//! Fig. 11 small-step rules for the Cage instructions.
 //!
-//! The execution hot path is allocation-free: functions are precompiled
-//! into shared [`CompiledFunc`]s at instantiation, guest calls run on one
-//! shared operand stack and locals arena (frames are base offsets, not
-//! fresh `Vec`s), and loads/stores move scalars through fixed 8-byte
-//! buffers instead of heap-allocated byte vectors.
+//! The execution hot path is allocation-free and dispatch-flat: functions
+//! are precompiled into shared [`CompiledFunc`]s holding flat
+//! [`crate::bytecode::FlatCode`] at instantiation, and execution is one
+//! `loop { match ops[pc] }` over a program counter. Branches are a single
+//! collapse-and-jump via their precompiled [`BranchTarget`] descriptors
+//! (no recursive unwinding), and calls push a return-pc frame on an
+//! explicit call stack, so guest control-flow depth never consumes host
+//! Rust stack. Guest frames run on one shared operand stack and locals
+//! arena (frames are base offsets, not fresh `Vec`s), and loads/stores
+//! move scalars through fixed 8-byte buffers.
+//!
+//! The original structured tree walker survives behind `#[cfg(test)]` as
+//! the differential-testing oracle: property tests assert the flat
+//! dispatcher is bit-identical to it on results, traps and cycles.
 
 use std::rc::Rc;
 
 use cage_wasm::instr::{LoadOp, StoreOp};
-use cage_wasm::{BlockType, Instr, MemArg};
 
+use crate::bytecode::{BranchTarget, Op};
 use crate::config::ExecConfig;
 use crate::cost::InstrClass;
 use crate::host::HostContext;
 use crate::store::{CompiledFunc, Store};
 use crate::trap::Trap;
 use crate::value::Value;
-
-/// Control-flow outcome of executing an instruction sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Flow {
-    /// Fell through.
-    Next,
-    /// Branch to the label `depth` levels up.
-    Br(u32),
-    /// Return from the function.
-    Return,
-}
 
 /// Per-class cycle charges, flattened for the hot loop.
 #[derive(Debug, Clone, Copy)]
@@ -47,12 +45,31 @@ struct Charges {
     auth: f64,
 }
 
+/// A suspended caller on the explicit call stack: everything needed to
+/// resume it when the callee returns.
+struct Frame {
+    func: Rc<CompiledFunc>,
+    ret_pc: usize,
+    locals_base: usize,
+    frame_base: usize,
+    arity: usize,
+}
+
 pub(crate) struct Interp<'s> {
     store: &'s mut Store,
     inst: usize,
     config: ExecConfig,
     charges: Charges,
     depth: usize,
+    /// Cycle accumulator, mirrored from the instance for the duration of
+    /// a call so [`Interp::charge`] touches no memory beyond the
+    /// interpreter struct. Synced back around host calls (which charge
+    /// through [`HostContext`]) and at the end of execution — the f64
+    /// additions happen in exactly the same order as charging the
+    /// instance directly, so cycle bits are unchanged.
+    cycles: f64,
+    /// Retired-instruction accumulator, mirrored like `cycles`.
+    instr_count: u64,
 }
 
 impl<'s> Interp<'s> {
@@ -72,103 +89,279 @@ impl<'s> Interp<'s> {
             sign: cost.pointer_sign_cost(&config),
             auth: cost.pointer_auth_cost(&config),
         };
+        let cycles = store.instances[inst].cycles;
+        let instr_count = store.instances[inst].instr_count;
         Interp {
             store,
             inst,
             config,
             charges,
             depth: 0,
+            cycles,
+            instr_count,
         }
     }
 
     #[inline]
     fn charge(&mut self, cycles: f64) {
+        self.cycles += cycles;
+        self.instr_count += 1;
+    }
+
+    /// Writes the local cycle/instruction accumulators back to the
+    /// instance — before anything else observes them (host calls, the
+    /// embedder after the call returns).
+    fn flush_accounting(&mut self) {
         let i = &mut self.store.instances[self.inst];
-        i.cycles += cycles;
-        i.instr_count += 1;
+        i.cycles = self.cycles;
+        i.instr_count = self.instr_count;
     }
 
     /// Calls function `func_idx` with `args`; returns its results.
     ///
     /// This is the external entry point: it allocates the shared operand
     /// stack and locals arena once, and every nested guest call below it
-    /// reuses them via [`Interp::call_frame`].
+    /// reuses them through the explicit call stack in [`Interp::run`].
     pub(crate) fn call_function(
         &mut self,
         func_idx: u32,
         args: &[Value],
     ) -> Result<Vec<Value>, Trap> {
-        // Internal call sites are arity-checked by validation, but this
-        // entry point takes embedder-supplied arguments: verify them
-        // before they hit the shared-stack frame layout.
-        let params = {
-            let inst = &self.store.instances[self.inst];
-            let func = inst
-                .funcs
-                .get(func_idx as usize)
-                .ok_or_else(|| Trap::Host(format!("no function at index {func_idx}")))?;
-            func.ty.params.len()
-        };
+        self.check_entry(func_idx, args)?;
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut locals: Vec<Value> = Vec::with_capacity(32);
+        stack.extend_from_slice(args);
+        let result = self.run(func_idx, &mut stack, &mut locals);
+        self.flush_accounting();
+        result?;
+        Ok(stack)
+    }
+
+    /// Internal call sites are arity-checked by validation, but the
+    /// external entry points take embedder-supplied arguments: verify them
+    /// before they hit the shared-stack frame layout.
+    fn check_entry(&self, func_idx: u32, args: &[Value]) -> Result<(), Trap> {
+        let inst = &self.store.instances[self.inst];
+        let func = inst
+            .funcs
+            .get(func_idx as usize)
+            .ok_or_else(|| Trap::Host(format!("no function at index {func_idx}")))?;
+        let params = func.ty.params.len();
         if args.len() != params {
             return Err(Trap::Host(format!(
                 "function {func_idx} expects {params} arguments, got {}",
                 args.len()
             )));
         }
-        let mut stack: Vec<Value> = Vec::with_capacity(64);
-        let mut locals: Vec<Value> = Vec::with_capacity(32);
-        stack.extend_from_slice(args);
-        self.call_frame(func_idx, &mut stack, &mut locals)?;
-        Ok(stack)
+        Ok(())
     }
 
-    /// Depth-guarded call on the shared stack: consumes the callee's
-    /// arguments from the top of `stack` and leaves its results there.
-    fn call_frame(
+    /// Moves the callee's arguments off the operand stack into its frame
+    /// in the locals arena, appends zeroed declared locals, and returns
+    /// `(locals_base, frame_base)`.
+    fn enter(
+        func: &CompiledFunc,
+        stack: &mut Vec<Value>,
+        locals: &mut Vec<Value>,
+    ) -> (usize, usize) {
+        debug_assert!(
+            stack.len() >= func.ty.params.len(),
+            "arity checked by validation"
+        );
+        let locals_base = locals.len();
+        let args_base = stack.len() - func.ty.params.len();
+        locals.extend_from_slice(&stack[args_base..]);
+        stack.truncate(args_base);
+        locals.extend(func.locals.iter().map(|t| Value::zero(*t)));
+        (locals_base, stack.len())
+    }
+
+    /// The flat dispatch loop: executes `entry` (and everything it calls)
+    /// to completion on the shared operand stack and locals arena.
+    ///
+    /// Control flow never recurses: branch ops collapse the operand stack
+    /// through their precompiled [`BranchTarget`] and assign the program
+    /// counter; calls push a [`Frame`] and jump to pc 0 of the callee, so
+    /// host stack usage is constant in both guest nesting depth and guest
+    /// call depth (the latter bounded by `max_call_depth`).
+    #[allow(clippy::too_many_lines)]
+    fn run(
         &mut self,
-        func_idx: u32,
+        entry: u32,
         stack: &mut Vec<Value>,
         locals: &mut Vec<Value>,
     ) -> Result<(), Trap> {
         if self.depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
+        let mut func = Rc::clone(&self.store.instances[self.inst].funcs[entry as usize]);
+        if func.is_host {
+            self.depth += 1;
+            let result = self.call_host(entry, &func, stack);
+            self.depth -= 1;
+            return result;
+        }
         self.depth += 1;
-        let result = self.call_inner(func_idx, stack, locals);
-        self.depth -= 1;
-        result
+        let mut frames: Vec<Frame> = Vec::with_capacity(8);
+        let mut pc: usize = 0;
+        let (mut locals_base, mut frame_base) = Self::enter(&func, stack, locals);
+        let mut arity = func.ty.results.len();
+
+        /// Enters callee `$idx`: host functions run inline on the shared
+        /// stack; guest functions suspend the caller onto `frames`.
+        macro_rules! do_call {
+            ($idx:expr) => {{
+                let idx: u32 = $idx;
+                if self.depth >= self.config.max_call_depth {
+                    return Err(Trap::CallStackExhausted);
+                }
+                let callee = Rc::clone(&self.store.instances[self.inst].funcs[idx as usize]);
+                if callee.is_host {
+                    self.depth += 1;
+                    let result = self.call_host(idx, &callee, stack);
+                    self.depth -= 1;
+                    result?;
+                } else {
+                    self.depth += 1;
+                    let (lb, fb) = Self::enter(&callee, stack, locals);
+                    frames.push(Frame {
+                        func: std::mem::replace(&mut func, callee),
+                        ret_pc: pc,
+                        locals_base,
+                        frame_base,
+                        arity,
+                    });
+                    locals_base = lb;
+                    frame_base = fb;
+                    arity = func.ty.results.len();
+                    pc = 0;
+                }
+            }};
+        }
+
+        /// Function epilogue: slide the results down over the frame,
+        /// release the locals frame, resume the suspended caller (or
+        /// finish when this was the outermost frame).
+        macro_rules! do_return {
+            () => {{
+                Self::collapse(stack, frame_base, arity);
+                locals.truncate(locals_base);
+                self.depth -= 1;
+                match frames.pop() {
+                    Some(frame) => {
+                        func = frame.func;
+                        pc = frame.ret_pc;
+                        locals_base = frame.locals_base;
+                        frame_base = frame.frame_base;
+                        arity = frame.arity;
+                    }
+                    None => return Ok(()),
+                }
+            }};
+        }
+
+        loop {
+            let op = &func.code.ops[pc];
+            pc += 1;
+            match op {
+                Op::Jump(target) => pc = *target as usize,
+                Op::If(else_pc) => {
+                    self.charge(self.charges.branch);
+                    if stack.pop().expect("validated").as_i32() == 0 {
+                        pc = *else_pc as usize;
+                    }
+                }
+                Op::IfLocal { src, else_pc } => {
+                    self.charge(self.charges.simple);
+                    self.charge(self.charges.branch);
+                    if locals[locals_base + *src as usize].as_i32() == 0 {
+                        pc = *else_pc as usize;
+                    }
+                }
+                Op::Br(target) => {
+                    self.charge(self.charges.branch);
+                    Self::take_branch(stack, frame_base, target, &mut pc);
+                }
+                Op::BrIf(target) => {
+                    self.charge(self.charges.branch);
+                    if stack.pop().expect("validated").as_i32() != 0 {
+                        Self::take_branch(stack, frame_base, target, &mut pc);
+                    }
+                }
+                Op::BrIfZ(target) => {
+                    self.charge(self.charges.simple);
+                    self.charge(self.charges.branch);
+                    if stack.pop().expect("validated").as_i32() == 0 {
+                        Self::take_branch(stack, frame_base, target, &mut pc);
+                    }
+                }
+                Op::BrIfLocal { src, target } => {
+                    self.charge(self.charges.simple);
+                    self.charge(self.charges.branch);
+                    if locals[locals_base + *src as usize].as_i32() != 0 {
+                        Self::take_branch(stack, frame_base, target, &mut pc);
+                    }
+                }
+                Op::BrIfZLocal { src, target } => {
+                    self.charge(self.charges.simple);
+                    self.charge(self.charges.simple);
+                    self.charge(self.charges.branch);
+                    if locals[locals_base + *src as usize].as_i32() == 0 {
+                        Self::take_branch(stack, frame_base, target, &mut pc);
+                    }
+                }
+                Op::BrTable(targets) => {
+                    self.charge(self.charges.branch);
+                    let i = stack.pop().expect("validated").as_i32() as usize;
+                    let target = targets
+                        .get(i)
+                        .unwrap_or_else(|| targets.last().expect("br_table has a default"));
+                    Self::take_branch(stack, frame_base, target, &mut pc);
+                }
+                Op::Return => {
+                    self.charge(self.charges.branch);
+                    do_return!();
+                }
+                Op::End => do_return!(),
+                Op::Call(f) => {
+                    self.charge(self.charges.call);
+                    do_call!(*f);
+                }
+                Op::CallIndirect(type_idx) => {
+                    self.charge(self.charges.call_indirect);
+                    let type_idx = *type_idx;
+                    let table_idx = stack.pop().expect("validated").as_i32() as u32;
+                    let (func_idx, expected, actual) = {
+                        let inst = &self.store.instances[self.inst];
+                        let func_idx = inst
+                            .table
+                            .get(table_idx as usize)
+                            .copied()
+                            .flatten()
+                            .ok_or(Trap::UndefinedElement)?;
+                        (
+                            func_idx,
+                            Rc::clone(&inst.types[type_idx as usize]),
+                            Rc::clone(&inst.funcs[func_idx as usize].ty),
+                        )
+                    };
+                    // Pointer equality first: types are deduplicated per
+                    // module, so the slow structural compare is a cold path.
+                    if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
+                        return Err(Trap::IndirectCallTypeMismatch);
+                    }
+                    do_call!(func_idx);
+                }
+                other => self.exec_op(other, stack, locals, locals_base)?,
+            }
+        }
     }
 
-    fn call_inner(
-        &mut self,
-        func_idx: u32,
-        stack: &mut Vec<Value>,
-        locals: &mut Vec<Value>,
-    ) -> Result<(), Trap> {
-        let func = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
-        if func.is_host {
-            return self.call_host(func_idx, &func, stack);
-        }
-        debug_assert!(
-            stack.len() >= func.ty.params.len(),
-            "arity checked by validation"
-        );
-
-        // Move the arguments off the operand stack into this frame's
-        // locals slice, then append zeroed declared locals.
-        let locals_base = locals.len();
-        let args_base = stack.len() - func.ty.params.len();
-        locals.extend_from_slice(&stack[args_base..]);
-        stack.truncate(args_base);
-        locals.extend(func.locals.iter().map(|t| Value::zero(*t)));
-
-        let frame_base = stack.len();
-        // On Next/Return/Br(function level) alike, the results sit on top;
-        // slide them down over any abandoned operands of this frame.
-        self.exec_seq(&func.body, stack, locals, locals_base)?;
-        Self::collapse(stack, frame_base, func.ty.results.len());
-        locals.truncate(locals_base);
-        Ok(())
+    /// Takes a resolved branch: collapse to the target frame, jump.
+    #[inline]
+    fn take_branch(stack: &mut Vec<Value>, frame_base: usize, t: &BranchTarget, pc: &mut usize) {
+        Self::collapse(stack, frame_base + t.height as usize, t.arity as usize);
+        *pc = t.pc as usize;
     }
 
     fn call_host(
@@ -180,37 +373,23 @@ impl<'s> Interp<'s> {
         let args_base = stack.len() - func.ty.params.len();
         let func_rc = self.store.instances[self.inst].host_funcs[func_idx as usize].clone();
         let mut host = func_rc.borrow_mut();
+        // The host charges through the instance's accumulator: hand it the
+        // local tally and take back whatever it charged, preserving the
+        // exact order of f64 additions.
+        self.flush_accounting();
         let inst = &mut self.store.instances[self.inst];
         let mut ctx = HostContext {
             memory: inst.memory.as_mut(),
             config: &self.config,
             cycles: &mut inst.cycles,
         };
-        let results = (host.func)(&mut ctx, &stack[args_base..])?;
+        let result = (host.func)(&mut ctx, &stack[args_base..]);
+        self.cycles = self.store.instances[self.inst].cycles;
+        let results = result?;
         debug_assert_eq!(results.len(), func.ty.results.len(), "host arity");
         stack.truncate(args_base);
         stack.extend(results);
         Ok(())
-    }
-
-    fn exec_seq(
-        &mut self,
-        body: &[Instr],
-        stack: &mut Vec<Value>,
-        locals: &mut Vec<Value>,
-        lbase: usize,
-    ) -> Result<Flow, Trap> {
-        for instr in body {
-            match self.exec_instr(instr, stack, locals, lbase)? {
-                Flow::Next => {}
-                other => return Ok(other),
-            }
-        }
-        Ok(Flow::Next)
-    }
-
-    fn block_arity(bt: &BlockType) -> usize {
-        bt.results().len()
     }
 
     /// Slides the top `arity` values down to `height` in place — the
@@ -226,153 +405,141 @@ impl<'s> Interp<'s> {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn exec_instr(
+    fn memory(&mut self) -> Result<&crate::memory::LinearMemory, Trap> {
+        self.store.instances[self.inst]
+            .memory
+            .as_ref()
+            .ok_or_else(|| Trap::Host("no memory".into()))
+    }
+
+    fn memory_mut(&mut self) -> Result<&mut crate::memory::LinearMemory, Trap> {
+        self.store.instances[self.inst]
+            .memory
+            .as_mut()
+            .ok_or_else(|| Trap::Host("no memory".into()))
+    }
+
+    /// Pops a memory index: i32 (zero-extended) or i64 depending on the
+    /// memory.
+    fn pop_index(&mut self, stack: &mut Vec<Value>) -> u64 {
+        match stack.pop().expect("validated") {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            other => panic!("index must be integer, found {other:?}"),
+        }
+    }
+
+    fn mem_read_scalar(&mut self, index: u64, offset: u64, width: u64) -> Result<u64, Trap> {
+        let config = self.config;
+        self.memory_mut()?
+            .read_scalar(index, offset, width, &config)
+    }
+
+    fn mem_write_scalar(
         &mut self,
-        instr: &Instr,
+        index: u64,
+        offset: u64,
+        width: u64,
+        raw: u64,
+    ) -> Result<(), Trap> {
+        let config = self.config;
+        self.memory_mut()?
+            .write_scalar(index, offset, width, raw, &config)
+    }
+
+    /// Executes one data op (anything but resolved control flow): the
+    /// single implementation shared by the flat dispatch loop and the
+    /// `#[cfg(test)]` tree-walking oracle.
+    ///
+    /// `inline(always)` so the dispatch loop's control match and this
+    /// data match fuse into a single jump table — without it every
+    /// arithmetic instruction pays a second dispatch.
+    #[inline(always)]
+    #[allow(clippy::too_many_lines, clippy::inline_always)]
+    fn exec_op(
+        &mut self,
+        op: &Op,
         stack: &mut Vec<Value>,
-        locals: &mut Vec<Value>,
+        locals: &mut [Value],
         lbase: usize,
-    ) -> Result<Flow, Trap> {
-        use Instr::*;
-        match instr {
+    ) -> Result<(), Trap> {
+        use Op::*;
+        macro_rules! una {
+            ($cost:expr, $pop:ident, $push:expr) => {{
+                self.charge($cost);
+                let a = stack.pop().expect("validated").$pop();
+                stack.push(Value::from($push(a)));
+            }};
+        }
+        macro_rules! bin {
+            ($cost:expr, $pop:ident, $push:expr) => {{
+                self.charge($cost);
+                let b = stack.pop().expect("validated").$pop();
+                let a = stack.pop().expect("validated").$pop();
+                stack.push(Value::from($push(a, b)));
+            }};
+        }
+        macro_rules! cmp {
+            ($cost:expr, $pop:ident, $op:expr) => {{
+                self.charge($cost);
+                let b = stack.pop().expect("validated").$pop();
+                let a = stack.pop().expect("validated").$pop();
+                stack.push(Value::I32(i32::from($op(a, b))));
+            }};
+        }
+        let s = self.charges.simple;
+        let fl = self.charges.float;
+        let dv = self.charges.div;
+        let fdv = self.charges.float_div;
+        match op {
             Unreachable => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 return Err(Trap::Unreachable);
             }
-            Nop => self.charge(self.charges.simple),
-            Block(bt, inner) => {
-                let height = stack.len();
-                let arity = Self::block_arity(bt);
-                match self.exec_seq(inner, stack, locals, lbase)? {
-                    Flow::Next => {}
-                    Flow::Br(0) => Self::collapse(stack, height, arity),
-                    Flow::Br(n) => return Ok(Flow::Br(n - 1)),
-                    Flow::Return => return Ok(Flow::Return),
-                }
-            }
-            Loop(_bt, inner) => {
-                let height = stack.len();
-                loop {
-                    match self.exec_seq(inner, stack, locals, lbase)? {
-                        Flow::Next => break,
-                        Flow::Br(0) => {
-                            // Loop labels have no parameters in this
-                            // subset: restart with a clean frame.
-                            stack.truncate(height);
-                        }
-                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
-                        Flow::Return => return Ok(Flow::Return),
-                    }
-                }
-            }
-            If(bt, then_body, else_body) => {
-                self.charge(self.charges.branch);
-                let cond = stack.pop().expect("validated").as_i32();
-                let height = stack.len();
-                let arity = Self::block_arity(bt);
-                let body = if cond != 0 { then_body } else { else_body };
-                match self.exec_seq(body, stack, locals, lbase)? {
-                    Flow::Next => {}
-                    Flow::Br(0) => Self::collapse(stack, height, arity),
-                    Flow::Br(n) => return Ok(Flow::Br(n - 1)),
-                    Flow::Return => return Ok(Flow::Return),
-                }
-            }
-            Br(depth) => {
-                self.charge(self.charges.branch);
-                return Ok(Flow::Br(*depth));
-            }
-            BrIf(depth) => {
-                self.charge(self.charges.branch);
-                let cond = stack.pop().expect("validated").as_i32();
-                if cond != 0 {
-                    return Ok(Flow::Br(*depth));
-                }
-            }
-            BrTable(targets, default) => {
-                self.charge(self.charges.branch);
-                let i = stack.pop().expect("validated").as_i32() as usize;
-                let target = targets.get(i).copied().unwrap_or(*default);
-                return Ok(Flow::Br(target));
-            }
-            Return => {
-                self.charge(self.charges.branch);
-                return Ok(Flow::Return);
-            }
-            Call(f) => {
-                self.charge(self.charges.call);
-                // Arguments are already on the shared stack; the callee
-                // consumes them and leaves its results in place.
-                self.call_frame(*f, stack, locals)?;
-            }
-            CallIndirect(type_idx) => {
-                self.charge(self.charges.call_indirect);
-                let table_idx = stack.pop().expect("validated").as_i32() as u32;
-                let (func_idx, expected, actual) = {
-                    let inst = &self.store.instances[self.inst];
-                    let func_idx = inst
-                        .table
-                        .get(table_idx as usize)
-                        .copied()
-                        .flatten()
-                        .ok_or(Trap::UndefinedElement)?;
-                    (
-                        func_idx,
-                        Rc::clone(&inst.types[*type_idx as usize]),
-                        Rc::clone(&inst.funcs[func_idx as usize].ty),
-                    )
-                };
-                // Pointer equality first: types are deduplicated per
-                // module, so the slow structural compare is a cold path.
-                if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
-                    return Err(Trap::IndirectCallTypeMismatch);
-                }
-                self.call_frame(func_idx, stack, locals)?;
-            }
+            Nop => self.charge(s),
             Drop => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 stack.pop();
             }
             Select => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 let c = stack.pop().expect("validated").as_i32();
                 let b = stack.pop().expect("validated");
                 let a = stack.pop().expect("validated");
                 stack.push(if c != 0 { a } else { b });
             }
             LocalGet(i) => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 stack.push(locals[lbase + *i as usize]);
             }
             LocalSet(i) => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 locals[lbase + *i as usize] = stack.pop().expect("validated");
             }
             LocalTee(i) => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 locals[lbase + *i as usize] = *stack.last().expect("validated");
             }
             GlobalGet(i) => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 stack.push(self.store.instances[self.inst].globals[*i as usize]);
             }
             GlobalSet(i) => {
-                self.charge(self.charges.simple);
+                self.charge(s);
                 let v = stack.pop().expect("validated");
                 self.store.instances[self.inst].globals[*i as usize] = v;
             }
-            Load(op, memarg) => {
+            Load(op, offset) => {
                 self.charge(self.charges.mem);
                 let index = self.pop_index(stack);
-                let raw = self.mem_read_scalar(index, memarg, op.width())?;
+                let raw = self.mem_read_scalar(index, *offset, op.width())?;
                 stack.push(decode_load(*op, raw));
             }
-            Store(op, memarg) => {
+            Store(op, offset) => {
                 self.charge(self.charges.mem);
                 let value = stack.pop().expect("validated");
                 let index = self.pop_index(stack);
-                self.mem_write_scalar(index, memarg, op.width(), encode_store(*op, value))?;
+                self.mem_write_scalar(index, *offset, op.width(), encode_store(*op, value))?;
             }
             MemorySize => {
                 self.charge(self.charges.mem_manage);
@@ -411,21 +578,45 @@ impl<'s> Interp<'s> {
                 let config = self.config;
                 self.memory_mut()?.copy(dst, src, len, &config)?;
             }
-            I32Const(v) => {
-                self.charge(self.charges.simple);
-                stack.push(Value::I32(*v));
+            Const(v) => {
+                self.charge(s);
+                stack.push(*v);
             }
-            I64Const(v) => {
-                self.charge(self.charges.simple);
-                stack.push(Value::I64(*v));
+
+            // -- fused superinstructions: constituent charges in original
+            // order, so cycle accounting is bit-identical to the unfused
+            // pair (the `charge(0.0)` calls retire the zero-cost extends).
+            LocalMove { src, dst } => {
+                self.charge(s);
+                self.charge(s);
+                locals[lbase + *dst as usize] = locals[lbase + *src as usize];
             }
-            F32Const(bits) => {
-                self.charge(self.charges.simple);
-                stack.push(Value::F32(f32::from_bits(*bits)));
+            LocalSetGet(i) => {
+                self.charge(s);
+                self.charge(s);
+                locals[lbase + *i as usize] = *stack.last().expect("validated");
             }
-            F64Const(bits) => {
-                self.charge(self.charges.simple);
-                stack.push(Value::F64(f64::from_bits(*bits)));
+            LocalGetPair { a, b } => {
+                self.charge(s);
+                self.charge(s);
+                stack.push(locals[lbase + *a as usize]);
+                stack.push(locals[lbase + *b as usize]);
+            }
+            ConstLocal { v, dst } => {
+                self.charge(s);
+                self.charge(s);
+                locals[lbase + *dst as usize] = *v;
+            }
+            ConstExtI64(v) => {
+                self.charge(s);
+                self.charge(0.0);
+                stack.push(*v);
+            }
+            ConstLocalExt { v, dst } => {
+                self.charge(s);
+                self.charge(0.0);
+                self.charge(s);
+                locals[lbase + *dst as usize] = *v;
             }
 
             // -- Cage extension (Fig. 11) ---------------------------------
@@ -485,86 +676,6 @@ impl<'s> Interp<'s> {
             }
 
             // -- numeric ----------------------------------------------------
-            other => {
-                self.exec_numeric(other, stack)?;
-            }
-        }
-        Ok(Flow::Next)
-    }
-
-    fn memory(&mut self) -> Result<&crate::memory::LinearMemory, Trap> {
-        self.store.instances[self.inst]
-            .memory
-            .as_ref()
-            .ok_or_else(|| Trap::Host("no memory".into()))
-    }
-
-    fn memory_mut(&mut self) -> Result<&mut crate::memory::LinearMemory, Trap> {
-        self.store.instances[self.inst]
-            .memory
-            .as_mut()
-            .ok_or_else(|| Trap::Host("no memory".into()))
-    }
-
-    /// Pops a memory index: i32 (zero-extended) or i64 depending on the
-    /// memory.
-    fn pop_index(&mut self, stack: &mut Vec<Value>) -> u64 {
-        match stack.pop().expect("validated") {
-            Value::I32(v) => v as u32 as u64,
-            Value::I64(v) => v as u64,
-            other => panic!("index must be integer, found {other:?}"),
-        }
-    }
-
-    fn mem_read_scalar(&mut self, index: u64, memarg: &MemArg, width: u64) -> Result<u64, Trap> {
-        let config = self.config;
-        self.memory_mut()?
-            .read_scalar(index, memarg.offset, width, &config)
-    }
-
-    fn mem_write_scalar(
-        &mut self,
-        index: u64,
-        memarg: &MemArg,
-        width: u64,
-        raw: u64,
-    ) -> Result<(), Trap> {
-        let config = self.config;
-        self.memory_mut()?
-            .write_scalar(index, memarg.offset, width, raw, &config)
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn exec_numeric(&mut self, instr: &Instr, stack: &mut Vec<Value>) -> Result<(), Trap> {
-        use Instr::*;
-        macro_rules! una {
-            ($cost:expr, $pop:ident, $push:expr) => {{
-                self.charge($cost);
-                let a = stack.pop().expect("validated").$pop();
-                stack.push(Value::from($push(a)));
-            }};
-        }
-        macro_rules! bin {
-            ($cost:expr, $pop:ident, $push:expr) => {{
-                self.charge($cost);
-                let b = stack.pop().expect("validated").$pop();
-                let a = stack.pop().expect("validated").$pop();
-                stack.push(Value::from($push(a, b)));
-            }};
-        }
-        macro_rules! cmp {
-            ($cost:expr, $pop:ident, $op:expr) => {{
-                self.charge($cost);
-                let b = stack.pop().expect("validated").$pop();
-                let a = stack.pop().expect("validated").$pop();
-                stack.push(Value::I32(i32::from($op(a, b))));
-            }};
-        }
-        let s = self.charges.simple;
-        let fl = self.charges.float;
-        let dv = self.charges.div;
-        let fdv = self.charges.float_div;
-        match instr {
             I32Eqz => una!(s, as_i32, |a: i32| i32::from(a == 0)),
             I32Eq => cmp!(s, as_i32, |a, b| a == b),
             I32Ne => cmp!(s, as_i32, |a, b| a != b),
@@ -817,9 +928,216 @@ impl<'s> Interp<'s> {
             I64Extend16S => una!(s, as_i64, |a: i64| i64::from(a as i16)),
             I64Extend32S => una!(s, as_i64, |a: i64| i64::from(a as i32)),
 
-            other => unreachable!("non-numeric instruction {other:?} reached exec_numeric"),
+            other => unreachable!("control op {other:?} reached exec_op"),
         }
         Ok(())
+    }
+}
+
+// -- tree-walking oracle (tests only) ------------------------------------
+//
+// The pre-flat-bytecode interpreter, preserved as the differential-testing
+// oracle: it executes the *structured* `Instr` tree recursively exactly as
+// production did before the refactor, delegating every data op to the same
+// `exec_op` the flat dispatcher uses. Property tests assert both paths are
+// bit-identical on results, traps, cycles and retired instructions.
+#[cfg(test)]
+mod tree {
+    use super::*;
+    use crate::bytecode::flat_op;
+    use cage_wasm::Instr;
+
+    /// Control-flow outcome of executing an instruction sequence.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flow {
+        /// Fell through.
+        Next,
+        /// Branch to the label `depth` levels up.
+        Br(u32),
+        /// Return from the function.
+        Return,
+    }
+
+    impl Interp<'_> {
+        /// Oracle entry point: the structured-tree twin of
+        /// [`Interp::call_function`].
+        pub(crate) fn call_function_tree(
+            &mut self,
+            func_idx: u32,
+            args: &[Value],
+        ) -> Result<Vec<Value>, Trap> {
+            self.check_entry(func_idx, args)?;
+            let mut stack: Vec<Value> = Vec::with_capacity(64);
+            let mut locals: Vec<Value> = Vec::with_capacity(32);
+            stack.extend_from_slice(args);
+            let result = self.call_frame_tree(func_idx, &mut stack, &mut locals);
+            self.flush_accounting();
+            result?;
+            Ok(stack)
+        }
+
+        fn call_frame_tree(
+            &mut self,
+            func_idx: u32,
+            stack: &mut Vec<Value>,
+            locals: &mut Vec<Value>,
+        ) -> Result<(), Trap> {
+            if self.depth >= self.config.max_call_depth {
+                return Err(Trap::CallStackExhausted);
+            }
+            self.depth += 1;
+            let result = self.call_inner_tree(func_idx, stack, locals);
+            self.depth -= 1;
+            result
+        }
+
+        fn call_inner_tree(
+            &mut self,
+            func_idx: u32,
+            stack: &mut Vec<Value>,
+            locals: &mut Vec<Value>,
+        ) -> Result<(), Trap> {
+            let func = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
+            if func.is_host {
+                return self.call_host(func_idx, &func, stack);
+            }
+            // The structured body lives on the instance's module (the
+            // compiled form is flat); cloning it per call is fine on this
+            // test-only path.
+            let body = {
+                let inst = &self.store.instances[self.inst];
+                let imported = inst.module.imported_func_count();
+                inst.module.funcs[(func_idx - imported) as usize]
+                    .body
+                    .clone()
+            };
+            let (locals_base, frame_base) = Self::enter(&func, stack, locals);
+            // On Next/Return/Br(function level) alike, the results sit on
+            // top; slide them down over any abandoned operands.
+            self.exec_seq_tree(&body, stack, locals, locals_base)?;
+            Self::collapse(stack, frame_base, func.ty.results.len());
+            locals.truncate(locals_base);
+            Ok(())
+        }
+
+        fn exec_seq_tree(
+            &mut self,
+            body: &[Instr],
+            stack: &mut Vec<Value>,
+            locals: &mut Vec<Value>,
+            lbase: usize,
+        ) -> Result<Flow, Trap> {
+            for instr in body {
+                match self.exec_instr_tree(instr, stack, locals, lbase)? {
+                    Flow::Next => {}
+                    other => return Ok(other),
+                }
+            }
+            Ok(Flow::Next)
+        }
+
+        fn exec_instr_tree(
+            &mut self,
+            instr: &Instr,
+            stack: &mut Vec<Value>,
+            locals: &mut Vec<Value>,
+            lbase: usize,
+        ) -> Result<Flow, Trap> {
+            match instr {
+                Instr::Block(bt, inner) => {
+                    let height = stack.len();
+                    let arity = bt.arity();
+                    match self.exec_seq_tree(inner, stack, locals, lbase)? {
+                        Flow::Next => {}
+                        Flow::Br(0) => Self::collapse(stack, height, arity),
+                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+                Instr::Loop(_bt, inner) => {
+                    let height = stack.len();
+                    loop {
+                        match self.exec_seq_tree(inner, stack, locals, lbase)? {
+                            Flow::Next => break,
+                            Flow::Br(0) => {
+                                // Loop labels have no parameters in this
+                                // subset: restart with a clean frame.
+                                stack.truncate(height);
+                            }
+                            Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                            Flow::Return => return Ok(Flow::Return),
+                        }
+                    }
+                }
+                Instr::If(bt, then_body, else_body) => {
+                    self.charge(self.charges.branch);
+                    let cond = stack.pop().expect("validated").as_i32();
+                    let height = stack.len();
+                    let arity = bt.arity();
+                    let body = if cond != 0 { then_body } else { else_body };
+                    match self.exec_seq_tree(body, stack, locals, lbase)? {
+                        Flow::Next => {}
+                        Flow::Br(0) => Self::collapse(stack, height, arity),
+                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+                Instr::Br(depth) => {
+                    self.charge(self.charges.branch);
+                    return Ok(Flow::Br(*depth));
+                }
+                Instr::BrIf(depth) => {
+                    self.charge(self.charges.branch);
+                    let cond = stack.pop().expect("validated").as_i32();
+                    if cond != 0 {
+                        return Ok(Flow::Br(*depth));
+                    }
+                }
+                Instr::BrTable(targets, default) => {
+                    self.charge(self.charges.branch);
+                    let i = stack.pop().expect("validated").as_i32() as usize;
+                    let target = targets.get(i).copied().unwrap_or(*default);
+                    return Ok(Flow::Br(target));
+                }
+                Instr::Return => {
+                    self.charge(self.charges.branch);
+                    return Ok(Flow::Return);
+                }
+                Instr::Call(f) => {
+                    self.charge(self.charges.call);
+                    // Arguments are already on the shared stack; the callee
+                    // consumes them and leaves its results in place.
+                    self.call_frame_tree(*f, stack, locals)?;
+                }
+                Instr::CallIndirect(type_idx) => {
+                    self.charge(self.charges.call_indirect);
+                    let table_idx = stack.pop().expect("validated").as_i32() as u32;
+                    let (func_idx, expected, actual) = {
+                        let inst = &self.store.instances[self.inst];
+                        let func_idx = inst
+                            .table
+                            .get(table_idx as usize)
+                            .copied()
+                            .flatten()
+                            .ok_or(Trap::UndefinedElement)?;
+                        (
+                            func_idx,
+                            Rc::clone(&inst.types[*type_idx as usize]),
+                            Rc::clone(&inst.funcs[func_idx as usize].ty),
+                        )
+                    };
+                    if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
+                        return Err(Trap::IndirectCallTypeMismatch);
+                    }
+                    self.call_frame_tree(func_idx, stack, locals)?;
+                }
+                other => {
+                    let op = flat_op(other).expect("non-control instruction");
+                    self.exec_op(&op, stack, locals, lbase)?;
+                }
+            }
+            Ok(Flow::Next)
+        }
     }
 }
 
@@ -969,6 +1287,316 @@ fn trunc_to_u64(v: f64) -> Result<u64, Trap> {
         return Err(Trap::IntegerOverflow);
     }
     Ok(t as u64)
+}
+
+#[cfg(test)]
+mod ab_bench {
+    //! In-process A/B timing of the flat dispatcher against the tree
+    //! oracle — immune to ambient machine drift between separate runs.
+    //! `cargo test --release -p cage-engine ab_bench -- --ignored --nocapture`
+    use crate::config::ExecConfig;
+    use crate::store::Store;
+    use crate::value::Value;
+    use cage_wasm::builder::ModuleBuilder;
+    use cage_wasm::{BlockType, Instr, ValType};
+
+    fn time<F: FnMut()>(mut f: F) -> std::time::Duration {
+        f(); // warm
+        let start = std::time::Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        start.elapsed() / 5
+    }
+
+    fn ab(name: &str, module: &cage_wasm::Module, export_idx: u32, arg: i64) {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(module, &Default::default()).unwrap();
+        let args = [Value::I64(arg)];
+        let flat_out = store.call(h, export_idx, &args).unwrap();
+        let tree_out = store.call_tree(h, export_idx, &args).unwrap();
+        assert_eq!(flat_out, tree_out, "{name}: divergent results");
+        let flat = time(|| {
+            store.call(h, export_idx, &args).unwrap();
+        });
+        let tree = time(|| {
+            store.call_tree(h, export_idx, &args).unwrap();
+        });
+        println!(
+            "{name:<12} tree {tree:>12?}  flat {flat:>12?}  speedup {:.2}x",
+            tree.as_secs_f64() / flat.as_secs_f64()
+        );
+    }
+
+    /// Wraps `body` in the shared counting-loop harness:
+    /// `do { body; } while (++locals[i] < locals[n])`.
+    fn counted_loop(mut body: Vec<Instr>, n: u32, i: u32) -> Instr {
+        body.extend([
+            Instr::LocalGet(i),
+            Instr::I64Const(1),
+            Instr::I64Add,
+            Instr::LocalSet(i),
+            Instr::LocalGet(i),
+            Instr::LocalGet(n),
+            Instr::I64LtS,
+            Instr::BrIf(0),
+        ]);
+        Instr::Loop(BlockType::Empty, body)
+    }
+
+    /// if/else ladder + inner br_if loop, the shape C codegen emits.
+    fn branchy() -> (cage_wasm::Module, u32) {
+        let (n, i, acc, j) = (0, 1, 2, 3);
+        let ladder = vec![
+            Instr::LocalGet(i),
+            Instr::I64Const(3),
+            Instr::I64RemS,
+            Instr::I64Eqz,
+            Instr::If(
+                BlockType::Empty,
+                vec![
+                    Instr::LocalGet(acc),
+                    Instr::I64Const(1),
+                    Instr::I64Add,
+                    Instr::LocalSet(acc),
+                ],
+                vec![
+                    Instr::LocalGet(i),
+                    Instr::I64Const(5),
+                    Instr::I64RemS,
+                    Instr::I64Eqz,
+                    Instr::If(
+                        BlockType::Empty,
+                        vec![
+                            Instr::LocalGet(acc),
+                            Instr::I64Const(2),
+                            Instr::I64Add,
+                            Instr::LocalSet(acc),
+                        ],
+                        vec![
+                            Instr::LocalGet(acc),
+                            Instr::I64Const(1),
+                            Instr::I64Sub,
+                            Instr::LocalSet(acc),
+                        ],
+                    ),
+                ],
+            ),
+            // j = i & 15; while (j > 0) { j--; if (j == 7) break; }
+            Instr::LocalGet(i),
+            Instr::I64Const(15),
+            Instr::I64And,
+            Instr::LocalSet(j),
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Loop(
+                    BlockType::Empty,
+                    vec![
+                        Instr::LocalGet(j),
+                        Instr::I64Const(0),
+                        Instr::I64LeS,
+                        Instr::BrIf(1),
+                        Instr::LocalGet(j),
+                        Instr::I64Const(1),
+                        Instr::I64Sub,
+                        Instr::LocalSet(j),
+                        Instr::LocalGet(j),
+                        Instr::I64Const(7),
+                        Instr::I64Eq,
+                        Instr::BrIf(1),
+                        Instr::Br(0),
+                    ],
+                )],
+            ),
+        ];
+        let loop_body = ladder;
+        let mut b = ModuleBuilder::new();
+        let f = b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64, ValType::I64],
+            vec![counted_loop(loop_body, n, i), Instr::LocalGet(acc)],
+        );
+        (b.build(), f)
+    }
+
+    /// Tight br_table dispatch loop.
+    fn dispatchy() -> (cage_wasm::Module, u32) {
+        let (n, i, acc) = (0, 1, 2);
+        let selector = vec![
+            Instr::LocalGet(i),
+            Instr::I64Const(4),
+            Instr::I64RemU,
+            Instr::I32WrapI64,
+            Instr::BrTable(vec![0, 1], 2),
+        ];
+        let mut b1 = vec![Instr::Block(BlockType::Empty, selector)];
+        b1.extend([
+            Instr::LocalGet(acc),
+            Instr::I64Const(1),
+            Instr::I64Add,
+            Instr::LocalSet(acc),
+            Instr::Br(1),
+        ]);
+        let mut b2 = vec![Instr::Block(BlockType::Empty, b1)];
+        b2.extend([
+            Instr::LocalGet(acc),
+            Instr::I64Const(3),
+            Instr::I64Add,
+            Instr::LocalSet(acc),
+            Instr::Br(0),
+        ]);
+        let loop_body = vec![Instr::Block(BlockType::Empty, b2)];
+        let mut b = ModuleBuilder::new();
+        let f = b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64],
+            vec![counted_loop(loop_body, n, i), Instr::LocalGet(acc)],
+        );
+        (b.build(), f)
+    }
+
+    /// Variable-depth exits from a 32-deep block nest.
+    fn unwindy() -> (cage_wasm::Module, u32) {
+        const DEPTH: u32 = 32;
+        let (n, i) = (0, 1);
+        let mut nest = vec![
+            Instr::LocalGet(i),
+            Instr::I64Const(i64::from(DEPTH)),
+            Instr::I64RemU,
+            Instr::I32WrapI64,
+            Instr::BrTable((0..DEPTH - 1).collect(), DEPTH - 1),
+        ];
+        for _ in 0..DEPTH {
+            nest = vec![Instr::Block(BlockType::Empty, nest)];
+        }
+        let loop_body = nest;
+        let mut b = ModuleBuilder::new();
+        let f = b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64],
+            vec![counted_loop(loop_body, n, i), Instr::LocalGet(i)],
+        );
+        (b.build(), f)
+    }
+
+    /// Call-heavy: run -> mid -> 2x leaf per iteration.
+    fn cally() -> (cage_wasm::Module, u32) {
+        let mut b = ModuleBuilder::new();
+        let leaf = b.add_function(
+            &[ValType::I64, ValType::I64],
+            &[ValType::I64],
+            &[],
+            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I64Add],
+        );
+        let mid = b.add_function(
+            &[ValType::I64, ValType::I64],
+            &[ValType::I64],
+            &[],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::Call(leaf),
+                Instr::LocalGet(1),
+                Instr::LocalGet(0),
+                Instr::Call(leaf),
+                Instr::I64Add,
+            ],
+        );
+        let (n, i, acc) = (0, 1, 2);
+        let f = b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64],
+            vec![
+                Instr::Loop(
+                    BlockType::Empty,
+                    vec![
+                        Instr::LocalGet(acc),
+                        Instr::LocalGet(i),
+                        Instr::Call(mid),
+                        Instr::LocalSet(acc),
+                        Instr::LocalGet(i),
+                        Instr::I64Const(1),
+                        Instr::I64Add,
+                        Instr::LocalSet(i),
+                        Instr::LocalGet(i),
+                        Instr::LocalGet(n),
+                        Instr::I64LtS,
+                        Instr::BrIf(0),
+                    ],
+                ),
+                Instr::LocalGet(acc),
+            ],
+        );
+        (b.build(), f)
+    }
+
+    /// gemm-ish: f64 load/mul/add/store sweeps.
+    fn memmy() -> (cage_wasm::Module, u32) {
+        use cage_wasm::instr::{LoadOp, StoreOp};
+        use cage_wasm::MemArg;
+        let (n, i, s) = (0, 1, 2);
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(2);
+        let f = b.add_function(
+            &[ValType::I64],
+            &[ValType::F64],
+            &[ValType::I64, ValType::F64],
+            vec![
+                Instr::Loop(
+                    BlockType::Empty,
+                    vec![
+                        // s += mem[(i*8) & 0xFFF8]; mem[..] = s * 0.5
+                        Instr::LocalGet(i),
+                        Instr::I64Const(8),
+                        Instr::I64Mul,
+                        Instr::I64Const(0xFFF8),
+                        Instr::I64And,
+                        Instr::Load(LoadOp::F64Load, MemArg::none()),
+                        Instr::LocalGet(s),
+                        Instr::F64Add,
+                        Instr::LocalSet(s),
+                        Instr::LocalGet(i),
+                        Instr::I64Const(8),
+                        Instr::I64Mul,
+                        Instr::I64Const(0xFFF8),
+                        Instr::I64And,
+                        Instr::LocalGet(s),
+                        Instr::F64Const(0.5f64.to_bits()),
+                        Instr::F64Mul,
+                        Instr::Store(StoreOp::F64Store, MemArg::none()),
+                        Instr::LocalGet(i),
+                        Instr::I64Const(1),
+                        Instr::I64Add,
+                        Instr::LocalSet(i),
+                        Instr::LocalGet(i),
+                        Instr::LocalGet(n),
+                        Instr::I64LtS,
+                        Instr::BrIf(0),
+                    ],
+                ),
+                Instr::LocalGet(s),
+            ],
+        );
+        (b.build(), f)
+    }
+
+    #[test]
+    #[ignore = "timing A/B, run explicitly in release"]
+    fn flat_vs_tree_wallclock() {
+        for (name, (module, f), arg) in [
+            ("branchy", branchy(), 300_000i64),
+            ("dispatch", dispatchy(), 500_000),
+            ("unwind", unwindy(), 500_000),
+            ("calls", cally(), 100_000),
+            ("mem", memmy(), 500_000),
+        ] {
+            ab(name, &module, f, arg);
+        }
+    }
 }
 
 #[cfg(test)]

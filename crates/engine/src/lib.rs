@@ -47,8 +47,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod config;
 pub mod cost;
+#[cfg(test)]
+mod difftest;
 pub mod host;
 pub mod interp;
 pub mod memory;
@@ -57,6 +60,7 @@ pub mod trap;
 pub mod typed;
 pub mod value;
 
+pub use bytecode::disassemble;
 pub use config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
 pub use cost::{CostModel, InstrClass};
 pub use host::{HostContext, HostFunc, Imports};

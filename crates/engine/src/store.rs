@@ -11,9 +11,10 @@ use std::rc::Rc;
 
 use cage_mte::{MteMode, Tag};
 use cage_pac::{PacKey, PacSigner, PointerLayout};
-use cage_wasm::{validate, FuncType, ImportKind, Instr, Module, ValType, ValidationError};
+use cage_wasm::{validate, FuncType, ImportKind, Module, ValType, ValidationError};
 use rand::{Rng, SeedableRng};
 
+use crate::bytecode::{self, FlatCode};
 use crate::config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
 use crate::cost::CostModel;
 use crate::host::{HostFunc, Imports};
@@ -77,8 +78,8 @@ impl From<ValidationError> for InstantiateError {
 pub struct InstanceHandle(pub(crate) usize);
 
 /// A function precompiled at instantiation: resolved type, local
-/// declarations and body, shared behind an `Rc` so the interpreter's call
-/// path never deep-clones the instruction tree or the signature.
+/// declarations and flat bytecode, shared behind an `Rc` so the
+/// interpreter's call path never deep-clones anything.
 #[derive(Debug)]
 pub(crate) struct CompiledFunc {
     /// Resolved signature, shared with the instance's type table so
@@ -86,14 +87,17 @@ pub(crate) struct CompiledFunc {
     pub(crate) ty: Rc<FuncType>,
     /// Declared locals (after the parameters). Empty for host functions.
     pub(crate) locals: Vec<ValType>,
-    /// Structured body. Empty for host functions.
-    pub(crate) body: Vec<Instr>,
+    /// Flat bytecode lowered from the structured body — branch targets
+    /// resolved to pc offsets, block arities baked into collapse
+    /// descriptors. Empty for host functions.
+    pub(crate) code: FlatCode,
     /// Whether this index dispatches to an imported host function.
     pub(crate) is_host: bool,
 }
 
 /// Precompiles every function in `module`'s joint index space (imports
-/// first, then local functions), plus the shared type table.
+/// first, then local functions) down to flat bytecode, plus the shared
+/// type table.
 fn precompile(module: &Module) -> (Vec<Rc<FuncType>>, Vec<Rc<CompiledFunc>>) {
     let types: Vec<Rc<FuncType>> = module.types.iter().cloned().map(Rc::new).collect();
     let mut funcs = Vec::with_capacity(module.total_func_count() as usize);
@@ -101,15 +105,17 @@ fn precompile(module: &Module) -> (Vec<Rc<FuncType>>, Vec<Rc<CompiledFunc>>) {
         funcs.push(Rc::new(CompiledFunc {
             ty: Rc::clone(&types[type_idx as usize]),
             locals: Vec::new(),
-            body: Vec::new(),
+            code: FlatCode::default(),
             is_host: true,
         }));
     }
     for f in &module.funcs {
+        let ty = Rc::clone(&types[f.type_idx as usize]);
+        let code = bytecode::compile(module, ty.results.len(), &f.body);
         funcs.push(Rc::new(CompiledFunc {
-            ty: Rc::clone(&types[f.type_idx as usize]),
+            ty,
             locals: f.locals.clone(),
-            body: f.body.clone(),
+            code,
             is_host: false,
         }));
     }
@@ -384,6 +390,27 @@ impl Store {
         let results = interp.call_function(func_idx, args)?;
         // Surface deferred asynchronous tag faults, as the kernel does at
         // context-switch time.
+        if let Some(mem) = self.instances[handle.0].memory.as_mut() {
+            if let Some(fault) = mem.take_async_fault() {
+                return Err(Trap::AsyncTagCheck(fault));
+            }
+        }
+        Ok(results)
+    }
+
+    /// Calls a function by index through the structured tree walker — the
+    /// pre-flat-bytecode interpreter kept as the differential-testing
+    /// oracle. Mirrors [`Store::call`] exactly, including surfacing of
+    /// deferred asynchronous MTE faults.
+    #[cfg(test)]
+    pub(crate) fn call_tree(
+        &mut self,
+        handle: InstanceHandle,
+        func_idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        let mut interp = Interp::new(self, handle.0);
+        let results = interp.call_function_tree(func_idx, args)?;
         if let Some(mem) = self.instances[handle.0].memory.as_mut() {
             if let Some(fault) = mem.take_async_fault() {
                 return Err(Trap::AsyncTagCheck(fault));

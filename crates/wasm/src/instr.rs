@@ -57,6 +57,17 @@ impl BlockType {
             BlockType::Value(v) => std::slice::from_ref(v),
         }
     }
+
+    /// Number of result values the block leaves on the stack — what a
+    /// branch to the block's label carries (blocks/ifs; loop labels take
+    /// the parameter count, which is zero in this subset).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            BlockType::Empty => 0,
+            BlockType::Value(_) => 1,
+        }
+    }
 }
 
 /// A typed load operation (consolidates the 14 load opcodes).

@@ -59,4 +59,4 @@ pub mod validate;
 pub use instr::{BlockType, Instr, MemArg};
 pub use module::{Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module};
 pub use types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
-pub use validate::{validate, ValidationError};
+pub use validate::{numeric_signature, validate, ValidationError};

@@ -561,9 +561,16 @@ impl<'m> FuncValidator<'m> {
     }
 }
 
-/// Stack signature of the immediate-free numeric instructions.
+/// Stack signature of the immediate-free numeric instructions:
+/// `(parameter types, result type)`, or `None` for instructions with
+/// immediates or control effects.
+///
+/// Public because consumers that re-derive static stack layouts (the
+/// engine's flat-bytecode compiler) need the same operand counts the
+/// validator checks against.
 #[allow(clippy::too_many_lines)]
-fn numeric_signature(instr: &Instr) -> Option<(&'static [ValType], Option<ValType>)> {
+#[must_use]
+pub fn numeric_signature(instr: &Instr) -> Option<(&'static [ValType], Option<ValType>)> {
     use Instr::*;
     use ValType::*;
     const I32_1: &[ValType] = &[I32];

@@ -1,0 +1,126 @@
+//! CLI tests for `cagec --dump-bytecode`: the disassembly must show the
+//! flat form the interpreter executes — pcs, ops, resolved branch
+//! targets — and unknown functions must fail with the usage exit code.
+
+use std::process::Command;
+
+const PROGRAM: &str = r#"
+    long work(long n) {
+        long acc = 0;
+        for (long i = 0; i < n; i++) {
+            if (i % 2 == 0) {
+                acc = acc + i;
+            }
+        }
+        return acc;
+    }
+"#;
+
+fn cagec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cagec"))
+}
+
+fn write_program() -> tempfile::TempPath {
+    tempfile::with_suffix(".c", PROGRAM)
+}
+
+/// Minimal tempfile helper (the workspace has no tempfile crate).
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl TempPath {
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn with_suffix(suffix: &str, contents: &str) -> TempPath {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "cagec-cli-test-{}-{}{suffix}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        std::fs::write(&path, contents).expect("write temp program");
+        TempPath(path)
+    }
+}
+
+#[test]
+fn dump_bytecode_shows_pcs_and_resolved_targets() {
+    let program = write_program();
+    let out = cagec()
+        .arg(program.path())
+        .args(["--variant", "wasm64", "--dump-bytecode", "work"])
+        .output()
+        .expect("cagec runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Header with the function's shape.
+    assert!(stdout.contains("params 1, results 1"), "{stdout}");
+    // pc-prefixed lines.
+    assert!(stdout.contains("0000: "), "{stdout}");
+    // Resolved branch targets render as absolute pcs.
+    assert!(
+        stdout.contains('\u{2192}'),
+        "no resolved targets in:\n{stdout}"
+    );
+    // The loop's conditional branch and the function epilogue both appear.
+    assert!(stdout.contains("br_if"), "{stdout}");
+    assert!(stdout.contains(": end"), "{stdout}");
+}
+
+#[test]
+fn dump_bytecode_composes_with_invoke() {
+    let program = write_program();
+    let out = cagec()
+        .arg(program.path())
+        .args([
+            "--variant",
+            "wasm64",
+            "--dump-bytecode",
+            "work",
+            "--invoke",
+            "work",
+            "9",
+        ])
+        .output()
+        .expect("cagec runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 0 + 2 + 4 + 6 + 8 = 20, printed as a typed result line after the
+    // disassembly (a bare "20" would also match pc labels like "0020:").
+    assert!(stdout.contains("\n20: i64"), "{stdout}");
+}
+
+#[test]
+fn dump_bytecode_unknown_function_is_a_usage_error() {
+    let program = write_program();
+    let out = cagec()
+        .arg(program.path())
+        .args(["--dump-bytecode", "ghost"])
+        .output()
+        .expect("cagec runs");
+    assert_eq!(out.status.code(), Some(2), "usage exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ghost"), "{stderr}");
+}

@@ -9,173 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use cage::wasm::builder::ModuleBuilder;
-use cage::wasm::{BlockType, Instr, ValType};
 use cage::{Engine, Linker, Value, Variant};
-
-/// Call-heavy: a tight loop of direct calls through a tiny leaf, so frame
-/// cost dominates over arithmetic.
-const CALL_HEAVY: &str = r#"
-    long leaf(long a, long b) {
-        return a + b;
-    }
-    long mid(long a, long b) {
-        return leaf(a, b) + leaf(b, a);
-    }
-    long run(long n) {
-        long acc = 0;
-        for (long i = 0; i < n; i++) {
-            acc = acc + mid(acc, i);
-        }
-        return acc;
-    }
-"#;
-
-/// Load/store-heavy: repeated array sweeps, so the scalar memory path
-/// dominates.
-const MEM_HEAVY: &str = r#"
-    double a[2048];
-    double run(long rounds) {
-        for (long i = 0; i < 2048; i++) {
-            a[i] = (double)i * 0.5;
-        }
-        double s = 0.0;
-        for (long r = 0; r < rounds; r++) {
-            for (long i = 0; i < 2048; i++) {
-                s = s + a[i];
-                a[i] = s * 0.000001;
-            }
-        }
-        return s;
-    }
-"#;
-
-/// Bulk-heavy: memset/memcpy churn through the libc host functions.
-const BULK_HEAVY: &str = r#"
-    long run(long rounds) {
-        char* a = malloc(4096);
-        char* b = malloc(4096);
-        for (long r = 0; r < rounds; r++) {
-            memset(a, 42, 4096);
-            memcpy(b, a, 4096);
-        }
-        long v = b[4095];
-        free(a);
-        free(b);
-        return v;
-    }
-"#;
-
-/// Branch-heavy C: a tight loop whose body is an if/else ladder plus an
-/// inner loop with an early `break`, so `br`/`br_if` dispatch and block
-/// exits dominate over arithmetic.
-const BRANCH_HEAVY: &str = r#"
-    long run(long n) {
-        long acc = 0;
-        for (long i = 0; i < n; i++) {
-            if (i % 3 == 0) {
-                acc = acc + 1;
-            } else if (i % 5 == 0) {
-                acc = acc + 2;
-            } else if (i % 7 == 0) {
-                acc = acc + 3;
-            } else {
-                acc = acc - 1;
-            }
-            long j = i & 15;
-            while (j > 0) {
-                j = j - 1;
-                if (j == 7) { break; }
-            }
-        }
-        return acc;
-    }
-"#;
-
-/// Hand-built wasm exercising the control paths C codegen never emits: a
-/// tight `br_table` dispatch loop (`dispatch`) and a loop that exits a
-/// 32-deep block nest through a variable-depth `br_table` every iteration
-/// (`unwind`) — the worst case for the tree walker's frame-by-frame
-/// `Flow::Br(n)` unwinding.
-/// Wraps `body` in the shared counting-loop harness:
-/// `do { body; } while (++locals[i] < locals[n])`.
-fn counted_loop(mut body: Vec<Instr>, n: u32, i: u32) -> Instr {
-    body.extend([
-        Instr::LocalGet(i),
-        Instr::I64Const(1),
-        Instr::I64Add,
-        Instr::LocalSet(i),
-        Instr::LocalGet(i),
-        Instr::LocalGet(n),
-        Instr::I64LtS,
-        Instr::BrIf(0),
-    ]);
-    Instr::Loop(BlockType::Empty, body)
-}
-
-fn branch_module() -> cage::wasm::Module {
-    let mut b = ModuleBuilder::new();
-    let (n, i, acc) = (0, 1, 2);
-
-    // dispatch(n): loop { switch (i % 4) { 0: acc+=1; 1: acc+=3; _: {} } }
-    let selector = vec![
-        Instr::LocalGet(i),
-        Instr::I64Const(4),
-        Instr::I64RemU,
-        Instr::I32WrapI64,
-        Instr::BrTable(vec![0, 1], 2),
-    ];
-    let case0 = vec![
-        Instr::LocalGet(acc),
-        Instr::I64Const(1),
-        Instr::I64Add,
-        Instr::LocalSet(acc),
-        Instr::Br(1),
-    ];
-    let case1 = vec![
-        Instr::LocalGet(acc),
-        Instr::I64Const(3),
-        Instr::I64Add,
-        Instr::LocalSet(acc),
-        Instr::Br(0),
-    ];
-    let mut b1 = vec![Instr::Block(BlockType::Empty, selector)];
-    b1.extend(case0);
-    let mut b2 = vec![Instr::Block(BlockType::Empty, b1)];
-    b2.extend(case1);
-    let dispatch = b.add_function(
-        &[ValType::I64],
-        &[ValType::I64],
-        &[ValType::I64, ValType::I64],
-        vec![
-            counted_loop(vec![Instr::Block(BlockType::Empty, b2)], n, i),
-            Instr::LocalGet(acc),
-        ],
-    );
-    b.export_func("dispatch", dispatch);
-
-    // unwind(n): every iteration enters 32 nested blocks and exits a
-    // variable number of them in one br_table branch.
-    const DEPTH: u32 = 32;
-    let mut nest = vec![
-        Instr::LocalGet(i),
-        Instr::I64Const(i64::from(DEPTH)),
-        Instr::I64RemU,
-        Instr::I32WrapI64,
-        Instr::BrTable((0..DEPTH - 1).collect(), DEPTH - 1),
-    ];
-    for _ in 0..DEPTH {
-        nest = vec![Instr::Block(BlockType::Empty, nest)];
-    }
-    let unwind = b.add_function(
-        &[ValType::I64],
-        &[ValType::I64],
-        &[ValType::I64, ValType::I64],
-        vec![counted_loop(nest, n, i), Instr::LocalGet(i)],
-    );
-    b.export_func("unwind", unwind);
-    b.build()
-}
+use cage_bench::hotpath::{branch_module, BRANCH_HEAVY, BULK_HEAVY, CALL_HEAVY, MEM_HEAVY};
 
 fn bench_source(c: &mut Criterion, group_name: &str, source: &str, arg: i64) {
     let mut group = c.benchmark_group(group_name);

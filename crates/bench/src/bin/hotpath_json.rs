@@ -1,0 +1,137 @@
+//! Machine-readable hot-path benchmark summary.
+//!
+//! Runs each hot-path kernel (the same sources and arguments as
+//! `benches/hotpath.rs`, plus PolyBench gemm) a fixed number of times per
+//! variant, and writes `results/bench_hotpath.json` mapping kernel →
+//! median wall-clock nanoseconds — so the interpreter's performance
+//! trajectory is recorded per PR instead of living only in commit
+//! messages. Instantiation happens outside the timed region; only guest
+//! execution is measured, exactly like the criterion bench.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cage::{Engine, Linker, Value, Variant};
+use cage_bench::hotpath::{branch_module, c_kernels};
+
+const SAMPLES: usize = 10;
+
+/// Median of `SAMPLES` timed runs (one untimed warm-up), in nanoseconds.
+/// `setup` runs untimed before every sample (criterion's `iter_batched`
+/// shape), so instantiation cost never leaks into the guest timing.
+fn median_ns<I>(mut setup: impl FnMut() -> I, mut run: impl FnMut(I)) -> (u128, u128, u128) {
+    run(setup()); // warm
+    let mut ns: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let input = setup();
+            let t = Instant::now();
+            run(input);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    (ns[ns.len() / 2], ns[0], ns[ns.len() - 1])
+}
+
+struct Row {
+    kernel: String,
+    variant: &'static str,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+fn main() {
+    let variants = [Variant::BaselineWasm64, Variant::CageFull];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for variant in variants {
+        let engine = Engine::new(variant);
+        for (name, source, arg) in c_kernels() {
+            let artifact = engine.compile(source).expect("kernel builds");
+            let (median, min, max) = median_ns(
+                || engine.instantiate(&artifact).expect("instantiates"),
+                |mut inst| {
+                    let t = inst.invoke("run", &[Value::I64(arg)]).expect("runs");
+                    std::hint::black_box(t);
+                },
+            );
+            rows.push(Row {
+                kernel: name.to_string(),
+                variant: variant.label(),
+                median_ns: median,
+                min_ns: min,
+                max_ns: max,
+            });
+        }
+
+        // Hand-built br_table kernels through the raw runtime.
+        let module = branch_module();
+        for export in ["dispatch", "unwind"] {
+            let (median, min, max) = median_ns(
+                || {
+                    let mut rt = engine.runtime();
+                    let token = rt
+                        .instantiate_linked(&module, 0, &Linker::new())
+                        .expect("instantiates");
+                    (rt, token)
+                },
+                |(mut rt, token)| {
+                    let t = rt
+                        .invoke(token, export, &[Value::I64(500_000)])
+                        .expect("runs");
+                    std::hint::black_box(t);
+                },
+            );
+            rows.push(Row {
+                kernel: format!("br_table_{export}"),
+                variant: variant.label(),
+                median_ns: median,
+                min_ns: min,
+                max_ns: max,
+            });
+        }
+
+        // PolyBench gemm: the paper suite's float/memory workhorse.
+        let gemm = cage_polybench::kernel("gemm").expect("gemm in suite");
+        let artifact = engine.compile(gemm.source).expect("gemm builds");
+        let (median, min, max) = median_ns(
+            || engine.instantiate(&artifact).expect("instantiates"),
+            |mut inst| {
+                let t = inst.invoke("run", &[]).expect("runs");
+                std::hint::black_box(t);
+            },
+        );
+        rows.push(Row {
+            kernel: "gemm".to_string(),
+            variant: variant.label(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"cage-bench-hotpath/1\",");
+    let _ = writeln!(json, "  \"samples\": {SAMPLES},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"median_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}}}{comma}",
+            r.kernel, r.variant, r.median_ns, r.min_ns, r.max_ns
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = cage_bench::write_results("bench_hotpath.json", &json);
+    println!("wrote {}", path.display());
+    for r in &rows {
+        println!(
+            "{:<20} {:<16} median {:>12} ns",
+            r.kernel, r.variant, r.median_ns
+        );
+    }
+}

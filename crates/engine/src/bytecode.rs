@@ -28,8 +28,6 @@ use std::fmt;
 use cage_wasm::instr::{LoadOp, StoreOp};
 use cage_wasm::{numeric_signature, Instr, Module};
 
-use crate::value::Value;
-
 /// A resolved branch destination: jump to `pc` after collapsing the
 /// operand stack to `height` (relative to the function's frame base),
 /// keeping the top `arity` values.
@@ -53,14 +51,213 @@ impl fmt::Display for BranchTarget {
     }
 }
 
+/// A two-operand ALU operation eligible for 3-address superinstruction
+/// fusion: non-trapping, charges one instruction of its class (`Simple`
+/// for integer ops, `Float` for float arithmetic and comparisons).
+/// Division/remainder (trapping, `Div` class) and unary ops are excluded.
+///
+/// Operands and results are untagged 64-bit slots (see
+/// [`crate::value::Value::to_slot`]); the interpreter evaluates these with
+/// `alu_eval`, which the differential property tests pin against the
+/// unfused per-op implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Min,
+    F32Max,
+    F32Copysign,
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Min,
+    F64Max,
+    F64Copysign,
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+}
+
+macro_rules! alu_ops {
+    ($($v:ident),+ $(,)?) => {
+        impl AluOp {
+            /// Maps a plain binop [`Op`] to its fusable ALU op.
+            #[must_use]
+            pub fn from_op(op: &Op) -> Option<AluOp> {
+                match op {
+                    $(Op::$v => Some(AluOp::$v),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+alu_ops!(
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Min,
+    F32Max,
+    F32Copysign,
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Min,
+    F64Max,
+    F64Copysign,
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+);
+
+impl AluOp {
+    /// Whether the op charges the `Float` class (float arithmetic and
+    /// comparisons) rather than `Simple`.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        use AluOp::*;
+        matches!(
+            self,
+            F32Add
+                | F32Sub
+                | F32Mul
+                | F32Min
+                | F32Max
+                | F32Copysign
+                | F32Eq
+                | F32Ne
+                | F32Lt
+                | F32Gt
+                | F32Le
+                | F32Ge
+                | F64Add
+                | F64Sub
+                | F64Mul
+                | F64Min
+                | F64Max
+                | F64Copysign
+                | F64Eq
+                | F64Ne
+                | F64Lt
+                | F64Gt
+                | F64Le
+                | F64Ge
+        )
+    }
+}
+
 /// A flat bytecode instruction.
 ///
 /// Control flow is fully resolved: branch ops carry [`BranchTarget`]s,
 /// `If`/`Jump` carry absolute pcs, and `Call`/`CallIndirect` push a
 /// return-pc frame on the interpreter's explicit call stack. All other
 /// ops mirror their `cage_wasm::Instr` counterparts one-to-one (constants
-/// are pre-decoded into [`Value`]s, memory ops keep only the static
-/// offset their execution needs).
+/// are pre-encoded as untagged operand slots, memory ops keep only the
+/// static offset their execution needs).
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)]
 pub enum Op {
@@ -109,14 +306,63 @@ pub enum Op {
     },
     /// `<const> v; local.set dst` — store a constant directly.
     ConstLocal {
-        v: Value,
+        v: u64,
         dst: u32,
     },
     /// `i32.const v; i64.extend_i32_s` — pre-extended constant.
-    ConstExtI64(Value),
+    ConstExtI64(u64),
     /// `i32.const v; i64.extend_i32_s; local.set dst`.
     ConstLocalExt {
-        v: Value,
+        v: u64,
+        dst: u32,
+    },
+    /// `local.get a; local.get b; <alu>` — 3-address read-read form.
+    AluRR {
+        op: AluOp,
+        a: u32,
+        b: u32,
+    },
+    /// `local.get a; local.get b; <alu>; local.set dst` — the full
+    /// 3-address form C codegen emits for `d = a <op> b`.
+    AluRRSet {
+        op: AluOp,
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    /// `local.get a; <const> k; <alu>` — register-immediate form.
+    AluRC {
+        op: AluOp,
+        a: u32,
+        k: u64,
+    },
+    /// `local.get a; <const> k; <alu>; local.set dst`.
+    AluRCSet {
+        op: AluOp,
+        a: u32,
+        k: u64,
+        dst: u32,
+    },
+    /// `<stack>; local.get b; <alu>` — left operand already on the stack.
+    AluSR {
+        op: AluOp,
+        b: u32,
+    },
+    /// `<stack>; local.get b; <alu>; local.set dst`.
+    AluSRSet {
+        op: AluOp,
+        b: u32,
+        dst: u32,
+    },
+    /// `<stack>; <const> k; <alu>` — stack-immediate form.
+    AluSC {
+        op: AluOp,
+        k: u64,
+    },
+    /// `<stack>; <const> k; <alu>; local.set dst`.
+    AluSCSet {
+        op: AluOp,
+        k: u64,
         dst: u32,
     },
     /// `i32.eqz; br_if` — inverted conditional branch.
@@ -156,8 +402,9 @@ pub enum Op {
     MemoryFill,
     MemoryCopy,
 
-    /// Pre-decoded constant (`i32.const` .. `f64.const`).
-    Const(Value),
+    /// Pre-encoded constant (`i32.const` .. `f64.const`) as an untagged
+    /// operand slot.
+    Const(u64),
 
     // -- Cage extension -------------------------------------------------------
     SegmentNew(u64),
@@ -481,10 +728,10 @@ pub fn flat_op(instr: &Instr) -> Option<Op> {
         Instr::GlobalSet(i) => Op::GlobalSet(*i),
         Instr::Load(op, memarg) => Op::Load(*op, memarg.offset),
         Instr::Store(op, memarg) => Op::Store(*op, memarg.offset),
-        Instr::I32Const(v) => Op::Const(Value::I32(*v)),
-        Instr::I64Const(v) => Op::Const(Value::I64(*v)),
-        Instr::F32Const(bits) => Op::Const(Value::F32(f32::from_bits(*bits))),
-        Instr::F64Const(bits) => Op::Const(Value::F64(f64::from_bits(*bits))),
+        Instr::I32Const(v) => Op::Const(*v as u32 as u64),
+        Instr::I64Const(v) => Op::Const(*v as u64),
+        Instr::F32Const(bits) => Op::Const(u64::from(*bits)),
+        Instr::F64Const(bits) => Op::Const(*bits),
         Instr::SegmentNew(o) => Op::SegmentNew(*o),
         Instr::SegmentSetTag(o) => Op::SegmentSetTag(*o),
         Instr::SegmentFree(o) => Op::SegmentFree(*o),
@@ -605,20 +852,77 @@ impl Compiler<'_> {
         }
     }
 
-    /// Emits a data op, peephole-fusing it with the preceding op when a
+    /// Emits a data op, peephole-fusing it with the preceding op(s) when a
     /// superinstruction pattern matches and no label can bind in between.
+    ///
+    /// Fused ops replay their constituents' cycle charges in the original
+    /// order and retire the same instruction count, so fusion is invisible
+    /// to the cycle accounting.
     fn emit_fused(&mut self, op: Op) {
         if self.ops.len() > self.fence {
             let prev_idx = self.ops.len() - 1;
+            // 3-address ALU fusion: fold the operand producers into the
+            // binop, then (below, on a later call) the consuming
+            // `local.set` into the fused op.
+            if let Some(alu) = AluOp::from_op(&op) {
+                // `local.get a; <const> k; <binop>` spans two ops: both
+                // must sit after the fence for the fold to be label-safe.
+                if self.ops.len() > self.fence + 1 {
+                    if let (Op::LocalGet(a), Op::Const(k)) =
+                        (&self.ops[prev_idx - 1], &self.ops[prev_idx])
+                    {
+                        let (a, k) = (*a, *k);
+                        self.ops.pop();
+                        self.ops[prev_idx - 1] = Op::AluRC { op: alu, a, k };
+                        return;
+                    }
+                }
+                let fused = match &self.ops[prev_idx] {
+                    Op::LocalGetPair { a, b } => Some(Op::AluRR {
+                        op: alu,
+                        a: *a,
+                        b: *b,
+                    }),
+                    Op::LocalGet(b) => Some(Op::AluSR { op: alu, b: *b }),
+                    Op::Const(k) => Some(Op::AluSC { op: alu, k: *k }),
+                    _ => None,
+                };
+                if let Some(f) = fused {
+                    self.ops[prev_idx] = f;
+                    return;
+                }
+            }
             let fused = match (&self.ops[prev_idx], &op) {
                 (Op::LocalGet(s), Op::LocalSet(d)) => Some(Op::LocalMove { src: *s, dst: *d }),
                 (Op::LocalSet(d), Op::LocalGet(s)) if d == s => Some(Op::LocalSetGet(*d)),
                 (Op::LocalGet(a), Op::LocalGet(b)) => Some(Op::LocalGetPair { a: *a, b: *b }),
                 (Op::Const(v), Op::LocalSet(d)) => Some(Op::ConstLocal { v: *v, dst: *d }),
                 (Op::ConstExtI64(v), Op::LocalSet(d)) => Some(Op::ConstLocalExt { v: *v, dst: *d }),
-                (Op::Const(Value::I32(v)), Op::I64ExtendI32S) => {
-                    Some(Op::ConstExtI64(Value::I64(i64::from(*v))))
+                (Op::Const(v), Op::I64ExtendI32S) => {
+                    Some(Op::ConstExtI64(i64::from(*v as u32 as i32) as u64))
                 }
+                (Op::AluRR { op, a, b }, Op::LocalSet(d)) => Some(Op::AluRRSet {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    dst: *d,
+                }),
+                (Op::AluRC { op, a, k }, Op::LocalSet(d)) => Some(Op::AluRCSet {
+                    op: *op,
+                    a: *a,
+                    k: *k,
+                    dst: *d,
+                }),
+                (Op::AluSR { op, b }, Op::LocalSet(d)) => Some(Op::AluSRSet {
+                    op: *op,
+                    b: *b,
+                    dst: *d,
+                }),
+                (Op::AluSC { op, k }, Op::LocalSet(d)) => Some(Op::AluSCSet {
+                    op: *op,
+                    k: *k,
+                    dst: *d,
+                }),
                 _ => None,
             };
             if let Some(f) = fused {
@@ -874,7 +1178,7 @@ impl fmt::Display for Op {
             Op::End => f.write_str("end"),
             Op::Call(i) => write!(f, "call {i}"),
             Op::CallIndirect(t) => write!(f, "call_indirect (type {t})"),
-            Op::Const(v) => write!(f, "const {v:?}"),
+            Op::Const(v) => write!(f, "const {v:#x}"),
             Op::Load(op, off) => write!(f, "{op:?} offset={off}"),
             Op::Store(op, off) => write!(f, "{op:?} offset={off}"),
             Op::LocalGet(i) => write!(f, "local.get {i}"),
@@ -885,9 +1189,21 @@ impl fmt::Display for Op {
             Op::LocalMove { src, dst } => write!(f, "local.move {dst} <- {src}"),
             Op::LocalSetGet(i) => write!(f, "local.set+get {i}"),
             Op::LocalGetPair { a, b } => write!(f, "local.get2 {a}, {b}"),
-            Op::ConstLocal { v, dst } => write!(f, "local.const {dst} <- {v:?}"),
-            Op::ConstExtI64(v) => write!(f, "const+ext {v:?}"),
-            Op::ConstLocalExt { v, dst } => write!(f, "local.const+ext {dst} <- {v:?}"),
+            Op::ConstLocal { v, dst } => write!(f, "local.const {dst} <- {v:#x}"),
+            Op::ConstExtI64(v) => write!(f, "const+ext {v:#x}"),
+            Op::ConstLocalExt { v, dst } => write!(f, "local.const+ext {dst} <- {v:#x}"),
+            Op::AluRR { op, a, b } => write!(f, "{op:?} local {a}, local {b}"),
+            Op::AluRRSet { op, a, b, dst } => {
+                write!(f, "{op:?} local {a}, local {b} -> local {dst}")
+            }
+            Op::AluRC { op, a, k } => write!(f, "{op:?} local {a}, const {k:#x}"),
+            Op::AluRCSet { op, a, k, dst } => {
+                write!(f, "{op:?} local {a}, const {k:#x} -> local {dst}")
+            }
+            Op::AluSR { op, b } => write!(f, "{op:?} stack, local {b}"),
+            Op::AluSRSet { op, b, dst } => write!(f, "{op:?} stack, local {b} -> local {dst}"),
+            Op::AluSC { op, k } => write!(f, "{op:?} stack, const {k:#x}"),
+            Op::AluSCSet { op, k, dst } => write!(f, "{op:?} stack, const {k:#x} -> local {dst}"),
             Op::BrIfZ(t) => write!(f, "br_if_z {t}"),
             Op::BrIfLocal { src, target } => write!(f, "br_if local {src} {target}"),
             Op::BrIfZLocal { src, target } => write!(f, "br_if_z local {src} {target}"),
@@ -1019,9 +1335,9 @@ mod tests {
                 Op::LocalGet(0),
                 Op::I32WrapI64,
                 Op::If(5), // false -> else arm
-                Op::Const(Value::I64(1)),
+                Op::Const(1),
                 Op::Jump(6), // skip else
-                Op::Const(Value::I64(2)),
+                Op::Const(2),
                 Op::End,
             ]
         );
@@ -1111,13 +1427,7 @@ mod tests {
             Instr::LocalSet(1),
             Instr::LocalGet(1),
         ]);
-        assert_eq!(
-            code.ops[0],
-            Op::ConstLocalExt {
-                v: Value::I64(3),
-                dst: 1
-            }
-        );
+        assert_eq!(code.ops[0], Op::ConstLocalExt { v: 3, dst: 1 });
         // local.get; i32.eqz; br_if  ->  br_if_z on a local.
         let code = compile_body(vec![
             Instr::Block(
@@ -1187,7 +1497,7 @@ mod tests {
             Instr::Drop,
             Instr::LocalGet(0),
         ]);
-        assert_eq!(code.ops[0], Op::Const(Value::F64(std::f64::consts::PI)));
+        assert_eq!(code.ops[0], Op::Const(std::f64::consts::PI.to_bits()));
     }
 
     #[test]
@@ -1229,6 +1539,6 @@ mod tests {
             )),
             Some(Op::Load(LoadOp::I32Load, 16))
         );
-        assert_eq!(flat_op(&Instr::I32Const(5)), Some(Op::Const(Value::I32(5))));
+        assert_eq!(flat_op(&Instr::I32Const(5)), Some(Op::Const(5)));
     }
 }

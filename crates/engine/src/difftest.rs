@@ -10,6 +10,12 @@
 //! and stores to local-derived addresses give the generator a healthy
 //! trap rate, so the trap paths are compared too — including how many
 //! cycles were charged before the trap fired.
+//!
+//! Float statements (f64 arithmetic on locals and constants — including
+//! NaN and ±inf — float compares, f32/f64 loads and stores, and trapping
+//! float→int truncations) exercise the untagged-slot float encoding, the
+//! float 3-address ALU fusions and the scalar memory fast path against
+//! the never-fusing tree oracle, bit-for-bit.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -24,13 +30,16 @@ use crate::store::Store;
 use crate::value::Value;
 
 /// Locals: 0 = i64 argument, 1 = i64 accumulator, 2 = i64 scratch,
-/// 3 = i64 counter, 4 = i32 flag, 5 = i64 fuel (loop budget).
+/// 3 = i64 counter, 4 = i32 flag, 5 = i64 fuel (loop budget),
+/// 6/7 = f64 accumulators.
 const ARG: u32 = 0;
 const ACC: u32 = 1;
 const SCR: u32 = 2;
 const CNT: u32 = 3;
 const FLAG: u32 = 4;
 const FUEL: u32 = 5;
+const FA: u32 = 6;
+const FB: u32 = 7;
 
 /// Function index space of the generated module: 0 = `run` (the function
 /// under test), 1 = a generated leaf helper, 2 = a helper of a different
@@ -77,6 +86,23 @@ impl Gen {
     /// it would break the loop-termination bound.
     fn pick_dst_local(&mut self) -> u32 {
         [ARG, ACC, SCR][self.upto(3)]
+    }
+
+    fn pick_f64_local(&mut self) -> u32 {
+        [FA, FB][self.upto(2)]
+    }
+
+    fn small_float(&mut self) -> f64 {
+        [
+            0.0,
+            -0.0,
+            1.5,
+            -3.25,
+            1e300, // truncation-overflow bait
+            f64::NAN,
+            f64::INFINITY,
+            12345.678,
+        ][self.upto(8)]
     }
 
     fn small_const(&mut self) -> i64 {
@@ -137,6 +163,103 @@ impl Gen {
         }
     }
 
+    /// Pushes one f64 value: float locals, constants (NaN and infinities
+    /// included), i64→f64 conversions, and local/const arithmetic — the
+    /// shapes that fuse into the float 3-address superinstructions.
+    fn fvalue(&mut self, out: &mut Vec<Instr>) {
+        match self.upto(4) {
+            0 => out.push(Instr::LocalGet(self.pick_f64_local())),
+            1 => out.push(Instr::F64Const(self.small_float().to_bits())),
+            2 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::F64ConvertI64S);
+            }
+            _ => {
+                out.push(Instr::LocalGet(self.pick_f64_local()));
+                if self.rng.gen() {
+                    out.push(Instr::F64Const(self.small_float().to_bits()));
+                } else {
+                    out.push(Instr::LocalGet(self.pick_f64_local()));
+                }
+                out.push(match self.upto(5) {
+                    0 => Instr::F64Add,
+                    1 => Instr::F64Sub,
+                    2 => Instr::F64Mul,
+                    3 => Instr::F64Min,
+                    _ => Instr::F64Max,
+                });
+            }
+        }
+    }
+
+    /// One stack-neutral float statement: f64 arithmetic, float compares
+    /// into the flag, f32/f64 memory traffic at local-derived addresses
+    /// (often trapping), and trapping float→int truncations.
+    fn float_statement(&mut self, out: &mut Vec<Instr>) {
+        match self.upto(8) {
+            0 | 1 => {
+                self.fvalue(out);
+                out.push(Instr::LocalSet(self.pick_f64_local()));
+            }
+            2 => {
+                self.fvalue(out);
+                self.fvalue(out);
+                out.push(match self.upto(4) {
+                    0 => Instr::F64Lt,
+                    1 => Instr::F64Gt,
+                    2 => Instr::F64Le,
+                    _ => Instr::F64Eq,
+                });
+                out.push(Instr::LocalSet(FLAG));
+            }
+            3 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                self.fvalue(out);
+                out.push(Instr::Store(
+                    cage_wasm::instr::StoreOp::F64Store,
+                    MemArg::offset(self.rng.next_u64() % 64),
+                ));
+            }
+            4 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::Load(
+                    cage_wasm::instr::LoadOp::F64Load,
+                    MemArg::offset(self.rng.next_u64() % 64),
+                ));
+                out.push(Instr::LocalSet(self.pick_f64_local()));
+            }
+            5 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                self.fvalue(out);
+                out.push(Instr::F32DemoteF64);
+                out.push(Instr::Store(
+                    cage_wasm::instr::StoreOp::F32Store,
+                    MemArg::offset(self.rng.next_u64() % 64),
+                ));
+            }
+            6 => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::Load(
+                    cage_wasm::instr::LoadOp::F32Load,
+                    MemArg::offset(self.rng.next_u64() % 64),
+                ));
+                out.push(Instr::F64PromoteF32);
+                out.push(Instr::LocalSet(self.pick_f64_local()));
+            }
+            _ => {
+                // Traps on NaN and out-of-range values (the constant pool
+                // plants both).
+                self.fvalue(out);
+                out.push(if self.rng.gen() {
+                    Instr::I64TruncF64S
+                } else {
+                    Instr::I64TruncF64U
+                });
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+            }
+        }
+    }
+
     /// Call statement: direct leaf calls, `call_indirect` through a
     /// 3-slot table (slot 0 = the leaf, slot 1 = a signature-mismatched
     /// function, slot 2 = empty — so random selectors hit the happy
@@ -180,7 +303,7 @@ impl Gen {
             self.call_statement(out);
             return false;
         }
-        let max = if depth >= 4 { 8 } else { 13 };
+        let max = if depth >= 4 { 11 } else { 16 };
         match self.upto(max) {
             // acc-style arithmetic.
             0 | 1 => {
@@ -277,8 +400,13 @@ impl Gen {
                 out.push(Instr::BrTable(targets, default));
                 true
             }
+            // Float traffic (arithmetic, compares, memory, truncations).
+            8..=10 => {
+                self.float_statement(out);
+                false
+            }
             // Early return / unreachable.
-            8 => {
+            11 => {
                 if self.upto(4) == 0 {
                     out.push(Instr::Unreachable);
                 } else {
@@ -288,7 +416,7 @@ impl Gen {
                 true
             }
             // Nested block, empty or value-yielding.
-            9 | 10 => {
+            12 | 13 => {
                 if self.rng.gen() {
                     self.frames.push(0);
                     let inner = self.sequence(depth + 1, &[]);
@@ -304,7 +432,7 @@ impl Gen {
                 false
             }
             // If / if-else.
-            11 => {
+            14 => {
                 self.condition(out);
                 self.frames.push(0);
                 let then_body = self.sequence(depth + 1, &[]);
@@ -375,6 +503,8 @@ fn random_module(seed: u64) -> Module {
         ValType::I64,
         ValType::I32,
         ValType::I64,
+        ValType::F64,
+        ValType::F64,
     ];
     let mut g = Gen::new(seed, true);
     let body = g.body();

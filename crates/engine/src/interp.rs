@@ -9,9 +9,18 @@
 //! collapse-and-jump via their precompiled [`BranchTarget`] descriptors
 //! (no recursive unwinding), and calls push a return-pc frame on an
 //! explicit call stack, so guest control-flow depth never consumes host
-//! Rust stack. Guest frames run on one shared operand stack and locals
-//! arena (frames are base offsets, not fresh `Vec`s), and loads/stores
-//! move scalars through fixed 8-byte buffers.
+//! Rust stack.
+//!
+//! Operands are *untagged*: the shared operand stack and locals arena are
+//! plain `u64` slots ([`Value::to_slot`] encoding — validation already
+//! guarantees types, so no runtime tag is stored or matched). Typed
+//! [`Value`]s exist only at API boundaries: external `Store::call`
+//! arguments/results, host calls and globals convert at the edge.
+//! Scalar loads/stores on configurations without live tag checks take a
+//! cached fast path — one bounds compare against the cached guest size,
+//! then a direct little-endian read — and fall back to the full
+//! [`crate::memory::LinearMemory::resolve`] policy ladder only when MTE
+//! sandboxing or internal tagging is active.
 //!
 //! The original structured tree walker survives behind `#[cfg(test)]` as
 //! the differential-testing oracle: property tests assert the flat
@@ -19,15 +28,90 @@
 
 use std::rc::Rc;
 
-use cage_wasm::instr::{LoadOp, StoreOp};
+use cage_mte::pointer::ADDR_MASK;
+use cage_wasm::instr::LoadOp;
 
-use crate::bytecode::{BranchTarget, Op};
-use crate::config::ExecConfig;
+use crate::bytecode::{AluOp, BranchTarget, Op};
+use crate::config::{BoundsCheckStrategy, ExecConfig};
 use crate::cost::InstrClass;
 use crate::host::HostContext;
 use crate::store::{CompiledFunc, Store};
 use crate::trap::Trap;
 use crate::value::Value;
+
+// -- untagged slot codec --------------------------------------------------
+//
+// The inverse pair of `Value::to_slot`/`Value::from_slot`, split per type
+// so the hot loop never touches a tag: i32/f32 live in the low 32 bits
+// (zero-extended), i64 is reinterpreted, f64 is its bit pattern.
+
+#[inline(always)]
+fn slot_i32(v: i32) -> u64 {
+    v as u32 as u64
+}
+#[inline(always)]
+fn slot_i64(v: i64) -> u64 {
+    v as u64
+}
+#[inline(always)]
+fn slot_f32(v: f32) -> u64 {
+    u64::from(v.to_bits())
+}
+#[inline(always)]
+fn slot_f64(v: f64) -> u64 {
+    v.to_bits()
+}
+#[inline(always)]
+fn slot_bool(v: bool) -> u64 {
+    u64::from(v)
+}
+#[inline(always)]
+fn get_i32(s: u64) -> i32 {
+    s as u32 as i32
+}
+#[inline(always)]
+fn get_i64(s: u64) -> i64 {
+    s as i64
+}
+#[inline(always)]
+fn get_f32(s: u64) -> f32 {
+    f32::from_bits(s as u32)
+}
+#[inline(always)]
+fn get_f64(s: u64) -> f64 {
+    f64::from_bits(s)
+}
+
+/// Typed result → untagged slot, so the numeric macros stay generic over
+/// the operation's result type (the compile-time analogue of the old
+/// `Value::from`).
+trait IntoSlot {
+    fn into_slot(self) -> u64;
+}
+impl IntoSlot for i32 {
+    #[inline(always)]
+    fn into_slot(self) -> u64 {
+        slot_i32(self)
+    }
+}
+impl IntoSlot for i64 {
+    #[inline(always)]
+    fn into_slot(self) -> u64 {
+        slot_i64(self)
+    }
+}
+impl IntoSlot for f32 {
+    #[inline(always)]
+    fn into_slot(self) -> u64 {
+        slot_f32(self)
+    }
+}
+impl IntoSlot for f64 {
+    #[inline(always)]
+    fn into_slot(self) -> u64 {
+        slot_f64(self)
+    }
+}
 
 /// Per-class cycle charges, flattened for the hot loop.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +154,14 @@ pub(crate) struct Interp<'s> {
     cycles: f64,
     /// Retired-instruction accumulator, mirrored like `cycles`.
     instr_count: u64,
+    /// Whether the configuration permits the cached linear-memory fast
+    /// path: no MTE sandboxing and no internal tagging, so `resolve()`
+    /// degenerates to the software bounds compare. Computed once — the
+    /// config never changes mid-store.
+    fast_mem: bool,
+    /// Reusable scratch for host-call argument conversion, so crossing
+    /// the typed API boundary does not allocate per call.
+    host_args: Vec<Value>,
 }
 
 impl<'s> Interp<'s> {
@@ -91,6 +183,8 @@ impl<'s> Interp<'s> {
         };
         let cycles = store.instances[inst].cycles;
         let instr_count = store.instances[inst].instr_count;
+        let fast_mem =
+            config.bounds != BoundsCheckStrategy::MteSandbox && !config.internal.is_enabled();
         Interp {
             store,
             inst,
@@ -99,6 +193,8 @@ impl<'s> Interp<'s> {
             depth: 0,
             cycles,
             instr_count,
+            fast_mem,
+            host_args: Vec::new(),
         }
     }
 
@@ -122,19 +218,28 @@ impl<'s> Interp<'s> {
     /// This is the external entry point: it allocates the shared operand
     /// stack and locals arena once, and every nested guest call below it
     /// reuses them through the explicit call stack in [`Interp::run`].
+    /// Typed [`Value`]s convert to untagged slots here and back at the
+    /// end — the interior never sees a tag.
     pub(crate) fn call_function(
         &mut self,
         func_idx: u32,
         args: &[Value],
     ) -> Result<Vec<Value>, Trap> {
         self.check_entry(func_idx, args)?;
-        let mut stack: Vec<Value> = Vec::with_capacity(64);
-        let mut locals: Vec<Value> = Vec::with_capacity(32);
-        stack.extend_from_slice(args);
+        let ty = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize].ty);
+        let mut stack: Vec<u64> = Vec::with_capacity(64);
+        let mut locals: Vec<u64> = Vec::with_capacity(32);
+        stack.extend(args.iter().map(|v| v.to_slot()));
         let result = self.run(func_idx, &mut stack, &mut locals);
         self.flush_accounting();
         result?;
-        Ok(stack)
+        debug_assert_eq!(stack.len(), ty.results.len(), "validated result arity");
+        Ok(ty
+            .results
+            .iter()
+            .zip(&stack)
+            .map(|(ty, raw)| Value::from_slot(*ty, *raw))
+            .collect())
     }
 
     /// Internal call sites are arity-checked by validation, but the
@@ -153,17 +258,24 @@ impl<'s> Interp<'s> {
                 args.len()
             )));
         }
+        // Untagged slots carry no runtime type, so a mismatched argument
+        // would silently reinterpret bits — reject it at the boundary
+        // instead (the tagged representation used to panic here).
+        for (i, (arg, want)) in args.iter().zip(&func.ty.params).enumerate() {
+            if arg.ty() != *want {
+                return Err(Trap::Host(format!(
+                    "function {func_idx} argument {i} expects {want:?}, got {:?}",
+                    arg.ty()
+                )));
+            }
+        }
         Ok(())
     }
 
     /// Moves the callee's arguments off the operand stack into its frame
     /// in the locals arena, appends zeroed declared locals, and returns
     /// `(locals_base, frame_base)`.
-    fn enter(
-        func: &CompiledFunc,
-        stack: &mut Vec<Value>,
-        locals: &mut Vec<Value>,
-    ) -> (usize, usize) {
+    fn enter(func: &CompiledFunc, stack: &mut Vec<u64>, locals: &mut Vec<u64>) -> (usize, usize) {
         debug_assert!(
             stack.len() >= func.ty.params.len(),
             "arity checked by validation"
@@ -172,7 +284,8 @@ impl<'s> Interp<'s> {
         let args_base = stack.len() - func.ty.params.len();
         locals.extend_from_slice(&stack[args_base..]);
         stack.truncate(args_base);
-        locals.extend(func.locals.iter().map(|t| Value::zero(*t)));
+        // All-zero slots are the zero value of every type.
+        locals.resize(locals.len() + func.locals.len(), 0);
         (locals_base, stack.len())
     }
 
@@ -185,12 +298,7 @@ impl<'s> Interp<'s> {
     /// host stack usage is constant in both guest nesting depth and guest
     /// call depth (the latter bounded by `max_call_depth`).
     #[allow(clippy::too_many_lines)]
-    fn run(
-        &mut self,
-        entry: u32,
-        stack: &mut Vec<Value>,
-        locals: &mut Vec<Value>,
-    ) -> Result<(), Trap> {
+    fn run(&mut self, entry: u32, stack: &mut Vec<u64>, locals: &mut Vec<u64>) -> Result<(), Trap> {
         if self.depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
@@ -207,6 +315,33 @@ impl<'s> Interp<'s> {
         let (mut locals_base, mut frame_base) = Self::enter(&func, stack, locals);
         let mut arity = func.ty.results.len();
 
+        // Cached linear-memory fast path: when no tag scheme is live
+        // (`fast_mem`), a scalar access is one overflow-checked address
+        // add, one bounds compare against this cached guest size, and a
+        // direct little-endian read — the full `resolve()` policy ladder
+        // never runs. The cache is invalidated wherever the guest size
+        // can change: `memory.grow` and host calls (hosts may grow the
+        // memory through their checked context).
+        let mut mem_m64 = false;
+        let mut mem_size: u64 = 0;
+        #[allow(unused_assignments)] // initialised by refresh_mem! below
+        let mut mem_fast = false;
+
+        /// Recomputes the cached memory view from the instance.
+        macro_rules! refresh_mem {
+            () => {{
+                match self.store.instances[self.inst].memory.as_ref() {
+                    Some(m) if self.fast_mem => {
+                        mem_m64 = m.is_memory64();
+                        mem_size = m.size();
+                        mem_fast = true;
+                    }
+                    _ => mem_fast = false,
+                }
+            }};
+        }
+        refresh_mem!();
+
         /// Enters callee `$idx`: host functions run inline on the shared
         /// stack; guest functions suspend the caller onto `frames`.
         macro_rules! do_call {
@@ -221,6 +356,7 @@ impl<'s> Interp<'s> {
                     let result = self.call_host(idx, &callee, stack);
                     self.depth -= 1;
                     result?;
+                    refresh_mem!();
                 } else {
                     self.depth += 1;
                     let (lb, fb) = Self::enter(&callee, stack, locals);
@@ -267,14 +403,14 @@ impl<'s> Interp<'s> {
                 Op::Jump(target) => pc = *target as usize,
                 Op::If(else_pc) => {
                     self.charge(self.charges.branch);
-                    if stack.pop().expect("validated").as_i32() == 0 {
+                    if get_i32(stack.pop().expect("validated")) == 0 {
                         pc = *else_pc as usize;
                     }
                 }
                 Op::IfLocal { src, else_pc } => {
                     self.charge(self.charges.simple);
                     self.charge(self.charges.branch);
-                    if locals[locals_base + *src as usize].as_i32() == 0 {
+                    if get_i32(locals[locals_base + *src as usize]) == 0 {
                         pc = *else_pc as usize;
                     }
                 }
@@ -284,21 +420,21 @@ impl<'s> Interp<'s> {
                 }
                 Op::BrIf(target) => {
                     self.charge(self.charges.branch);
-                    if stack.pop().expect("validated").as_i32() != 0 {
+                    if get_i32(stack.pop().expect("validated")) != 0 {
                         Self::take_branch(stack, frame_base, target, &mut pc);
                     }
                 }
                 Op::BrIfZ(target) => {
                     self.charge(self.charges.simple);
                     self.charge(self.charges.branch);
-                    if stack.pop().expect("validated").as_i32() == 0 {
+                    if get_i32(stack.pop().expect("validated")) == 0 {
                         Self::take_branch(stack, frame_base, target, &mut pc);
                     }
                 }
                 Op::BrIfLocal { src, target } => {
                     self.charge(self.charges.simple);
                     self.charge(self.charges.branch);
-                    if locals[locals_base + *src as usize].as_i32() != 0 {
+                    if get_i32(locals[locals_base + *src as usize]) != 0 {
                         Self::take_branch(stack, frame_base, target, &mut pc);
                     }
                 }
@@ -306,17 +442,47 @@ impl<'s> Interp<'s> {
                     self.charge(self.charges.simple);
                     self.charge(self.charges.simple);
                     self.charge(self.charges.branch);
-                    if locals[locals_base + *src as usize].as_i32() == 0 {
+                    if get_i32(locals[locals_base + *src as usize]) == 0 {
                         Self::take_branch(stack, frame_base, target, &mut pc);
                     }
                 }
                 Op::BrTable(targets) => {
                     self.charge(self.charges.branch);
-                    let i = stack.pop().expect("validated").as_i32() as usize;
+                    let i = get_i32(stack.pop().expect("validated")) as usize;
                     let target = targets
                         .get(i)
                         .unwrap_or_else(|| targets.last().expect("br_table has a default"));
                     Self::take_branch(stack, frame_base, target, &mut pc);
+                }
+                // Scalar memory fast path: policy-free bounds compare plus
+                // a direct LE read against the cached view. Falls through
+                // to `exec_op`'s `resolve()` ladder when tags are live.
+                Op::Load(op, offset) if mem_fast => {
+                    self.charge(self.charges.mem);
+                    let index = stack.pop().expect("validated");
+                    let width = op.width();
+                    let addr = fast_addr(index, *offset, width, mem_m64, mem_size)?;
+                    let mem = self.store.instances[self.inst]
+                        .memory
+                        .as_ref()
+                        .expect("fast path implies memory");
+                    stack.push(decode_load(*op, mem.read_le(addr, width)));
+                }
+                Op::Store(op, offset) if mem_fast => {
+                    self.charge(self.charges.mem);
+                    let raw = stack.pop().expect("validated");
+                    let index = stack.pop().expect("validated");
+                    let width = op.width();
+                    let addr = fast_addr(index, *offset, width, mem_m64, mem_size)?;
+                    let mem = self.store.instances[self.inst]
+                        .memory
+                        .as_mut()
+                        .expect("fast path implies memory");
+                    mem.write_le(addr, width, raw);
+                }
+                Op::MemoryGrow => {
+                    self.exec_op(op, stack, locals, locals_base)?;
+                    refresh_mem!();
                 }
                 Op::Return => {
                     self.charge(self.charges.branch);
@@ -330,7 +496,7 @@ impl<'s> Interp<'s> {
                 Op::CallIndirect(type_idx) => {
                     self.charge(self.charges.call_indirect);
                     let type_idx = *type_idx;
-                    let table_idx = stack.pop().expect("validated").as_i32() as u32;
+                    let table_idx = get_i32(stack.pop().expect("validated")) as u32;
                     let (func_idx, expected, actual) = {
                         let inst = &self.store.instances[self.inst];
                         let func_idx = inst
@@ -359,20 +525,31 @@ impl<'s> Interp<'s> {
 
     /// Takes a resolved branch: collapse to the target frame, jump.
     #[inline]
-    fn take_branch(stack: &mut Vec<Value>, frame_base: usize, t: &BranchTarget, pc: &mut usize) {
+    fn take_branch(stack: &mut Vec<u64>, frame_base: usize, t: &BranchTarget, pc: &mut usize) {
         Self::collapse(stack, frame_base + t.height as usize, t.arity as usize);
         *pc = t.pc as usize;
     }
 
+    /// The typed API boundary for host calls: untagged argument slots
+    /// convert to [`Value`]s (through a reusable scratch buffer, no
+    /// per-call allocation) and the host's results convert back.
     fn call_host(
         &mut self,
         func_idx: u32,
         func: &CompiledFunc,
-        stack: &mut Vec<Value>,
+        stack: &mut Vec<u64>,
     ) -> Result<(), Trap> {
         let args_base = stack.len() - func.ty.params.len();
         let func_rc = self.store.instances[self.inst].host_funcs[func_idx as usize].clone();
         let mut host = func_rc.borrow_mut();
+        self.host_args.clear();
+        self.host_args.extend(
+            func.ty
+                .params
+                .iter()
+                .zip(&stack[args_base..])
+                .map(|(ty, raw)| Value::from_slot(*ty, *raw)),
+        );
         // The host charges through the instance's accumulator: hand it the
         // local tally and take back whatever it charged, preserving the
         // exact order of f64 additions.
@@ -383,19 +560,36 @@ impl<'s> Interp<'s> {
             config: &self.config,
             cycles: &mut inst.cycles,
         };
-        let result = (host.func)(&mut ctx, &stack[args_base..]);
+        let result = (host.func)(&mut ctx, &self.host_args);
         self.cycles = self.store.instances[self.inst].cycles;
         let results = result?;
-        debug_assert_eq!(results.len(), func.ty.results.len(), "host arity");
+        // Host results re-enter the untagged stack, so arity and type
+        // errors here would corrupt the frame layout or silently
+        // reinterpret bits — they are real traps, not debug assertions.
+        if results.len() != func.ty.results.len() {
+            return Err(Trap::Host(format!(
+                "host function returned {} results, signature declares {}",
+                results.len(),
+                func.ty.results.len()
+            )));
+        }
+        for (i, (v, want)) in results.iter().zip(&func.ty.results).enumerate() {
+            if v.ty() != *want {
+                return Err(Trap::Host(format!(
+                    "host function result {i} declares {want:?}, got {:?}",
+                    v.ty()
+                )));
+            }
+        }
         stack.truncate(args_base);
-        stack.extend(results);
+        stack.extend(results.iter().map(|v| v.to_slot()));
         Ok(())
     }
 
     /// Slides the top `arity` values down to `height` in place — the
     /// allocation-free replacement for `split_off` + `extend` on branch
     /// exits and returns.
-    fn collapse(stack: &mut Vec<Value>, height: usize, arity: usize) {
+    fn collapse(stack: &mut Vec<u64>, height: usize, arity: usize) {
         let result_start = stack.len() - arity;
         if result_start > height {
             for i in 0..arity {
@@ -419,14 +613,10 @@ impl<'s> Interp<'s> {
             .ok_or_else(|| Trap::Host("no memory".into()))
     }
 
-    /// Pops a memory index: i32 (zero-extended) or i64 depending on the
-    /// memory.
-    fn pop_index(&mut self, stack: &mut Vec<Value>) -> u64 {
-        match stack.pop().expect("validated") {
-            Value::I32(v) => v as u32 as u64,
-            Value::I64(v) => v as u64,
-            other => panic!("index must be integer, found {other:?}"),
-        }
+    /// Pops a memory index. Slot encoding already zero-extends i32, so
+    /// the raw slot *is* the index for both memory widths.
+    fn pop_index(&mut self, stack: &mut Vec<u64>) -> u64 {
+        stack.pop().expect("validated")
     }
 
     fn mem_read_scalar(&mut self, index: u64, offset: u64, width: u64) -> Result<u64, Trap> {
@@ -459,32 +649,32 @@ impl<'s> Interp<'s> {
     fn exec_op(
         &mut self,
         op: &Op,
-        stack: &mut Vec<Value>,
-        locals: &mut [Value],
+        stack: &mut Vec<u64>,
+        locals: &mut [u64],
         lbase: usize,
     ) -> Result<(), Trap> {
         use Op::*;
         macro_rules! una {
             ($cost:expr, $pop:ident, $push:expr) => {{
                 self.charge($cost);
-                let a = stack.pop().expect("validated").$pop();
-                stack.push(Value::from($push(a)));
+                let a = $pop(stack.pop().expect("validated"));
+                stack.push(IntoSlot::into_slot($push(a)));
             }};
         }
         macro_rules! bin {
             ($cost:expr, $pop:ident, $push:expr) => {{
                 self.charge($cost);
-                let b = stack.pop().expect("validated").$pop();
-                let a = stack.pop().expect("validated").$pop();
-                stack.push(Value::from($push(a, b)));
+                let b = $pop(stack.pop().expect("validated"));
+                let a = $pop(stack.pop().expect("validated"));
+                stack.push(IntoSlot::into_slot($push(a, b)));
             }};
         }
         macro_rules! cmp {
             ($cost:expr, $pop:ident, $op:expr) => {{
                 self.charge($cost);
-                let b = stack.pop().expect("validated").$pop();
-                let a = stack.pop().expect("validated").$pop();
-                stack.push(Value::I32(i32::from($op(a, b))));
+                let b = $pop(stack.pop().expect("validated"));
+                let a = $pop(stack.pop().expect("validated"));
+                stack.push(slot_bool($op(a, b)));
             }};
         }
         let s = self.charges.simple;
@@ -503,7 +693,7 @@ impl<'s> Interp<'s> {
             }
             Select => {
                 self.charge(s);
-                let c = stack.pop().expect("validated").as_i32();
+                let c = get_i32(stack.pop().expect("validated"));
                 let b = stack.pop().expect("validated");
                 let a = stack.pop().expect("validated");
                 stack.push(if c != 0 { a } else { b });
@@ -522,12 +712,15 @@ impl<'s> Interp<'s> {
             }
             GlobalGet(i) => {
                 self.charge(s);
-                stack.push(self.store.instances[self.inst].globals[*i as usize]);
+                stack.push(self.store.instances[self.inst].globals[*i as usize].to_slot());
             }
             GlobalSet(i) => {
                 self.charge(s);
-                let v = stack.pop().expect("validated");
-                self.store.instances[self.inst].globals[*i as usize] = v;
+                let raw = stack.pop().expect("validated");
+                let g = &mut self.store.instances[self.inst].globals[*i as usize];
+                // Globals keep their typed API representation; the declared
+                // type is recovered from the current value.
+                *g = Value::from_slot(g.ty(), raw);
             }
             Load(op, offset) => {
                 self.charge(self.charges.mem);
@@ -537,9 +730,12 @@ impl<'s> Interp<'s> {
             }
             Store(op, offset) => {
                 self.charge(self.charges.mem);
-                let value = stack.pop().expect("validated");
+                // Slot encoding is the store encoding: the write truncates
+                // to the op's width, which is exactly what every StoreOp
+                // did to its typed value.
+                let raw = stack.pop().expect("validated");
                 let index = self.pop_index(stack);
-                self.mem_write_scalar(index, *offset, op.width(), encode_store(*op, value))?;
+                self.mem_write_scalar(index, *offset, op.width(), raw)?;
             }
             MemorySize => {
                 self.charge(self.charges.mem_manage);
@@ -559,12 +755,12 @@ impl<'s> Interp<'s> {
                 };
                 match result {
                     Some(old) => stack.push(size_value(old, m64)),
-                    None => stack.push(if m64 { Value::I64(-1) } else { Value::I32(-1) }),
+                    None => stack.push(if m64 { slot_i64(-1) } else { slot_i32(-1) }),
                 }
             }
             MemoryFill => {
                 let len = self.pop_index(stack);
-                let val = stack.pop().expect("validated").as_i32() as u8;
+                let val = get_i32(stack.pop().expect("validated")) as u8;
                 let dst = self.pop_index(stack);
                 self.charge(self.charges.mem * (len as f64 / 16.0 + 1.0));
                 let config = self.config;
@@ -619,22 +815,97 @@ impl<'s> Interp<'s> {
                 locals[lbase + *dst as usize] = *v;
             }
 
+            // -- 3-address ALU superinstructions: operand reads, the ALU
+            // op, and the optional result write collapse into one dispatch.
+            // Charges replay the constituents in original order (get(s),
+            // [get/const](s), alu(class), [set](s)), so cycle accounting
+            // and retired counts are bit-identical to the unfused sequence.
+            AluRR { op, a, b } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(s);
+                self.charge(cl);
+                let r = alu_eval(
+                    *op,
+                    locals[lbase + *a as usize],
+                    locals[lbase + *b as usize],
+                );
+                stack.push(r);
+            }
+            AluRRSet { op, a, b, dst } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(s);
+                self.charge(cl);
+                self.charge(s);
+                locals[lbase + *dst as usize] = alu_eval(
+                    *op,
+                    locals[lbase + *a as usize],
+                    locals[lbase + *b as usize],
+                );
+            }
+            AluRC { op, a, k } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(s);
+                self.charge(cl);
+                stack.push(alu_eval(*op, locals[lbase + *a as usize], *k));
+            }
+            AluRCSet { op, a, k, dst } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(s);
+                self.charge(cl);
+                self.charge(s);
+                locals[lbase + *dst as usize] = alu_eval(*op, locals[lbase + *a as usize], *k);
+            }
+            AluSR { op, b } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(cl);
+                let a = stack.pop().expect("validated");
+                stack.push(alu_eval(*op, a, locals[lbase + *b as usize]));
+            }
+            AluSRSet { op, b, dst } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(cl);
+                self.charge(s);
+                let a = stack.pop().expect("validated");
+                locals[lbase + *dst as usize] = alu_eval(*op, a, locals[lbase + *b as usize]);
+            }
+            AluSC { op, k } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(cl);
+                let a = stack.pop().expect("validated");
+                stack.push(alu_eval(*op, a, *k));
+            }
+            AluSCSet { op, k, dst } => {
+                let cl = if op.is_float() { fl } else { s };
+                self.charge(s);
+                self.charge(cl);
+                self.charge(s);
+                let a = stack.pop().expect("validated");
+                locals[lbase + *dst as usize] = alu_eval(*op, a, *k);
+            }
+
             // -- Cage extension (Fig. 11) ---------------------------------
             SegmentNew(offset) => {
-                let len = stack.pop().expect("validated").as_u64();
-                let ptr = stack.pop().expect("validated").as_u64();
+                let len = stack.pop().expect("validated");
+                let ptr = stack.pop().expect("validated");
                 // Partial granules still cost a full stzg/stg (div_ceil).
                 self.charge(self.store.cost.segment_new_cost(len.div_ceil(16)));
                 let config = self.config;
                 let tagged =
                     self.memory_mut()?
                         .segment_new(ptr.wrapping_add(*offset), len, &config)?;
-                stack.push(Value::from(tagged));
+                stack.push(tagged);
             }
             SegmentSetTag(offset) => {
-                let len = stack.pop().expect("validated").as_u64();
-                let tagged = stack.pop().expect("validated").as_u64();
-                let ptr = stack.pop().expect("validated").as_u64();
+                let len = stack.pop().expect("validated");
+                let tagged = stack.pop().expect("validated");
+                let ptr = stack.pop().expect("validated");
                 self.charge(self.store.cost.segment_retag_cost(len.div_ceil(16)));
                 let config = self.config;
                 self.memory_mut()?.segment_set_tag(
@@ -645,8 +916,8 @@ impl<'s> Interp<'s> {
                 )?;
             }
             SegmentFree(offset) => {
-                let len = stack.pop().expect("validated").as_u64();
-                let ptr = stack.pop().expect("validated").as_u64();
+                let len = stack.pop().expect("validated");
+                let ptr = stack.pop().expect("validated");
                 self.charge(self.store.cost.segment_retag_cost(len.div_ceil(16)));
                 let config = self.config;
                 self.memory_mut()?
@@ -654,49 +925,49 @@ impl<'s> Interp<'s> {
             }
             PointerSign => {
                 self.charge(self.charges.sign);
-                let ptr = stack.pop().expect("validated").as_u64();
+                let ptr = stack.pop().expect("validated");
                 let signed = if self.config.pointer_auth {
                     let inst = &self.store.instances[self.inst];
                     inst.pac.sign(ptr, inst.pac_modifier)
                 } else {
                     ptr
                 };
-                stack.push(Value::from(signed));
+                stack.push(signed);
             }
             PointerAuth => {
                 self.charge(self.charges.auth);
-                let ptr = stack.pop().expect("validated").as_u64();
+                let ptr = stack.pop().expect("validated");
                 let stripped = if self.config.pointer_auth {
                     let inst = &self.store.instances[self.inst];
                     inst.pac.auth(ptr, inst.pac_modifier)?
                 } else {
                     ptr
                 };
-                stack.push(Value::from(stripped));
+                stack.push(stripped);
             }
 
             // -- numeric ----------------------------------------------------
-            I32Eqz => una!(s, as_i32, |a: i32| i32::from(a == 0)),
-            I32Eq => cmp!(s, as_i32, |a, b| a == b),
-            I32Ne => cmp!(s, as_i32, |a, b| a != b),
-            I32LtS => cmp!(s, as_i32, |a, b| a < b),
-            I32LtU => cmp!(s, as_i32, |a: i32, b: i32| (a as u32) < b as u32),
-            I32GtS => cmp!(s, as_i32, |a, b| a > b),
-            I32GtU => cmp!(s, as_i32, |a: i32, b: i32| a as u32 > b as u32),
-            I32LeS => cmp!(s, as_i32, |a, b| a <= b),
-            I32LeU => cmp!(s, as_i32, |a: i32, b: i32| a as u32 <= b as u32),
-            I32GeS => cmp!(s, as_i32, |a, b| a >= b),
-            I32GeU => cmp!(s, as_i32, |a: i32, b: i32| a as u32 >= b as u32),
-            I32Clz => una!(s, as_i32, |a: i32| a.leading_zeros() as i32),
-            I32Ctz => una!(s, as_i32, |a: i32| a.trailing_zeros() as i32),
-            I32Popcnt => una!(s, as_i32, |a: i32| a.count_ones() as i32),
-            I32Add => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_add(b)),
-            I32Sub => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_sub(b)),
-            I32Mul => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_mul(b)),
+            I32Eqz => una!(s, get_i32, |a: i32| i32::from(a == 0)),
+            I32Eq => cmp!(s, get_i32, |a, b| a == b),
+            I32Ne => cmp!(s, get_i32, |a, b| a != b),
+            I32LtS => cmp!(s, get_i32, |a, b| a < b),
+            I32LtU => cmp!(s, get_i32, |a: i32, b: i32| (a as u32) < b as u32),
+            I32GtS => cmp!(s, get_i32, |a, b| a > b),
+            I32GtU => cmp!(s, get_i32, |a: i32, b: i32| a as u32 > b as u32),
+            I32LeS => cmp!(s, get_i32, |a, b| a <= b),
+            I32LeU => cmp!(s, get_i32, |a: i32, b: i32| a as u32 <= b as u32),
+            I32GeS => cmp!(s, get_i32, |a, b| a >= b),
+            I32GeU => cmp!(s, get_i32, |a: i32, b: i32| a as u32 >= b as u32),
+            I32Clz => una!(s, get_i32, |a: i32| a.leading_zeros() as i32),
+            I32Ctz => una!(s, get_i32, |a: i32| a.trailing_zeros() as i32),
+            I32Popcnt => una!(s, get_i32, |a: i32| a.count_ones() as i32),
+            I32Add => bin!(s, get_i32, |a: i32, b: i32| a.wrapping_add(b)),
+            I32Sub => bin!(s, get_i32, |a: i32, b: i32| a.wrapping_sub(b)),
+            I32Mul => bin!(s, get_i32, |a: i32, b: i32| a.wrapping_mul(b)),
             I32DivS => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i32();
-                let a = stack.pop().expect("validated").as_i32();
+                let b = get_i32(stack.pop().expect("validated"));
+                let a = get_i32(stack.pop().expect("validated"));
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
@@ -704,73 +975,73 @@ impl<'s> Interp<'s> {
                 if overflow {
                     return Err(Trap::IntegerOverflow);
                 }
-                stack.push(Value::I32(q));
+                stack.push(slot_i32(q));
             }
             I32DivU => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i32() as u32;
-                let a = stack.pop().expect("validated").as_i32() as u32;
+                let b = get_i32(stack.pop().expect("validated")) as u32;
+                let a = get_i32(stack.pop().expect("validated")) as u32;
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
-                stack.push(Value::I32((a / b) as i32));
+                stack.push(slot_i32((a / b) as i32));
             }
             I32RemS => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i32();
-                let a = stack.pop().expect("validated").as_i32();
+                let b = get_i32(stack.pop().expect("validated"));
+                let a = get_i32(stack.pop().expect("validated"));
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
-                stack.push(Value::I32(a.wrapping_rem(b)));
+                stack.push(slot_i32(a.wrapping_rem(b)));
             }
             I32RemU => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i32() as u32;
-                let a = stack.pop().expect("validated").as_i32() as u32;
+                let b = get_i32(stack.pop().expect("validated")) as u32;
+                let a = get_i32(stack.pop().expect("validated")) as u32;
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
-                stack.push(Value::I32((a % b) as i32));
+                stack.push(slot_i32((a % b) as i32));
             }
-            I32And => bin!(s, as_i32, |a: i32, b: i32| a & b),
-            I32Or => bin!(s, as_i32, |a: i32, b: i32| a | b),
-            I32Xor => bin!(s, as_i32, |a: i32, b: i32| a ^ b),
-            I32Shl => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
-            I32ShrS => bin!(s, as_i32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
+            I32And => bin!(s, get_i32, |a: i32, b: i32| a & b),
+            I32Or => bin!(s, get_i32, |a: i32, b: i32| a | b),
+            I32Xor => bin!(s, get_i32, |a: i32, b: i32| a ^ b),
+            I32Shl => bin!(s, get_i32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
+            I32ShrS => bin!(s, get_i32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
             I32ShrU => bin!(
                 s,
-                as_i32,
+                get_i32,
                 |a: i32, b: i32| ((a as u32).wrapping_shr(b as u32)) as i32
             ),
-            I32Rotl => bin!(s, as_i32, |a: i32, b: i32| a.rotate_left(b as u32 & 31)),
-            I32Rotr => bin!(s, as_i32, |a: i32, b: i32| a.rotate_right(b as u32 & 31)),
+            I32Rotl => bin!(s, get_i32, |a: i32, b: i32| a.rotate_left(b as u32 & 31)),
+            I32Rotr => bin!(s, get_i32, |a: i32, b: i32| a.rotate_right(b as u32 & 31)),
 
             I64Eqz => {
                 self.charge(s);
-                let a = stack.pop().expect("validated").as_i64();
-                stack.push(Value::I32(i32::from(a == 0)));
+                let a = get_i64(stack.pop().expect("validated"));
+                stack.push(slot_bool(a == 0));
             }
-            I64Eq => cmp!(s, as_i64, |a, b| a == b),
-            I64Ne => cmp!(s, as_i64, |a, b| a != b),
-            I64LtS => cmp!(s, as_i64, |a, b| a < b),
-            I64LtU => cmp!(s, as_i64, |a: i64, b: i64| (a as u64) < b as u64),
-            I64GtS => cmp!(s, as_i64, |a, b| a > b),
-            I64GtU => cmp!(s, as_i64, |a: i64, b: i64| a as u64 > b as u64),
-            I64LeS => cmp!(s, as_i64, |a, b| a <= b),
-            I64LeU => cmp!(s, as_i64, |a: i64, b: i64| a as u64 <= b as u64),
-            I64GeS => cmp!(s, as_i64, |a, b| a >= b),
-            I64GeU => cmp!(s, as_i64, |a: i64, b: i64| a as u64 >= b as u64),
-            I64Clz => una!(s, as_i64, |a: i64| i64::from(a.leading_zeros())),
-            I64Ctz => una!(s, as_i64, |a: i64| i64::from(a.trailing_zeros())),
-            I64Popcnt => una!(s, as_i64, |a: i64| i64::from(a.count_ones())),
-            I64Add => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_add(b)),
-            I64Sub => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_sub(b)),
-            I64Mul => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_mul(b)),
+            I64Eq => cmp!(s, get_i64, |a, b| a == b),
+            I64Ne => cmp!(s, get_i64, |a, b| a != b),
+            I64LtS => cmp!(s, get_i64, |a, b| a < b),
+            I64LtU => cmp!(s, get_i64, |a: i64, b: i64| (a as u64) < b as u64),
+            I64GtS => cmp!(s, get_i64, |a, b| a > b),
+            I64GtU => cmp!(s, get_i64, |a: i64, b: i64| a as u64 > b as u64),
+            I64LeS => cmp!(s, get_i64, |a, b| a <= b),
+            I64LeU => cmp!(s, get_i64, |a: i64, b: i64| a as u64 <= b as u64),
+            I64GeS => cmp!(s, get_i64, |a, b| a >= b),
+            I64GeU => cmp!(s, get_i64, |a: i64, b: i64| a as u64 >= b as u64),
+            I64Clz => una!(s, get_i64, |a: i64| i64::from(a.leading_zeros())),
+            I64Ctz => una!(s, get_i64, |a: i64| i64::from(a.trailing_zeros())),
+            I64Popcnt => una!(s, get_i64, |a: i64| i64::from(a.count_ones())),
+            I64Add => bin!(s, get_i64, |a: i64, b: i64| a.wrapping_add(b)),
+            I64Sub => bin!(s, get_i64, |a: i64, b: i64| a.wrapping_sub(b)),
+            I64Mul => bin!(s, get_i64, |a: i64, b: i64| a.wrapping_mul(b)),
             I64DivS => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i64();
-                let a = stack.pop().expect("validated").as_i64();
+                let b = get_i64(stack.pop().expect("validated"));
+                let a = get_i64(stack.pop().expect("validated"));
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
@@ -778,155 +1049,155 @@ impl<'s> Interp<'s> {
                 if overflow {
                     return Err(Trap::IntegerOverflow);
                 }
-                stack.push(Value::I64(q));
+                stack.push(slot_i64(q));
             }
             I64DivU => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i64() as u64;
-                let a = stack.pop().expect("validated").as_i64() as u64;
+                let b = get_i64(stack.pop().expect("validated")) as u64;
+                let a = get_i64(stack.pop().expect("validated")) as u64;
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
-                stack.push(Value::I64((a / b) as i64));
+                stack.push(slot_i64((a / b) as i64));
             }
             I64RemS => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i64();
-                let a = stack.pop().expect("validated").as_i64();
+                let b = get_i64(stack.pop().expect("validated"));
+                let a = get_i64(stack.pop().expect("validated"));
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
-                stack.push(Value::I64(a.wrapping_rem(b)));
+                stack.push(slot_i64(a.wrapping_rem(b)));
             }
             I64RemU => {
                 self.charge(dv);
-                let b = stack.pop().expect("validated").as_i64() as u64;
-                let a = stack.pop().expect("validated").as_i64() as u64;
+                let b = get_i64(stack.pop().expect("validated")) as u64;
+                let a = get_i64(stack.pop().expect("validated")) as u64;
                 if b == 0 {
                     return Err(Trap::DivideByZero);
                 }
-                stack.push(Value::I64((a % b) as i64));
+                stack.push(slot_i64((a % b) as i64));
             }
-            I64And => bin!(s, as_i64, |a: i64, b: i64| a & b),
-            I64Or => bin!(s, as_i64, |a: i64, b: i64| a | b),
-            I64Xor => bin!(s, as_i64, |a: i64, b: i64| a ^ b),
-            I64Shl => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
-            I64ShrS => bin!(s, as_i64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
+            I64And => bin!(s, get_i64, |a: i64, b: i64| a & b),
+            I64Or => bin!(s, get_i64, |a: i64, b: i64| a | b),
+            I64Xor => bin!(s, get_i64, |a: i64, b: i64| a ^ b),
+            I64Shl => bin!(s, get_i64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
+            I64ShrS => bin!(s, get_i64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
             I64ShrU => bin!(
                 s,
-                as_i64,
+                get_i64,
                 |a: i64, b: i64| ((a as u64).wrapping_shr(b as u32)) as i64
             ),
-            I64Rotl => bin!(s, as_i64, |a: i64, b: i64| a.rotate_left(b as u32 & 63)),
-            I64Rotr => bin!(s, as_i64, |a: i64, b: i64| a.rotate_right(b as u32 & 63)),
+            I64Rotl => bin!(s, get_i64, |a: i64, b: i64| a.rotate_left(b as u32 & 63)),
+            I64Rotr => bin!(s, get_i64, |a: i64, b: i64| a.rotate_right(b as u32 & 63)),
 
-            F32Eq => cmp!(fl, as_f32, |a, b| a == b),
-            F32Ne => cmp!(fl, as_f32, |a, b| a != b),
-            F32Lt => cmp!(fl, as_f32, |a, b| a < b),
-            F32Gt => cmp!(fl, as_f32, |a, b| a > b),
-            F32Le => cmp!(fl, as_f32, |a, b| a <= b),
-            F32Ge => cmp!(fl, as_f32, |a, b| a >= b),
-            F32Abs => una!(fl, as_f32, |a: f32| a.abs()),
-            F32Neg => una!(fl, as_f32, |a: f32| -a),
-            F32Ceil => una!(fl, as_f32, |a: f32| a.ceil()),
-            F32Floor => una!(fl, as_f32, |a: f32| a.floor()),
-            F32Trunc => una!(fl, as_f32, |a: f32| a.trunc()),
-            F32Nearest => una!(fl, as_f32, |a: f32| a.round_ties_even()),
-            F32Sqrt => una!(fdv, as_f32, |a: f32| a.sqrt()),
-            F32Add => bin!(fl, as_f32, |a: f32, b: f32| a + b),
-            F32Sub => bin!(fl, as_f32, |a: f32, b: f32| a - b),
-            F32Mul => bin!(fl, as_f32, |a: f32, b: f32| a * b),
-            F32Div => bin!(fdv, as_f32, |a: f32, b: f32| a / b),
-            F32Min => bin!(fl, as_f32, wasm_fmin32),
-            F32Max => bin!(fl, as_f32, wasm_fmax32),
-            F32Copysign => bin!(fl, as_f32, |a: f32, b: f32| a.copysign(b)),
+            F32Eq => cmp!(fl, get_f32, |a, b| a == b),
+            F32Ne => cmp!(fl, get_f32, |a, b| a != b),
+            F32Lt => cmp!(fl, get_f32, |a, b| a < b),
+            F32Gt => cmp!(fl, get_f32, |a, b| a > b),
+            F32Le => cmp!(fl, get_f32, |a, b| a <= b),
+            F32Ge => cmp!(fl, get_f32, |a, b| a >= b),
+            F32Abs => una!(fl, get_f32, |a: f32| a.abs()),
+            F32Neg => una!(fl, get_f32, |a: f32| -a),
+            F32Ceil => una!(fl, get_f32, |a: f32| a.ceil()),
+            F32Floor => una!(fl, get_f32, |a: f32| a.floor()),
+            F32Trunc => una!(fl, get_f32, |a: f32| a.trunc()),
+            F32Nearest => una!(fl, get_f32, |a: f32| a.round_ties_even()),
+            F32Sqrt => una!(fdv, get_f32, |a: f32| a.sqrt()),
+            F32Add => bin!(fl, get_f32, |a: f32, b: f32| a + b),
+            F32Sub => bin!(fl, get_f32, |a: f32, b: f32| a - b),
+            F32Mul => bin!(fl, get_f32, |a: f32, b: f32| a * b),
+            F32Div => bin!(fdv, get_f32, |a: f32, b: f32| a / b),
+            F32Min => bin!(fl, get_f32, wasm_fmin32),
+            F32Max => bin!(fl, get_f32, wasm_fmax32),
+            F32Copysign => bin!(fl, get_f32, |a: f32, b: f32| a.copysign(b)),
 
-            F64Eq => cmp!(fl, as_f64, |a, b| a == b),
-            F64Ne => cmp!(fl, as_f64, |a, b| a != b),
-            F64Lt => cmp!(fl, as_f64, |a, b| a < b),
-            F64Gt => cmp!(fl, as_f64, |a, b| a > b),
-            F64Le => cmp!(fl, as_f64, |a, b| a <= b),
-            F64Ge => cmp!(fl, as_f64, |a, b| a >= b),
-            F64Abs => una!(fl, as_f64, |a: f64| a.abs()),
-            F64Neg => una!(fl, as_f64, |a: f64| -a),
-            F64Ceil => una!(fl, as_f64, |a: f64| a.ceil()),
-            F64Floor => una!(fl, as_f64, |a: f64| a.floor()),
-            F64Trunc => una!(fl, as_f64, |a: f64| a.trunc()),
-            F64Nearest => una!(fl, as_f64, |a: f64| a.round_ties_even()),
-            F64Sqrt => una!(fdv, as_f64, |a: f64| a.sqrt()),
-            F64Add => bin!(fl, as_f64, |a: f64, b: f64| a + b),
-            F64Sub => bin!(fl, as_f64, |a: f64, b: f64| a - b),
-            F64Mul => bin!(fl, as_f64, |a: f64, b: f64| a * b),
-            F64Div => bin!(fdv, as_f64, |a: f64, b: f64| a / b),
-            F64Min => bin!(fl, as_f64, wasm_fmin64),
-            F64Max => bin!(fl, as_f64, wasm_fmax64),
-            F64Copysign => bin!(fl, as_f64, |a: f64, b: f64| a.copysign(b)),
+            F64Eq => cmp!(fl, get_f64, |a, b| a == b),
+            F64Ne => cmp!(fl, get_f64, |a, b| a != b),
+            F64Lt => cmp!(fl, get_f64, |a, b| a < b),
+            F64Gt => cmp!(fl, get_f64, |a, b| a > b),
+            F64Le => cmp!(fl, get_f64, |a, b| a <= b),
+            F64Ge => cmp!(fl, get_f64, |a, b| a >= b),
+            F64Abs => una!(fl, get_f64, |a: f64| a.abs()),
+            F64Neg => una!(fl, get_f64, |a: f64| -a),
+            F64Ceil => una!(fl, get_f64, |a: f64| a.ceil()),
+            F64Floor => una!(fl, get_f64, |a: f64| a.floor()),
+            F64Trunc => una!(fl, get_f64, |a: f64| a.trunc()),
+            F64Nearest => una!(fl, get_f64, |a: f64| a.round_ties_even()),
+            F64Sqrt => una!(fdv, get_f64, |a: f64| a.sqrt()),
+            F64Add => bin!(fl, get_f64, |a: f64, b: f64| a + b),
+            F64Sub => bin!(fl, get_f64, |a: f64, b: f64| a - b),
+            F64Mul => bin!(fl, get_f64, |a: f64, b: f64| a * b),
+            F64Div => bin!(fdv, get_f64, |a: f64, b: f64| a / b),
+            F64Min => bin!(fl, get_f64, wasm_fmin64),
+            F64Max => bin!(fl, get_f64, wasm_fmax64),
+            F64Copysign => bin!(fl, get_f64, |a: f64, b: f64| a.copysign(b)),
 
             // Width changes are register renames on the simulated cores
             // (zero-cost move elimination): charged as free so wasm64's
             // extra extend/wrap traffic prices only real work.
-            I32WrapI64 => una!(0.0, as_i64, |a: i64| a as i32),
+            I32WrapI64 => una!(0.0, get_i64, |a: i64| a as i32),
             I32TruncF32S => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f32();
-                stack.push(Value::I32(trunc_to_i32(f64::from(a))?));
+                let a = get_f32(stack.pop().expect("validated"));
+                stack.push(slot_i32(trunc_to_i32(f64::from(a))?));
             }
             I32TruncF32U => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f32();
-                stack.push(Value::I32(trunc_to_u32(f64::from(a))? as i32));
+                let a = get_f32(stack.pop().expect("validated"));
+                stack.push(slot_i32(trunc_to_u32(f64::from(a))? as i32));
             }
             I32TruncF64S => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f64();
-                stack.push(Value::I32(trunc_to_i32(a)?));
+                let a = get_f64(stack.pop().expect("validated"));
+                stack.push(slot_i32(trunc_to_i32(a)?));
             }
             I32TruncF64U => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f64();
-                stack.push(Value::I32(trunc_to_u32(a)? as i32));
+                let a = get_f64(stack.pop().expect("validated"));
+                stack.push(slot_i32(trunc_to_u32(a)? as i32));
             }
-            I64ExtendI32S => una!(0.0, as_i32, |a: i32| i64::from(a)),
-            I64ExtendI32U => una!(0.0, as_i32, |a: i32| (a as u32) as i64),
+            I64ExtendI32S => una!(0.0, get_i32, |a: i32| i64::from(a)),
+            I64ExtendI32U => una!(0.0, get_i32, |a: i32| (a as u32) as i64),
             I64TruncF32S => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f32();
-                stack.push(Value::I64(trunc_to_i64(f64::from(a))?));
+                let a = get_f32(stack.pop().expect("validated"));
+                stack.push(slot_i64(trunc_to_i64(f64::from(a))?));
             }
             I64TruncF32U => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f32();
-                stack.push(Value::I64(trunc_to_u64(f64::from(a))? as i64));
+                let a = get_f32(stack.pop().expect("validated"));
+                stack.push(slot_i64(trunc_to_u64(f64::from(a))? as i64));
             }
             I64TruncF64S => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f64();
-                stack.push(Value::I64(trunc_to_i64(a)?));
+                let a = get_f64(stack.pop().expect("validated"));
+                stack.push(slot_i64(trunc_to_i64(a)?));
             }
             I64TruncF64U => {
                 self.charge(fl);
-                let a = stack.pop().expect("validated").as_f64();
-                stack.push(Value::I64(trunc_to_u64(a)? as i64));
+                let a = get_f64(stack.pop().expect("validated"));
+                stack.push(slot_i64(trunc_to_u64(a)? as i64));
             }
-            F32ConvertI32S => una!(fl, as_i32, |a: i32| a as f32),
-            F32ConvertI32U => una!(fl, as_i32, |a: i32| (a as u32) as f32),
-            F32ConvertI64S => una!(fl, as_i64, |a: i64| a as f32),
-            F32ConvertI64U => una!(fl, as_i64, |a: i64| (a as u64) as f32),
-            F32DemoteF64 => una!(fl, as_f64, |a: f64| a as f32),
-            F64ConvertI32S => una!(fl, as_i32, |a: i32| f64::from(a)),
-            F64ConvertI32U => una!(fl, as_i32, |a: i32| f64::from(a as u32)),
-            F64ConvertI64S => una!(fl, as_i64, |a: i64| a as f64),
-            F64ConvertI64U => una!(fl, as_i64, |a: i64| (a as u64) as f64),
-            F64PromoteF32 => una!(fl, as_f32, f64::from),
-            I32ReinterpretF32 => una!(s, as_f32, |a: f32| a.to_bits() as i32),
-            I64ReinterpretF64 => una!(s, as_f64, |a: f64| a.to_bits() as i64),
-            F32ReinterpretI32 => una!(s, as_i32, |a: i32| f32::from_bits(a as u32)),
-            F64ReinterpretI64 => una!(s, as_i64, |a: i64| f64::from_bits(a as u64)),
-            I32Extend8S => una!(s, as_i32, |a: i32| i32::from(a as i8)),
-            I32Extend16S => una!(s, as_i32, |a: i32| i32::from(a as i16)),
-            I64Extend8S => una!(s, as_i64, |a: i64| i64::from(a as i8)),
-            I64Extend16S => una!(s, as_i64, |a: i64| i64::from(a as i16)),
-            I64Extend32S => una!(s, as_i64, |a: i64| i64::from(a as i32)),
+            F32ConvertI32S => una!(fl, get_i32, |a: i32| a as f32),
+            F32ConvertI32U => una!(fl, get_i32, |a: i32| (a as u32) as f32),
+            F32ConvertI64S => una!(fl, get_i64, |a: i64| a as f32),
+            F32ConvertI64U => una!(fl, get_i64, |a: i64| (a as u64) as f32),
+            F32DemoteF64 => una!(fl, get_f64, |a: f64| a as f32),
+            F64ConvertI32S => una!(fl, get_i32, |a: i32| f64::from(a)),
+            F64ConvertI32U => una!(fl, get_i32, |a: i32| f64::from(a as u32)),
+            F64ConvertI64S => una!(fl, get_i64, |a: i64| a as f64),
+            F64ConvertI64U => una!(fl, get_i64, |a: i64| (a as u64) as f64),
+            F64PromoteF32 => una!(fl, get_f32, f64::from),
+            I32ReinterpretF32 => una!(s, get_f32, |a: f32| a.to_bits() as i32),
+            I64ReinterpretF64 => una!(s, get_f64, |a: f64| a.to_bits() as i64),
+            F32ReinterpretI32 => una!(s, get_i32, |a: i32| f32::from_bits(a as u32)),
+            F64ReinterpretI64 => una!(s, get_i64, |a: i64| f64::from_bits(a as u64)),
+            I32Extend8S => una!(s, get_i32, |a: i32| i32::from(a as i8)),
+            I32Extend16S => una!(s, get_i32, |a: i32| i32::from(a as i16)),
+            I64Extend8S => una!(s, get_i64, |a: i64| i64::from(a as i8)),
+            I64Extend16S => una!(s, get_i64, |a: i64| i64::from(a as i16)),
+            I64Extend32S => una!(s, get_i64, |a: i64| i64::from(a as i32)),
 
             other => unreachable!("control op {other:?} reached exec_op"),
         }
@@ -967,20 +1238,30 @@ mod tree {
             args: &[Value],
         ) -> Result<Vec<Value>, Trap> {
             self.check_entry(func_idx, args)?;
-            let mut stack: Vec<Value> = Vec::with_capacity(64);
-            let mut locals: Vec<Value> = Vec::with_capacity(32);
-            stack.extend_from_slice(args);
+            // The oracle shares the untagged-slot machinery (`enter`,
+            // `collapse`, `exec_op`); typed values convert at this call
+            // boundary exactly like `call_function`.
+            let ty = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize].ty);
+            let mut stack: Vec<u64> = Vec::with_capacity(64);
+            let mut locals: Vec<u64> = Vec::with_capacity(32);
+            stack.extend(args.iter().map(|v| v.to_slot()));
             let result = self.call_frame_tree(func_idx, &mut stack, &mut locals);
             self.flush_accounting();
             result?;
-            Ok(stack)
+            debug_assert_eq!(stack.len(), ty.results.len(), "validated result arity");
+            Ok(ty
+                .results
+                .iter()
+                .zip(&stack)
+                .map(|(ty, raw)| Value::from_slot(*ty, *raw))
+                .collect())
         }
 
         fn call_frame_tree(
             &mut self,
             func_idx: u32,
-            stack: &mut Vec<Value>,
-            locals: &mut Vec<Value>,
+            stack: &mut Vec<u64>,
+            locals: &mut Vec<u64>,
         ) -> Result<(), Trap> {
             if self.depth >= self.config.max_call_depth {
                 return Err(Trap::CallStackExhausted);
@@ -994,8 +1275,8 @@ mod tree {
         fn call_inner_tree(
             &mut self,
             func_idx: u32,
-            stack: &mut Vec<Value>,
-            locals: &mut Vec<Value>,
+            stack: &mut Vec<u64>,
+            locals: &mut Vec<u64>,
         ) -> Result<(), Trap> {
             let func = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
             if func.is_host {
@@ -1023,8 +1304,8 @@ mod tree {
         fn exec_seq_tree(
             &mut self,
             body: &[Instr],
-            stack: &mut Vec<Value>,
-            locals: &mut Vec<Value>,
+            stack: &mut Vec<u64>,
+            locals: &mut Vec<u64>,
             lbase: usize,
         ) -> Result<Flow, Trap> {
             for instr in body {
@@ -1039,8 +1320,8 @@ mod tree {
         fn exec_instr_tree(
             &mut self,
             instr: &Instr,
-            stack: &mut Vec<Value>,
-            locals: &mut Vec<Value>,
+            stack: &mut Vec<u64>,
+            locals: &mut Vec<u64>,
             lbase: usize,
         ) -> Result<Flow, Trap> {
             match instr {
@@ -1071,7 +1352,7 @@ mod tree {
                 }
                 Instr::If(bt, then_body, else_body) => {
                     self.charge(self.charges.branch);
-                    let cond = stack.pop().expect("validated").as_i32();
+                    let cond = get_i32(stack.pop().expect("validated"));
                     let height = stack.len();
                     let arity = bt.arity();
                     let body = if cond != 0 { then_body } else { else_body };
@@ -1088,14 +1369,14 @@ mod tree {
                 }
                 Instr::BrIf(depth) => {
                     self.charge(self.charges.branch);
-                    let cond = stack.pop().expect("validated").as_i32();
+                    let cond = get_i32(stack.pop().expect("validated"));
                     if cond != 0 {
                         return Ok(Flow::Br(*depth));
                     }
                 }
                 Instr::BrTable(targets, default) => {
                     self.charge(self.charges.branch);
-                    let i = stack.pop().expect("validated").as_i32() as usize;
+                    let i = get_i32(stack.pop().expect("validated")) as usize;
                     let target = targets.get(i).copied().unwrap_or(*default);
                     return Ok(Flow::Br(target));
                 }
@@ -1111,7 +1392,7 @@ mod tree {
                 }
                 Instr::CallIndirect(type_idx) => {
                     self.charge(self.charges.call_indirect);
-                    let table_idx = stack.pop().expect("validated").as_i32() as u32;
+                    let table_idx = get_i32(stack.pop().expect("validated")) as u32;
                     let (func_idx, expected, actual) = {
                         let inst = &self.store.instances[self.inst];
                         let func_idx = inst
@@ -1141,49 +1422,142 @@ mod tree {
     }
 }
 
-fn size_value(pages: u64, memory64: bool) -> Value {
+fn size_value(pages: u64, memory64: bool) -> u64 {
     if memory64 {
-        Value::I64(pages as i64)
+        slot_i64(pages as i64)
     } else {
-        Value::I32(pages as i32)
+        slot_i32(pages as i32)
     }
 }
 
-/// Decodes the raw little-endian scalar a load fetched into a [`Value`].
-fn decode_load(op: LoadOp, raw: u64) -> Value {
+/// Decodes the raw little-endian scalar a load fetched into an untagged
+/// operand slot. Unsigned widths are already zero-extended (the scalar
+/// read zeroes the high bytes); only sign-extending loads transform.
+///
+/// There is no `encode_store` twin: slot encoding *is* the store
+/// encoding — the scalar write truncates to the op's width, which is what
+/// every `StoreOp` did to its typed value.
+fn decode_load(op: LoadOp, raw: u64) -> u64 {
     use LoadOp::*;
     match op {
-        I32Load => Value::I32(raw as u32 as i32),
-        I64Load => Value::I64(raw as i64),
-        F32Load => Value::F32(f32::from_bits(raw as u32)),
-        F64Load => Value::F64(f64::from_bits(raw)),
-        I32Load8S => Value::I32(i32::from(raw as u8 as i8)),
-        I32Load8U => Value::I32(raw as u8 as i32),
-        I32Load16S => Value::I32(i32::from(raw as u16 as i16)),
-        I32Load16U => Value::I32(raw as u16 as i32),
-        I64Load8S => Value::I64(i64::from(raw as u8 as i8)),
-        I64Load8U => Value::I64(raw as u8 as i64),
-        I64Load16S => Value::I64(i64::from(raw as u16 as i16)),
-        I64Load16U => Value::I64(raw as u16 as i64),
-        I64Load32S => Value::I64(i64::from(raw as u32 as i32)),
-        I64Load32U => Value::I64(raw as u32 as i64),
+        I32Load | F32Load | F64Load | I64Load | I32Load8U | I32Load16U | I64Load8U | I64Load16U
+        | I64Load32U => raw,
+        I32Load8S => slot_i32(i32::from(raw as u8 as i8)),
+        I32Load16S => slot_i32(i32::from(raw as u16 as i16)),
+        I64Load8S => slot_i64(i64::from(raw as u8 as i8)),
+        I64Load16S => slot_i64(i64::from(raw as u16 as i16)),
+        I64Load32S => slot_i64(i64::from(raw as u32 as i32)),
     }
 }
 
-/// Encodes `value` as the raw scalar whose `op.width()` low bytes a store
-/// writes (little-endian) — no intermediate byte vector.
-fn encode_store(op: StoreOp, value: Value) -> u64 {
-    use StoreOp::*;
+/// Evaluates a fused two-operand ALU op on untagged slots — semantically
+/// identical to the corresponding unfused `exec_op` arm (the differential
+/// property tests compare fused flat execution against the never-fusing
+/// tree oracle to pin this).
+#[inline(always)]
+#[allow(clippy::too_many_lines)]
+fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
+    macro_rules! ib {
+        ($get:ident, $slot:ident, $f:expr) => {{
+            $slot($f($get(a), $get(b)))
+        }};
+    }
+    macro_rules! ic {
+        ($get:ident, $f:expr) => {{
+            slot_bool($f($get(a), $get(b)))
+        }};
+    }
     match op {
-        I32Store => value.as_i32() as u32 as u64,
-        I64Store => value.as_i64() as u64,
-        F32Store => u64::from(value.as_f32().to_bits()),
-        F64Store => value.as_f64().to_bits(),
-        I32Store8 => u64::from(value.as_i32() as u8),
-        I32Store16 => u64::from(value.as_i32() as u16),
-        I64Store8 => u64::from(value.as_i64() as u8),
-        I64Store16 => u64::from(value.as_i64() as u16),
-        I64Store32 => u64::from(value.as_i64() as u32),
+        AluOp::I32Add => ib!(get_i32, slot_i32, |a: i32, b: i32| a.wrapping_add(b)),
+        AluOp::I32Sub => ib!(get_i32, slot_i32, |a: i32, b: i32| a.wrapping_sub(b)),
+        AluOp::I32Mul => ib!(get_i32, slot_i32, |a: i32, b: i32| a.wrapping_mul(b)),
+        AluOp::I32And => ib!(get_i32, slot_i32, |a: i32, b: i32| a & b),
+        AluOp::I32Or => ib!(get_i32, slot_i32, |a: i32, b: i32| a | b),
+        AluOp::I32Xor => ib!(get_i32, slot_i32, |a: i32, b: i32| a ^ b),
+        AluOp::I32Shl => ib!(get_i32, slot_i32, |a: i32, b: i32| a.wrapping_shl(b as u32)),
+        AluOp::I32ShrS => ib!(get_i32, slot_i32, |a: i32, b: i32| a.wrapping_shr(b as u32)),
+        AluOp::I32ShrU => ib!(get_i32, slot_i32, |a: i32, b: i32| {
+            (a as u32).wrapping_shr(b as u32) as i32
+        }),
+        AluOp::I32Rotl => ib!(get_i32, slot_i32, |a: i32, b: i32| a
+            .rotate_left(b as u32 & 31)),
+        AluOp::I32Rotr => ib!(get_i32, slot_i32, |a: i32, b: i32| a
+            .rotate_right(b as u32 & 31)),
+        AluOp::I32Eq => ic!(get_i32, |a, b| a == b),
+        AluOp::I32Ne => ic!(get_i32, |a, b| a != b),
+        AluOp::I32LtS => ic!(get_i32, |a, b| a < b),
+        AluOp::I32LtU => ic!(get_i32, |a: i32, b: i32| (a as u32) < b as u32),
+        AluOp::I32GtS => ic!(get_i32, |a, b| a > b),
+        AluOp::I32GtU => ic!(get_i32, |a: i32, b: i32| a as u32 > b as u32),
+        AluOp::I32LeS => ic!(get_i32, |a, b| a <= b),
+        AluOp::I32LeU => ic!(get_i32, |a: i32, b: i32| a as u32 <= b as u32),
+        AluOp::I32GeS => ic!(get_i32, |a, b| a >= b),
+        AluOp::I32GeU => ic!(get_i32, |a: i32, b: i32| a as u32 >= b as u32),
+        AluOp::I64Add => ib!(get_i64, slot_i64, |a: i64, b: i64| a.wrapping_add(b)),
+        AluOp::I64Sub => ib!(get_i64, slot_i64, |a: i64, b: i64| a.wrapping_sub(b)),
+        AluOp::I64Mul => ib!(get_i64, slot_i64, |a: i64, b: i64| a.wrapping_mul(b)),
+        AluOp::I64And => ib!(get_i64, slot_i64, |a: i64, b: i64| a & b),
+        AluOp::I64Or => ib!(get_i64, slot_i64, |a: i64, b: i64| a | b),
+        AluOp::I64Xor => ib!(get_i64, slot_i64, |a: i64, b: i64| a ^ b),
+        AluOp::I64Shl => ib!(get_i64, slot_i64, |a: i64, b: i64| a.wrapping_shl(b as u32)),
+        AluOp::I64ShrS => ib!(get_i64, slot_i64, |a: i64, b: i64| a.wrapping_shr(b as u32)),
+        AluOp::I64ShrU => ib!(get_i64, slot_i64, |a: i64, b: i64| {
+            (a as u64).wrapping_shr(b as u32) as i64
+        }),
+        AluOp::I64Rotl => ib!(get_i64, slot_i64, |a: i64, b: i64| a
+            .rotate_left(b as u32 & 63)),
+        AluOp::I64Rotr => ib!(get_i64, slot_i64, |a: i64, b: i64| a
+            .rotate_right(b as u32 & 63)),
+        AluOp::I64Eq => ic!(get_i64, |a, b| a == b),
+        AluOp::I64Ne => ic!(get_i64, |a, b| a != b),
+        AluOp::I64LtS => ic!(get_i64, |a, b| a < b),
+        AluOp::I64LtU => ic!(get_i64, |a: i64, b: i64| (a as u64) < b as u64),
+        AluOp::I64GtS => ic!(get_i64, |a, b| a > b),
+        AluOp::I64GtU => ic!(get_i64, |a: i64, b: i64| a as u64 > b as u64),
+        AluOp::I64LeS => ic!(get_i64, |a, b| a <= b),
+        AluOp::I64LeU => ic!(get_i64, |a: i64, b: i64| a as u64 <= b as u64),
+        AluOp::I64GeS => ic!(get_i64, |a, b| a >= b),
+        AluOp::I64GeU => ic!(get_i64, |a: i64, b: i64| a as u64 >= b as u64),
+        AluOp::F32Add => ib!(get_f32, slot_f32, |a: f32, b: f32| a + b),
+        AluOp::F32Sub => ib!(get_f32, slot_f32, |a: f32, b: f32| a - b),
+        AluOp::F32Mul => ib!(get_f32, slot_f32, |a: f32, b: f32| a * b),
+        AluOp::F32Min => ib!(get_f32, slot_f32, wasm_fmin32),
+        AluOp::F32Max => ib!(get_f32, slot_f32, wasm_fmax32),
+        AluOp::F32Copysign => ib!(get_f32, slot_f32, |a: f32, b: f32| a.copysign(b)),
+        AluOp::F32Eq => ic!(get_f32, |a, b| a == b),
+        AluOp::F32Ne => ic!(get_f32, |a, b| a != b),
+        AluOp::F32Lt => ic!(get_f32, |a, b| a < b),
+        AluOp::F32Gt => ic!(get_f32, |a, b| a > b),
+        AluOp::F32Le => ic!(get_f32, |a, b| a <= b),
+        AluOp::F32Ge => ic!(get_f32, |a, b| a >= b),
+        AluOp::F64Add => ib!(get_f64, slot_f64, |a: f64, b: f64| a + b),
+        AluOp::F64Sub => ib!(get_f64, slot_f64, |a: f64, b: f64| a - b),
+        AluOp::F64Mul => ib!(get_f64, slot_f64, |a: f64, b: f64| a * b),
+        AluOp::F64Min => ib!(get_f64, slot_f64, wasm_fmin64),
+        AluOp::F64Max => ib!(get_f64, slot_f64, wasm_fmax64),
+        AluOp::F64Copysign => ib!(get_f64, slot_f64, |a: f64, b: f64| a.copysign(b)),
+        AluOp::F64Eq => ic!(get_f64, |a, b| a == b),
+        AluOp::F64Ne => ic!(get_f64, |a, b| a != b),
+        AluOp::F64Lt => ic!(get_f64, |a, b| a < b),
+        AluOp::F64Gt => ic!(get_f64, |a, b| a > b),
+        AluOp::F64Le => ic!(get_f64, |a, b| a <= b),
+        AluOp::F64Ge => ic!(get_f64, |a, b| a >= b),
+    }
+}
+
+/// The cached fast-path address computation: bit-identical to the
+/// `resolve()` arithmetic for configurations with no live tag checks —
+/// same masking, same overflow handling, same trap payloads.
+#[inline(always)]
+fn fast_addr(index: u64, offset: u64, width: u64, m64: bool, size: u64) -> Result<u64, Trap> {
+    let base = if m64 { index & ADDR_MASK } else { index };
+    let addr = base.checked_add(offset).ok_or(Trap::OutOfBounds {
+        addr: u64::MAX,
+        len: width,
+    })?;
+    match addr.checked_add(width) {
+        Some(end) if end <= size => Ok(addr),
+        _ => Err(Trap::OutOfBounds { addr, len: width }),
     }
 }
 
@@ -1630,13 +2004,71 @@ mod tests {
     }
 
     #[test]
-    fn load_store_codec_roundtrip() {
-        let v = Value::F64(std::f64::consts::PI);
-        let raw = encode_store(StoreOp::F64Store, v);
-        assert!(decode_load(LoadOp::F64Load, raw).bit_eq(&v));
-        let v = Value::I32(-2);
-        let raw = encode_store(StoreOp::I32Store8, v);
-        assert_eq!(decode_load(LoadOp::I32Load8S, raw), Value::I32(-2));
-        assert_eq!(decode_load(LoadOp::I32Load8U, raw), Value::I32(254));
+    fn load_codec_decodes_slots() {
+        // Slot encoding is the store encoding; decode recovers the typed
+        // slot from the width-truncated raw bytes a load fetches.
+        let pi = Value::F64(std::f64::consts::PI).to_slot();
+        assert_eq!(decode_load(LoadOp::F64Load, pi), pi);
+        let raw = Value::I32(-2).to_slot() & 0xFF; // I32Store8 keeps the low byte
+        assert_eq!(
+            decode_load(LoadOp::I32Load8S, raw),
+            Value::I32(-2).to_slot()
+        );
+        assert_eq!(
+            decode_load(LoadOp::I32Load8U, raw),
+            Value::I32(254).to_slot()
+        );
+    }
+
+    #[test]
+    fn fast_addr_matches_resolve_arithmetic() {
+        // In-bounds, overflow in index+offset, and end-past-size all
+        // produce the same traps `resolve()` would.
+        assert_eq!(fast_addr(16, 8, 4, true, 4096), Ok(24));
+        // memory64 masks the tag bits out of the index.
+        assert_eq!(fast_addr((7 << 56) | 16, 0, 4, true, 4096), Ok(16));
+        // wasm32 indices arrive zero-extended: no masking.
+        assert!(matches!(
+            fast_addr(u64::MAX, 1, 4, false, 4096),
+            Err(Trap::OutOfBounds {
+                addr: u64::MAX,
+                len: 4
+            })
+        ));
+        assert!(matches!(
+            fast_addr(4093, 0, 4, true, 4096),
+            Err(Trap::OutOfBounds { addr: 4093, len: 4 })
+        ));
+        // addr + width overflow is out of bounds, not a wrap.
+        assert!(matches!(
+            fast_addr(ADDR_MASK, 0, 8, false, 4096),
+            Err(Trap::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn alu_eval_matches_unfused_semantics() {
+        use crate::bytecode::AluOp;
+        let a = Value::I32(-7).to_slot();
+        let b = Value::I32(3).to_slot();
+        assert_eq!(alu_eval(AluOp::I32Add, a, b), Value::I32(-4).to_slot());
+        assert_eq!(alu_eval(AluOp::I32LtU, a, b), 0, "-7 as u32 is large");
+        assert_eq!(alu_eval(AluOp::I32LtS, a, b), 1);
+        let x = Value::I64(i64::MIN).to_slot();
+        assert_eq!(
+            alu_eval(AluOp::I64Sub, x, Value::I64(1).to_slot()),
+            Value::I64(i64::MAX).to_slot(),
+            "wrapping"
+        );
+        let f = Value::F64(1.5).to_slot();
+        let g = Value::F64(-0.0).to_slot();
+        assert_eq!(alu_eval(AluOp::F64Mul, f, f), Value::F64(2.25).to_slot());
+        assert_eq!(
+            alu_eval(AluOp::F64Min, Value::F64(0.0).to_slot(), g),
+            g,
+            "min picks the negative zero"
+        );
+        let nan = alu_eval(AluOp::F32Add, Value::F32(f32::NAN).to_slot(), f);
+        assert!(get_f32(nan).is_nan());
     }
 }

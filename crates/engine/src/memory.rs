@@ -288,10 +288,16 @@ impl LinearMemory {
             let ptr_tag = self.scheme.ptr_tag(index);
             self.tags.check_access(addr, width, ptr_tag, kind)?;
         }
-        // The tag check above also bounds the access to the tagged region;
-        // without it we have already bounds-checked. Either way the slice
-        // access below is in range unless the access leaks past the slack.
-        if addr + width > self.data.len() as u64 {
+        // The tag check above also bounds the access to the tagged region
+        // *when it faults synchronously*; in asynchronous MTE modes it
+        // records the fault and returns Ok, and the software branch was
+        // skipped entirely under MteSandbox — so this final slack check
+        // must tolerate `addr + width` overflowing for huge bulk lengths
+        // instead of wrapping around.
+        if addr
+            .checked_add(width)
+            .is_none_or(|end| end > self.data.len() as u64)
+        {
             return Err(Trap::OutOfBounds { addr, len: width });
         }
         Ok(addr)
@@ -341,9 +347,63 @@ impl LinearMemory {
         Ok(())
     }
 
+    /// Raw little-endian scalar read at an already-resolved (or
+    /// fast-path-bounds-checked) address: each power-of-two width decodes
+    /// straight off the slice with `from_le_bytes`, no staging buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + width` exceeds the data region — callers must
+    /// have bounds-checked (via [`LinearMemory::resolve`] or the
+    /// interpreter's cached fast path).
+    #[inline(always)]
+    #[must_use]
+    pub fn read_le(&self, addr: u64, width: u64) -> u64 {
+        let a = addr as usize;
+        match width {
+            8 => u64::from_le_bytes(self.data[a..a + 8].try_into().expect("width")),
+            4 => u64::from(u32::from_le_bytes(
+                self.data[a..a + 4].try_into().expect("width"),
+            )),
+            2 => u64::from(u16::from_le_bytes(
+                self.data[a..a + 2].try_into().expect("width"),
+            )),
+            1 => u64::from(self.data[a]),
+            _ => {
+                debug_assert!(width <= 8, "scalar accesses are at most 8 bytes");
+                let mut buf = [0u8; 8];
+                buf[..width as usize].copy_from_slice(&self.data[a..a + width as usize]);
+                u64::from_le_bytes(buf)
+            }
+        }
+    }
+
+    /// Raw little-endian scalar write at an already-resolved address —
+    /// the store twin of [`LinearMemory::read_le`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + width` exceeds the data region (see
+    /// [`LinearMemory::read_le`]).
+    #[inline(always)]
+    pub fn write_le(&mut self, addr: u64, width: u64, raw: u64) {
+        let a = addr as usize;
+        match width {
+            8 => self.data[a..a + 8].copy_from_slice(&raw.to_le_bytes()),
+            4 => self.data[a..a + 4].copy_from_slice(&(raw as u32).to_le_bytes()),
+            2 => self.data[a..a + 2].copy_from_slice(&(raw as u16).to_le_bytes()),
+            1 => self.data[a] = raw as u8,
+            _ => {
+                debug_assert!(width <= 8, "scalar accesses are at most 8 bytes");
+                self.data[a..a + width as usize]
+                    .copy_from_slice(&raw.to_le_bytes()[..width as usize]);
+            }
+        }
+    }
+
     /// Checked scalar read: the `width` low bytes at `index + offset`,
-    /// little-endian-assembled into a `u64` through a fixed `[u8; 8]`
-    /// buffer — the allocation-free load path (`width` ≤ 8).
+    /// little-endian-assembled into a `u64` — the allocation-free load
+    /// path (`width` ≤ 8).
     ///
     /// # Errors
     ///
@@ -357,9 +417,7 @@ impl LinearMemory {
     ) -> Result<u64, Trap> {
         debug_assert!(width <= 8, "scalar accesses are at most 8 bytes");
         let addr = self.resolve(index, offset, width, AccessKind::Read, config)?;
-        let mut buf = [0u8; 8];
-        buf[..width as usize].copy_from_slice(&self.data[addr as usize..(addr + width) as usize]);
-        Ok(u64::from_le_bytes(buf))
+        Ok(self.read_le(addr, width))
     }
 
     /// Checked scalar write: stores the `width` low bytes of `raw` at
@@ -378,8 +436,7 @@ impl LinearMemory {
     ) -> Result<(), Trap> {
         debug_assert!(width <= 8, "scalar accesses are at most 8 bytes");
         let addr = self.resolve(index, offset, width, AccessKind::Write, config)?;
-        self.data[addr as usize..(addr + width) as usize]
-            .copy_from_slice(&raw.to_le_bytes()[..width as usize]);
+        self.write_le(addr, width, raw);
         Ok(())
     }
 
@@ -793,6 +850,40 @@ mod tests {
         assert_eq!(m_plain.resident_bytes(), PAGE_SIZE);
         let m_mte = mem(TagScheme::InternalOnly);
         assert_eq!(m_mte.resident_bytes(), PAGE_SIZE + PAGE_SIZE / 32);
+    }
+
+    #[test]
+    fn huge_bulk_length_traps_oob_instead_of_wrapping() {
+        // Under MteSandbox the software bounds branch is skipped, and in
+        // asynchronous MTE mode the tag check records its fault but
+        // returns Ok — so the final slack check is the only thing
+        // standing between a huge bulk length and `addr + width`
+        // wrapping around. It must use checked arithmetic.
+        let instance_tag = Tag::new(5).unwrap();
+        let mut m = LinearMemory::new(
+            1,
+            None,
+            true,
+            TagScheme::ExternalOnly { instance_tag },
+            MteMode::Asynchronous,
+            9,
+        );
+        let c = ExecConfig {
+            bounds: BoundsCheckStrategy::MteSandbox,
+            internal: InternalSafety::Off,
+            mte_mode: MteMode::Asynchronous,
+            ..ExecConfig::default()
+        };
+        for len in [u64::MAX, u64::MAX - 64, u64::MAX / 2] {
+            let err = m.resolve(64, 0, len, AccessKind::Write, &c).unwrap_err();
+            assert!(matches!(err, Trap::OutOfBounds { .. }), "{err}");
+            let err = m.fill(64, 0xAA, len, &c).unwrap_err();
+            assert!(matches!(err, Trap::OutOfBounds { .. }), "{err}");
+            let err = m.copy(64, 0, len, &c).unwrap_err();
+            assert!(matches!(err, Trap::OutOfBounds { .. }), "{err}");
+        }
+        // The memory stays usable afterwards.
+        assert!(m.write(0, 0, &[1], &c).is_ok());
     }
 
     #[test]

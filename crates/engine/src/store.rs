@@ -550,6 +550,55 @@ mod tests {
     }
 
     #[test]
+    fn wrong_argument_type_traps_instead_of_reinterpreting() {
+        // Untagged slots carry no runtime tag, so the entry check is the
+        // only thing standing between a mistyped embedder argument and
+        // silent bit reinterpretation.
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&add_module(), &Imports::new()).unwrap();
+        let err = store
+            .invoke(h, "add", &[Value::F64(2.0), Value::I64(40)])
+            .unwrap_err();
+        assert!(matches!(err, Trap::Host(_)), "{err}");
+        // Still callable with correct types afterwards.
+        assert_eq!(
+            store
+                .invoke(h, "add", &[Value::I64(2), Value::I64(40)])
+                .unwrap(),
+            vec![Value::I64(42)]
+        );
+    }
+
+    #[test]
+    fn host_result_arity_and_type_mismatches_trap() {
+        use crate::host::HostFunc;
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "bad_ty", &[], &[ValType::I64]);
+        b.import_func("env", "bad_arity", &[], &[ValType::I64]);
+        let call_ty = b.add_function(&[], &[ValType::I64], &[], vec![Instr::Call(0)]);
+        let call_arity = b.add_function(&[], &[ValType::I64], &[], vec![Instr::Call(1)]);
+        b.export_func("call_ty", call_ty);
+        b.export_func("call_arity", call_arity);
+        let mut imports = Imports::new();
+        imports.define(
+            "env",
+            "bad_ty",
+            HostFunc::new(&[], &[ValType::I64], |_, _| Ok(vec![Value::F64(1.0)])),
+        );
+        imports.define(
+            "env",
+            "bad_arity",
+            HostFunc::new(&[], &[ValType::I64], |_, _| Ok(vec![])),
+        );
+        let mut store = Store::new(ExecConfig::default());
+        let h = store.instantiate(&b.build(), &imports).unwrap();
+        let err = store.invoke(h, "call_ty", &[]).unwrap_err();
+        assert!(matches!(err, Trap::Host(_)), "{err}");
+        let err = store.invoke(h, "call_arity", &[]).unwrap_err();
+        assert!(matches!(err, Trap::Host(_)), "{err}");
+    }
+
+    #[test]
     fn missing_export_is_a_host_trap() {
         let mut store = Store::new(ExecConfig::default());
         let h = store.instantiate(&add_module(), &Imports::new()).unwrap();

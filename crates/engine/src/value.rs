@@ -102,6 +102,33 @@ impl Value {
         }
     }
 
+    /// Encodes the value into an untagged 64-bit operand slot — the
+    /// interpreter's runtime representation. Validation guarantees types,
+    /// so slots carry no tag: `i32` and `f32` bits are zero-extended,
+    /// `i64` is reinterpreted, `f64` travels as its bit pattern.
+    #[must_use]
+    pub fn to_slot(self) -> u64 {
+        match self {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => u64::from(v.to_bits()),
+            Value::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Decodes an untagged operand slot back into a typed value — the
+    /// inverse of [`Value::to_slot`], used where slots cross the embedder
+    /// API boundary (host calls, globals, call results).
+    #[must_use]
+    pub fn from_slot(ty: ValType, raw: u64) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(raw as u32 as i32),
+            ValType::I64 => Value::I64(raw as i64),
+            ValType::F32 => Value::F32(f32::from_bits(raw as u32)),
+            ValType::F64 => Value::F64(f64::from_bits(raw)),
+        }
+    }
+
     /// Bit-exact equality (distinguishes NaN payloads, unlike `PartialEq`).
     #[must_use]
     pub fn bit_eq(&self, other: &Value) -> bool {

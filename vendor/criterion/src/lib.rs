@@ -96,10 +96,20 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether the harness was invoked with `--test` (real criterion's smoke
+/// mode: run every benchmark exactly once, no timing statistics) — used
+/// by CI so release-mode benches can't rot without paying for a full
+/// measurement run.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_benchmark<F>(id: &str, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let samples = if test_mode() { 1 } else { samples };
     let mut bencher = Bencher {
         samples: Vec::with_capacity(samples),
         target_samples: samples,
@@ -131,8 +141,11 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
-        // One warmup iteration, then timed samples.
-        let _ = routine();
+        // One warmup iteration, then timed samples (no warmup in `--test`
+        // smoke mode: each benchmark runs exactly once).
+        if !test_mode() {
+            let _ = routine();
+        }
         for _ in 0..self.target_samples {
             let start = Instant::now();
             let out = routine();
@@ -147,8 +160,10 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let warm = setup();
-        let _ = routine(warm);
+        if !test_mode() {
+            let warm = setup();
+            let _ = routine(warm);
+        }
         for _ in 0..self.target_samples {
             let input = setup();
             let start = Instant::now();

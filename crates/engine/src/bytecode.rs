@@ -365,6 +365,57 @@ pub enum Op {
         k: u64,
         dst: u32,
     },
+    /// `<stack>; <stack>; <alu>; local.set dst` — both operands already
+    /// on the stack, result straight to a register (the tail of every
+    /// address-materialisation chain C codegen emits).
+    AluSSet {
+        op: AluOp,
+        dst: u32,
+    },
+    /// `<stack>; i64.extend_i32_s; <const> k; <alu>` — the extend that
+    /// i32 loop variables pay inside wasm64 address chains, folded into
+    /// the constant-operand ALU op.
+    AluSCExt {
+        op: AluOp,
+        k: u64,
+    },
+    /// `<const> v; local.set dst; local.get dst; local.get b` — a
+    /// constant materialised into a register and immediately read back
+    /// under a second operand (the head of every C array-address chain).
+    ConstLocalPair {
+        v: u64,
+        dst: u32,
+        b: u32,
+    },
+    /// [`Op::AluRRSet`] whose result is immediately copied on to a second
+    /// register (`t = a <op> b; d = t` — the mem2reg temp shape).
+    AluRRSetMove {
+        op: AluOp,
+        a: u32,
+        b: u32,
+        dst: u32,
+        dst2: u32,
+    },
+    /// [`Op::AluRCSet`] plus the copy — `t = a <op> k; d = t`, the shape
+    /// every loop counter increment lowers to.
+    AluRCSetMove {
+        op: AluOp,
+        a: u32,
+        k: u64,
+        dst: u32,
+        dst2: u32,
+    },
+    /// `<stack a0>; <stack a1>; [i64.extend_i32_s;] <const> k; <op1>;
+    /// <op2>; local.set dst` — the two-op scale-and-add tail of an array
+    /// address chain (`dst = a0 <op2> (a1 <op1> k)`), with the optional
+    /// extend i32 loop variables pay under wasm64.
+    AluChainSet {
+        ext: bool,
+        op1: AluOp,
+        k: u64,
+        op2: AluOp,
+        dst: u32,
+    },
     /// `i32.eqz; br_if` — inverted conditional branch.
     BrIfZ(BranchTarget),
     /// `local.get src; br_if` — branch on a local.
@@ -381,6 +432,133 @@ pub enum Op {
     IfLocal {
         src: u32,
         else_pc: u32,
+    },
+
+    // -- memory superinstructions ---------------------------------------------
+    //
+    // Loads and stores fused with their address/value producers (and, for
+    // the AluMem family, with the consuming ALU op), so the hot
+    // array-sweep shapes C codegen emits (`x = a[i]`, `a[i] = x`,
+    // `s = s + a[i]`) dispatch once instead of three or four times. Like
+    // every fused op they replay their constituents' cycle charges in the
+    // original order — a trap inside the access leaves exactly the
+    // charges the unfused sequence would have accumulated.
+    /// `local.get addr; load` — load at a register-held address.
+    LoadR {
+        op: LoadOp,
+        offset: u64,
+        addr: u32,
+    },
+    /// `local.get addr; load; local.set dst` — register-to-register load.
+    LoadRSet {
+        op: LoadOp,
+        offset: u64,
+        addr: u32,
+        dst: u32,
+    },
+    /// `<stack addr>; load; local.set dst` — load to a register from a
+    /// stack-computed address.
+    LoadSet {
+        op: LoadOp,
+        offset: u64,
+        dst: u32,
+    },
+    /// `local.get addr; local.get val; store` — both operands registers.
+    StoreRR {
+        op: StoreOp,
+        offset: u64,
+        addr: u32,
+        val: u32,
+    },
+    /// `local.get addr; <const> k; store` — constant value to a
+    /// register-held address.
+    StoreRC {
+        op: StoreOp,
+        offset: u64,
+        addr: u32,
+        k: u64,
+    },
+    /// `<stack addr>; local.get val; store` — register value to a
+    /// stack-computed address.
+    StoreSR {
+        op: StoreOp,
+        offset: u64,
+        val: u32,
+    },
+    /// `<stack addr>; <const> k; store` — constant value to a
+    /// stack-computed address.
+    StoreSC {
+        op: StoreOp,
+        offset: u64,
+        k: u64,
+    },
+    /// `<stack addr>; load; local.get b; <alu>` — the loaded value is the
+    /// left ALU operand, a local the right.
+    AluMemR {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        b: u32,
+    },
+    /// [`Op::AluMemR`] plus a trailing `local.set dst`.
+    AluMemRSet {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        b: u32,
+        dst: u32,
+    },
+    /// `local.get addr; load; local.get b; <alu>` — the fully
+    /// register-addressed memory ALU form.
+    AluMR {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        addr: u32,
+        b: u32,
+    },
+    /// [`Op::AluMR`] plus a trailing `local.set dst` — one dispatch for
+    /// `dst = mem[addr] <op> b`.
+    AluMRSet {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        addr: u32,
+        b: u32,
+        dst: u32,
+    },
+    /// `local.get a; local.get addr; load; <alu>` — a local left operand,
+    /// the loaded value the right.
+    AluRMem {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        a: u32,
+        addr: u32,
+    },
+    /// [`Op::AluRMem`] plus a trailing `local.set dst` — one dispatch for
+    /// `dst = a <op> mem[addr]` (the reduction shape `s = s + a[i]`).
+    AluRMemSet {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        a: u32,
+        addr: u32,
+        dst: u32,
+    },
+    /// `<stack a>; <stack addr>; load; <alu>` — stack left operand, loaded
+    /// right operand.
+    AluSMem {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+    },
+    /// [`Op::AluSMem`] plus a trailing `local.set dst`.
+    AluSMemSet {
+        alu: AluOp,
+        load: LoadOp,
+        offset: u64,
+        dst: u32,
     },
 
     // -- parametric / variable ----------------------------------------------
@@ -557,6 +735,15 @@ pub enum Op {
 pub struct FlatCode {
     /// The flat instruction array.
     pub ops: Box<[Op]>,
+    /// Pre-resolved handler index per op (parallel to `ops`): resolved
+    /// once at lowering time by [`crate::interp::handler_index`]. This is
+    /// the introspectable form of the dispatch resolution; `thread` is
+    /// its fn-pointer mirror, which the loop actually calls (a unit test
+    /// pins the two in sync).
+    pub handlers: Box<[u16]>,
+    /// The same handlers as direct fn pointers (parallel to `ops`), so
+    /// the dispatch loop is one load plus one indirect call per op.
+    pub(crate) thread: Box<[crate::interp::Handler]>,
 }
 
 /// Maps a non-control instruction to its flat op.
@@ -828,8 +1015,17 @@ pub fn compile(module: &Module, results: usize, body: &[Instr]) -> FlatCode {
         c.apply_patch(&p, end);
     }
     c.ops.push(Op::End);
+    // Resolve each op's dispatch handler once, after fusion and patching
+    // settled the final op array.
+    let handlers: Box<[u16]> = c.ops.iter().map(crate::interp::handler_index).collect();
+    let thread = handlers
+        .iter()
+        .map(|&i| crate::interp::handler_for_index(i))
+        .collect();
     FlatCode {
         ops: c.ops.into_boxed_slice(),
+        handlers,
+        thread,
     }
 }
 
@@ -861,19 +1057,165 @@ impl Compiler<'_> {
     fn emit_fused(&mut self, op: Op) {
         if self.ops.len() > self.fence {
             let prev_idx = self.ops.len() - 1;
-            // 3-address ALU fusion: fold the operand producers into the
-            // binop, then (below, on a later call) the consuming
-            // `local.set` into the fused op.
+            // Two-op lookbacks span ops[prev_idx - 1..=prev_idx]: both must
+            // sit after the fence for the fold to be label-safe.
+            let deep = self.ops.len() > self.fence + 1;
+            // Memory fusion: fold a register-held address into the load.
+            if let Op::Load(l, off) = &op {
+                let (l, off) = (*l, *off);
+                match self.ops[prev_idx] {
+                    Op::LocalGet(addr) => {
+                        self.ops[prev_idx] = Op::LoadR {
+                            op: l,
+                            offset: off,
+                            addr,
+                        };
+                        return;
+                    }
+                    // The pair's second get is the address; re-split so
+                    // the first push survives and the load still fuses
+                    // (a label at the pair's pc keeps landing on its
+                    // first constituent).
+                    Op::LocalGetPair { a, b } => {
+                        self.ops[prev_idx] = Op::LocalGet(a);
+                        self.ops.push(Op::LoadR {
+                            op: l,
+                            offset: off,
+                            addr: b,
+                        });
+                        return;
+                    }
+                    // The tee shape C codegen emits for address temps:
+                    // `local.set+get n; load` ≡ `local.set n; load at
+                    // register n`.
+                    Op::LocalSetGet(n) => {
+                        self.ops[prev_idx] = Op::LocalSet(n);
+                        self.ops.push(Op::LoadR {
+                            op: l,
+                            offset: off,
+                            addr: n,
+                        });
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            // Store fusion: fold register/constant value producers (and a
+            // register address when present) into the store.
+            if let Op::Store(s, off) = &op {
+                let (s, off) = (*s, *off);
+                match self.ops[prev_idx] {
+                    Op::LocalGetPair { a, b } => {
+                        self.ops[prev_idx] = Op::StoreRR {
+                            op: s,
+                            offset: off,
+                            addr: a,
+                            val: b,
+                        };
+                        return;
+                    }
+                    Op::LocalGet(val) => {
+                        if deep {
+                            // Tee'd address below the value register:
+                            // `local.set+get n; local.get val; store`.
+                            if let Op::LocalSetGet(n) = self.ops[prev_idx - 1] {
+                                self.ops[prev_idx - 1] = Op::LocalSet(n);
+                                self.ops[prev_idx] = Op::StoreRR {
+                                    op: s,
+                                    offset: off,
+                                    addr: n,
+                                    val,
+                                };
+                                return;
+                            }
+                        }
+                        self.ops[prev_idx] = Op::StoreSR {
+                            op: s,
+                            offset: off,
+                            val,
+                        };
+                        return;
+                    }
+                    Op::Const(k) => {
+                        if deep {
+                            if let Op::LocalGet(addr) = self.ops[prev_idx - 1] {
+                                self.ops.pop();
+                                self.ops[prev_idx - 1] = Op::StoreRC {
+                                    op: s,
+                                    offset: off,
+                                    addr,
+                                    k,
+                                };
+                                return;
+                            }
+                            if let Op::LocalSetGet(n) = self.ops[prev_idx - 1] {
+                                self.ops[prev_idx - 1] = Op::LocalSet(n);
+                                self.ops[prev_idx] = Op::StoreRC {
+                                    op: s,
+                                    offset: off,
+                                    addr: n,
+                                    k,
+                                };
+                                return;
+                            }
+                        }
+                        self.ops[prev_idx] = Op::StoreSC {
+                            op: s,
+                            offset: off,
+                            k,
+                        };
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            // 3-address ALU fusion: fold the operand producers (locals,
+            // constants, loads) into the binop, then (below, on a later
+            // call) the consuming `local.set` into the fused op.
             if let Some(alu) = AluOp::from_op(&op) {
-                // `local.get a; <const> k; <binop>` spans two ops: both
-                // must sit after the fence for the fold to be label-safe.
-                if self.ops.len() > self.fence + 1 {
-                    if let (Op::LocalGet(a), Op::Const(k)) =
-                        (&self.ops[prev_idx - 1], &self.ops[prev_idx])
-                    {
-                        let (a, k) = (*a, *k);
+                if deep {
+                    let two = match (&self.ops[prev_idx - 1], &self.ops[prev_idx]) {
+                        (&Op::LocalGet(a), &Op::Const(k)) => Some(Op::AluRC { op: alu, a, k }),
+                        (&Op::I64ExtendI32S, &Op::Const(k)) => Some(Op::AluSCExt { op: alu, k }),
+                        (&Op::Load(load, offset), &Op::LocalGet(b)) => Some(Op::AluMemR {
+                            alu,
+                            load,
+                            offset,
+                            b,
+                        }),
+                        (
+                            &Op::LoadR {
+                                op: load,
+                                offset,
+                                addr,
+                            },
+                            &Op::LocalGet(b),
+                        ) => Some(Op::AluMR {
+                            alu,
+                            load,
+                            offset,
+                            addr,
+                            b,
+                        }),
+                        (
+                            &Op::LocalGet(a),
+                            &Op::LoadR {
+                                op: load,
+                                offset,
+                                addr,
+                            },
+                        ) => Some(Op::AluRMem {
+                            alu,
+                            load,
+                            offset,
+                            a,
+                            addr,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(f) = two {
                         self.ops.pop();
-                        self.ops[prev_idx - 1] = Op::AluRC { op: alu, a, k };
+                        self.ops[prev_idx - 1] = f;
                         return;
                     }
                 }
@@ -885,10 +1227,95 @@ impl Compiler<'_> {
                     }),
                     Op::LocalGet(b) => Some(Op::AluSR { op: alu, b: *b }),
                     Op::Const(k) => Some(Op::AluSC { op: alu, k: *k }),
+                    &Op::Load(load, offset) => Some(Op::AluSMem { alu, load, offset }),
                     _ => None,
                 };
                 if let Some(f) = fused {
                     self.ops[prev_idx] = f;
+                    return;
+                }
+            }
+            // The head of C array-address chains: a constant materialised
+            // into a register, read straight back under a second operand.
+            if let Op::LocalGet(b) = &op {
+                if deep {
+                    if let (&Op::ConstLocal { v, dst }, &Op::LocalGet(a)) =
+                        (&self.ops[prev_idx - 1], &self.ops[prev_idx])
+                    {
+                        if dst == a {
+                            let b = *b;
+                            self.ops.pop();
+                            self.ops[prev_idx - 1] = Op::ConstLocalPair { v, dst, b };
+                            return;
+                        }
+                    }
+                }
+            }
+            if let Op::LocalSet(d) = &op {
+                // The mem2reg temp shape `t = a <op> b; d = t`: fold the
+                // copy into the ALU superinstruction (both registers are
+                // written, so later reads of the temp stay correct).
+                if deep {
+                    if let &Op::LocalGet(t) = &self.ops[prev_idx] {
+                        match self.ops[prev_idx - 1] {
+                            Op::AluRRSet { op, a, b, dst } if dst == t => {
+                                let dst2 = *d;
+                                self.ops.pop();
+                                self.ops[prev_idx - 1] = Op::AluRRSetMove {
+                                    op,
+                                    a,
+                                    b,
+                                    dst,
+                                    dst2,
+                                };
+                                return;
+                            }
+                            Op::AluRCSet { op, a, k, dst } if dst == t => {
+                                let dst2 = *d;
+                                self.ops.pop();
+                                self.ops[prev_idx - 1] = Op::AluRCSetMove {
+                                    op,
+                                    a,
+                                    k,
+                                    dst,
+                                    dst2,
+                                };
+                                return;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                // A plain two-stack-operand binop feeding a `local.set`
+                // becomes a 1-dispatch store-to-register ALU op — and
+                // when a constant-operand ALU op feeds that binop (the
+                // `base + i*8` scale-and-add), the whole chain collapses.
+                if let Some(alu) = AluOp::from_op(&self.ops[prev_idx]) {
+                    if deep {
+                        let chain = match self.ops[prev_idx - 1] {
+                            Op::AluSC { op: op1, k } => Some(Op::AluChainSet {
+                                ext: false,
+                                op1,
+                                k,
+                                op2: alu,
+                                dst: *d,
+                            }),
+                            Op::AluSCExt { op: op1, k } => Some(Op::AluChainSet {
+                                ext: true,
+                                op1,
+                                k,
+                                op2: alu,
+                                dst: *d,
+                            }),
+                            _ => None,
+                        };
+                        if let Some(f) = chain {
+                            self.ops.pop();
+                            self.ops[prev_idx - 1] = f;
+                            return;
+                        }
+                    }
+                    self.ops[prev_idx] = Op::AluSSet { op: alu, dst: *d };
                     return;
                 }
             }
@@ -922,6 +1349,77 @@ impl Compiler<'_> {
                     op: *op,
                     k: *k,
                     dst: *d,
+                }),
+                (
+                    &Op::LoadR {
+                        op: l,
+                        offset,
+                        addr,
+                    },
+                    &Op::LocalSet(dst),
+                ) => Some(Op::LoadRSet {
+                    op: l,
+                    offset,
+                    addr,
+                    dst,
+                }),
+                (&Op::Load(l, offset), &Op::LocalSet(dst)) => {
+                    Some(Op::LoadSet { op: l, offset, dst })
+                }
+                (
+                    &Op::AluMemR {
+                        alu,
+                        load,
+                        offset,
+                        b,
+                    },
+                    &Op::LocalSet(dst),
+                ) => Some(Op::AluMemRSet {
+                    alu,
+                    load,
+                    offset,
+                    b,
+                    dst,
+                }),
+                (
+                    &Op::AluMR {
+                        alu,
+                        load,
+                        offset,
+                        addr,
+                        b,
+                    },
+                    &Op::LocalSet(dst),
+                ) => Some(Op::AluMRSet {
+                    alu,
+                    load,
+                    offset,
+                    addr,
+                    b,
+                    dst,
+                }),
+                (
+                    &Op::AluRMem {
+                        alu,
+                        load,
+                        offset,
+                        a,
+                        addr,
+                    },
+                    &Op::LocalSet(dst),
+                ) => Some(Op::AluRMemSet {
+                    alu,
+                    load,
+                    offset,
+                    a,
+                    addr,
+                    dst,
+                }),
+                (&Op::AluSMem { alu, load, offset }, &Op::LocalSet(dst)) => Some(Op::AluSMemSet {
+                    alu,
+                    load,
+                    offset,
+                    dst,
                 }),
                 _ => None,
             };
@@ -1204,12 +1702,163 @@ impl fmt::Display for Op {
             Op::AluSRSet { op, b, dst } => write!(f, "{op:?} stack, local {b} -> local {dst}"),
             Op::AluSC { op, k } => write!(f, "{op:?} stack, const {k:#x}"),
             Op::AluSCSet { op, k, dst } => write!(f, "{op:?} stack, const {k:#x} -> local {dst}"),
+            Op::AluSSet { op, dst } => write!(f, "{op:?} stack, stack -> local {dst}"),
+            Op::AluSCExt { op, k } => write!(f, "{op:?} sext32(stack), const {k:#x}"),
+            Op::ConstLocalPair { v, dst, b } => {
+                write!(f, "local.const+get2 {dst} <- {v:#x}, {b}")
+            }
+            Op::AluRRSetMove {
+                op,
+                a,
+                b,
+                dst,
+                dst2,
+            } => {
+                write!(
+                    f,
+                    "{op:?} local {a}, local {b} -> local {dst}, local {dst2}"
+                )
+            }
+            Op::AluRCSetMove {
+                op,
+                a,
+                k,
+                dst,
+                dst2,
+            } => {
+                write!(
+                    f,
+                    "{op:?} local {a}, const {k:#x} -> local {dst}, local {dst2}"
+                )
+            }
+            Op::AluChainSet {
+                ext,
+                op1,
+                k,
+                op2,
+                dst,
+            } => {
+                let a1 = if *ext { "sext32(stack)" } else { "stack" };
+                write!(
+                    f,
+                    "{op2:?} stack, ({op1:?} {a1}, const {k:#x}) -> local {dst}"
+                )
+            }
             Op::BrIfZ(t) => write!(f, "br_if_z {t}"),
             Op::BrIfLocal { src, target } => write!(f, "br_if local {src} {target}"),
             Op::BrIfZLocal { src, target } => write!(f, "br_if_z local {src} {target}"),
             Op::IfLocal { src, else_pc } => {
                 write!(f, "if local {src} (else \u{2192}{else_pc:04})")
             }
+            Op::LoadR { op, offset, addr } => {
+                write!(f, "{op:?} offset={offset} addr=local {addr}")
+            }
+            Op::LoadRSet {
+                op,
+                offset,
+                addr,
+                dst,
+            } => write!(f, "{op:?} offset={offset} addr=local {addr} -> local {dst}"),
+            Op::LoadSet { op, offset, dst } => {
+                write!(f, "{op:?} offset={offset} addr=stack -> local {dst}")
+            }
+            Op::StoreRR {
+                op,
+                offset,
+                addr,
+                val,
+            } => write!(
+                f,
+                "{op:?} offset={offset} addr=local {addr}, val=local {val}"
+            ),
+            Op::StoreRC {
+                op,
+                offset,
+                addr,
+                k,
+            } => write!(
+                f,
+                "{op:?} offset={offset} addr=local {addr}, val=const {k:#x}"
+            ),
+            Op::StoreSR { op, offset, val } => {
+                write!(f, "{op:?} offset={offset} addr=stack, val=local {val}")
+            }
+            Op::StoreSC { op, offset, k } => {
+                write!(f, "{op:?} offset={offset} addr=stack, val=const {k:#x}")
+            }
+            Op::AluMemR {
+                alu,
+                load,
+                offset,
+                b,
+            } => write!(
+                f,
+                "{alu:?} mem({load:?} offset={offset} addr=stack), local {b}"
+            ),
+            Op::AluMemRSet {
+                alu,
+                load,
+                offset,
+                b,
+                dst,
+            } => write!(
+                f,
+                "{alu:?} mem({load:?} offset={offset} addr=stack), local {b} -> local {dst}"
+            ),
+            Op::AluMR {
+                alu,
+                load,
+                offset,
+                addr,
+                b,
+            } => write!(
+                f,
+                "{alu:?} mem({load:?} offset={offset} addr=local {addr}), local {b}"
+            ),
+            Op::AluMRSet {
+                alu,
+                load,
+                offset,
+                addr,
+                b,
+                dst,
+            } => write!(
+                f,
+                "{alu:?} mem({load:?} offset={offset} addr=local {addr}), local {b} -> local {dst}"
+            ),
+            Op::AluRMem {
+                alu,
+                load,
+                offset,
+                a,
+                addr,
+            } => write!(
+                f,
+                "{alu:?} local {a}, mem({load:?} offset={offset} addr=local {addr})"
+            ),
+            Op::AluRMemSet {
+                alu,
+                load,
+                offset,
+                a,
+                addr,
+                dst,
+            } => write!(
+                f,
+                "{alu:?} local {a}, mem({load:?} offset={offset} addr=local {addr}) -> local {dst}"
+            ),
+            Op::AluSMem { alu, load, offset } => {
+                write!(f, "{alu:?} stack, mem({load:?} offset={offset} addr=stack)")
+            }
+            Op::AluSMemSet {
+                alu,
+                load,
+                offset,
+                dst,
+            } => write!(
+                f,
+                "{alu:?} stack, mem({load:?} offset={offset} addr=stack) -> local {dst}"
+            ),
             Op::SegmentNew(o) => write!(f, "segment.new {o}"),
             Op::SegmentSetTag(o) => write!(f, "segment.set_tag {o}"),
             Op::SegmentFree(o) => write!(f, "segment.free {o}"),
@@ -1477,6 +2126,443 @@ mod tests {
             panic!("expected br_if at 2, got {:?}", code.ops);
         };
         assert!(matches!(code.ops[t.pc as usize], Op::LocalSetGet(1)));
+    }
+
+    fn compile_mem_body(body: Vec<Instr>) -> FlatCode {
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64, ValType::I32],
+            body,
+        );
+        let module = b.build();
+        cage_wasm::validate(&module).expect("fixture validates");
+        compile(&module, 1, &module.funcs[0].body)
+    }
+
+    #[test]
+    fn load_fuses_register_address_and_destination() {
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::offset(16)),
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::LoadRSet {
+                op: LoadOp::I64Load,
+                offset: 16,
+                addr: 1,
+                dst: 2
+            }
+        );
+    }
+
+    #[test]
+    fn store_fuses_register_and_constant_values() {
+        use cage_wasm::instr::StoreOp;
+        // Register address + register value.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::Store(StoreOp::I64Store, cage_wasm::MemArg::none()),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::StoreRR {
+                op: StoreOp::I64Store,
+                offset: 0,
+                addr: 1,
+                val: 2
+            }
+        );
+        // Register address + constant value.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(7),
+            Instr::Store(StoreOp::I64Store8, cage_wasm::MemArg::none()),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::StoreRC {
+                op: StoreOp::I64Store8,
+                offset: 0,
+                addr: 1,
+                k: 7
+            }
+        );
+        // Stack address + register value / constant value.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I64Xor,
+            Instr::LocalGet(2),
+            Instr::Store(StoreOp::I64Store, cage_wasm::MemArg::none()),
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            matches!(code.ops[1], Op::StoreSR { val: 2, .. }),
+            "{:?}",
+            code.ops
+        );
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I64Xor,
+            Instr::I64Const(9),
+            Instr::Store(StoreOp::I64Store, cage_wasm::MemArg::none()),
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            matches!(code.ops[1], Op::StoreSC { k: 9, .. }),
+            "{:?}",
+            code.ops
+        );
+    }
+
+    #[test]
+    fn loads_fuse_into_alu_memory_forms() {
+        // Pair split: `get a; get addr; load; add; set` becomes one
+        // register-register memory ALU op.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::I64Add,
+            Instr::LocalSet(1),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::AluRMemSet {
+                alu: AluOp::I64Add,
+                load: LoadOp::I64Load,
+                offset: 0,
+                a: 1,
+                addr: 2,
+                dst: 1
+            }
+        );
+        // `get addr; load; get b; add` — all-register memory ALU.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalGet(2),
+            Instr::I64Add,
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::AluMRSet {
+                alu: AluOp::I64Add,
+                load: LoadOp::I64Load,
+                offset: 0,
+                addr: 1,
+                b: 2,
+                dst: 2
+            }
+        );
+        // Stack address variants: `..; load; get b; add` and `a; ..; load; add`.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I64Xor,
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalGet(2),
+            Instr::I64Add,
+            Instr::Drop,
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            matches!(code.ops[1], Op::AluMemR { b: 2, .. }),
+            "{:?}",
+            code.ops
+        );
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::LocalGet(2),
+            Instr::I64Xor,
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::I64Add,
+            Instr::Drop,
+            Instr::LocalGet(0),
+        ]);
+        assert!(matches!(code.ops[2], Op::AluSMem { .. }), "{:?}", code.ops);
+    }
+
+    #[test]
+    fn address_chains_collapse_to_chain_and_pair_ops() {
+        // `t = x ^ y; t = a0 + t*8` scale-and-add tail.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::LocalGet(2),
+            Instr::I64Xor,
+            Instr::I64Const(8),
+            Instr::I64Mul,
+            Instr::I64Add,
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            code.ops.iter().any(|op| matches!(
+                op,
+                Op::AluChainSet {
+                    ext: false,
+                    op1: AluOp::I64Mul,
+                    k: 8,
+                    op2: AluOp::I64Add,
+                    dst: 2
+                }
+            )),
+            "{:?}",
+            code.ops
+        );
+        // The i32-extend variant (wasm64 address chains from i32 vars).
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(3),
+            Instr::I64ExtendI32S,
+            Instr::I64Const(8),
+            Instr::I64Mul,
+            Instr::I64Add,
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            code.ops.iter().any(|op| matches!(
+                op,
+                Op::AluChainSet {
+                    ext: true,
+                    op1: AluOp::I64Mul,
+                    k: 8,
+                    ..
+                }
+            )),
+            "{:?}",
+            code.ops
+        );
+        // Constant base materialised through a temp register.
+        let code = compile_mem_body(vec![
+            Instr::I64Const(5),
+            Instr::LocalSet(1),
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I64Add,
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(code.ops[0], Op::ConstLocalPair { v: 5, dst: 1, b: 2 });
+        // Temp-copy tail: `t = a + b; d = t` is one dual-write op.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(2),
+            Instr::I64Add,
+            Instr::LocalSet(1),
+            Instr::LocalGet(1),
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(
+            code.ops[0],
+            Op::AluRRSetMove {
+                op: AluOp::I64Add,
+                a: 1,
+                b: 2,
+                dst: 1,
+                dst2: 2
+            }
+        );
+    }
+
+    #[test]
+    fn memory_fusion_respects_label_fences() {
+        // The block end binds a label between the `local.get` and the
+        // load: the load must stay on the stack-address path, and the
+        // branch must land exactly on the op that performs it.
+        let code = compile_mem_body(vec![
+            Instr::Block(
+                BlockType::Value(ValType::I64),
+                vec![
+                    Instr::LocalGet(1),
+                    Instr::LocalGet(0),
+                    Instr::I32WrapI64,
+                    Instr::BrIf(0),
+                ],
+            ),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert!(
+            code.ops
+                .iter()
+                .all(|op| !matches!(op, Op::LoadR { .. } | Op::LoadRSet { .. })),
+            "fused across a block-end label: {:?}",
+            code.ops
+        );
+        let target = code
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::BrIf(t) => Some(t.pc as usize),
+                _ => None,
+            })
+            .expect("br_if present");
+        // `Load; local.set` may fuse (the label binds at the load's own
+        // pc, which survives as the fused op's start), but the address
+        // must still come from the stack.
+        assert!(
+            matches!(code.ops[target], Op::LoadSet { dst: 2, .. }),
+            "branch target {target} is {:?}",
+            code.ops[target]
+        );
+    }
+
+    #[test]
+    fn branches_across_fences_execute_like_the_oracle() {
+        // A fusion-heavy body whose labels bind at positions that would
+        // fuse without the fences: a value-carrying block exit landing on
+        // a `local.set` whose fusable `local.get` partner sits inside the
+        // block, a br_table landing just past a terminator, and memory
+        // superinstructions at loop-header label positions. If a fold
+        // ever consumed an op at a label-binding pc, the branch-taken
+        // execution would diverge from the never-fusing tree oracle —
+        // so run both and require bit-identity (results, cycle bits,
+        // retired counts), for branch-taken and fall-through arguments.
+        use crate::config::ExecConfig;
+        use crate::host::Imports;
+        use crate::store::Store;
+        use crate::value::Value;
+
+        let body = vec![
+            // Value-carrying exit: the label binds between LocalGet(1)
+            // (inside) and LocalSet(2) (outside).
+            Instr::Block(
+                BlockType::Value(ValType::I64),
+                vec![
+                    Instr::LocalGet(1),
+                    Instr::LocalGet(0),
+                    Instr::I32WrapI64,
+                    Instr::BrIf(0),
+                    Instr::Drop,
+                    Instr::LocalGet(1),
+                ],
+            ),
+            Instr::LocalSet(2),
+            // Register-addressed load right after the join point.
+            Instr::LocalGet(2),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalSet(1),
+            // A loop whose header label binds at a fused store's pc.
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Loop(
+                    BlockType::Empty,
+                    vec![
+                        Instr::LocalGet(2),
+                        Instr::LocalGet(1),
+                        Instr::Store(
+                            cage_wasm::instr::StoreOp::I64Store,
+                            cage_wasm::MemArg::none(),
+                        ),
+                        Instr::LocalGet(0),
+                        Instr::I32WrapI64,
+                        Instr::BrIf(1),
+                    ],
+                )],
+            ),
+            // br_table landing just past its own terminator.
+            Instr::Block(
+                BlockType::Empty,
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::I32WrapI64,
+                    Instr::BrTable(vec![0], 0),
+                ],
+            ),
+            Instr::LocalGet(0),
+        ];
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64, ValType::I32],
+            body,
+        );
+        b.export_func("run", 0);
+        let module = b.build();
+        cage_wasm::validate(&module).expect("fixture validates");
+
+        // Precondition: the body really contains fused ops and branches
+        // (otherwise this sweep proves nothing).
+        let code = compile(&module, 1, &module.funcs[0].body);
+        assert!(
+            code.ops
+                .iter()
+                .any(|op| matches!(op, Op::StoreRR { .. } | Op::LoadRSet { .. })),
+            "fixture lost its superinstructions: {:?}",
+            code.ops
+        );
+        assert!(code
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::BrIf(_) | Op::BrTable(_))));
+
+        for arg in [0i64, 1, -1, 7] {
+            let mut flat = Store::new(ExecConfig::default());
+            let fh = flat
+                .instantiate(&module, &Imports::new())
+                .expect("instantiates");
+            let mut tree = Store::new(ExecConfig::default());
+            let th = tree
+                .instantiate(&module, &Imports::new())
+                .expect("instantiates");
+            let args = [Value::I64(arg)];
+            let f = flat.call(fh, 0, &args);
+            let t = tree.call_tree(th, 0, &args);
+            assert_eq!(f, t, "arg {arg}: flat vs oracle outcome");
+            assert_eq!(
+                flat.cycles(fh).to_bits(),
+                tree.cycles(th).to_bits(),
+                "arg {arg}: cycle bits"
+            );
+            assert_eq!(
+                flat.instr_count(fh),
+                tree.instr_count(th),
+                "arg {arg}: retired counts"
+            );
+        }
+    }
+
+    #[test]
+    fn handler_indices_and_thread_pointers_stay_in_sync() {
+        // `handlers` is the introspectable per-op dispatch resolution;
+        // `thread` is its fn-pointer mirror the loop actually calls.
+        // They are built from the same resolver — pin that.
+        let code = compile_mem_body(vec![
+            Instr::LocalGet(1),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(code.handlers.len(), code.ops.len());
+        assert_eq!(code.thread.len(), code.ops.len());
+        for (i, op) in code.ops.iter().enumerate() {
+            assert_eq!(code.handlers[i], crate::interp::handler_index(op));
+            assert!(std::ptr::fn_addr_eq(
+                code.thread[i],
+                crate::interp::handler_for_index(code.handlers[i])
+            ));
+        }
     }
 
     #[test]

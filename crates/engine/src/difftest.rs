@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use cage_wasm::builder::ModuleBuilder;
+use cage_wasm::instr::{LoadOp, StoreOp};
 use cage_wasm::{validate, BlockType, Instr, MemArg, Module, ValType};
 
 use crate::config::{ExecConfig, InternalSafety};
@@ -103,6 +104,31 @@ impl Gen {
             f64::INFINITY,
             12345.678,
         ][self.upto(8)]
+    }
+
+    fn int_load_op(&mut self) -> LoadOp {
+        use LoadOp::*;
+        [
+            I32Load, I32Load8S, I32Load8U, I32Load16S, I32Load16U, I64Load, I64Load8S, I64Load8U,
+            I64Load16S, I64Load16U, I64Load32S, I64Load32U,
+        ][self.upto(12)]
+    }
+
+    fn int_store_op(&mut self) -> StoreOp {
+        use StoreOp::*;
+        [
+            I32Store, I32Store8, I32Store16, I64Store, I64Store8, I64Store16, I64Store32,
+        ][self.upto(7)]
+    }
+
+    /// Pushes one memory index/length operand: small constants resolve
+    /// in-bounds, locals often trap.
+    fn mem_operand(&mut self, out: &mut Vec<Instr>) {
+        if self.rng.gen() {
+            out.push(Instr::I64Const(self.int_in(0, 66_000)));
+        } else {
+            out.push(Instr::LocalGet(self.pick_i64_local()));
+        }
     }
 
     fn small_const(&mut self) -> i64 {
@@ -296,6 +322,149 @@ impl Gen {
         }
     }
 
+    /// Integer memory traffic over every load/store width — the shapes
+    /// that fuse into `LoadR`/`LoadRSet`/`StoreRR`/`StoreRC`/`StoreSR`
+    /// and their unfused stack-address forms.
+    fn wide_mem_statement(&mut self, out: &mut Vec<Instr>) {
+        let offset = MemArg::offset(self.rng.next_u64() % 64);
+        if self.rng.gen() {
+            out.push(Instr::LocalGet(self.pick_i64_local()));
+            let op = self.int_load_op();
+            out.push(Instr::Load(op, offset));
+            if op.result_type() == ValType::I32 {
+                match self.upto(3) {
+                    0 => out.push(Instr::LocalSet(FLAG)),
+                    1 => {
+                        out.push(Instr::I64ExtendI32S);
+                        out.push(Instr::LocalSet(self.pick_dst_local()));
+                    }
+                    _ => {
+                        out.push(Instr::I64ExtendI32U);
+                        out.push(Instr::LocalSet(self.pick_dst_local()));
+                    }
+                }
+            } else {
+                out.push(Instr::LocalSet(self.pick_dst_local()));
+            }
+        } else {
+            out.push(Instr::LocalGet(self.pick_i64_local()));
+            let op = self.int_store_op();
+            if op.value_type() == ValType::I32 {
+                match self.upto(3) {
+                    0 => out.push(Instr::LocalGet(FLAG)),
+                    1 => out.push(Instr::I32Const(self.small_const() as i32)),
+                    _ => {
+                        out.push(Instr::LocalGet(self.pick_i64_local()));
+                        out.push(Instr::I32WrapI64);
+                    }
+                }
+            } else if self.rng.gen() {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+            } else {
+                out.push(Instr::I64Const(self.small_const()));
+            }
+            out.push(Instr::Store(op, offset));
+        }
+    }
+
+    /// Array-address chains: scale-and-add materialised through a temp
+    /// local, then a load or store at the register-held address — the
+    /// `ConstLocalPair`/`AluSCExt`/`AluChainSet`/`LoadRSet` bait.
+    fn addr_chain_statement(&mut self, out: &mut Vec<Instr>) {
+        if self.rng.gen() {
+            // Constant base through a temp (ConstLocalPair shape).
+            out.push(Instr::I64Const(self.int_in(0, 4096)));
+            out.push(Instr::LocalSet(SCR));
+            out.push(Instr::LocalGet(SCR));
+        } else {
+            out.push(Instr::LocalGet(self.pick_i64_local()));
+        }
+        match self.upto(3) {
+            // Bare local index (AluRC shape).
+            0 => out.push(Instr::LocalGet(self.pick_i64_local())),
+            // i32 index extended (AluSCExt shape).
+            1 => {
+                out.push(Instr::LocalGet(FLAG));
+                out.push(Instr::I64ExtendI32S);
+            }
+            // Compound index (AluSC / AluChainSet shape).
+            _ => {
+                out.push(Instr::LocalGet(self.pick_i64_local()));
+                out.push(Instr::I64Const(7));
+                out.push(Instr::I64And);
+            }
+        }
+        out.push(Instr::I64Const(8));
+        out.push(Instr::I64Mul);
+        out.push(Instr::I64Add);
+        out.push(Instr::LocalSet(SCR));
+        out.push(Instr::LocalGet(SCR));
+        let offset = MemArg::offset(self.rng.next_u64() % 32);
+        if self.rng.gen() {
+            out.push(Instr::Load(LoadOp::I64Load, offset));
+            out.push(Instr::LocalSet(self.pick_dst_local()));
+        } else if self.rng.gen() {
+            out.push(Instr::LocalGet(self.pick_i64_local()));
+            out.push(Instr::Store(StoreOp::I64Store, offset));
+        } else {
+            out.push(Instr::I64Const(self.small_const()));
+            out.push(Instr::Store(StoreOp::I64Store, offset));
+        }
+    }
+
+    /// `memory.grow`: small constant deltas succeed (and must invalidate
+    /// the flat dispatcher's cached memory view); local deltas usually
+    /// fail with `-1`. Both paths are compared against the oracle.
+    fn grow_statement(&mut self, out: &mut Vec<Instr>) {
+        match self.upto(3) {
+            0 => out.push(Instr::I64Const(0)),
+            1 => out.push(Instr::I64Const(1)),
+            _ => out.push(Instr::LocalGet(self.pick_i64_local())),
+        }
+        out.push(Instr::MemoryGrow);
+        out.push(Instr::LocalSet(self.pick_dst_local()));
+    }
+
+    /// Bulk ops: `memory.fill`/`memory.copy` with mixed constant/local
+    /// operands, so both the in-bounds loop and the trapping resolve are
+    /// differentially pinned.
+    fn bulk_statement(&mut self, out: &mut Vec<Instr>) {
+        if self.rng.gen() {
+            self.mem_operand(out); // dst
+            if self.rng.gen() {
+                out.push(Instr::LocalGet(FLAG));
+            } else {
+                out.push(Instr::I32Const(self.small_const() as i32));
+            }
+            self.mem_operand(out); // len
+            out.push(Instr::MemoryFill);
+        } else {
+            self.mem_operand(out); // dst
+            self.mem_operand(out); // src
+            self.mem_operand(out); // len
+            out.push(Instr::MemoryCopy);
+        }
+    }
+
+    /// The mem2reg temp shapes the `*SetMove` superinstructions fuse:
+    /// `t = a <op> b; d = t`.
+    fn set_move_statement(&mut self, out: &mut Vec<Instr>) {
+        out.push(Instr::LocalGet(self.pick_i64_local()));
+        if self.rng.gen() {
+            out.push(Instr::LocalGet(self.pick_i64_local()));
+        } else {
+            out.push(Instr::I64Const(self.small_const()));
+        }
+        out.push(match self.upto(3) {
+            0 => Instr::I64Add,
+            1 => Instr::I64Mul,
+            _ => Instr::I64Xor,
+        });
+        out.push(Instr::LocalSet(ARG));
+        out.push(Instr::LocalGet(ARG));
+        out.push(Instr::LocalSet(self.pick_dst_local()));
+    }
+
     /// Emits one stack-neutral statement; returns `true` when it
     /// unconditionally transfers control (the sequence is finished).
     fn statement(&mut self, out: &mut Vec<Instr>, depth: usize) -> bool {
@@ -303,7 +472,7 @@ impl Gen {
             self.call_statement(out);
             return false;
         }
-        let max = if depth >= 4 { 11 } else { 16 };
+        let max = if depth >= 4 { 16 } else { 21 };
         match self.upto(max) {
             // acc-style arithmetic.
             0 | 1 => {
@@ -405,8 +574,33 @@ impl Gen {
                 self.float_statement(out);
                 false
             }
-            // Early return / unreachable.
+            // Integer memory traffic over every width.
             11 => {
+                self.wide_mem_statement(out);
+                false
+            }
+            // Array-address chains at register-held addresses.
+            12 => {
+                self.addr_chain_statement(out);
+                false
+            }
+            // memory.grow (cache invalidation under test).
+            13 => {
+                self.grow_statement(out);
+                false
+            }
+            // memory.fill / memory.copy.
+            14 => {
+                self.bulk_statement(out);
+                false
+            }
+            // mem2reg temp copy shapes.
+            15 => {
+                self.set_move_statement(out);
+                false
+            }
+            // Early return / unreachable.
+            16 => {
                 if self.upto(4) == 0 {
                     out.push(Instr::Unreachable);
                 } else {
@@ -416,7 +610,7 @@ impl Gen {
                 true
             }
             // Nested block, empty or value-yielding.
-            12 | 13 => {
+            17 | 18 => {
                 if self.rng.gen() {
                     self.frames.push(0);
                     let inner = self.sequence(depth + 1, &[]);
@@ -432,7 +626,7 @@ impl Gen {
                 false
             }
             // If / if-else.
-            14 => {
+            19 => {
                 self.condition(out);
                 self.frames.push(0);
                 let then_body = self.sequence(depth + 1, &[]);
@@ -562,11 +756,31 @@ fn configs() -> [ExecConfig; 2] {
     ]
 }
 
-fn check_equivalence(seed: u64, arg: i64) {
+/// Renders the module's flat bytecode (as the dispatcher executes it,
+/// fused superinstructions and resolved targets included) next to the
+/// structured tree (as the oracle walks it), so a reported seed is
+/// actionable without re-running the generator by hand.
+fn dump_divergence(module: &Module) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, idx) in [("run", 0u32), ("helper", HELPER)] {
+        let _ = writeln!(out, "--- flat bytecode ({name}) ---");
+        out.push_str(&crate::bytecode::disassemble(module, idx).unwrap_or_default());
+    }
+    let _ = writeln!(out, "--- structured tree (run) ---");
+    let _ = writeln!(out, "{:#?}", module.funcs[0].body);
+    out
+}
+
+/// Runs one generated module under every config, asserting the flat
+/// dispatcher and the tree oracle are bit-identical; returns whether the
+/// base-config execution trapped (the trap-rate probe).
+fn check_equivalence(seed: u64, arg: i64) -> bool {
     let module = random_module(seed);
     validate(&module)
         .unwrap_or_else(|e| panic!("generator produced invalid module: {e}\nseed {seed}"));
-    for config in configs() {
+    let mut base_trapped = false;
+    for (ci, config) in configs().into_iter().enumerate() {
         let mut flat_store = Store::new(config);
         let flat_h = flat_store
             .instantiate(&module, &Imports::new())
@@ -579,6 +793,9 @@ fn check_equivalence(seed: u64, arg: i64) {
         let args = [Value::I64(arg)];
         let flat = flat_store.invoke(flat_h, "run", &args);
         let tree = tree_store.call_tree(tree_h, 0, &args);
+        if ci == 0 {
+            base_trapped = flat.is_err();
+        }
 
         match (&flat, &tree) {
             (Ok(a), Ok(b)) => {
@@ -586,32 +803,44 @@ fn check_equivalence(seed: u64, arg: i64) {
                 for (x, y) in a.iter().zip(b) {
                     assert!(
                         x.bit_eq(y),
-                        "seed {seed}: results diverged: flat {x:?}, tree {y:?}"
+                        "seed {seed}: results diverged: flat {x:?}, tree {y:?}\n{}",
+                        dump_divergence(&module)
                     );
                 }
             }
             (Err(a), Err(b)) => {
-                assert_eq!(a, b, "seed {seed}: traps diverged");
+                assert_eq!(
+                    a,
+                    b,
+                    "seed {seed}: traps diverged\n{}",
+                    dump_divergence(&module)
+                );
             }
-            _ => panic!("seed {seed}: outcome diverged: flat {flat:?}, tree {tree:?}"),
+            _ => panic!(
+                "seed {seed}: outcome diverged: flat {flat:?}, tree {tree:?}\n{}",
+                dump_divergence(&module)
+            ),
         }
         assert_eq!(
             flat_store.cycles(flat_h).to_bits(),
             tree_store.cycles(tree_h).to_bits(),
-            "seed {seed}: cycle bits diverged (flat {}, tree {})",
+            "seed {seed}: cycle bits diverged (flat {}, tree {})\n{}",
             flat_store.cycles(flat_h),
             tree_store.cycles(tree_h),
+            dump_divergence(&module),
         );
         assert_eq!(
             flat_store.instr_count(flat_h),
             tree_store.instr_count(tree_h),
-            "seed {seed}: retired-instruction counts diverged"
+            "seed {seed}: retired-instruction counts diverged\n{}",
+            dump_divergence(&module)
         );
     }
+    base_trapped
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
     #[test]
     fn flat_bytecode_is_bit_identical_to_tree_walker(seed: u64, arg: i64) {
         check_equivalence(seed, arg);
@@ -625,4 +854,24 @@ fn known_shapes_are_bit_identical() {
         check_equivalence(seed, 7);
         check_equivalence(seed, -3);
     }
+}
+
+/// The generator must keep a healthy mix of trapping and completing
+/// executions: a trap rate near 0% means the trap paths (and their
+/// partial cycle charges) are no longer compared, near 100% means the
+/// fused fast paths never run to completion. Either way coverage has
+/// silently collapsed, so this pins the band and reports the number.
+#[test]
+fn trap_rate_stays_in_a_healthy_band() {
+    const SEEDS: u64 = 150;
+    let traps = (0..SEEDS)
+        .filter(|&seed| check_equivalence(seed, 7))
+        .count();
+    let rate = traps as f64 / SEEDS as f64;
+    println!("difftest trap rate: {:.1}% ({traps}/{SEEDS})", 100.0 * rate);
+    assert!(
+        (0.05..=0.90).contains(&rate),
+        "difftest trap rate collapsed to {:.1}% — generator coverage changed",
+        100.0 * rate
+    );
 }

@@ -2,14 +2,18 @@
 //! cycle accounting, implementing core WASM semantics plus the paper's
 //! Fig. 11 small-step rules for the Cage instructions.
 //!
-//! The execution hot path is allocation-free and dispatch-flat: functions
-//! are precompiled into shared [`CompiledFunc`]s holding flat
-//! [`crate::bytecode::FlatCode`] at instantiation, and execution is one
-//! `loop { match ops[pc] }` over a program counter. Branches are a single
-//! collapse-and-jump via their precompiled [`BranchTarget`] descriptors
-//! (no recursive unwinding), and calls push a return-pc frame on an
-//! explicit call stack, so guest control-flow depth never consumes host
-//! Rust stack.
+//! The execution hot path is allocation-free and *direct-threaded*:
+//! functions are precompiled into shared [`CompiledFunc`]s holding flat
+//! [`crate::bytecode::FlatCode`] at instantiation, every op's handler is
+//! resolved to a fn pointer at lowering time, and the dispatch loop is
+//! one indirect call per retired op — no enum match on the hot path (see
+//! [`HANDLERS`]). Branches are a single collapse-and-jump via their
+//! precompiled [`BranchTarget`] descriptors (no recursive unwinding),
+//! and calls push a return-pc frame on an explicit call stack, so guest
+//! control-flow depth never consumes host Rust stack. Memory-fused
+//! superinstructions (`LoadRSet`, `StoreRR`, the `AluMem` family…) read
+//! their address/value registers directly and hit the cached memory fast
+//! path without re-entering a decoder.
 //!
 //! Operands are *untagged*: the shared operand stack and locals arena are
 //! plain `u64` slots ([`Value::to_slot`] encoding — validation already
@@ -29,7 +33,7 @@
 use std::rc::Rc;
 
 use cage_mte::pointer::ADDR_MASK;
-use cage_wasm::instr::LoadOp;
+use cage_wasm::instr::{LoadOp, StoreOp};
 
 use crate::bytecode::{AluOp, BranchTarget, Op};
 use crate::config::{BoundsCheckStrategy, ExecConfig};
@@ -289,20 +293,24 @@ impl<'s> Interp<'s> {
         (locals_base, stack.len())
     }
 
-    /// The flat dispatch loop: executes `entry` (and everything it calls)
-    /// to completion on the shared operand stack and locals arena.
+    /// The direct-threaded dispatch loop: executes `entry` (and everything
+    /// it calls) to completion on the shared operand stack and locals
+    /// arena.
     ///
-    /// Control flow never recurses: branch ops collapse the operand stack
-    /// through their precompiled [`BranchTarget`] and assign the program
-    /// counter; calls push a [`Frame`] and jump to pc 0 of the callee, so
-    /// host stack usage is constant in both guest nesting depth and guest
-    /// call depth (the latter bounded by `max_call_depth`).
-    #[allow(clippy::too_many_lines)]
+    /// Every op carries a handler index resolved at lowering time
+    /// ([`handler_index`]); the loop is nothing but an indirect call
+    /// through [`HANDLERS`] per retired op — no enum match on the hot
+    /// path. Control flow never recurses: branch handlers collapse the
+    /// operand stack through their precompiled [`BranchTarget`] and assign
+    /// the program counter; call handlers push a [`Frame`] and jump to
+    /// pc 0 of the callee, so host stack usage is constant in both guest
+    /// nesting depth and guest call depth (the latter bounded by
+    /// `max_call_depth`).
     fn run(&mut self, entry: u32, stack: &mut Vec<u64>, locals: &mut Vec<u64>) -> Result<(), Trap> {
         if self.depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
-        let mut func = Rc::clone(&self.store.instances[self.inst].funcs[entry as usize]);
+        let func = Rc::clone(&self.store.instances[self.inst].funcs[entry as usize]);
         if func.is_host {
             self.depth += 1;
             let result = self.call_host(entry, &func, stack);
@@ -310,224 +318,53 @@ impl<'s> Interp<'s> {
             return result;
         }
         self.depth += 1;
-        let mut frames: Vec<Frame> = Vec::with_capacity(8);
+        let (locals_base, frame_base) = Self::enter(&func, stack, locals);
+        let arity = func.ty.results.len();
+        let mut st = InterpState {
+            it: self,
+            stack,
+            locals,
+            frames: Vec::with_capacity(8),
+            func,
+            pc: 0,
+            locals_base,
+            frame_base,
+            arity,
+            mem_m64: false,
+            mem_size: 0,
+            mem_fast: false,
+        };
+        st.refresh_mem();
+        // The loop keeps its own reference to the executing function so
+        // handlers can receive `&Op` without re-indexing through `st`,
+        // and the program counter lives in a register here — handlers
+        // steer it through their `Flow` result instead of through
+        // memory. Call/return handlers answer `Flow::Refetch` when they
+        // switch functions, parking the resume pc in `st.pc`.
+        let mut cur = Rc::clone(&st.func);
         let mut pc: usize = 0;
-        let (mut locals_base, mut frame_base) = Self::enter(&func, stack, locals);
-        let mut arity = func.ty.results.len();
-
-        // Cached linear-memory fast path: when no tag scheme is live
-        // (`fast_mem`), a scalar access is one overflow-checked address
-        // add, one bounds compare against this cached guest size, and a
-        // direct little-endian read — the full `resolve()` policy ladder
-        // never runs. The cache is invalidated wherever the guest size
-        // can change: `memory.grow` and host calls (hosts may grow the
-        // memory through their checked context).
-        let mut mem_m64 = false;
-        let mut mem_size: u64 = 0;
-        #[allow(unused_assignments)] // initialised by refresh_mem! below
-        let mut mem_fast = false;
-
-        /// Recomputes the cached memory view from the instance.
-        macro_rules! refresh_mem {
-            () => {{
-                match self.store.instances[self.inst].memory.as_ref() {
-                    Some(m) if self.fast_mem => {
-                        mem_m64 = m.is_memory64();
-                        mem_size = m.size();
-                        mem_fast = true;
-                    }
-                    _ => mem_fast = false,
-                }
-            }};
-        }
-        refresh_mem!();
-
-        /// Enters callee `$idx`: host functions run inline on the shared
-        /// stack; guest functions suspend the caller onto `frames`.
-        macro_rules! do_call {
-            ($idx:expr) => {{
-                let idx: u32 = $idx;
-                if self.depth >= self.config.max_call_depth {
-                    return Err(Trap::CallStackExhausted);
-                }
-                let callee = Rc::clone(&self.store.instances[self.inst].funcs[idx as usize]);
-                if callee.is_host {
-                    self.depth += 1;
-                    let result = self.call_host(idx, &callee, stack);
-                    self.depth -= 1;
-                    result?;
-                    refresh_mem!();
-                } else {
-                    self.depth += 1;
-                    let (lb, fb) = Self::enter(&callee, stack, locals);
-                    frames.push(Frame {
-                        func: std::mem::replace(&mut func, callee),
-                        ret_pc: pc,
-                        locals_base,
-                        frame_base,
-                        arity,
-                    });
-                    locals_base = lb;
-                    frame_base = fb;
-                    arity = func.ty.results.len();
-                    pc = 0;
-                }
-            }};
-        }
-
-        /// Function epilogue: slide the results down over the frame,
-        /// release the locals frame, resume the suspended caller (or
-        /// finish when this was the outermost frame).
-        macro_rules! do_return {
-            () => {{
-                Self::collapse(stack, frame_base, arity);
-                locals.truncate(locals_base);
-                self.depth -= 1;
-                match frames.pop() {
-                    Some(frame) => {
-                        func = frame.func;
-                        pc = frame.ret_pc;
-                        locals_base = frame.locals_base;
-                        frame_base = frame.frame_base;
-                        arity = frame.arity;
-                    }
-                    None => return Ok(()),
-                }
-            }};
-        }
-
         loop {
-            let op = &func.code.ops[pc];
-            pc += 1;
-            match op {
-                Op::Jump(target) => pc = *target as usize,
-                Op::If(else_pc) => {
-                    self.charge(self.charges.branch);
-                    if get_i32(stack.pop().expect("validated")) == 0 {
-                        pc = *else_pc as usize;
-                    }
+            // Hoist the code slices out of the dispatch path: between
+            // function switches, `ops`/`handlers` live in registers and
+            // each dispatch is two indexed loads plus the indirect call.
+            let ops: &[Op] = &cur.code.ops;
+            let thread: &[Handler] = &cur.code.thread;
+            let switched = loop {
+                let handler = thread[pc];
+                match handler(&mut st, &ops[pc], pc) {
+                    Ok(Flow::Next) => pc += 1,
+                    Ok(Flow::Jump(target)) => pc = target as usize,
+                    Ok(Flow::Refetch) => break true,
+                    Ok(Flow::Done) => break false,
+                    Err(trap) => return Err(*trap),
                 }
-                Op::IfLocal { src, else_pc } => {
-                    self.charge(self.charges.simple);
-                    self.charge(self.charges.branch);
-                    if get_i32(locals[locals_base + *src as usize]) == 0 {
-                        pc = *else_pc as usize;
-                    }
-                }
-                Op::Br(target) => {
-                    self.charge(self.charges.branch);
-                    Self::take_branch(stack, frame_base, target, &mut pc);
-                }
-                Op::BrIf(target) => {
-                    self.charge(self.charges.branch);
-                    if get_i32(stack.pop().expect("validated")) != 0 {
-                        Self::take_branch(stack, frame_base, target, &mut pc);
-                    }
-                }
-                Op::BrIfZ(target) => {
-                    self.charge(self.charges.simple);
-                    self.charge(self.charges.branch);
-                    if get_i32(stack.pop().expect("validated")) == 0 {
-                        Self::take_branch(stack, frame_base, target, &mut pc);
-                    }
-                }
-                Op::BrIfLocal { src, target } => {
-                    self.charge(self.charges.simple);
-                    self.charge(self.charges.branch);
-                    if get_i32(locals[locals_base + *src as usize]) != 0 {
-                        Self::take_branch(stack, frame_base, target, &mut pc);
-                    }
-                }
-                Op::BrIfZLocal { src, target } => {
-                    self.charge(self.charges.simple);
-                    self.charge(self.charges.simple);
-                    self.charge(self.charges.branch);
-                    if get_i32(locals[locals_base + *src as usize]) == 0 {
-                        Self::take_branch(stack, frame_base, target, &mut pc);
-                    }
-                }
-                Op::BrTable(targets) => {
-                    self.charge(self.charges.branch);
-                    let i = get_i32(stack.pop().expect("validated")) as usize;
-                    let target = targets
-                        .get(i)
-                        .unwrap_or_else(|| targets.last().expect("br_table has a default"));
-                    Self::take_branch(stack, frame_base, target, &mut pc);
-                }
-                // Scalar memory fast path: policy-free bounds compare plus
-                // a direct LE read against the cached view. Falls through
-                // to `exec_op`'s `resolve()` ladder when tags are live.
-                Op::Load(op, offset) if mem_fast => {
-                    self.charge(self.charges.mem);
-                    let index = stack.pop().expect("validated");
-                    let width = op.width();
-                    let addr = fast_addr(index, *offset, width, mem_m64, mem_size)?;
-                    let mem = self.store.instances[self.inst]
-                        .memory
-                        .as_ref()
-                        .expect("fast path implies memory");
-                    stack.push(decode_load(*op, mem.read_le(addr, width)));
-                }
-                Op::Store(op, offset) if mem_fast => {
-                    self.charge(self.charges.mem);
-                    let raw = stack.pop().expect("validated");
-                    let index = stack.pop().expect("validated");
-                    let width = op.width();
-                    let addr = fast_addr(index, *offset, width, mem_m64, mem_size)?;
-                    let mem = self.store.instances[self.inst]
-                        .memory
-                        .as_mut()
-                        .expect("fast path implies memory");
-                    mem.write_le(addr, width, raw);
-                }
-                Op::MemoryGrow => {
-                    self.exec_op(op, stack, locals, locals_base)?;
-                    refresh_mem!();
-                }
-                Op::Return => {
-                    self.charge(self.charges.branch);
-                    do_return!();
-                }
-                Op::End => do_return!(),
-                Op::Call(f) => {
-                    self.charge(self.charges.call);
-                    do_call!(*f);
-                }
-                Op::CallIndirect(type_idx) => {
-                    self.charge(self.charges.call_indirect);
-                    let type_idx = *type_idx;
-                    let table_idx = get_i32(stack.pop().expect("validated")) as u32;
-                    let (func_idx, expected, actual) = {
-                        let inst = &self.store.instances[self.inst];
-                        let func_idx = inst
-                            .table
-                            .get(table_idx as usize)
-                            .copied()
-                            .flatten()
-                            .ok_or(Trap::UndefinedElement)?;
-                        (
-                            func_idx,
-                            Rc::clone(&inst.types[type_idx as usize]),
-                            Rc::clone(&inst.funcs[func_idx as usize].ty),
-                        )
-                    };
-                    // Pointer equality first: types are deduplicated per
-                    // module, so the slow structural compare is a cold path.
-                    if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
-                        return Err(Trap::IndirectCallTypeMismatch);
-                    }
-                    do_call!(func_idx);
-                }
-                other => self.exec_op(other, stack, locals, locals_base)?,
+            };
+            if !switched {
+                return Ok(());
             }
+            cur = Rc::clone(&st.func);
+            pc = st.pc;
         }
-    }
-
-    /// Takes a resolved branch: collapse to the target frame, jump.
-    #[inline]
-    fn take_branch(stack: &mut Vec<u64>, frame_base: usize, t: &BranchTarget, pc: &mut usize) {
-        Self::collapse(stack, frame_base + t.height as usize, t.arity as usize);
-        *pc = t.pc as usize;
     }
 
     /// The typed API boundary for host calls: untagged argument slots
@@ -777,117 +614,6 @@ impl<'s> Interp<'s> {
             Const(v) => {
                 self.charge(s);
                 stack.push(*v);
-            }
-
-            // -- fused superinstructions: constituent charges in original
-            // order, so cycle accounting is bit-identical to the unfused
-            // pair (the `charge(0.0)` calls retire the zero-cost extends).
-            LocalMove { src, dst } => {
-                self.charge(s);
-                self.charge(s);
-                locals[lbase + *dst as usize] = locals[lbase + *src as usize];
-            }
-            LocalSetGet(i) => {
-                self.charge(s);
-                self.charge(s);
-                locals[lbase + *i as usize] = *stack.last().expect("validated");
-            }
-            LocalGetPair { a, b } => {
-                self.charge(s);
-                self.charge(s);
-                stack.push(locals[lbase + *a as usize]);
-                stack.push(locals[lbase + *b as usize]);
-            }
-            ConstLocal { v, dst } => {
-                self.charge(s);
-                self.charge(s);
-                locals[lbase + *dst as usize] = *v;
-            }
-            ConstExtI64(v) => {
-                self.charge(s);
-                self.charge(0.0);
-                stack.push(*v);
-            }
-            ConstLocalExt { v, dst } => {
-                self.charge(s);
-                self.charge(0.0);
-                self.charge(s);
-                locals[lbase + *dst as usize] = *v;
-            }
-
-            // -- 3-address ALU superinstructions: operand reads, the ALU
-            // op, and the optional result write collapse into one dispatch.
-            // Charges replay the constituents in original order (get(s),
-            // [get/const](s), alu(class), [set](s)), so cycle accounting
-            // and retired counts are bit-identical to the unfused sequence.
-            AluRR { op, a, b } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(s);
-                self.charge(cl);
-                let r = alu_eval(
-                    *op,
-                    locals[lbase + *a as usize],
-                    locals[lbase + *b as usize],
-                );
-                stack.push(r);
-            }
-            AluRRSet { op, a, b, dst } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(s);
-                self.charge(cl);
-                self.charge(s);
-                locals[lbase + *dst as usize] = alu_eval(
-                    *op,
-                    locals[lbase + *a as usize],
-                    locals[lbase + *b as usize],
-                );
-            }
-            AluRC { op, a, k } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(s);
-                self.charge(cl);
-                stack.push(alu_eval(*op, locals[lbase + *a as usize], *k));
-            }
-            AluRCSet { op, a, k, dst } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(s);
-                self.charge(cl);
-                self.charge(s);
-                locals[lbase + *dst as usize] = alu_eval(*op, locals[lbase + *a as usize], *k);
-            }
-            AluSR { op, b } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(cl);
-                let a = stack.pop().expect("validated");
-                stack.push(alu_eval(*op, a, locals[lbase + *b as usize]));
-            }
-            AluSRSet { op, b, dst } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(cl);
-                self.charge(s);
-                let a = stack.pop().expect("validated");
-                locals[lbase + *dst as usize] = alu_eval(*op, a, locals[lbase + *b as usize]);
-            }
-            AluSC { op, k } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(cl);
-                let a = stack.pop().expect("validated");
-                stack.push(alu_eval(*op, a, *k));
-            }
-            AluSCSet { op, k, dst } => {
-                let cl = if op.is_float() { fl } else { s };
-                self.charge(s);
-                self.charge(cl);
-                self.charge(s);
-                let a = stack.pop().expect("validated");
-                locals[lbase + *dst as usize] = alu_eval(*op, a, *k);
             }
 
             // -- Cage extension (Fig. 11) ---------------------------------
@@ -1199,20 +925,1093 @@ impl<'s> Interp<'s> {
             I64Extend16S => una!(s, get_i64, |a: i64| i64::from(a as i16)),
             I64Extend32S => una!(s, get_i64, |a: i64| i64::from(a as i32)),
 
-            other => unreachable!("control op {other:?} reached exec_op"),
+            other => unreachable!("control or fused op {other:?} reached exec_op"),
         }
         Ok(())
     }
 }
 
-// -- tree-walking oracle (tests only) ------------------------------------
+// -- direct-threaded dispatch ---------------------------------------------
+//
+// The dispatch loop never matches on the op enum: every op carries the
+// index of its handler in [`HANDLERS`], resolved once at lowering time
+// ([`handler_index`], called from `bytecode::compile`), and the loop is a
+// bare indirect call per retired op. Handlers are plain fns over
+// [`InterpState`] — the per-call bundle of interpreter, shared operand
+// stack/locals arena, explicit call-frame stack and the cached
+// linear-memory view — so fused memory superinstructions hit the cached
+// untagged fast path without re-entering a decoder.
+//
+// Rarely-executed data ops (conversions, division, globals, bulk/segment
+// ops…) share the [`h_data`] handler, which defers to the single
+// [`Interp::exec_op`] implementation the tree oracle also uses; the hot
+// shapes — control flow, locals, constants, loads/stores and every fused
+// superinstruction — get dedicated handlers.
+
+/// What the dispatch loop does after a handler returns.
+pub(crate) enum Flow {
+    /// Fall through to the next op.
+    Next,
+    /// Jump to an absolute pc within the current function.
+    Jump(u32),
+    /// The current function changed (call or return): the loop must
+    /// refetch its code reference and resume at `InterpState::pc`.
+    Refetch,
+    /// The outermost frame returned: execution is complete.
+    Done,
+}
+
+/// The per-call execution state handlers operate on.
+pub(crate) struct InterpState<'a, 's> {
+    it: &'a mut Interp<'s>,
+    stack: &'a mut Vec<u64>,
+    locals: &'a mut Vec<u64>,
+    /// Suspended callers (the explicit call stack).
+    frames: Vec<Frame>,
+    /// The function currently executing.
+    func: Rc<CompiledFunc>,
+    /// Program counter, already advanced past the current op.
+    pc: usize,
+    locals_base: usize,
+    frame_base: usize,
+    arity: usize,
+    // Cached linear-memory fast path: when no tag scheme is live
+    // (`Interp::fast_mem`), a scalar access is one overflow-checked
+    // address add, one bounds compare against this cached guest size, and
+    // a direct little-endian read — the full `resolve()` policy ladder
+    // never runs. The cache is invalidated wherever the guest size can
+    // change: `memory.grow` and host calls (hosts may grow the memory
+    // through their checked context).
+    mem_m64: bool,
+    mem_size: u64,
+    mem_fast: bool,
+}
+
+/// An op handler: executes one op on the shared state. The op reference
+/// is handed in by the dispatch loop (it keeps the current function's
+/// code alive across the call), and the error side is boxed so the
+/// common return fits in a register — traps are cold and terminal.
+pub(crate) type Handler =
+    for<'h, 'a, 's, 'o> fn(&'h mut InterpState<'a, 's>, &'o Op, usize) -> Result<Flow, Box<Trap>>;
+
+/// The handler fn pointer for a resolved index — used at lowering time to
+/// pre-thread the code (`FlatCode::thread`).
+pub(crate) fn handler_for_index(index: u16) -> Handler {
+    HANDLERS[index as usize]
+}
+
+impl InterpState<'_, '_> {
+    /// Recomputes the cached linear-memory view from the instance.
+    fn refresh_mem(&mut self) {
+        match self.it.store.instances[self.it.inst].memory.as_ref() {
+            Some(m) if self.it.fast_mem => {
+                self.mem_m64 = m.is_memory64();
+                self.mem_size = m.size();
+                self.mem_fast = true;
+            }
+            _ => self.mem_fast = false,
+        }
+    }
+
+    /// Takes a resolved branch: collapse to the target frame, jump.
+    #[inline(always)]
+    fn take_branch(&mut self, t: BranchTarget) -> Flow {
+        Interp::collapse(
+            self.stack,
+            self.frame_base + t.height as usize,
+            t.arity as usize,
+        );
+        Flow::Jump(t.pc)
+    }
+
+    /// Scalar load shared by the plain and fused load handlers: the
+    /// cached fast path when no tag scheme is live, the full `resolve()`
+    /// policy ladder otherwise — identical results and trap payloads
+    /// either way (pinned by the differential tests and the trap matrix).
+    #[inline(always)]
+    fn load_scalar(&mut self, op: LoadOp, index: u64, offset: u64) -> Result<u64, Trap> {
+        let width = op.width();
+        let raw = if self.mem_fast {
+            let addr = fast_addr(index, offset, width, self.mem_m64, self.mem_size)?;
+            self.it.store.instances[self.it.inst]
+                .memory
+                .as_ref()
+                .expect("fast path implies memory")
+                .read_le(addr, width)
+        } else {
+            self.it.mem_read_scalar(index, offset, width)?
+        };
+        Ok(decode_load(op, raw))
+    }
+
+    /// Scalar store twin of [`InterpState::load_scalar`].
+    #[inline(always)]
+    fn store_scalar(&mut self, op: StoreOp, index: u64, offset: u64, raw: u64) -> Result<(), Trap> {
+        let width = op.width();
+        if self.mem_fast {
+            let addr = fast_addr(index, offset, width, self.mem_m64, self.mem_size)?;
+            self.it.store.instances[self.it.inst]
+                .memory
+                .as_mut()
+                .expect("fast path implies memory")
+                .write_le(addr, width, raw);
+            Ok(())
+        } else {
+            self.it.mem_write_scalar(index, offset, width, raw)
+        }
+    }
+
+    /// The cycle class a fused ALU op charges.
+    #[inline(always)]
+    fn alu_class(&self, op: AluOp) -> f64 {
+        if op.is_float() {
+            self.it.charges.float
+        } else {
+            self.it.charges.simple
+        }
+    }
+
+    /// Enters callee `idx`: host functions run inline on the shared
+    /// stack (`Flow::Continue`); guest functions suspend the caller onto
+    /// `frames` and switch `func` (`Flow::Refetch`).
+    fn do_call(&mut self, idx: u32, pc: usize) -> Result<Flow, Trap> {
+        if self.it.depth >= self.it.config.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        let callee = Rc::clone(&self.it.store.instances[self.it.inst].funcs[idx as usize]);
+        if callee.is_host {
+            self.it.depth += 1;
+            let result = self.it.call_host(idx, &callee, self.stack);
+            self.it.depth -= 1;
+            result?;
+            self.refresh_mem();
+            return Ok(Flow::Next);
+        }
+        {
+            self.it.depth += 1;
+            let (lb, fb) = Interp::enter(&callee, self.stack, self.locals);
+            self.frames.push(Frame {
+                func: std::mem::replace(&mut self.func, callee),
+                ret_pc: pc + 1,
+                locals_base: self.locals_base,
+                frame_base: self.frame_base,
+                arity: self.arity,
+            });
+            self.locals_base = lb;
+            self.frame_base = fb;
+            self.arity = self.func.ty.results.len();
+            self.pc = 0;
+        }
+        Ok(Flow::Refetch)
+    }
+
+    /// Function epilogue: slide the results down over the frame, release
+    /// the locals frame, resume the suspended caller (or finish when this
+    /// was the outermost frame).
+    fn do_return(&mut self) -> Flow {
+        Interp::collapse(self.stack, self.frame_base, self.arity);
+        self.locals.truncate(self.locals_base);
+        self.it.depth -= 1;
+        match self.frames.pop() {
+            Some(frame) => {
+                self.func = frame.func;
+                self.pc = frame.ret_pc;
+                self.locals_base = frame.locals_base;
+                self.frame_base = frame.frame_base;
+                self.arity = frame.arity;
+                Flow::Refetch
+            }
+            None => Flow::Done,
+        }
+    }
+}
+
+/// Destructures the current op's payload inside a handler. The handler
+/// index was resolved from the op at lowering time, so the pattern cannot
+/// fail to match.
+macro_rules! op_payload {
+    ($op:ident, $pat:pat) => {
+        let $pat = $op else {
+            unreachable!("handler index resolved at lowering")
+        };
+    };
+}
+
+/// Builds the [`HANDLERS`] table and the matching [`handler_index`]
+/// resolver from one list, so the two cannot drift: the resolver scans the
+/// patterns in table order (only at lowering time — never on the dispatch
+/// hot path) and everything unlisted falls through to the `@default`
+/// handler stored last.
+macro_rules! dispatch_table {
+    ($($pat:pat => $handler:ident,)+ @default $default:ident) => {
+        /// The direct-threaded dispatch table.
+        static HANDLERS: [Handler; 1 + [$(stringify!($handler)),+].len()] =
+            [$($handler,)+ $default];
+
+        /// Resolves an op to its index in the dispatch table — called once
+        /// per op by `bytecode::compile`.
+        #[must_use]
+        pub(crate) fn handler_index(op: &Op) -> u16 {
+            let mut index = 0u16;
+            $(
+                if matches!(op, $pat) {
+                    return index;
+                }
+                index += 1;
+            )+
+            // Everything else shares the generic exec_op handler.
+            index
+        }
+    };
+}
+
+dispatch_table! {
+    Op::Jump(_) => h_jump,
+    Op::If(_) => h_if,
+    Op::IfLocal { .. } => h_if_local,
+    Op::Br(_) => h_br,
+    Op::BrIf(_) => h_br_if,
+    Op::BrIfZ(_) => h_br_if_z,
+    Op::BrIfLocal { .. } => h_br_if_local,
+    Op::BrIfZLocal { .. } => h_br_if_z_local,
+    Op::BrTable(_) => h_br_table,
+    Op::Return => h_return,
+    Op::End => h_end,
+    Op::Call(_) => h_call,
+    Op::CallIndirect(_) => h_call_indirect,
+    Op::Const(_) => h_const,
+    Op::LocalGet(_) => h_local_get,
+    Op::LocalSet(_) => h_local_set,
+    Op::LocalTee(_) => h_local_tee,
+    Op::LocalMove { .. } => h_local_move,
+    Op::LocalSetGet(_) => h_local_set_get,
+    Op::LocalGetPair { .. } => h_local_get_pair,
+    Op::ConstLocal { .. } => h_const_local,
+    Op::ConstExtI64(_) => h_const_ext_i64,
+    Op::ConstLocalExt { .. } => h_const_local_ext,
+    Op::AluRR { .. } => h_alu_rr,
+    Op::AluRRSet { .. } => h_alu_rr_set,
+    Op::AluRC { .. } => h_alu_rc,
+    Op::AluRCSet { .. } => h_alu_rc_set,
+    Op::AluSR { .. } => h_alu_sr,
+    Op::AluSRSet { .. } => h_alu_sr_set,
+    Op::AluSC { .. } => h_alu_sc,
+    Op::AluSCSet { .. } => h_alu_sc_set,
+    Op::AluSSet { .. } => h_alu_s_set,
+    Op::AluSCExt { .. } => h_alu_sc_ext,
+    Op::ConstLocalPair { .. } => h_const_local_pair,
+    Op::AluRRSetMove { .. } => h_alu_rr_set_move,
+    Op::AluRCSetMove { .. } => h_alu_rc_set_move,
+    Op::AluChainSet { .. } => h_alu_chain_set,
+    Op::I32WrapI64 => h_wrap_i64,
+    Op::I64ExtendI32S => h_extend_i32_s,
+    Op::I64ExtendI32U => h_extend_i32_u,
+    Op::Load(..) => h_load,
+    Op::Store(..) => h_store,
+    Op::LoadR { .. } => h_load_r,
+    Op::LoadRSet { .. } => h_load_r_set,
+    Op::LoadSet { .. } => h_load_set,
+    Op::StoreRR { .. } => h_store_rr,
+    Op::StoreRC { .. } => h_store_rc,
+    Op::StoreSR { .. } => h_store_sr,
+    Op::StoreSC { .. } => h_store_sc,
+    Op::AluMemR { .. } => h_alu_mem_r,
+    Op::AluMemRSet { .. } => h_alu_mem_r_set,
+    Op::AluMR { .. } => h_alu_mr,
+    Op::AluMRSet { .. } => h_alu_mr_set,
+    Op::AluRMem { .. } => h_alu_r_mem,
+    Op::AluRMemSet { .. } => h_alu_r_mem_set,
+    Op::AluSMem { .. } => h_alu_s_mem,
+    Op::AluSMemSet { .. } => h_alu_s_mem_set,
+    Op::MemoryGrow => h_memory_grow,
+    @default h_data
+}
+
+// -- control handlers ------------------------------------------------------
+
+fn h_jump(_st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::Jump(target));
+    Ok(Flow::Jump(target))
+}
+
+fn h_if(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::If(else_pc));
+    st.it.charge(st.it.charges.branch);
+    if get_i32(st.stack.pop().expect("validated")) == 0 {
+        return Ok(Flow::Jump(else_pc));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_if_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::IfLocal { src, else_pc });
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.branch);
+    if get_i32(st.locals[st.locals_base + src as usize]) == 0 {
+        return Ok(Flow::Jump(else_pc));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_br(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::Br(target));
+    st.it.charge(st.it.charges.branch);
+    Ok(st.take_branch(target))
+}
+
+fn h_br_if(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::BrIf(target));
+    st.it.charge(st.it.charges.branch);
+    if get_i32(st.stack.pop().expect("validated")) != 0 {
+        return Ok(st.take_branch(target));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_br_if_z(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::BrIfZ(target));
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.branch);
+    if get_i32(st.stack.pop().expect("validated")) == 0 {
+        return Ok(st.take_branch(target));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_br_if_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::BrIfLocal { src, target });
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.branch);
+    if get_i32(st.locals[st.locals_base + src as usize]) != 0 {
+        return Ok(st.take_branch(target));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_br_if_z_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::BrIfZLocal { src, target });
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.branch);
+    if get_i32(st.locals[st.locals_base + src as usize]) == 0 {
+        return Ok(st.take_branch(target));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_br_table(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, Op::BrTable(targets));
+    st.it.charge(st.it.charges.branch);
+    let i = get_i32(st.stack.pop().expect("validated")) as usize;
+    let target = *targets
+        .get(i)
+        .unwrap_or_else(|| targets.last().expect("br_table has a default"));
+    Ok(st.take_branch(target))
+}
+
+fn h_return(st: &mut InterpState, _op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    st.it.charge(st.it.charges.branch);
+    Ok(st.do_return())
+}
+
+fn h_end(st: &mut InterpState, _op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    Ok(st.do_return())
+}
+
+fn h_call(st: &mut InterpState, op: &Op, pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::Call(f));
+    st.it.charge(st.it.charges.call);
+    Ok(st.do_call(f, pc)?)
+}
+
+fn h_call_indirect(st: &mut InterpState, op: &Op, pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::CallIndirect(type_idx));
+    st.it.charge(st.it.charges.call_indirect);
+    let table_idx = get_i32(st.stack.pop().expect("validated")) as u32;
+    let (func_idx, expected, actual) = {
+        let inst = &st.it.store.instances[st.it.inst];
+        let func_idx = inst
+            .table
+            .get(table_idx as usize)
+            .copied()
+            .flatten()
+            .ok_or(Trap::UndefinedElement)?;
+        (
+            func_idx,
+            Rc::clone(&inst.types[type_idx as usize]),
+            Rc::clone(&inst.funcs[func_idx as usize].ty),
+        )
+    };
+    // Pointer equality first: types are deduplicated per module, so the
+    // slow structural compare is a cold path.
+    if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
+        return Err(Box::new(Trap::IndirectCallTypeMismatch));
+    }
+    Ok(st.do_call(func_idx, pc)?)
+}
+
+// -- locals / constants ----------------------------------------------------
+
+fn h_const(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::Const(v));
+    st.it.charge(st.it.charges.simple);
+    st.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn h_local_get(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LocalGet(i));
+    st.it.charge(st.it.charges.simple);
+    st.stack.push(st.locals[st.locals_base + i as usize]);
+    Ok(Flow::Next)
+}
+
+fn h_local_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LocalSet(i));
+    st.it.charge(st.it.charges.simple);
+    st.locals[st.locals_base + i as usize] = st.stack.pop().expect("validated");
+    Ok(Flow::Next)
+}
+
+fn h_local_tee(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LocalTee(i));
+    st.it.charge(st.it.charges.simple);
+    st.locals[st.locals_base + i as usize] = *st.stack.last().expect("validated");
+    Ok(Flow::Next)
+}
+
+// -- fused superinstructions ------------------------------------------------
+//
+// Constituent charges replay in the original order, so cycle accounting
+// and retired-instruction counts are bit-identical to the unfused
+// sequence (the `charge(0.0)` calls retire the zero-cost extends).
+
+fn h_local_move(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LocalMove { src, dst });
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] = st.locals[st.locals_base + src as usize];
+    Ok(Flow::Next)
+}
+
+fn h_local_set_get(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LocalSetGet(i));
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.locals[st.locals_base + i as usize] = *st.stack.last().expect("validated");
+    Ok(Flow::Next)
+}
+
+fn h_local_get_pair(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LocalGetPair { a, b });
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.stack.push(st.locals[st.locals_base + a as usize]);
+    st.stack.push(st.locals[st.locals_base + b as usize]);
+    Ok(Flow::Next)
+}
+
+fn h_const_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::ConstLocal { v, dst });
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn h_const_ext_i64(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::ConstExtI64(v));
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(0.0);
+    st.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn h_const_local_ext(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::ConstLocalExt { v, dst });
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(0.0);
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] = v;
+    Ok(Flow::Next)
+}
+
+// -- 3-address ALU superinstructions: operand reads, the ALU op, and the
+// optional result write collapse into one dispatch. Charges replay the
+// constituents in original order (get(s), [get/const](s), alu(class),
+// [set](s)).
+
+fn h_alu_rr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluRR { op, a, b });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(cl);
+    let r = alu_eval(
+        op,
+        st.locals[st.locals_base + a as usize],
+        st.locals[st.locals_base + b as usize],
+    );
+    st.stack.push(r);
+    Ok(Flow::Next)
+}
+
+fn h_alu_rr_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluRRSet { op, a, b, dst });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(cl);
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] = alu_eval(
+        op,
+        st.locals[st.locals_base + a as usize],
+        st.locals[st.locals_base + b as usize],
+    );
+    Ok(Flow::Next)
+}
+
+fn h_alu_rc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluRC { op, a, k });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(cl);
+    let r = alu_eval(op, st.locals[st.locals_base + a as usize], k);
+    st.stack.push(r);
+    Ok(Flow::Next)
+}
+
+fn h_alu_rc_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluRCSet { op, a, k, dst });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(cl);
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] =
+        alu_eval(op, st.locals[st.locals_base + a as usize], k);
+    Ok(Flow::Next)
+}
+
+fn h_alu_sr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSR { op, b });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(cl);
+    let a = st.stack.pop().expect("validated");
+    st.stack
+        .push(alu_eval(op, a, st.locals[st.locals_base + b as usize]));
+    Ok(Flow::Next)
+}
+
+fn h_alu_sr_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSRSet { op, b, dst });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(cl);
+    st.it.charge(s);
+    let a = st.stack.pop().expect("validated");
+    st.locals[st.locals_base + dst as usize] =
+        alu_eval(op, a, st.locals[st.locals_base + b as usize]);
+    Ok(Flow::Next)
+}
+
+fn h_alu_sc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSC { op, k });
+    let cl = st.alu_class(op);
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(cl);
+    let a = st.stack.pop().expect("validated");
+    st.stack.push(alu_eval(op, a, k));
+    Ok(Flow::Next)
+}
+
+fn h_alu_sc_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSCSet { op, k, dst });
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(cl);
+    st.it.charge(s);
+    let a = st.stack.pop().expect("validated");
+    st.locals[st.locals_base + dst as usize] = alu_eval(op, a, k);
+    Ok(Flow::Next)
+}
+
+fn h_alu_s_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSSet { op, dst });
+    st.it.charge(st.alu_class(op));
+    st.it.charge(st.it.charges.simple);
+    let b = st.stack.pop().expect("validated");
+    let a = st.stack.pop().expect("validated");
+    st.locals[st.locals_base + dst as usize] = alu_eval(op, a, b);
+    Ok(Flow::Next)
+}
+
+fn h_alu_sc_ext(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSCExt { op, k });
+    st.it.charge(0.0);
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.alu_class(op));
+    let a = st.stack.pop().expect("validated");
+    let a = slot_i64(i64::from(get_i32(a)));
+    st.stack.push(alu_eval(op, a, k));
+    Ok(Flow::Next)
+}
+
+fn h_const_local_pair(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::ConstLocalPair { v, dst, b });
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] = v;
+    st.stack.push(v);
+    st.stack.push(st.locals[st.locals_base + b as usize]);
+    Ok(Flow::Next)
+}
+
+fn h_alu_rr_set_move(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluRRSetMove {
+            op,
+            a,
+            b,
+            dst,
+            dst2
+        }
+    );
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(cl);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(s);
+    let r = alu_eval(
+        op,
+        st.locals[st.locals_base + a as usize],
+        st.locals[st.locals_base + b as usize],
+    );
+    st.locals[st.locals_base + dst as usize] = r;
+    st.locals[st.locals_base + dst2 as usize] = r;
+    Ok(Flow::Next)
+}
+
+fn h_alu_chain_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluChainSet {
+            ext,
+            op1,
+            k,
+            op2,
+            dst
+        }
+    );
+    let s = st.it.charges.simple;
+    if ext {
+        st.it.charge(0.0);
+    }
+    st.it.charge(s);
+    st.it.charge(st.alu_class(op1));
+    st.it.charge(st.alu_class(op2));
+    st.it.charge(s);
+    let mut a1 = st.stack.pop().expect("validated");
+    if ext {
+        a1 = slot_i64(i64::from(get_i32(a1)));
+    }
+    let r1 = alu_eval(op1, a1, k);
+    let a0 = st.stack.pop().expect("validated");
+    st.locals[st.locals_base + dst as usize] = alu_eval(op2, a0, r1);
+    Ok(Flow::Next)
+}
+
+// Zero-cost width changes get dedicated handlers: they appear in every
+// wasm64 address computation, and the generic exec_op path would pay a
+// second dispatch for what is one mask of the slot.
+
+fn h_wrap_i64(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::I32WrapI64);
+    st.it.charge(0.0);
+    let a = st.stack.pop().expect("validated");
+    st.stack.push(slot_i32(get_i64(a) as i32));
+    Ok(Flow::Next)
+}
+
+fn h_extend_i32_s(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::I64ExtendI32S);
+    st.it.charge(0.0);
+    let a = st.stack.pop().expect("validated");
+    st.stack.push(slot_i64(i64::from(get_i32(a))));
+    Ok(Flow::Next)
+}
+
+fn h_extend_i32_u(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::I64ExtendI32U);
+    st.it.charge(0.0);
+    let a = st.stack.pop().expect("validated");
+    st.stack.push(slot_i64((get_i32(a) as u32) as i64));
+    Ok(Flow::Next)
+}
+
+fn h_alu_rc_set_move(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluRCSetMove {
+            op,
+            a,
+            k,
+            dst,
+            dst2
+        }
+    );
+    let s = st.it.charges.simple;
+    let cl = st.alu_class(op);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(cl);
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(s);
+    let r = alu_eval(op, st.locals[st.locals_base + a as usize], k);
+    st.locals[st.locals_base + dst as usize] = r;
+    st.locals[st.locals_base + dst2 as usize] = r;
+    Ok(Flow::Next)
+}
+
+// -- memory ----------------------------------------------------------------
+
+fn h_load(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::Load(op, offset));
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let v = st.load_scalar(op, index, offset)?;
+    st.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn h_store(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::Store(op, offset));
+    st.it.charge(st.it.charges.mem);
+    let raw = st.stack.pop().expect("validated");
+    let index = st.stack.pop().expect("validated");
+    st.store_scalar(op, index, offset, raw)?;
+    Ok(Flow::Next)
+}
+
+fn h_memory_grow(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    st.it.exec_op(op, st.stack, st.locals, st.locals_base)?;
+    st.refresh_mem();
+    Ok(Flow::Next)
+}
+
+// -- memory superinstructions: loads/stores fused with their register/
+// constant operands (and the AluMem family with the consuming ALU op).
+// Charges replay the constituents in original order, so a trap inside the
+// access leaves exactly the charges the unfused sequence would have.
+
+fn h_load_r(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LoadR { op, offset, addr });
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let v = st.load_scalar(op, index, offset)?;
+    st.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn h_load_r_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::LoadRSet {
+            op,
+            offset,
+            addr,
+            dst
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let v = st.load_scalar(op, index, offset)?;
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn h_load_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::LoadSet { op, offset, dst });
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let v = st.load_scalar(op, index, offset)?;
+    st.it.charge(st.it.charges.simple);
+    st.locals[st.locals_base + dst as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn h_store_rr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::StoreRR {
+            op,
+            offset,
+            addr,
+            val
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let raw = st.locals[st.locals_base + val as usize];
+    st.store_scalar(op, index, offset, raw)?;
+    Ok(Flow::Next)
+}
+
+fn h_store_rc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::StoreRC {
+            op,
+            offset,
+            addr,
+            k
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    st.store_scalar(op, index, offset, k)?;
+    Ok(Flow::Next)
+}
+
+fn h_store_sr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::StoreSR { op, offset, val });
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let raw = st.locals[st.locals_base + val as usize];
+    st.store_scalar(op, index, offset, raw)?;
+    Ok(Flow::Next)
+}
+
+fn h_store_sc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::StoreSC { op, offset, k });
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    st.store_scalar(op, index, offset, k)?;
+    Ok(Flow::Next)
+}
+
+fn h_alu_mem_r(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluMemR {
+            alu,
+            load,
+            offset,
+            b
+        }
+    );
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(st.it.charges.simple);
+    st.it.charge(st.alu_class(alu));
+    st.stack
+        .push(alu_eval(alu, v, st.locals[st.locals_base + b as usize]));
+    Ok(Flow::Next)
+}
+
+fn h_alu_mem_r_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluMemRSet {
+            alu,
+            load,
+            offset,
+            b,
+            dst
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(s);
+    st.it.charge(st.alu_class(alu));
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] =
+        alu_eval(alu, v, st.locals[st.locals_base + b as usize]);
+    Ok(Flow::Next)
+}
+
+fn h_alu_mr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluMR {
+            alu,
+            load,
+            offset,
+            addr,
+            b
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(s);
+    st.it.charge(st.alu_class(alu));
+    st.stack
+        .push(alu_eval(alu, v, st.locals[st.locals_base + b as usize]));
+    Ok(Flow::Next)
+}
+
+fn h_alu_mr_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluMRSet {
+            alu,
+            load,
+            offset,
+            addr,
+            b,
+            dst
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(s);
+    st.it.charge(st.alu_class(alu));
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] =
+        alu_eval(alu, v, st.locals[st.locals_base + b as usize]);
+    Ok(Flow::Next)
+}
+
+fn h_alu_r_mem(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluRMem {
+            alu,
+            load,
+            offset,
+            a,
+            addr
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(st.alu_class(alu));
+    st.stack
+        .push(alu_eval(alu, st.locals[st.locals_base + a as usize], v));
+    Ok(Flow::Next)
+}
+
+fn h_alu_r_mem_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluRMemSet {
+            alu,
+            load,
+            offset,
+            a,
+            addr,
+            dst
+        }
+    );
+    let s = st.it.charges.simple;
+    st.it.charge(s);
+    st.it.charge(s);
+    st.it.charge(st.it.charges.mem);
+    let index = st.locals[st.locals_base + addr as usize];
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(st.alu_class(alu));
+    st.it.charge(s);
+    st.locals[st.locals_base + dst as usize] =
+        alu_eval(alu, st.locals[st.locals_base + a as usize], v);
+    Ok(Flow::Next)
+}
+
+fn h_alu_s_mem(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &Op::AluSMem { alu, load, offset });
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(st.alu_class(alu));
+    let a = st.stack.pop().expect("validated");
+    st.stack.push(alu_eval(alu, a, v));
+    Ok(Flow::Next)
+}
+
+fn h_alu_s_mem_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &Op::AluSMemSet {
+            alu,
+            load,
+            offset,
+            dst
+        }
+    );
+    st.it.charge(st.it.charges.mem);
+    let index = st.stack.pop().expect("validated");
+    let v = st.load_scalar(load, index, offset)?;
+    st.it.charge(st.alu_class(alu));
+    st.it.charge(st.it.charges.simple);
+    let a = st.stack.pop().expect("validated");
+    st.locals[st.locals_base + dst as usize] = alu_eval(alu, a, v);
+    Ok(Flow::Next)
+}
+
+// -- everything else --------------------------------------------------------
+
+/// Generic data-op handler: defers to the single [`Interp::exec_op`]
+/// implementation shared with the tree oracle.
+fn h_data(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
+    st.it.exec_op(op, st.stack, st.locals, st.locals_base)?;
+    Ok(Flow::Next)
+}
+
+// -- tree-walking oracle (testing only) -----------------------------------
 //
 // The pre-flat-bytecode interpreter, preserved as the differential-testing
 // oracle: it executes the *structured* `Instr` tree recursively exactly as
 // production did before the refactor, delegating every data op to the same
-// `exec_op` the flat dispatcher uses. Property tests assert both paths are
-// bit-identical on results, traps, cycles and retired instructions.
-#[cfg(test)]
+// `exec_op` the flat dispatcher uses. Property tests — the in-crate
+// difftest and the trap-matrix integration test, which is why this is not
+// `#[cfg(test)]` — assert both paths are bit-identical on results, traps,
+// cycles and retired instructions.
 mod tree {
     use super::*;
     use crate::bytecode::flat_op;

@@ -400,10 +400,12 @@ impl Store {
 
     /// Calls a function by index through the structured tree walker — the
     /// pre-flat-bytecode interpreter kept as the differential-testing
-    /// oracle. Mirrors [`Store::call`] exactly, including surfacing of
-    /// deferred asynchronous MTE faults.
-    #[cfg(test)]
-    pub(crate) fn call_tree(
+    /// oracle (the in-crate difftest and the trap-matrix integration test
+    /// compare it against the threaded dispatcher). Mirrors
+    /// [`Store::call`] exactly, including surfacing of deferred
+    /// asynchronous MTE faults. Not part of the supported embedder API.
+    #[doc(hidden)]
+    pub fn call_tree(
         &mut self,
         handle: InstanceHandle,
         func_idx: u32,

@@ -1,0 +1,290 @@
+//! Trap-conformance matrix for the memory superinstructions.
+//!
+//! Every `LoadOp`/`StoreOp` width is executed at a matrix of addresses
+//! (in-bounds, granule-straddling, exactly-at-end, one-past-end, far
+//! out-of-bounds) under all four tag schemes, through three paths:
+//!
+//! * the **fused fast path** (`local.get addr; load/store` fuses into
+//!   `LoadR`/`StoreRR`, which hits the cached untagged fast path when no
+//!   tag scheme is live);
+//! * the **unfused slow path** (a block boundary fences fusion, so the
+//!   plain stack-address `Load`/`Store` ops run — and under tag schemes,
+//!   the full `resolve()` policy ladder);
+//! * the **tree oracle** (the pre-flat-bytecode structured walker, which
+//!   never fuses anything).
+//!
+//! All three must agree on the trap kind *and payload*, and — because the
+//! fused ops replay their constituents' cycle charges in order — on the
+//! cycle-counter bits and retired-instruction counts too.
+
+use cage_engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value};
+use cage_wasm::builder::ModuleBuilder;
+use cage_wasm::instr::{LoadOp, StoreOp};
+use cage_wasm::{BlockType, Instr, MemArg, Module, ValType};
+
+const PAGE: u64 = 65_536;
+
+/// Locals after the i64 address parameter: one zero value per type, so
+/// stores of every width have a register operand of the right type.
+const I32_VAL: u32 = 1;
+const I64_VAL: u32 = 2;
+const F32_VAL: u32 = 3;
+const F64_VAL: u32 = 4;
+
+fn value_local(ty: ValType) -> u32 {
+    match ty {
+        ValType::I32 => I32_VAL,
+        ValType::I64 => I64_VAL,
+        ValType::F32 => F32_VAL,
+        ValType::F64 => F64_VAL,
+    }
+}
+
+const ALL_LOADS: [LoadOp; 14] = [
+    LoadOp::I32Load,
+    LoadOp::I64Load,
+    LoadOp::F32Load,
+    LoadOp::F64Load,
+    LoadOp::I32Load8S,
+    LoadOp::I32Load8U,
+    LoadOp::I32Load16S,
+    LoadOp::I32Load16U,
+    LoadOp::I64Load8S,
+    LoadOp::I64Load8U,
+    LoadOp::I64Load16S,
+    LoadOp::I64Load16U,
+    LoadOp::I64Load32S,
+    LoadOp::I64Load32U,
+];
+
+const ALL_STORES: [StoreOp; 9] = [
+    StoreOp::I32Store,
+    StoreOp::I64Store,
+    StoreOp::F32Store,
+    StoreOp::F64Store,
+    StoreOp::I32Store8,
+    StoreOp::I32Store16,
+    StoreOp::I64Store8,
+    StoreOp::I64Store16,
+    StoreOp::I64Store32,
+];
+
+/// Builds a module with a fused and an unfused variant of one access.
+///
+/// The fused body keeps `local.get` adjacent to the memory op, so the
+/// lowering peephole produces the register-addressed superinstruction;
+/// the unfused body routes the same operands through a `block`, whose
+/// end binds a label and therefore fences fusion — the charge sequence
+/// is identical either way, so even cycle bits can be compared.
+fn matrix_module(access: Access) -> Module {
+    let locals = [ValType::I32, ValType::I64, ValType::F32, ValType::F64];
+    let (fused, unfused) = match access {
+        Access::Load(op) => (
+            vec![
+                Instr::LocalGet(0),
+                Instr::Load(op, MemArg::none()),
+                Instr::Drop,
+            ],
+            vec![
+                Instr::Block(BlockType::Value(ValType::I64), vec![Instr::LocalGet(0)]),
+                Instr::Load(op, MemArg::none()),
+                Instr::Drop,
+            ],
+        ),
+        Access::Store(op) => {
+            let val = value_local(op.value_type());
+            (
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(val),
+                    Instr::Store(op, MemArg::none()),
+                ],
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::Block(
+                        BlockType::Value(op.value_type()),
+                        vec![Instr::LocalGet(val)],
+                    ),
+                    Instr::Store(op, MemArg::none()),
+                ],
+            )
+        }
+    };
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(&[ValType::I64], &[], &locals, fused);
+    let u = b.add_function(&[ValType::I64], &[], &locals, unfused);
+    assert_eq!((f, u), (0, 1));
+    b.build()
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Access {
+    Load(LoadOp),
+    Store(StoreOp),
+}
+
+impl Access {
+    fn width(self) -> u64 {
+        match self {
+            Access::Load(op) => op.width(),
+            Access::Store(op) => op.width(),
+        }
+    }
+}
+
+/// The four tag schemes of the paper's deployment matrix.
+fn schemes() -> [(&'static str, ExecConfig); 4] {
+    let base = ExecConfig::default();
+    [
+        (
+            "none",
+            ExecConfig {
+                bounds: BoundsCheckStrategy::Software,
+                internal: InternalSafety::Off,
+                ..base
+            },
+        ),
+        (
+            "internal-only",
+            ExecConfig {
+                bounds: BoundsCheckStrategy::Software,
+                internal: InternalSafety::Mte,
+                ..base
+            },
+        ),
+        (
+            "sandbox-only",
+            ExecConfig {
+                bounds: BoundsCheckStrategy::MteSandbox,
+                internal: InternalSafety::Off,
+                ..base
+            },
+        ),
+        (
+            "combined",
+            ExecConfig {
+                bounds: BoundsCheckStrategy::MteSandbox,
+                internal: InternalSafety::Mte,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// The address classes of the matrix; `must_trap`/`must_pass` pin the
+/// expected outcome where it is scheme-independent.
+fn addr_cases(width: u64) -> [(&'static str, u64, Expect); 5] {
+    [
+        ("in_bounds", 64, Expect::Pass),
+        // Straddles a 16-byte MTE granule boundary for width >= 2;
+        // unaligned accesses are legal in wasm, so this must not trap.
+        ("unaligned_granule", 15, Expect::Pass),
+        ("end_ok", PAGE - width, Expect::Pass),
+        ("one_past_end", PAGE - width + 1, Expect::Trap),
+        ("far_oob", 1 << 40, Expect::Trap),
+    ]
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Expect {
+    Pass,
+    Trap,
+}
+
+fn run_path(
+    config: ExecConfig,
+    module: &Module,
+    func: u32,
+    addr: u64,
+    tree: bool,
+) -> (Result<Vec<Value>, Trap>, u64, u64) {
+    let mut store = Store::new(config);
+    let h = store
+        .instantiate(module, &Imports::new())
+        .expect("instantiates");
+    let args = [Value::I64(addr as i64)];
+    let result = if tree {
+        store.call_tree(h, func, &args)
+    } else {
+        store.call(h, func, &args)
+    };
+    (result, store.cycles(h).to_bits(), store.instr_count(h))
+}
+
+#[test]
+fn every_width_addr_and_scheme_agrees_across_all_three_paths() {
+    let accesses: Vec<Access> = ALL_LOADS
+        .iter()
+        .map(|&l| Access::Load(l))
+        .chain(ALL_STORES.iter().map(|&s| Access::Store(s)))
+        .collect();
+    for access in accesses {
+        let module = matrix_module(access);
+        for (scheme, config) in schemes() {
+            for (case, addr, expect) in addr_cases(access.width()) {
+                let cell = format!("{access:?} @ {case} under {scheme}");
+                let (fused, fc, fi) = run_path(config, &module, 0, addr, false);
+                let (unfused, _, _) = run_path(config, &module, 1, addr, false);
+                let (tree, tc, ti) = run_path(config, &module, 0, addr, true);
+
+                // Fused flat vs tree oracle: identical outcome (trap kind
+                // and payload), cycle bits and retired instructions —
+                // same function, so everything must match.
+                assert_eq!(fused, tree, "{cell}: fused flat vs tree oracle");
+                assert_eq!(fc, tc, "{cell}: cycle bits diverged from oracle");
+                assert_eq!(fi, ti, "{cell}: instruction counts diverged");
+
+                // Unfused slow path: same trap kind and payload.
+                match (&fused, &unfused) {
+                    (Ok(_), Ok(_)) => {}
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "{cell}: fused vs unfused trap payloads");
+                    }
+                    _ => panic!("{cell}: outcome diverged: fused {fused:?}, unfused {unfused:?}"),
+                }
+
+                // Scheme-independent expectations: OOB must trap under
+                // every scheme, everything in-bounds must pass.
+                match expect {
+                    Expect::Pass => {
+                        assert!(fused.is_ok(), "{cell}: expected pass, got {fused:?}");
+                    }
+                    Expect::Trap => {
+                        assert!(fused.is_err(), "{cell}: expected a trap");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fused ops must actually be present in the fused variant and absent
+/// from the fenced one — otherwise the matrix compares the same path to
+/// itself and proves nothing.
+#[test]
+fn fused_and_unfused_bodies_lower_as_intended() {
+    let module = matrix_module(Access::Load(LoadOp::I64Load));
+    let fused = cage_engine::disassemble(&module, 0).expect("local function");
+    let unfused = cage_engine::disassemble(&module, 1).expect("local function");
+    assert!(
+        fused.contains("addr=local 0"),
+        "fused body lost its superinstruction:\n{fused}"
+    );
+    assert!(
+        !unfused.contains("addr=local"),
+        "fence failed, unfused body fused anyway:\n{unfused}"
+    );
+
+    let module = matrix_module(Access::Store(StoreOp::I32Store16));
+    let fused = cage_engine::disassemble(&module, 0).expect("local function");
+    let unfused = cage_engine::disassemble(&module, 1).expect("local function");
+    assert!(
+        fused.contains("addr=local 0, val=local"),
+        "fused store lost its superinstruction:\n{fused}"
+    );
+    assert!(
+        !unfused.contains("val=local"),
+        "fence failed, unfused store fused anyway:\n{unfused}"
+    );
+}

@@ -112,6 +112,56 @@ fn dump_bytecode_composes_with_invoke() {
     assert!(stdout.contains("\n20: i64"), "{stdout}");
 }
 
+const MEM_PROGRAM: &str = r#"
+    long buf[64];
+    long run(long i) {
+        buf[i] = buf[i] + 1;
+        return buf[i];
+    }
+"#;
+
+#[test]
+fn dump_bytecode_renders_memory_superinstructions() {
+    // The dump must show the fused memory ops the interpreter actually
+    // dispatches: register-addressed loads/stores with their operand
+    // registers, the scale-and-add chain, and the const+get2 chain head.
+    let program = tempfile::with_suffix(".c", MEM_PROGRAM);
+    let out = cagec()
+        .arg(program.path())
+        .args(["--variant", "wasm64", "--dump-bytecode", "run"])
+        .output()
+        .expect("cagec runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Register-addressed load with a register destination (LoadRSet):
+    // both halves must appear on the same line, or a regression to the
+    // set-less LoadR form would slip past split substring checks.
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.contains("I64Load offset=0 addr=local") && l.contains("-> local")),
+        "{stdout}"
+    );
+    // Register-addressed store with a register value (StoreRR).
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.contains("I64Store offset=0 addr=local") && l.contains("val=local")),
+        "{stdout}"
+    );
+    // The collapsed scale-and-add address chain (AluChainSet) and its
+    // const+get2 head (ConstLocalPair).
+    assert!(
+        stdout.contains("I64Add stack, (I64Mul stack, const 0x8) -> local"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("local.const+get2"), "{stdout}");
+}
+
 #[test]
 fn dump_bytecode_unknown_function_is_a_usage_error() {
     let program = write_program();

@@ -68,9 +68,10 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config = $cfg;
+            let __cases = __config.resolved_cases();
             let mut __rng =
                 $crate::test_runner::TestRng::deterministic(stringify!($name));
-            for __case in 0..__config.cases {
+            for __case in 0..__cases {
                 let __outcome: ::std::result::Result<
                     (),
                     $crate::test_runner::TestCaseError,
@@ -84,7 +85,7 @@ macro_rules! __proptest_items {
                         "proptest `{}` failed at case {}/{}: {}",
                         stringify!($name),
                         __case + 1,
-                        __config.cases,
+                        __cases,
                         e
                     );
                 }

@@ -21,6 +21,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the in-source configuration (mirroring upstream
+    /// proptest), so CI can run the property suites at a higher count
+    /// without patching the tests.
+    #[must_use]
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 /// A failed case.
@@ -54,7 +66,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seeds the generator from a test name, so every run of a given test
     /// explores the same cases (reproducibility without a persistence
-    /// file).
+    /// file). `PROPTEST_BASE_SEED` folds an extra fixed seed in, so CI
+    /// can pin a *different* deterministic exploration than local runs
+    /// without losing reproducibility.
     #[must_use]
     pub fn deterministic(name: &str) -> Self {
         // FNV-1a over the name.
@@ -62,6 +76,12 @@ impl TestRng {
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Some(base) = std::env::var("PROPTEST_BASE_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            h ^= base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         }
         TestRng { state: h }
     }

@@ -1,0 +1,242 @@
+//! Multi-tenant serving load driver.
+//!
+//! Compiles one request handler, builds one shared `InstancePre`
+//! template, and drives thousands of concurrent instances across worker
+//! threads — each worker owning a `Pool` that stamps, serves, releases
+//! and recycles instance slots under a fuel budget. Writes
+//! `results/bench_serve.json` with instantiations/sec, recycle (reset)
+//! throughput and p50/p90/p99 invoke latency, so the throughput axis of
+//! the serving layer is recorded per PR like the hot-path numbers.
+//!
+//! Flags (defaults in brackets): `--instances N` [1024] total concurrent
+//! instances, `--threads T` [4] worker threads, `--requests R` [8]
+//! invokes per instance, `--fuel F` [1000000] per-checkout fuel budget.
+
+use std::env;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use cage::{Engine, HostProfile, InstancePre, Pool, PoolMetrics, Value, Variant};
+
+/// The request handler every tenant runs: allocator churn plus a memory
+/// sweep, so cold instantiation, invoke and dirty-page reset all have
+/// real work to do.
+const HANDLER: &str = r#"
+    long handle(long req) {
+        long n = 16 + (req % 16);
+        long* buf = (long*)malloc(n * 8);
+        long acc = 0;
+        for (long i = 0; i < n; i++) {
+            buf[i] = req * 31 + i;
+        }
+        for (long i = 0; i < n; i++) {
+            acc = acc + buf[i];
+        }
+        free((char*)buf);
+        return acc;
+    }
+"#;
+
+struct WorkerReport {
+    latencies_ns: Vec<u64>,
+    instantiate_secs: f64,
+    churn_secs: f64,
+    metrics: PoolMetrics,
+}
+
+/// One worker: fill a pool with `instances` live instances, serve
+/// `requests` rounds across them, then recycle every slot once (the
+/// steady-state path: release + dirty-page-reset checkout).
+fn worker(
+    pre: Arc<InstancePre>,
+    instances: usize,
+    requests: usize,
+    fuel: Option<u64>,
+) -> WorkerReport {
+    let mut pool = Pool::new(pre);
+    pool.set_fuel_budget(fuel);
+
+    let t = Instant::now();
+    let mut held = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        held.push(pool.checkout().expect("cold checkout"));
+    }
+    let instantiate_secs = t.elapsed().as_secs_f64();
+
+    let mut latencies_ns = Vec::with_capacity(instances * requests);
+    for round in 0..requests {
+        for (i, inst) in held.iter().enumerate() {
+            let req = (round * instances + i) as i64;
+            let t = Instant::now();
+            let out = pool
+                .invoke(inst, "handle", &[Value::I64(req)])
+                .expect("handler runs");
+            latencies_ns.push(t.elapsed().as_nanos() as u64);
+            std::hint::black_box(out);
+        }
+    }
+
+    let t = Instant::now();
+    for inst in held.drain(..) {
+        pool.release(inst);
+    }
+    let mut recycled = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        recycled.push(pool.checkout().expect("recycled checkout"));
+    }
+    let churn_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        pool.capacity(),
+        instances,
+        "churn must recycle slots, not grow the pool"
+    );
+    for (i, inst) in recycled.iter().enumerate() {
+        let out = pool
+            .invoke(inst, "handle", &[Value::I64(i as i64)])
+            .expect("recycled instance serves");
+        std::hint::black_box(out);
+    }
+    for inst in recycled {
+        pool.release(inst);
+    }
+
+    WorkerReport {
+        latencies_ns,
+        instantiate_secs,
+        churn_secs,
+        metrics: pool.metrics(),
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mut instances: usize = 1024;
+    let mut threads: usize = 4;
+    let mut requests: usize = 8;
+    let mut fuel: u64 = 1_000_000;
+    let mut args = env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("{flag}: {e}"))
+        };
+        match flag.as_str() {
+            "--instances" => instances = value("--instances") as usize,
+            "--threads" => threads = value("--threads") as usize,
+            "--requests" => requests = value("--requests") as usize,
+            "--fuel" => fuel = value("--fuel"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(
+        threads >= 1 && instances >= threads,
+        "need ≥ 1 instance per thread"
+    );
+
+    // CagePtrAuth: hardened (pointer auth + W64) with no MTE sandbox-tag
+    // cap, so thousands of tenants fit in one store per worker.
+    let variant = Variant::CagePtrAuth;
+    let engine = Engine::new(variant);
+    let artifact = engine.compile(HANDLER).expect("handler compiles");
+    let pre = Arc::new(
+        engine
+            .instance_pre(&artifact, HostProfile::Libc)
+            .expect("template builds"),
+    );
+
+    let wall = Instant::now();
+    let reports: Vec<WorkerReport> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                // Spread the remainder over the first workers.
+                let share = instances / threads + usize::from(w < instances % threads);
+                let pre = Arc::clone(&pre);
+                scope.spawn(move || worker(pre, share, requests, Some(fuel)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let mut totals = PoolMetrics::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut instantiate_secs: f64 = 0.0;
+    let mut churn_secs: f64 = 0.0;
+    for r in &reports {
+        totals.merge(&r.metrics);
+        latencies.extend_from_slice(&r.latencies_ns);
+        // Workers run concurrently: wall-clock is the slowest worker.
+        instantiate_secs = instantiate_secs.max(r.instantiate_secs);
+        churn_secs = churn_secs.max(r.churn_secs);
+    }
+    latencies.sort_unstable();
+    let (p50, p90, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+    );
+    let max_ns = latencies.last().copied().unwrap_or(0);
+    let instantiations_per_sec = instances as f64 / instantiate_secs;
+    let resets_per_sec = instances as f64 / churn_secs;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"cage-bench-serve/1\",");
+    let _ = writeln!(json, "  \"variant\": \"{}\",", variant.label());
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"instances\": {instances},");
+    let _ = writeln!(json, "  \"requests_per_instance\": {requests},");
+    let _ = writeln!(json, "  \"fuel_budget\": {fuel},");
+    let _ = writeln!(json, "  \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"instantiate\": {{\"count\": {instances}, \"secs\": {instantiate_secs:.6}, \
+         \"per_sec\": {instantiations_per_sec:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"recycle\": {{\"count\": {instances}, \"secs\": {churn_secs:.6}, \
+         \"per_sec\": {resets_per_sec:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"invoke_latency_ns\": {{\"count\": {}, \"p50\": {p50}, \"p90\": {p90}, \
+         \"p99\": {p99}, \"max\": {max_ns}}},",
+        latencies.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"pool\": {{\"instantiations\": {}, \"resets\": {}, \"invocations\": {}, \
+         \"instr_count\": {}, \"fuel_consumed\": {}, \"cycles\": {:.1}}}",
+        totals.instantiations,
+        totals.resets,
+        totals.invocations,
+        totals.instr_count,
+        totals.fuel_consumed,
+        totals.cycles
+    );
+    json.push_str("}\n");
+
+    let path = cage_bench::write_results("bench_serve.json", &json);
+    println!("wrote {}", path.display());
+    println!(
+        "{instances} instances x {threads} threads ({} invokes) in {wall_secs:.2}s",
+        latencies.len()
+    );
+    println!("instantiate: {instantiations_per_sec:>10.0} /s");
+    println!("recycle:     {resets_per_sec:>10.0} /s");
+    println!("invoke p50/p90/p99: {p50} / {p90} / {p99} ns");
+}

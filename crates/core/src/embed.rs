@@ -160,6 +160,35 @@ impl Engine {
         Runtime::new(self.inner.variant, self.inner.core)
     }
 
+    /// Builds a `Send + Sync` serving template from `artifact`: validated
+    /// and compiled once, then stamped out by per-worker
+    /// [`cage_serve::Pool`]s without re-running compilation or link
+    /// resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::VariantMismatch`] when the artifact was compiled for a
+    /// different variant; [`Error::Instantiate`] when validation fails.
+    pub fn instance_pre(
+        &self,
+        artifact: &Artifact,
+        host: cage_serve::HostProfile,
+    ) -> Result<cage_serve::InstancePre, Error> {
+        if artifact.variant != self.inner.variant {
+            return Err(Error::VariantMismatch {
+                artifact: artifact.variant.to_string(),
+                engine: self.inner.variant.to_string(),
+            });
+        }
+        Ok(cage_serve::InstancePre::new(
+            self.inner.variant,
+            self.inner.core,
+            &artifact.module,
+            artifact.heap_base,
+            host,
+        )?)
+    }
+
     /// Instantiates `artifact` in its own process with the hardened libc.
     ///
     /// # Errors

@@ -83,7 +83,8 @@ pub use error::Error;
 
 pub use cage_engine::{Trap, Value, WasmParams, WasmResults, WasmTy};
 pub use cage_mte::Core;
-pub use cage_runtime::{Linker, MemoryReport, StartupReport, Variant};
+pub use cage_runtime::{Linker, MemoryReport, PoolMetrics, StartupReport, Variant};
+pub use cage_serve::{HostProfile, InstancePre, Pool, PooledInstance, ServeError};
 
 pub use cage_cc as cc;
 pub use cage_engine as engine;
@@ -92,6 +93,7 @@ pub use cage_libc as libc;
 pub use cage_mte as mte;
 pub use cage_pac as pac;
 pub use cage_runtime as runtime;
+pub use cage_serve as serve;
 pub use cage_wasm as wasm;
 
 /// Build failures across the pipeline (legacy; absorbed by [`Error`]).

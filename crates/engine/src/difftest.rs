@@ -708,7 +708,18 @@ fn random_module(seed: u64) -> Module {
     let helper_body = leaf.body();
 
     let mut b = ModuleBuilder::new();
-    b.add_memory64(1);
+    // One initial page with an explicit 64-page maximum: constant grows
+    // still succeed (and stress the reset path's wholesale-rebuild
+    // branch), but a grow by a computed local value — products in the
+    // millions are routine in these bodies — fails with `-1` instead of
+    // asking the host allocator for terabytes.
+    b.add_memory(cage_wasm::MemoryType {
+        limits: cage_wasm::Limits {
+            min: 1,
+            max: Some(64),
+        },
+        memory64: true,
+    });
     let run = b.add_function(&[ValType::I64], &[ValType::I64], &locals, body);
     let helper = b.add_function(&[ValType::I64], &[ValType::I64], &locals, helper_body);
     let mismatch = b.add_function(
@@ -853,6 +864,93 @@ fn known_shapes_are_bit_identical() {
     for seed in [0, 1, 2, 42, 0xCA9E, u64::MAX] {
         check_equivalence(seed, 7);
         check_equivalence(seed, -3);
+    }
+}
+
+/// Pool-reset equivalence oracle: recycling an instance through
+/// `Store::reset_instance` must be indistinguishable from a fresh
+/// instantiation — same results, same traps, same cycle-counter f64
+/// bits, same retired-instruction counts — even after the previous
+/// tenant grew, filled, copied and trapped its way through memory (the
+/// generator emits `memory.grow`/`memory.fill`/`memory.copy` and has a
+/// healthy trap rate, so all of those histories are exercised).
+fn check_reset_equivalence(seed: u64, arg: i64, dirty_arg: i64) {
+    let module = random_module(seed);
+    validate(&module)
+        .unwrap_or_else(|e| panic!("generator produced invalid module: {e}\nseed {seed}"));
+    for config in configs() {
+        let mut fresh_store = Store::new(config);
+        let fresh_h = fresh_store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        let fresh = fresh_store.invoke(fresh_h, "run", &[Value::I64(arg)]);
+
+        // Same-seed store: one tenant dirties the instance (a trap here
+        // is fine — that's a tenant dying), then the slot is recycled.
+        let mut pool_store = Store::new(config);
+        let pool_h = pool_store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        let _ = pool_store.invoke(pool_h, "run", &[Value::I64(dirty_arg)]);
+        pool_store
+            .reset_instance(pool_h)
+            .expect("reset succeeds (module has no start function)");
+        let recycled = pool_store.invoke(pool_h, "run", &[Value::I64(arg)]);
+
+        match (&fresh, &recycled) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len(), "seed {seed}: reset result arity diverged");
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        x.bit_eq(y),
+                        "seed {seed}: reset results diverged: fresh {x:?}, recycled {y:?}\n{}",
+                        dump_divergence(&module)
+                    );
+                }
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    a,
+                    b,
+                    "seed {seed}: reset traps diverged\n{}",
+                    dump_divergence(&module)
+                );
+            }
+            _ => panic!(
+                "seed {seed}: reset outcome diverged: fresh {fresh:?}, recycled {recycled:?}\n{}",
+                dump_divergence(&module)
+            ),
+        }
+        assert_eq!(
+            fresh_store.cycles(fresh_h).to_bits(),
+            pool_store.cycles(pool_h).to_bits(),
+            "seed {seed}: reset cycle bits diverged (fresh {}, recycled {})\n{}",
+            fresh_store.cycles(fresh_h),
+            pool_store.cycles(pool_h),
+            dump_divergence(&module),
+        );
+        assert_eq!(
+            fresh_store.instr_count(fresh_h),
+            pool_store.instr_count(pool_h),
+            "seed {seed}: reset retired-instruction counts diverged\n{}",
+            dump_divergence(&module)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn pool_reset_is_bit_identical_to_fresh_instantiation(seed: u64, arg: i64, dirty_arg: i64) {
+        check_reset_equivalence(seed, arg, dirty_arg);
+    }
+}
+
+#[test]
+fn known_shapes_reset_to_a_fresh_instance() {
+    for seed in [0, 1, 2, 42, 0xCA9E, u64::MAX] {
+        check_reset_equivalence(seed, 7, -3);
+        check_reset_equivalence(seed, -3, 7);
     }
 }
 

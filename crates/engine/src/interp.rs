@@ -30,7 +30,7 @@
 //! the differential-testing oracle: property tests assert the flat
 //! dispatcher is bit-identical to it on results, traps and cycles.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cage_mte::pointer::ADDR_MASK;
 use cage_wasm::instr::{LoadOp, StoreOp};
@@ -136,7 +136,7 @@ struct Charges {
 /// A suspended caller on the explicit call stack: everything needed to
 /// resume it when the callee returns.
 struct Frame {
-    func: Rc<CompiledFunc>,
+    func: Arc<CompiledFunc>,
     ret_pc: usize,
     locals_base: usize,
     frame_base: usize,
@@ -158,6 +158,11 @@ pub(crate) struct Interp<'s> {
     cycles: f64,
     /// Retired-instruction accumulator, mirrored like `cycles`.
     instr_count: u64,
+    /// Remaining fuel, mirrored from the instance like `cycles`; `None`
+    /// disables the checks entirely.
+    fuel: Option<u64>,
+    /// Consumed-fuel accumulator, mirrored like `cycles`.
+    fuel_consumed: u64,
     /// Whether the configuration permits the cached linear-memory fast
     /// path: no MTE sandboxing and no internal tagging, so `resolve()`
     /// degenerates to the software bounds compare. Computed once — the
@@ -187,6 +192,8 @@ impl<'s> Interp<'s> {
         };
         let cycles = store.instances[inst].cycles;
         let instr_count = store.instances[inst].instr_count;
+        let fuel = store.instances[inst].fuel;
+        let fuel_consumed = store.instances[inst].fuel_consumed;
         let fast_mem =
             config.bounds != BoundsCheckStrategy::MteSandbox && !config.internal.is_enabled();
         Interp {
@@ -197,6 +204,8 @@ impl<'s> Interp<'s> {
             depth: 0,
             cycles,
             instr_count,
+            fuel,
+            fuel_consumed,
             fast_mem,
             host_args: Vec::new(),
         }
@@ -215,6 +224,27 @@ impl<'s> Interp<'s> {
         let i = &mut self.store.instances[self.inst];
         i.cycles = self.cycles;
         i.instr_count = self.instr_count;
+        i.fuel = self.fuel;
+        i.fuel_consumed = self.fuel_consumed;
+    }
+
+    /// Consumes one unit of fuel at a control transition of the dispatch
+    /// loop (branch taken, function entered or returned from). Fuel
+    /// checks ride exclusively on charge-free control ops, so they are
+    /// invisible to cycle accounting, and the transition sequence is a
+    /// pure function of the program — the trap lands on the identical
+    /// instruction count and cycle bits on every run. Free (one `None`
+    /// test) when no budget is set.
+    #[inline(always)]
+    fn consume_fuel(&mut self) -> Result<(), Trap> {
+        if let Some(f) = self.fuel {
+            if f == 0 {
+                return Err(Trap::FuelExhausted);
+            }
+            self.fuel = Some(f - 1);
+            self.fuel_consumed += 1;
+        }
+        Ok(())
     }
 
     /// Calls function `func_idx` with `args`; returns its results.
@@ -230,7 +260,7 @@ impl<'s> Interp<'s> {
         args: &[Value],
     ) -> Result<Vec<Value>, Trap> {
         self.check_entry(func_idx, args)?;
-        let ty = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize].ty);
+        let ty = Arc::clone(&self.store.instances[self.inst].funcs[func_idx as usize].ty);
         let mut stack: Vec<u64> = Vec::with_capacity(64);
         let mut locals: Vec<u64> = Vec::with_capacity(32);
         stack.extend(args.iter().map(|v| v.to_slot()));
@@ -310,7 +340,7 @@ impl<'s> Interp<'s> {
         if self.depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
-        let func = Rc::clone(&self.store.instances[self.inst].funcs[entry as usize]);
+        let func = Arc::clone(&self.store.instances[self.inst].funcs[entry as usize]);
         if func.is_host {
             self.depth += 1;
             let result = self.call_host(entry, &func, stack);
@@ -341,7 +371,7 @@ impl<'s> Interp<'s> {
         // steer it through their `Flow` result instead of through
         // memory. Call/return handlers answer `Flow::Refetch` when they
         // switch functions, parking the resume pc in `st.pc`.
-        let mut cur = Rc::clone(&st.func);
+        let mut cur = Arc::clone(&st.func);
         let mut pc: usize = 0;
         loop {
             // Hoist the code slices out of the dispatch path: between
@@ -349,20 +379,32 @@ impl<'s> Interp<'s> {
             // each dispatch is two indexed loads plus the indirect call.
             let ops: &[Op] = &cur.code.ops;
             let thread: &[Handler] = &cur.code.thread;
+            // Fuel is consumed at the charge-free control transitions
+            // only (jumps, calls, returns): the check stays off the
+            // straight-line fall-through path and off the cycle model.
             let switched = loop {
                 let handler = thread[pc];
                 match handler(&mut st, &ops[pc], pc) {
                     Ok(Flow::Next) => pc += 1,
-                    Ok(Flow::Jump(target)) => pc = target as usize,
-                    Ok(Flow::Refetch) => break true,
-                    Ok(Flow::Done) => break false,
+                    Ok(Flow::Jump(target)) => {
+                        st.it.consume_fuel()?;
+                        pc = target as usize;
+                    }
+                    Ok(Flow::Refetch) => {
+                        st.it.consume_fuel()?;
+                        break true;
+                    }
+                    Ok(Flow::Done) => {
+                        st.it.consume_fuel()?;
+                        break false;
+                    }
                     Err(trap) => return Err(*trap),
                 }
             };
             if !switched {
                 return Ok(());
             }
-            cur = Rc::clone(&st.func);
+            cur = Arc::clone(&st.func);
             pc = st.pc;
         }
     }
@@ -969,7 +1011,7 @@ pub(crate) struct InterpState<'a, 's> {
     /// Suspended callers (the explicit call stack).
     frames: Vec<Frame>,
     /// The function currently executing.
-    func: Rc<CompiledFunc>,
+    func: Arc<CompiledFunc>,
     /// Program counter, already advanced past the current op.
     pc: usize,
     locals_base: usize,
@@ -1078,7 +1120,7 @@ impl InterpState<'_, '_> {
         if self.it.depth >= self.it.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
-        let callee = Rc::clone(&self.it.store.instances[self.it.inst].funcs[idx as usize]);
+        let callee = Arc::clone(&self.it.store.instances[self.it.inst].funcs[idx as usize]);
         if callee.is_host {
             self.it.depth += 1;
             let result = self.it.call_host(idx, &callee, self.stack);
@@ -1338,13 +1380,13 @@ fn h_call_indirect(st: &mut InterpState, op: &Op, pc: usize) -> Result<Flow, Box
             .ok_or(Trap::UndefinedElement)?;
         (
             func_idx,
-            Rc::clone(&inst.types[type_idx as usize]),
-            Rc::clone(&inst.funcs[func_idx as usize].ty),
+            Arc::clone(&inst.types[type_idx as usize]),
+            Arc::clone(&inst.funcs[func_idx as usize].ty),
         )
     };
     // Pointer equality first: types are deduplicated per module, so the
     // slow structural compare is a cold path.
-    if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
+    if !Arc::ptr_eq(&expected, &actual) && *expected != *actual {
         return Err(Box::new(Trap::IndirectCallTypeMismatch));
     }
     Ok(st.do_call(func_idx, pc)?)
@@ -2040,7 +2082,7 @@ mod tree {
             // The oracle shares the untagged-slot machinery (`enter`,
             // `collapse`, `exec_op`); typed values convert at this call
             // boundary exactly like `call_function`.
-            let ty = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize].ty);
+            let ty = Arc::clone(&self.store.instances[self.inst].funcs[func_idx as usize].ty);
             let mut stack: Vec<u64> = Vec::with_capacity(64);
             let mut locals: Vec<u64> = Vec::with_capacity(32);
             stack.extend(args.iter().map(|v| v.to_slot()));
@@ -2077,7 +2119,7 @@ mod tree {
             stack: &mut Vec<u64>,
             locals: &mut Vec<u64>,
         ) -> Result<(), Trap> {
-            let func = Rc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
+            let func = Arc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
             if func.is_host {
                 return self.call_host(func_idx, &func, stack);
             }
@@ -2202,11 +2244,11 @@ mod tree {
                             .ok_or(Trap::UndefinedElement)?;
                         (
                             func_idx,
-                            Rc::clone(&inst.types[*type_idx as usize]),
-                            Rc::clone(&inst.funcs[func_idx as usize].ty),
+                            Arc::clone(&inst.types[*type_idx as usize]),
+                            Arc::clone(&inst.funcs[func_idx as usize].ty),
                         )
                     };
-                    if !Rc::ptr_eq(&expected, &actual) && *expected != *actual {
+                    if !Arc::ptr_eq(&expected, &actual) && *expected != *actual {
                         return Err(Trap::IndirectCallTypeMismatch);
                     }
                     self.call_frame_tree(func_idx, stack, locals)?;

@@ -118,6 +118,20 @@ pub struct LinearMemory {
     tags: TagMemory,
     scheme: TagScheme,
     pool: TagPool,
+    /// Construction parameters retained so [`LinearMemory::reset`] can
+    /// rebuild the freshly-instantiated state.
+    base_pages: u64,
+    mode: MteMode,
+    seed: u64,
+    /// One bit per page of `data` (guest plus slack): set when the page
+    /// has been written or retagged since creation or the last reset.
+    dirty_bits: Vec<u64>,
+    /// The set bits in first-dirtied order — the O(pages-touched)
+    /// worklist [`LinearMemory::reset`] walks.
+    dirty_pages: Vec<u64>,
+    /// Set by [`LinearMemory::grow`]: a grown memory resets wholesale,
+    /// since the grow itself already paid an O(memory) resize.
+    grown: bool,
 }
 
 impl LinearMemory {
@@ -145,6 +159,7 @@ impl LinearMemory {
         }
         let pool = TagPool::new(scheme.segment_exclusion(), seed)
             .expect("segment exclusion leaves tags available");
+        let total_pages = total.div_ceil(PAGE_SIZE);
         LinearMemory {
             data: vec![0; total as usize],
             guest_size,
@@ -153,7 +168,79 @@ impl LinearMemory {
             tags,
             scheme,
             pool,
+            base_pages: initial_pages,
+            mode,
+            seed,
+            dirty_bits: vec![0; total_pages.div_ceil(64) as usize],
+            dirty_pages: Vec::new(),
+            grown: false,
         }
+    }
+
+    /// Records the pages covering `[addr, addr + len)` in the dirty
+    /// list. Every mutation of `data` or of the guest tag store funnels
+    /// through here; [`LinearMemory::reset`] undoes exactly these pages.
+    #[inline]
+    fn mark_dirty(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            let (word, bit) = ((page / 64) as usize, page % 64);
+            if self.dirty_bits[word] & (1 << bit) == 0 {
+                self.dirty_bits[word] |= 1 << bit;
+                self.dirty_pages.push(page);
+            }
+        }
+    }
+
+    /// Number of pages currently on the dirty list (pool observability).
+    #[must_use]
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty_pages.len()
+    }
+
+    /// Restores the memory to its freshly-created state in O(pages
+    /// touched): re-zeroes and re-tags only the pages on the dirty list,
+    /// discards any pending asynchronous fault, and rewinds the segment
+    /// tag pool to its seed so the next run draws the same tags. Data
+    /// segments are *not* re-applied here — the store does that, exactly
+    /// as at instantiation. A grown memory rebuilds wholesale.
+    pub fn reset(&mut self) {
+        if self.grown {
+            *self = LinearMemory::new(
+                self.base_pages,
+                self.max_pages,
+                self.memory64,
+                self.scheme,
+                self.mode,
+                self.seed,
+            );
+            return;
+        }
+        let initial = self.scheme.initial_tag();
+        let total = self.data.len() as u64;
+        for i in 0..self.dirty_pages.len() {
+            let page = self.dirty_pages[i];
+            let start = page * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(total);
+            self.data[start as usize..end as usize].fill(0);
+            // Retag the guest portion; slack tags never change (segment
+            // ops are guest-bounded) so zero is still in force there.
+            let guest_end = end.min(self.guest_size);
+            if start < guest_end {
+                self.tags
+                    .set_tag_range(start, guest_end - start, initial)
+                    .expect("page-aligned reset");
+            }
+            self.dirty_bits[(page / 64) as usize] &= !(1 << (page % 64));
+        }
+        self.dirty_pages.clear();
+        let _ = self.tags.take_async_fault();
+        self.pool = TagPool::new(self.scheme.segment_exclusion(), self.seed)
+            .expect("segment exclusion leaves tags available");
     }
 
     /// Guest-accessible size in bytes.
@@ -216,6 +303,11 @@ impl LinearMemory {
         // (wasm `-1`) instead of wrapping to a tiny allocation.
         let new_size = new_pages.checked_mul(PAGE_SIZE)?;
         let total = new_size.checked_add(RUNTIME_SLACK)?;
+        self.grown = true;
+        let words = total.div_ceil(PAGE_SIZE).div_ceil(64) as usize;
+        if self.dirty_bits.len() < words {
+            self.dirty_bits.resize(words, 0);
+        }
         self.data.resize(total as usize, 0);
         // Zero the region that used to be slack and is now guest memory.
         let old_size = self.guest_size;
@@ -311,6 +403,7 @@ impl LinearMemory {
 
     /// Writes bytes at the resolved address.
     pub fn write_resolved(&mut self, addr: u64, bytes: &[u8]) {
+        self.mark_dirty(addr, bytes.len() as u64);
         self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
     }
 
@@ -387,6 +480,7 @@ impl LinearMemory {
     /// [`LinearMemory::read_le`]).
     #[inline(always)]
     pub fn write_le(&mut self, addr: u64, width: u64, raw: u64) {
+        self.mark_dirty(addr, width);
         let a = addr as usize;
         match width {
             8 => self.data[a..a + 8].copy_from_slice(&raw.to_le_bytes()),
@@ -449,6 +543,7 @@ impl LinearMemory {
     /// See [`LinearMemory::resolve`].
     pub fn fill(&mut self, dst: u64, val: u8, len: u64, config: &ExecConfig) -> Result<(), Trap> {
         let addr = self.resolve(dst, 0, len, AccessKind::Write, config)?;
+        self.mark_dirty(addr, len);
         self.data[addr as usize..(addr + len) as usize].fill(val);
         Ok(())
     }
@@ -465,6 +560,7 @@ impl LinearMemory {
     pub fn copy(&mut self, dst: u64, src: u64, len: u64, config: &ExecConfig) -> Result<(), Trap> {
         let s = self.resolve(src, 0, len, AccessKind::Read, config)?;
         let d = self.resolve(dst, 0, len, AccessKind::Write, config)?;
+        self.mark_dirty(d, len);
         self.data
             .copy_within(s as usize..(s + len) as usize, d as usize);
         Ok(())
@@ -542,6 +638,7 @@ impl LinearMemory {
         }
         let addr = ptr & ADDR_MASK;
         self.segment_range_check(addr, len)?;
+        self.mark_dirty(addr, len);
         let mem_tag = self.pool.random_tag();
         self.tags
             .set_tag_range(addr, len, mem_tag)
@@ -572,6 +669,7 @@ impl LinearMemory {
         }
         let addr = ptr & ADDR_MASK;
         self.segment_range_check(addr, len)?;
+        self.mark_dirty(addr, len);
         let mem_tag = self.scheme.ptr_tag(tagged_ptr);
         self.tags
             .set_tag_range(addr, len, mem_tag)
@@ -603,6 +701,7 @@ impl LinearMemory {
                 })
             }
         }
+        self.mark_dirty(addr, len);
         let free_tag = self.pool.random_tag_excluding(ptr_tag);
         self.tags
             .set_tag_range(addr, len, free_tag)

@@ -8,6 +8,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use cage_mte::{MteMode, Tag};
 use cage_pac::{PacKey, PacSigner, PointerLayout};
@@ -78,13 +79,14 @@ impl From<ValidationError> for InstantiateError {
 pub struct InstanceHandle(pub(crate) usize);
 
 /// A function precompiled at instantiation: resolved type, local
-/// declarations and flat bytecode, shared behind an `Rc` so the
-/// interpreter's call path never deep-clones anything.
+/// declarations and flat bytecode, shared behind an `Arc` so the
+/// interpreter's call path never deep-clones anything and pre-compiled
+/// templates ([`Precompiled`]) can cross threads.
 #[derive(Debug)]
 pub(crate) struct CompiledFunc {
     /// Resolved signature, shared with the instance's type table so
     /// `call_indirect` can compare by pointer first.
-    pub(crate) ty: Rc<FuncType>,
+    pub(crate) ty: Arc<FuncType>,
     /// Declared locals (after the parameters). Empty for host functions.
     pub(crate) locals: Vec<ValType>,
     /// Flat bytecode lowered from the structured body — branch targets
@@ -98,21 +100,21 @@ pub(crate) struct CompiledFunc {
 /// Precompiles every function in `module`'s joint index space (imports
 /// first, then local functions) down to flat bytecode, plus the shared
 /// type table.
-fn precompile(module: &Module) -> (Vec<Rc<FuncType>>, Vec<Rc<CompiledFunc>>) {
-    let types: Vec<Rc<FuncType>> = module.types.iter().cloned().map(Rc::new).collect();
+fn precompile(module: &Module) -> (Vec<Arc<FuncType>>, Vec<Arc<CompiledFunc>>) {
+    let types: Vec<Arc<FuncType>> = module.types.iter().cloned().map(Arc::new).collect();
     let mut funcs = Vec::with_capacity(module.total_func_count() as usize);
     for type_idx in module.imported_func_type_indices() {
-        funcs.push(Rc::new(CompiledFunc {
-            ty: Rc::clone(&types[type_idx as usize]),
+        funcs.push(Arc::new(CompiledFunc {
+            ty: Arc::clone(&types[type_idx as usize]),
             locals: Vec::new(),
             code: FlatCode::default(),
             is_host: true,
         }));
     }
     for f in &module.funcs {
-        let ty = Rc::clone(&types[f.type_idx as usize]);
+        let ty = Arc::clone(&types[f.type_idx as usize]);
         let code = bytecode::compile(module, ty.results.len(), &f.body);
-        funcs.push(Rc::new(CompiledFunc {
+        funcs.push(Arc::new(CompiledFunc {
             ty,
             locals: f.locals.clone(),
             code,
@@ -122,13 +124,60 @@ fn precompile(module: &Module) -> (Vec<Rc<FuncType>>, Vec<Rc<CompiledFunc>>) {
     (types, funcs)
 }
 
+/// A validated, fully precompiled module template: the compile-once half
+/// of instantiation (validation, flat-bytecode lowering, type-table
+/// resolution), separated from the per-instance half (memory, globals,
+/// tables, keys). `Send + Sync` — build it once, share it across worker
+/// threads, and stamp instances out of it via
+/// [`Store::instantiate_precompiled`] without re-running any compilation.
+#[derive(Debug, Clone)]
+pub struct Precompiled {
+    pub(crate) module: Arc<Module>,
+    pub(crate) types: Vec<Arc<FuncType>>,
+    pub(crate) funcs: Vec<Arc<CompiledFunc>>,
+}
+
+impl Precompiled {
+    /// Validates and precompiles `module` down to flat bytecode.
+    ///
+    /// # Errors
+    ///
+    /// [`InstantiateError::Validation`] when the module is invalid.
+    pub fn new(module: &Module) -> Result<Self, InstantiateError> {
+        validate(module)?;
+        let (types, funcs) = precompile(module);
+        Ok(Precompiled {
+            module: Arc::new(module.clone()),
+            types,
+            funcs,
+        })
+    }
+
+    /// The validated module this template was compiled from.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Evaluates a validated constant global initialiser.
+fn global_init(init: &cage_wasm::Instr) -> Value {
+    match *init {
+        cage_wasm::Instr::I32Const(v) => Value::I32(v),
+        cage_wasm::Instr::I64Const(v) => Value::I64(v),
+        cage_wasm::Instr::F32Const(bits) => Value::F32(f32::from_bits(bits)),
+        cage_wasm::Instr::F64Const(bits) => Value::F64(f64::from_bits(bits)),
+        _ => unreachable!("validated global initialiser"),
+    }
+}
+
 /// One instantiated module.
 pub(crate) struct Instance {
-    pub(crate) module: Module,
+    pub(crate) module: Arc<Module>,
     /// Shared type table (indexes `module.types`).
-    pub(crate) types: Vec<Rc<FuncType>>,
+    pub(crate) types: Vec<Arc<FuncType>>,
     /// Precompiled joint function index space (imports, then locals).
-    pub(crate) funcs: Vec<Rc<CompiledFunc>>,
+    pub(crate) funcs: Vec<Arc<CompiledFunc>>,
     pub(crate) memory: Option<LinearMemory>,
     pub(crate) globals: Vec<Value>,
     pub(crate) table: Vec<Option<u32>>,
@@ -137,6 +186,10 @@ pub(crate) struct Instance {
     pub(crate) pac_modifier: u64,
     pub(crate) cycles: f64,
     pub(crate) instr_count: u64,
+    /// Remaining fuel (preemption budget), `None` = unlimited.
+    pub(crate) fuel: Option<u64>,
+    /// Fuel consumed since the last [`Store::set_fuel`]/reset.
+    pub(crate) fuel_consumed: u64,
 }
 
 /// The engine store: configuration, cost model and instances.
@@ -233,7 +286,37 @@ impl Store {
         imports: &Imports,
     ) -> Result<InstanceHandle, InstantiateError> {
         validate(module)?;
+        let (types, funcs) = precompile(module);
+        self.instantiate_prepared(Arc::new(module.clone()), types, funcs, imports)
+    }
 
+    /// Instantiates a [`Precompiled`] template: the cheap per-instance
+    /// half only — no validation, no bytecode lowering, the shared type
+    /// and function tables are reference-counted from the template.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstantiateError`] (everything except `Validation`).
+    pub fn instantiate_precompiled(
+        &mut self,
+        pre: &Precompiled,
+        imports: &Imports,
+    ) -> Result<InstanceHandle, InstantiateError> {
+        self.instantiate_prepared(
+            Arc::clone(&pre.module),
+            pre.types.clone(),
+            pre.funcs.clone(),
+            imports,
+        )
+    }
+
+    fn instantiate_prepared(
+        &mut self,
+        module: Arc<Module>,
+        types: Vec<Arc<FuncType>>,
+        funcs: Vec<Arc<CompiledFunc>>,
+        imports: &Imports,
+    ) -> Result<InstanceHandle, InstantiateError> {
         let mut host_funcs = Vec::new();
         for import in &module.imports {
             match &import.kind {
@@ -277,13 +360,7 @@ impl Store {
         let globals = module
             .globals
             .iter()
-            .map(|g| match g.init {
-                cage_wasm::Instr::I32Const(v) => Value::I32(v),
-                cage_wasm::Instr::I64Const(v) => Value::I64(v),
-                cage_wasm::Instr::F32Const(bits) => Value::F32(f32::from_bits(bits)),
-                cage_wasm::Instr::F64Const(bits) => Value::F64(f64::from_bits(bits)),
-                _ => unreachable!("validated global initialiser"),
-            })
+            .map(|g| global_init(&g.init))
             .collect();
 
         let table_size = module.tables.first().map_or(0, |t| t.limits.min) as usize;
@@ -299,9 +376,8 @@ impl Store {
             }
         }
 
-        let (types, funcs) = precompile(module);
         let mut instance = Instance {
-            module: module.clone(),
+            module: Arc::clone(&module),
             types,
             funcs,
             memory,
@@ -324,6 +400,8 @@ impl Store {
             pac_modifier: self.rng.gen(),
             cycles: 0.0,
             instr_count: 0,
+            fuel: None,
+            fuel_consumed: 0,
         };
 
         for data in &module.data {
@@ -445,6 +523,84 @@ impl Store {
         let inst = &mut self.instances[handle.0];
         inst.cycles = 0.0;
         inst.instr_count = 0;
+    }
+
+    /// Sets (or clears, with `None`) the fuel budget of `handle` and
+    /// zeroes its consumed-fuel counter.
+    ///
+    /// Fuel is a deterministic preemption mechanism for multi-tenant
+    /// serving: one unit is consumed at every control transition of the
+    /// flat dispatch loop (branch taken, function entered or returned
+    /// from), and execution traps with [`Trap::FuelExhausted`] when the
+    /// budget hits zero — at the identical instruction count and cycle
+    /// bits on every run of the same program. Fuel checks ride on the
+    /// charge-free control ops, so cycle accounting is unaffected. The
+    /// tree-walking differential oracle (`Store::call_tree`) does not
+    /// implement fuel; it models wasm semantics, not embedder preemption.
+    pub fn set_fuel(&mut self, handle: InstanceHandle, fuel: Option<u64>) {
+        let inst = &mut self.instances[handle.0];
+        inst.fuel = fuel;
+        inst.fuel_consumed = 0;
+    }
+
+    /// Remaining fuel of `handle` (`None` = unlimited).
+    #[must_use]
+    pub fn fuel_remaining(&self, handle: InstanceHandle) -> Option<u64> {
+        self.instances[handle.0].fuel
+    }
+
+    /// Fuel consumed by `handle` since the last [`Store::set_fuel`].
+    #[must_use]
+    pub fn fuel_consumed(&self, handle: InstanceHandle) -> u64 {
+        self.instances[handle.0].fuel_consumed
+    }
+
+    /// Resets `handle` back to its freshly-instantiated state in place:
+    /// linear memory (dirty pages re-zeroed and re-tagged, data segments
+    /// re-applied), globals, table, counters and fuel — then re-runs the
+    /// start function, exactly like a fresh instantiation would.
+    ///
+    /// The instance keeps its identity: sandbox tag, memory tag seed, PAC
+    /// key and modifier are unchanged, so a reset instance is
+    /// bit-identical to the first instance of a fresh store with the same
+    /// config (the reset-equivalence difftest oracle pins this). Cost is
+    /// O(pages touched since the last reset), not O(memory size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a trapping start function.
+    pub fn reset_instance(&mut self, handle: InstanceHandle) -> Result<(), Trap> {
+        let module = Arc::clone(&self.instances[handle.0].module);
+        {
+            let inst = &mut self.instances[handle.0];
+            if let Some(mem) = inst.memory.as_mut() {
+                mem.reset();
+                for data in &module.data {
+                    // Range-checked at first instantiation; the reset
+                    // memory is back at its original size.
+                    mem.write_resolved(data.offset, &data.bytes);
+                }
+            }
+            for (g, decl) in inst.globals.iter_mut().zip(&module.globals) {
+                *g = global_init(&decl.init);
+            }
+            for slot in &mut inst.table {
+                *slot = None;
+            }
+            for elem in &module.elems {
+                for (i, f) in elem.funcs.iter().enumerate() {
+                    inst.table[elem.offset as usize + i] = Some(*f);
+                }
+            }
+            inst.cycles = 0.0;
+            inst.instr_count = 0;
+            inst.fuel = None;
+            inst.fuel_consumed = 0;
+        }
+        if let Some(start) = module.start {
+            self.call(handle, start, &[])?;
+        }
+        Ok(())
     }
 
     /// The module an instance was created from (export/type lookups for

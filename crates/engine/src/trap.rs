@@ -48,6 +48,9 @@ pub enum Trap {
     Host(String),
     /// Deferred asynchronous MTE fault surfaced at a check point.
     AsyncTagCheck(TagCheckFault),
+    /// The instance's fuel budget ([`crate::Store::set_fuel`]) ran out at
+    /// a preemption check point.
+    FuelExhausted,
 }
 
 /// Why a segment instruction trapped.
@@ -92,6 +95,7 @@ impl fmt::Display for Trap {
             Trap::CallStackExhausted => f.write_str("call stack exhausted"),
             Trap::Host(msg) => write!(f, "host error: {msg}"),
             Trap::AsyncTagCheck(fault) => write!(f, "deferred {fault}"),
+            Trap::FuelExhausted => f.write_str("fuel exhausted"),
         }
     }
 }

@@ -16,6 +16,10 @@
 //! All three must agree on the trap kind *and payload*, and — because the
 //! fused ops replay their constituents' cycle charges in order — on the
 //! cycle-counter bits and retired-instruction counts too.
+//!
+//! A separate `FuelExhausted` row pins deterministic preemption: the same
+//! program under the same fuel budget traps at the identical instruction
+//! count and cycle bits, across runs and across lowerings.
 
 use cage_engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value};
 use cage_wasm::builder::ModuleBuilder;
@@ -257,6 +261,130 @@ fn every_width_addr_and_scheme_agrees_across_all_three_paths() {
             }
         }
     }
+}
+
+/// The `FuelExhausted` row: deterministic preemption. Fuel is charged
+/// only at the charge-free control transitions (back-edge jumps,
+/// function switches, returns), so the same program under the same
+/// budget must trap at the identical retired-instruction count, cycle
+/// bits and consumed-fuel total — across repeated runs AND across the
+/// fused vs fusion-fenced lowering of the same loop body. A scheduler
+/// preempting tenants by fuel therefore cannot perturb the cycle model.
+#[test]
+fn fuel_exhaustion_is_deterministic_across_runs_and_lowerings() {
+    // func 0: an infinite increment loop whose body fuses into the
+    // 3-address ALU form; func 1: the same loop with the constant routed
+    // through a block, whose label fences fusion.
+    let fused = vec![
+        Instr::Loop(
+            BlockType::Empty,
+            vec![
+                Instr::LocalGet(1),
+                Instr::I64Const(1),
+                Instr::I64Add,
+                Instr::LocalSet(1),
+                Instr::Br(0),
+            ],
+        ),
+        Instr::LocalGet(1),
+    ];
+    let unfused = vec![
+        Instr::Loop(
+            BlockType::Empty,
+            vec![
+                Instr::LocalGet(1),
+                Instr::Block(BlockType::Value(ValType::I64), vec![Instr::I64Const(1)]),
+                Instr::I64Add,
+                Instr::LocalSet(1),
+                Instr::Br(0),
+            ],
+        ),
+        Instr::LocalGet(1),
+    ];
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let f = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], fused);
+    let u = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], unfused);
+    assert_eq!((f, u), (0, 1));
+    let module = b.build();
+
+    let run = |func: u32, budget: u64| {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        store.set_fuel(h, Some(budget));
+        let result = store.call(h, func, &[Value::I64(0)]);
+        (
+            result,
+            store.cycles(h).to_bits(),
+            store.instr_count(h),
+            store.fuel_consumed(h),
+            store.fuel_remaining(h),
+        )
+    };
+
+    for budget in [1u64, 2, 3, 10, 1_000] {
+        let first = run(0, budget);
+        assert_eq!(
+            first,
+            run(0, budget),
+            "budget {budget}: fuel trap is not reproducible across runs"
+        );
+        assert_eq!(
+            first,
+            run(1, budget),
+            "budget {budget}: fuel trap diverged between fused and unfused lowering"
+        );
+        assert_eq!(
+            first.0,
+            Err(Trap::FuelExhausted),
+            "budget {budget}: expected preemption"
+        );
+        assert_eq!(first.3, budget, "budget {budget}: consumed-fuel total");
+        assert_eq!(first.4, Some(0), "budget {budget}: remaining fuel");
+    }
+}
+
+/// Straight-line bodies have no jumps, so their only fuel charge is the
+/// outermost return: a zero budget still preempts them (at the final
+/// `end`), one unit of fuel is enough to finish, and `None` disables the
+/// checks entirely — with bit-identical cycles in all three cases.
+#[test]
+fn fuel_covers_straight_line_bodies_at_the_outermost_return() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::I64Const(1), Instr::I64Add],
+    );
+    let module = b.build();
+
+    let run = |budget: Option<u64>| {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        store.set_fuel(h, budget);
+        let result = store.call(h, 0, &[Value::I64(41)]);
+        (result, store.cycles(h).to_bits(), store.fuel_consumed(h))
+    };
+
+    let (starved, starved_cycles, starved_consumed) = run(Some(0));
+    assert_eq!(starved, Err(Trap::FuelExhausted));
+    assert_eq!(starved_consumed, 0);
+    let (fed, fed_cycles, fed_consumed) = run(Some(1));
+    assert_eq!(fed, Ok(vec![Value::I64(42)]));
+    assert_eq!(fed_consumed, 1);
+    let (unmetered, unmetered_cycles, unmetered_consumed) = run(None);
+    assert_eq!(unmetered, Ok(vec![Value::I64(42)]));
+    assert_eq!(unmetered_consumed, 0);
+    // Fuel accounting must never leak into the cycle model: the trap
+    // fires at the end of the same charge sequence the full run replays.
+    assert_eq!(starved_cycles, fed_cycles);
+    assert_eq!(fed_cycles, unmetered_cycles);
 }
 
 /// The fused ops must actually be present in the fused variant and absent

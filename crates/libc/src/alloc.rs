@@ -70,6 +70,12 @@ impl Allocator {
         }
     }
 
+    /// The (16-byte-aligned) heap base this allocator manages from.
+    #[must_use]
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> AllocStats {

@@ -74,6 +74,18 @@ impl Libc {
         self.state.borrow().stdout.clone()
     }
 
+    /// Rewinds the libc to its freshly-created state: a fresh allocator
+    /// over the same heap base and empty captured stdout. The host
+    /// closures share this state behind an `Rc`, so the reset reaches
+    /// every instance already linked against this libc — which is what
+    /// lets a pooled instance slot recycle without re-linking.
+    pub fn reset(&self) {
+        let mut st = self.state.borrow_mut();
+        let heap_base = st.alloc.heap_base();
+        st.alloc = Allocator::new(heap_base);
+        st.stdout.clear();
+    }
+
     /// Allocator statistics.
     #[must_use]
     pub fn stats(&self) -> crate::alloc::AllocStats {

@@ -44,7 +44,7 @@ pub mod startup;
 pub mod variant;
 
 pub use linker::Linker;
-pub use metrics::MemoryReport;
+pub use metrics::{MemoryReport, PoolMetrics};
 pub use runtime::{InstanceToken, Runtime, RuntimeError};
 pub use startup::{startup_report, StartupReport};
 pub use variant::Variant;

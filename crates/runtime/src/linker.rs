@@ -130,7 +130,12 @@ impl Linker {
 
     /// Builds the import set for one instantiation: libc first (when
     /// enabled), then embedder definitions on top so they shadow libc.
-    pub(crate) fn build_imports(&self, libc: Option<&Libc>) -> Imports {
+    ///
+    /// Public for the serving layer (`cage-serve` stamps instances out of
+    /// a template and must resolve imports the same way the runtime
+    /// does); not part of the stable embedder surface.
+    #[doc(hidden)]
+    pub fn build_imports(&self, libc: Option<&Libc>) -> Imports {
         let mut merged = Imports::new();
         if let Some(libc) = libc {
             libc.register(&mut merged);

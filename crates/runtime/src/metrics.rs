@@ -56,6 +56,45 @@ impl MemoryReport {
     }
 }
 
+/// Pool-level execution totals: per-instance counters (cycles, retired
+/// instructions, fuel) aggregated across every instance a pool has
+/// served, plus the pool's own churn counters. The load driver merges
+/// one snapshot per worker into the run totals it reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolMetrics {
+    /// Instances stamped out from scratch (cold path).
+    pub instantiations: u64,
+    /// Instance slots recycled via reset instead of re-instantiated.
+    pub resets: u64,
+    /// Guest invocations completed (including ones that trapped).
+    pub invocations: u64,
+    /// Model cycles accumulated across all served instances.
+    pub cycles: f64,
+    /// Retired instructions accumulated across all served instances.
+    pub instr_count: u64,
+    /// Fuel consumed across all served instances (0 when no budget set).
+    pub fuel_consumed: u64,
+}
+
+impl PoolMetrics {
+    /// Folds the counters of one served instance into the totals.
+    pub fn absorb_instance(&mut self, cycles: f64, instr_count: u64, fuel_consumed: u64) {
+        self.cycles += cycles;
+        self.instr_count += instr_count;
+        self.fuel_consumed += fuel_consumed;
+    }
+
+    /// Merges another snapshot (e.g. a worker thread's pool) into this one.
+    pub fn merge(&mut self, other: &PoolMetrics) {
+        self.instantiations += other.instantiations;
+        self.resets += other.resets;
+        self.invocations += other.invocations;
+        self.cycles += other.cycles;
+        self.instr_count += other.instr_count;
+        self.fuel_consumed += other.fuel_consumed;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

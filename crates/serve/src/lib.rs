@@ -1,0 +1,560 @@
+//! # cage-serve — multi-tenant serving: templates, pooling, fuel
+//!
+//! The throughput layer over `cage-engine`/`cage-runtime`, shaped like
+//! wasmtime's serving stack: thousands of concurrent sandboxes handling
+//! traffic instead of one instance handling one invoke. Three pieces:
+//!
+//! * [`InstancePre`] — a pre-validated, pre-compiled, pre-linked
+//!   instance template. Compilation and link resolution run once; the
+//!   template is `Send + Sync`, so worker threads stamp instances out of
+//!   one shared `Arc<InstancePre>`.
+//! * [`Pool`] — a per-worker pooling allocator. Released instance slots
+//!   are recycled by an O(pages-touched) reset (dirty-page list kept by
+//!   the engine's `LinearMemory`) instead of a fresh instantiation, so
+//!   steady-state checkout does no allocation and no re-tagging of
+//!   untouched memory.
+//! * fuel preemption — an optional per-checkout fuel budget
+//!   ([`Pool::set_fuel_budget`]) decremented at the dispatch loop's
+//!   charge-free control transitions, trapping with
+//!   `Trap::FuelExhausted` so one guest cannot starve the pool.
+//!
+//! Host state is described by a [`HostProfile`] rather than a
+//! [`Linker`]: linkers hold `Rc`-shared closures and cannot cross
+//! threads, so the template carries a thread-safe *recipe* and each pool
+//! builds its worker-local linker from it.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cage_engine::Value;
+//! use cage_mte::Core;
+//! use cage_runtime::Variant;
+//! use cage_serve::{HostProfile, InstancePre, Pool};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Lower a tiny module through the toolchain.
+//! let ir = {
+//!     let mut b = cage_ir::FunctionBuilder::new("answer", &[], Some(cage_ir::IrType::I64));
+//!     b.set_exported(true);
+//!     b.stmt(cage_ir::Stmt::Return(Some(cage_ir::Operand::ConstI64(42))));
+//!     let mut m = cage_ir::IrModule::new();
+//!     m.functions.push(b.finish());
+//!     m
+//! };
+//! let lowered = cage_ir::lower(&ir, &cage_ir::LowerOptions::default())?;
+//!
+//! let pre = Arc::new(InstancePre::new(
+//!     Variant::BaselineWasm64,
+//!     Core::CortexX3,
+//!     &lowered.module,
+//!     lowered.heap_base,
+//!     HostProfile::Libc,
+//! )?);
+//! let mut pool = Pool::new(pre);
+//! let inst = pool.checkout()?;
+//! assert_eq!(pool.invoke(&inst, "answer", &[])?, vec![Value::I64(42)]);
+//! pool.release(inst);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use cage_engine::store::InstantiateError;
+use cage_engine::{InstanceHandle, Precompiled, Store, Trap, Value};
+use cage_libc::Libc;
+use cage_mte::Core;
+use cage_runtime::{Linker, PoolMetrics, Variant};
+use cage_wasm::Module;
+
+/// The host surface an [`InstancePre`] stamps instances against.
+///
+/// A [`Linker`] itself is not `Send` (host closures share state behind
+/// `Rc`), so the template stores this thread-safe recipe instead; each
+/// [`Pool`] materialises a worker-local linker from it once.
+#[derive(Clone)]
+pub enum HostProfile {
+    /// No host imports at all.
+    Empty,
+    /// The hardened libc, created fresh for every pool slot (allocator
+    /// and captured stdout are per-instance state).
+    Libc,
+    /// An embedder-defined linker configuration: the closure runs once
+    /// per pool against an empty linker (swap in [`Linker::with_libc`]
+    /// inside it to layer custom functions over libc).
+    Custom(Arc<dyn Fn(&mut Linker) + Send + Sync>),
+}
+
+impl fmt::Debug for HostProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostProfile::Empty => f.write_str("Empty"),
+            HostProfile::Libc => f.write_str("Libc"),
+            HostProfile::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl HostProfile {
+    /// Builds the worker-local linker this profile describes.
+    fn build_linker(&self) -> Linker {
+        match self {
+            HostProfile::Empty => Linker::new(),
+            HostProfile::Libc => Linker::with_libc(),
+            HostProfile::Custom(configure) => {
+                let mut linker = Linker::new();
+                configure(&mut linker);
+                linker
+            }
+        }
+    }
+}
+
+/// Serving-layer errors: instantiation failures and guest traps (a
+/// recycled slot's start function can trap during reset).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Stamping an instance out of the template failed.
+    Instantiate(InstantiateError),
+    /// A guest trap during checkout (start-function re-run on reset).
+    Trap(Trap),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Instantiate(e) => write!(f, "{e}"),
+            ServeError::Trap(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<InstantiateError> for ServeError {
+    fn from(e: InstantiateError) -> Self {
+        ServeError::Instantiate(e)
+    }
+}
+
+impl From<Trap> for ServeError {
+    fn from(t: Trap) -> Self {
+        ServeError::Trap(t)
+    }
+}
+
+/// A pre-validated, pre-compiled, pre-linked instance template.
+///
+/// Building one runs validation and flat-bytecode compilation exactly
+/// once; every instance stamped from it shares the compiled functions
+/// behind `Arc`s. The template is `Send + Sync` — clone an
+/// `Arc<InstancePre>` into each worker thread and give it to that
+/// worker's [`Pool`].
+#[derive(Debug, Clone)]
+pub struct InstancePre {
+    pre: Precompiled,
+    heap_base: u64,
+    variant: Variant,
+    core: Core,
+    host: HostProfile,
+}
+
+impl InstancePre {
+    /// Compiles `module` once into a template for `variant` on `core`.
+    ///
+    /// `heap_base` is where the hardened libc's allocator starts (the
+    /// module's `__heap_base`); it is ignored for [`HostProfile::Empty`].
+    ///
+    /// # Errors
+    ///
+    /// [`InstantiateError`] when the module fails validation.
+    pub fn new(
+        variant: Variant,
+        core: Core,
+        module: &Module,
+        heap_base: u64,
+        host: HostProfile,
+    ) -> Result<Self, InstantiateError> {
+        Ok(InstancePre {
+            pre: Precompiled::new(module)?,
+            heap_base,
+            variant,
+            core,
+            host,
+        })
+    }
+
+    /// The template's module.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        self.pre.module()
+    }
+
+    /// The Table 3 variant instances run under.
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The simulated core.
+    #[must_use]
+    pub fn core(&self) -> Core {
+        self.core
+    }
+
+    /// First heap byte for per-slot libcs.
+    #[must_use]
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+}
+
+/// One instance slot of a [`Pool`].
+struct Slot {
+    handle: InstanceHandle,
+    libc: Option<Libc>,
+}
+
+/// A checked-out instance of a [`Pool`] — a token, valid only against
+/// the pool that issued it. Return it with [`Pool::release`] so the slot
+/// can be recycled.
+#[derive(Debug)]
+pub struct PooledInstance {
+    slot: usize,
+}
+
+impl PooledInstance {
+    /// The slot index inside the owning pool (stable across recycling).
+    #[must_use]
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+/// A per-worker pooling allocator over one engine [`Store`].
+///
+/// `checkout` prefers recycling a released slot — an O(pages-touched)
+/// [`Store::reset_instance`] plus a libc rewind — over stamping a new
+/// instance; steady state therefore allocates nothing. A pool lives on
+/// one thread (host closures and the store are single-threaded); the
+/// shared, thread-safe object is the [`InstancePre`].
+pub struct Pool {
+    pre: Arc<InstancePre>,
+    store: Store,
+    linker: Linker,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    fuel_budget: Option<u64>,
+    metrics: PoolMetrics,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("variant", &self.pre.variant)
+            .field("slots", &self.slots.len())
+            .field("free", &self.free.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool stamping instances from `pre`, with no fuel budget.
+    #[must_use]
+    pub fn new(pre: Arc<InstancePre>) -> Self {
+        let linker = pre.host.build_linker();
+        Pool {
+            store: Store::new(pre.variant.exec_config(pre.core)),
+            linker,
+            pre,
+            slots: Vec::new(),
+            free: Vec::new(),
+            fuel_budget: None,
+            metrics: PoolMetrics::default(),
+        }
+    }
+
+    /// Sets (or clears) the fuel budget granted to each checkout. Applies
+    /// from the next [`Pool::checkout`] on; a budget of `n` permits `n`
+    /// control transitions (branches taken, calls, returns) before the
+    /// guest traps with `Trap::FuelExhausted`.
+    pub fn set_fuel_budget(&mut self, fuel: Option<u64>) {
+        self.fuel_budget = fuel;
+    }
+
+    /// Checks an instance out: recycles a released slot when one exists
+    /// (reset memory/globals/table, rewound libc, fresh fuel), otherwise
+    /// stamps a new instance from the template.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Instantiate`] on the cold path (e.g. the 15-sandbox
+    /// MTE budget); [`ServeError::Trap`] when the module's start
+    /// function traps.
+    pub fn checkout(&mut self) -> Result<PooledInstance, ServeError> {
+        if let Some(slot) = self.free.pop() {
+            let handle = self.slots[slot].handle;
+            self.store.reset_instance(handle)?;
+            if let Some(libc) = &self.slots[slot].libc {
+                libc.reset();
+            }
+            self.store.set_fuel(handle, self.fuel_budget);
+            self.metrics.resets += 1;
+            return Ok(PooledInstance { slot });
+        }
+        let libc = if self.linker.provides_libc() {
+            Some(if self.pre.module().is_memory64() {
+                Libc::new(self.pre.heap_base)
+            } else {
+                Libc::new_wasm32(self.pre.heap_base)
+            })
+        } else {
+            None
+        };
+        let imports = self.linker.build_imports(libc.as_ref());
+        let handle = self
+            .store
+            .instantiate_precompiled(&self.pre.pre, &imports)?;
+        self.store.set_fuel(handle, self.fuel_budget);
+        self.metrics.instantiations += 1;
+        self.slots.push(Slot { handle, libc });
+        Ok(PooledInstance {
+            slot: self.slots.len() - 1,
+        })
+    }
+
+    /// Invokes an export on a checked-out instance.
+    ///
+    /// # Errors
+    ///
+    /// Guest traps, including `Trap::FuelExhausted` when the checkout's
+    /// fuel budget runs out.
+    pub fn invoke(
+        &mut self,
+        inst: &PooledInstance,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        self.metrics.invocations += 1;
+        self.store.invoke(self.slots[inst.slot].handle, name, args)
+    }
+
+    /// Returns an instance to the pool. Its counters are folded into the
+    /// pool totals now; the expensive state reset is deferred to the next
+    /// [`Pool::checkout`] that recycles the slot.
+    pub fn release(&mut self, inst: PooledInstance) {
+        let handle = self.slots[inst.slot].handle;
+        self.metrics.absorb_instance(
+            self.store.cycles(handle),
+            self.store.instr_count(handle),
+            self.store.fuel_consumed(handle),
+        );
+        self.free.push(inst.slot);
+    }
+
+    /// Captured `print_*` output of a checked-out instance.
+    #[must_use]
+    pub fn stdout(&self, inst: &PooledInstance) -> String {
+        self.slots[inst.slot]
+            .libc
+            .as_ref()
+            .map(Libc::stdout)
+            .unwrap_or_default()
+    }
+
+    /// Remaining fuel of a checked-out instance (`None` = unlimited).
+    #[must_use]
+    pub fn fuel_remaining(&self, inst: &PooledInstance) -> Option<u64> {
+        self.store.fuel_remaining(self.slots[inst.slot].handle)
+    }
+
+    /// Instance slots ever created (recycled slots count once).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently checked out.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Snapshot of the pool totals.
+    #[must_use]
+    pub fn metrics(&self) -> PoolMetrics {
+        self.metrics
+    }
+
+    /// The template this pool serves.
+    #[must_use]
+    pub fn instance_pre(&self) -> &InstancePre {
+        &self.pre
+    }
+
+    /// The underlying engine store (advanced embedding, tests).
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cage_ir::passes::run_pipeline;
+    use cage_ir::{lower, LowerOptions};
+
+    fn template(source: &str, variant: Variant, host: HostProfile) -> Arc<InstancePre> {
+        let mut ir = cage_cc::compile(source).expect("compiles");
+        run_pipeline(&mut ir, variant.harden_config());
+        let opts = LowerOptions {
+            ptr_width: variant.ptr_width(),
+            ..LowerOptions::default()
+        };
+        let lowered = lower(&ir, &opts).expect("lowers");
+        Arc::new(
+            InstancePre::new(
+                variant,
+                Core::CortexX3,
+                &lowered.module,
+                lowered.heap_base,
+                host,
+            )
+            .expect("validates"),
+        )
+    }
+
+    const COUNTER: &str = r#"
+        long counter = 0;
+        long bump(long by) {
+            counter = counter + by;
+            return counter;
+        }
+    "#;
+
+    #[test]
+    fn recycled_slots_start_from_scratch() {
+        let pre = template(COUNTER, Variant::BaselineWasm64, HostProfile::Libc);
+        let mut pool = Pool::new(pre);
+        let a = pool.checkout().unwrap();
+        assert_eq!(
+            pool.invoke(&a, "bump", &[Value::I64(5)]).unwrap()[0].as_i64(),
+            5
+        );
+        assert_eq!(
+            pool.invoke(&a, "bump", &[Value::I64(5)]).unwrap()[0].as_i64(),
+            10
+        );
+        pool.release(a);
+        // The recycled slot sees pristine globals and memory again.
+        let b = pool.checkout().unwrap();
+        assert_eq!(
+            pool.invoke(&b, "bump", &[Value::I64(5)]).unwrap()[0].as_i64(),
+            5
+        );
+        let m = pool.metrics();
+        assert_eq!((m.instantiations, m.resets, m.invocations), (1, 1, 3));
+        assert_eq!(pool.capacity(), 1, "one slot served both checkouts");
+    }
+
+    #[test]
+    fn pool_grows_past_live_checkouts_and_shares_compilation() {
+        let pre = template(COUNTER, Variant::CagePtrAuth, HostProfile::Libc);
+        let mut pool = Pool::new(Arc::clone(&pre));
+        let held: Vec<_> = (0..8).map(|_| pool.checkout().unwrap()).collect();
+        assert_eq!(pool.live(), 8);
+        for inst in &held {
+            assert_eq!(
+                pool.invoke(inst, "bump", &[Value::I64(2)]).unwrap()[0].as_i64(),
+                2
+            );
+        }
+        for inst in held {
+            pool.release(inst);
+        }
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.capacity(), 8);
+        // Another pool on the same template: no recompilation needed.
+        let mut other = Pool::new(pre);
+        let inst = other.checkout().unwrap();
+        assert_eq!(
+            other.invoke(&inst, "bump", &[Value::I64(3)]).unwrap()[0].as_i64(),
+            3
+        );
+    }
+
+    #[test]
+    fn fuel_budget_preempts_runaway_guests() {
+        let pre = template(
+            "long spin(long n) { long acc = 0; while (1) { acc = acc + n; } return acc; }",
+            Variant::BaselineWasm64,
+            HostProfile::Libc,
+        );
+        let mut pool = Pool::new(pre);
+        pool.set_fuel_budget(Some(10_000));
+        let inst = pool.checkout().unwrap();
+        let err = pool.invoke(&inst, "spin", &[Value::I64(1)]).unwrap_err();
+        assert!(matches!(err, Trap::FuelExhausted), "{err}");
+        assert_eq!(pool.fuel_remaining(&inst), Some(0));
+        pool.release(inst);
+        // The trap poisons nothing: the recycled slot serves again, and a
+        // cleared budget lets finite work complete.
+        pool.set_fuel_budget(None);
+        let inst = pool.checkout().unwrap();
+        assert_eq!(pool.fuel_remaining(&inst), None);
+        let m = pool.metrics();
+        assert!(m.fuel_consumed >= 10_000, "{}", m.fuel_consumed);
+    }
+
+    #[test]
+    fn libc_state_resets_with_the_slot() {
+        let pre = template(
+            r#"
+            long greet(long n) {
+                char* p = malloc(32);
+                p[0] = 'h';
+                print_str("hi");
+                long v = p[0];
+                free(p);
+                return v + n;
+            }
+            "#,
+            Variant::CageFull,
+            HostProfile::Libc,
+        );
+        let mut pool = Pool::new(pre);
+        let a = pool.checkout().unwrap();
+        pool.invoke(&a, "greet", &[Value::I64(0)]).unwrap();
+        assert_eq!(pool.stdout(&a), "hi\n");
+        pool.release(a);
+        let b = pool.checkout().unwrap();
+        assert_eq!(pool.stdout(&b), "", "stdout rewound with the slot");
+        pool.invoke(&b, "greet", &[Value::I64(0)]).unwrap();
+        assert_eq!(pool.stdout(&b), "hi\n");
+    }
+
+    #[test]
+    fn custom_profiles_rebuild_per_pool() {
+        use cage_wasm::ValType;
+        let profile = HostProfile::Custom(Arc::new(|linker: &mut Linker| {
+            *linker = Linker::with_libc();
+            linker.func("env", "seven", &[], &[ValType::I64], |_ctx, _args| {
+                Ok(vec![Value::I64(7)])
+            });
+        }));
+        let pre = template(
+            "long seven(void); long f() { return seven() + 1; }",
+            Variant::BaselineWasm64,
+            profile,
+        );
+        let mut pool = Pool::new(pre);
+        let inst = pool.checkout().unwrap();
+        assert_eq!(pool.invoke(&inst, "f", &[]).unwrap(), vec![Value::I64(8)]);
+    }
+}

@@ -287,6 +287,72 @@ fn variant_mismatch_between_artifact_and_engine_is_rejected() {
 }
 
 #[test]
+fn instance_pre_is_send_and_sync() {
+    // The serving layer's whole point: one pre-linked template shared by
+    // reference across worker threads. Compile-time assertion — if
+    // `InstancePre` (or the `Arc<Module>`/`Arc<CompiledFunc>` graph
+    // inside it) ever regains an `Rc`, this stops building.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<cage::InstancePre>();
+    assert_send_sync::<cage::serve::HostProfile>();
+    assert_send_sync::<std::sync::Arc<cage::InstancePre>>();
+}
+
+#[test]
+fn engine_instance_pre_feeds_pools_across_threads() {
+    use std::sync::Arc;
+
+    use cage::{HostProfile, Pool};
+
+    let engine = Engine::new(Variant::CagePtrAuth);
+    let artifact = engine
+        .compile(
+            r#"
+            long handle(long req) {
+                long* p = (long*)malloc(32);
+                p[0] = req * 2 + 1;
+                long v = p[0];
+                free((char*)p);
+                return v;
+            }
+            "#,
+        )
+        .unwrap();
+    let pre = Arc::new(engine.instance_pre(&artifact, HostProfile::Libc).unwrap());
+
+    // A hardened artifact on a mismatched engine is still rejected on
+    // the template path.
+    let baseline = Engine::new(Variant::BaselineWasm64);
+    assert!(matches!(
+        baseline.instance_pre(&artifact, HostProfile::Libc),
+        Err(Error::VariantMismatch { .. })
+    ));
+
+    std::thread::scope(|scope| {
+        for t in 0..4i64 {
+            let pre = Arc::clone(&pre);
+            scope.spawn(move || {
+                let mut pool = Pool::new(pre);
+                pool.set_fuel_budget(Some(100_000));
+                for round in 0..3i64 {
+                    let inst = pool.checkout().unwrap();
+                    let req = t * 10 + round;
+                    assert_eq!(
+                        pool.invoke(&inst, "handle", &[Value::I64(req)]).unwrap(),
+                        vec![Value::I64(req * 2 + 1)]
+                    );
+                    pool.release(inst);
+                }
+                // Three sequential checkouts recycled one slot.
+                assert_eq!(pool.capacity(), 1, "worker {t}");
+                assert_eq!(pool.metrics().instantiations, 1, "worker {t}");
+                assert_eq!(pool.metrics().resets, 2, "worker {t}");
+            });
+        }
+    });
+}
+
+#[test]
 fn artifact_exports_need_no_instantiation() {
     // HOST_APP declares unbound env.* imports; a static export listing
     // must not require resolving them.

@@ -1,32 +1,43 @@
-//! Flat bytecode: the execution form of a function body.
+//! Bytecode lowerings: the execution forms of a function body.
 //!
 //! The structured `cage_wasm::Instr` tree is what the validator and the
-//! toolchain passes consume, but walking it at run time costs a Rust call
-//! frame per nesting level and unwinds every branch through a chain of
-//! `Flow::Br(n)` returns. At instantiation each body is therefore lowered
-//! once into a flat [`Op`] array:
+//! toolchain passes consume; at instantiation each body is lowered into
+//! two flat forms:
 //!
-//! * `Block`/`Loop`/`If` disappear — control flow becomes absolute
-//!   program-counter offsets resolved at compile time;
-//! * every branch carries a [`BranchTarget`] collapse descriptor
-//!   `(pc, stack height, arity)`, so taking it is one in-place operand
-//!   slide plus a jump, regardless of how many levels it exits;
-//! * `br_table` targets become a boxed slice of descriptors (the default
-//!   target is the final entry);
-//! * the skip over an `else` arm is a synthetic [`Op::Jump`] and the
-//!   function epilogue a synthetic [`Op::End`] — neither charges cycles
-//!   nor retires an instruction, so cycle accounting is bit-identical to
-//!   the structured walker.
+//! * **Flat stack bytecode** ([`Op`] / [`FlatCode`], built by
+//!   [`compile`]): a direct transcription of the stack machine with
+//!   control flow resolved to absolute program counters. `Block`/`Loop`/
+//!   `If` disappear; every branch carries a [`BranchTarget`] collapse
+//!   descriptor `(pc, stack height, arity)`; the skip over an `else` arm
+//!   is a synthetic [`Op::Jump`] and the function epilogue a synthetic
+//!   [`Op::End`] — neither charges cycles nor retires an instruction.
+//!   Since the register tier took over the hot path this form survives as
+//!   the mid-tier differential oracle (tree → flat-stack → flat-reg).
+//!
+//! * **Register bytecode** ([`RegOp`] / [`RegCode`], built by
+//!   [`compile_reg`]): the primary tier. The body is lowered through
+//!   SSA construction (`cage_ir::ssa`, Braun-style) into virtual
+//!   registers, phis are eliminated with parallel copies, and a linear
+//!   scan (`cage_ir::regalloc`) assigns every value a slot in a fixed
+//!   per-frame register file. Stack shuffling disappears by
+//!   construction: `local.get`/`local.set`/`local.tee`, constants,
+//!   `drop` and `nop` dissolve into the dataflow, and each remaining
+//!   dispatch is a generic 3-address operation. Cycle accounting stays
+//!   bit-identical to the stack forms because every register op carries a
+//!   *charge recipe* — the class charges of the source ops it retired, in
+//!   original order — replayed by the dispatch loop before the op body.
 //!
 //! Statically unreachable code (anything following an unconditional
-//! branch inside a block) is never emitted: the structured walker never
-//! executes it, and its stack heights are polymorphic, so dropping it is
-//! both safe and free.
+//! branch inside a block) is never emitted by the stack lowering, and the
+//! register lowering only reaches it through unreachable join blocks.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
+use cage_ir::regalloc::{self, BlockRange, LivenessInput, ValueRef};
+use cage_ir::ssa::{self, SsaBuilder, UNDEF};
 use cage_wasm::instr::{LoadOp, StoreOp};
-use cage_wasm::{numeric_signature, Instr, Module};
+use cage_wasm::{numeric_signature, FuncType, Instr, Module};
 
 /// A resolved branch destination: jump to `pc` after collapsing the
 /// operand stack to `height` (relative to the function's frame base),
@@ -51,15 +62,17 @@ impl fmt::Display for BranchTarget {
     }
 }
 
-/// A two-operand ALU operation eligible for 3-address superinstruction
-/// fusion: non-trapping, charges one instruction of its class (`Simple`
-/// for integer ops, `Float` for float arithmetic and comparisons).
-/// Division/remainder (trapping, `Div` class) and unary ops are excluded.
+/// A two-operand ALU operation with a generic 3-address register form:
+/// non-trapping, charges one instruction of its class (`Simple` for
+/// integer ops, `Float` for float arithmetic and comparisons).
+/// Division/remainder and unary ops are excluded — they have their own
+/// [`DivOp`] and [`UnaOp`] families (division traps and charges the
+/// `Div`/`FloatDiv` class).
 ///
 /// Operands and results are untagged 64-bit slots (see
 /// [`crate::value::Value::to_slot`]); the interpreter evaluates these with
 /// `alu_eval`, which the differential property tests pin against the
-/// unfused per-op implementations.
+/// per-op stack implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum AluOp {
@@ -250,6 +263,52 @@ impl AluOp {
     }
 }
 
+/// A division or remainder operation with a direct 3-address register
+/// form. Split out of [`AluOp`] because the integer variants trap
+/// (divide-by-zero, `INT_MIN / -1` overflow) and the whole family
+/// charges the `Div`/`FloatDiv` class instead of `Simple`/`Float`. The
+/// charge lands in the op's recipe — replayed before the operands are
+/// even read, matching the stack tiers, which charge before the trap
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum DivOp {
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    F32Div,
+    F64Div,
+}
+
+macro_rules! div_ops {
+    ($($v:ident),+ $(,)?) => {
+        impl DivOp {
+            /// Maps a division/remainder [`Op`] to its register form.
+            #[must_use]
+            pub fn from_op(op: &Op) -> Option<DivOp> {
+                match op {
+                    $(Op::$v => Some(DivOp::$v),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+div_ops!(I32DivS, I32DivU, I32RemS, I32RemU, I64DivS, I64DivU, I64RemS, I64RemU, F32Div, F64Div,);
+
+impl DivOp {
+    /// Whether the op charges the `FloatDiv` class rather than `Div`.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, DivOp::F32Div | DivOp::F64Div)
+    }
+}
+
 /// A flat bytecode instruction.
 ///
 /// Control flow is fully resolved: branch ops carry [`BranchTarget`]s,
@@ -283,284 +342,6 @@ pub enum Op {
     End,
     Call(u32),
     CallIndirect(u32),
-
-    // -- fused superinstructions ---------------------------------------------
-    //
-    // Peephole fusions of adjacent ops the C toolchain emits constantly
-    // (mem2reg temps produce long local/const shuffles). Each fused op
-    // performs the charges of its constituents in the original order and
-    // retires the same instruction count, so cycle accounting is
-    // bit-identical to the unfused sequence; the fusion fence in the
-    // compiler guarantees no branch target can land between constituents.
-    /// `local.get src; local.set dst` — register-to-register move.
-    LocalMove {
-        src: u32,
-        dst: u32,
-    },
-    /// `local.set i; local.get i` — store the top of stack, keep it.
-    LocalSetGet(u32),
-    /// `local.get a; local.get b` — push two locals.
-    LocalGetPair {
-        a: u32,
-        b: u32,
-    },
-    /// `<const> v; local.set dst` — store a constant directly.
-    ConstLocal {
-        v: u64,
-        dst: u32,
-    },
-    /// `i32.const v; i64.extend_i32_s` — pre-extended constant.
-    ConstExtI64(u64),
-    /// `i32.const v; i64.extend_i32_s; local.set dst`.
-    ConstLocalExt {
-        v: u64,
-        dst: u32,
-    },
-    /// `local.get a; local.get b; <alu>` — 3-address read-read form.
-    AluRR {
-        op: AluOp,
-        a: u32,
-        b: u32,
-    },
-    /// `local.get a; local.get b; <alu>; local.set dst` — the full
-    /// 3-address form C codegen emits for `d = a <op> b`.
-    AluRRSet {
-        op: AluOp,
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    /// `local.get a; <const> k; <alu>` — register-immediate form.
-    AluRC {
-        op: AluOp,
-        a: u32,
-        k: u64,
-    },
-    /// `local.get a; <const> k; <alu>; local.set dst`.
-    AluRCSet {
-        op: AluOp,
-        a: u32,
-        k: u64,
-        dst: u32,
-    },
-    /// `<stack>; local.get b; <alu>` — left operand already on the stack.
-    AluSR {
-        op: AluOp,
-        b: u32,
-    },
-    /// `<stack>; local.get b; <alu>; local.set dst`.
-    AluSRSet {
-        op: AluOp,
-        b: u32,
-        dst: u32,
-    },
-    /// `<stack>; <const> k; <alu>` — stack-immediate form.
-    AluSC {
-        op: AluOp,
-        k: u64,
-    },
-    /// `<stack>; <const> k; <alu>; local.set dst`.
-    AluSCSet {
-        op: AluOp,
-        k: u64,
-        dst: u32,
-    },
-    /// `<stack>; <stack>; <alu>; local.set dst` — both operands already
-    /// on the stack, result straight to a register (the tail of every
-    /// address-materialisation chain C codegen emits).
-    AluSSet {
-        op: AluOp,
-        dst: u32,
-    },
-    /// `<stack>; i64.extend_i32_s; <const> k; <alu>` — the extend that
-    /// i32 loop variables pay inside wasm64 address chains, folded into
-    /// the constant-operand ALU op.
-    AluSCExt {
-        op: AluOp,
-        k: u64,
-    },
-    /// `<const> v; local.set dst; local.get dst; local.get b` — a
-    /// constant materialised into a register and immediately read back
-    /// under a second operand (the head of every C array-address chain).
-    ConstLocalPair {
-        v: u64,
-        dst: u32,
-        b: u32,
-    },
-    /// [`Op::AluRRSet`] whose result is immediately copied on to a second
-    /// register (`t = a <op> b; d = t` — the mem2reg temp shape).
-    AluRRSetMove {
-        op: AluOp,
-        a: u32,
-        b: u32,
-        dst: u32,
-        dst2: u32,
-    },
-    /// [`Op::AluRCSet`] plus the copy — `t = a <op> k; d = t`, the shape
-    /// every loop counter increment lowers to.
-    AluRCSetMove {
-        op: AluOp,
-        a: u32,
-        k: u64,
-        dst: u32,
-        dst2: u32,
-    },
-    /// `<stack a0>; <stack a1>; [i64.extend_i32_s;] <const> k; <op1>;
-    /// <op2>; local.set dst` — the two-op scale-and-add tail of an array
-    /// address chain (`dst = a0 <op2> (a1 <op1> k)`), with the optional
-    /// extend i32 loop variables pay under wasm64.
-    AluChainSet {
-        ext: bool,
-        op1: AluOp,
-        k: u64,
-        op2: AluOp,
-        dst: u32,
-    },
-    /// `i32.eqz; br_if` — inverted conditional branch.
-    BrIfZ(BranchTarget),
-    /// `local.get src; br_if` — branch on a local.
-    BrIfLocal {
-        src: u32,
-        target: BranchTarget,
-    },
-    /// `local.get src; i32.eqz; br_if` — inverted branch on a local.
-    BrIfZLocal {
-        src: u32,
-        target: BranchTarget,
-    },
-    /// `local.get src; if` — `if` testing a local.
-    IfLocal {
-        src: u32,
-        else_pc: u32,
-    },
-
-    // -- memory superinstructions ---------------------------------------------
-    //
-    // Loads and stores fused with their address/value producers (and, for
-    // the AluMem family, with the consuming ALU op), so the hot
-    // array-sweep shapes C codegen emits (`x = a[i]`, `a[i] = x`,
-    // `s = s + a[i]`) dispatch once instead of three or four times. Like
-    // every fused op they replay their constituents' cycle charges in the
-    // original order — a trap inside the access leaves exactly the
-    // charges the unfused sequence would have accumulated.
-    /// `local.get addr; load` — load at a register-held address.
-    LoadR {
-        op: LoadOp,
-        offset: u64,
-        addr: u32,
-    },
-    /// `local.get addr; load; local.set dst` — register-to-register load.
-    LoadRSet {
-        op: LoadOp,
-        offset: u64,
-        addr: u32,
-        dst: u32,
-    },
-    /// `<stack addr>; load; local.set dst` — load to a register from a
-    /// stack-computed address.
-    LoadSet {
-        op: LoadOp,
-        offset: u64,
-        dst: u32,
-    },
-    /// `local.get addr; local.get val; store` — both operands registers.
-    StoreRR {
-        op: StoreOp,
-        offset: u64,
-        addr: u32,
-        val: u32,
-    },
-    /// `local.get addr; <const> k; store` — constant value to a
-    /// register-held address.
-    StoreRC {
-        op: StoreOp,
-        offset: u64,
-        addr: u32,
-        k: u64,
-    },
-    /// `<stack addr>; local.get val; store` — register value to a
-    /// stack-computed address.
-    StoreSR {
-        op: StoreOp,
-        offset: u64,
-        val: u32,
-    },
-    /// `<stack addr>; <const> k; store` — constant value to a
-    /// stack-computed address.
-    StoreSC {
-        op: StoreOp,
-        offset: u64,
-        k: u64,
-    },
-    /// `<stack addr>; load; local.get b; <alu>` — the loaded value is the
-    /// left ALU operand, a local the right.
-    AluMemR {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        b: u32,
-    },
-    /// [`Op::AluMemR`] plus a trailing `local.set dst`.
-    AluMemRSet {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        b: u32,
-        dst: u32,
-    },
-    /// `local.get addr; load; local.get b; <alu>` — the fully
-    /// register-addressed memory ALU form.
-    AluMR {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        addr: u32,
-        b: u32,
-    },
-    /// [`Op::AluMR`] plus a trailing `local.set dst` — one dispatch for
-    /// `dst = mem[addr] <op> b`.
-    AluMRSet {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        addr: u32,
-        b: u32,
-        dst: u32,
-    },
-    /// `local.get a; local.get addr; load; <alu>` — a local left operand,
-    /// the loaded value the right.
-    AluRMem {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        a: u32,
-        addr: u32,
-    },
-    /// [`Op::AluRMem`] plus a trailing `local.set dst` — one dispatch for
-    /// `dst = a <op> mem[addr]` (the reduction shape `s = s + a[i]`).
-    AluRMemSet {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        a: u32,
-        addr: u32,
-        dst: u32,
-    },
-    /// `<stack a>; <stack addr>; load; <alu>` — stack left operand, loaded
-    /// right operand.
-    AluSMem {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-    },
-    /// [`Op::AluSMem`] plus a trailing `local.set dst`.
-    AluSMemSet {
-        alu: AluOp,
-        load: LoadOp,
-        offset: u64,
-        dst: u32,
-    },
-
     // -- parametric / variable ----------------------------------------------
     Drop,
     Select,
@@ -976,11 +757,6 @@ struct Compiler<'m> {
     /// Current operand height relative to the frame base.
     height: usize,
     ctrl: Vec<CtrlFrame>,
-    /// Fusion fence: the earliest op index peephole fusion may consume.
-    /// Reset to `ops.len()` at every position a branch target can bind
-    /// (loop starts, block/if ends, else starts), so no label ever points
-    /// between the constituents of a fused op.
-    fence: usize,
 }
 
 /// Lowers a validated function body to flat bytecode.
@@ -999,7 +775,6 @@ pub fn compile(module: &Module, results: usize, body: &[Instr]) -> FlatCode {
         ops: Vec::with_capacity(body.len() + 1),
         height: 0,
         ctrl: Vec::with_capacity(8),
-        fence: 0,
     };
     c.ctrl.push(CtrlFrame {
         loop_start: None,
@@ -1015,8 +790,8 @@ pub fn compile(module: &Module, results: usize, body: &[Instr]) -> FlatCode {
         c.apply_patch(&p, end);
     }
     c.ops.push(Op::End);
-    // Resolve each op's dispatch handler once, after fusion and patching
-    // settled the final op array.
+    // Resolve each op's dispatch handler once, after patching settled
+    // the final op array.
     let handlers: Box<[u16]> = c.ops.iter().map(crate::interp::handler_index).collect();
     let thread = handlers
         .iter()
@@ -1037,411 +812,11 @@ impl Compiler<'_> {
 
     fn apply_patch(&mut self, p: &Patch, pc: u32) {
         match &mut self.ops[p.op] {
-            Op::Br(t)
-            | Op::BrIf(t)
-            | Op::BrIfZ(t)
-            | Op::BrIfLocal { target: t, .. }
-            | Op::BrIfZLocal { target: t, .. } => t.pc = pc,
+            Op::Br(t) | Op::BrIf(t) => t.pc = pc,
             Op::BrTable(ts) => ts[p.slot].pc = pc,
-            Op::Jump(t) | Op::If(t) | Op::IfLocal { else_pc: t, .. } => *t = pc,
+            Op::Jump(t) | Op::If(t) => *t = pc,
             other => unreachable!("patching non-branch op {other:?}"),
         }
-    }
-
-    /// Emits a data op, peephole-fusing it with the preceding op(s) when a
-    /// superinstruction pattern matches and no label can bind in between.
-    ///
-    /// Fused ops replay their constituents' cycle charges in the original
-    /// order and retire the same instruction count, so fusion is invisible
-    /// to the cycle accounting.
-    fn emit_fused(&mut self, op: Op) {
-        if self.ops.len() > self.fence {
-            let prev_idx = self.ops.len() - 1;
-            // Two-op lookbacks span ops[prev_idx - 1..=prev_idx]: both must
-            // sit after the fence for the fold to be label-safe.
-            let deep = self.ops.len() > self.fence + 1;
-            // Memory fusion: fold a register-held address into the load.
-            if let Op::Load(l, off) = &op {
-                let (l, off) = (*l, *off);
-                match self.ops[prev_idx] {
-                    Op::LocalGet(addr) => {
-                        self.ops[prev_idx] = Op::LoadR {
-                            op: l,
-                            offset: off,
-                            addr,
-                        };
-                        return;
-                    }
-                    // The pair's second get is the address; re-split so
-                    // the first push survives and the load still fuses
-                    // (a label at the pair's pc keeps landing on its
-                    // first constituent).
-                    Op::LocalGetPair { a, b } => {
-                        self.ops[prev_idx] = Op::LocalGet(a);
-                        self.ops.push(Op::LoadR {
-                            op: l,
-                            offset: off,
-                            addr: b,
-                        });
-                        return;
-                    }
-                    // The tee shape C codegen emits for address temps:
-                    // `local.set+get n; load` ≡ `local.set n; load at
-                    // register n`.
-                    Op::LocalSetGet(n) => {
-                        self.ops[prev_idx] = Op::LocalSet(n);
-                        self.ops.push(Op::LoadR {
-                            op: l,
-                            offset: off,
-                            addr: n,
-                        });
-                        return;
-                    }
-                    _ => {}
-                }
-            }
-            // Store fusion: fold register/constant value producers (and a
-            // register address when present) into the store.
-            if let Op::Store(s, off) = &op {
-                let (s, off) = (*s, *off);
-                match self.ops[prev_idx] {
-                    Op::LocalGetPair { a, b } => {
-                        self.ops[prev_idx] = Op::StoreRR {
-                            op: s,
-                            offset: off,
-                            addr: a,
-                            val: b,
-                        };
-                        return;
-                    }
-                    Op::LocalGet(val) => {
-                        if deep {
-                            // Tee'd address below the value register:
-                            // `local.set+get n; local.get val; store`.
-                            if let Op::LocalSetGet(n) = self.ops[prev_idx - 1] {
-                                self.ops[prev_idx - 1] = Op::LocalSet(n);
-                                self.ops[prev_idx] = Op::StoreRR {
-                                    op: s,
-                                    offset: off,
-                                    addr: n,
-                                    val,
-                                };
-                                return;
-                            }
-                        }
-                        self.ops[prev_idx] = Op::StoreSR {
-                            op: s,
-                            offset: off,
-                            val,
-                        };
-                        return;
-                    }
-                    Op::Const(k) => {
-                        if deep {
-                            if let Op::LocalGet(addr) = self.ops[prev_idx - 1] {
-                                self.ops.pop();
-                                self.ops[prev_idx - 1] = Op::StoreRC {
-                                    op: s,
-                                    offset: off,
-                                    addr,
-                                    k,
-                                };
-                                return;
-                            }
-                            if let Op::LocalSetGet(n) = self.ops[prev_idx - 1] {
-                                self.ops[prev_idx - 1] = Op::LocalSet(n);
-                                self.ops[prev_idx] = Op::StoreRC {
-                                    op: s,
-                                    offset: off,
-                                    addr: n,
-                                    k,
-                                };
-                                return;
-                            }
-                        }
-                        self.ops[prev_idx] = Op::StoreSC {
-                            op: s,
-                            offset: off,
-                            k,
-                        };
-                        return;
-                    }
-                    _ => {}
-                }
-            }
-            // 3-address ALU fusion: fold the operand producers (locals,
-            // constants, loads) into the binop, then (below, on a later
-            // call) the consuming `local.set` into the fused op.
-            if let Some(alu) = AluOp::from_op(&op) {
-                if deep {
-                    let two = match (&self.ops[prev_idx - 1], &self.ops[prev_idx]) {
-                        (&Op::LocalGet(a), &Op::Const(k)) => Some(Op::AluRC { op: alu, a, k }),
-                        (&Op::I64ExtendI32S, &Op::Const(k)) => Some(Op::AluSCExt { op: alu, k }),
-                        (&Op::Load(load, offset), &Op::LocalGet(b)) => Some(Op::AluMemR {
-                            alu,
-                            load,
-                            offset,
-                            b,
-                        }),
-                        (
-                            &Op::LoadR {
-                                op: load,
-                                offset,
-                                addr,
-                            },
-                            &Op::LocalGet(b),
-                        ) => Some(Op::AluMR {
-                            alu,
-                            load,
-                            offset,
-                            addr,
-                            b,
-                        }),
-                        (
-                            &Op::LocalGet(a),
-                            &Op::LoadR {
-                                op: load,
-                                offset,
-                                addr,
-                            },
-                        ) => Some(Op::AluRMem {
-                            alu,
-                            load,
-                            offset,
-                            a,
-                            addr,
-                        }),
-                        _ => None,
-                    };
-                    if let Some(f) = two {
-                        self.ops.pop();
-                        self.ops[prev_idx - 1] = f;
-                        return;
-                    }
-                }
-                let fused = match &self.ops[prev_idx] {
-                    Op::LocalGetPair { a, b } => Some(Op::AluRR {
-                        op: alu,
-                        a: *a,
-                        b: *b,
-                    }),
-                    Op::LocalGet(b) => Some(Op::AluSR { op: alu, b: *b }),
-                    Op::Const(k) => Some(Op::AluSC { op: alu, k: *k }),
-                    &Op::Load(load, offset) => Some(Op::AluSMem { alu, load, offset }),
-                    _ => None,
-                };
-                if let Some(f) = fused {
-                    self.ops[prev_idx] = f;
-                    return;
-                }
-            }
-            // The head of C array-address chains: a constant materialised
-            // into a register, read straight back under a second operand.
-            if let Op::LocalGet(b) = &op {
-                if deep {
-                    if let (&Op::ConstLocal { v, dst }, &Op::LocalGet(a)) =
-                        (&self.ops[prev_idx - 1], &self.ops[prev_idx])
-                    {
-                        if dst == a {
-                            let b = *b;
-                            self.ops.pop();
-                            self.ops[prev_idx - 1] = Op::ConstLocalPair { v, dst, b };
-                            return;
-                        }
-                    }
-                }
-            }
-            if let Op::LocalSet(d) = &op {
-                // The mem2reg temp shape `t = a <op> b; d = t`: fold the
-                // copy into the ALU superinstruction (both registers are
-                // written, so later reads of the temp stay correct).
-                if deep {
-                    if let &Op::LocalGet(t) = &self.ops[prev_idx] {
-                        match self.ops[prev_idx - 1] {
-                            Op::AluRRSet { op, a, b, dst } if dst == t => {
-                                let dst2 = *d;
-                                self.ops.pop();
-                                self.ops[prev_idx - 1] = Op::AluRRSetMove {
-                                    op,
-                                    a,
-                                    b,
-                                    dst,
-                                    dst2,
-                                };
-                                return;
-                            }
-                            Op::AluRCSet { op, a, k, dst } if dst == t => {
-                                let dst2 = *d;
-                                self.ops.pop();
-                                self.ops[prev_idx - 1] = Op::AluRCSetMove {
-                                    op,
-                                    a,
-                                    k,
-                                    dst,
-                                    dst2,
-                                };
-                                return;
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-                // A plain two-stack-operand binop feeding a `local.set`
-                // becomes a 1-dispatch store-to-register ALU op — and
-                // when a constant-operand ALU op feeds that binop (the
-                // `base + i*8` scale-and-add), the whole chain collapses.
-                if let Some(alu) = AluOp::from_op(&self.ops[prev_idx]) {
-                    if deep {
-                        let chain = match self.ops[prev_idx - 1] {
-                            Op::AluSC { op: op1, k } => Some(Op::AluChainSet {
-                                ext: false,
-                                op1,
-                                k,
-                                op2: alu,
-                                dst: *d,
-                            }),
-                            Op::AluSCExt { op: op1, k } => Some(Op::AluChainSet {
-                                ext: true,
-                                op1,
-                                k,
-                                op2: alu,
-                                dst: *d,
-                            }),
-                            _ => None,
-                        };
-                        if let Some(f) = chain {
-                            self.ops.pop();
-                            self.ops[prev_idx - 1] = f;
-                            return;
-                        }
-                    }
-                    self.ops[prev_idx] = Op::AluSSet { op: alu, dst: *d };
-                    return;
-                }
-            }
-            let fused = match (&self.ops[prev_idx], &op) {
-                (Op::LocalGet(s), Op::LocalSet(d)) => Some(Op::LocalMove { src: *s, dst: *d }),
-                (Op::LocalSet(d), Op::LocalGet(s)) if d == s => Some(Op::LocalSetGet(*d)),
-                (Op::LocalGet(a), Op::LocalGet(b)) => Some(Op::LocalGetPair { a: *a, b: *b }),
-                (Op::Const(v), Op::LocalSet(d)) => Some(Op::ConstLocal { v: *v, dst: *d }),
-                (Op::ConstExtI64(v), Op::LocalSet(d)) => Some(Op::ConstLocalExt { v: *v, dst: *d }),
-                (Op::Const(v), Op::I64ExtendI32S) => {
-                    Some(Op::ConstExtI64(i64::from(*v as u32 as i32) as u64))
-                }
-                (Op::AluRR { op, a, b }, Op::LocalSet(d)) => Some(Op::AluRRSet {
-                    op: *op,
-                    a: *a,
-                    b: *b,
-                    dst: *d,
-                }),
-                (Op::AluRC { op, a, k }, Op::LocalSet(d)) => Some(Op::AluRCSet {
-                    op: *op,
-                    a: *a,
-                    k: *k,
-                    dst: *d,
-                }),
-                (Op::AluSR { op, b }, Op::LocalSet(d)) => Some(Op::AluSRSet {
-                    op: *op,
-                    b: *b,
-                    dst: *d,
-                }),
-                (Op::AluSC { op, k }, Op::LocalSet(d)) => Some(Op::AluSCSet {
-                    op: *op,
-                    k: *k,
-                    dst: *d,
-                }),
-                (
-                    &Op::LoadR {
-                        op: l,
-                        offset,
-                        addr,
-                    },
-                    &Op::LocalSet(dst),
-                ) => Some(Op::LoadRSet {
-                    op: l,
-                    offset,
-                    addr,
-                    dst,
-                }),
-                (&Op::Load(l, offset), &Op::LocalSet(dst)) => {
-                    Some(Op::LoadSet { op: l, offset, dst })
-                }
-                (
-                    &Op::AluMemR {
-                        alu,
-                        load,
-                        offset,
-                        b,
-                    },
-                    &Op::LocalSet(dst),
-                ) => Some(Op::AluMemRSet {
-                    alu,
-                    load,
-                    offset,
-                    b,
-                    dst,
-                }),
-                (
-                    &Op::AluMR {
-                        alu,
-                        load,
-                        offset,
-                        addr,
-                        b,
-                    },
-                    &Op::LocalSet(dst),
-                ) => Some(Op::AluMRSet {
-                    alu,
-                    load,
-                    offset,
-                    addr,
-                    b,
-                    dst,
-                }),
-                (
-                    &Op::AluRMem {
-                        alu,
-                        load,
-                        offset,
-                        a,
-                        addr,
-                    },
-                    &Op::LocalSet(dst),
-                ) => Some(Op::AluRMemSet {
-                    alu,
-                    load,
-                    offset,
-                    a,
-                    addr,
-                    dst,
-                }),
-                (&Op::AluSMem { alu, load, offset }, &Op::LocalSet(dst)) => Some(Op::AluSMemSet {
-                    alu,
-                    load,
-                    offset,
-                    dst,
-                }),
-                _ => None,
-            };
-            if let Some(f) = fused {
-                self.ops[prev_idx] = f;
-                return;
-            }
-        }
-        self.ops.push(op);
-    }
-
-    /// Pops the preceding `local.get` when branch-condition fusion may
-    /// consume it.
-    fn take_prev_local_get(&mut self) -> Option<u32> {
-        if self.ops.len() > self.fence {
-            if let Some(Op::LocalGet(s)) = self.ops.last() {
-                let s = *s;
-                self.ops.pop();
-                return Some(s);
-            }
-        }
-        None
     }
 
     /// Resolves a branch to `depth` labels up. Loop targets are known
@@ -1479,8 +854,6 @@ impl Compiler<'_> {
             self.apply_patch(p, end);
         }
         self.height = frame.height + frame.end_arity;
-        // The end is a branch target: nothing may fuse across it.
-        self.fence = self.ops.len();
     }
 
     /// Lowers a sequence; returns whether its end is reachable. Dead code
@@ -1516,8 +889,6 @@ impl Compiler<'_> {
                 false
             }
             Instr::Loop(bt, inner) => {
-                // The loop header is a branch target: fence fusion here.
-                self.fence = self.ops.len();
                 self.ctrl.push(CtrlFrame {
                     loop_start: Some(self.ops.len() as u32),
                     height: self.height,
@@ -1532,13 +903,7 @@ impl Compiler<'_> {
             Instr::If(bt, then_body, else_body) => {
                 self.height -= 1; // condition
                 let arity = bt.arity();
-                let if_idx = match self.take_prev_local_get() {
-                    Some(src) => self.emit(Op::IfLocal {
-                        src,
-                        else_pc: u32::MAX,
-                    }),
-                    None => self.emit(Op::If(u32::MAX)),
-                };
+                let if_idx = self.emit(Op::If(u32::MAX));
                 let entry = self.height;
                 self.ctrl.push(CtrlFrame {
                     loop_start: None,
@@ -1558,7 +923,6 @@ impl Compiler<'_> {
                         },
                         end,
                     );
-                    self.fence = self.ops.len();
                 } else {
                     if then_reachable {
                         let jump = self.emit(Op::Jump(u32::MAX));
@@ -1576,7 +940,6 @@ impl Compiler<'_> {
                         },
                         else_start,
                     );
-                    self.fence = self.ops.len();
                     self.height = entry;
                     self.lower_seq(else_body);
                 }
@@ -1591,22 +954,9 @@ impl Compiler<'_> {
             }
             Instr::BrIf(depth) => {
                 self.height -= 1; // condition
-                let inverted =
-                    if self.ops.len() > self.fence && matches!(self.ops.last(), Some(Op::I32Eqz)) {
-                        self.ops.pop();
-                        true
-                    } else {
-                        false
-                    };
-                let src = self.take_prev_local_get();
                 let op = self.ops.len();
                 let target = self.branch_target(*depth, op, 0);
-                self.emit(match (inverted, src) {
-                    (false, None) => Op::BrIf(target),
-                    (true, None) => Op::BrIfZ(target),
-                    (false, Some(src)) => Op::BrIfLocal { src, target },
-                    (true, Some(src)) => Op::BrIfZLocal { src, target },
-                });
+                self.emit(Op::BrIf(target));
                 false
             }
             Instr::BrTable(targets, default) => {
@@ -1647,7 +997,7 @@ impl Compiler<'_> {
                     .expect("validated stack effect")
                     + pushes;
                 let op = flat_op(other).expect("non-control instruction");
-                self.emit_fused(op);
+                self.emit(op);
                 matches!(other, Instr::Unreachable)
             }
         }
@@ -1684,181 +1034,6 @@ impl fmt::Display for Op {
             Op::LocalTee(i) => write!(f, "local.tee {i}"),
             Op::GlobalGet(i) => write!(f, "global.get {i}"),
             Op::GlobalSet(i) => write!(f, "global.set {i}"),
-            Op::LocalMove { src, dst } => write!(f, "local.move {dst} <- {src}"),
-            Op::LocalSetGet(i) => write!(f, "local.set+get {i}"),
-            Op::LocalGetPair { a, b } => write!(f, "local.get2 {a}, {b}"),
-            Op::ConstLocal { v, dst } => write!(f, "local.const {dst} <- {v:#x}"),
-            Op::ConstExtI64(v) => write!(f, "const+ext {v:#x}"),
-            Op::ConstLocalExt { v, dst } => write!(f, "local.const+ext {dst} <- {v:#x}"),
-            Op::AluRR { op, a, b } => write!(f, "{op:?} local {a}, local {b}"),
-            Op::AluRRSet { op, a, b, dst } => {
-                write!(f, "{op:?} local {a}, local {b} -> local {dst}")
-            }
-            Op::AluRC { op, a, k } => write!(f, "{op:?} local {a}, const {k:#x}"),
-            Op::AluRCSet { op, a, k, dst } => {
-                write!(f, "{op:?} local {a}, const {k:#x} -> local {dst}")
-            }
-            Op::AluSR { op, b } => write!(f, "{op:?} stack, local {b}"),
-            Op::AluSRSet { op, b, dst } => write!(f, "{op:?} stack, local {b} -> local {dst}"),
-            Op::AluSC { op, k } => write!(f, "{op:?} stack, const {k:#x}"),
-            Op::AluSCSet { op, k, dst } => write!(f, "{op:?} stack, const {k:#x} -> local {dst}"),
-            Op::AluSSet { op, dst } => write!(f, "{op:?} stack, stack -> local {dst}"),
-            Op::AluSCExt { op, k } => write!(f, "{op:?} sext32(stack), const {k:#x}"),
-            Op::ConstLocalPair { v, dst, b } => {
-                write!(f, "local.const+get2 {dst} <- {v:#x}, {b}")
-            }
-            Op::AluRRSetMove {
-                op,
-                a,
-                b,
-                dst,
-                dst2,
-            } => {
-                write!(
-                    f,
-                    "{op:?} local {a}, local {b} -> local {dst}, local {dst2}"
-                )
-            }
-            Op::AluRCSetMove {
-                op,
-                a,
-                k,
-                dst,
-                dst2,
-            } => {
-                write!(
-                    f,
-                    "{op:?} local {a}, const {k:#x} -> local {dst}, local {dst2}"
-                )
-            }
-            Op::AluChainSet {
-                ext,
-                op1,
-                k,
-                op2,
-                dst,
-            } => {
-                let a1 = if *ext { "sext32(stack)" } else { "stack" };
-                write!(
-                    f,
-                    "{op2:?} stack, ({op1:?} {a1}, const {k:#x}) -> local {dst}"
-                )
-            }
-            Op::BrIfZ(t) => write!(f, "br_if_z {t}"),
-            Op::BrIfLocal { src, target } => write!(f, "br_if local {src} {target}"),
-            Op::BrIfZLocal { src, target } => write!(f, "br_if_z local {src} {target}"),
-            Op::IfLocal { src, else_pc } => {
-                write!(f, "if local {src} (else \u{2192}{else_pc:04})")
-            }
-            Op::LoadR { op, offset, addr } => {
-                write!(f, "{op:?} offset={offset} addr=local {addr}")
-            }
-            Op::LoadRSet {
-                op,
-                offset,
-                addr,
-                dst,
-            } => write!(f, "{op:?} offset={offset} addr=local {addr} -> local {dst}"),
-            Op::LoadSet { op, offset, dst } => {
-                write!(f, "{op:?} offset={offset} addr=stack -> local {dst}")
-            }
-            Op::StoreRR {
-                op,
-                offset,
-                addr,
-                val,
-            } => write!(
-                f,
-                "{op:?} offset={offset} addr=local {addr}, val=local {val}"
-            ),
-            Op::StoreRC {
-                op,
-                offset,
-                addr,
-                k,
-            } => write!(
-                f,
-                "{op:?} offset={offset} addr=local {addr}, val=const {k:#x}"
-            ),
-            Op::StoreSR { op, offset, val } => {
-                write!(f, "{op:?} offset={offset} addr=stack, val=local {val}")
-            }
-            Op::StoreSC { op, offset, k } => {
-                write!(f, "{op:?} offset={offset} addr=stack, val=const {k:#x}")
-            }
-            Op::AluMemR {
-                alu,
-                load,
-                offset,
-                b,
-            } => write!(
-                f,
-                "{alu:?} mem({load:?} offset={offset} addr=stack), local {b}"
-            ),
-            Op::AluMemRSet {
-                alu,
-                load,
-                offset,
-                b,
-                dst,
-            } => write!(
-                f,
-                "{alu:?} mem({load:?} offset={offset} addr=stack), local {b} -> local {dst}"
-            ),
-            Op::AluMR {
-                alu,
-                load,
-                offset,
-                addr,
-                b,
-            } => write!(
-                f,
-                "{alu:?} mem({load:?} offset={offset} addr=local {addr}), local {b}"
-            ),
-            Op::AluMRSet {
-                alu,
-                load,
-                offset,
-                addr,
-                b,
-                dst,
-            } => write!(
-                f,
-                "{alu:?} mem({load:?} offset={offset} addr=local {addr}), local {b} -> local {dst}"
-            ),
-            Op::AluRMem {
-                alu,
-                load,
-                offset,
-                a,
-                addr,
-            } => write!(
-                f,
-                "{alu:?} local {a}, mem({load:?} offset={offset} addr=local {addr})"
-            ),
-            Op::AluRMemSet {
-                alu,
-                load,
-                offset,
-                a,
-                addr,
-                dst,
-            } => write!(
-                f,
-                "{alu:?} local {a}, mem({load:?} offset={offset} addr=local {addr}) -> local {dst}"
-            ),
-            Op::AluSMem { alu, load, offset } => {
-                write!(f, "{alu:?} stack, mem({load:?} offset={offset} addr=stack)")
-            }
-            Op::AluSMemSet {
-                alu,
-                load,
-                offset,
-                dst,
-            } => write!(
-                f,
-                "{alu:?} stack, mem({load:?} offset={offset} addr=stack) -> local {dst}"
-            ),
             Op::SegmentNew(o) => write!(f, "segment.new {o}"),
             Op::SegmentSetTag(o) => write!(f, "segment.set_tag {o}"),
             Op::SegmentFree(o) => write!(f, "segment.free {o}"),
@@ -1867,13 +1042,15 @@ impl fmt::Display for Op {
     }
 }
 
-/// Disassembles the flat bytecode of function `func_idx` (joint index
-/// space) of a validated module — the `cagec --dump-bytecode` backend.
+/// Disassembles the flat *stack* bytecode of function `func_idx` (joint
+/// index space) of a validated module — the mid-tier lowering. The
+/// primary `cagec --dump-bytecode` backend is [`disassemble`], which
+/// renders the register form.
 ///
 /// Returns `None` when the index is out of range or names an imported
 /// host function (imports have no bytecode).
 #[must_use]
-pub fn disassemble(module: &Module, func_idx: u32) -> Option<String> {
+pub fn disassemble_stack(module: &Module, func_idx: u32) -> Option<String> {
     use std::fmt::Write as _;
 
     let imported = module.imported_func_count();
@@ -1892,6 +1069,1662 @@ pub fn disassemble(module: &Module, func_idx: u32) -> Option<String> {
     );
     for (pc, op) in code.ops.iter().enumerate() {
         let _ = writeln!(out, "  {pc:04}: {op}");
+    }
+    Some(out)
+}
+
+// ===========================================================================
+// Register bytecode (primary tier)
+// ===========================================================================
+
+/// Cycle-charge class of one retired source instruction.
+///
+/// The register lowering dissolves stack shuffling (`local.get`/`set`/
+/// `tee`, constants, `drop`, `nop`) into the dataflow, so a single
+/// [`RegOp`] can retire several source instructions. To keep cycle
+/// accounting and retired-instruction counts byte-for-byte identical to
+/// the stack tiers, every register op carries a *charge recipe*: the
+/// class tags of its constituent source ops in original program order.
+/// The dispatch loop replays the recipe — one charge per tag — before
+/// running the op body, so a trap inside the op leaves exactly the
+/// charges the unfused sequence would have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ChargeTag {
+    /// Integer ALU / stack-shuffle class.
+    Simple,
+    /// Float arithmetic, comparison and conversion class.
+    Float,
+    /// Integer division/remainder class.
+    Div,
+    /// Float division / square-root class.
+    FloatDiv,
+    /// Branch class.
+    Branch,
+    /// Direct-call class.
+    Call,
+    /// Indirect-call class.
+    CallIndirect,
+    /// Memory-access class.
+    Mem,
+    /// Free op that still retires an instruction (`i32.wrap_i64`,
+    /// `i64.extend_i32_{s,u}` charge zero cycles on this machine).
+    Zero,
+}
+
+macro_rules! una_ops {
+    ($($v:ident => $tag:ident),+ $(,)?) => {
+        /// A one-operand op in 3-address register form: `dst <- op a`.
+        /// Trapping conversions (the `trunc` family) are included — they
+        /// report their trap through `una_eval` like any other op.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub enum UnaOp {
+            $($v,)+
+        }
+
+        impl UnaOp {
+            /// Maps a plain unary [`Op`] to its register form.
+            #[must_use]
+            pub fn from_op(op: &Op) -> Option<UnaOp> {
+                match op {
+                    $(Op::$v => Some(UnaOp::$v),)+
+                    _ => None,
+                }
+            }
+
+            /// The charge class the source op retires.
+            #[must_use]
+            pub fn charge_tag(self) -> ChargeTag {
+                match self {
+                    $(UnaOp::$v => ChargeTag::$tag,)+
+                }
+            }
+        }
+    };
+}
+una_ops!(
+    I32Eqz => Simple,
+    I64Eqz => Simple,
+    I32Clz => Simple,
+    I32Ctz => Simple,
+    I32Popcnt => Simple,
+    I64Clz => Simple,
+    I64Ctz => Simple,
+    I64Popcnt => Simple,
+    I32WrapI64 => Zero,
+    I64ExtendI32S => Zero,
+    I64ExtendI32U => Zero,
+    I32Extend8S => Simple,
+    I32Extend16S => Simple,
+    I64Extend8S => Simple,
+    I64Extend16S => Simple,
+    I64Extend32S => Simple,
+    I32ReinterpretF32 => Simple,
+    I64ReinterpretF64 => Simple,
+    F32ReinterpretI32 => Simple,
+    F64ReinterpretI64 => Simple,
+    I32TruncF32S => Float,
+    I32TruncF32U => Float,
+    I32TruncF64S => Float,
+    I32TruncF64U => Float,
+    I64TruncF32S => Float,
+    I64TruncF32U => Float,
+    I64TruncF64S => Float,
+    I64TruncF64U => Float,
+    F32ConvertI32S => Float,
+    F32ConvertI32U => Float,
+    F32ConvertI64S => Float,
+    F32ConvertI64U => Float,
+    F32DemoteF64 => Float,
+    F64ConvertI32S => Float,
+    F64ConvertI32U => Float,
+    F64ConvertI64S => Float,
+    F64ConvertI64U => Float,
+    F64PromoteF32 => Float,
+    F32Abs => Float,
+    F32Neg => Float,
+    F32Ceil => Float,
+    F32Floor => Float,
+    F32Trunc => Float,
+    F32Nearest => Float,
+    F32Sqrt => FloatDiv,
+    F64Abs => Float,
+    F64Neg => Float,
+    F64Ceil => Float,
+    F64Floor => Float,
+    F64Trunc => Float,
+    F64Nearest => Float,
+    F64Sqrt => FloatDiv,
+);
+
+/// A direct call in register form: argument and result register lists
+/// replace the operand stack. The callee's own frame is laid out by its
+/// [`RegCode::param_slots`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegCall {
+    /// Callee function index (joint index space).
+    pub func: u32,
+    /// Argument registers, in signature order.
+    pub args: Box<[u16]>,
+    /// Result registers, in signature order.
+    pub rets: Box<[u16]>,
+}
+
+/// An indirect call in register form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegCallIndirect {
+    /// Expected signature (type index).
+    pub type_idx: u32,
+    /// Register holding the table index.
+    pub sel: u16,
+    /// Argument registers, in signature order.
+    pub args: Box<[u16]>,
+    /// Result registers, in signature order.
+    pub rets: Box<[u16]>,
+}
+
+/// A rare or stateful op bridged to the shared [`Op`] implementation
+/// (`exec_op`): globals, memory management, segments, pointer sign/auth
+/// and `unreachable`. The bridge stages `args` into a
+/// scratch operand stack, runs the op (which does its own internal
+/// charging, exactly as the stack tiers do), and moves the result to
+/// `ret`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegBridge {
+    /// The bridged stack op.
+    pub op: Op,
+    /// Argument registers, deepest stack operand first.
+    pub args: Box<[u16]>,
+    /// Result register, when the op pushes one.
+    pub ret: Option<u16>,
+    /// Whether the op can move linear memory (`memory.grow`), requiring
+    /// a fast-path cache refresh afterwards.
+    pub grow: bool,
+}
+
+/// A register bytecode instruction: generic 3-address operations over a
+/// fixed per-frame register file. No operand stack exists at run time;
+/// branch targets are plain pcs (the register file needs no collapse).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegOp {
+    /// Placeholder that only replays its charge recipe (source ops whose
+    /// effects fully dissolved, pinned at a control-flow point).
+    Nop,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Jump when `cond` (as i32) is non-zero.
+    BrIf {
+        /// Condition register.
+        cond: u16,
+        /// Destination pc.
+        target: u32,
+    },
+    /// Jump when `cond` (as i32) is zero (the false edge of `if`).
+    BrIfZ {
+        /// Condition register.
+        cond: u16,
+        /// Destination pc.
+        target: u32,
+    },
+    /// Indexed jump; out-of-range selectors take the default, stored
+    /// last.
+    BrTable {
+        /// Selector register.
+        sel: u16,
+        /// Destination pcs, default last.
+        targets: Box<[u32]>,
+    },
+    /// Function return carrying the result registers.
+    Ret {
+        /// Result registers, in signature order.
+        srcs: Box<[u16]>,
+    },
+    /// Direct call.
+    Call(Box<RegCall>),
+    /// Indirect call.
+    CallIndirect(Box<RegCallIndirect>),
+    /// `dst <- src` (phi-elimination copy; free, no recipe).
+    Move {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// `dst <- constant` (materialized constant; free unless it carries
+    /// a recipe).
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Pre-encoded operand slot.
+        v: u64,
+    },
+    /// `dst <- a op b`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `dst <- a op b` for division/remainder: the integer forms trap on
+    /// a zero divisor (and `INT_MIN / -1`), after the recipe — which
+    /// carries the `Div`/`FloatDiv` charge — has replayed.
+    Div {
+        /// The operation.
+        op: DivOp,
+        /// Destination register.
+        dst: u16,
+        /// Dividend register.
+        a: u16,
+        /// Divisor register.
+        b: u16,
+    },
+    /// `dst <- a op constant` (right operand folded).
+    AluImm {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Pre-encoded right operand.
+        k: u64,
+    },
+    /// `dst <- op a`.
+    Una {
+        /// The operation.
+        op: UnaOp,
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        a: u16,
+    },
+    /// `dst <- cond != 0 ? a : b`.
+    Select {
+        /// Destination register.
+        dst: u16,
+        /// Condition register.
+        cond: u16,
+        /// Value when the condition is non-zero.
+        a: u16,
+        /// Value when the condition is zero.
+        b: u16,
+    },
+    /// `dst <- memory[addr + offset]`.
+    Load {
+        /// Access width and extension.
+        op: LoadOp,
+        /// Static byte offset.
+        offset: u64,
+        /// Destination register.
+        dst: u16,
+        /// Address register.
+        addr: u16,
+    },
+    /// `memory[addr + offset] <- val`.
+    Store {
+        /// Access width.
+        op: StoreOp,
+        /// Static byte offset.
+        offset: u64,
+        /// Address register.
+        addr: u16,
+        /// Value register.
+        val: u16,
+    },
+    /// Bridged stack op (see [`RegBridge`]).
+    Bridge(Box<RegBridge>),
+}
+
+/// Hot-region register budget: the slots a later native tier would map
+/// to machine registers. Overflow intervals spill to slots above the
+/// watermark (same access cost in the interpreter; the split is the
+/// contract the native tier inherits, and the disassembler shows it).
+pub const HOT_SLOTS: u16 = 32;
+
+/// A function body compiled to register bytecode.
+#[derive(Debug, Clone, Default)]
+pub struct RegCode {
+    /// The flat instruction array.
+    pub ops: Box<[RegOp]>,
+    /// Per-op charge recipe as `(offset, len)` into [`RegCode::pool`]
+    /// (parallel to `ops`; `(0, 0)` when empty).
+    pub recipes: Box<[(u32, u16)]>,
+    /// Interned charge-tag pool shared by all recipes.
+    pub pool: Box<[ChargeTag]>,
+    /// Total frame slots, including the reserved scratch slot (the last
+    /// one), which parallel-copy cycles and dead writes use.
+    pub frame_size: u16,
+    /// Hot-region watermark from the linear scan.
+    pub hot_used: u16,
+    /// Number of live intervals that overflowed into spill slots.
+    pub spilled: u32,
+    /// Frame slot of each parameter, in signature order: the caller
+    /// writes arguments straight into the callee frame.
+    pub param_slots: Box<[u16]>,
+    /// Pre-resolved handler index per op (parallel to `ops`), the
+    /// introspectable form of the dispatch resolution.
+    pub handlers: Box<[u16]>,
+    /// The same handlers as direct fn pointers, which the loop calls.
+    pub(crate) thread: Box<[crate::interp::RegHandler]>,
+}
+
+// -- register lowering, pass 1: structured body -> SSA CFG ------------------
+
+/// A register instruction over SSA values, before slot assignment.
+#[derive(Debug)]
+enum RInst {
+    /// Charge-recipe carrier with no effect (dissolved ops pinned at a
+    /// fall-through point); emits [`RegOp::Nop`].
+    Flush,
+    Alu {
+        op: AluOp,
+        dst: ssa::Value,
+        a: ssa::Value,
+        b: ssa::Value,
+    },
+    Div {
+        op: DivOp,
+        dst: ssa::Value,
+        a: ssa::Value,
+        b: ssa::Value,
+    },
+    Una {
+        op: UnaOp,
+        dst: ssa::Value,
+        a: ssa::Value,
+    },
+    Select {
+        dst: ssa::Value,
+        cond: ssa::Value,
+        a: ssa::Value,
+        b: ssa::Value,
+    },
+    Load {
+        op: LoadOp,
+        offset: u64,
+        dst: ssa::Value,
+        addr: ssa::Value,
+    },
+    Store {
+        op: StoreOp,
+        offset: u64,
+        addr: ssa::Value,
+        val: ssa::Value,
+    },
+    Call {
+        func: u32,
+        args: Vec<ssa::Value>,
+        rets: Vec<ssa::Value>,
+    },
+    CallIndirect {
+        type_idx: u32,
+        sel: ssa::Value,
+        args: Vec<ssa::Value>,
+        rets: Vec<ssa::Value>,
+    },
+    Bridge {
+        op: Op,
+        args: Vec<ssa::Value>,
+        ret: Option<ssa::Value>,
+        grow: bool,
+    },
+}
+
+/// Block terminator over SSA values.
+#[derive(Debug, Default)]
+enum LTerm {
+    /// Fall through to the next block in layout order (emits no op).
+    #[default]
+    None,
+    Jump(ssa::Block),
+    BrIf {
+        cond: ssa::Value,
+        then_b: ssa::Block,
+    },
+    BrIfZ {
+        cond: ssa::Value,
+        else_b: ssa::Block,
+    },
+    BrTable {
+        sel: ssa::Value,
+        targets: Vec<ssa::Block>,
+    },
+    Ret {
+        srcs: Vec<ssa::Value>,
+    },
+    /// Unreachable end (a trapping bridge precedes it); emits no op.
+    Halt,
+}
+
+/// One lowered basic block: instructions plus terminator, each with its
+/// charge recipe, and the successor edges (mirrored into the SSA
+/// builder's predecessor lists).
+#[derive(Debug, Default)]
+struct LBlock {
+    insts: Vec<(RInst, Vec<ChargeTag>)>,
+    term: LTerm,
+    term_recipe: Vec<ChargeTag>,
+    succs: Vec<ssa::Block>,
+}
+
+/// One open control construct during register lowering. Every construct
+/// gets an explicit join block with one phi per result; trivial phis are
+/// collapsed by `SsaBuilder::finish`, so straight-line constructs cost
+/// nothing.
+struct RCtrlFrame {
+    /// Branch destination (loop header, or the join for blocks/ifs).
+    br_block: ssa::Block,
+    /// Phis a branch to this label feeds (empty for loops).
+    br_phis: Vec<ssa::Value>,
+    /// The join block where the construct's fall-through ends.
+    end_block: ssa::Block,
+    /// Phis holding the construct's results at the join.
+    end_phis: Vec<ssa::Value>,
+    /// Operand-stack height at construct entry.
+    height: usize,
+}
+
+struct RegCompiler<'m> {
+    module: &'m Module,
+    b: SsaBuilder,
+    /// Lowered blocks, indexed by `ssa::Block` id.
+    blocks: Vec<LBlock>,
+    /// Emission order: blocks in the order control falls through them.
+    layout: Vec<ssa::Block>,
+    cur: ssa::Block,
+    /// The abstract operand stack, holding SSA values.
+    stack: Vec<ssa::Value>,
+    /// Charge tags of dissolved ops awaiting a carrier instruction.
+    pending: Vec<ChargeTag>,
+    ctrl: Vec<RCtrlFrame>,
+    /// Constant pool: bits -> value id (shared across uses)...
+    const_ids: BTreeMap<u64, ssa::Value>,
+    /// ...and value id -> bits, for immediates and materialization.
+    const_val: BTreeMap<ssa::Value, u64>,
+}
+
+impl<'m> RegCompiler<'m> {
+    fn new_block(&mut self) -> ssa::Block {
+        let blk = self.b.new_block();
+        debug_assert_eq!(blk as usize, self.blocks.len());
+        self.blocks.push(LBlock::default());
+        blk
+    }
+
+    /// Makes `blk` the current block and appends it to the layout; the
+    /// previous block (if it ended with [`LTerm::None`]) falls through
+    /// into it.
+    fn start_block(&mut self, blk: ssa::Block) {
+        self.layout.push(blk);
+        self.cur = blk;
+    }
+
+    /// Registers the CFG edge `cur -> to` (each `(pred, succ)` pair is
+    /// registered at most once by construction).
+    fn edge(&mut self, to: ssa::Block) {
+        self.b.add_pred(to, self.cur);
+        self.blocks[self.cur as usize].succs.push(to);
+    }
+
+    fn const_value(&mut self, bits: u64) -> ssa::Value {
+        if let Some(&v) = self.const_ids.get(&bits) {
+            return v;
+        }
+        let v = self.b.new_value();
+        self.const_ids.insert(bits, v);
+        self.const_val.insert(v, bits);
+        v
+    }
+
+    fn emit(&mut self, inst: RInst, tag: ChargeTag) {
+        let mut recipe = std::mem::take(&mut self.pending);
+        recipe.push(tag);
+        self.blocks[self.cur as usize].insts.push((inst, recipe));
+    }
+
+    /// Emits a bridge, whose recipe is the pending tags only (`exec_op`
+    /// does the op's own charging internally).
+    fn emit_bridge(&mut self, inst: RInst) {
+        let recipe = std::mem::take(&mut self.pending);
+        self.blocks[self.cur as usize].insts.push((inst, recipe));
+    }
+
+    /// Pins pending charges on a [`RInst::Flush`] before a point where
+    /// control can leave the block without a terminator op.
+    fn flush_pending(&mut self) {
+        if !self.pending.is_empty() {
+            let recipe = std::mem::take(&mut self.pending);
+            self.blocks[self.cur as usize]
+                .insts
+                .push((RInst::Flush, recipe));
+        }
+    }
+
+    fn terminate(&mut self, term: LTerm, recipe: Vec<ChargeTag>) {
+        let blk = &mut self.blocks[self.cur as usize];
+        blk.term = term;
+        blk.term_recipe = recipe;
+    }
+
+    /// Pending tags plus a final `tag` — the recipe of a charging
+    /// terminator.
+    fn branch_recipe(&mut self, tag: ChargeTag) -> Vec<ChargeTag> {
+        let mut recipe = std::mem::take(&mut self.pending);
+        recipe.push(tag);
+        recipe
+    }
+
+    /// Feeds the top `phis.len()` stack values into `phis` along the
+    /// edge `cur -> their block` (values stay on the stack).
+    fn feed_phis(&mut self, phis: &[ssa::Value]) {
+        let top = self.stack.len() - phis.len();
+        for (phi, &v) in phis.iter().zip(&self.stack[top..]) {
+            self.b.add_phi_operand(*phi, self.cur, v);
+        }
+    }
+
+    /// Closes the innermost construct: adds the fall-through edge into
+    /// the join (unless the body ended on a terminator), resets the
+    /// operand stack to entry height plus the join phis, and continues
+    /// lowering in the join block.
+    fn end_construct(&mut self, terminated: bool) {
+        let frame = self.ctrl.pop().expect("control frame");
+        if !terminated {
+            self.flush_pending();
+            self.edge(frame.end_block);
+            self.feed_phis(&frame.end_phis);
+        }
+        self.stack.truncate(frame.height);
+        self.stack.extend(frame.end_phis.iter().copied());
+        self.start_block(frame.end_block);
+        self.b.seal_block(frame.end_block);
+    }
+
+    /// Lowers a sequence; returns whether its end is reachable.
+    fn lower_seq(&mut self, body: &[Instr]) -> bool {
+        for instr in body {
+            if self.lower_instr(instr) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lowers one instruction; returns `true` when it transfers control
+    /// unconditionally.
+    fn lower_instr(&mut self, instr: &Instr) -> bool {
+        match instr {
+            Instr::Block(bt, inner) => {
+                let arity = bt.arity();
+                let height = self.stack.len();
+                let x = self.new_block();
+                let phis: Vec<ssa::Value> = (0..arity).map(|_| self.b.new_phi(x)).collect();
+                self.ctrl.push(RCtrlFrame {
+                    br_block: x,
+                    br_phis: phis.clone(),
+                    end_block: x,
+                    end_phis: phis,
+                    height,
+                });
+                let reachable = self.lower_seq(inner);
+                self.end_construct(!reachable);
+                false
+            }
+            Instr::Loop(bt, inner) => {
+                let height = self.stack.len();
+                self.flush_pending();
+                let header = self.new_block();
+                self.edge(header);
+                let x = self.new_block();
+                let end_phis: Vec<ssa::Value> =
+                    (0..bt.arity()).map(|_| self.b.new_phi(x)).collect();
+                // The header stays unsealed until the body registered
+                // its back edges (Braun's incomplete-phi protocol).
+                self.start_block(header);
+                self.ctrl.push(RCtrlFrame {
+                    br_block: header,
+                    br_phis: Vec::new(),
+                    end_block: x,
+                    end_phis,
+                    height,
+                });
+                let reachable = self.lower_seq(inner);
+                self.b.seal_block(header);
+                self.end_construct(!reachable);
+                false
+            }
+            Instr::If(bt, then_body, else_body) => {
+                let cond = self.stack.pop().expect("validated");
+                let height = self.stack.len();
+                let arity = bt.arity();
+                let x = self.new_block();
+                let end_phis: Vec<ssa::Value> = (0..arity).map(|_| self.b.new_phi(x)).collect();
+                let recipe = self.branch_recipe(ChargeTag::Branch);
+                if else_body.is_empty() {
+                    // False edge lands straight on the join (a result-
+                    // carrying `if` cannot have an empty else arm).
+                    self.terminate(LTerm::BrIfZ { cond, else_b: x }, recipe);
+                    self.edge(x);
+                    let t = self.new_block();
+                    self.edge(t);
+                    self.ctrl.push(RCtrlFrame {
+                        br_block: x,
+                        br_phis: end_phis.clone(),
+                        end_block: x,
+                        end_phis,
+                        height,
+                    });
+                    self.start_block(t);
+                    self.b.seal_block(t);
+                    let reachable = self.lower_seq(then_body);
+                    self.end_construct(!reachable);
+                } else {
+                    let e = self.new_block();
+                    self.terminate(LTerm::BrIfZ { cond, else_b: e }, recipe);
+                    self.edge(e);
+                    let t = self.new_block();
+                    self.edge(t);
+                    self.ctrl.push(RCtrlFrame {
+                        br_block: x,
+                        br_phis: end_phis.clone(),
+                        end_block: x,
+                        end_phis,
+                        height,
+                    });
+                    self.start_block(t);
+                    self.b.seal_block(t);
+                    if self.lower_seq(then_body) {
+                        // Reachable then-arm end: jump over the else arm
+                        // into the join. The jump itself is free (the
+                        // stack tier's synthetic `Op::Jump`), so no
+                        // branch tag — only the pending charges ride on
+                        // it.
+                        self.edge(x);
+                        let frame = self.ctrl.last().expect("if frame");
+                        let phis = frame.end_phis.clone();
+                        self.feed_phis(&phis);
+                        let recipe = std::mem::take(&mut self.pending);
+                        self.terminate(LTerm::Jump(x), recipe);
+                    }
+                    self.stack.truncate(height);
+                    self.start_block(e);
+                    self.b.seal_block(e);
+                    let reachable = self.lower_seq(else_body);
+                    self.end_construct(!reachable);
+                }
+                false
+            }
+            Instr::Br(depth) => {
+                let idx = self.ctrl.len() - 1 - *depth as usize;
+                let (target, phis) = {
+                    let f = &self.ctrl[idx];
+                    (f.br_block, f.br_phis.clone())
+                };
+                self.edge(target);
+                self.feed_phis(&phis);
+                let recipe = self.branch_recipe(ChargeTag::Branch);
+                self.terminate(LTerm::Jump(target), recipe);
+                true
+            }
+            Instr::BrIf(depth) => {
+                let cond = self.stack.pop().expect("validated");
+                let idx = self.ctrl.len() - 1 - *depth as usize;
+                let (target, phis) = {
+                    let f = &self.ctrl[idx];
+                    (f.br_block, f.br_phis.clone())
+                };
+                self.edge(target);
+                self.feed_phis(&phis);
+                let fall = self.new_block();
+                self.edge(fall);
+                let recipe = self.branch_recipe(ChargeTag::Branch);
+                self.terminate(
+                    LTerm::BrIf {
+                        cond,
+                        then_b: target,
+                    },
+                    recipe,
+                );
+                self.start_block(fall);
+                self.b.seal_block(fall);
+                false
+            }
+            Instr::BrTable(targets, default) => {
+                let sel = self.stack.pop().expect("validated");
+                let resolved: Vec<ssa::Block> = targets
+                    .iter()
+                    .chain(std::iter::once(default))
+                    .map(|&d| self.ctrl[self.ctrl.len() - 1 - d as usize].br_block)
+                    .collect();
+                // One edge (and one phi feed) per distinct target.
+                let uniq: BTreeSet<ssa::Block> = resolved.iter().copied().collect();
+                for t in uniq {
+                    let phis = self
+                        .ctrl
+                        .iter()
+                        .rev()
+                        .find(|f| f.br_block == t)
+                        .expect("validated br_table depth")
+                        .br_phis
+                        .clone();
+                    self.edge(t);
+                    self.feed_phis(&phis);
+                }
+                let recipe = self.branch_recipe(ChargeTag::Branch);
+                self.terminate(
+                    LTerm::BrTable {
+                        sel,
+                        targets: resolved,
+                    },
+                    recipe,
+                );
+                true
+            }
+            Instr::Return => {
+                let results = self.ctrl[0].br_phis.len();
+                let srcs = self.stack[self.stack.len() - results..].to_vec();
+                let recipe = self.branch_recipe(ChargeTag::Branch);
+                self.terminate(LTerm::Ret { srcs }, recipe);
+                true
+            }
+            Instr::Call(f) => {
+                let ty = self.module.func_type(*f).expect("validated call target");
+                let args = self.stack.split_off(self.stack.len() - ty.params.len());
+                let rets: Vec<ssa::Value> =
+                    (0..ty.results.len()).map(|_| self.b.new_value()).collect();
+                self.stack.extend(rets.iter().copied());
+                self.emit(
+                    RInst::Call {
+                        func: *f,
+                        args,
+                        rets,
+                    },
+                    ChargeTag::Call,
+                );
+                false
+            }
+            Instr::CallIndirect(type_idx) => {
+                let ty = &self.module.types[*type_idx as usize];
+                let sel = self.stack.pop().expect("validated");
+                let args = self.stack.split_off(self.stack.len() - ty.params.len());
+                let rets: Vec<ssa::Value> =
+                    (0..ty.results.len()).map(|_| self.b.new_value()).collect();
+                self.stack.extend(rets.iter().copied());
+                self.emit(
+                    RInst::CallIndirect {
+                        type_idx: *type_idx,
+                        sel,
+                        args,
+                        rets,
+                    },
+                    ChargeTag::CallIndirect,
+                );
+                false
+            }
+            other => {
+                let op = flat_op(other).expect("non-control instruction");
+                self.lower_data_op(op)
+            }
+        }
+    }
+}
+
+/// Stack effect `(pops, pushes)` of an op that bridges to `exec_op`.
+fn bridge_effect(op: &Op) -> (usize, usize) {
+    use Op::*;
+    match op {
+        Unreachable => (0, 0),
+        GlobalGet(_) | MemorySize => (0, 1),
+        GlobalSet(_) => (1, 0),
+        MemoryGrow | PointerSign | PointerAuth => (1, 1),
+        MemoryFill | MemoryCopy | SegmentSetTag(_) => (3, 0),
+        SegmentNew(_) => (2, 1),
+        SegmentFree(_) => (2, 0),
+        other => unreachable!("op {other:?} does not bridge"),
+    }
+}
+
+impl RegCompiler<'_> {
+    /// Lowers one non-control [`Op`]; returns `true` for `unreachable`.
+    fn lower_data_op(&mut self, op: Op) -> bool {
+        if let Some(alu) = AluOp::from_op(&op) {
+            let b = self.stack.pop().expect("validated");
+            let a = self.stack.pop().expect("validated");
+            let dst = self.b.new_value();
+            self.stack.push(dst);
+            let tag = if alu.is_float() {
+                ChargeTag::Float
+            } else {
+                ChargeTag::Simple
+            };
+            self.emit(RInst::Alu { op: alu, dst, a, b }, tag);
+            return false;
+        }
+        if let Some(una) = UnaOp::from_op(&op) {
+            let a = self.stack.pop().expect("validated");
+            let dst = self.b.new_value();
+            self.stack.push(dst);
+            self.emit(RInst::Una { op: una, dst, a }, una.charge_tag());
+            return false;
+        }
+        if let Some(div) = DivOp::from_op(&op) {
+            let b = self.stack.pop().expect("validated");
+            let a = self.stack.pop().expect("validated");
+            let dst = self.b.new_value();
+            self.stack.push(dst);
+            let tag = if div.is_float() {
+                ChargeTag::FloatDiv
+            } else {
+                ChargeTag::Div
+            };
+            self.emit(RInst::Div { op: div, dst, a, b }, tag);
+            return false;
+        }
+        match op {
+            Op::Nop => self.pending.push(ChargeTag::Simple),
+            Op::Drop => {
+                self.stack.pop().expect("validated");
+                self.pending.push(ChargeTag::Simple);
+            }
+            Op::Const(bits) => {
+                let v = self.const_value(bits);
+                self.stack.push(v);
+                self.pending.push(ChargeTag::Simple);
+            }
+            Op::LocalGet(i) => {
+                let v = self.b.read_var(i, self.cur);
+                self.stack.push(v);
+                self.pending.push(ChargeTag::Simple);
+            }
+            Op::LocalSet(i) => {
+                let v = self.stack.pop().expect("validated");
+                self.b.write_var(i, self.cur, v);
+                self.pending.push(ChargeTag::Simple);
+            }
+            Op::LocalTee(i) => {
+                let v = *self.stack.last().expect("validated");
+                self.b.write_var(i, self.cur, v);
+                self.pending.push(ChargeTag::Simple);
+            }
+            Op::Select => {
+                let cond = self.stack.pop().expect("validated");
+                let b = self.stack.pop().expect("validated");
+                let a = self.stack.pop().expect("validated");
+                let dst = self.b.new_value();
+                self.stack.push(dst);
+                self.emit(RInst::Select { dst, cond, a, b }, ChargeTag::Simple);
+            }
+            Op::Load(lop, offset) => {
+                let addr = self.stack.pop().expect("validated");
+                let dst = self.b.new_value();
+                self.stack.push(dst);
+                self.emit(
+                    RInst::Load {
+                        op: lop,
+                        offset,
+                        dst,
+                        addr,
+                    },
+                    ChargeTag::Mem,
+                );
+            }
+            Op::Store(sop, offset) => {
+                let val = self.stack.pop().expect("validated");
+                let addr = self.stack.pop().expect("validated");
+                self.emit(
+                    RInst::Store {
+                        op: sop,
+                        offset,
+                        addr,
+                        val,
+                    },
+                    ChargeTag::Mem,
+                );
+            }
+            Op::Unreachable => {
+                self.emit_bridge(RInst::Bridge {
+                    op,
+                    args: Vec::new(),
+                    ret: None,
+                    grow: false,
+                });
+                self.terminate(LTerm::Halt, Vec::new());
+                return true;
+            }
+            other => {
+                let (pops, pushes) = bridge_effect(&other);
+                let grow = matches!(other, Op::MemoryGrow);
+                let args = self.stack.split_off(self.stack.len() - pops);
+                let ret = (pushes > 0).then(|| self.b.new_value());
+                if let Some(r) = ret {
+                    self.stack.push(r);
+                }
+                self.emit_bridge(RInst::Bridge {
+                    op: other,
+                    args,
+                    ret,
+                    grow,
+                });
+            }
+        }
+        false
+    }
+}
+
+// -- register lowering, pass 2: SSA -> slots -> flat ops --------------------
+
+/// Compiles a validated function body to register bytecode: SSA
+/// construction over the structured body, phi elimination via parallel
+/// copies, liveness + linear-scan slot assignment, then flat emission
+/// with interned charge recipes.
+///
+/// `num_locals` is the count of declared (non-parameter) locals, which
+/// start zero-initialized.
+///
+/// # Panics
+///
+/// Panics on unvalidated input.
+#[must_use]
+pub fn compile_reg(module: &Module, ty: &FuncType, num_locals: usize, body: &[Instr]) -> RegCode {
+    let mut c = RegCompiler {
+        module,
+        b: SsaBuilder::new(),
+        blocks: Vec::with_capacity(16),
+        layout: Vec::with_capacity(16),
+        cur: 0,
+        stack: Vec::with_capacity(16),
+        pending: Vec::new(),
+        ctrl: Vec::with_capacity(8),
+        const_ids: BTreeMap::new(),
+        const_val: BTreeMap::new(),
+    };
+    let entry = c.new_block();
+    c.b.seal_block(entry);
+    c.layout.push(entry);
+    c.cur = entry;
+    let params: Vec<ssa::Value> = (0..ty.params.len())
+        .map(|i| {
+            let v = c.b.new_value();
+            c.b.write_var(i as u32, entry, v);
+            v
+        })
+        .collect();
+    if num_locals > 0 {
+        let zero = c.const_value(0);
+        for i in 0..num_locals {
+            c.b.write_var((ty.params.len() + i) as u32, entry, zero);
+        }
+    }
+    // The function label: a join block whose phis are the results; its
+    // terminator is the epilogue return, which (like the stack tier's
+    // synthetic `Op::End`) charges nothing. Explicit `return`s bypass it.
+    let ret_block = c.new_block();
+    let ret_phis: Vec<ssa::Value> = (0..ty.results.len())
+        .map(|_| c.b.new_phi(ret_block))
+        .collect();
+    c.ctrl.push(RCtrlFrame {
+        br_block: ret_block,
+        br_phis: ret_phis.clone(),
+        end_block: ret_block,
+        end_phis: ret_phis,
+        height: 0,
+    });
+    let reachable = c.lower_seq(body);
+    c.end_construct(!reachable);
+    let srcs = std::mem::take(&mut c.stack);
+    c.terminate(LTerm::Ret { srcs }, Vec::new());
+
+    c.b.finish();
+    emit_reg(&c, &params)
+}
+
+fn emit_reg(c: &RegCompiler, params: &[ssa::Value]) -> RegCode {
+    let b = &c.b;
+    let r = |v: ssa::Value| b.resolve(v);
+    let num_values = b.num_values();
+
+    // Which constants must live in a register: any resolved operand
+    // position that is not foldable as an immediate (only the right
+    // operand of an ALU op folds) and not a phi-copy source (those
+    // become direct constant writes).
+    let mut materialize: BTreeSet<ssa::Value> = BTreeSet::new();
+    let mark = |set: &mut BTreeSet<ssa::Value>, v: ssa::Value| {
+        let v = r(v);
+        if c.const_val.contains_key(&v) {
+            set.insert(v);
+        }
+    };
+    for &blk in &c.layout {
+        let lb = &c.blocks[blk as usize];
+        for (inst, _) in &lb.insts {
+            match inst {
+                RInst::Flush => {}
+                // An ALU right operand folds into an immediate form,
+                // so only the left operand can force materialization.
+                RInst::Alu { a, .. } => mark(&mut materialize, *a),
+                RInst::Div { a, b: rb, .. } => {
+                    mark(&mut materialize, *a);
+                    mark(&mut materialize, *rb);
+                }
+                RInst::Una { a, .. } => mark(&mut materialize, *a),
+                RInst::Select { cond, a, b: sb, .. } => {
+                    mark(&mut materialize, *cond);
+                    mark(&mut materialize, *a);
+                    mark(&mut materialize, *sb);
+                }
+                RInst::Load { addr, .. } => mark(&mut materialize, *addr),
+                RInst::Store { addr, val, .. } => {
+                    mark(&mut materialize, *addr);
+                    mark(&mut materialize, *val);
+                }
+                RInst::Call { args, .. } => {
+                    for &a in args {
+                        mark(&mut materialize, a);
+                    }
+                }
+                RInst::CallIndirect { sel, args, .. } => {
+                    mark(&mut materialize, *sel);
+                    for &a in args {
+                        mark(&mut materialize, a);
+                    }
+                }
+                RInst::Bridge { args, .. } => {
+                    for &a in args {
+                        mark(&mut materialize, a);
+                    }
+                }
+            }
+        }
+        match &lb.term {
+            LTerm::BrIf { cond, .. } | LTerm::BrIfZ { cond, .. } => {
+                mark(&mut materialize, *cond);
+            }
+            LTerm::BrTable { sel, .. } => mark(&mut materialize, *sel),
+            LTerm::Ret { srcs } => {
+                for &s in srcs {
+                    mark(&mut materialize, s);
+                }
+            }
+            LTerm::None | LTerm::Jump(_) | LTerm::Halt => {}
+        }
+    }
+
+    // Phi-elimination copies per layout block: every surviving phi of a
+    // successor gets one copy on this edge. Copies are emitted
+    // unconditionally before the terminator — safe because any two
+    // values involved (batch sources, batch destinations, values live
+    // across the batch) have overlapping intervals and therefore
+    // distinct slots, while aliasing *within* the batch is resolved by
+    // the copy sequencer's slot-level dependency analysis.
+    let mut block_copies: Vec<Vec<(ssa::Value, ssa::Value)>> = Vec::with_capacity(c.layout.len());
+    for &blk in &c.layout {
+        let mut copies = Vec::new();
+        for &s in &c.blocks[blk as usize].succs {
+            for phi in b.phis_in(s) {
+                let src = b
+                    .phi_operands(phi)
+                    .iter()
+                    .find(|&&(p, _)| p == blk)
+                    .map(|&(_, v)| v)
+                    .expect("phi has an operand for every predecessor edge");
+                copies.push((phi, src));
+            }
+        }
+        block_copies.push(copies);
+    }
+
+    // Linearise: every instruction gets one position (uses and defs
+    // together); each copy gets its own; the terminator always gets one
+    // (so every block spans at least one position). Parameter and
+    // materialized-constant definitions open the entry block. A phi
+    // additionally counts as *used* at the terminator of each
+    // predecessor, which pins every copied-to phi live across the whole
+    // copy batch — that keeps batch destinations pairwise overlapping
+    // (distinct slots), which the copy sequencer requires.
+    let mut refs: Vec<ValueRef> = Vec::new();
+    let mut ranges: Vec<BlockRange> = Vec::with_capacity(c.layout.len());
+    let layout_idx: BTreeMap<ssa::Block, u32> = c
+        .layout
+        .iter()
+        .enumerate()
+        .map(|(i, &blk)| (blk, i as u32))
+        .collect();
+    let mut pos: u32 = 0;
+    for (i, &blk) in c.layout.iter().enumerate() {
+        let lb = &c.blocks[blk as usize];
+        let start = pos;
+        let use_at = |refs: &mut Vec<ValueRef>, pos: u32, v: ssa::Value| {
+            refs.push(ValueRef {
+                pos,
+                value: r(v),
+                is_def: false,
+            });
+        };
+        let def_at = |refs: &mut Vec<ValueRef>, pos: u32, v: ssa::Value| {
+            refs.push(ValueRef {
+                pos,
+                value: r(v),
+                is_def: true,
+            });
+        };
+        if i == 0 {
+            for &p in params {
+                def_at(&mut refs, pos, p);
+                pos += 1;
+            }
+            for &cv in &materialize {
+                def_at(&mut refs, pos, cv);
+                pos += 1;
+            }
+        }
+        for (inst, _) in &lb.insts {
+            match inst {
+                RInst::Flush => {}
+                RInst::Alu { dst, a, b: rb, .. } => {
+                    use_at(&mut refs, pos, *a);
+                    if !c.const_val.contains_key(&r(*rb)) {
+                        use_at(&mut refs, pos, *rb);
+                    }
+                    def_at(&mut refs, pos, *dst);
+                }
+                RInst::Div { dst, a, b: rb, .. } => {
+                    use_at(&mut refs, pos, *a);
+                    use_at(&mut refs, pos, *rb);
+                    def_at(&mut refs, pos, *dst);
+                }
+                RInst::Una { dst, a, .. } => {
+                    use_at(&mut refs, pos, *a);
+                    def_at(&mut refs, pos, *dst);
+                }
+                RInst::Select {
+                    dst,
+                    cond,
+                    a,
+                    b: sb,
+                } => {
+                    use_at(&mut refs, pos, *cond);
+                    use_at(&mut refs, pos, *a);
+                    use_at(&mut refs, pos, *sb);
+                    def_at(&mut refs, pos, *dst);
+                }
+                RInst::Load { dst, addr, .. } => {
+                    use_at(&mut refs, pos, *addr);
+                    def_at(&mut refs, pos, *dst);
+                }
+                RInst::Store { addr, val, .. } => {
+                    use_at(&mut refs, pos, *addr);
+                    use_at(&mut refs, pos, *val);
+                }
+                RInst::Call { args, rets, .. } => {
+                    for &a in args {
+                        use_at(&mut refs, pos, a);
+                    }
+                    for &d in rets {
+                        def_at(&mut refs, pos, d);
+                    }
+                }
+                RInst::CallIndirect {
+                    sel, args, rets, ..
+                } => {
+                    use_at(&mut refs, pos, *sel);
+                    for &a in args {
+                        use_at(&mut refs, pos, a);
+                    }
+                    for &d in rets {
+                        def_at(&mut refs, pos, d);
+                    }
+                }
+                RInst::Bridge { args, ret, .. } => {
+                    for &a in args {
+                        use_at(&mut refs, pos, a);
+                    }
+                    if let Some(d) = ret {
+                        def_at(&mut refs, pos, *d);
+                    }
+                }
+            }
+            pos += 1;
+        }
+        let copies = &block_copies[i];
+        let term_pos = pos + copies.len() as u32;
+        for &(phi, src) in copies {
+            def_at(&mut refs, pos, phi);
+            if !c.const_val.contains_key(&r(src)) {
+                use_at(&mut refs, pos, src);
+            }
+            use_at(&mut refs, term_pos, phi);
+            pos += 1;
+        }
+        debug_assert_eq!(pos, term_pos);
+        match &lb.term {
+            LTerm::BrIf { cond, .. } | LTerm::BrIfZ { cond, .. } => {
+                use_at(&mut refs, pos, *cond);
+            }
+            LTerm::BrTable { sel, .. } => use_at(&mut refs, pos, *sel),
+            LTerm::Ret { srcs } => {
+                for &s in srcs {
+                    use_at(&mut refs, pos, s);
+                }
+            }
+            LTerm::None | LTerm::Jump(_) | LTerm::Halt => {}
+        }
+        pos += 1;
+        ranges.push(BlockRange {
+            start,
+            end: pos - 1,
+            succs: lb.succs.iter().map(|s| layout_idx[s]).collect(),
+        });
+    }
+
+    let intervals = regalloc::live_intervals(&LivenessInput {
+        num_values,
+        blocks: ranges,
+        refs,
+    });
+    let alloc = regalloc::linear_scan(&intervals, HOT_SLOTS);
+    let scratch = alloc.frame_size;
+    let frame_size = alloc
+        .frame_size
+        .checked_add(1)
+        .expect("frame slot overflow");
+    // Dead definitions and unreachable-code operands dump into scratch,
+    // which never holds a value across an instruction.
+    let slot = |v: ssa::Value| -> u16 {
+        let v = r(v);
+        if v == UNDEF {
+            return scratch;
+        }
+        match alloc.slot[v as usize] {
+            regalloc::NO_SLOT => scratch,
+            s => s,
+        }
+    };
+
+    // Final emission in layout order; branch targets are patched from
+    // ssa block ids to pcs once every block's start pc is known.
+    struct RPatch {
+        op: usize,
+        slot: usize,
+        target: ssa::Block,
+    }
+    let mut ops: Vec<RegOp> = Vec::new();
+    let mut op_recipes: Vec<&[ChargeTag]> = Vec::new();
+    const EMPTY_RECIPE: &[ChargeTag] = &[];
+    let mut patches: Vec<RPatch> = Vec::new();
+    let mut block_pc: Vec<u32> = Vec::with_capacity(c.layout.len());
+    for (i, &blk) in c.layout.iter().enumerate() {
+        let lb = &c.blocks[blk as usize];
+        block_pc.push(ops.len() as u32);
+        if i == 0 {
+            for &cv in &materialize {
+                ops.push(RegOp::Const {
+                    dst: slot(cv),
+                    v: c.const_val[&cv],
+                });
+                op_recipes.push(EMPTY_RECIPE);
+            }
+        }
+        for (inst, recipe) in &lb.insts {
+            let op = match inst {
+                RInst::Flush => RegOp::Nop,
+                RInst::Alu { op, dst, a, b: rb } => match c.const_val.get(&r(*rb)) {
+                    Some(&k) => RegOp::AluImm {
+                        op: *op,
+                        dst: slot(*dst),
+                        a: slot(*a),
+                        k,
+                    },
+                    None => RegOp::Alu {
+                        op: *op,
+                        dst: slot(*dst),
+                        a: slot(*a),
+                        b: slot(*rb),
+                    },
+                },
+                RInst::Div { op, dst, a, b: rb } => RegOp::Div {
+                    op: *op,
+                    dst: slot(*dst),
+                    a: slot(*a),
+                    b: slot(*rb),
+                },
+                RInst::Una { op, dst, a } => RegOp::Una {
+                    op: *op,
+                    dst: slot(*dst),
+                    a: slot(*a),
+                },
+                RInst::Select {
+                    dst,
+                    cond,
+                    a,
+                    b: sb,
+                } => RegOp::Select {
+                    dst: slot(*dst),
+                    cond: slot(*cond),
+                    a: slot(*a),
+                    b: slot(*sb),
+                },
+                RInst::Load {
+                    op,
+                    offset,
+                    dst,
+                    addr,
+                } => RegOp::Load {
+                    op: *op,
+                    offset: *offset,
+                    dst: slot(*dst),
+                    addr: slot(*addr),
+                },
+                RInst::Store {
+                    op,
+                    offset,
+                    addr,
+                    val,
+                } => RegOp::Store {
+                    op: *op,
+                    offset: *offset,
+                    addr: slot(*addr),
+                    val: slot(*val),
+                },
+                RInst::Call { func, args, rets } => RegOp::Call(Box::new(RegCall {
+                    func: *func,
+                    args: args.iter().map(|&a| slot(a)).collect(),
+                    rets: rets.iter().map(|&d| slot(d)).collect(),
+                })),
+                RInst::CallIndirect {
+                    type_idx,
+                    sel,
+                    args,
+                    rets,
+                } => RegOp::CallIndirect(Box::new(RegCallIndirect {
+                    type_idx: *type_idx,
+                    sel: slot(*sel),
+                    args: args.iter().map(|&a| slot(a)).collect(),
+                    rets: rets.iter().map(|&d| slot(d)).collect(),
+                })),
+                RInst::Bridge {
+                    op,
+                    args,
+                    ret,
+                    grow,
+                } => RegOp::Bridge(Box::new(RegBridge {
+                    op: op.clone(),
+                    args: args.iter().map(|&a| slot(a)).collect(),
+                    ret: (*ret).map(&slot),
+                    grow: *grow,
+                })),
+            };
+            ops.push(op);
+            op_recipes.push(recipe);
+        }
+        let pairs: Vec<(u16, u16)> = block_copies[i]
+            .iter()
+            .filter(|&&(_, src)| !c.const_val.contains_key(&r(src)))
+            .map(|&(phi, src)| (slot(phi), slot(src)))
+            .collect();
+        for (dst, src) in ssa::sequence_parallel_copies(&pairs, scratch) {
+            ops.push(RegOp::Move { dst, src });
+            op_recipes.push(EMPTY_RECIPE);
+        }
+        for &(phi, src) in &block_copies[i] {
+            if let Some(&v) = c.const_val.get(&r(src)) {
+                ops.push(RegOp::Const { dst: slot(phi), v });
+                op_recipes.push(EMPTY_RECIPE);
+            }
+        }
+        match &lb.term {
+            LTerm::None | LTerm::Halt => {}
+            LTerm::Jump(t) => {
+                patches.push(RPatch {
+                    op: ops.len(),
+                    slot: 0,
+                    target: *t,
+                });
+                ops.push(RegOp::Jump(u32::MAX));
+                op_recipes.push(&lb.term_recipe);
+            }
+            LTerm::BrIf { cond, then_b } => {
+                patches.push(RPatch {
+                    op: ops.len(),
+                    slot: 0,
+                    target: *then_b,
+                });
+                ops.push(RegOp::BrIf {
+                    cond: slot(*cond),
+                    target: u32::MAX,
+                });
+                op_recipes.push(&lb.term_recipe);
+            }
+            LTerm::BrIfZ { cond, else_b } => {
+                patches.push(RPatch {
+                    op: ops.len(),
+                    slot: 0,
+                    target: *else_b,
+                });
+                ops.push(RegOp::BrIfZ {
+                    cond: slot(*cond),
+                    target: u32::MAX,
+                });
+                op_recipes.push(&lb.term_recipe);
+            }
+            LTerm::BrTable { sel, targets } => {
+                for (slot_idx, t) in targets.iter().enumerate() {
+                    patches.push(RPatch {
+                        op: ops.len(),
+                        slot: slot_idx,
+                        target: *t,
+                    });
+                }
+                ops.push(RegOp::BrTable {
+                    sel: slot(*sel),
+                    targets: vec![u32::MAX; targets.len()].into_boxed_slice(),
+                });
+                op_recipes.push(&lb.term_recipe);
+            }
+            LTerm::Ret { srcs } => {
+                ops.push(RegOp::Ret {
+                    srcs: srcs.iter().map(|&s| slot(s)).collect(),
+                });
+                op_recipes.push(&lb.term_recipe);
+            }
+        }
+    }
+    for p in &patches {
+        let pc = block_pc[layout_idx[&p.target] as usize];
+        match &mut ops[p.op] {
+            RegOp::Jump(t) => *t = pc,
+            RegOp::BrIf { target, .. } | RegOp::BrIfZ { target, .. } => *target = pc,
+            RegOp::BrTable { targets, .. } => targets[p.slot] = pc,
+            other => unreachable!("patching non-branch reg op {other:?}"),
+        }
+    }
+
+    // Intern the recipes: identical tag sequences share pool storage.
+    let mut pool: Vec<ChargeTag> = Vec::new();
+    let mut interned: HashMap<&[ChargeTag], (u32, u16)> = HashMap::new();
+    let recipes: Box<[(u32, u16)]> = op_recipes
+        .iter()
+        .map(|&recipe| {
+            if recipe.is_empty() {
+                return (0, 0);
+            }
+            *interned.entry(recipe).or_insert_with(|| {
+                let off = pool.len() as u32;
+                pool.extend(recipe.iter().copied());
+                (off, recipe.len() as u16)
+            })
+        })
+        .collect();
+
+    let handlers: Box<[u16]> = ops.iter().map(crate::interp::reg_handler_index).collect();
+    let thread = handlers
+        .iter()
+        .map(|&i| crate::interp::reg_handler_for_index(i))
+        .collect();
+    RegCode {
+        ops: ops.into_boxed_slice(),
+        recipes,
+        pool: pool.into_boxed_slice(),
+        frame_size,
+        hot_used: alloc.hot_used,
+        spilled: alloc.spilled,
+        param_slots: params.iter().map(|&p| slot(p)).collect(),
+        handlers,
+        thread,
+    }
+}
+
+// -- register disassembly ---------------------------------------------------
+
+/// One-letter rendering of a charge tag (`s`imple, `f`loat, `d`iv,
+/// float-`D`iv, `b`ranch, `c`all, call-`i`ndirect, `m`em, `z`ero).
+fn charge_letter(tag: ChargeTag) -> char {
+    match tag {
+        ChargeTag::Simple => 's',
+        ChargeTag::Float => 'f',
+        ChargeTag::Div => 'd',
+        ChargeTag::FloatDiv => 'D',
+        ChargeTag::Branch => 'b',
+        ChargeTag::Call => 'c',
+        ChargeTag::CallIndirect => 'i',
+        ChargeTag::Mem => 'm',
+        ChargeTag::Zero => 'z',
+    }
+}
+
+/// Disassembles the register bytecode of function `func_idx` (joint
+/// index space) of a validated module — the primary tier, and the
+/// backend of `cagec --dump-bytecode`. Register names show the linear
+/// scan's hot/spill split (`r0..` hot, `s0..` spill); each op's charge
+/// recipe is appended as `; charges <letters>` in retired-source order.
+///
+/// Returns `None` when the index is out of range or names an imported
+/// host function (imports have no bytecode).
+#[must_use]
+pub fn disassemble(module: &Module, func_idx: u32) -> Option<String> {
+    use std::fmt::Write as _;
+
+    let imported = module.imported_func_count();
+    let local = func_idx.checked_sub(imported)?;
+    let func = module.funcs.get(local as usize)?;
+    let ty = module.types.get(func.type_idx as usize)?;
+    let code = compile_reg(module, ty, func.locals.len(), &func.body);
+    let reg = |s: u16| -> String {
+        if s < code.hot_used {
+            format!("r{s}")
+        } else {
+            format!("s{}", s - code.hot_used)
+        }
+    };
+    let regs = |list: &[u16]| -> String {
+        let names: Vec<String> = list.iter().map(|&s| reg(s)).collect();
+        format!("[{}]", names.join(", "))
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "func {func_idx} (params {}, results {}): {} ops, {} regs ({} spilled)",
+        ty.params.len(),
+        ty.results.len(),
+        code.ops.len(),
+        code.frame_size,
+        code.spilled
+    );
+    for (pc, op) in code.ops.iter().enumerate() {
+        let body = match op {
+            RegOp::Nop => "nop".to_string(),
+            RegOp::Jump(t) => format!("jump \u{2192}{t:04}"),
+            RegOp::BrIf { cond, target } => {
+                format!("br_if {} \u{2192}{target:04}", reg(*cond))
+            }
+            RegOp::BrIfZ { cond, target } => {
+                format!("br_if_z {} \u{2192}{target:04}", reg(*cond))
+            }
+            RegOp::BrTable { sel, targets } => {
+                let (default, cases) = targets.split_last().expect("br_table has a default");
+                let cases: Vec<String> = cases.iter().map(|t| format!("\u{2192}{t:04}")).collect();
+                format!(
+                    "br_table {} [{}] default \u{2192}{default:04}",
+                    reg(*sel),
+                    cases.join(", ")
+                )
+            }
+            RegOp::Ret { srcs } => format!("ret {}", regs(srcs)),
+            RegOp::Call(call) => format!(
+                "call {} args {} -> {}",
+                call.func,
+                regs(&call.args),
+                regs(&call.rets)
+            ),
+            RegOp::CallIndirect(call) => format!(
+                "call_indirect (type {}) sel {} args {} -> {}",
+                call.type_idx,
+                reg(call.sel),
+                regs(&call.args),
+                regs(&call.rets)
+            ),
+            RegOp::Move { dst, src } => format!("{} <- {}", reg(*dst), reg(*src)),
+            RegOp::Const { dst, v } => format!("{} <- const {v:#x}", reg(*dst)),
+            RegOp::Alu { op, dst, a, b } => {
+                format!("{} <- {op:?} {}, {}", reg(*dst), reg(*a), reg(*b))
+            }
+            RegOp::Div { op, dst, a, b } => {
+                format!("{} <- {op:?} {}, {}", reg(*dst), reg(*a), reg(*b))
+            }
+            RegOp::AluImm { op, dst, a, k } => {
+                format!("{} <- {op:?} {}, const {k:#x}", reg(*dst), reg(*a))
+            }
+            RegOp::Una { op, dst, a } => format!("{} <- {op:?} {}", reg(*dst), reg(*a)),
+            RegOp::Select { dst, cond, a, b } => format!(
+                "{} <- select {} ? {} : {}",
+                reg(*dst),
+                reg(*cond),
+                reg(*a),
+                reg(*b)
+            ),
+            RegOp::Load {
+                op,
+                offset,
+                dst,
+                addr,
+            } => format!(
+                "{} <- {op:?} offset={offset} addr={}",
+                reg(*dst),
+                reg(*addr)
+            ),
+            RegOp::Store {
+                op,
+                offset,
+                addr,
+                val,
+            } => format!(
+                "{op:?} offset={offset} addr={}, val={}",
+                reg(*addr),
+                reg(*val)
+            ),
+            RegOp::Bridge(bridge) => {
+                let ret = match bridge.ret {
+                    Some(r) => format!(" -> {}", reg(r)),
+                    None => String::new(),
+                };
+                format!("bridge {} args {}{ret}", bridge.op, regs(&bridge.args))
+            }
+        };
+        let (off, len) = code.recipes[pc];
+        let charges = if len == 0 {
+            String::new()
+        } else {
+            let letters: String = code.pool[off as usize..off as usize + len as usize]
+                .iter()
+                .map(|&t| charge_letter(t))
+                .collect();
+            format!("  ; charges {letters}")
+        };
+        let _ = writeln!(out, "  {pc:04}: {body}{charges}");
     }
     Some(out)
 }
@@ -2038,8 +2871,6 @@ mod tests {
     #[test]
     fn value_carrying_branch_records_arity() {
         // block (result i64) { local.get 0; local.get 0; wrap; br_if 0 }
-        // The adjacent local.gets fuse into a pair; the branch still
-        // carries one value.
         let code = compile_body(vec![Instr::Block(
             BlockType::Value(ValType::I64),
             vec![
@@ -2049,83 +2880,15 @@ mod tests {
                 Instr::BrIf(0),
             ],
         )]);
-        assert_eq!(code.ops[0], Op::LocalGetPair { a: 0, b: 0 });
+        assert_eq!(code.ops[0], Op::LocalGet(0));
         assert_eq!(
-            code.ops[2],
+            code.ops[3],
             Op::BrIf(BranchTarget {
-                pc: 3,
+                pc: 4,
                 height: 0,
                 arity: 1
             })
         );
-    }
-
-    #[test]
-    fn superinstruction_fusion_patterns() {
-        // local.get 1; local.set 2  ->  local.move
-        let code = compile_body(vec![
-            Instr::LocalGet(0),
-            Instr::LocalSet(1),
-            Instr::LocalGet(1),
-        ]);
-        assert_eq!(code.ops[0], Op::LocalMove { src: 0, dst: 1 });
-        // i32.const 3; i64.extend_i32_s; local.set 1 chains into one op.
-        let code = compile_body(vec![
-            Instr::I32Const(3),
-            Instr::I64ExtendI32S,
-            Instr::LocalSet(1),
-            Instr::LocalGet(1),
-        ]);
-        assert_eq!(code.ops[0], Op::ConstLocalExt { v: 3, dst: 1 });
-        // local.get; i32.eqz; br_if  ->  br_if_z on a local.
-        let code = compile_body(vec![
-            Instr::Block(
-                BlockType::Empty,
-                vec![Instr::LocalGet(3), Instr::I32Eqz, Instr::BrIf(0)],
-            ),
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            code.ops
-                .iter()
-                .any(|op| matches!(op, Op::BrIfZLocal { src: 3, .. })),
-            "expected fused br_if_z local, got {:?}",
-            code.ops
-        );
-    }
-
-    #[test]
-    fn fusion_never_crosses_a_label() {
-        // The block-end label binds between the block's final local.get
-        // and the local.set after it; fusing them into a local.move would
-        // make a branch to the end skip the set.
-        let code = compile_body(vec![
-            Instr::Block(
-                BlockType::Value(ValType::I64),
-                vec![
-                    Instr::LocalGet(0),
-                    Instr::LocalGet(0),
-                    Instr::I32WrapI64,
-                    Instr::BrIf(0),
-                    Instr::Drop,
-                    Instr::LocalGet(0), // last op inside the block
-                ],
-            ),
-            Instr::LocalSet(1), // must not fuse with the get above
-            Instr::LocalGet(1),
-        ]);
-        assert!(
-            code.ops
-                .iter()
-                .all(|op| !matches!(op, Op::LocalMove { .. })),
-            "fused across a block-end label: {:?}",
-            code.ops
-        );
-        // The branch must land exactly on the first op after the label.
-        let Op::BrIf(t) = &code.ops[2] else {
-            panic!("expected br_if at 2, got {:?}", code.ops);
-        };
-        assert!(matches!(code.ops[t.pc as usize], Op::LocalSetGet(1)));
     }
 
     fn compile_mem_body(body: Vec<Instr>) -> FlatCode {
@@ -2143,300 +2906,14 @@ mod tests {
     }
 
     #[test]
-    fn load_fuses_register_address_and_destination() {
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::offset(16)),
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(
-            code.ops[0],
-            Op::LoadRSet {
-                op: LoadOp::I64Load,
-                offset: 16,
-                addr: 1,
-                dst: 2
-            }
-        );
-    }
-
-    #[test]
-    fn store_fuses_register_and_constant_values() {
-        use cage_wasm::instr::StoreOp;
-        // Register address + register value.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::Store(StoreOp::I64Store, cage_wasm::MemArg::none()),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(
-            code.ops[0],
-            Op::StoreRR {
-                op: StoreOp::I64Store,
-                offset: 0,
-                addr: 1,
-                val: 2
-            }
-        );
-        // Register address + constant value.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::I64Const(7),
-            Instr::Store(StoreOp::I64Store8, cage_wasm::MemArg::none()),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(
-            code.ops[0],
-            Op::StoreRC {
-                op: StoreOp::I64Store8,
-                offset: 0,
-                addr: 1,
-                k: 7
-            }
-        );
-        // Stack address + register value / constant value.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::I64Xor,
-            Instr::LocalGet(2),
-            Instr::Store(StoreOp::I64Store, cage_wasm::MemArg::none()),
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            matches!(code.ops[1], Op::StoreSR { val: 2, .. }),
-            "{:?}",
-            code.ops
-        );
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::I64Xor,
-            Instr::I64Const(9),
-            Instr::Store(StoreOp::I64Store, cage_wasm::MemArg::none()),
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            matches!(code.ops[1], Op::StoreSC { k: 9, .. }),
-            "{:?}",
-            code.ops
-        );
-    }
-
-    #[test]
-    fn loads_fuse_into_alu_memory_forms() {
-        // Pair split: `get a; get addr; load; add; set` becomes one
-        // register-register memory ALU op.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
-            Instr::I64Add,
-            Instr::LocalSet(1),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(
-            code.ops[0],
-            Op::AluRMemSet {
-                alu: AluOp::I64Add,
-                load: LoadOp::I64Load,
-                offset: 0,
-                a: 1,
-                addr: 2,
-                dst: 1
-            }
-        );
-        // `get addr; load; get b; add` — all-register memory ALU.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
-            Instr::LocalGet(2),
-            Instr::I64Add,
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(
-            code.ops[0],
-            Op::AluMRSet {
-                alu: AluOp::I64Add,
-                load: LoadOp::I64Load,
-                offset: 0,
-                addr: 1,
-                b: 2,
-                dst: 2
-            }
-        );
-        // Stack address variants: `..; load; get b; add` and `a; ..; load; add`.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::I64Xor,
-            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
-            Instr::LocalGet(2),
-            Instr::I64Add,
-            Instr::Drop,
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            matches!(code.ops[1], Op::AluMemR { b: 2, .. }),
-            "{:?}",
-            code.ops
-        );
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::LocalGet(2),
-            Instr::I64Xor,
-            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
-            Instr::I64Add,
-            Instr::Drop,
-            Instr::LocalGet(0),
-        ]);
-        assert!(matches!(code.ops[2], Op::AluSMem { .. }), "{:?}", code.ops);
-    }
-
-    #[test]
-    fn address_chains_collapse_to_chain_and_pair_ops() {
-        // `t = x ^ y; t = a0 + t*8` scale-and-add tail.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::LocalGet(2),
-            Instr::I64Xor,
-            Instr::I64Const(8),
-            Instr::I64Mul,
-            Instr::I64Add,
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            code.ops.iter().any(|op| matches!(
-                op,
-                Op::AluChainSet {
-                    ext: false,
-                    op1: AluOp::I64Mul,
-                    k: 8,
-                    op2: AluOp::I64Add,
-                    dst: 2
-                }
-            )),
-            "{:?}",
-            code.ops
-        );
-        // The i32-extend variant (wasm64 address chains from i32 vars).
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(3),
-            Instr::I64ExtendI32S,
-            Instr::I64Const(8),
-            Instr::I64Mul,
-            Instr::I64Add,
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            code.ops.iter().any(|op| matches!(
-                op,
-                Op::AluChainSet {
-                    ext: true,
-                    op1: AluOp::I64Mul,
-                    k: 8,
-                    ..
-                }
-            )),
-            "{:?}",
-            code.ops
-        );
-        // Constant base materialised through a temp register.
-        let code = compile_mem_body(vec![
-            Instr::I64Const(5),
-            Instr::LocalSet(1),
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::I64Add,
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(code.ops[0], Op::ConstLocalPair { v: 5, dst: 1, b: 2 });
-        // Temp-copy tail: `t = a + b; d = t` is one dual-write op.
-        let code = compile_mem_body(vec![
-            Instr::LocalGet(1),
-            Instr::LocalGet(2),
-            Instr::I64Add,
-            Instr::LocalSet(1),
-            Instr::LocalGet(1),
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert_eq!(
-            code.ops[0],
-            Op::AluRRSetMove {
-                op: AluOp::I64Add,
-                a: 1,
-                b: 2,
-                dst: 1,
-                dst2: 2
-            }
-        );
-    }
-
-    #[test]
-    fn memory_fusion_respects_label_fences() {
-        // The block end binds a label between the `local.get` and the
-        // load: the load must stay on the stack-address path, and the
-        // branch must land exactly on the op that performs it.
-        let code = compile_mem_body(vec![
-            Instr::Block(
-                BlockType::Value(ValType::I64),
-                vec![
-                    Instr::LocalGet(1),
-                    Instr::LocalGet(0),
-                    Instr::I32WrapI64,
-                    Instr::BrIf(0),
-                ],
-            ),
-            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
-            Instr::LocalSet(2),
-            Instr::LocalGet(0),
-        ]);
-        assert!(
-            code.ops
-                .iter()
-                .all(|op| !matches!(op, Op::LoadR { .. } | Op::LoadRSet { .. })),
-            "fused across a block-end label: {:?}",
-            code.ops
-        );
-        let target = code
-            .ops
-            .iter()
-            .find_map(|op| match op {
-                Op::BrIf(t) => Some(t.pc as usize),
-                _ => None,
-            })
-            .expect("br_if present");
-        // `Load; local.set` may fuse (the label binds at the load's own
-        // pc, which survives as the fused op's start), but the address
-        // must still come from the stack.
-        assert!(
-            matches!(code.ops[target], Op::LoadSet { dst: 2, .. }),
-            "branch target {target} is {:?}",
-            code.ops[target]
-        );
-    }
-
-    #[test]
-    fn branches_across_fences_execute_like_the_oracle() {
-        // A fusion-heavy body whose labels bind at positions that would
-        // fuse without the fences: a value-carrying block exit landing on
-        // a `local.set` whose fusable `local.get` partner sits inside the
-        // block, a br_table landing just past a terminator, and memory
-        // superinstructions at loop-header label positions. If a fold
-        // ever consumed an op at a label-binding pc, the branch-taken
-        // execution would diverge from the never-fusing tree oracle —
-        // so run both and require bit-identity (results, cycle bits,
-        // retired counts), for branch-taken and fall-through arguments.
+    fn branchy_memory_bodies_execute_bit_identically_across_tiers() {
+        // A branch-heavy body with memory traffic, value-carrying block
+        // exits, a loop back-edge and a br_table landing just past its
+        // own terminator. All three execution tiers — register bytecode
+        // (the default `call`), flat stack bytecode (`call_stack`) and
+        // the tree oracle (`call_tree`) — must agree bit-for-bit on
+        // results, cycle bits and retired counts, for branch-taken and
+        // fall-through arguments alike.
         use crate::config::ExecConfig;
         use crate::host::Imports;
         use crate::store::Store;
@@ -2502,22 +2979,18 @@ mod tests {
         let module = b.build();
         cage_wasm::validate(&module).expect("fixture validates");
 
-        // Precondition: the body really contains fused ops and branches
-        // (otherwise this sweep proves nothing).
+        // Precondition: branches survive lowering.
         let code = compile(&module, 1, &module.funcs[0].body);
-        assert!(
-            code.ops
-                .iter()
-                .any(|op| matches!(op, Op::StoreRR { .. } | Op::LoadRSet { .. })),
-            "fixture lost its superinstructions: {:?}",
-            code.ops
-        );
         assert!(code
             .ops
             .iter()
             .any(|op| matches!(op, Op::BrIf(_) | Op::BrTable(_))));
 
         for arg in [0i64, 1, -1, 7] {
+            let mut reg = Store::new(ExecConfig::default());
+            let rh = reg
+                .instantiate(&module, &Imports::new())
+                .expect("instantiates");
             let mut flat = Store::new(ExecConfig::default());
             let fh = flat
                 .instantiate(&module, &Imports::new())
@@ -2527,18 +3000,30 @@ mod tests {
                 .instantiate(&module, &Imports::new())
                 .expect("instantiates");
             let args = [Value::I64(arg)];
-            let f = flat.call(fh, 0, &args);
+            let r = reg.call(rh, 0, &args);
+            let f = flat.call_stack(fh, 0, &args);
             let t = tree.call_tree(th, 0, &args);
-            assert_eq!(f, t, "arg {arg}: flat vs oracle outcome");
+            assert_eq!(r, f, "arg {arg}: register vs stack outcome");
+            assert_eq!(f, t, "arg {arg}: stack vs oracle outcome");
+            assert_eq!(
+                reg.cycles(rh).to_bits(),
+                tree.cycles(th).to_bits(),
+                "arg {arg}: register cycle bits"
+            );
             assert_eq!(
                 flat.cycles(fh).to_bits(),
                 tree.cycles(th).to_bits(),
-                "arg {arg}: cycle bits"
+                "arg {arg}: stack cycle bits"
+            );
+            assert_eq!(
+                reg.instr_count(rh),
+                tree.instr_count(th),
+                "arg {arg}: register retired counts"
             );
             assert_eq!(
                 flat.instr_count(fh),
                 tree.instr_count(th),
-                "arg {arg}: retired counts"
+                "arg {arg}: stack retired counts"
             );
         }
     }
@@ -2565,6 +3050,128 @@ mod tests {
         }
     }
 
+    fn compile_reg_body(body: Vec<Instr>) -> RegCode {
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64, ValType::I32],
+            body,
+        );
+        let module = b.build();
+        cage_wasm::validate(&module).expect("fixture validates");
+        let func = &module.funcs[0];
+        let ty = &module.types[func.type_idx as usize];
+        compile_reg(&module, ty, func.locals.len(), &func.body)
+    }
+
+    #[test]
+    fn reg_handler_indices_and_thread_pointers_stay_in_sync() {
+        // Same invariant as the stack tier: `handlers` is the
+        // introspectable per-op resolution, `thread` the fn-pointer
+        // mirror the register loop actually calls.
+        let code = compile_reg_body(vec![
+            Instr::LocalGet(1),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalSet(2),
+            Instr::LocalGet(0),
+        ]);
+        assert_eq!(code.handlers.len(), code.ops.len());
+        assert_eq!(code.thread.len(), code.ops.len());
+        for (i, op) in code.ops.iter().enumerate() {
+            assert_eq!(code.handlers[i], crate::interp::reg_handler_index(op));
+            assert!(std::ptr::fn_addr_eq(
+                code.thread[i],
+                crate::interp::reg_handler_for_index(code.handlers[i])
+            ));
+        }
+    }
+
+    #[test]
+    fn register_pressure_spills_past_the_hot_slots_and_still_executes() {
+        // 40 simultaneously live copies of the argument exceed the
+        // hot-slot budget, so the linear scan must spill — and spilled
+        // slots must be plain frame slots to the dispatch loop, with
+        // results (and cycle bits) identical to the tree oracle.
+        use crate::config::ExecConfig;
+        use crate::host::Imports;
+        use crate::store::Store;
+        use crate::value::Value;
+
+        const N: usize = 40;
+        // Each temp is `arg + i` with a distinct constant — 40 distinct
+        // SSA values, all live until the fold consumes them (plain
+        // copies of the argument would all number to one value).
+        let mut body = Vec::new();
+        for i in 1..=N as i64 {
+            body.push(Instr::LocalGet(0));
+            body.push(Instr::I64Const(i));
+            body.push(Instr::I64Add);
+        }
+        body.extend(std::iter::repeat_n(Instr::I64Add, N - 1));
+        let code = compile_reg_body(body.clone());
+        assert!(
+            code.spilled > 0,
+            "{N} live temporaries did not spill past the {HOT_SLOTS} hot slots"
+        );
+
+        let mut b = ModuleBuilder::new();
+        b.add_memory64(1);
+        b.add_function(
+            &[ValType::I64],
+            &[ValType::I64],
+            &[ValType::I64, ValType::I64, ValType::I32],
+            body,
+        );
+        let module = b.build();
+        cage_wasm::validate(&module).expect("fixture validates");
+        let mut reg = Store::new(ExecConfig::default());
+        let rh = reg
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        let mut tree = Store::new(ExecConfig::default());
+        let th = tree
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        let args = [Value::I64(3)];
+        let n = N as i64;
+        let expected = 3 * n + n * (n + 1) / 2;
+        assert_eq!(reg.call(rh, 0, &args), Ok(vec![Value::I64(expected)]));
+        assert_eq!(tree.call_tree(th, 0, &args), Ok(vec![Value::I64(expected)]));
+        assert_eq!(reg.cycles(rh).to_bits(), tree.cycles(th).to_bits());
+        assert_eq!(reg.instr_count(rh), tree.instr_count(th));
+    }
+
+    #[test]
+    fn register_stream_dispatches_fewer_ops_than_stack_stream() {
+        // The point of the register tier: the stack shuffles dissolve
+        // into operand slots, so the same body dispatches strictly fewer
+        // ops per execution than the stack stream it replaced.
+        let body = vec![
+            Instr::LocalGet(1),
+            Instr::Load(LoadOp::I64Load, cage_wasm::MemArg::none()),
+            Instr::LocalGet(0),
+            Instr::I64Add,
+            Instr::LocalSet(2),
+            Instr::LocalGet(2),
+            Instr::LocalGet(0),
+            Instr::Store(
+                cage_wasm::instr::StoreOp::I64Store,
+                cage_wasm::MemArg::none(),
+            ),
+            Instr::LocalGet(2),
+        ];
+        let reg = compile_reg_body(body.clone());
+        let stack = compile_mem_body(body);
+        assert!(
+            reg.ops.len() < stack.ops.len(),
+            "register stream ({}) not shorter than stack stream ({})",
+            reg.ops.len(),
+            stack.ops.len()
+        );
+    }
+
     #[test]
     fn dead_code_after_terminator_is_dropped() {
         let code = compile_body(vec![
@@ -2587,7 +3194,7 @@ mod tests {
     }
 
     #[test]
-    fn disassembly_renders_resolved_targets() {
+    fn stack_disassembly_renders_resolved_targets() {
         let mut b = ModuleBuilder::new();
         b.add_function(
             &[ValType::I64],
@@ -2602,10 +3209,10 @@ mod tests {
             ],
         );
         let module = b.build();
-        let text = disassemble(&module, 0).expect("local function");
+        let text = disassemble_stack(&module, 0).expect("local function");
         assert!(text.contains("br_if \u{2192}0003"), "{text}");
         assert!(text.contains("0004: end"), "{text}");
-        assert!(disassemble(&module, 9).is_none());
+        assert!(disassemble_stack(&module, 9).is_none());
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! Differential property test: flat-bytecode execution must be
-//! bit-identical to the structured tree walker (the `#[cfg(test)]` oracle
-//! in `interp.rs`) on randomized control-flow bodies — same results, same
-//! traps, same cycle-counter f64 bits, same retired-instruction counts.
+//! Differential property test: all three execution tiers must be
+//! bit-identical on randomized control-flow bodies — the register tier
+//! (`Store::call`, SSA → linear scan → 3-address bytecode), the stack
+//! tier (`Store::call_stack`, the flat stack bytecode it replaced) and
+//! the structured tree walker (the `#[cfg(test)]` oracle in `interp.rs`).
+//! Same results, same traps, same cycle-counter f64 bits, same
+//! retired-instruction counts.
 //!
 //! Bodies are generated correct-by-construction (every statement is
 //! stack-neutral, loops are bounded by a counter incremented at the loop
@@ -14,8 +17,14 @@
 //! Float statements (f64 arithmetic on locals and constants — including
 //! NaN and ±inf — float compares, f32/f64 loads and stores, and trapping
 //! float→int truncations) exercise the untagged-slot float encoding, the
-//! float 3-address ALU fusions and the scalar memory fast path against
-//! the never-fusing tree oracle, bit-for-bit.
+//! float 3-address ALU ops and the scalar memory fast path against the
+//! tree oracle, bit-for-bit.
+//!
+//! Register-pressure statements stress the linear scan specifically:
+//! expression trees holding more simultaneously live temporaries than the
+//! hot-slot budget (forcing spills), temporaries pinned live across calls
+//! and `memory.grow` (forcing save/restore and cache refresh under live
+//! values), and value-yielding `if/else` diamonds (phis at the join).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -446,8 +455,78 @@ impl Gen {
         }
     }
 
-    /// The mem2reg temp shapes the `*SetMove` superinstructions fuse:
-    /// `t = a <op> b; d = t`.
+    /// Register pressure: materialises 18–40 simultaneously live
+    /// temporaries on the operand stack before folding them down to one
+    /// value. Past the hot-slot budget the linear scan must spill, so
+    /// both the hot and the spilled slot paths are differentially
+    /// pinned — the stack tier and tree oracle never spill anything.
+    fn pressure_statement(&mut self, out: &mut Vec<Instr>) {
+        let n = 18 + self.upto(23);
+        for _ in 0..n {
+            self.value(out);
+        }
+        for _ in 0..n - 1 {
+            out.push(match self.upto(3) {
+                0 => Instr::I64Add,
+                1 => Instr::I64Xor,
+                _ => Instr::I64Mul,
+            });
+        }
+        out.push(Instr::LocalSet(self.pick_dst_local()));
+    }
+
+    /// Temporaries pinned live across a frame switch (a helper call) or
+    /// a `memory.grow` (which invalidates the cached memory view): the
+    /// register file must carry them through intact.
+    fn live_across_call_statement(&mut self, out: &mut Vec<Instr>) {
+        let n = 2 + self.upto(4);
+        for _ in 0..n {
+            self.value(out);
+        }
+        if self.allow_calls && self.rng.gen() {
+            self.value(out);
+            out.push(Instr::Call(HELPER));
+        } else {
+            out.push(Instr::I64Const(i64::from(self.rng.gen::<bool>())));
+            out.push(Instr::MemoryGrow);
+        }
+        for _ in 0..n {
+            out.push(Instr::I64Add);
+        }
+        out.push(Instr::LocalSet(self.pick_dst_local()));
+    }
+
+    /// A value-yielding `if/else` diamond — a phi at the join — with a
+    /// chance of one nested level, so phi operands are themselves phis.
+    fn phi_diamond_statement(&mut self, out: &mut Vec<Instr>, depth: usize) {
+        self.condition(out);
+        let arm = |g: &mut Gen| {
+            let mut body = Vec::new();
+            if depth == 0 && g.upto(3) == 0 {
+                g.phi_diamond_value(&mut body);
+            } else {
+                g.value(&mut body);
+            }
+            body
+        };
+        let then_b = arm(self);
+        let else_b = arm(self);
+        out.push(Instr::If(BlockType::Value(ValType::I64), then_b, else_b));
+        out.push(Instr::LocalSet(self.pick_dst_local()));
+    }
+
+    /// An inner diamond that leaves its value on the stack (for nesting
+    /// inside an outer diamond's arm).
+    fn phi_diamond_value(&mut self, out: &mut Vec<Instr>) {
+        self.condition(out);
+        let mut then_b = Vec::new();
+        self.value(&mut then_b);
+        let mut else_b = Vec::new();
+        self.value(&mut else_b);
+        out.push(Instr::If(BlockType::Value(ValType::I64), then_b, else_b));
+    }
+
+    /// The mem2reg temp shapes: `t = a <op> b; d = t`.
     fn set_move_statement(&mut self, out: &mut Vec<Instr>) {
         out.push(Instr::LocalGet(self.pick_i64_local()));
         if self.rng.gen() {
@@ -472,7 +551,7 @@ impl Gen {
             self.call_statement(out);
             return false;
         }
-        let max = if depth >= 4 { 16 } else { 21 };
+        let max = if depth >= 4 { 19 } else { 24 };
         match self.upto(max) {
             // acc-style arithmetic.
             0 | 1 => {
@@ -599,8 +678,23 @@ impl Gen {
                 self.set_move_statement(out);
                 false
             }
-            // Early return / unreachable.
+            // Register pressure: more live temporaries than hot slots.
             16 => {
+                self.pressure_statement(out);
+                false
+            }
+            // Temporaries live across a call or memory.grow.
+            17 => {
+                self.live_across_call_statement(out);
+                false
+            }
+            // Value-yielding if/else diamonds: phis at the join.
+            18 => {
+                self.phi_diamond_statement(out, 0);
+                false
+            }
+            // Early return / unreachable.
+            19 => {
                 if self.upto(4) == 0 {
                     out.push(Instr::Unreachable);
                 } else {
@@ -610,7 +704,7 @@ impl Gen {
                 true
             }
             // Nested block, empty or value-yielding.
-            17 | 18 => {
+            20 | 21 => {
                 if self.rng.gen() {
                     self.frames.push(0);
                     let inner = self.sequence(depth + 1, &[]);
@@ -626,7 +720,7 @@ impl Gen {
                 false
             }
             // If / if-else.
-            19 => {
+            22 => {
                 self.condition(out);
                 self.frames.push(0);
                 let then_body = self.sequence(depth + 1, &[]);
@@ -767,85 +861,104 @@ fn configs() -> [ExecConfig; 2] {
     ]
 }
 
-/// Renders the module's flat bytecode (as the dispatcher executes it,
-/// fused superinstructions and resolved targets included) next to the
-/// structured tree (as the oracle walks it), so a reported seed is
-/// actionable without re-running the generator by hand.
+/// Renders the module's register bytecode (as the primary tier executes
+/// it, slot assignments, charge recipes and resolved targets included)
+/// next to the stack bytecode and the structured tree, so a reported
+/// seed is actionable without re-running the generator by hand.
 fn dump_divergence(module: &Module) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for (name, idx) in [("run", 0u32), ("helper", HELPER)] {
-        let _ = writeln!(out, "--- flat bytecode ({name}) ---");
+        let _ = writeln!(out, "--- register bytecode ({name}) ---");
         out.push_str(&crate::bytecode::disassemble(module, idx).unwrap_or_default());
+        let _ = writeln!(out, "--- stack bytecode ({name}) ---");
+        out.push_str(&crate::bytecode::disassemble_stack(module, idx).unwrap_or_default());
     }
     let _ = writeln!(out, "--- structured tree (run) ---");
     let _ = writeln!(out, "{:#?}", module.funcs[0].body);
     out
 }
 
-/// Runs one generated module under every config, asserting the flat
-/// dispatcher and the tree oracle are bit-identical; returns whether the
-/// base-config execution trapped (the trap-rate probe).
+/// One tier's observable outcome: result-or-trap, cycle bits, retired
+/// instructions.
+type Observed = (Result<Vec<Value>, crate::trap::Trap>, u64, u64);
+
+fn assert_bitwise_same(seed: u64, pair: &str, module: &Module, a: &Observed, b: &Observed) {
+    match (&a.0, &b.0) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(
+                x.len(),
+                y.len(),
+                "seed {seed}: {pair}: result arity diverged"
+            );
+            for (l, r) in x.iter().zip(y) {
+                assert!(
+                    l.bit_eq(r),
+                    "seed {seed}: {pair}: results diverged: {l:?} vs {r:?}\n{}",
+                    dump_divergence(module)
+                );
+            }
+        }
+        (Err(x), Err(y)) => {
+            assert_eq!(
+                x,
+                y,
+                "seed {seed}: {pair}: traps diverged\n{}",
+                dump_divergence(module)
+            );
+        }
+        _ => panic!(
+            "seed {seed}: {pair}: outcome diverged: {:?} vs {:?}\n{}",
+            a.0,
+            b.0,
+            dump_divergence(module)
+        ),
+    }
+    assert_eq!(
+        a.1,
+        b.1,
+        "seed {seed}: {pair}: cycle bits diverged\n{}",
+        dump_divergence(module),
+    );
+    assert_eq!(
+        a.2,
+        b.2,
+        "seed {seed}: {pair}: retired-instruction counts diverged\n{}",
+        dump_divergence(module)
+    );
+}
+
+/// Runs one generated module under every config, asserting the register
+/// tier, the stack tier and the tree oracle are bit-identical; returns
+/// whether the base-config execution trapped (the trap-rate probe).
 fn check_equivalence(seed: u64, arg: i64) -> bool {
     let module = random_module(seed);
     validate(&module)
         .unwrap_or_else(|e| panic!("generator produced invalid module: {e}\nseed {seed}"));
     let mut base_trapped = false;
+    type RunFn<'a> = &'a dyn Fn(
+        &mut Store,
+        crate::store::InstanceHandle,
+    ) -> Result<Vec<Value>, crate::trap::Trap>;
     for (ci, config) in configs().into_iter().enumerate() {
-        let mut flat_store = Store::new(config);
-        let flat_h = flat_store
-            .instantiate(&module, &Imports::new())
-            .expect("instantiates");
-        let mut tree_store = Store::new(config);
-        let tree_h = tree_store
-            .instantiate(&module, &Imports::new())
-            .expect("instantiates");
-
         let args = [Value::I64(arg)];
-        let flat = flat_store.invoke(flat_h, "run", &args);
-        let tree = tree_store.call_tree(tree_h, 0, &args);
+        let observe = |run: RunFn| -> Observed {
+            let mut store = Store::new(config);
+            let h = store
+                .instantiate(&module, &Imports::new())
+                .expect("instantiates");
+            let result = run(&mut store, h);
+            (result, store.cycles(h).to_bits(), store.instr_count(h))
+        };
+        let reg = observe(&|s, h| s.invoke(h, "run", &args));
+        let stack = observe(&|s, h| s.call_stack(h, 0, &args));
+        let tree = observe(&|s, h| s.call_tree(h, 0, &args));
         if ci == 0 {
-            base_trapped = flat.is_err();
+            base_trapped = reg.0.is_err();
         }
 
-        match (&flat, &tree) {
-            (Ok(a), Ok(b)) => {
-                assert_eq!(a.len(), b.len(), "seed {seed}: result arity diverged");
-                for (x, y) in a.iter().zip(b) {
-                    assert!(
-                        x.bit_eq(y),
-                        "seed {seed}: results diverged: flat {x:?}, tree {y:?}\n{}",
-                        dump_divergence(&module)
-                    );
-                }
-            }
-            (Err(a), Err(b)) => {
-                assert_eq!(
-                    a,
-                    b,
-                    "seed {seed}: traps diverged\n{}",
-                    dump_divergence(&module)
-                );
-            }
-            _ => panic!(
-                "seed {seed}: outcome diverged: flat {flat:?}, tree {tree:?}\n{}",
-                dump_divergence(&module)
-            ),
-        }
-        assert_eq!(
-            flat_store.cycles(flat_h).to_bits(),
-            tree_store.cycles(tree_h).to_bits(),
-            "seed {seed}: cycle bits diverged (flat {}, tree {})\n{}",
-            flat_store.cycles(flat_h),
-            tree_store.cycles(tree_h),
-            dump_divergence(&module),
-        );
-        assert_eq!(
-            flat_store.instr_count(flat_h),
-            tree_store.instr_count(tree_h),
-            "seed {seed}: retired-instruction counts diverged\n{}",
-            dump_divergence(&module)
-        );
+        assert_bitwise_same(seed, "register vs stack", &module, &reg, &stack);
+        assert_bitwise_same(seed, "register vs tree", &module, &reg, &tree);
     }
     base_trapped
 }
@@ -853,7 +966,7 @@ fn check_equivalence(seed: u64, arg: i64) -> bool {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
     #[test]
-    fn flat_bytecode_is_bit_identical_to_tree_walker(seed: u64, arg: i64) {
+    fn all_three_tiers_are_bit_identical(seed: u64, arg: i64) {
         check_equivalence(seed, arg);
     }
 }

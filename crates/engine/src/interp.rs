@@ -2,18 +2,21 @@
 //! cycle accounting, implementing core WASM semantics plus the paper's
 //! Fig. 11 small-step rules for the Cage instructions.
 //!
-//! The execution hot path is allocation-free and *direct-threaded*:
-//! functions are precompiled into shared [`CompiledFunc`]s holding flat
-//! [`crate::bytecode::FlatCode`] at instantiation, every op's handler is
-//! resolved to a fn pointer at lowering time, and the dispatch loop is
-//! one indirect call per retired op — no enum match on the hot path (see
-//! [`HANDLERS`]). Branches are a single collapse-and-jump via their
-//! precompiled [`BranchTarget`] descriptors (no recursive unwinding),
-//! and calls push a return-pc frame on an explicit call stack, so guest
-//! control-flow depth never consumes host Rust stack. Memory-fused
-//! superinstructions (`LoadRSet`, `StoreRR`, the `AluMem` family…) read
-//! their address/value registers directly and hit the cached memory fast
-//! path without re-entering a decoder.
+//! The primary tier is a *register machine*: function bodies are lowered
+//! through SSA into [`crate::bytecode::RegCode`] — generic 3-address ops
+//! over a fixed per-frame register file — and executed by [`Interp::run_reg`],
+//! a direct-threaded loop that replays each op's *charge recipe* (the
+//! cycle-class tags of its constituent source instructions, in original
+//! program order) before running the op body, so cycle accounting and
+//! retired-instruction counts are byte-for-byte identical to the stack
+//! tiers. Calls push a return-pc frame on an explicit call stack and grow
+//! the register arena, so guest call depth never consumes host Rust stack.
+//!
+//! The stack tier survives underneath (`Store::call_stack`): functions
+//! are also precompiled into flat [`crate::bytecode::FlatCode`], every
+//! op's handler resolved to a fn pointer at lowering time, with branches
+//! collapsing through precompiled [`BranchTarget`] descriptors. The
+//! differential tests drive all tiers against each other.
 //!
 //! Operands are *untagged*: the shared operand stack and locals arena are
 //! plain `u64` slots ([`Value::to_slot`] encoding — validation already
@@ -35,7 +38,7 @@ use std::sync::Arc;
 use cage_mte::pointer::ADDR_MASK;
 use cage_wasm::instr::{LoadOp, StoreOp};
 
-use crate::bytecode::{AluOp, BranchTarget, Op};
+use crate::bytecode::{AluOp, BranchTarget, DivOp, Op, RegOp, UnaOp};
 use crate::config::{BoundsCheckStrategy, ExecConfig};
 use crate::cost::InstrClass;
 use crate::host::HostContext;
@@ -967,7 +970,7 @@ impl<'s> Interp<'s> {
             I64Extend16S => una!(s, get_i64, |a: i64| i64::from(a as i16)),
             I64Extend32S => una!(s, get_i64, |a: i64| i64::from(a as i32)),
 
-            other => unreachable!("control or fused op {other:?} reached exec_op"),
+            other => unreachable!("control op {other:?} reached exec_op"),
         }
         Ok(())
     }
@@ -981,14 +984,14 @@ impl<'s> Interp<'s> {
 // bare indirect call per retired op. Handlers are plain fns over
 // [`InterpState`] — the per-call bundle of interpreter, shared operand
 // stack/locals arena, explicit call-frame stack and the cached
-// linear-memory view — so fused memory superinstructions hit the cached
-// untagged fast path without re-entering a decoder.
+// linear-memory view. The register tier mirrors the same shape over
+// [`RegState`] and [`REG_HANDLERS`].
 //
 // Rarely-executed data ops (conversions, division, globals, bulk/segment
 // ops…) share the [`h_data`] handler, which defers to the single
-// [`Interp::exec_op`] implementation the tree oracle also uses; the hot
-// shapes — control flow, locals, constants, loads/stores and every fused
-// superinstruction — get dedicated handlers.
+// [`Interp::exec_op`] implementation the tree oracle and the register
+// tier's bridge ops also use; the hot shapes — control flow, locals,
+// constants, loads/stores — get dedicated handlers.
 
 /// What the dispatch loop does after a handler returns.
 pub(crate) enum Flow {
@@ -1066,10 +1069,10 @@ impl InterpState<'_, '_> {
         Flow::Jump(t.pc)
     }
 
-    /// Scalar load shared by the plain and fused load handlers: the
-    /// cached fast path when no tag scheme is live, the full `resolve()`
-    /// policy ladder otherwise — identical results and trap payloads
-    /// either way (pinned by the differential tests and the trap matrix).
+    /// Scalar load: the cached fast path when no tag scheme is live,
+    /// the full `resolve()` policy ladder otherwise — identical results
+    /// and trap payloads either way (pinned by the differential tests
+    /// and the trap matrix).
     #[inline(always)]
     fn load_scalar(&mut self, op: LoadOp, index: u64, offset: u64) -> Result<u64, Trap> {
         let width = op.width();
@@ -1100,16 +1103,6 @@ impl InterpState<'_, '_> {
             Ok(())
         } else {
             self.it.mem_write_scalar(index, offset, width, raw)
-        }
-    }
-
-    /// The cycle class a fused ALU op charges.
-    #[inline(always)]
-    fn alu_class(&self, op: AluOp) -> f64 {
-        if op.is_float() {
-            self.it.charges.float
-        } else {
-            self.it.charges.simple
         }
     }
 
@@ -1210,12 +1203,8 @@ macro_rules! dispatch_table {
 dispatch_table! {
     Op::Jump(_) => h_jump,
     Op::If(_) => h_if,
-    Op::IfLocal { .. } => h_if_local,
     Op::Br(_) => h_br,
     Op::BrIf(_) => h_br_if,
-    Op::BrIfZ(_) => h_br_if_z,
-    Op::BrIfLocal { .. } => h_br_if_local,
-    Op::BrIfZLocal { .. } => h_br_if_z_local,
     Op::BrTable(_) => h_br_table,
     Op::Return => h_return,
     Op::End => h_end,
@@ -1225,46 +1214,11 @@ dispatch_table! {
     Op::LocalGet(_) => h_local_get,
     Op::LocalSet(_) => h_local_set,
     Op::LocalTee(_) => h_local_tee,
-    Op::LocalMove { .. } => h_local_move,
-    Op::LocalSetGet(_) => h_local_set_get,
-    Op::LocalGetPair { .. } => h_local_get_pair,
-    Op::ConstLocal { .. } => h_const_local,
-    Op::ConstExtI64(_) => h_const_ext_i64,
-    Op::ConstLocalExt { .. } => h_const_local_ext,
-    Op::AluRR { .. } => h_alu_rr,
-    Op::AluRRSet { .. } => h_alu_rr_set,
-    Op::AluRC { .. } => h_alu_rc,
-    Op::AluRCSet { .. } => h_alu_rc_set,
-    Op::AluSR { .. } => h_alu_sr,
-    Op::AluSRSet { .. } => h_alu_sr_set,
-    Op::AluSC { .. } => h_alu_sc,
-    Op::AluSCSet { .. } => h_alu_sc_set,
-    Op::AluSSet { .. } => h_alu_s_set,
-    Op::AluSCExt { .. } => h_alu_sc_ext,
-    Op::ConstLocalPair { .. } => h_const_local_pair,
-    Op::AluRRSetMove { .. } => h_alu_rr_set_move,
-    Op::AluRCSetMove { .. } => h_alu_rc_set_move,
-    Op::AluChainSet { .. } => h_alu_chain_set,
     Op::I32WrapI64 => h_wrap_i64,
     Op::I64ExtendI32S => h_extend_i32_s,
     Op::I64ExtendI32U => h_extend_i32_u,
     Op::Load(..) => h_load,
     Op::Store(..) => h_store,
-    Op::LoadR { .. } => h_load_r,
-    Op::LoadRSet { .. } => h_load_r_set,
-    Op::LoadSet { .. } => h_load_set,
-    Op::StoreRR { .. } => h_store_rr,
-    Op::StoreRC { .. } => h_store_rc,
-    Op::StoreSR { .. } => h_store_sr,
-    Op::StoreSC { .. } => h_store_sc,
-    Op::AluMemR { .. } => h_alu_mem_r,
-    Op::AluMemRSet { .. } => h_alu_mem_r_set,
-    Op::AluMR { .. } => h_alu_mr,
-    Op::AluMRSet { .. } => h_alu_mr_set,
-    Op::AluRMem { .. } => h_alu_r_mem,
-    Op::AluRMemSet { .. } => h_alu_r_mem_set,
-    Op::AluSMem { .. } => h_alu_s_mem,
-    Op::AluSMemSet { .. } => h_alu_s_mem_set,
     Op::MemoryGrow => h_memory_grow,
     @default h_data
 }
@@ -1285,16 +1239,6 @@ fn h_if(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
     Ok(Flow::Next)
 }
 
-fn h_if_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::IfLocal { src, else_pc });
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.branch);
-    if get_i32(st.locals[st.locals_base + src as usize]) == 0 {
-        return Ok(Flow::Jump(else_pc));
-    }
-    Ok(Flow::Next)
-}
-
 fn h_br(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
     op_payload!(op, &Op::Br(target));
     st.it.charge(st.it.charges.branch);
@@ -1305,37 +1249,6 @@ fn h_br_if(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>>
     op_payload!(op, &Op::BrIf(target));
     st.it.charge(st.it.charges.branch);
     if get_i32(st.stack.pop().expect("validated")) != 0 {
-        return Ok(st.take_branch(target));
-    }
-    Ok(Flow::Next)
-}
-
-fn h_br_if_z(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::BrIfZ(target));
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.branch);
-    if get_i32(st.stack.pop().expect("validated")) == 0 {
-        return Ok(st.take_branch(target));
-    }
-    Ok(Flow::Next)
-}
-
-fn h_br_if_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::BrIfLocal { src, target });
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.branch);
-    if get_i32(st.locals[st.locals_base + src as usize]) != 0 {
-        return Ok(st.take_branch(target));
-    }
-    Ok(Flow::Next)
-}
-
-fn h_br_if_z_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::BrIfZLocal { src, target });
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.branch);
-    if get_i32(st.locals[st.locals_base + src as usize]) == 0 {
         return Ok(st.take_branch(target));
     }
     Ok(Flow::Next)
@@ -1422,268 +1335,6 @@ fn h_local_tee(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Tr
     Ok(Flow::Next)
 }
 
-// -- fused superinstructions ------------------------------------------------
-//
-// Constituent charges replay in the original order, so cycle accounting
-// and retired-instruction counts are bit-identical to the unfused
-// sequence (the `charge(0.0)` calls retire the zero-cost extends).
-
-fn h_local_move(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::LocalMove { src, dst });
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] = st.locals[st.locals_base + src as usize];
-    Ok(Flow::Next)
-}
-
-fn h_local_set_get(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::LocalSetGet(i));
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.locals[st.locals_base + i as usize] = *st.stack.last().expect("validated");
-    Ok(Flow::Next)
-}
-
-fn h_local_get_pair(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::LocalGetPair { a, b });
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.stack.push(st.locals[st.locals_base + a as usize]);
-    st.stack.push(st.locals[st.locals_base + b as usize]);
-    Ok(Flow::Next)
-}
-
-fn h_const_local(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::ConstLocal { v, dst });
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] = v;
-    Ok(Flow::Next)
-}
-
-fn h_const_ext_i64(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::ConstExtI64(v));
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(0.0);
-    st.stack.push(v);
-    Ok(Flow::Next)
-}
-
-fn h_const_local_ext(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::ConstLocalExt { v, dst });
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(0.0);
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] = v;
-    Ok(Flow::Next)
-}
-
-// -- 3-address ALU superinstructions: operand reads, the ALU op, and the
-// optional result write collapse into one dispatch. Charges replay the
-// constituents in original order (get(s), [get/const](s), alu(class),
-// [set](s)).
-
-fn h_alu_rr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluRR { op, a, b });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(cl);
-    let r = alu_eval(
-        op,
-        st.locals[st.locals_base + a as usize],
-        st.locals[st.locals_base + b as usize],
-    );
-    st.stack.push(r);
-    Ok(Flow::Next)
-}
-
-fn h_alu_rr_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluRRSet { op, a, b, dst });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(cl);
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] = alu_eval(
-        op,
-        st.locals[st.locals_base + a as usize],
-        st.locals[st.locals_base + b as usize],
-    );
-    Ok(Flow::Next)
-}
-
-fn h_alu_rc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluRC { op, a, k });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(cl);
-    let r = alu_eval(op, st.locals[st.locals_base + a as usize], k);
-    st.stack.push(r);
-    Ok(Flow::Next)
-}
-
-fn h_alu_rc_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluRCSet { op, a, k, dst });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(cl);
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] =
-        alu_eval(op, st.locals[st.locals_base + a as usize], k);
-    Ok(Flow::Next)
-}
-
-fn h_alu_sr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSR { op, b });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(cl);
-    let a = st.stack.pop().expect("validated");
-    st.stack
-        .push(alu_eval(op, a, st.locals[st.locals_base + b as usize]));
-    Ok(Flow::Next)
-}
-
-fn h_alu_sr_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSRSet { op, b, dst });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(cl);
-    st.it.charge(s);
-    let a = st.stack.pop().expect("validated");
-    st.locals[st.locals_base + dst as usize] =
-        alu_eval(op, a, st.locals[st.locals_base + b as usize]);
-    Ok(Flow::Next)
-}
-
-fn h_alu_sc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSC { op, k });
-    let cl = st.alu_class(op);
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(cl);
-    let a = st.stack.pop().expect("validated");
-    st.stack.push(alu_eval(op, a, k));
-    Ok(Flow::Next)
-}
-
-fn h_alu_sc_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSCSet { op, k, dst });
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(cl);
-    st.it.charge(s);
-    let a = st.stack.pop().expect("validated");
-    st.locals[st.locals_base + dst as usize] = alu_eval(op, a, k);
-    Ok(Flow::Next)
-}
-
-fn h_alu_s_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSSet { op, dst });
-    st.it.charge(st.alu_class(op));
-    st.it.charge(st.it.charges.simple);
-    let b = st.stack.pop().expect("validated");
-    let a = st.stack.pop().expect("validated");
-    st.locals[st.locals_base + dst as usize] = alu_eval(op, a, b);
-    Ok(Flow::Next)
-}
-
-fn h_alu_sc_ext(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSCExt { op, k });
-    st.it.charge(0.0);
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.alu_class(op));
-    let a = st.stack.pop().expect("validated");
-    let a = slot_i64(i64::from(get_i32(a)));
-    st.stack.push(alu_eval(op, a, k));
-    Ok(Flow::Next)
-}
-
-fn h_const_local_pair(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::ConstLocalPair { v, dst, b });
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] = v;
-    st.stack.push(v);
-    st.stack.push(st.locals[st.locals_base + b as usize]);
-    Ok(Flow::Next)
-}
-
-fn h_alu_rr_set_move(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluRRSetMove {
-            op,
-            a,
-            b,
-            dst,
-            dst2
-        }
-    );
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(cl);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(s);
-    let r = alu_eval(
-        op,
-        st.locals[st.locals_base + a as usize],
-        st.locals[st.locals_base + b as usize],
-    );
-    st.locals[st.locals_base + dst as usize] = r;
-    st.locals[st.locals_base + dst2 as usize] = r;
-    Ok(Flow::Next)
-}
-
-fn h_alu_chain_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluChainSet {
-            ext,
-            op1,
-            k,
-            op2,
-            dst
-        }
-    );
-    let s = st.it.charges.simple;
-    if ext {
-        st.it.charge(0.0);
-    }
-    st.it.charge(s);
-    st.it.charge(st.alu_class(op1));
-    st.it.charge(st.alu_class(op2));
-    st.it.charge(s);
-    let mut a1 = st.stack.pop().expect("validated");
-    if ext {
-        a1 = slot_i64(i64::from(get_i32(a1)));
-    }
-    let r1 = alu_eval(op1, a1, k);
-    let a0 = st.stack.pop().expect("validated");
-    st.locals[st.locals_base + dst as usize] = alu_eval(op2, a0, r1);
-    Ok(Flow::Next)
-}
-
 // Zero-cost width changes get dedicated handlers: they appear in every
 // wasm64 address computation, and the generic exec_op path would pay a
 // second dispatch for what is one mask of the slot.
@@ -1709,31 +1360,6 @@ fn h_extend_i32_u(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box
     st.it.charge(0.0);
     let a = st.stack.pop().expect("validated");
     st.stack.push(slot_i64((get_i32(a) as u32) as i64));
-    Ok(Flow::Next)
-}
-
-fn h_alu_rc_set_move(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluRCSetMove {
-            op,
-            a,
-            k,
-            dst,
-            dst2
-        }
-    );
-    let s = st.it.charges.simple;
-    let cl = st.alu_class(op);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(cl);
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(s);
-    let r = alu_eval(op, st.locals[st.locals_base + a as usize], k);
-    st.locals[st.locals_base + dst as usize] = r;
-    st.locals[st.locals_base + dst2 as usize] = r;
     Ok(Flow::Next)
 }
 
@@ -1763,279 +1389,6 @@ fn h_memory_grow(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<
     Ok(Flow::Next)
 }
 
-// -- memory superinstructions: loads/stores fused with their register/
-// constant operands (and the AluMem family with the consuming ALU op).
-// Charges replay the constituents in original order, so a trap inside the
-// access leaves exactly the charges the unfused sequence would have.
-
-fn h_load_r(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::LoadR { op, offset, addr });
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let v = st.load_scalar(op, index, offset)?;
-    st.stack.push(v);
-    Ok(Flow::Next)
-}
-
-fn h_load_r_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::LoadRSet {
-            op,
-            offset,
-            addr,
-            dst
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let v = st.load_scalar(op, index, offset)?;
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] = v;
-    Ok(Flow::Next)
-}
-
-fn h_load_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::LoadSet { op, offset, dst });
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    let v = st.load_scalar(op, index, offset)?;
-    st.it.charge(st.it.charges.simple);
-    st.locals[st.locals_base + dst as usize] = v;
-    Ok(Flow::Next)
-}
-
-fn h_store_rr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::StoreRR {
-            op,
-            offset,
-            addr,
-            val
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let raw = st.locals[st.locals_base + val as usize];
-    st.store_scalar(op, index, offset, raw)?;
-    Ok(Flow::Next)
-}
-
-fn h_store_rc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::StoreRC {
-            op,
-            offset,
-            addr,
-            k
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    st.store_scalar(op, index, offset, k)?;
-    Ok(Flow::Next)
-}
-
-fn h_store_sr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::StoreSR { op, offset, val });
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    let raw = st.locals[st.locals_base + val as usize];
-    st.store_scalar(op, index, offset, raw)?;
-    Ok(Flow::Next)
-}
-
-fn h_store_sc(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::StoreSC { op, offset, k });
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    st.store_scalar(op, index, offset, k)?;
-    Ok(Flow::Next)
-}
-
-fn h_alu_mem_r(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluMemR {
-            alu,
-            load,
-            offset,
-            b
-        }
-    );
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(st.it.charges.simple);
-    st.it.charge(st.alu_class(alu));
-    st.stack
-        .push(alu_eval(alu, v, st.locals[st.locals_base + b as usize]));
-    Ok(Flow::Next)
-}
-
-fn h_alu_mem_r_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluMemRSet {
-            alu,
-            load,
-            offset,
-            b,
-            dst
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(s);
-    st.it.charge(st.alu_class(alu));
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] =
-        alu_eval(alu, v, st.locals[st.locals_base + b as usize]);
-    Ok(Flow::Next)
-}
-
-fn h_alu_mr(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluMR {
-            alu,
-            load,
-            offset,
-            addr,
-            b
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(s);
-    st.it.charge(st.alu_class(alu));
-    st.stack
-        .push(alu_eval(alu, v, st.locals[st.locals_base + b as usize]));
-    Ok(Flow::Next)
-}
-
-fn h_alu_mr_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluMRSet {
-            alu,
-            load,
-            offset,
-            addr,
-            b,
-            dst
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(s);
-    st.it.charge(st.alu_class(alu));
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] =
-        alu_eval(alu, v, st.locals[st.locals_base + b as usize]);
-    Ok(Flow::Next)
-}
-
-fn h_alu_r_mem(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluRMem {
-            alu,
-            load,
-            offset,
-            a,
-            addr
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(st.alu_class(alu));
-    st.stack
-        .push(alu_eval(alu, st.locals[st.locals_base + a as usize], v));
-    Ok(Flow::Next)
-}
-
-fn h_alu_r_mem_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluRMemSet {
-            alu,
-            load,
-            offset,
-            a,
-            addr,
-            dst
-        }
-    );
-    let s = st.it.charges.simple;
-    st.it.charge(s);
-    st.it.charge(s);
-    st.it.charge(st.it.charges.mem);
-    let index = st.locals[st.locals_base + addr as usize];
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(st.alu_class(alu));
-    st.it.charge(s);
-    st.locals[st.locals_base + dst as usize] =
-        alu_eval(alu, st.locals[st.locals_base + a as usize], v);
-    Ok(Flow::Next)
-}
-
-fn h_alu_s_mem(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(op, &Op::AluSMem { alu, load, offset });
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(st.alu_class(alu));
-    let a = st.stack.pop().expect("validated");
-    st.stack.push(alu_eval(alu, a, v));
-    Ok(Flow::Next)
-}
-
-fn h_alu_s_mem_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
-    op_payload!(
-        op,
-        &Op::AluSMemSet {
-            alu,
-            load,
-            offset,
-            dst
-        }
-    );
-    st.it.charge(st.it.charges.mem);
-    let index = st.stack.pop().expect("validated");
-    let v = st.load_scalar(load, index, offset)?;
-    st.it.charge(st.alu_class(alu));
-    st.it.charge(st.it.charges.simple);
-    let a = st.stack.pop().expect("validated");
-    st.locals[st.locals_base + dst as usize] = alu_eval(alu, a, v);
-    Ok(Flow::Next)
-}
-
 // -- everything else --------------------------------------------------------
 
 /// Generic data-op handler: defers to the single [`Interp::exec_op`]
@@ -2043,6 +1396,701 @@ fn h_alu_s_mem_set(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Bo
 fn h_data(st: &mut InterpState, op: &Op, _pc: usize) -> Result<Flow, Box<Trap>> {
     st.it.exec_op(op, st.stack, st.locals, st.locals_base)?;
     Ok(Flow::Next)
+}
+
+// ===========================================================================
+// Register-tier dispatch (primary)
+// ===========================================================================
+//
+// The register dispatch loop mirrors the stack tier's shape: a direct-
+// threaded inner loop over pre-resolved handler fn pointers, an explicit
+// call stack, and fuel consumed only at charge-free control transitions
+// (so a fuel trap lands on identical instruction counts and cycle bits).
+// The differences are the operand model — a flat per-frame register file
+// in one growing arena instead of an operand stack — and the charging
+// model: each op's interned charge recipe replays *before* the op body
+// runs, one `charge()` per retired source instruction in original program
+// order, which keeps cycle bits and instruction counts byte-for-byte
+// identical to the stack tiers even on trap paths.
+
+impl Charges {
+    /// The cycle charge of each recipe tag, flattened into an array
+    /// indexed by the tag's `#[repr(u8)]` discriminant (declaration
+    /// order: simple, float, div, float-div, branch, call, indirect,
+    /// mem, zero) — the recipe replay on the register tier's dispatch
+    /// loop indexes this instead of matching per tag.
+    fn tag_table(&self) -> [f64; 9] {
+        [
+            self.simple,
+            self.float,
+            self.div,
+            self.float_div,
+            self.branch,
+            self.call,
+            self.call_indirect,
+            self.mem,
+            0.0,
+        ]
+    }
+}
+
+/// A suspended caller on the register tier's explicit call stack.
+struct RegFrame {
+    func: Arc<CompiledFunc>,
+    base: usize,
+    ret_pc: usize,
+}
+
+/// The per-call execution state register handlers operate on.
+pub(crate) struct RegState<'a, 's> {
+    it: &'a mut Interp<'s>,
+    /// Register-file arena: the active frame owns `func.reg.frame_size`
+    /// slots starting at `base`; suspended callers keep theirs below.
+    regs: &'a mut Vec<u64>,
+    /// Suspended callers (the explicit call stack).
+    frames: Vec<RegFrame>,
+    /// The function currently executing.
+    func: Arc<CompiledFunc>,
+    /// Program counter, parked here across a function switch.
+    pc: usize,
+    /// Arena offset of the active frame.
+    base: usize,
+    /// Reusable staging stack for bridged ops and host calls.
+    scratch: Vec<u64>,
+    /// Return-value staging buffer: `Ret` fills it, the caller's call op
+    /// (or `call_function_reg` for the outermost frame) drains it.
+    ret_buf: Vec<u64>,
+    // Cached linear-memory fast path (see `InterpState`).
+    mem_m64: bool,
+    mem_size: u64,
+    mem_fast: bool,
+}
+
+impl RegState<'_, '_> {
+    /// Reads register `slot` of the active frame.
+    #[inline(always)]
+    fn get(&self, slot: u16) -> u64 {
+        self.regs[self.base + slot as usize]
+    }
+
+    /// Writes register `slot` of the active frame.
+    #[inline(always)]
+    fn set(&mut self, slot: u16, v: u64) {
+        self.regs[self.base + slot as usize] = v;
+    }
+
+    /// Recomputes the cached linear-memory view from the instance.
+    fn refresh_mem(&mut self) {
+        match self.it.store.instances[self.it.inst].memory.as_ref() {
+            Some(m) if self.it.fast_mem => {
+                self.mem_m64 = m.is_memory64();
+                self.mem_size = m.size();
+                self.mem_fast = true;
+            }
+            _ => self.mem_fast = false,
+        }
+    }
+
+    /// Scalar load, sharing the stack tier's split: the cached fast path
+    /// when no tag scheme is live, the full `resolve()` policy ladder
+    /// otherwise — identical results and trap payloads either way.
+    #[inline(always)]
+    fn load_scalar(&mut self, op: LoadOp, index: u64, offset: u64) -> Result<u64, Trap> {
+        let width = op.width();
+        let raw = if self.mem_fast {
+            let addr = fast_addr(index, offset, width, self.mem_m64, self.mem_size)?;
+            self.it.store.instances[self.it.inst]
+                .memory
+                .as_ref()
+                .expect("fast path implies memory")
+                .read_le(addr, width)
+        } else {
+            self.it.mem_read_scalar(index, offset, width)?
+        };
+        Ok(decode_load(op, raw))
+    }
+
+    /// Scalar store twin of [`RegState::load_scalar`].
+    #[inline(always)]
+    fn store_scalar(&mut self, op: StoreOp, index: u64, offset: u64, raw: u64) -> Result<(), Trap> {
+        let width = op.width();
+        if self.mem_fast {
+            let addr = fast_addr(index, offset, width, self.mem_m64, self.mem_size)?;
+            self.it.store.instances[self.it.inst]
+                .memory
+                .as_mut()
+                .expect("fast path implies memory")
+                .write_le(addr, width, raw);
+            Ok(())
+        } else {
+            self.it.mem_write_scalar(index, offset, width, raw)
+        }
+    }
+
+    /// Enters callee `idx`: host functions run on the staging stack
+    /// (`Flow::Next`); guest functions suspend the caller onto `frames`,
+    /// grow the arena by the callee's frame and copy the arguments into
+    /// its parameter slots (`Flow::Refetch`).
+    fn do_call(&mut self, idx: u32, args: &[u16], rets: &[u16], pc: usize) -> Result<Flow, Trap> {
+        if self.it.depth >= self.it.config.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        let callee = Arc::clone(&self.it.store.instances[self.it.inst].funcs[idx as usize]);
+        if callee.is_host {
+            let mut buf = std::mem::take(&mut self.scratch);
+            buf.clear();
+            buf.extend(args.iter().map(|&a| self.get(a)));
+            self.it.depth += 1;
+            let result = self.it.call_host(idx, &callee, &mut buf);
+            self.it.depth -= 1;
+            if result.is_ok() {
+                // Hosts may grow the memory through their checked context.
+                self.refresh_mem();
+                for (&slot, &v) in rets.iter().zip(buf.iter()) {
+                    self.regs[self.base + slot as usize] = v;
+                }
+            }
+            self.scratch = buf;
+            result?;
+            return Ok(Flow::Next);
+        }
+        self.it.depth += 1;
+        let new_base = self.regs.len();
+        self.regs
+            .resize(new_base + callee.reg.frame_size as usize, 0);
+        for (&slot, &a) in callee.reg.param_slots.iter().zip(args) {
+            self.regs[new_base + slot as usize] = self.regs[self.base + a as usize];
+        }
+        self.frames.push(RegFrame {
+            func: std::mem::replace(&mut self.func, callee),
+            base: self.base,
+            ret_pc: pc + 1,
+        });
+        self.base = new_base;
+        self.pc = 0;
+        Ok(Flow::Refetch)
+    }
+
+    /// Function epilogue: copy the staged results into the caller's
+    /// result registers (they live in the caller's call op), release the
+    /// frame, resume the suspended caller — or finish when this was the
+    /// outermost frame, leaving the results staged in `ret_buf`.
+    fn do_return(&mut self) -> Flow {
+        self.it.depth -= 1;
+        match self.frames.pop() {
+            Some(frame) => {
+                self.regs.truncate(self.base);
+                let rets = match &frame.func.reg.ops[frame.ret_pc - 1] {
+                    RegOp::Call(c) => &c.rets,
+                    RegOp::CallIndirect(c) => &c.rets,
+                    other => unreachable!("return to non-call reg op {other:?}"),
+                };
+                for (&slot, &v) in rets.iter().zip(self.ret_buf.iter()) {
+                    self.regs[frame.base + slot as usize] = v;
+                }
+                self.base = frame.base;
+                self.pc = frame.ret_pc;
+                self.func = frame.func;
+                Flow::Refetch
+            }
+            None => Flow::Done,
+        }
+    }
+}
+
+/// A register-op handler: executes one op on the shared state. Charging
+/// is the dispatch loop's job (recipe replay before the body), never the
+/// handler's.
+pub(crate) type RegHandler =
+    for<'h, 'a, 's, 'o> fn(&'h mut RegState<'a, 's>, &'o RegOp, usize) -> Result<Flow, Box<Trap>>;
+
+fn h_reg_nop(_st: &mut RegState, _op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    Ok(Flow::Next)
+}
+
+fn h_reg_jump(_st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Jump(target));
+    Ok(Flow::Jump(target))
+}
+
+fn h_reg_br_if(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::BrIf { cond, target });
+    if get_i32(st.get(cond)) != 0 {
+        return Ok(Flow::Jump(target));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_reg_br_if_z(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::BrIfZ { cond, target });
+    if get_i32(st.get(cond)) == 0 {
+        return Ok(Flow::Jump(target));
+    }
+    Ok(Flow::Next)
+}
+
+fn h_reg_br_table(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, RegOp::BrTable { sel, targets });
+    let i = get_i32(st.get(*sel)) as usize;
+    let target = *targets
+        .get(i)
+        .unwrap_or_else(|| targets.last().expect("br_table has a default"));
+    Ok(Flow::Jump(target))
+}
+
+fn h_reg_ret(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, RegOp::Ret { srcs });
+    let mut buf = std::mem::take(&mut st.ret_buf);
+    buf.clear();
+    buf.extend(srcs.iter().map(|&s| st.get(s)));
+    st.ret_buf = buf;
+    Ok(st.do_return())
+}
+
+fn h_reg_call(st: &mut RegState, op: &RegOp, pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, RegOp::Call(call));
+    Ok(st.do_call(call.func, &call.args, &call.rets, pc)?)
+}
+
+fn h_reg_call_indirect(st: &mut RegState, op: &RegOp, pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, RegOp::CallIndirect(call));
+    let table_idx = get_i32(st.get(call.sel)) as u32;
+    let (func_idx, expected, actual) = {
+        let inst = &st.it.store.instances[st.it.inst];
+        let func_idx = inst
+            .table
+            .get(table_idx as usize)
+            .copied()
+            .flatten()
+            .ok_or(Trap::UndefinedElement)?;
+        (
+            func_idx,
+            Arc::clone(&inst.types[call.type_idx as usize]),
+            Arc::clone(&inst.funcs[func_idx as usize].ty),
+        )
+    };
+    // Pointer equality first: types are deduplicated per module, so the
+    // slow structural compare is a cold path.
+    if !Arc::ptr_eq(&expected, &actual) && *expected != *actual {
+        return Err(Box::new(Trap::IndirectCallTypeMismatch));
+    }
+    Ok(st.do_call(func_idx, &call.args, &call.rets, pc)?)
+}
+
+fn h_reg_move(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Move { dst, src });
+    st.set(dst, st.get(src));
+    Ok(Flow::Next)
+}
+
+fn h_reg_const(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Const { dst, v });
+    st.set(dst, v);
+    Ok(Flow::Next)
+}
+
+fn h_reg_alu(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Alu { op, dst, a, b });
+    st.set(dst, alu_eval(op, st.get(a), st.get(b)));
+    Ok(Flow::Next)
+}
+
+fn h_reg_alu_imm(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::AluImm { op, dst, a, k });
+    st.set(dst, alu_eval(op, st.get(a), k));
+    Ok(Flow::Next)
+}
+
+fn h_reg_div(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Div { op, dst, a, b });
+    let v = div_eval(op, st.get(a), st.get(b))?;
+    st.set(dst, v);
+    Ok(Flow::Next)
+}
+
+/// Evaluates a division/remainder op on untagged slots — bit-identical
+/// to the corresponding `exec_op` arm, including trap payloads. The
+/// `Div`/`FloatDiv` charge is NOT applied here: it rides in the op's
+/// recipe, which the dispatch loop replays first (the stack tiers charge
+/// before their trap checks, so the order matches).
+fn div_eval(op: DivOp, a: u64, b: u64) -> Result<u64, Box<Trap>> {
+    use DivOp::*;
+    Ok(match op {
+        I32DivS => {
+            let (a, b) = (get_i32(a), get_i32(b));
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            let (q, overflow) = a.overflowing_div(b);
+            if overflow {
+                return Err(Box::new(Trap::IntegerOverflow));
+            }
+            slot_i32(q)
+        }
+        I32DivU => {
+            let (a, b) = (get_i32(a) as u32, get_i32(b) as u32);
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            slot_i32((a / b) as i32)
+        }
+        I32RemS => {
+            let (a, b) = (get_i32(a), get_i32(b));
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            slot_i32(a.wrapping_rem(b))
+        }
+        I32RemU => {
+            let (a, b) = (get_i32(a) as u32, get_i32(b) as u32);
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            slot_i32((a % b) as i32)
+        }
+        I64DivS => {
+            let (a, b) = (get_i64(a), get_i64(b));
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            let (q, overflow) = a.overflowing_div(b);
+            if overflow {
+                return Err(Box::new(Trap::IntegerOverflow));
+            }
+            slot_i64(q)
+        }
+        I64DivU => {
+            let (a, b) = (get_i64(a) as u64, get_i64(b) as u64);
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            slot_i64((a / b) as i64)
+        }
+        I64RemS => {
+            let (a, b) = (get_i64(a), get_i64(b));
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            slot_i64(a.wrapping_rem(b))
+        }
+        I64RemU => {
+            let (a, b) = (get_i64(a) as u64, get_i64(b) as u64);
+            if b == 0 {
+                return Err(Box::new(Trap::DivideByZero));
+            }
+            slot_i64((a % b) as i64)
+        }
+        F32Div => slot_f32(get_f32(a) / get_f32(b)),
+        F64Div => slot_f64(get_f64(a) / get_f64(b)),
+    })
+}
+
+fn h_reg_una(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Una { op, dst, a });
+    let v = una_eval(op, st.get(a))?;
+    st.set(dst, v);
+    Ok(Flow::Next)
+}
+
+fn h_reg_select(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, &RegOp::Select { dst, cond, a, b });
+    let v = if get_i32(st.get(cond)) != 0 {
+        st.get(a)
+    } else {
+        st.get(b)
+    };
+    st.set(dst, v);
+    Ok(Flow::Next)
+}
+
+fn h_reg_load(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &RegOp::Load {
+            op,
+            offset,
+            dst,
+            addr
+        }
+    );
+    let index = st.get(addr);
+    let v = st.load_scalar(op, index, offset)?;
+    st.set(dst, v);
+    Ok(Flow::Next)
+}
+
+fn h_reg_store(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(
+        op,
+        &RegOp::Store {
+            op,
+            offset,
+            addr,
+            val
+        }
+    );
+    let index = st.get(addr);
+    let raw = st.get(val);
+    st.store_scalar(op, index, offset, raw)?;
+    Ok(Flow::Next)
+}
+
+fn h_reg_bridge(st: &mut RegState, op: &RegOp, _pc: usize) -> Result<Flow, Box<Trap>> {
+    op_payload!(op, RegOp::Bridge(bridge));
+    let mut buf = std::mem::take(&mut st.scratch);
+    buf.clear();
+    buf.extend(bridge.args.iter().map(|&a| st.get(a)));
+    // Bridged ops never touch locals, so an empty arena suffices. The op
+    // does its own internal charging, exactly as the stack tiers do.
+    let result = st.it.exec_op(&bridge.op, &mut buf, &mut [], 0);
+    if let Err(trap) = result {
+        st.scratch = buf;
+        return Err(Box::new(trap));
+    }
+    if bridge.grow {
+        st.refresh_mem();
+    }
+    if let Some(dst) = bridge.ret {
+        st.set(dst, buf.pop().expect("bridged op pushes its result"));
+    }
+    st.scratch = buf;
+    Ok(Flow::Next)
+}
+
+/// The register tier's direct-threaded dispatch table. Kept in sync with
+/// [`reg_handler_index`] by the exhaustive match there — adding a
+/// [`RegOp`] variant without a table entry is a compile error.
+static REG_HANDLERS: [RegHandler; 18] = [
+    h_reg_nop,
+    h_reg_jump,
+    h_reg_br_if,
+    h_reg_br_if_z,
+    h_reg_br_table,
+    h_reg_ret,
+    h_reg_call,
+    h_reg_call_indirect,
+    h_reg_move,
+    h_reg_const,
+    h_reg_alu,
+    h_reg_alu_imm,
+    h_reg_una,
+    h_reg_select,
+    h_reg_load,
+    h_reg_store,
+    h_reg_bridge,
+    h_reg_div,
+];
+
+/// Resolves a register op to its index in [`REG_HANDLERS`] — called once
+/// per op by `bytecode::compile_reg`, never on the dispatch hot path.
+#[must_use]
+pub(crate) fn reg_handler_index(op: &RegOp) -> u16 {
+    match op {
+        RegOp::Nop => 0,
+        RegOp::Jump(_) => 1,
+        RegOp::BrIf { .. } => 2,
+        RegOp::BrIfZ { .. } => 3,
+        RegOp::BrTable { .. } => 4,
+        RegOp::Ret { .. } => 5,
+        RegOp::Call(_) => 6,
+        RegOp::CallIndirect(_) => 7,
+        RegOp::Move { .. } => 8,
+        RegOp::Const { .. } => 9,
+        RegOp::Alu { .. } => 10,
+        RegOp::AluImm { .. } => 11,
+        RegOp::Una { .. } => 12,
+        RegOp::Select { .. } => 13,
+        RegOp::Load { .. } => 14,
+        RegOp::Store { .. } => 15,
+        RegOp::Bridge(_) => 16,
+        RegOp::Div { .. } => 17,
+    }
+}
+
+/// The handler fn pointer for a resolved index — used at lowering time to
+/// pre-thread the code (`RegCode::thread`).
+pub(crate) fn reg_handler_for_index(index: u16) -> RegHandler {
+    REG_HANDLERS[index as usize]
+}
+
+/// Evaluates a one-operand register op on untagged slots — bit-identical
+/// to the corresponding `exec_op` arm, including trap payloads for the
+/// trapping `trunc` family. Charging is the recipe's job, not this fn's.
+#[inline(always)]
+#[allow(clippy::too_many_lines)]
+fn una_eval(op: UnaOp, a: u64) -> Result<u64, Trap> {
+    use UnaOp::*;
+    Ok(match op {
+        I32Eqz => slot_i32(i32::from(get_i32(a) == 0)),
+        I64Eqz => slot_bool(get_i64(a) == 0),
+        I32Clz => slot_i32(get_i32(a).leading_zeros() as i32),
+        I32Ctz => slot_i32(get_i32(a).trailing_zeros() as i32),
+        I32Popcnt => slot_i32(get_i32(a).count_ones() as i32),
+        I64Clz => slot_i64(i64::from(get_i64(a).leading_zeros())),
+        I64Ctz => slot_i64(i64::from(get_i64(a).trailing_zeros())),
+        I64Popcnt => slot_i64(i64::from(get_i64(a).count_ones())),
+        I32WrapI64 => slot_i32(get_i64(a) as i32),
+        I64ExtendI32S => slot_i64(i64::from(get_i32(a))),
+        I64ExtendI32U => slot_i64((get_i32(a) as u32) as i64),
+        I32Extend8S => slot_i32(i32::from(get_i32(a) as i8)),
+        I32Extend16S => slot_i32(i32::from(get_i32(a) as i16)),
+        I64Extend8S => slot_i64(i64::from(get_i64(a) as i8)),
+        I64Extend16S => slot_i64(i64::from(get_i64(a) as i16)),
+        I64Extend32S => slot_i64(i64::from(get_i64(a) as i32)),
+        I32ReinterpretF32 => slot_i32(get_f32(a).to_bits() as i32),
+        I64ReinterpretF64 => slot_i64(get_f64(a).to_bits() as i64),
+        F32ReinterpretI32 => slot_f32(f32::from_bits(get_i32(a) as u32)),
+        F64ReinterpretI64 => slot_f64(f64::from_bits(get_i64(a) as u64)),
+        I32TruncF32S => slot_i32(trunc_to_i32(f64::from(get_f32(a)))?),
+        I32TruncF32U => slot_i32(trunc_to_u32(f64::from(get_f32(a)))? as i32),
+        I32TruncF64S => slot_i32(trunc_to_i32(get_f64(a))?),
+        I32TruncF64U => slot_i32(trunc_to_u32(get_f64(a))? as i32),
+        I64TruncF32S => slot_i64(trunc_to_i64(f64::from(get_f32(a)))?),
+        I64TruncF32U => slot_i64(trunc_to_u64(f64::from(get_f32(a)))? as i64),
+        I64TruncF64S => slot_i64(trunc_to_i64(get_f64(a))?),
+        I64TruncF64U => slot_i64(trunc_to_u64(get_f64(a))? as i64),
+        F32ConvertI32S => slot_f32(get_i32(a) as f32),
+        F32ConvertI32U => slot_f32((get_i32(a) as u32) as f32),
+        F32ConvertI64S => slot_f32(get_i64(a) as f32),
+        F32ConvertI64U => slot_f32((get_i64(a) as u64) as f32),
+        F32DemoteF64 => slot_f32(get_f64(a) as f32),
+        F64ConvertI32S => slot_f64(f64::from(get_i32(a))),
+        F64ConvertI32U => slot_f64(f64::from(get_i32(a) as u32)),
+        F64ConvertI64S => slot_f64(get_i64(a) as f64),
+        F64ConvertI64U => slot_f64((get_i64(a) as u64) as f64),
+        F64PromoteF32 => slot_f64(f64::from(get_f32(a))),
+        F32Abs => slot_f32(get_f32(a).abs()),
+        F32Neg => slot_f32(-get_f32(a)),
+        F32Ceil => slot_f32(get_f32(a).ceil()),
+        F32Floor => slot_f32(get_f32(a).floor()),
+        F32Trunc => slot_f32(get_f32(a).trunc()),
+        F32Nearest => slot_f32(get_f32(a).round_ties_even()),
+        F32Sqrt => slot_f32(get_f32(a).sqrt()),
+        F64Abs => slot_f64(get_f64(a).abs()),
+        F64Neg => slot_f64(-get_f64(a)),
+        F64Ceil => slot_f64(get_f64(a).ceil()),
+        F64Floor => slot_f64(get_f64(a).floor()),
+        F64Trunc => slot_f64(get_f64(a).trunc()),
+        F64Nearest => slot_f64(get_f64(a).round_ties_even()),
+        F64Sqrt => slot_f64(get_f64(a).sqrt()),
+    })
+}
+
+impl Interp<'_> {
+    /// Calls function `func_idx` with `args` on the register tier —
+    /// the external entry point of the primary tier. The typed boundary
+    /// mirrors [`Interp::call_function`]: `Value`s convert to untagged
+    /// slots here and back at the end.
+    pub(crate) fn call_function_reg(
+        &mut self,
+        func_idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        self.check_entry(func_idx, args)?;
+        let func = Arc::clone(&self.store.instances[self.inst].funcs[func_idx as usize]);
+        if func.is_host {
+            // Host entry points have no register code; the stack-tier
+            // entry shares the same typed boundary and host path.
+            return self.call_function(func_idx, args);
+        }
+        let arg_slots: Vec<u64> = args.iter().map(|v| v.to_slot()).collect();
+        let mut results: Vec<u64> = Vec::with_capacity(func.ty.results.len());
+        let result = self.run_reg(&func, &arg_slots, &mut results);
+        self.flush_accounting();
+        result?;
+        debug_assert_eq!(
+            results.len(),
+            func.ty.results.len(),
+            "validated result arity"
+        );
+        Ok(func
+            .ty
+            .results
+            .iter()
+            .zip(&results)
+            .map(|(ty, raw)| Value::from_slot(*ty, *raw))
+            .collect())
+    }
+
+    /// The register tier's dispatch loop: executes `func` (and everything
+    /// it calls) to completion on one growing register-file arena.
+    ///
+    /// Structure is identical to [`Interp::run`] — hoisted code slices,
+    /// an indirect call per retired op, fuel at charge-free control
+    /// transitions only — plus the recipe replay that charges each op's
+    /// constituent source instructions before its body runs.
+    fn run_reg(
+        &mut self,
+        func: &Arc<CompiledFunc>,
+        args: &[u64],
+        results: &mut Vec<u64>,
+    ) -> Result<(), Trap> {
+        if self.depth >= self.config.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        self.depth += 1;
+        let mut regs: Vec<u64> = vec![0; func.reg.frame_size as usize];
+        for (&slot, &v) in func.reg.param_slots.iter().zip(args) {
+            regs[slot as usize] = v;
+        }
+        let mut st = RegState {
+            it: self,
+            regs: &mut regs,
+            frames: Vec::with_capacity(8),
+            func: Arc::clone(func),
+            pc: 0,
+            base: 0,
+            scratch: Vec::with_capacity(8),
+            ret_buf: Vec::new(),
+            mem_m64: false,
+            mem_size: 0,
+            mem_fast: false,
+        };
+        st.refresh_mem();
+        let charge_table = st.it.charges.tag_table();
+        let mut cur = Arc::clone(&st.func);
+        let mut pc: usize = 0;
+        loop {
+            let code = &cur.reg;
+            let ops: &[RegOp] = &code.ops;
+            let thread: &[RegHandler] = &code.thread;
+            let recipes = &code.recipes;
+            let pool = &code.pool;
+            let switched = loop {
+                // Replay the op's charge recipe before the body: one
+                // charge per retired source instruction, in original
+                // program order — a trap inside the body leaves exactly
+                // the charges the stack tiers would have.
+                let (off, len) = recipes[pc];
+                for &tag in &pool[off as usize..(off + u32::from(len)) as usize] {
+                    st.it.charge(charge_table[tag as usize]);
+                }
+                let handler = thread[pc];
+                match handler(&mut st, &ops[pc], pc) {
+                    Ok(Flow::Next) => pc += 1,
+                    Ok(Flow::Jump(target)) => {
+                        st.it.consume_fuel()?;
+                        pc = target as usize;
+                    }
+                    Ok(Flow::Refetch) => {
+                        st.it.consume_fuel()?;
+                        break true;
+                    }
+                    Ok(Flow::Done) => {
+                        st.it.consume_fuel()?;
+                        break false;
+                    }
+                    Err(trap) => return Err(*trap),
+                }
+            };
+            if !switched {
+                results.extend_from_slice(&st.ret_buf);
+                return Ok(());
+            }
+            cur = Arc::clone(&st.func);
+            pc = st.pc;
+        }
+    }
 }
 
 // -- tree-walking oracle (testing only) -----------------------------------
@@ -2291,10 +2339,10 @@ fn decode_load(op: LoadOp, raw: u64) -> u64 {
     }
 }
 
-/// Evaluates a fused two-operand ALU op on untagged slots — semantically
-/// identical to the corresponding unfused `exec_op` arm (the differential
-/// property tests compare fused flat execution against the never-fusing
-/// tree oracle to pin this).
+/// Evaluates a two-operand ALU op on untagged slots — semantically
+/// identical to the corresponding `exec_op` arm (the differential
+/// property tests compare register execution against the tree oracle
+/// to pin this).
 #[inline(always)]
 #[allow(clippy::too_many_lines)]
 fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {

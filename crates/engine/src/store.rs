@@ -15,7 +15,7 @@ use cage_pac::{PacKey, PacSigner, PointerLayout};
 use cage_wasm::{validate, FuncType, ImportKind, Module, ValType, ValidationError};
 use rand::{Rng, SeedableRng};
 
-use crate::bytecode::{self, FlatCode};
+use crate::bytecode::{self, FlatCode, RegCode};
 use crate::config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
 use crate::cost::CostModel;
 use crate::host::{HostFunc, Imports};
@@ -89,10 +89,13 @@ pub(crate) struct CompiledFunc {
     pub(crate) ty: Arc<FuncType>,
     /// Declared locals (after the parameters). Empty for host functions.
     pub(crate) locals: Vec<ValType>,
-    /// Flat bytecode lowered from the structured body — branch targets
-    /// resolved to pc offsets, block arities baked into collapse
+    /// Flat stack bytecode lowered from the structured body — branch
+    /// targets resolved to pc offsets, block arities baked into collapse
     /// descriptors. Empty for host functions.
     pub(crate) code: FlatCode,
+    /// Register bytecode lowered through SSA — the primary tier
+    /// ([`Store::call`] dispatches it). Empty for host functions.
+    pub(crate) reg: RegCode,
     /// Whether this index dispatches to an imported host function.
     pub(crate) is_host: bool,
 }
@@ -108,16 +111,19 @@ fn precompile(module: &Module) -> (Vec<Arc<FuncType>>, Vec<Arc<CompiledFunc>>) {
             ty: Arc::clone(&types[type_idx as usize]),
             locals: Vec::new(),
             code: FlatCode::default(),
+            reg: RegCode::default(),
             is_host: true,
         }));
     }
     for f in &module.funcs {
         let ty = Arc::clone(&types[f.type_idx as usize]);
         let code = bytecode::compile(module, ty.results.len(), &f.body);
+        let reg = bytecode::compile_reg(module, &ty, f.locals.len(), &f.body);
         funcs.push(Arc::new(CompiledFunc {
             ty,
             locals: f.locals.clone(),
             code,
+            reg,
             is_host: false,
         }));
     }
@@ -452,7 +458,9 @@ impl Store {
         self.call(handle, func_idx, args)
     }
 
-    /// Calls a function by index.
+    /// Calls a function by index on the register tier (the primary
+    /// execution path: SSA-lowered 3-address bytecode over a per-frame
+    /// register file).
     ///
     /// # Errors
     ///
@@ -465,9 +473,35 @@ impl Store {
         args: &[Value],
     ) -> Result<Vec<Value>, Trap> {
         let mut interp = Interp::new(self, handle.0);
-        let results = interp.call_function(func_idx, args)?;
+        let results = interp.call_function_reg(func_idx, args)?;
         // Surface deferred asynchronous tag faults, as the kernel does at
         // context-switch time.
+        if let Some(mem) = self.instances[handle.0].memory.as_mut() {
+            if let Some(fault) = mem.take_async_fault() {
+                return Err(Trap::AsyncTagCheck(fault));
+            }
+        }
+        Ok(results)
+    }
+
+    /// Calls a function by index through the flat *stack* bytecode tier
+    /// — the previous primary path, kept as a differential-testing
+    /// reference alongside the tree oracle. Mirrors [`Store::call`]
+    /// exactly, including surfacing of deferred asynchronous MTE faults.
+    /// Not part of the supported embedder API.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps, exactly as [`Store::call`] does.
+    #[doc(hidden)]
+    pub fn call_stack(
+        &mut self,
+        handle: InstanceHandle,
+        func_idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        let mut interp = Interp::new(self, handle.0);
+        let results = interp.call_function(func_idx, args)?;
         if let Some(mem) = self.instances[handle.0].memory.as_mut() {
             if let Some(fault) = mem.take_async_fault() {
                 return Err(Trap::AsyncTagCheck(fault));

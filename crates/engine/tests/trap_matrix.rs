@@ -1,25 +1,27 @@
-//! Trap-conformance matrix for the memory superinstructions.
+//! Trap-conformance matrix for the memory tiers.
 //!
 //! Every `LoadOp`/`StoreOp` width is executed at a matrix of addresses
 //! (in-bounds, granule-straddling, exactly-at-end, one-past-end, far
-//! out-of-bounds) under all four tag schemes, through three paths:
+//! out-of-bounds) under all four tag schemes, through three execution
+//! tiers:
 //!
-//! * the **fused fast path** (`local.get addr; load/store` fuses into
-//!   `LoadR`/`StoreRR`, which hits the cached untagged fast path when no
-//!   tag scheme is live);
-//! * the **unfused slow path** (a block boundary fences fusion, so the
-//!   plain stack-address `Load`/`Store` ops run — and under tag schemes,
-//!   the full `resolve()` policy ladder);
-//! * the **tree oracle** (the pre-flat-bytecode structured walker, which
-//!   never fuses anything).
+//! * the **register tier** (`Store::call`, the primary path): SSA
+//!   construction and linear-scan slot assignment lower the body to
+//!   generic 3-address ops over a per-frame register file;
+//! * the **stack tier** (`Store::call_stack`): the flat stack bytecode
+//!   the register machine replaced, kept as a differential reference;
+//! * the **tree oracle** (`Store::call_tree`): the pre-flat structured
+//!   walker.
 //!
-//! All three must agree on the trap kind *and payload*, and — because the
-//! fused ops replay their constituents' cycle charges in order — on the
-//! cycle-counter bits and retired-instruction counts too.
+//! All three must agree on the trap kind *and payload*, and — because
+//! each register op replays its retired source ops' cycle charges in
+//! original order — on the cycle-counter bits and retired-instruction
+//! counts too.
 //!
 //! A separate `FuelExhausted` row pins deterministic preemption: the same
 //! program under the same fuel budget traps at the identical instruction
-//! count and cycle bits, across runs and across lowerings.
+//! count and cycle bits, across runs, across lowerings of the same loop,
+//! and across the register and stack tiers.
 
 use cage_engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value};
 use cage_wasm::builder::ModuleBuilder;
@@ -73,16 +75,18 @@ const ALL_STORES: [StoreOp; 9] = [
     StoreOp::I64Store32,
 ];
 
-/// Builds a module with a fused and an unfused variant of one access.
+/// Builds a module with an adjacent and a block-fenced variant of one
+/// access.
 ///
-/// The fused body keeps `local.get` adjacent to the memory op, so the
-/// lowering peephole produces the register-addressed superinstruction;
-/// the unfused body routes the same operands through a `block`, whose
-/// end binds a label and therefore fences fusion — the charge sequence
-/// is identical either way, so even cycle bits can be compared.
+/// The adjacent body keeps `local.get` next to the memory op; the fenced
+/// body routes the same operand through a `block`, whose end binds a
+/// label. SSA dissolves the fence into the same generic 3-address access
+/// either way — only the charge recipes land on different ops — so the
+/// two variants exercise distinct lowerings of one semantics, and even
+/// cycle bits can be compared.
 fn matrix_module(access: Access) -> Module {
     let locals = [ValType::I32, ValType::I64, ValType::F32, ValType::F64];
-    let (fused, unfused) = match access {
+    let (adjacent, fenced) = match access {
         Access::Load(op) => (
             vec![
                 Instr::LocalGet(0),
@@ -116,9 +120,9 @@ fn matrix_module(access: Access) -> Module {
     };
     let mut b = ModuleBuilder::new();
     b.add_memory64(1);
-    let f = b.add_function(&[ValType::I64], &[], &locals, fused);
-    let u = b.add_function(&[ValType::I64], &[], &locals, unfused);
-    assert_eq!((f, u), (0, 1));
+    let a = b.add_function(&[ValType::I64], &[], &locals, adjacent);
+    let f = b.add_function(&[ValType::I64], &[], &locals, fenced);
+    assert_eq!((a, f), (0, 1));
     b.build()
 }
 
@@ -196,28 +200,35 @@ enum Expect {
     Trap,
 }
 
+#[derive(Clone, Copy, Debug)]
+enum Tier {
+    Reg,
+    Stack,
+    Tree,
+}
+
 fn run_path(
     config: ExecConfig,
     module: &Module,
     func: u32,
     addr: u64,
-    tree: bool,
+    tier: Tier,
 ) -> (Result<Vec<Value>, Trap>, u64, u64) {
     let mut store = Store::new(config);
     let h = store
         .instantiate(module, &Imports::new())
         .expect("instantiates");
     let args = [Value::I64(addr as i64)];
-    let result = if tree {
-        store.call_tree(h, func, &args)
-    } else {
-        store.call(h, func, &args)
+    let result = match tier {
+        Tier::Reg => store.call(h, func, &args),
+        Tier::Stack => store.call_stack(h, func, &args),
+        Tier::Tree => store.call_tree(h, func, &args),
     };
     (result, store.cycles(h).to_bits(), store.instr_count(h))
 }
 
 #[test]
-fn every_width_addr_and_scheme_agrees_across_all_three_paths() {
+fn every_width_addr_and_scheme_agrees_across_all_three_tiers() {
     let accesses: Vec<Access> = ALL_LOADS
         .iter()
         .map(|&l| Access::Load(l))
@@ -228,34 +239,45 @@ fn every_width_addr_and_scheme_agrees_across_all_three_paths() {
         for (scheme, config) in schemes() {
             for (case, addr, expect) in addr_cases(access.width()) {
                 let cell = format!("{access:?} @ {case} under {scheme}");
-                let (fused, fc, fi) = run_path(config, &module, 0, addr, false);
-                let (unfused, _, _) = run_path(config, &module, 1, addr, false);
-                let (tree, tc, ti) = run_path(config, &module, 0, addr, true);
+                let reg = run_path(config, &module, 0, addr, Tier::Reg);
+                let stack = run_path(config, &module, 0, addr, Tier::Stack);
+                let tree = run_path(config, &module, 0, addr, Tier::Tree);
 
-                // Fused flat vs tree oracle: identical outcome (trap kind
-                // and payload), cycle bits and retired instructions —
-                // same function, so everything must match.
-                assert_eq!(fused, tree, "{cell}: fused flat vs tree oracle");
-                assert_eq!(fc, tc, "{cell}: cycle bits diverged from oracle");
-                assert_eq!(fi, ti, "{cell}: instruction counts diverged");
+                // Register tier vs stack tier vs tree oracle: identical
+                // outcome (trap kind and payload), cycle bits and retired
+                // instructions — same function, so everything must match.
+                assert_eq!(reg, stack, "{cell}: register tier vs stack tier");
+                assert_eq!(reg, tree, "{cell}: register tier vs tree oracle");
 
-                // Unfused slow path: same trap kind and payload.
-                match (&fused, &unfused) {
+                // The fenced lowering of the same access, through both
+                // flat tiers: same everything again.
+                let fenced = run_path(config, &module, 1, addr, Tier::Reg);
+                let fenced_stack = run_path(config, &module, 1, addr, Tier::Stack);
+                assert_eq!(
+                    fenced, fenced_stack,
+                    "{cell}: fenced body diverged between register and stack tiers"
+                );
+
+                // Adjacent vs fenced: same trap kind and payload.
+                match (&reg.0, &fenced.0) {
                     (Ok(_), Ok(_)) => {}
                     (Err(a), Err(b)) => {
-                        assert_eq!(a, b, "{cell}: fused vs unfused trap payloads");
+                        assert_eq!(a, b, "{cell}: adjacent vs fenced trap payloads");
                     }
-                    _ => panic!("{cell}: outcome diverged: fused {fused:?}, unfused {unfused:?}"),
+                    _ => panic!(
+                        "{cell}: outcome diverged: adjacent {:?}, fenced {:?}",
+                        reg.0, fenced.0
+                    ),
                 }
 
                 // Scheme-independent expectations: OOB must trap under
                 // every scheme, everything in-bounds must pass.
                 match expect {
                     Expect::Pass => {
-                        assert!(fused.is_ok(), "{cell}: expected pass, got {fused:?}");
+                        assert!(reg.0.is_ok(), "{cell}: expected pass, got {:?}", reg.0);
                     }
                     Expect::Trap => {
-                        assert!(fused.is_err(), "{cell}: expected a trap");
+                        assert!(reg.0.is_err(), "{cell}: expected a trap");
                     }
                 }
             }
@@ -267,15 +289,16 @@ fn every_width_addr_and_scheme_agrees_across_all_three_paths() {
 /// only at the charge-free control transitions (back-edge jumps,
 /// function switches, returns), so the same program under the same
 /// budget must trap at the identical retired-instruction count, cycle
-/// bits and consumed-fuel total — across repeated runs AND across the
-/// fused vs fusion-fenced lowering of the same loop body. A scheduler
-/// preempting tenants by fuel therefore cannot perturb the cycle model.
+/// bits and consumed-fuel total — across repeated runs, across the
+/// adjacent vs block-fenced lowering of the same loop body, AND across
+/// the register and stack tiers. A scheduler preempting tenants by fuel
+/// therefore cannot perturb the cycle model.
 #[test]
 fn fuel_exhaustion_is_deterministic_across_runs_and_lowerings() {
-    // func 0: an infinite increment loop whose body fuses into the
-    // 3-address ALU form; func 1: the same loop with the constant routed
-    // through a block, whose label fences fusion.
-    let fused = vec![
+    // func 0: an infinite increment loop whose body lowers to a single
+    // 3-address ALU op; func 1: the same loop with the constant routed
+    // through a block, which lands the charges on different reg ops.
+    let adjacent = vec![
         Instr::Loop(
             BlockType::Empty,
             vec![
@@ -288,7 +311,7 @@ fn fuel_exhaustion_is_deterministic_across_runs_and_lowerings() {
         ),
         Instr::LocalGet(1),
     ];
-    let unfused = vec![
+    let fenced = vec![
         Instr::Loop(
             BlockType::Empty,
             vec![
@@ -303,18 +326,23 @@ fn fuel_exhaustion_is_deterministic_across_runs_and_lowerings() {
     ];
     let mut b = ModuleBuilder::new();
     b.add_memory64(1);
-    let f = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], fused);
-    let u = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], unfused);
-    assert_eq!((f, u), (0, 1));
+    let a = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], adjacent);
+    let f = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], fenced);
+    assert_eq!((a, f), (0, 1));
     let module = b.build();
 
-    let run = |func: u32, budget: u64| {
+    let run = |func: u32, budget: u64, stack: bool| {
         let mut store = Store::new(ExecConfig::default());
         let h = store
             .instantiate(&module, &Imports::new())
             .expect("instantiates");
         store.set_fuel(h, Some(budget));
-        let result = store.call(h, func, &[Value::I64(0)]);
+        let args = [Value::I64(0)];
+        let result = if stack {
+            store.call_stack(h, func, &args)
+        } else {
+            store.call(h, func, &args)
+        };
         (
             result,
             store.cycles(h).to_bits(),
@@ -325,16 +353,26 @@ fn fuel_exhaustion_is_deterministic_across_runs_and_lowerings() {
     };
 
     for budget in [1u64, 2, 3, 10, 1_000] {
-        let first = run(0, budget);
+        let first = run(0, budget, false);
         assert_eq!(
             first,
-            run(0, budget),
+            run(0, budget, false),
             "budget {budget}: fuel trap is not reproducible across runs"
         );
         assert_eq!(
             first,
-            run(1, budget),
-            "budget {budget}: fuel trap diverged between fused and unfused lowering"
+            run(1, budget, false),
+            "budget {budget}: fuel trap diverged between adjacent and fenced lowering"
+        );
+        assert_eq!(
+            first,
+            run(0, budget, true),
+            "budget {budget}: fuel trap diverged between register and stack tiers"
+        );
+        assert_eq!(
+            first,
+            run(1, budget, true),
+            "budget {budget}: fenced fuel trap diverged between register and stack tiers"
         );
         assert_eq!(
             first.0,
@@ -348,7 +386,7 @@ fn fuel_exhaustion_is_deterministic_across_runs_and_lowerings() {
 
 /// Straight-line bodies have no jumps, so their only fuel charge is the
 /// outermost return: a zero budget still preempts them (at the final
-/// `end`), one unit of fuel is enough to finish, and `None` disables the
+/// `ret`), one unit of fuel is enough to finish, and `None` disables the
 /// checks entirely — with bit-identical cycles in all three cases.
 #[test]
 fn fuel_covers_straight_line_bodies_at_the_outermost_return() {
@@ -387,32 +425,59 @@ fn fuel_covers_straight_line_bodies_at_the_outermost_return() {
     assert_eq!(fed_cycles, unmetered_cycles);
 }
 
-/// The fused ops must actually be present in the fused variant and absent
-/// from the fenced one — otherwise the matrix compares the same path to
-/// itself and proves nothing.
+/// The register lowering must dissolve the stack shuffles the retired
+/// superinstruction zoo existed to fuse: both the adjacent and the
+/// block-fenced body lower to the same generic 3-address access, the
+/// fence surviving only as a label `nop` and a different split of the
+/// charge recipe — and the access itself dispatches as ONE op whose
+/// recipe replays the retired `local.get`s' charges in source order.
 #[test]
-fn fused_and_unfused_bodies_lower_as_intended() {
+fn register_lowering_dissolves_stack_shuffles() {
     let module = matrix_module(Access::Load(LoadOp::I64Load));
-    let fused = cage_engine::disassemble(&module, 0).expect("local function");
-    let unfused = cage_engine::disassemble(&module, 1).expect("local function");
+    let adjacent = cage_engine::disassemble(&module, 0).expect("local function");
+    let fenced = cage_engine::disassemble(&module, 1).expect("local function");
+    // Adjacent: the load absorbs the retired local.get's simple charge.
     assert!(
-        fused.contains("addr=local 0"),
-        "fused body lost its superinstruction:\n{fused}"
+        adjacent.contains("r1 <- I64Load offset=0 addr=r0  ; charges sm"),
+        "adjacent load did not lower to a charged 3-address op:\n{adjacent}"
+    );
+    // Fenced: same 3-address op, but the block's label keeps the
+    // local.get charge on its own nop and the load charges only memory.
+    assert!(
+        fenced.contains("r1 <- I64Load offset=0 addr=r0  ; charges m"),
+        "fence leaked into the 3-address access:\n{fenced}"
     );
     assert!(
-        !unfused.contains("addr=local"),
-        "fence failed, unfused body fused anyway:\n{unfused}"
+        fenced.contains("nop  ; charges s"),
+        "fenced body lost the label nop carrying the operand charge:\n{fenced}"
     );
 
     let module = matrix_module(Access::Store(StoreOp::I32Store16));
-    let fused = cage_engine::disassemble(&module, 0).expect("local function");
-    let unfused = cage_engine::disassemble(&module, 1).expect("local function");
+    let adjacent = cage_engine::disassemble(&module, 0).expect("local function");
+    let fenced = cage_engine::disassemble(&module, 1).expect("local function");
     assert!(
-        fused.contains("addr=local 0, val=local"),
-        "fused store lost its superinstruction:\n{fused}"
+        adjacent.contains("I32Store16 offset=0 addr=r0, val=r1  ; charges ssm"),
+        "adjacent store did not absorb both operand charges:\n{adjacent}"
     );
     assert!(
-        !unfused.contains("val=local"),
-        "fence failed, unfused store fused anyway:\n{unfused}"
+        fenced.contains("I32Store16 offset=0 addr=r0, val=r1  ; charges m"),
+        "fence leaked into the 3-address store:\n{fenced}"
+    );
+
+    // The register stream is strictly shorter than the stack stream it
+    // replaced: the stack shuffles are gone, not renamed.
+    let reg_ops = cage_engine::disassemble(&module, 0)
+        .expect("local function")
+        .lines()
+        .count()
+        - 1;
+    let stack_ops = cage_engine::disassemble_stack(&module, 0)
+        .expect("local function")
+        .lines()
+        .count()
+        - 1;
+    assert!(
+        reg_ops < stack_ops,
+        "register stream ({reg_ops} ops) not shorter than stack stream ({stack_ops} ops)"
     );
 }

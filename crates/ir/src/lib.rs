@@ -20,6 +20,11 @@
 //! Utility passes (`mem2reg`, constant folding, DCE) run *before* the
 //! sanitizers, mirroring the paper's pipeline ("both sanitizer passes run
 //! after all LLVM optimizations", §6.1).
+//!
+//! The crate also hosts the generic machinery behind the engine's
+//! register-bytecode tier: [`ssa`] (Braun-style SSA construction and
+//! parallel-copy sequencing for phi elimination) and [`regalloc`]
+//! (block liveness and linear-scan slot assignment).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,8 @@ pub mod instr;
 pub mod lower;
 pub mod module;
 pub mod passes;
+pub mod regalloc;
+pub mod ssa;
 pub mod types;
 
 pub use builder::FunctionBuilder;

@@ -1,0 +1,460 @@
+//! Braun-style SSA construction over an abstract CFG.
+//!
+//! Implements the on-the-fly algorithm of Braun et al. ("Simple and
+//! Efficient Construction of Static Single Assignment Form", CC 2013):
+//! the client walks its input in any order, registering blocks, edges and
+//! variable reads/writes; phi functions materialise on demand at join
+//! points, and blocks whose predecessor sets are not yet complete (loop
+//! headers during body construction) hold *incomplete* phis that are
+//! resolved when the block is sealed. Trivial phis (all operands equal)
+//! are replaced by their unique operand through a redirection map —
+//! [`SsaBuilder::resolve`] follows the chain — rather than by rewriting
+//! uses in place, so the client can resolve its own instruction operands
+//! once, after [`SsaBuilder::finish`].
+//!
+//! Everything is `u32` identifiers: the client owns the meaning of
+//! variables and values. Deterministic by construction (`BTreeMap`
+//! state, no hashing-order dependence), which matters because the engine
+//! derives bytecode — and ultimately the cycle-golden file — from the
+//! output.
+
+use std::collections::BTreeMap;
+
+/// A client-defined variable (e.g. a wasm local index).
+pub type Var = u32;
+/// A basic-block identifier handed out by [`SsaBuilder::new_block`].
+pub type Block = u32;
+/// An SSA value identifier handed out by [`SsaBuilder::new_value`] (or
+/// internally for phis).
+pub type Value = u32;
+
+/// The value of a read with no reaching definition (only possible in
+/// statically unreachable code): a phi over zero predecessors resolves
+/// to this.
+pub const UNDEF: Value = u32::MAX;
+
+#[derive(Debug, Default)]
+struct BlockData {
+    preds: Vec<Block>,
+    sealed: bool,
+    defs: BTreeMap<Var, Value>,
+    /// Phis created before the predecessor set was complete, awaiting
+    /// [`SsaBuilder::seal_block`].
+    incomplete: Vec<(Var, Value)>,
+}
+
+#[derive(Debug)]
+struct PhiData {
+    block: Block,
+    /// `(predecessor, value)` — one entry per predecessor edge.
+    operands: Vec<(Block, Value)>,
+}
+
+/// Incremental SSA builder. See the module docs for the protocol:
+/// create blocks, add predecessor edges, read/write variables, seal each
+/// block once its predecessors are final, then call
+/// [`SsaBuilder::finish`] and resolve operands.
+#[derive(Debug, Default)]
+pub struct SsaBuilder {
+    next_value: u32,
+    blocks: Vec<BlockData>,
+    phis: BTreeMap<Value, PhiData>,
+    replaced: BTreeMap<Value, Value>,
+}
+
+impl SsaBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh value id for a client-side definition.
+    pub fn new_value(&mut self) -> Value {
+        let v = self.next_value;
+        self.next_value += 1;
+        v
+    }
+
+    /// Creates a new, unsealed block with no predecessors.
+    pub fn new_block(&mut self) -> Block {
+        let b = self.blocks.len() as Block;
+        self.blocks.push(BlockData::default());
+        b
+    }
+
+    /// Registers a control-flow edge `pred -> block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already sealed.
+    pub fn add_pred(&mut self, block: Block, pred: Block) {
+        let data = &mut self.blocks[block as usize];
+        assert!(!data.sealed, "edge added to sealed block {block}");
+        data.preds.push(pred);
+    }
+
+    /// Number of predecessor edges registered for `block`.
+    #[must_use]
+    pub fn pred_count(&self, block: Block) -> usize {
+        self.blocks[block as usize].preds.len()
+    }
+
+    /// Records that `var` holds `value` at the end of `block`.
+    pub fn write_var(&mut self, var: Var, block: Block, value: Value) {
+        self.blocks[block as usize].defs.insert(var, value);
+    }
+
+    /// The value of `var` at the current end of `block`, creating phis
+    /// as needed. Returns [`UNDEF`] only for reads in unreachable code.
+    pub fn read_var(&mut self, var: Var, block: Block) -> Value {
+        if let Some(&v) = self.blocks[block as usize].defs.get(&var) {
+            return self.resolve(v);
+        }
+        self.read_var_recursive(var, block)
+    }
+
+    fn read_var_recursive(&mut self, var: Var, block: Block) -> Value {
+        let data = &self.blocks[block as usize];
+        let val = if !data.sealed {
+            let phi = self.new_phi(block);
+            self.blocks[block as usize].incomplete.push((var, phi));
+            phi
+        } else if data.preds.len() == 1 {
+            let p = data.preds[0];
+            self.read_var(var, p)
+        } else if data.preds.is_empty() {
+            UNDEF
+        } else {
+            // Break potential cycles (loops) by writing the phi before
+            // collecting its operands.
+            let phi = self.new_phi(block);
+            self.write_var(var, block, phi);
+            let resolved = self.add_phi_operands(var, phi);
+            self.write_var(var, block, resolved);
+            return resolved;
+        };
+        self.write_var(var, block, val);
+        val
+    }
+
+    /// Marks the predecessor set of `block` as final, completing any
+    /// phis created while it was open (loop headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already sealed.
+    pub fn seal_block(&mut self, block: Block) {
+        let data = &mut self.blocks[block as usize];
+        assert!(!data.sealed, "block {block} sealed twice");
+        data.sealed = true;
+        let incomplete = std::mem::take(&mut data.incomplete);
+        for (var, phi) in incomplete {
+            self.add_phi_operands(var, phi);
+        }
+    }
+
+    /// Creates an operand-less phi in `block` for the client to fill via
+    /// [`SsaBuilder::add_phi_operand`] (used for block-result values,
+    /// where the merged value lives on the operand stack rather than in
+    /// a variable).
+    pub fn new_phi(&mut self, block: Block) -> Value {
+        let v = self.new_value();
+        self.phis.insert(
+            v,
+            PhiData {
+                block,
+                operands: Vec::new(),
+            },
+        );
+        v
+    }
+
+    /// Appends the operand `value` flowing into phi `phi` along the edge
+    /// from `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a live phi.
+    pub fn add_phi_operand(&mut self, phi: Value, pred: Block, value: Value) {
+        self.phis
+            .get_mut(&phi)
+            .expect("operand added to non-phi value")
+            .operands
+            .push((pred, value));
+    }
+
+    fn add_phi_operands(&mut self, var: Var, phi: Value) -> Value {
+        let block = self.phis[&phi].block;
+        let preds = self.blocks[block as usize].preds.clone();
+        for p in preds {
+            let v = self.read_var(var, p);
+            self.phis
+                .get_mut(&phi)
+                .expect("phi live while adding operands")
+                .operands
+                .push((p, v));
+        }
+        self.try_remove_trivial(phi)
+    }
+
+    /// Replaces `phi` by its unique operand when all operands agree
+    /// (ignoring self-references); returns the surviving value.
+    fn try_remove_trivial(&mut self, phi: Value) -> Value {
+        let mut same: Option<Value> = None;
+        for i in 0..self.phis[&phi].operands.len() {
+            let (_, raw) = self.phis[&phi].operands[i];
+            let v = self.resolve(raw);
+            if v == phi || Some(v) == same || v == UNDEF {
+                continue;
+            }
+            if same.is_some() {
+                return phi; // two distinct operands: not trivial
+            }
+            same = Some(v);
+        }
+        let same = same.unwrap_or(UNDEF);
+        self.phis.remove(&phi);
+        self.replaced.insert(phi, same);
+        same
+    }
+
+    /// Follows the trivial-phi redirection chain from `v` to the value
+    /// that actually carries it.
+    #[must_use]
+    pub fn resolve(&self, mut v: Value) -> Value {
+        while let Some(&r) = self.replaced.get(&v) {
+            v = r;
+        }
+        v
+    }
+
+    /// Runs trivial-phi elimination to a fixpoint. The on-the-fly
+    /// algorithm can leave a phi that only *became* trivial when one of
+    /// its operand phis was removed (no use lists are maintained); such
+    /// leftovers are correct but redundant, and this pass removes them.
+    /// Call once after construction, before reading phis back.
+    pub fn finish(&mut self) {
+        loop {
+            let mut changed = false;
+            let ids: Vec<Value> = self.phis.keys().copied().collect();
+            for id in ids {
+                if self.phis.contains_key(&id) && self.try_remove_trivial(id) != id {
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Whether `v` is a (surviving) phi.
+    #[must_use]
+    pub fn is_phi(&self, v: Value) -> bool {
+        self.phis.contains_key(&v)
+    }
+
+    /// The surviving phis of `block`, in ascending value order.
+    #[must_use]
+    pub fn phis_in(&self, block: Block) -> Vec<Value> {
+        self.phis
+            .iter()
+            .filter(|(_, d)| d.block == block)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// The resolved `(predecessor, value)` operands of phi `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a surviving phi.
+    #[must_use]
+    pub fn phi_operands(&self, v: Value) -> Vec<(Block, Value)> {
+        self.phis[&v]
+            .operands
+            .iter()
+            .map(|&(p, val)| (p, self.resolve(val)))
+            .collect()
+    }
+
+    /// Total number of value ids allocated.
+    #[must_use]
+    pub fn num_values(&self) -> u32 {
+        self.next_value
+    }
+}
+
+/// Orders a parallel copy set (semantics: all sources are read before
+/// any destination is written) into a sequential move list, breaking
+/// swap cycles through the reserved `scratch` location.
+///
+/// Destinations must be distinct; `dst == src` self-copies are dropped.
+/// This is the phi-elimination step: each predecessor of a join runs one
+/// parallel copy writing every phi of the join, and the sequentialised
+/// form is what the register bytecode actually executes.
+#[must_use]
+pub fn sequence_parallel_copies(copies: &[(u16, u16)], scratch: u16) -> Vec<(u16, u16)> {
+    let mut pending: Vec<(u16, u16)> = copies.iter().copied().filter(|(d, s)| d != s).collect();
+    let mut out = Vec::with_capacity(pending.len() + 1);
+    while !pending.is_empty() {
+        // Emit any copy whose destination no other pending copy still
+        // reads; if none exists every destination is also a source — a
+        // cycle — so park one value in scratch to open it.
+        if let Some(i) = (0..pending.len()).find(|&i| {
+            let d = pending[i].0;
+            pending.iter().all(|&(_, s)| s != d)
+        }) {
+            out.push(pending.remove(i));
+        } else {
+            let d = pending[0].0;
+            out.push((scratch, d));
+            for c in &mut pending {
+                if c.1 == d {
+                    c.1 = scratch;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_reads_see_writes() {
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let v0 = b.new_value();
+        b.write_var(0, entry, v0);
+        assert_eq!(b.read_var(0, entry), v0);
+    }
+
+    #[test]
+    fn diamond_join_creates_phi() {
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let (then_b, else_b, join) = (b.new_block(), b.new_block(), b.new_block());
+        b.add_pred(then_b, entry);
+        b.add_pred(else_b, entry);
+        b.seal_block(then_b);
+        b.seal_block(else_b);
+        let (t, e) = (b.new_value(), b.new_value());
+        b.write_var(0, then_b, t);
+        b.write_var(0, else_b, e);
+        b.add_pred(join, then_b);
+        b.add_pred(join, else_b);
+        b.seal_block(join);
+        let v = b.read_var(0, join);
+        b.finish();
+        assert!(b.is_phi(v));
+        assert_eq!(b.phi_operands(v), vec![(then_b, t), (else_b, e)]);
+        assert_eq!(b.phis_in(join), vec![v]);
+    }
+
+    #[test]
+    fn diamond_with_equal_values_is_trivial() {
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let v0 = b.new_value();
+        b.write_var(0, entry, v0);
+        let (then_b, else_b, join) = (b.new_block(), b.new_block(), b.new_block());
+        for arm in [then_b, else_b] {
+            b.add_pred(arm, entry);
+            b.seal_block(arm);
+            b.add_pred(join, arm);
+        }
+        b.seal_block(join);
+        let v = b.read_var(0, join);
+        b.finish();
+        assert_eq!(b.resolve(v), v0);
+        assert!(b.phis_in(join).is_empty());
+    }
+
+    #[test]
+    fn loop_header_phi_resolves_at_seal() {
+        // entry -> header <-> body; header also exits. The variable is
+        // incremented in the body, so the header phi is non-trivial.
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let v0 = b.new_value();
+        b.write_var(0, entry, v0);
+        let header = b.new_block();
+        b.add_pred(header, entry);
+        let body = b.new_block();
+        b.add_pred(body, header);
+        b.seal_block(body);
+        let at_top = b.read_var(0, header); // incomplete phi
+        let inc = b.new_value();
+        b.write_var(0, body, inc);
+        b.add_pred(header, body);
+        b.seal_block(header);
+        b.finish();
+        assert!(b.is_phi(at_top));
+        assert_eq!(b.phi_operands(at_top), vec![(entry, v0), (body, inc)]);
+    }
+
+    #[test]
+    fn loop_invariant_variable_needs_no_phi() {
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let v0 = b.new_value();
+        b.write_var(0, entry, v0);
+        let header = b.new_block();
+        b.add_pred(header, entry);
+        let body = b.new_block();
+        b.add_pred(body, header);
+        b.seal_block(body);
+        let at_top = b.read_var(0, header);
+        // No write in the body: the back edge carries the same value.
+        b.add_pred(header, body);
+        b.seal_block(header);
+        b.finish();
+        assert_eq!(b.resolve(at_top), v0);
+    }
+
+    #[test]
+    fn unreachable_read_is_undef() {
+        let mut b = SsaBuilder::new();
+        let orphan = b.new_block();
+        b.seal_block(orphan);
+        assert_eq!(b.read_var(7, orphan), UNDEF);
+    }
+
+    #[test]
+    fn parallel_copies_emit_in_dependency_order() {
+        // b <- a must run before a is clobbered by a <- c.
+        let out = sequence_parallel_copies(&[(0, 2), (1, 0)], 9);
+        assert_eq!(out, vec![(1, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn parallel_copy_swap_goes_through_scratch() {
+        let out = sequence_parallel_copies(&[(0, 1), (1, 0)], 9);
+        assert_eq!(out, vec![(9, 0), (0, 1), (1, 9)]);
+    }
+
+    #[test]
+    fn parallel_copy_three_cycle() {
+        let out = sequence_parallel_copies(&[(0, 1), (1, 2), (2, 0)], 9);
+        // Simulate to verify: start r0=100, r1=101, r2=102.
+        let mut regs = [100u64, 101, 102, 0, 0, 0, 0, 0, 0, 0];
+        for (d, s) in out {
+            regs[d as usize] = regs[s as usize];
+        }
+        assert_eq!(&regs[..3], &[101, 102, 100]);
+    }
+
+    #[test]
+    fn self_copies_are_dropped() {
+        assert!(sequence_parallel_copies(&[(3, 3)], 9).is_empty());
+    }
+}

@@ -1,6 +1,7 @@
 //! CLI tests for `cagec --dump-bytecode`: the disassembly must show the
-//! flat form the interpreter executes — pcs, ops, resolved branch
-//! targets — and unknown functions must fail with the usage exit code.
+//! register bytecode the interpreter executes — pcs, 3-address ops over
+//! linear-scan slots, resolved branch targets, charge recipes — and
+//! unknown functions must fail with the usage exit code.
 
 use std::process::Command;
 
@@ -71,8 +72,9 @@ fn dump_bytecode_shows_pcs_and_resolved_targets() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    // Header with the function's shape.
+    // Header with the function's shape and the linear scan's verdict.
     assert!(stdout.contains("params 1, results 1"), "{stdout}");
+    assert!(stdout.contains("regs ("), "{stdout}");
     // pc-prefixed lines.
     assert!(stdout.contains("0000: "), "{stdout}");
     // Resolved branch targets render as absolute pcs.
@@ -80,9 +82,11 @@ fn dump_bytecode_shows_pcs_and_resolved_targets() {
         stdout.contains('\u{2192}'),
         "no resolved targets in:\n{stdout}"
     );
-    // The loop's conditional branch and the function epilogue both appear.
+    // The loop's conditional branch and the function epilogue both
+    // appear, and retired source ops show up as charge recipes.
     assert!(stdout.contains("br_if"), "{stdout}");
-    assert!(stdout.contains(": end"), "{stdout}");
+    assert!(stdout.contains("ret ["), "{stdout}");
+    assert!(stdout.contains("; charges "), "{stdout}");
 }
 
 #[test]
@@ -121,10 +125,11 @@ const MEM_PROGRAM: &str = r#"
 "#;
 
 #[test]
-fn dump_bytecode_renders_memory_superinstructions() {
-    // The dump must show the fused memory ops the interpreter actually
-    // dispatches: register-addressed loads/stores with their operand
-    // registers, the scale-and-add chain, and the const+get2 chain head.
+fn dump_bytecode_renders_register_form() {
+    // The dump must show the 3-address ops the interpreter actually
+    // dispatches: register-addressed loads/stores naming their operand
+    // slots, immediate-folded ALU ops, and charge recipes that replay
+    // the retired stack shuffles' costs.
     let program = tempfile::with_suffix(".c", MEM_PROGRAM);
     let out = cagec()
         .arg(program.path())
@@ -137,29 +142,27 @@ fn dump_bytecode_renders_memory_superinstructions() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    // Register-addressed load with a register destination (LoadRSet):
-    // both halves must appear on the same line, or a regression to the
-    // set-less LoadR form would slip past split substring checks.
+    // A load writing a register destination from a register address:
+    // both halves must appear on the same line, or a regression to a
+    // stack-addressed form would slip past split substring checks.
     assert!(
         stdout
             .lines()
-            .any(|l| l.contains("I64Load offset=0 addr=local") && l.contains("-> local")),
+            .any(|l| l.contains("<- I64Load offset=0 addr=r") && l.contains(": r")),
         "{stdout}"
     );
-    // Register-addressed store with a register value (StoreRR).
+    // A store reading both its address and value from registers.
     assert!(
         stdout
             .lines()
-            .any(|l| l.contains("I64Store offset=0 addr=local") && l.contains("val=local")),
+            .any(|l| l.contains("I64Store offset=0 addr=r") && l.contains("val=r")),
         "{stdout}"
     );
-    // The collapsed scale-and-add address chain (AluChainSet) and its
-    // const+get2 head (ConstLocalPair).
-    assert!(
-        stdout.contains("I64Add stack, (I64Mul stack, const 0x8) -> local"),
-        "{stdout}"
-    );
-    assert!(stdout.contains("local.const+get2"), "{stdout}");
+    // The array indexing scale folds its constant into an AluImm.
+    assert!(stdout.contains("I64Mul r0, const 0x8"), "{stdout}");
+    // Dissolved stack shuffles survive as charge-recipe letters (the
+    // load absorbs simple charges plus its own memory charge).
+    assert!(stdout.contains("; charges ssm"), "{stdout}");
 }
 
 #[test]

@@ -81,10 +81,12 @@ pub mod gallery;
 pub use embed::{Artifact, Engine, EngineBuilder, Instance, TypedFunc};
 pub use error::Error;
 
-pub use cage_engine::{Trap, Value, WasmParams, WasmResults, WasmTy};
+pub use cage_engine::{InstanceLimits, Trap, Value, WasmParams, WasmResults, WasmTy};
 pub use cage_mte::Core;
 pub use cage_runtime::{Linker, MemoryReport, PoolMetrics, StartupReport, Variant};
-pub use cage_serve::{HostProfile, InstancePre, Pool, PooledInstance, ServeError};
+pub use cage_serve::{
+    EpochTicker, Fault, FaultPlan, HostProfile, InstancePre, Pool, PooledInstance, ServeError,
+};
 
 pub use cage_cc as cc;
 pub use cage_engine as engine;

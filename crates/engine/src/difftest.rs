@@ -36,7 +36,7 @@ use cage_wasm::{validate, BlockType, Instr, MemArg, Module, ValType};
 
 use crate::config::{ExecConfig, InternalSafety};
 use crate::host::Imports;
-use crate::store::Store;
+use crate::store::{InstanceLimits, Store};
 use crate::value::Value;
 
 /// Locals: 0 = i64 argument, 1 = i64 accumulator, 2 = i64 scratch,
@@ -932,6 +932,15 @@ fn assert_bitwise_same(seed: u64, pair: &str, module: &Module, a: &Observed, b: 
 /// tier, the stack tier and the tree oracle are bit-identical; returns
 /// whether the base-config execution trapped (the trap-rate probe).
 fn check_equivalence(seed: u64, arg: i64) -> bool {
+    check_equivalence_with(seed, arg, InstanceLimits::default())
+}
+
+/// [`check_equivalence`] under explicit resource limits, installed
+/// identically on every tier's store: limit denials (`memory.grow`
+/// reporting `-1` where the unlimited module would have grown, and the
+/// OOB traps of bulk ops that then land past the pinned size) must be
+/// just as bit-identical as the happy paths.
+fn check_equivalence_with(seed: u64, arg: i64, limits: InstanceLimits) -> bool {
     let module = random_module(seed);
     validate(&module)
         .unwrap_or_else(|e| panic!("generator produced invalid module: {e}\nseed {seed}"));
@@ -944,6 +953,7 @@ fn check_equivalence(seed: u64, arg: i64) -> bool {
         let args = [Value::I64(arg)];
         let observe = |run: RunFn| -> Observed {
             let mut store = Store::new(config);
+            store.set_default_limits(limits);
             let h = store
                 .instantiate(&module, &Imports::new())
                 .expect("instantiates");
@@ -978,6 +988,111 @@ fn known_shapes_are_bit_identical() {
         check_equivalence(seed, 7);
         check_equivalence(seed, -3);
     }
+}
+
+/// The same random bodies with the memory pinned at its single initial
+/// page: every `memory.grow` with a positive delta is denied by the
+/// resource limit (the guest observes `-1`), and bulk ops that banked on
+/// the grown region trap OOB instead — identically across all three
+/// tiers and both cost models.
+const PINNED: InstanceLimits = InstanceLimits {
+    max_memory_pages: Some(1),
+    max_table_elements: None,
+    max_call_depth: None,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn limit_denied_grows_are_bit_identical_across_tiers(seed: u64, arg: i64) {
+        check_equivalence_with(seed, arg, PINNED);
+    }
+}
+
+#[test]
+fn known_shapes_are_bit_identical_under_a_page_limit() {
+    for seed in [0, 1, 2, 42, 0xCA9E, u64::MAX] {
+        check_equivalence_with(seed, 7, PINNED);
+        check_equivalence_with(seed, -3, PINNED);
+    }
+}
+
+/// The hand-pinned shape of the limit story: a grow that the module type
+/// allows (max 64 pages) but the instance limit denies, followed by a
+/// `memory.fill` into the region the grow would have provided. With the
+/// limit, the grow reports `-1` and the fill traps OOB; without it, both
+/// succeed — and each of the two worlds is internally bit-identical
+/// across the register tier, the stack tier and the tree oracle.
+#[test]
+fn page_limit_denies_grow_and_downstream_fill_traps_across_tiers() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory(cage_wasm::MemoryType {
+        limits: cage_wasm::Limits {
+            min: 1,
+            max: Some(64),
+        },
+        memory64: true,
+    });
+    // run(delta) -> grow result; then fill 8 bytes starting in page 2
+    // (in bounds only if the grow succeeded).
+    b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[ValType::I64],
+        vec![
+            Instr::LocalGet(0),
+            Instr::MemoryGrow,
+            Instr::LocalSet(1),
+            Instr::I64Const(65_536 + 16),
+            Instr::I32Const(0xAB),
+            Instr::I64Const(8),
+            Instr::MemoryFill,
+            Instr::LocalGet(1),
+        ],
+    );
+    let module = b.build();
+    validate(&module).expect("hand-built module validates");
+
+    let observe = |limits: InstanceLimits, tier: u8| -> Observed {
+        let mut store = Store::new(ExecConfig::default());
+        store.set_default_limits(limits);
+        let h = store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        let args = [Value::I64(1)];
+        let result = match tier {
+            0 => store.call(h, 0, &args),
+            1 => store.call_stack(h, 0, &args),
+            _ => store.call_tree(h, 0, &args),
+        };
+        (result, store.cycles(h).to_bits(), store.instr_count(h))
+    };
+
+    let capped = observe(PINNED, 0);
+    assert!(
+        matches!(capped.0, Err(crate::trap::Trap::OutOfBounds { .. })),
+        "capped grow should leave the fill OOB, got {:?}",
+        capped.0
+    );
+    assert_eq!(capped, observe(PINNED, 1), "capped: register vs stack");
+    assert_eq!(capped, observe(PINNED, 2), "capped: register vs tree");
+
+    let unlimited = observe(InstanceLimits::default(), 0);
+    assert_eq!(
+        unlimited.0,
+        Ok(vec![Value::I64(1)]),
+        "unlimited grow from 1 page must report the old size"
+    );
+    assert_eq!(
+        unlimited,
+        observe(InstanceLimits::default(), 1),
+        "unlimited: register vs stack"
+    );
+    assert_eq!(
+        unlimited,
+        observe(InstanceLimits::default(), 2),
+        "unlimited: register vs tree"
+    );
 }
 
 /// Pool-reset equivalence oracle: recycling an instance through

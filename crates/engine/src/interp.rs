@@ -33,6 +33,8 @@
 //! the differential-testing oracle: property tests assert the flat
 //! dispatcher is bit-identical to it on results, traps and cycles.
 
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cage_mte::pointer::ADDR_MASK;
@@ -166,6 +168,15 @@ pub(crate) struct Interp<'s> {
     fuel: Option<u64>,
     /// Consumed-fuel accumulator, mirrored like `cycles`.
     fuel_consumed: u64,
+    /// The store's shared epoch counter (one `Arc` clone per call, loaded
+    /// relaxed at preemption points only while a deadline is set).
+    epoch: Arc<AtomicU64>,
+    /// Epoch deadline, mirrored from the instance; `None` disables the
+    /// epoch compare entirely.
+    epoch_deadline: Option<u64>,
+    /// Effective call-depth limit: the engine config tightened by the
+    /// instance's [`crate::store::InstanceLimits`].
+    max_depth: usize,
     /// Whether the configuration permits the cached linear-memory fast
     /// path: no MTE sandboxing and no internal tagging, so `resolve()`
     /// degenerates to the software bounds compare. Computed once — the
@@ -197,6 +208,12 @@ impl<'s> Interp<'s> {
         let instr_count = store.instances[inst].instr_count;
         let fuel = store.instances[inst].fuel;
         let fuel_consumed = store.instances[inst].fuel_consumed;
+        let epoch = Arc::clone(&store.epoch);
+        let epoch_deadline = store.instances[inst].epoch_deadline;
+        let max_depth = store.instances[inst]
+            .limits
+            .max_call_depth
+            .map_or(config.max_call_depth, |l| l.min(config.max_call_depth));
         let fast_mem =
             config.bounds != BoundsCheckStrategy::MteSandbox && !config.internal.is_enabled();
         Interp {
@@ -209,6 +226,9 @@ impl<'s> Interp<'s> {
             instr_count,
             fuel,
             fuel_consumed,
+            epoch,
+            epoch_deadline,
+            max_depth,
             fast_mem,
             host_args: Vec::new(),
         }
@@ -231,13 +251,17 @@ impl<'s> Interp<'s> {
         i.fuel_consumed = self.fuel_consumed;
     }
 
-    /// Consumes one unit of fuel at a control transition of the dispatch
-    /// loop (branch taken, function entered or returned from). Fuel
-    /// checks ride exclusively on charge-free control ops, so they are
-    /// invisible to cycle accounting, and the transition sequence is a
-    /// pure function of the program — the trap lands on the identical
-    /// instruction count and cycle bits on every run. Free (one `None`
-    /// test) when no budget is set.
+    /// The preemption point: consumes one unit of fuel and compares the
+    /// shared epoch counter against the instance's deadline, at a control
+    /// transition of the dispatch loop (branch taken, function entered or
+    /// returned from). Both checks ride exclusively on charge-free
+    /// control ops, so they are invisible to cycle accounting. The fuel
+    /// transition sequence is a pure function of the program — the trap
+    /// lands on the identical instruction count and cycle bits on every
+    /// run — while the epoch trigger is an external timer; a deadline
+    /// already at or below the current epoch is deterministic again
+    /// (traps at the first preemption point). Fuel wins when both expire
+    /// at the same point. Free (two `None` tests) when neither is set.
     #[inline(always)]
     fn consume_fuel(&mut self) -> Result<(), Trap> {
         if let Some(f) = self.fuel {
@@ -246,6 +270,11 @@ impl<'s> Interp<'s> {
             }
             self.fuel = Some(f - 1);
             self.fuel_consumed += 1;
+        }
+        if let Some(deadline) = self.epoch_deadline {
+            if self.epoch.load(Ordering::Relaxed) >= deadline {
+                return Err(Trap::EpochInterrupt);
+            }
         }
         Ok(())
     }
@@ -340,7 +369,7 @@ impl<'s> Interp<'s> {
     /// nesting depth and guest call depth (the latter bounded by
     /// `max_call_depth`).
     fn run(&mut self, entry: u32, stack: &mut Vec<u64>, locals: &mut Vec<u64>) -> Result<(), Trap> {
-        if self.depth >= self.config.max_call_depth {
+        if self.depth >= self.max_depth {
             return Err(Trap::CallStackExhausted);
         }
         let func = Arc::clone(&self.store.instances[self.inst].funcs[entry as usize]);
@@ -442,7 +471,23 @@ impl<'s> Interp<'s> {
             config: &self.config,
             cycles: &mut inst.cycles,
         };
-        let result = (host.func)(&mut ctx, &self.host_args);
+        // A panicking host function must not unwind through the dispatch
+        // loop: the store would be left mid-mutation with no record of
+        // it. Catch the panic at this boundary and surface it as a trap —
+        // the embedder (the serve pool) treats it as poisoning the
+        // instance, quarantining the slot instead of recycling it.
+        let result =
+            panic::catch_unwind(AssertUnwindSafe(|| (host.func)(&mut ctx, &self.host_args)))
+                .unwrap_or_else(|payload| {
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    Err(Trap::HostPanic(msg))
+                });
         self.cycles = self.store.instances[self.inst].cycles;
         let results = result?;
         // Host results re-enter the untagged stack, so arity and type
@@ -1110,7 +1155,7 @@ impl InterpState<'_, '_> {
     /// stack (`Flow::Continue`); guest functions suspend the caller onto
     /// `frames` and switch `func` (`Flow::Refetch`).
     fn do_call(&mut self, idx: u32, pc: usize) -> Result<Flow, Trap> {
-        if self.it.depth >= self.it.config.max_call_depth {
+        if self.it.depth >= self.it.max_depth {
             return Err(Trap::CallStackExhausted);
         }
         let callee = Arc::clone(&self.it.store.instances[self.it.inst].funcs[idx as usize]);
@@ -1532,7 +1577,7 @@ impl RegState<'_, '_> {
     /// grow the arena by the callee's frame and copy the arguments into
     /// its parameter slots (`Flow::Refetch`).
     fn do_call(&mut self, idx: u32, args: &[u16], rets: &[u16], pc: usize) -> Result<Flow, Trap> {
-        if self.it.depth >= self.it.config.max_call_depth {
+        if self.it.depth >= self.it.max_depth {
             return Err(Trap::CallStackExhausted);
         }
         let callee = Arc::clone(&self.it.store.instances[self.it.inst].funcs[idx as usize]);
@@ -2025,7 +2070,7 @@ impl Interp<'_> {
         args: &[u64],
         results: &mut Vec<u64>,
     ) -> Result<(), Trap> {
-        if self.depth >= self.config.max_call_depth {
+        if self.depth >= self.max_depth {
             return Err(Trap::CallStackExhausted);
         }
         self.depth += 1;
@@ -2152,7 +2197,7 @@ mod tree {
             stack: &mut Vec<u64>,
             locals: &mut Vec<u64>,
         ) -> Result<(), Trap> {
-            if self.depth >= self.config.max_call_depth {
+            if self.depth >= self.max_depth {
                 return Err(Trap::CallStackExhausted);
             }
             self.depth += 1;

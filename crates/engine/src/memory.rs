@@ -114,6 +114,11 @@ pub struct LinearMemory {
     data: Vec<u8>,
     guest_size: u64,
     max_pages: Option<u64>,
+    /// Embedder-imposed page cap ([`crate::store::InstanceLimits`]), on
+    /// top of the module-declared `max_pages`. Checked only in
+    /// [`LinearMemory::grow`] — the single choke point every tier and the
+    /// host-side grow go through — and preserved across [`LinearMemory::reset`].
+    page_limit: Option<u64>,
     memory64: bool,
     tags: TagMemory,
     scheme: TagScheme,
@@ -164,6 +169,7 @@ impl LinearMemory {
             data: vec![0; total as usize],
             guest_size,
             max_pages,
+            page_limit: None,
             memory64,
             tags,
             scheme,
@@ -210,6 +216,7 @@ impl LinearMemory {
     /// as at instantiation. A grown memory rebuilds wholesale.
     pub fn reset(&mut self) {
         if self.grown {
+            let page_limit = self.page_limit;
             *self = LinearMemory::new(
                 self.base_pages,
                 self.max_pages,
@@ -218,6 +225,7 @@ impl LinearMemory {
                 self.mode,
                 self.seed,
             );
+            self.page_limit = page_limit;
             return;
         }
         let initial = self.scheme.initial_tag();
@@ -261,6 +269,18 @@ impl LinearMemory {
         self.memory64
     }
 
+    /// Installs (or clears) the embedder's page cap — see
+    /// [`crate::store::InstanceLimits::max_memory_pages`].
+    pub fn set_page_limit(&mut self, limit: Option<u64>) {
+        self.page_limit = limit;
+    }
+
+    /// The embedder's page cap, if any.
+    #[must_use]
+    pub fn page_limit(&self) -> Option<u64> {
+        self.page_limit
+    }
+
     /// The tag scheme in force.
     #[must_use]
     pub fn scheme(&self) -> TagScheme {
@@ -292,6 +312,14 @@ impl LinearMemory {
         let new_pages = old_pages.checked_add(delta_pages)?;
         if let Some(max) = self.max_pages {
             if new_pages > max {
+                return None;
+            }
+        }
+        // The embedder's resource policy fails a grow exactly like the
+        // module's own declared maximum: an in-language `-1`, identical
+        // on every tier.
+        if let Some(limit) = self.page_limit {
+            if new_pages > limit {
                 return None;
             }
         }

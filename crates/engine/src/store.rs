@@ -8,6 +8,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cage_mte::{MteMode, Tag};
@@ -43,6 +44,9 @@ pub enum InstantiateError {
     TooManySandboxes,
     /// A data or element segment fell outside its target.
     SegmentOutOfRange,
+    /// The module's initial memory or table size exceeds the store's
+    /// [`InstanceLimits`] policy.
+    LimitExceeded(String),
     /// The start function trapped.
     Start(Trap),
 }
@@ -61,6 +65,7 @@ impl fmt::Display for InstantiateError {
                 f.write_str("sandbox tags exhausted (15 per process, 1 in combined mode)")
             }
             InstantiateError::SegmentOutOfRange => f.write_str("active segment out of range"),
+            InstantiateError::LimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
             InstantiateError::Start(t) => write!(f, "start function trapped: {t}"),
         }
     }
@@ -77,6 +82,31 @@ impl From<ValidationError> for InstantiateError {
 /// Handle to an instance within a [`Store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstanceHandle(pub(crate) usize);
+
+/// Per-instance resource policy, in the spirit of wasmtime's
+/// `ResourceLimiter`: every field is an *upper bound the embedder imposes
+/// on top of* what the module declares and the engine configuration
+/// allows; `None` means "no additional bound".
+///
+/// * `max_memory_pages` caps linear memory, enforced both at
+///   instantiation (initial size) and inside `memory.grow` — a grow past
+///   the cap fails with the in-language `-1`, exactly like exceeding the
+///   module's own declared maximum, so guests observe a deterministic,
+///   spec-shaped failure on every tier.
+/// * `max_table_elements` caps the function table at instantiation (the
+///   engine has no `table.grow`, so the initial size is the only growth
+///   point).
+/// * `max_call_depth` tightens [`crate::ExecConfig::max_call_depth`]; the
+///   effective limit is the minimum of the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceLimits {
+    /// Maximum linear-memory size in 64KiB pages.
+    pub max_memory_pages: Option<u64>,
+    /// Maximum number of function-table elements.
+    pub max_table_elements: Option<usize>,
+    /// Maximum guest call depth (tightens the engine config).
+    pub max_call_depth: Option<usize>,
+}
 
 /// A function precompiled at instantiation: resolved type, local
 /// declarations and flat bytecode, shared behind an `Arc` so the
@@ -196,6 +226,12 @@ pub(crate) struct Instance {
     pub(crate) fuel: Option<u64>,
     /// Fuel consumed since the last [`Store::set_fuel`]/reset.
     pub(crate) fuel_consumed: u64,
+    /// Epoch deadline: trap with [`Trap::EpochInterrupt`] at the next
+    /// preemption point once the store's shared epoch counter reaches
+    /// this value. `None` = never.
+    pub(crate) epoch_deadline: Option<u64>,
+    /// Embedder-imposed resource policy (survives resets).
+    pub(crate) limits: InstanceLimits,
 }
 
 /// The engine store: configuration, cost model and instances.
@@ -203,6 +239,13 @@ pub struct Store {
     pub(crate) config: ExecConfig,
     pub(crate) cost: CostModel,
     pub(crate) instances: Vec<Instance>,
+    /// Engine-shared epoch counter for wall-clock preemption: an embedder
+    /// thread ticks it, the dispatch loop compares it against per-instance
+    /// deadlines at the charge-free preemption points. Shareable across
+    /// stores via [`Store::set_epoch`].
+    pub(crate) epoch: Arc<AtomicU64>,
+    /// Limits applied to instances created after this point.
+    default_limits: InstanceLimits,
     rng: rand::rngs::StdRng,
     next_sandbox_tag: u8,
 }
@@ -226,6 +269,8 @@ impl Store {
             next_sandbox_tag: 1,
             config,
             instances: Vec::new(),
+            epoch: Arc::new(AtomicU64::new(0)),
+            default_limits: InstanceLimits::default(),
         }
     }
 
@@ -339,8 +384,17 @@ impl Store {
             }
         }
 
+        let limits = self.default_limits;
         let memory = match module.memory_type() {
             Some(ty) => {
+                if let Some(cap) = limits.max_memory_pages {
+                    if ty.limits.min > cap {
+                        return Err(InstantiateError::LimitExceeded(format!(
+                            "initial memory of {} pages exceeds the {cap}-page policy",
+                            ty.limits.min
+                        )));
+                    }
+                }
                 let scheme = if self.config.mte_active() {
                     self.tag_scheme()?
                 } else {
@@ -351,14 +405,16 @@ impl Store {
                 } else {
                     MteMode::Disabled
                 };
-                Some(LinearMemory::new(
+                let mut mem = LinearMemory::new(
                     ty.limits.min,
                     ty.limits.max,
                     ty.memory64,
                     scheme,
                     mode,
                     self.rng.gen(),
-                ))
+                );
+                mem.set_page_limit(limits.max_memory_pages);
+                Some(mem)
             }
             None => None,
         };
@@ -370,6 +426,13 @@ impl Store {
             .collect();
 
         let table_size = module.tables.first().map_or(0, |t| t.limits.min) as usize;
+        if let Some(cap) = limits.max_table_elements {
+            if table_size > cap {
+                return Err(InstantiateError::LimitExceeded(format!(
+                    "table of {table_size} elements exceeds the {cap}-element policy"
+                )));
+            }
+        }
         let mut table = vec![None; table_size];
         for elem in &module.elems {
             let start = elem.offset as usize;
@@ -408,6 +471,8 @@ impl Store {
             instr_count: 0,
             fuel: None,
             fuel_consumed: 0,
+            epoch_deadline: None,
+            limits,
         };
 
         for data in &module.data {
@@ -589,6 +654,89 @@ impl Store {
         self.instances[handle.0].fuel_consumed
     }
 
+    /// The store's shared epoch counter. Clone the `Arc` into an embedder
+    /// thread and tick it ([`AtomicU64::fetch_add`]) on a timer; guests
+    /// whose deadline ([`Store::set_epoch_deadline`]) has passed trap with
+    /// [`Trap::EpochInterrupt`] at their next preemption point.
+    #[must_use]
+    pub fn epoch(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// Replaces the store's epoch counter with a shared one, so a single
+    /// ticker thread can preempt guests across many stores (one per
+    /// serving worker). Existing deadlines are interpreted against the
+    /// new counter.
+    pub fn set_epoch(&mut self, epoch: Arc<AtomicU64>) {
+        self.epoch = epoch;
+    }
+
+    /// Current value of the epoch counter.
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Ticks the epoch counter by one and returns the new value. Takes
+    /// `&self`: callable through the shared `Arc` from any thread.
+    pub fn increment_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Sets (or clears, with `None`) the *absolute* epoch deadline of
+    /// `handle`: once `current_epoch() >= deadline`, execution traps with
+    /// [`Trap::EpochInterrupt`] at the next preemption point.
+    ///
+    /// Epoch preemption is the wall-clock complement to fuel: the check
+    /// rides on the identical charge-free control transitions (branch
+    /// taken, function entered or returned from), charges nothing, and so
+    /// leaves cycle accounting byte-for-byte untouched — but the *trigger*
+    /// is an external timer, not a deterministic count. A deadline at or
+    /// below the current epoch traps at the very first preemption point,
+    /// which is what the determinism tests pin. Like fuel, the deadline is
+    /// cleared by [`Store::reset_instance`], and the tree-walking oracle
+    /// does not implement it.
+    pub fn set_epoch_deadline(&mut self, handle: InstanceHandle, deadline: Option<u64>) {
+        self.instances[handle.0].epoch_deadline = deadline;
+    }
+
+    /// The absolute epoch deadline of `handle` (`None` = never).
+    #[must_use]
+    pub fn epoch_deadline(&self, handle: InstanceHandle) -> Option<u64> {
+        self.instances[handle.0].epoch_deadline
+    }
+
+    /// Sets the [`InstanceLimits`] policy applied to instances created
+    /// *after* this call. Instantiation fails with
+    /// [`InstantiateError::LimitExceeded`] when a module's initial memory
+    /// or table already exceeds the policy.
+    pub fn set_default_limits(&mut self, limits: InstanceLimits) {
+        self.default_limits = limits;
+    }
+
+    /// The limits policy for subsequently created instances.
+    #[must_use]
+    pub fn default_limits(&self) -> InstanceLimits {
+        self.default_limits
+    }
+
+    /// Installs a limits policy on an existing instance. Memory already
+    /// grown past a new, tighter `max_memory_pages` is not reclaimed —
+    /// the cap bites at the next `memory.grow`.
+    pub fn set_instance_limits(&mut self, handle: InstanceHandle, limits: InstanceLimits) {
+        let inst = &mut self.instances[handle.0];
+        inst.limits = limits;
+        if let Some(mem) = inst.memory.as_mut() {
+            mem.set_page_limit(limits.max_memory_pages);
+        }
+    }
+
+    /// The limits policy of `handle`.
+    #[must_use]
+    pub fn instance_limits(&self, handle: InstanceHandle) -> InstanceLimits {
+        self.instances[handle.0].limits
+    }
+
     /// Resets `handle` back to its freshly-instantiated state in place:
     /// linear memory (dirty pages re-zeroed and re-tagged, data segments
     /// re-applied), globals, table, counters and fuel — then re-runs the
@@ -630,6 +778,11 @@ impl Store {
             inst.instr_count = 0;
             inst.fuel = None;
             inst.fuel_consumed = 0;
+            // Preemption state is per-checkout embedder policy, cleared
+            // like fuel; the resource-limit policy is part of the
+            // instance's identity and survives (including the memory's
+            // page cap, which `LinearMemory::reset` preserves).
+            inst.epoch_deadline = None;
         }
         if let Some(start) = module.start {
             self.call(handle, start, &[])?;

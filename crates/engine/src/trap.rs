@@ -51,6 +51,12 @@ pub enum Trap {
     /// The instance's fuel budget ([`crate::Store::set_fuel`]) ran out at
     /// a preemption check point.
     FuelExhausted,
+    /// The engine-shared epoch counter passed the instance's deadline
+    /// ([`crate::Store::set_epoch_deadline`]) at a preemption check point.
+    EpochInterrupt,
+    /// A host function panicked; the panic was caught at the dispatch
+    /// boundary and the calling slot must be considered poisoned.
+    HostPanic(String),
 }
 
 /// Why a segment instruction trapped.
@@ -96,6 +102,8 @@ impl fmt::Display for Trap {
             Trap::Host(msg) => write!(f, "host error: {msg}"),
             Trap::AsyncTagCheck(fault) => write!(f, "deferred {fault}"),
             Trap::FuelExhausted => f.write_str("fuel exhausted"),
+            Trap::EpochInterrupt => f.write_str("epoch deadline reached"),
+            Trap::HostPanic(msg) => write!(f, "host function panicked: {msg}"),
         }
     }
 }

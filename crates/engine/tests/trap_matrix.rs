@@ -18,10 +18,12 @@
 //! original order — on the cycle-counter bits and retired-instruction
 //! counts too.
 //!
-//! A separate `FuelExhausted` row pins deterministic preemption: the same
-//! program under the same fuel budget traps at the identical instruction
-//! count and cycle bits, across runs, across lowerings of the same loop,
-//! and across the register and stack tiers.
+//! Separate `FuelExhausted` and `EpochInterrupt` rows pin deterministic
+//! preemption: the same program under the same fuel budget (or an
+//! already-due epoch deadline) traps at the identical instruction count
+//! and cycle bits, across runs, across lowerings of the same loop, and
+//! across the register and stack tiers — and where both expire at once,
+//! fuel wins.
 
 use cage_engine::{BoundsCheckStrategy, ExecConfig, Imports, InternalSafety, Store, Trap, Value};
 use cage_wasm::builder::ModuleBuilder;
@@ -423,6 +425,148 @@ fn fuel_covers_straight_line_bodies_at_the_outermost_return() {
     // fires at the end of the same charge sequence the full run replays.
     assert_eq!(starved_cycles, fed_cycles);
     assert_eq!(fed_cycles, unmetered_cycles);
+}
+
+/// The `EpochInterrupt` row: epoch preemption rides the same charge-free
+/// control transitions as fuel, so a deadline that is already due when
+/// the call starts must trap at the identical retired-instruction count
+/// and cycle bits — across repeated runs, across the adjacent vs fenced
+/// lowering, and across the register and stack tiers. An embedder thread
+/// ticking the shared epoch can move *when* the trap fires in wall-clock
+/// time, but never *where* it lands in the cycle model.
+#[test]
+fn epoch_interrupt_is_deterministic_across_runs_and_lowerings() {
+    let adjacent = vec![
+        Instr::Loop(
+            BlockType::Empty,
+            vec![
+                Instr::LocalGet(1),
+                Instr::I64Const(1),
+                Instr::I64Add,
+                Instr::LocalSet(1),
+                Instr::Br(0),
+            ],
+        ),
+        Instr::LocalGet(1),
+    ];
+    let fenced = vec![
+        Instr::Loop(
+            BlockType::Empty,
+            vec![
+                Instr::LocalGet(1),
+                Instr::Block(BlockType::Value(ValType::I64), vec![Instr::I64Const(1)]),
+                Instr::I64Add,
+                Instr::LocalSet(1),
+                Instr::Br(0),
+            ],
+        ),
+        Instr::LocalGet(1),
+    ];
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    let a = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], adjacent);
+    let f = b.add_function(&[ValType::I64], &[ValType::I64], &[ValType::I64], fenced);
+    assert_eq!((a, f), (0, 1));
+    let module = b.build();
+
+    // `ticks` epochs elapse before the call, against a deadline of 1:
+    // 0 ticks -> the deadline is still ahead and an infinite loop would
+    // hang, so that case runs with fuel as a backstop instead (below).
+    let run = |func: u32, ticks: u64, stack: bool| {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        store.set_epoch_deadline(h, Some(1));
+        for _ in 0..ticks {
+            store.increment_epoch();
+        }
+        let args = [Value::I64(0)];
+        let result = if stack {
+            store.call_stack(h, func, &args)
+        } else {
+            store.call(h, func, &args)
+        };
+        (result, store.cycles(h).to_bits(), store.instr_count(h))
+    };
+
+    for ticks in [1u64, 2, 100] {
+        let first = run(0, ticks, false);
+        assert_eq!(
+            first,
+            run(0, ticks, false),
+            "ticks {ticks}: epoch trap is not reproducible across runs"
+        );
+        assert_eq!(
+            first,
+            run(1, ticks, false),
+            "ticks {ticks}: epoch trap diverged between adjacent and fenced lowering"
+        );
+        assert_eq!(
+            first,
+            run(0, ticks, true),
+            "ticks {ticks}: epoch trap diverged between register and stack tiers"
+        );
+        assert_eq!(
+            first,
+            run(1, ticks, true),
+            "ticks {ticks}: fenced epoch trap diverged between register and stack tiers"
+        );
+        assert_eq!(
+            first.0,
+            Err(Trap::EpochInterrupt),
+            "ticks {ticks}: expected preemption"
+        );
+    }
+    // However far past the deadline the epoch has advanced, the trap
+    // lands at the same first preemption point: identical everything.
+    assert_eq!(run(0, 1, false), run(0, 100, false));
+}
+
+/// Where fuel and epoch expire at the same preemption point, fuel wins —
+/// the check order is part of the deterministic contract — and the cycle
+/// bits match the fuel-only and epoch-only traps at that point.
+#[test]
+fn fuel_beats_epoch_when_both_expire_at_the_same_transition() {
+    let mut b = ModuleBuilder::new();
+    b.add_memory64(1);
+    b.add_function(
+        &[ValType::I64],
+        &[ValType::I64],
+        &[],
+        vec![Instr::LocalGet(0), Instr::I64Const(1), Instr::I64Add],
+    );
+    let module = b.build();
+
+    let run = |fuel: Option<u64>, deadline_due: bool, stack: bool| {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store
+            .instantiate(&module, &Imports::new())
+            .expect("instantiates");
+        store.set_fuel(h, fuel);
+        if deadline_due {
+            store.set_epoch_deadline(h, Some(0));
+        }
+        let result = if stack {
+            store.call_stack(h, 0, &[Value::I64(41)])
+        } else {
+            store.call(h, 0, &[Value::I64(41)])
+        };
+        (result, store.cycles(h).to_bits())
+    };
+
+    for stack in [false, true] {
+        let fuel_only = run(Some(0), false, stack);
+        let epoch_only = run(None, true, stack);
+        let both = run(Some(0), true, stack);
+        assert_eq!(fuel_only.0, Err(Trap::FuelExhausted));
+        assert_eq!(epoch_only.0, Err(Trap::EpochInterrupt));
+        // Same preemption point, so the cycle model cannot tell the three
+        // apart; the trap kind is pinned to fuel when both are due.
+        assert_eq!(both.0, Err(Trap::FuelExhausted), "stack={stack}");
+        assert_eq!(fuel_only.1, epoch_only.1, "stack={stack}");
+        assert_eq!(fuel_only.1, both.1, "stack={stack}");
+    }
 }
 
 /// The register lowering must dissolve the stack shuffles the retired

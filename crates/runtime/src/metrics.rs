@@ -74,6 +74,14 @@ pub struct PoolMetrics {
     pub instr_count: u64,
     /// Fuel consumed across all served instances (0 when no budget set).
     pub fuel_consumed: u64,
+    /// Slots permanently retired from circulation — a host function
+    /// panicked in them or their reset failed — and replaced lazily.
+    pub quarantined: u64,
+    /// Checkouts refused because the pool's slot cap was saturated.
+    pub exhausted: u64,
+    /// Checked-out instances never released before the pool was dropped
+    /// (the leak detector's tally).
+    pub leaked: u64,
 }
 
 impl PoolMetrics {
@@ -92,6 +100,9 @@ impl PoolMetrics {
         self.cycles += other.cycles;
         self.instr_count += other.instr_count;
         self.fuel_consumed += other.fuel_consumed;
+        self.quarantined += other.quarantined;
+        self.exhausted += other.exhausted;
+        self.leaked += other.leaked;
     }
 }
 

@@ -18,6 +18,26 @@
 //!   charge-free control transitions, trapping with
 //!   `Trap::FuelExhausted` so one guest cannot starve the pool.
 //!
+//! Plus the robustness layer, for hostile or faulty tenants:
+//!
+//! * epoch preemption — a shared epoch counter ticked by an
+//!   [`EpochTicker`] thread; each checkout is armed with a deadline
+//!   ([`Pool::set_epoch_budget`]) and traps with `Trap::EpochInterrupt`
+//!   at the same charge-free preemption points fuel uses, bounding a
+//!   guest in *wall-clock* terms even where fuel would count slowly.
+//! * resource limits — a per-instance [`InstanceLimits`] policy
+//!   ([`Pool::set_limits`]: memory pages, table elements, call depth)
+//!   plus a slot cap ([`Pool::set_max_slots`]); a saturated pool refuses
+//!   checkout with [`ServeError::Exhausted`] instead of growing forever.
+//! * poison quarantine — a host-function panic is caught at the engine's
+//!   dispatch boundary as `Trap::HostPanic` and poisons the slot; a
+//!   poisoned or reset-failed slot is quarantined (never recycled),
+//!   counted in [`PoolMetrics::quarantined`], and replaced lazily.
+//! * fault injection — a seeded [`FaultPlan`] drives the chaos harness
+//!   (the `chaos` suite, `serve_load --chaos`), proving every failure
+//!   path returns the pool to a state bit-identical to fresh
+//!   instantiation or retires the slot.
+//!
 //! Host state is described by a [`HostProfile`] rather than a
 //! [`Linker`]: linkers hold `Rc`-shared closures and cannot cross
 //! threads, so the template carries a thread-safe *recipe* and each pool
@@ -63,14 +83,21 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
 
 use cage_engine::store::InstantiateError;
-use cage_engine::{InstanceHandle, Precompiled, Store, Trap, Value};
+use cage_engine::{InstanceHandle, InstanceLimits, Precompiled, Store, Trap, Value};
 use cage_libc::Libc;
 use cage_mte::Core;
 use cage_runtime::{Linker, PoolMetrics, Variant};
 use cage_wasm::Module;
+
+mod chaos;
+
+pub use chaos::{Fault, FaultPlan};
 
 /// The host surface an [`InstancePre`] stamps instances against.
 ///
@@ -115,14 +142,22 @@ impl HostProfile {
     }
 }
 
-/// Serving-layer errors: instantiation failures and guest traps (a
-/// recycled slot's start function can trap during reset).
+/// Serving-layer errors: instantiation failures, guest traps (a
+/// recycled slot's start function can trap during reset), and graceful
+/// degradation when a capped pool is saturated.
 #[derive(Debug)]
 pub enum ServeError {
     /// Stamping an instance out of the template failed.
     Instantiate(InstantiateError),
     /// A guest trap during checkout (start-function re-run on reset).
     Trap(Trap),
+    /// The pool is at its slot cap ([`Pool::set_max_slots`]) with every
+    /// healthy slot checked out: shed this request (retry, or route to
+    /// another worker) instead of growing without bound.
+    Exhausted {
+        /// The cap that was hit.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -130,6 +165,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Instantiate(e) => write!(f, "{e}"),
             ServeError::Trap(t) => write!(f, "{t}"),
+            ServeError::Exhausted { capacity } => {
+                write!(f, "pool exhausted: all {capacity} slots in use")
+            }
         }
     }
 }
@@ -218,6 +256,11 @@ impl InstancePre {
 struct Slot {
     handle: InstanceHandle,
     libc: Option<Libc>,
+    /// Set when a host function panicked inside this slot, or its reset
+    /// failed: the slot's state can no longer be trusted, so it is
+    /// quarantined (never re-enters the free list) and replaced lazily
+    /// by the cold instantiation path.
+    poisoned: bool,
 }
 
 /// A checked-out instance of a [`Pool`] — a token, valid only against
@@ -250,6 +293,14 @@ pub struct Pool {
     slots: Vec<Slot>,
     free: Vec<usize>,
     fuel_budget: Option<u64>,
+    /// Epoch ticks granted per checkout (`None` = no epoch deadline).
+    epoch_budget: Option<u64>,
+    /// Cap on non-quarantined slots (`None` = unbounded).
+    max_slots: Option<usize>,
+    /// Slots currently checked out (the leak detector's ledger).
+    outstanding: usize,
+    /// Slots permanently retired.
+    quarantined: usize,
     metrics: PoolMetrics,
 }
 
@@ -259,6 +310,8 @@ impl fmt::Debug for Pool {
             .field("variant", &self.pre.variant)
             .field("slots", &self.slots.len())
             .field("free", &self.free.len())
+            .field("outstanding", &self.outstanding)
+            .field("quarantined", &self.quarantined)
             .finish()
     }
 }
@@ -275,6 +328,10 @@ impl Pool {
             slots: Vec::new(),
             free: Vec::new(),
             fuel_budget: None,
+            epoch_budget: None,
+            max_slots: None,
+            outstanding: 0,
+            quarantined: 0,
             metrics: PoolMetrics::default(),
         }
     }
@@ -287,25 +344,106 @@ impl Pool {
         self.fuel_budget = fuel;
     }
 
+    /// Sets (or clears) the epoch budget granted to each checkout: the
+    /// instance's deadline is armed at `current epoch + ticks`, so a
+    /// guest traps with `Trap::EpochInterrupt` at its first preemption
+    /// point after the shared counter has advanced that far. Pair with an
+    /// [`EpochTicker`] (or tick the counter from [`Pool::epoch`] by
+    /// hand) — with `ticks == 0` the deadline is already due, which is
+    /// the deterministic case the tests pin.
+    pub fn set_epoch_budget(&mut self, ticks: Option<u64>) {
+        self.epoch_budget = ticks;
+    }
+
+    /// The shared epoch counter of this pool's store — hand it to an
+    /// [`EpochTicker`] or tick it manually.
+    #[must_use]
+    pub fn epoch(&self) -> Arc<AtomicU64> {
+        self.store.epoch()
+    }
+
+    /// Replaces this pool's epoch counter with a shared one, so a single
+    /// ticker thread preempts guests across every worker's pool.
+    pub fn share_epoch(&mut self, epoch: Arc<AtomicU64>) {
+        self.store.set_epoch(epoch);
+    }
+
+    /// Caps the pool at `max` non-quarantined slots (`None` = unbounded).
+    /// A checkout that finds every healthy slot busy returns
+    /// [`ServeError::Exhausted`] instead of instantiating past the cap;
+    /// quarantined slots do not count, so poisoned capacity is replaced.
+    pub fn set_max_slots(&mut self, max: Option<usize>) {
+        self.max_slots = max;
+    }
+
+    /// Applies a resource policy to every current slot and to all future
+    /// cold instantiations (which then fail with
+    /// `InstantiateError::LimitExceeded` if the module's initial memory
+    /// or table already exceeds it).
+    pub fn set_limits(&mut self, limits: InstanceLimits) {
+        self.store.set_default_limits(limits);
+        for slot in &self.slots {
+            self.store.set_instance_limits(slot.handle, limits);
+        }
+    }
+
+    /// Arms a slot for one served request: fresh fuel and, when an epoch
+    /// budget is set, a deadline `ticks` past the current shared epoch.
+    fn arm(&mut self, handle: InstanceHandle) {
+        self.store.set_fuel(handle, self.fuel_budget);
+        let deadline = self
+            .epoch_budget
+            .map(|ticks| self.store.current_epoch().saturating_add(ticks));
+        self.store.set_epoch_deadline(handle, deadline);
+    }
+
+    /// Permanently retires a slot: it never re-enters the free list, its
+    /// capacity no longer counts against the cap (so the cold path can
+    /// replace it lazily), and the quarantine metric records it.
+    fn quarantine(&mut self, slot: usize) {
+        self.slots[slot].poisoned = true;
+        self.quarantined += 1;
+        self.metrics.quarantined += 1;
+    }
+
     /// Checks an instance out: recycles a released slot when one exists
-    /// (reset memory/globals/table, rewound libc, fresh fuel), otherwise
-    /// stamps a new instance from the template.
+    /// (reset memory/globals/table, rewound libc, fresh fuel and epoch
+    /// deadline), otherwise stamps a new instance from the template. A
+    /// recycled slot whose reset fails is quarantined — not leaked — and
+    /// the next candidate (or the cold path) serves instead.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Instantiate`] on the cold path (e.g. the 15-sandbox
-    /// MTE budget); [`ServeError::Trap`] when the module's start
-    /// function traps.
+    /// [`ServeError::Exhausted`] when a slot cap is set and every healthy
+    /// slot is checked out; [`ServeError::Instantiate`] on the cold path
+    /// (e.g. the 15-sandbox MTE budget, or a deterministically trapping
+    /// start function).
     pub fn checkout(&mut self) -> Result<PooledInstance, ServeError> {
-        if let Some(slot) = self.free.pop() {
+        while let Some(slot) = self.free.pop() {
             let handle = self.slots[slot].handle;
-            self.store.reset_instance(handle)?;
-            if let Some(libc) = &self.slots[slot].libc {
-                libc.reset();
+            match self.store.reset_instance(handle) {
+                Ok(()) => {
+                    if let Some(libc) = &self.slots[slot].libc {
+                        libc.reset();
+                    }
+                    self.arm(handle);
+                    self.metrics.resets += 1;
+                    self.outstanding += 1;
+                    return Ok(PooledInstance { slot });
+                }
+                // The slot was already popped off the free list; dropping
+                // the error here used to leak it silently. Quarantine it
+                // and keep looking — if the failure is deterministic (the
+                // start function always traps), the cold path below
+                // reports it as an instantiation error.
+                Err(_) => self.quarantine(slot),
             }
-            self.store.set_fuel(handle, self.fuel_budget);
-            self.metrics.resets += 1;
-            return Ok(PooledInstance { slot });
+        }
+        if let Some(cap) = self.max_slots {
+            if self.slots.len() - self.quarantined >= cap {
+                self.metrics.exhausted += 1;
+                return Err(ServeError::Exhausted { capacity: cap });
+            }
         }
         let libc = if self.linker.provides_libc() {
             Some(if self.pre.module().is_memory64() {
@@ -320,9 +458,14 @@ impl Pool {
         let handle = self
             .store
             .instantiate_precompiled(&self.pre.pre, &imports)?;
-        self.store.set_fuel(handle, self.fuel_budget);
+        self.arm(handle);
         self.metrics.instantiations += 1;
-        self.slots.push(Slot { handle, libc });
+        self.slots.push(Slot {
+            handle,
+            libc,
+            poisoned: false,
+        });
+        self.outstanding += 1;
         Ok(PooledInstance {
             slot: self.slots.len() - 1,
         })
@@ -330,10 +473,17 @@ impl Pool {
 
     /// Invokes an export on a checked-out instance.
     ///
+    /// A `Trap::HostPanic` result (a host function panicked and was
+    /// caught at the engine's dispatch boundary) poisons the slot: the
+    /// host closure may have been left mid-mutation, so the slot is
+    /// quarantined at release instead of recycled. Every other trap —
+    /// including fuel/epoch preemption — leaves the slot healthy; the
+    /// reset path restores it bit-identically.
+    ///
     /// # Errors
     ///
-    /// Guest traps, including `Trap::FuelExhausted` when the checkout's
-    /// fuel budget runs out.
+    /// Guest traps, including `Trap::FuelExhausted` /
+    /// `Trap::EpochInterrupt` when the checkout's budgets run out.
     pub fn invoke(
         &mut self,
         inst: &PooledInstance,
@@ -341,12 +491,24 @@ impl Pool {
         args: &[Value],
     ) -> Result<Vec<Value>, Trap> {
         self.metrics.invocations += 1;
-        self.store.invoke(self.slots[inst.slot].handle, name, args)
+        let result = self.store.invoke(self.slots[inst.slot].handle, name, args);
+        if matches!(result, Err(Trap::HostPanic(_))) {
+            self.slots[inst.slot].poisoned = true;
+        }
+        result
+    }
+
+    /// Whether a checked-out instance has been poisoned by a host panic
+    /// (it will be quarantined, not recycled, on release).
+    #[must_use]
+    pub fn is_poisoned(&self, inst: &PooledInstance) -> bool {
+        self.slots[inst.slot].poisoned
     }
 
     /// Returns an instance to the pool. Its counters are folded into the
-    /// pool totals now; the expensive state reset is deferred to the next
-    /// [`Pool::checkout`] that recycles the slot.
+    /// pool totals now; a healthy slot rejoins the free list (the
+    /// expensive state reset is deferred to the next [`Pool::checkout`]
+    /// that recycles it), a poisoned one is quarantined.
     pub fn release(&mut self, inst: PooledInstance) {
         let handle = self.slots[inst.slot].handle;
         self.metrics.absorb_instance(
@@ -354,7 +516,12 @@ impl Pool {
             self.store.instr_count(handle),
             self.store.fuel_consumed(handle),
         );
-        self.free.push(inst.slot);
+        self.outstanding -= 1;
+        if self.slots[inst.slot].poisoned {
+            self.quarantine(inst.slot);
+        } else {
+            self.free.push(inst.slot);
+        }
     }
 
     /// Captured `print_*` output of a checked-out instance.
@@ -373,7 +540,23 @@ impl Pool {
         self.store.fuel_remaining(self.slots[inst.slot].handle)
     }
 
-    /// Instance slots ever created (recycled slots count once).
+    /// Modeled cycle counter of a checked-out instance. Zeroed by the
+    /// recycle reset, so the chaos suite can compare a recycled slot's
+    /// probe against a fresh pool's bit-for-bit.
+    #[must_use]
+    pub fn cycles(&self, inst: &PooledInstance) -> f64 {
+        self.store.cycles(self.slots[inst.slot].handle)
+    }
+
+    /// Retired-instruction count of a checked-out instance (zeroed by the
+    /// recycle reset, like [`Pool::cycles`]).
+    #[must_use]
+    pub fn instr_count(&self, inst: &PooledInstance) -> u64 {
+        self.store.instr_count(self.slots[inst.slot].handle)
+    }
+
+    /// Instance slots ever created (recycled slots count once,
+    /// quarantined slots still count).
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.slots.len()
@@ -382,7 +565,22 @@ impl Pool {
     /// Slots currently checked out.
     #[must_use]
     pub fn live(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.outstanding
+    }
+
+    /// Slots currently checked out and not yet released — the leak
+    /// detector's ledger: a nonzero value at pool drop means
+    /// [`PooledInstance`]s were forgotten, which trips a debug assertion
+    /// and the [`PoolMetrics::leaked`] counter.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Slots permanently retired by host panics or failed resets.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 
     /// Snapshot of the pool totals.
@@ -401,6 +599,84 @@ impl Pool {
     #[must_use]
     pub fn store(&self) -> &Store {
         &self.store
+    }
+}
+
+impl Drop for Pool {
+    /// The leak detector: dropping a pool with instances still checked
+    /// out means [`PooledInstance`] tokens were forgotten — their slots
+    /// were never recycled *or* quarantined, so under a slot cap the
+    /// capacity is gone for good. Tallied in [`PoolMetrics::leaked`] and,
+    /// in debug builds, a hard failure (suppressed while already
+    /// panicking, so a failing test reports its own error).
+    fn drop(&mut self) {
+        if self.outstanding > 0 {
+            self.metrics.leaked += self.outstanding as u64;
+            if !thread::panicking() {
+                debug_assert_eq!(
+                    self.outstanding, 0,
+                    "pool dropped with {} instance(s) still checked out",
+                    self.outstanding
+                );
+            }
+        }
+    }
+}
+
+/// A background thread that ticks a shared epoch counter at a fixed
+/// interval — the wall-clock pulse behind epoch preemption. Give every
+/// worker pool the same counter ([`Pool::share_epoch`]) and one ticker
+/// bounds guests across all of them. The thread stops (and is joined)
+/// when the ticker is dropped; worst-case drop latency is one interval.
+#[derive(Debug)]
+pub struct EpochTicker {
+    epoch: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl EpochTicker {
+    /// Spawns a ticker over a fresh counter starting at zero.
+    #[must_use]
+    pub fn new(interval: Duration) -> Self {
+        Self::over(Arc::new(AtomicU64::new(0)), interval)
+    }
+
+    /// Spawns a ticker over an existing shared counter (e.g. one taken
+    /// from [`Pool::epoch`]).
+    #[must_use]
+    pub fn over(epoch: Arc<AtomicU64>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let epoch = Arc::clone(&epoch);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    thread::sleep(interval);
+                    epoch.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        EpochTicker {
+            epoch,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// The counter this ticker advances.
+    #[must_use]
+    pub fn epoch(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+}
+
+impl Drop for EpochTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -461,6 +737,7 @@ mod tests {
         let m = pool.metrics();
         assert_eq!((m.instantiations, m.resets, m.invocations), (1, 1, 3));
         assert_eq!(pool.capacity(), 1, "one slot served both checkouts");
+        pool.release(b);
     }
 
     #[test]
@@ -487,6 +764,7 @@ mod tests {
             other.invoke(&inst, "bump", &[Value::I64(3)]).unwrap()[0].as_i64(),
             3
         );
+        other.release(inst);
     }
 
     #[test]
@@ -510,6 +788,7 @@ mod tests {
         assert_eq!(pool.fuel_remaining(&inst), None);
         let m = pool.metrics();
         assert!(m.fuel_consumed >= 10_000, "{}", m.fuel_consumed);
+        pool.release(inst);
     }
 
     #[test]
@@ -537,6 +816,7 @@ mod tests {
         assert_eq!(pool.stdout(&b), "", "stdout rewound with the slot");
         pool.invoke(&b, "greet", &[Value::I64(0)]).unwrap();
         assert_eq!(pool.stdout(&b), "hi\n");
+        pool.release(b);
     }
 
     #[test]
@@ -556,5 +836,177 @@ mod tests {
         let mut pool = Pool::new(pre);
         let inst = pool.checkout().unwrap();
         assert_eq!(pool.invoke(&inst, "f", &[]).unwrap(), vec![Value::I64(8)]);
+        pool.release(inst);
+    }
+
+    #[test]
+    fn capped_pool_sheds_load_instead_of_growing() {
+        let pre = template(COUNTER, Variant::BaselineWasm64, HostProfile::Libc);
+        let mut pool = Pool::new(pre);
+        pool.set_max_slots(Some(2));
+        let a = pool.checkout().unwrap();
+        let b = pool.checkout().unwrap();
+        let err = pool.checkout().unwrap_err();
+        assert!(
+            matches!(err, ServeError::Exhausted { capacity: 2 }),
+            "{err}"
+        );
+        assert_eq!(pool.metrics().exhausted, 1);
+        // A release frees capacity again — the cap sheds, it doesn't wedge.
+        pool.release(a);
+        let c = pool.checkout().unwrap();
+        assert_eq!(pool.capacity(), 2, "recycled, not grown");
+        pool.release(b);
+        pool.release(c);
+    }
+
+    #[test]
+    fn host_panic_poisons_and_quarantines_the_slot() {
+        use cage_wasm::ValType;
+        let profile = HostProfile::Custom(Arc::new(|linker: &mut Linker| {
+            *linker = Linker::with_libc();
+            linker.func("env", "boom", &[], &[ValType::I64], |_ctx, _args| {
+                panic!("injected host panic")
+            });
+        }));
+        let pre = template(
+            "long boom(void); long f() { return boom(); } long ok() { return 1; }",
+            Variant::BaselineWasm64,
+            profile,
+        );
+        let mut pool = Pool::new(pre);
+        let inst = pool.checkout().unwrap();
+        let err = pool.invoke(&inst, "f", &[]).unwrap_err();
+        assert!(matches!(err, Trap::HostPanic(_)), "{err}");
+        assert!(pool.is_poisoned(&inst));
+        pool.release(inst);
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.metrics().quarantined, 1);
+        // The quarantined slot is replaced lazily by a fresh instantiation,
+        // and ordinary work proceeds.
+        let inst = pool.checkout().unwrap();
+        assert_eq!(pool.invoke(&inst, "ok", &[]).unwrap(), vec![Value::I64(1)]);
+        pool.release(inst);
+        assert_eq!(pool.capacity(), 2, "fresh slot beside the quarantined one");
+        assert_eq!(pool.metrics().instantiations, 2);
+        assert_eq!(pool.metrics().resets, 0, "poisoned slot never recycled");
+    }
+
+    #[test]
+    fn ordinary_host_traps_do_not_poison() {
+        use cage_wasm::ValType;
+        let profile = HostProfile::Custom(Arc::new(|linker: &mut Linker| {
+            *linker = Linker::with_libc();
+            linker.func("env", "fail", &[], &[ValType::I64], |_ctx, _args| {
+                Err(Trap::Host("ordinary failure".into()))
+            });
+        }));
+        let pre = template(
+            "long fail(void); long f() { return fail(); }",
+            Variant::BaselineWasm64,
+            profile,
+        );
+        let mut pool = Pool::new(pre);
+        let inst = pool.checkout().unwrap();
+        assert!(matches!(
+            pool.invoke(&inst, "f", &[]).unwrap_err(),
+            Trap::Host(_)
+        ));
+        assert!(!pool.is_poisoned(&inst));
+        pool.release(inst);
+        let inst = pool.checkout().unwrap();
+        pool.release(inst);
+        let m = pool.metrics();
+        assert_eq!((m.quarantined, m.resets), (0, 1), "slot recycled normally");
+    }
+
+    #[test]
+    fn epoch_deadline_already_due_preempts_at_first_transition() {
+        let pre = template(
+            "long spin(long n) { long acc = 0; while (1) { acc = acc + n; } return acc; }",
+            Variant::BaselineWasm64,
+            HostProfile::Libc,
+        );
+        let mut pool = Pool::new(pre);
+        // Budget 0: the deadline equals the current epoch, so the very
+        // first preemption point traps — deterministically, no ticker.
+        pool.set_epoch_budget(Some(0));
+        let inst = pool.checkout().unwrap();
+        let err = pool.invoke(&inst, "spin", &[Value::I64(1)]).unwrap_err();
+        assert!(matches!(err, Trap::EpochInterrupt), "{err}");
+        assert!(!pool.is_poisoned(&inst), "preemption is not poison");
+        pool.release(inst);
+        // Clearing the budget lets the slot serve finite work again.
+        pool.set_epoch_budget(None);
+        let inst = pool.checkout().unwrap();
+        assert_eq!(pool.metrics().resets, 1, "preempted slot recycled");
+        pool.release(inst);
+    }
+
+    #[test]
+    fn epoch_ticker_preempts_runaway_guest_in_wall_clock() {
+        let pre = template(
+            "long spin(long n) { long acc = 0; while (1) { acc = acc + n; } return acc; }",
+            Variant::BaselineWasm64,
+            HostProfile::Libc,
+        );
+        let mut pool = Pool::new(pre);
+        let _ticker = EpochTicker::over(pool.epoch(), Duration::from_millis(2));
+        pool.set_epoch_budget(Some(2));
+        let inst = pool.checkout().unwrap();
+        // No fuel budget at all: only the wall-clock epoch can stop this
+        // loop. ~4ms later, it must.
+        let err = pool.invoke(&inst, "spin", &[Value::I64(1)]).unwrap_err();
+        assert!(matches!(err, Trap::EpochInterrupt), "{err}");
+        pool.release(inst);
+    }
+
+    #[test]
+    fn limits_reject_oversized_modules_and_cap_call_depth() {
+        let pre = template(
+            "long rec(long n) { if (n <= 0) { return 0; } return rec(n - 1) + 1; }",
+            Variant::BaselineWasm64,
+            HostProfile::Libc,
+        );
+        let mut pool = Pool::new(Arc::clone(&pre));
+        pool.set_limits(InstanceLimits {
+            max_call_depth: Some(8),
+            ..InstanceLimits::default()
+        });
+        let inst = pool.checkout().unwrap();
+        assert_eq!(
+            pool.invoke(&inst, "rec", &[Value::I64(3)]).unwrap(),
+            vec![Value::I64(3)]
+        );
+        let err = pool.invoke(&inst, "rec", &[Value::I64(100)]).unwrap_err();
+        assert!(matches!(err, Trap::CallStackExhausted), "{err}");
+        pool.release(inst);
+
+        // A policy the module's initial memory already violates refuses
+        // instantiation outright.
+        let mut tight = Pool::new(pre);
+        tight.set_limits(InstanceLimits {
+            max_memory_pages: Some(0),
+            ..InstanceLimits::default()
+        });
+        let err = tight.checkout().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Instantiate(InstantiateError::LimitExceeded(_))
+            ),
+            "{err}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn leak_detector_fires_when_pool_drops_with_outstanding_instances() {
+        let pre = template(COUNTER, Variant::BaselineWasm64, HostProfile::Libc);
+        let mut pool = Pool::new(pre);
+        let _forgotten = pool.checkout().unwrap();
+        assert_eq!(pool.outstanding(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(pool)));
+        assert!(result.is_err(), "debug drop must flag the leaked checkout");
     }
 }

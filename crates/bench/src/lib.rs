@@ -154,6 +154,8 @@ pub fn fig15_sweep() -> Vec<(Core, [f64; 3])> {
         .collect()
 }
 
+pub mod fuzz;
+
 /// Hot-path microbenchmark kernels, shared by the criterion bench
 /// (`benches/hotpath.rs`) and the `hotpath_json` summary binary so the
 /// wall-clock trajectory recorded per PR measures exactly what the bench

@@ -26,16 +26,60 @@ pub fn compile_ast(prog: &Program) -> Result<IrModule, CompileError> {
     compile_ast_for(prog, 8)
 }
 
+/// Like [`compile_ast`], but bounded by `limits`/`fuel`.
+///
+/// # Errors
+///
+/// [`CompileError`] on type errors or busted limits.
+pub fn compile_ast_with(
+    prog: &Program,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<IrModule, CompileError> {
+    compile_ast_for_with(prog, 8, limits, fuel)
+}
+
 /// Compiles for an explicit pointer width (8 = wasm64, 4 = wasm32).
 ///
 /// # Errors
 ///
 /// [`CompileError`] on type errors.
 pub fn compile_ast_for(prog: &Program, ptr_bytes: u64) -> Result<IrModule, CompileError> {
-    let mut cg = Codegen::new(prog, ptr_bytes);
+    compile_ast_for_with(
+        prog,
+        ptr_bytes,
+        &cage_wasm::CompileLimits::unlimited(),
+        &cage_wasm::CompileLimits::unlimited().fuel(),
+    )
+}
+
+/// Compiles for an explicit pointer width under explicit bounds: caps
+/// the function count and total global data, and charges `fuel` as it
+/// lowers (the parser has already charged per token, so the AST's size
+/// is itself bounded by the time codegen sees it).
+///
+/// # Errors
+///
+/// [`CompileError`] on type errors or busted limits (see
+/// [`CompileError::limit`]).
+pub fn compile_ast_for_with(
+    prog: &Program,
+    ptr_bytes: u64,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<IrModule, CompileError> {
+    if prog.funcs.len() > limits.max_functions {
+        return Err(CompileError::from_limit(cage_wasm::LimitError {
+            what: "functions",
+            limit: limits.max_functions as u64,
+            actual: prog.funcs.len() as u64,
+        }));
+    }
+    let mut cg = Codegen::new(prog, ptr_bytes, *limits, fuel);
     cg.declare_functions()?;
     cg.define_globals()?;
     for func in &prog.funcs {
+        fuel.charge(1).map_err(CompileError::from_limit)?;
         if func.body.is_some() {
             cg.compile_function(func)?;
         }
@@ -136,6 +180,11 @@ struct Codegen<'p> {
     declared_externs: HashMap<String, FuncSig>,
     global_ids: HashMap<String, (GlobalId, CType)>,
     str_cache: HashMap<String, GlobalId>,
+    limits: cage_wasm::CompileLimits,
+    fuel: &'p cage_wasm::CompileFuel,
+    /// Bytes of global data emitted so far (counted against
+    /// `limits.max_global_bytes`).
+    global_bytes: u64,
 }
 
 struct FnCtx {
@@ -159,7 +208,12 @@ impl FnCtx {
 }
 
 impl<'p> Codegen<'p> {
-    fn new(prog: &'p Program, ptr_bytes: u64) -> Self {
+    fn new(
+        prog: &'p Program,
+        ptr_bytes: u64,
+        limits: cage_wasm::CompileLimits,
+        fuel: &'p cage_wasm::CompileFuel,
+    ) -> Self {
         Codegen {
             prog,
             module: IrModule::new(),
@@ -169,7 +223,25 @@ impl<'p> Codegen<'p> {
             declared_externs: HashMap::new(),
             global_ids: HashMap::new(),
             str_cache: HashMap::new(),
+            limits,
+            fuel,
+            global_bytes: 0,
         }
+    }
+
+    /// Counts `size` bytes of global data against the limit, before the
+    /// backing buffer is allocated.
+    fn charge_global(&mut self, size: u64) -> Result<(), CompileError> {
+        let total = self.global_bytes.saturating_add(size);
+        if total > self.limits.max_global_bytes {
+            return Err(CompileError::from_limit(cage_wasm::LimitError {
+                what: "global bytes",
+                limit: self.limits.max_global_bytes,
+                actual: total,
+            }));
+        }
+        self.global_bytes = total;
+        Ok(())
     }
 
     fn structs(&self) -> &StructTable {
@@ -191,15 +263,23 @@ impl<'p> Codegen<'p> {
         }
     }
 
-    fn mem_ty(&self, ty: &CType) -> MemTy {
-        match ty {
+    fn mem_ty(&self, ty: &CType) -> Result<MemTy, CompileError> {
+        Ok(match ty {
             CType::Char => MemTy::I8,
             CType::Int => MemTy::I32,
             CType::Long => MemTy::I64,
             CType::Double => MemTy::F64,
             CType::Ptr(_) | CType::FuncPtr(_) => MemTy::Ptr,
-            other => panic!("no scalar memory type for {other}"),
-        }
+            // Aggregate copies (`*p = *q` on struct pointers, struct
+            // parameters by value) and `void` accesses have no scalar
+            // load/store form in this subset.
+            other => {
+                return Err(CompileError::new(
+                    0,
+                    format!("cannot load or store non-scalar type {other}"),
+                ))
+            }
+        })
     }
 
     fn declare_functions(&mut self) -> Result<(), CompileError> {
@@ -293,7 +373,14 @@ impl<'p> Codegen<'p> {
     fn define_globals(&mut self) -> Result<(), CompileError> {
         for g in &self.prog.globals {
             let size = self.size_of(&g.ty);
-            let mut bytes = vec![0u8; size as usize];
+            self.charge_global(size)?;
+            let Ok(len) = usize::try_from(size) else {
+                return Err(CompileError::new(
+                    g.line,
+                    format!("global `{}` is too large for the target", g.name),
+                ));
+            };
+            let mut bytes = vec![0u8; len];
             if let Some(init) = &g.init {
                 match (&init.kind, &g.ty) {
                     (ExprKind::IntLit(v), CType::Int) => {
@@ -324,17 +411,18 @@ impl<'p> Codegen<'p> {
         Ok(())
     }
 
-    fn intern_string(&mut self, s: &str) -> GlobalId {
+    fn intern_string(&mut self, s: &str) -> Result<GlobalId, CompileError> {
         if let Some(id) = self.str_cache.get(s) {
-            return *id;
+            return Ok(*id);
         }
+        self.charge_global(s.len() as u64 + 1)?;
         let mut bytes = s.as_bytes().to_vec();
         bytes.push(0);
         let id = self
             .module
             .add_global(&format!("str{}", self.str_cache.len()), bytes, 16);
         self.str_cache.insert(s.to_string(), id);
-        id
+        Ok(id)
     }
 
     fn extern_id(&mut self, name: &str) -> Option<(u32, FuncSig)> {
@@ -397,7 +485,7 @@ impl<'p> Codegen<'p> {
                 let size = self.size_of(ty);
                 let slot = ctx.b.alloca(size, name);
                 let addr = ctx.b.alloca_addr(slot);
-                ctx.b.store(self.mem_ty(ty), addr, 0, ctx.b.param(i));
+                ctx.b.store(self.mem_ty(ty)?, addr, 0, ctx.b.param(i));
                 ctx.bind(
                     name,
                     Binding {
@@ -447,6 +535,7 @@ impl<'p> Codegen<'p> {
 
     #[allow(clippy::too_many_lines)]
     fn stmt(&mut self, ctx: &mut FnCtx, stmt: &Stmt) -> Result<(), CompileError> {
+        self.fuel.charge(1).map_err(CompileError::from_limit)?;
         match stmt {
             Stmt::Decl {
                 name,
@@ -587,7 +676,7 @@ impl<'p> Codegen<'p> {
                 let (v, vty) = self.expr(ctx, e)?;
                 let v = self.convert(ctx, v, &vty, ty, line)?;
                 let addr = ctx.b.alloca_addr(slot);
-                ctx.b.store(self.mem_ty(ty), addr, 0, v);
+                ctx.b.store(self.mem_ty(ty)?, addr, 0, v);
             }
             if let Some(items) = brace_init {
                 self.emit_brace_init(ctx, slot, ty, items, line)?;
@@ -631,7 +720,7 @@ impl<'p> Codegen<'p> {
                     let (v, vty) = self.expr(ctx, e)?;
                     let v = self.convert(ctx, v, &vty, elem, line)?;
                     let addr = ctx.b.alloca_addr(slot);
-                    ctx.b.store(self.mem_ty(elem), addr, esize * i as u64, v);
+                    ctx.b.store(self.mem_ty(elem)?, addr, esize * i as u64, v);
                 }
                 Ok(())
             }
@@ -658,7 +747,7 @@ impl<'p> Codegen<'p> {
                     let (v, vty) = self.expr(ctx, e)?;
                     let v = self.convert(ctx, v, &vty, &fty, line)?;
                     let addr = ctx.b.alloca_addr(slot);
-                    ctx.b.store(self.mem_ty(&fty), addr, offset, v);
+                    ctx.b.store(self.mem_ty(&fty)?, addr, offset, v);
                 }
                 Ok(())
             }
@@ -702,7 +791,7 @@ impl<'p> Codegen<'p> {
             ExprKind::FloatLit(v) => Ok((Operand::ConstF64(*v), CType::Double)),
             ExprKind::CharLit(c) => Ok((Operand::ConstI32(i32::from(*c)), CType::Char)),
             ExprKind::StrLit(s) => {
-                let id = self.intern_string(s);
+                let id = self.intern_string(s)?;
                 let addr = ctx.b.assign(IrType::Ptr, IrExpr::GlobalAddr(id));
                 Ok((addr, CType::Char.ptr_to()))
             }
@@ -717,15 +806,15 @@ impl<'p> Codegen<'p> {
             ExprKind::Call(callee, args) => self.call(ctx, callee, args, e.line),
             ExprKind::Index(base, idx) => {
                 let lv = self.index_lvalue(ctx, base, idx, e.line)?;
-                Ok(self.load_lvalue(ctx, lv))
+                self.load_lvalue(ctx, lv)
             }
             ExprKind::Member(base, field) => {
                 let lv = self.member_lvalue(ctx, base, field, false, e.line)?;
-                Ok(self.load_lvalue(ctx, lv))
+                self.load_lvalue(ctx, lv)
             }
             ExprKind::Arrow(base, field) => {
                 let lv = self.member_lvalue(ctx, base, field, true, e.line)?;
-                Ok(self.load_lvalue(ctx, lv))
+                self.load_lvalue(ctx, lv)
             }
             ExprKind::Cast(ty, inner) => {
                 let (v, vty) = self.expr(ctx, inner)?;
@@ -755,7 +844,7 @@ impl<'p> Codegen<'p> {
                 }
                 (Storage::Slot(slot), ty) => {
                     let addr = ctx.b.alloca_addr(*slot);
-                    let v = ctx.b.load(self.mem_ty(ty), addr, 0);
+                    let v = ctx.b.load(self.mem_ty(ty)?, addr, 0);
                     (v, ty.clone())
                 }
                 (Storage::Reg(reg), ty) => (Operand::Value(*reg), ty.clone()),
@@ -767,7 +856,7 @@ impl<'p> Codegen<'p> {
                 CType::Array(elem, _) => (addr, CType::Ptr(elem.clone())),
                 CType::Struct(_) => (addr, gty),
                 ty => {
-                    let v = ctx.b.load(self.mem_ty(ty), addr, 0);
+                    let v = ctx.b.load(self.mem_ty(ty)?, addr, 0);
                     (v, ty.clone())
                 }
             });
@@ -964,7 +1053,7 @@ impl<'p> Codegen<'p> {
                 let lv = self.lvalue(ctx, lhs)?;
                 let target_ty = lv.ctype().clone();
                 let rv = self.convert(ctx, rv, &rty, &target_ty, line)?;
-                self.store_lvalue(ctx, &lv, rv);
+                self.store_lvalue(ctx, &lv, rv)?;
                 (rv, target_ty)
             }
             Some(op) => {
@@ -979,7 +1068,7 @@ impl<'p> Codegen<'p> {
                 let lv = self.lvalue(ctx, lhs)?;
                 let target_ty = lv.ctype().clone();
                 let rv = self.convert(ctx, rv, &rty, &target_ty, line)?;
-                self.store_lvalue(ctx, &lv, rv);
+                self.store_lvalue(ctx, &lv, rv)?;
                 (rv, target_ty)
             }
         };
@@ -1020,7 +1109,7 @@ impl<'p> Codegen<'p> {
                         CType::Array(ref elem, _) => Ok((v, CType::Ptr(elem.clone()))),
                         CType::Struct(_) => Ok((v, (*pointee).clone())),
                         ref p => {
-                            let r = ctx.b.load(self.mem_ty(p), v, 0);
+                            let r = ctx.b.load(self.mem_ty(p)?, v, 0);
                             Ok((r, p.clone()))
                         }
                     },
@@ -1067,7 +1156,7 @@ impl<'p> Codegen<'p> {
     ) -> Result<(Operand, CType), CompileError> {
         let lv = self.lvalue(ctx, inner)?;
         let ty = lv.ctype().clone();
-        let (old, _) = { self.load_lvalue(ctx, self.copy_lv(&lv)) };
+        let (old, _) = { self.load_lvalue(ctx, self.copy_lv(&lv))? };
         let step: i64 = if inc { 1 } else { -1 };
         let ir_ty = self.ir_type(&ty);
         let new = match &ty {
@@ -1095,7 +1184,7 @@ impl<'p> Codegen<'p> {
                 _ => ctx.b.binop(BinOp::Add, ir_ty, old, Operand::ConstI64(step)),
             },
         };
-        self.store_lvalue(ctx, &lv, new);
+        self.store_lvalue(ctx, &lv, new)?;
         let _ = line;
         Ok((if pre { new } else { old }, ty))
     }
@@ -1216,6 +1305,21 @@ impl<'p> Codegen<'p> {
         args: &[Expr],
         line: u32,
     ) -> Result<Option<(Operand, CType)>, CompileError> {
+        let arity: usize = match name {
+            "__builtin_segment_new" | "__builtin_segment_free" => 2,
+            "__builtin_segment_set_tag" => 3,
+            "__builtin_pointer_sign"
+            | "__builtin_pointer_auth"
+            | "__builtin_sqrt"
+            | "__builtin_fabs" => 1,
+            _ => return Ok(None),
+        };
+        if args.len() != arity {
+            return Err(CompileError::new(
+                line,
+                format!("`{name}` expects {arity} argument(s), got {}", args.len()),
+            ));
+        }
         let result = match name {
             "__builtin_segment_new" => {
                 let (p, _) = self.expr(ctx, &args[0])?;
@@ -1370,8 +1474,8 @@ impl<'p> Codegen<'p> {
 
     /// Loads an lvalue's current value (arrays decay, structs stay
     /// addresses).
-    fn load_lvalue(&mut self, ctx: &mut FnCtx, lv: LV) -> (Operand, CType) {
-        match lv {
+    fn load_lvalue(&mut self, ctx: &mut FnCtx, lv: LV) -> Result<(Operand, CType), CompileError> {
+        Ok(match lv {
             LV::Reg(v, ty) => (Operand::Value(v), ty),
             LV::Mem(addr, offset, ty) => match &ty {
                 CType::Array(elem, _) => {
@@ -1383,11 +1487,11 @@ impl<'p> Codegen<'p> {
                     (addr, ty)
                 }
                 scalar => {
-                    let v = ctx.b.load(self.mem_ty(scalar), addr, offset);
+                    let v = ctx.b.load(self.mem_ty(scalar)?, addr, offset);
                     (v, ty)
                 }
             },
-        }
+        })
     }
 
     fn addr_with_offset(&mut self, ctx: &mut FnCtx, addr: Operand, offset: u64) -> Operand {
@@ -1405,13 +1509,19 @@ impl<'p> Codegen<'p> {
         )
     }
 
-    fn store_lvalue(&mut self, ctx: &mut FnCtx, lv: &LV, value: Operand) {
+    fn store_lvalue(
+        &mut self,
+        ctx: &mut FnCtx,
+        lv: &LV,
+        value: Operand,
+    ) -> Result<(), CompileError> {
         match lv {
             LV::Reg(v, _) => ctx.b.reassign(*v, IrExpr::Use(value)),
             LV::Mem(addr, offset, ty) => {
-                ctx.b.store(self.mem_ty(ty), *addr, *offset, value);
+                ctx.b.store(self.mem_ty(ty)?, *addr, *offset, value);
             }
         }
+        Ok(())
     }
 
     // -- conversions -------------------------------------------------------------

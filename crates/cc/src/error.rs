@@ -9,6 +9,7 @@ pub struct CompileError {
     pub line: u32,
     /// Description.
     pub message: String,
+    limit: Option<cage_wasm::LimitError>,
 }
 
 impl CompileError {
@@ -18,17 +19,46 @@ impl CompileError {
         CompileError {
             line,
             message: message.into(),
+            limit: None,
         }
+    }
+
+    /// Wraps a compile-limit violation (no meaningful source line — the
+    /// limit is a property of the whole input).
+    #[must_use]
+    pub fn from_limit(e: cage_wasm::LimitError) -> Self {
+        CompileError {
+            line: 0,
+            message: e.to_string(),
+            limit: Some(e),
+        }
+    }
+
+    /// The limit violation behind this error, when it is one — lets
+    /// embedders distinguish "program too big" from "program malformed".
+    #[must_use]
+    pub fn limit(&self) -> Option<&cage_wasm::LimitError> {
+        self.limit.as_ref()
     }
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for CompileError {}
+
+impl From<cage_wasm::LimitError> for CompileError {
+    fn from(e: cage_wasm::LimitError) -> Self {
+        CompileError::from_limit(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -38,5 +68,19 @@ mod tests {
     fn display_includes_line() {
         let e = CompileError::new(42, "unexpected token");
         assert_eq!(e.to_string(), "line 42: unexpected token");
+    }
+
+    #[test]
+    fn limit_errors_carry_the_violation() {
+        let e = CompileError::from_limit(cage_wasm::LimitError {
+            what: "source bytes",
+            limit: 10,
+            actual: 11,
+        });
+        assert_eq!(e.limit().unwrap().what, "source bytes");
+        assert_eq!(
+            e.to_string(),
+            "compile limit exceeded: source bytes 11 > 10"
+        );
     }
 }

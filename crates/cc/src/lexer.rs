@@ -48,18 +48,44 @@ const PUNCTS: &[&str] = &[
     "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", ".", "?", ":",
 ];
 
-/// Tokenises `source`.
+/// Tokenises `source` without resource bounds.
 ///
 /// # Errors
 ///
 /// [`CompileError`] on malformed literals or unknown characters.
 pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    lex_with(
+        source,
+        &cage_wasm::CompileLimits::unlimited(),
+        &cage_wasm::CompileLimits::unlimited().fuel(),
+    )
+}
+
+/// Tokenises `source`, rejecting oversized input and charging one fuel
+/// unit per token.
+///
+/// # Errors
+///
+/// [`CompileError`] on malformed input or a busted limit.
+pub fn lex_with(
+    source: &str,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<Vec<Token>, CompileError> {
+    if source.len() > limits.max_source_bytes {
+        return Err(CompileError::from_limit(cage_wasm::LimitError {
+            what: "source bytes",
+            limit: limits.max_source_bytes as u64,
+            actual: source.len() as u64,
+        }));
+    }
     let bytes = source.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
     let mut line = 1u32;
 
     while i < bytes.len() {
+        fuel.charge(1).map_err(CompileError::from_limit)?;
         let c = bytes[i];
         match c {
             b'\n' => {

@@ -50,9 +50,9 @@ pub mod lexer;
 pub mod parser;
 pub mod types;
 
-pub use codegen::compile_ast;
+pub use codegen::{compile_ast, compile_ast_with};
 pub use error::CompileError;
-pub use parser::parse;
+pub use parser::{parse, parse_with};
 
 /// Compiles C source to a `cage-ir` module (parse + typecheck + lower).
 ///
@@ -62,4 +62,20 @@ pub use parser::parse;
 pub fn compile(source: &str) -> Result<cage_ir::IrModule, CompileError> {
     let ast = parse(source)?;
     compile_ast(&ast)
+}
+
+/// Like [`compile`], but bounds the work done on hostile input against
+/// `limits` and the shared `fuel` budget.
+///
+/// # Errors
+///
+/// Returns [`CompileError`]; [`CompileError::limit`] is set when a
+/// resource bound (not a language error) stopped the compilation.
+pub fn compile_with(
+    source: &str,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<cage_ir::IrModule, CompileError> {
+    let ast = parse_with(source, limits, fuel)?;
+    compile_ast_with(&ast, limits, fuel)
 }

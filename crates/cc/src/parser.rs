@@ -1,21 +1,59 @@
 //! Recursive-descent parser with C operator precedence.
+//!
+//! Recursion depth is explicitly bounded: every recursive choke point
+//! (`parse_stmt`, `parse_assignment`, `parse_unary`) counts against
+//! `CompileLimits::max_nesting_depth`, so hostile input like a megabyte
+//! of `(((((…` or `a=a=a=…` is rejected with a structured error instead
+//! of overflowing the host stack.
 
 use crate::ast::{BinOpKind, Expr, ExprKind, FuncDef, GlobalDef, Program, Stmt, UnOpKind};
 use crate::error::CompileError;
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{lex_with, Token, TokenKind};
 use crate::types::{CType, FuncSig, StructDef};
 
-/// Parses a translation unit.
+/// Parses a translation unit without resource bounds (trusted input).
 ///
 /// # Errors
 ///
 /// [`CompileError`] on malformed input.
 pub fn parse(source: &str) -> Result<Program, CompileError> {
-    let tokens = lex(source)?;
+    // Even "unlimited" keeps the depth bound: recursion on untrusted
+    // text must never be able to overflow the stack, and no legitimate
+    // program nests expressions or statements thousands deep.
+    let limits = cage_wasm::CompileLimits {
+        max_nesting_depth: STACK_SAFE_DEPTH,
+        ..cage_wasm::CompileLimits::unlimited()
+    };
+    parse_with(source, &limits, &limits.fuel())
+}
+
+/// Hard ceiling on parser recursion, applied even when the caller asks
+/// for a larger `max_nesting_depth`. Recursive descent burns several
+/// call frames per nesting level (~10 KiB/level in unoptimised builds),
+/// so this is sized for the worst case to fit a 1 MiB thread stack with
+/// room to spare. Real programs in the supported subset nest a handful
+/// of levels deep; PolyBench tops out around ten.
+const STACK_SAFE_DEPTH: usize = 96;
+
+/// Parses a translation unit under explicit resource bounds.
+///
+/// # Errors
+///
+/// [`CompileError`] on malformed input or a busted limit (see
+/// [`CompileError::limit`]).
+pub fn parse_with(
+    source: &str,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<Program, CompileError> {
+    let tokens = lex_with(source, limits, fuel)?;
     let mut p = Parser {
         tokens,
         pos: 0,
         program: Program::default(),
+        depth: 0,
+        max_depth: limits.max_nesting_depth.min(STACK_SAFE_DEPTH),
+        fuel,
     };
     p.parse_program()?;
     Ok(p.program)
@@ -26,13 +64,36 @@ const IGNORED_QUALIFIERS: &[&str] = &[
     "static", "const", "register", "volatile", "inline", "unsigned", "signed",
 ];
 
-struct Parser {
+struct Parser<'f> {
     tokens: Vec<Token>,
     pos: usize,
     program: Program,
+    /// Current recursion depth across the guarded entry points.
+    depth: usize,
+    /// Bound on `depth`; busting it is a limit error, not a crash.
+    max_depth: usize,
+    fuel: &'f cage_wasm::CompileFuel,
 }
 
-impl Parser {
+impl Parser<'_> {
+    /// Enters one guarded recursion level; pair with [`Self::leave`].
+    fn enter(&mut self) -> Result<(), CompileError> {
+        self.fuel.charge(1).map_err(CompileError::from_limit)?;
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(CompileError::from_limit(cage_wasm::LimitError {
+                what: "parser nesting depth",
+                limit: self.max_depth as u64,
+                actual: self.max_depth as u64 + 1,
+            }));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
     }
@@ -208,7 +269,7 @@ impl Parser {
 }
 
 // Rust requires the ? on parse_pointers’ recursion; keep signatures uniform.
-impl Parser {
+impl Parser<'_> {
     /// Parses a declarator after the base type: `name`, `name[N]...`, or
     /// the function-pointer form `(*name)(params)`. Returns
     /// `(name, type, was_function_pointer)`.
@@ -311,8 +372,15 @@ impl Parser {
         Ok(stmts)
     }
 
-    #[allow(clippy::too_many_lines)]
     fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.enter()?;
+        let r = self.parse_stmt_inner();
+        self.leave();
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, CompileError> {
         let line = self.line();
         if self.at_type() {
             return self.parse_decl_stmt();
@@ -460,6 +528,13 @@ impl Parser {
     }
 
     fn parse_assignment(&mut self) -> Result<Expr, CompileError> {
+        self.enter()?;
+        let r = self.parse_assignment_inner();
+        self.leave();
+        r
+    }
+
+    fn parse_assignment_inner(&mut self) -> Result<Expr, CompileError> {
         let line = self.line();
         let lhs = self.parse_logical_or()?;
         let op = match self.peek() {
@@ -540,6 +615,13 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        self.enter()?;
+        let r = self.parse_unary_inner();
+        self.leave();
+        r
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr, CompileError> {
         let line = self.line();
         // Cast: "(" type ... ")" unary
         if matches!(self.peek(), TokenKind::Punct("("))

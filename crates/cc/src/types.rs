@@ -111,22 +111,26 @@ impl StructTable {
     /// sizes follow the target (`sizeof(void*)` is 8 or 4).
     #[must_use]
     pub fn size_of(&self, ty: &CType, ptr_bytes: u64) -> u64 {
+        // Sizes saturate instead of overflowing: a hostile declaration
+        // like `char a[1<<40][1<<40]` yields u64::MAX, which every
+        // consumer (global-byte limits, memory layout) rejects as too
+        // big rather than silently wrapping to something small.
         match ty {
             CType::Void => 0,
             CType::Char => 1,
             CType::Int => 4,
             CType::Long | CType::Double => 8,
             CType::Ptr(_) | CType::FuncPtr(_) => ptr_bytes,
-            CType::Array(e, n) => self.size_of(e, ptr_bytes) * n,
+            CType::Array(e, n) => self.size_of(e, ptr_bytes).saturating_mul(*n),
             CType::Struct(i) => {
                 let mut size = 0u64;
                 for (_, fty) in &self.defs[*i].fields {
                     let align = self.align_of(fty, ptr_bytes);
-                    size = size.div_ceil(align) * align;
-                    size += self.size_of(fty, ptr_bytes);
+                    size = size.div_ceil(align).saturating_mul(align);
+                    size = size.saturating_add(self.size_of(fty, ptr_bytes));
                 }
                 let align = self.align_of(ty, ptr_bytes);
-                size.div_ceil(align) * align
+                size.div_ceil(align).saturating_mul(align)
             }
         }
     }
@@ -156,11 +160,11 @@ impl StructTable {
         let mut offset = 0u64;
         for (fname, fty) in &self.defs[id].fields {
             let align = self.align_of(fty, ptr_bytes);
-            offset = offset.div_ceil(align) * align;
+            offset = offset.div_ceil(align).saturating_mul(align);
             if fname == name {
                 return Some((offset, fty.clone()));
             }
-            offset += self.size_of(fty, ptr_bytes);
+            offset = offset.saturating_add(self.size_of(fty, ptr_bytes));
         }
         None
     }

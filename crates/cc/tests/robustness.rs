@@ -1,0 +1,190 @@
+//! Frontend robustness: hostile, malformed, and oversized C input must
+//! produce a structured `CompileError`, never a panic or runaway work.
+
+use cage_cc::{compile, compile_with, CompileError};
+use cage_wasm::{CompileFuel, CompileLimits};
+
+fn limited(source: &str, limits: &CompileLimits) -> Result<cage_ir::IrModule, CompileError> {
+    let fuel = limits.fuel();
+    compile_with(source, limits, &fuel)
+}
+
+#[test]
+fn empty_source_is_a_syntax_error_not_a_panic() {
+    // An empty translation unit has no functions; that is fine.
+    let ir = compile("").expect("empty source compiles to an empty module");
+    assert!(ir.functions.is_empty());
+}
+
+#[test]
+fn garbage_bytes_error_with_a_line_number() {
+    let err = compile("int f() { return @; }").unwrap_err();
+    assert!(err.to_string().contains("line 1"), "{err}");
+    assert!(err.limit().is_none());
+}
+
+#[test]
+fn source_size_limit_is_enforced_before_lexing() {
+    let big = "int x;".repeat(100);
+    let limits = CompileLimits {
+        max_source_bytes: 64,
+        ..CompileLimits::generous()
+    };
+    let err = limited(&big, &limits).unwrap_err();
+    let lim = err.limit().expect("limit error");
+    assert_eq!(lim.what, "source bytes");
+    assert_eq!(lim.limit, 64);
+}
+
+#[test]
+fn deep_parenthesis_nesting_is_rejected_not_overflowed() {
+    // 100k open-parens would overflow the stack under naive recursive
+    // descent; the parser's depth guard must reject it first.
+    let mut src = String::from("int f() { return ");
+    src.push_str(&"(".repeat(100_000));
+    src.push('1');
+    src.push_str(&")".repeat(100_000));
+    src.push_str("; }");
+    let err = compile(&src).unwrap_err();
+    let lim = err.limit().expect("limit error, got: {err}");
+    assert_eq!(lim.what, "parser nesting depth");
+}
+
+#[test]
+fn deep_nesting_within_limits_still_compiles() {
+    // Each paren level costs two depth units (assignment + unary), so 40
+    // levels sits well inside the 96-unit stack-safe cap.
+    let mut src = String::from("int f() { return ");
+    src.push_str(&"(".repeat(40));
+    src.push('1');
+    src.push_str(&")".repeat(40));
+    src.push_str("; }");
+    compile(&src).expect("40 levels is comfortably within bounds");
+}
+
+#[test]
+fn assignment_chain_is_bounded() {
+    // `a = a = a = ...` recurses through parse_assignment.
+    let mut src = String::from("int f() { int a; a");
+    for _ in 0..100_000 {
+        src.push_str(" = a");
+    }
+    src.push_str("; return a; }");
+    let err = compile(&src).unwrap_err();
+    assert_eq!(
+        err.limit().expect("limit error").what,
+        "parser nesting depth"
+    );
+}
+
+#[test]
+fn unary_operator_pileup_is_bounded() {
+    let mut src = String::from("int f() { return ");
+    src.push_str(&"!".repeat(100_000));
+    src.push_str("1; }");
+    let err = compile(&src).unwrap_err();
+    assert_eq!(
+        err.limit().expect("limit error").what,
+        "parser nesting depth"
+    );
+}
+
+#[test]
+fn function_count_limit() {
+    let mut src = String::new();
+    for i in 0..20 {
+        src.push_str(&format!("int f{i}() {{ return {i}; }}\n"));
+    }
+    let limits = CompileLimits {
+        max_functions: 8,
+        ..CompileLimits::generous()
+    };
+    let err = limited(&src, &limits).unwrap_err();
+    assert_eq!(err.limit().expect("limit error").what, "functions");
+}
+
+#[test]
+fn huge_global_array_is_rejected_by_global_byte_limit() {
+    // 1 << 40 elements of 8-byte longs: the saturating size computation
+    // must carry this to the limit check instead of wrapping.
+    let src = "long blob[1099511627776]; int f() { return 0; }";
+    let err = limited(src, &CompileLimits::generous()).unwrap_err();
+    let lim = err.limit().expect("limit error");
+    assert_eq!(lim.what, "global bytes");
+}
+
+#[test]
+fn overflowing_nested_array_saturates_and_is_rejected() {
+    // Each dimension alone fits in u64; the product does not.
+    let src = "char blob[4294967295][4294967295]; int f() { return 0; }";
+    let err = limited(src, &CompileLimits::generous()).unwrap_err();
+    assert_eq!(err.limit().expect("limit error").what, "global bytes");
+}
+
+#[test]
+fn compile_fuel_exhaustion_is_reported() {
+    let limits = CompileLimits::generous();
+    let fuel = CompileFuel::new(10);
+    let err = compile_with("int f() { return 1 + 2 + 3; }", &limits, &fuel).unwrap_err();
+    assert_eq!(err.limit().expect("limit error").what, "compile fuel");
+}
+
+#[test]
+fn builtin_arity_mismatch_is_an_error() {
+    let err = compile("int f() { __builtin_segment_new(1); return 0; }").unwrap_err();
+    assert!(err.to_string().contains("expects 2 argument"), "{err}");
+    let err = compile("long f(long p) { return __builtin_pointer_sign(p, 1, 2); }").unwrap_err();
+    assert!(err.to_string().contains("expects 1 argument"), "{err}");
+}
+
+#[test]
+fn struct_value_in_scalar_position_is_an_error() {
+    // Loading a whole struct rvalue where a scalar is required must be a
+    // diagnostic, not an unreachable!().
+    let src = r"
+        struct S { int a; int b; };
+        int f() {
+            struct S s;
+            struct S t;
+            s = t;
+            return 0;
+        }
+    ";
+    let err = compile(src).unwrap_err();
+    assert!(
+        err.to_string().contains("non-scalar"),
+        "expected non-scalar diagnostic, got: {err}"
+    );
+}
+
+#[test]
+fn void_pointer_dereference_is_an_error() {
+    let src = "int f(void *p) { return *p; }";
+    let err = compile(src).unwrap_err();
+    assert!(err.to_string().contains("non-scalar"), "{err}");
+}
+
+#[test]
+fn valid_program_is_unaffected_by_generous_limits() {
+    let src = r"
+        long dot(long *a, long *b, int n) {
+            long s = 0;
+            for (int i = 0; i < n; i++) s += a[i] * b[i];
+            return s;
+        }
+    ";
+    let unlimited = compile(src).expect("unlimited compile");
+    let limits = CompileLimits::generous();
+    let fuel = limits.fuel();
+    let bounded = compile_with(src, &limits, &fuel).expect("bounded compile");
+    assert_eq!(unlimited.functions.len(), bounded.functions.len());
+    assert!(fuel.consumed() > 0, "fuel metering should see real work");
+}
+
+#[test]
+fn non_ascii_source_does_not_panic() {
+    // Multi-byte UTF-8 must never split a char boundary in the lexer.
+    let err = compile("int f() { return \u{1F980}; }").unwrap_err();
+    assert!(err.limit().is_none());
+    let _ = compile("// café ☕\nint f() { return 1; }").expect("unicode in comments is fine");
+}

@@ -13,7 +13,8 @@
 //!
 //! Exit codes distinguish failure stages: `1` for compile/build errors,
 //! `2` for usage errors, `3` for guest traps, `4` for instantiation
-//! failures (e.g. the §6.4 sandbox-tag budget).
+//! failures (e.g. the §6.4 sandbox-tag budget), `5` when the input
+//! exceeds the engine's compile limits (too big or too deep to ingest).
 
 use std::process::ExitCode;
 
@@ -27,6 +28,9 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_TRAP: u8 = 3;
 /// Instantiation failed.
 const EXIT_INSTANTIATE: u8 = 4;
+/// The input exceeded a compile limit — a resource-bound rejection
+/// (distinct from a malformed program, which is `EXIT_COMPILE`).
+const EXIT_LIMIT: u8 = 5;
 
 struct Args {
     input: String,
@@ -59,7 +63,8 @@ options:
   --memory <pages> linear memory size in 64 KiB pages (default: 64)
   --stats          print simulated cycles/time and memory report
 
-exit codes: 1 compile error, 2 usage, 3 guest trap, 4 instantiation failure
+exit codes: 1 compile error, 2 usage, 3 guest trap, 4 instantiation failure,
+            5 input exceeds compile limits
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -173,10 +178,25 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let source = match std::fs::read_to_string(&args.input) {
-        Ok(s) => s,
+    // Read as bytes first: a non-UTF-8 (e.g. binary) input gets its own
+    // message instead of a raw io error — and never a panic, whatever
+    // the file holds. Empty input is fine; it compiles to an empty
+    // module.
+    let bytes = match std::fs::read(&args.input) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("cagec: cannot read {}: {e}", args.input);
+            return ExitCode::from(EXIT_COMPILE);
+        }
+    };
+    let source = match String::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "cagec: {}: source is not valid UTF-8 (bad byte at offset {})",
+                args.input,
+                e.utf8_error().valid_up_to()
+            );
             return ExitCode::from(EXIT_COMPILE);
         }
     };
@@ -188,7 +208,11 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             report(&e);
-            return ExitCode::from(EXIT_COMPILE);
+            return ExitCode::from(if e.limit().is_some() {
+                EXIT_LIMIT
+            } else {
+                EXIT_COMPILE
+            });
         }
     };
     eprintln!(

@@ -17,7 +17,7 @@ use cage_engine::{CostModel, ExecConfig, WasmParams, WasmResults};
 use cage_ir::passes::{HardenConfig, PipelineConfig};
 use cage_mte::Core;
 use cage_runtime::{InstanceToken, Linker, MemoryReport, Runtime, Variant};
-use cage_wasm::ValType;
+use cage_wasm::{CompileLimits, ValType};
 
 use crate::error::Error;
 use crate::Value;
@@ -48,6 +48,7 @@ struct EngineInner {
     memory_pages: u64,
     stack_size: u64,
     pipeline: PipelineConfig,
+    limits: CompileLimits,
 }
 
 impl fmt::Debug for Engine {
@@ -80,6 +81,7 @@ impl Engine {
             memory_pages: 64,
             stack_size: 64 * 1024,
             pipeline: PipelineConfig::standard(variant.harden_config()),
+            limits: CompileLimits::default(),
         }
     }
 
@@ -113,6 +115,12 @@ impl Engine {
         self.inner.pipeline
     }
 
+    /// The compile limits every [`Engine::compile`] runs under.
+    #[must_use]
+    pub fn compile_limits(&self) -> CompileLimits {
+        self.inner.limits
+    }
+
     /// The execution configuration instances run under.
     #[must_use]
     pub fn exec_config(&self) -> ExecConfig {
@@ -127,23 +135,54 @@ impl Engine {
 
     /// Compiles and hardens C `source` into an [`Artifact`].
     ///
+    /// Every stage runs under the engine's [`CompileLimits`] and a
+    /// shared compile-fuel budget, so arbitrary (hostile) source is
+    /// rejected with a structured error instead of wedging the process.
+    /// A residual panic in any stage is caught here, counted in
+    /// [`compile_panic_count`], and reported as
+    /// [`Error::CompilePanic`] — never propagated to the caller's
+    /// thread.
+    ///
     /// # Errors
     ///
-    /// [`Error::Compile`] / [`Error::Lower`] / [`Error::Validate`].
+    /// [`Error::Compile`] / [`Error::Lower`] / [`Error::Validate`] on
+    /// malformed input, [`Error::LimitExceeded`] on oversized input,
+    /// [`Error::CompilePanic`] if a stage panicked (a toolchain bug).
     pub fn compile(&self, source: &str) -> Result<Artifact, Error> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.compile_inner(source)))
+        {
+            Ok(result) => result,
+            Err(payload) => {
+                COMPILE_PANICS.fetch_add(1, Ordering::Relaxed);
+                Err(Error::CompilePanic {
+                    message: panic_message(&*payload),
+                })
+            }
+        }
+    }
+
+    /// The compile pipeline proper: frontend → passes → lowering →
+    /// validation, one limit policy and one fuel budget across all of
+    /// it. [`Engine::compile`] wraps this in the panic backstop.
+    fn compile_inner(&self, source: &str) -> Result<Artifact, Error> {
+        let limits = self.inner.limits;
+        let fuel = limits.fuel();
         let ptr_bytes = self.inner.variant.ptr_width().bytes();
-        let ast = cage_cc::parse(source)?;
-        let mut ir_module = cage_cc::codegen::compile_ast_for(&ast, ptr_bytes)?;
-        cage_ir::passes::run_pipeline_config(&mut ir_module, &self.inner.pipeline);
-        let lowered = cage_ir::lower(
+        let ast = cage_cc::parse_with(source, &limits, &fuel)?;
+        let mut ir_module =
+            cage_cc::codegen::compile_ast_for_with(&ast, ptr_bytes, &limits, &fuel)?;
+        cage_ir::passes::run_pipeline_config_fueled(&mut ir_module, &self.inner.pipeline, &fuel)?;
+        let lowered = cage_ir::lower_with_limits(
             &ir_module,
             &cage_ir::LowerOptions {
                 ptr_width: self.inner.variant.ptr_width(),
                 memory_pages: self.inner.memory_pages,
                 stack_size: self.inner.stack_size,
             },
+            &limits,
+            &fuel,
         )?;
-        cage_wasm::validate(&lowered.module)?;
+        cage_wasm::validate_with_limits(&lowered.module, &limits, &fuel)?;
         Ok(Artifact {
             module: lowered.module,
             heap_base: lowered.heap_base,
@@ -168,7 +207,9 @@ impl Engine {
     /// # Errors
     ///
     /// [`Error::VariantMismatch`] when the artifact was compiled for a
-    /// different variant; [`Error::Instantiate`] when validation fails.
+    /// different variant; [`Error::Instantiate`] when validation fails;
+    /// [`Error::LimitExceeded`] when the module busts the engine's
+    /// compile limits.
     pub fn instance_pre(
         &self,
         artifact: &Artifact,
@@ -180,13 +221,27 @@ impl Engine {
                 engine: self.inner.variant.to_string(),
             });
         }
-        Ok(cage_serve::InstancePre::new(
+        cage_serve::InstancePre::with_limits(
             self.inner.variant,
             self.inner.core,
             &artifact.module,
             artifact.heap_base,
             host,
-        )?)
+            &self.inner.limits,
+        )
+        .map_err(|e| match e {
+            cage_serve::ServeError::Rejected(l) => Error::LimitExceeded(l),
+            cage_serve::ServeError::CompilePanic(message) => Error::CompilePanic { message },
+            cage_serve::ServeError::Instantiate(i) => Error::Instantiate(i),
+            cage_serve::ServeError::Trap(t) => Error::Trap(t),
+            // A template build never checks out pool slots, so
+            // `Exhausted` cannot occur here; route it through the
+            // internal-bug bucket rather than panicking if that ever
+            // changes.
+            other => Error::CompilePanic {
+                message: other.to_string(),
+            },
+        })
     }
 
     /// Instantiates `artifact` in its own process with the hardened libc.
@@ -232,6 +287,7 @@ pub struct EngineBuilder {
     memory_pages: u64,
     stack_size: u64,
     pipeline: PipelineConfig,
+    limits: CompileLimits,
 }
 
 impl EngineBuilder {
@@ -271,6 +327,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Overrides the compile limits (defaults to
+    /// [`CompileLimits::default`] — generous, but bounded). Use
+    /// [`CompileLimits::unlimited`] only for trusted input.
+    #[must_use]
+    pub fn limits(mut self, limits: CompileLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// Finishes the engine.
     #[must_use]
     pub fn build(self) -> Engine {
@@ -281,6 +346,7 @@ impl EngineBuilder {
                 memory_pages: self.memory_pages,
                 stack_size: self.stack_size,
                 pipeline: self.pipeline,
+                limits: self.limits,
             }),
         }
     }
@@ -420,6 +486,28 @@ impl fmt::Debug for Instance {
 
 /// Source of unique [`Instance`] identities.
 static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Compile stages that panicked and were caught at the
+/// [`Engine::compile`] boundary (each one is a toolchain bug — the
+/// pipeline is supposed to reject every input with a structured error).
+static COMPILE_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// How many [`Engine::compile`] calls have ever panicked inside a
+/// compile stage (and been converted to [`Error::CompilePanic`]).
+/// Process-wide, monotonic — the fuzz harness asserts it stays zero.
+#[must_use]
+pub fn compile_panic_count() -> u64 {
+    COMPILE_PANICS.load(Ordering::Relaxed)
+}
+
+/// Renders a caught panic payload for diagnostics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 impl Instance {
     /// Wraps a freshly instantiated (runtime, token) pair.

@@ -9,12 +9,27 @@ use std::fmt;
 
 use cage_engine::store::InstantiateError;
 use cage_engine::Trap;
+use cage_wasm::LimitError;
 
 /// Any failure an embedder can see, from C source to guest trap.
 #[derive(Debug)]
 pub enum Error {
     /// Frontend (parse/typecheck) failure.
     Compile(cage_cc::CompileError),
+    /// A [`cage_wasm::CompileLimits`] bound was exceeded while ingesting
+    /// the program — any stage (frontend, passes, lowering, validation,
+    /// instantiation-time compilation) can report it. The input was too
+    /// big or too deep, not malformed.
+    LimitExceeded(LimitError),
+    /// A compile stage panicked on this input. The panic was caught at
+    /// the [`crate::Engine::compile`] boundary (the process is fine) and
+    /// counted in [`crate::compile_panic_count`]; the input is rejected.
+    /// Any occurrence is a toolchain bug worth reporting — the pipeline
+    /// is supposed to return structured errors on all inputs.
+    CompilePanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// IR → wasm lowering failure.
     Lower(cage_ir::LowerError),
     /// The produced module failed validation (a toolchain bug if it ever
@@ -74,12 +89,27 @@ impl Error {
     pub fn is_memory_safety_violation(&self) -> bool {
         self.as_trap().is_some_and(Trap::is_memory_safety_violation)
     }
+
+    /// The compile limit that was exceeded, when this error is a
+    /// resource-bound rejection rather than a malformed-input one —
+    /// how `cagec` picks its "too big" exit code.
+    #[must_use]
+    pub fn limit(&self) -> Option<&LimitError> {
+        match self {
+            Error::LimitExceeded(l) => Some(l),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::LimitExceeded(l) => write!(f, "{l}"),
+            Error::CompilePanic { message } => {
+                write!(f, "internal compiler panic (caught): {message}")
+            }
             Error::Lower(e) => write!(f, "lowering error: {e}"),
             Error::Validate(e) => write!(f, "validation error: {e}"),
             Error::Instantiate(e) => write!(f, "instantiation error: {e}"),
@@ -110,6 +140,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Compile(e) => Some(e),
+            Error::LimitExceeded(e) => Some(e),
             Error::Lower(e) => Some(e),
             Error::Validate(e) => Some(e),
             Error::Instantiate(e) => Some(e),
@@ -119,27 +150,50 @@ impl std::error::Error for Error {
     }
 }
 
+// The `From` conversions below pull a carried `LimitError` out of each
+// stage's own error type, so every stage's resource-bound rejection
+// surfaces uniformly as `Error::LimitExceeded` — the embedder never has
+// to know which stage noticed first.
+
+impl From<LimitError> for Error {
+    fn from(l: LimitError) -> Self {
+        Error::LimitExceeded(l)
+    }
+}
+
 impl From<cage_cc::CompileError> for Error {
     fn from(e: cage_cc::CompileError) -> Self {
-        Error::Compile(e)
+        match e.limit() {
+            Some(l) => Error::LimitExceeded(l.clone()),
+            None => Error::Compile(e),
+        }
     }
 }
 
 impl From<cage_ir::LowerError> for Error {
     fn from(e: cage_ir::LowerError) -> Self {
-        Error::Lower(e)
+        match e {
+            cage_ir::LowerError::Limit(l) => Error::LimitExceeded(l),
+            other => Error::Lower(other),
+        }
     }
 }
 
 impl From<cage_wasm::ValidationError> for Error {
     fn from(e: cage_wasm::ValidationError) -> Self {
-        Error::Validate(e)
+        match e.limit() {
+            Some(l) => Error::LimitExceeded(l.clone()),
+            None => Error::Validate(e),
+        }
     }
 }
 
 impl From<InstantiateError> for Error {
     fn from(e: InstantiateError) -> Self {
-        Error::Instantiate(e)
+        match e {
+            InstantiateError::CompileLimit(l) => Error::LimitExceeded(l),
+            other => Error::Instantiate(other),
+        }
     }
 }
 

@@ -78,7 +78,7 @@ mod embed;
 mod error;
 pub mod gallery;
 
-pub use embed::{Artifact, Engine, EngineBuilder, Instance, TypedFunc};
+pub use embed::{compile_panic_count, Artifact, Engine, EngineBuilder, Instance, TypedFunc};
 pub use error::Error;
 
 pub use cage_engine::{InstanceLimits, Trap, Value, WasmParams, WasmResults, WasmTy};
@@ -184,7 +184,10 @@ fn to_build_error(result: Result<Artifact, Error>) -> Result<Artifact, BuildErro
         Error::Compile(c) => BuildError::Compile(c),
         Error::Lower(l) => BuildError::Lower(l),
         Error::Validate(v) => BuildError::Validate(v),
-        other => unreachable!("Engine::compile produced a non-build error: {other}"),
+        // The legacy shape predates limit/panic rejection: fold both
+        // into the frontend bucket rather than panicking on them.
+        Error::LimitExceeded(l) => BuildError::Compile(cage_cc::CompileError::from_limit(l)),
+        other => BuildError::Compile(cage_cc::CompileError::new(0, other.to_string())),
     })
 }
 

@@ -770,6 +770,36 @@ struct Compiler<'m> {
 /// validator would reject).
 #[must_use]
 pub fn compile(module: &Module, results: usize, body: &[Instr]) -> FlatCode {
+    let limits = cage_wasm::CompileLimits::unlimited();
+    match try_compile(module, results, body, &limits, &limits.fuel()) {
+        Ok(code) => code,
+        Err(e) => unreachable!("unlimited lowering cannot bust a limit: {e}"),
+    }
+}
+
+/// Like [`compile`], but bounds the lowering work against `limits` and
+/// the shared `fuel` budget before any recursion happens.
+///
+/// The body's op count and nesting depth are measured iteratively up
+/// front, so a hostile module cannot push the compiler into deep
+/// recursion or an oversized op buffer.
+///
+/// # Errors
+///
+/// [`cage_wasm::LimitError`] when the body busts a bound.
+///
+/// # Panics
+///
+/// Panics on unvalidated input, like [`compile`].
+pub fn try_compile(
+    module: &Module,
+    results: usize,
+    body: &[Instr],
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<FlatCode, cage_wasm::LimitError> {
+    let stats = check_body_budget(body, limits)?;
+    fuel.charge(stats.ops as u64)?;
     let mut c = Compiler {
         module,
         ops: Vec::with_capacity(body.len() + 1),
@@ -797,11 +827,36 @@ pub fn compile(module: &Module, results: usize, body: &[Instr]) -> FlatCode {
         .iter()
         .map(|&i| crate::interp::handler_for_index(i))
         .collect();
-    FlatCode {
+    Ok(FlatCode {
         ops: c.ops.into_boxed_slice(),
         handlers,
         thread,
+    })
+}
+
+/// Iteratively measures `body` and rejects it when its total op count or
+/// nesting depth busts `limits`; returns the measured stats on success.
+fn check_body_budget(
+    body: &[Instr],
+    limits: &cage_wasm::CompileLimits,
+) -> Result<cage_wasm::limits::BodyStats, cage_wasm::LimitError> {
+    let cap = limits.max_body_ops.max(limits.max_nesting_depth);
+    let stats = cage_wasm::limits::body_stats(body, cap);
+    if stats.ops > limits.max_body_ops {
+        return Err(cage_wasm::LimitError {
+            what: "body ops",
+            limit: limits.max_body_ops as u64,
+            actual: stats.ops as u64,
+        });
     }
+    if stats.depth > limits.max_nesting_depth {
+        return Err(cage_wasm::LimitError {
+            what: "body nesting depth",
+            limit: limits.max_nesting_depth as u64,
+            actual: stats.depth as u64,
+        });
+    }
+    Ok(stats)
 }
 
 impl Compiler<'_> {
@@ -2031,6 +2086,37 @@ impl RegCompiler<'_> {
 /// Panics on unvalidated input.
 #[must_use]
 pub fn compile_reg(module: &Module, ty: &FuncType, num_locals: usize, body: &[Instr]) -> RegCode {
+    let limits = cage_wasm::CompileLimits::unlimited();
+    match try_compile_reg(module, ty, num_locals, body, &limits, &limits.fuel()) {
+        Ok(code) => code,
+        Err(e) => unreachable!("unlimited lowering cannot bust a limit: {e}"),
+    }
+}
+
+/// Like [`compile_reg`], but bounds the lowering work: op count and
+/// nesting depth are measured iteratively before the recursive SSA
+/// construction runs, the SSA value count is capped, and frame-slot
+/// allocation reports overflow instead of panicking.
+///
+/// # Errors
+///
+/// [`cage_wasm::LimitError`] when the body busts a bound.
+///
+/// # Panics
+///
+/// Panics on unvalidated input, like [`compile_reg`].
+pub fn try_compile_reg(
+    module: &Module,
+    ty: &FuncType,
+    num_locals: usize,
+    body: &[Instr],
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<RegCode, cage_wasm::LimitError> {
+    let stats = check_body_budget(body, limits)?;
+    // SSA lowering does strictly more work per op than the stack tier:
+    // charge double.
+    fuel.charge(stats.ops as u64 * 2)?;
     let mut c = RegCompiler {
         module,
         b: SsaBuilder::new(),
@@ -2080,10 +2166,17 @@ pub fn compile_reg(module: &Module, ty: &FuncType, num_locals: usize, body: &[In
     c.terminate(LTerm::Ret { srcs }, Vec::new());
 
     c.b.finish();
+    if c.b.num_values() > limits.max_ssa_values {
+        return Err(cage_wasm::LimitError {
+            what: "ssa values",
+            limit: u64::from(limits.max_ssa_values),
+            actual: u64::from(c.b.num_values()),
+        });
+    }
     emit_reg(&c, &params)
 }
 
-fn emit_reg(c: &RegCompiler, params: &[ssa::Value]) -> RegCode {
+fn emit_reg(c: &RegCompiler, params: &[ssa::Value]) -> Result<RegCode, cage_wasm::LimitError> {
     let b = &c.b;
     let r = |v: ssa::Value| b.resolve(v);
     let num_values = b.num_values();
@@ -2326,12 +2419,11 @@ fn emit_reg(c: &RegCompiler, params: &[ssa::Value]) -> RegCode {
         blocks: ranges,
         refs,
     });
-    let alloc = regalloc::linear_scan(&intervals, HOT_SLOTS);
+    let alloc = regalloc::try_linear_scan(&intervals, HOT_SLOTS)?;
     let scratch = alloc.frame_size;
-    let frame_size = alloc
-        .frame_size
-        .checked_add(1)
-        .expect("frame slot overflow");
+    // `try_linear_scan` guarantees frame_size <= u16::MAX - 1, so the
+    // scratch slot always fits.
+    let frame_size = alloc.frame_size + 1;
     // Dead definitions and unreachable-code operands dump into scratch,
     // which never holds a value across an instruction.
     let slot = |v: ssa::Value| -> u16 {
@@ -2565,7 +2657,7 @@ fn emit_reg(c: &RegCompiler, params: &[ssa::Value]) -> RegCode {
         .iter()
         .map(|&i| crate::interp::reg_handler_for_index(i))
         .collect();
-    RegCode {
+    Ok(RegCode {
         ops: ops.into_boxed_slice(),
         recipes,
         pool: pool.into_boxed_slice(),
@@ -2575,7 +2667,7 @@ fn emit_reg(c: &RegCompiler, params: &[ssa::Value]) -> RegCode {
         param_slots: params.iter().map(|&p| slot(p)).collect(),
         handlers,
         thread,
-    }
+    })
 }
 
 // -- register disassembly ---------------------------------------------------

@@ -65,7 +65,7 @@ pub use config::{BoundsCheckStrategy, ExecConfig, InternalSafety};
 pub use cost::{CostModel, InstrClass};
 pub use host::{HostContext, HostFunc, Imports};
 pub use memory::{LinearMemory, TagScheme};
-pub use store::{InstanceHandle, InstanceLimits, Precompiled, Store};
+pub use store::{InstanceHandle, InstanceLimits, InstantiateError, Precompiled, Store};
 pub use trap::Trap;
 pub use typed::{WasmParams, WasmResults, WasmTy};
 pub use value::Value;

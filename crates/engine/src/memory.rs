@@ -154,8 +154,36 @@ impl LinearMemory {
         mode: MteMode,
         seed: u64,
     ) -> Self {
-        let guest_size = initial_pages * PAGE_SIZE;
-        let total = guest_size + RUNTIME_SLACK;
+        Self::try_new(initial_pages, max_pages, memory64, scheme, mode, seed)
+            .expect("initial memory size representable and allocatable")
+    }
+
+    /// Like [`LinearMemory::new`], but reports an unrepresentable or
+    /// unallocatable initial size instead of panicking or aborting.
+    ///
+    /// A hostile module can declare any 64-bit page count; the byte-size
+    /// computation must not wrap (a wrap would under-allocate while
+    /// `guest_size` claims the full range) and the allocation must not
+    /// abort the process.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the failed size computation.
+    pub fn try_new(
+        initial_pages: u64,
+        max_pages: Option<u64>,
+        memory64: bool,
+        scheme: TagScheme,
+        mode: MteMode,
+        seed: u64,
+    ) -> Result<Self, String> {
+        let too_big = || format!("initial memory of {initial_pages} pages is unallocatable");
+        let guest_size = initial_pages.checked_mul(PAGE_SIZE).ok_or_else(too_big)?;
+        let total = guest_size.checked_add(RUNTIME_SLACK).ok_or_else(too_big)?;
+        let total_usize = usize::try_from(total).map_err(|_| too_big())?;
+        let mut data = Vec::new();
+        data.try_reserve_exact(total_usize).map_err(|_| too_big())?;
+        data.resize(total_usize, 0);
         let mut tags = TagMemory::new(total, mode);
         let initial = scheme.initial_tag();
         if !initial.is_zero() {
@@ -165,8 +193,8 @@ impl LinearMemory {
         let pool = TagPool::new(scheme.segment_exclusion(), seed)
             .expect("segment exclusion leaves tags available");
         let total_pages = total.div_ceil(PAGE_SIZE);
-        LinearMemory {
-            data: vec![0; total as usize],
+        Ok(LinearMemory {
+            data,
             guest_size,
             max_pages,
             page_limit: None,
@@ -180,7 +208,7 @@ impl LinearMemory {
             dirty_bits: vec![0; total_pages.div_ceil(64) as usize],
             dirty_pages: Vec::new(),
             grown: false,
-        }
+        })
     }
 
     /// Records the pages covering `[addr, addr + len)` in the dirty

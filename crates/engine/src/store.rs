@@ -47,8 +47,17 @@ pub enum InstantiateError {
     /// The module's initial memory or table size exceeds the store's
     /// [`InstanceLimits`] policy.
     LimitExceeded(String),
+    /// Precompilation busted a [`cage_wasm::CompileLimits`] bound
+    /// (body size, nesting depth, SSA values, compile fuel, …).
+    CompileLimit(cage_wasm::LimitError),
     /// The start function trapped.
     Start(Trap),
+}
+
+impl From<cage_wasm::LimitError> for InstantiateError {
+    fn from(e: cage_wasm::LimitError) -> Self {
+        InstantiateError::CompileLimit(e)
+    }
 }
 
 impl fmt::Display for InstantiateError {
@@ -66,6 +75,7 @@ impl fmt::Display for InstantiateError {
             }
             InstantiateError::SegmentOutOfRange => f.write_str("active segment out of range"),
             InstantiateError::LimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
+            InstantiateError::CompileLimit(e) => write!(f, "{e}"),
             InstantiateError::Start(t) => write!(f, "start function trapped: {t}"),
         }
     }
@@ -130,10 +140,18 @@ pub(crate) struct CompiledFunc {
     pub(crate) is_host: bool,
 }
 
+/// The shared type table plus every function compiled to bytecode —
+/// what [`precompile`] produces and a [`Precompiled`] template shares.
+type CompiledTables = (Vec<Arc<FuncType>>, Vec<Arc<CompiledFunc>>);
+
 /// Precompiles every function in `module`'s joint index space (imports
 /// first, then local functions) down to flat bytecode, plus the shared
 /// type table.
-fn precompile(module: &Module) -> (Vec<Arc<FuncType>>, Vec<Arc<CompiledFunc>>) {
+fn precompile(
+    module: &Module,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<CompiledTables, cage_wasm::LimitError> {
     let types: Vec<Arc<FuncType>> = module.types.iter().cloned().map(Arc::new).collect();
     let mut funcs = Vec::with_capacity(module.total_func_count() as usize);
     for type_idx in module.imported_func_type_indices() {
@@ -147,8 +165,8 @@ fn precompile(module: &Module) -> (Vec<Arc<FuncType>>, Vec<Arc<CompiledFunc>>) {
     }
     for f in &module.funcs {
         let ty = Arc::clone(&types[f.type_idx as usize]);
-        let code = bytecode::compile(module, ty.results.len(), &f.body);
-        let reg = bytecode::compile_reg(module, &ty, f.locals.len(), &f.body);
+        let code = bytecode::try_compile(module, ty.results.len(), &f.body, limits, fuel)?;
+        let reg = bytecode::try_compile_reg(module, &ty, f.locals.len(), &f.body, limits, fuel)?;
         funcs.push(Arc::new(CompiledFunc {
             ty,
             locals: f.locals.clone(),
@@ -157,7 +175,7 @@ fn precompile(module: &Module) -> (Vec<Arc<FuncType>>, Vec<Arc<CompiledFunc>>) {
             is_host: false,
         }));
     }
-    (types, funcs)
+    Ok((types, funcs))
 }
 
 /// A validated, fully precompiled module template: the compile-once half
@@ -174,14 +192,35 @@ pub struct Precompiled {
 }
 
 impl Precompiled {
-    /// Validates and precompiles `module` down to flat bytecode.
+    /// Validates and precompiles `module` down to flat bytecode, under
+    /// the default (generous) [`cage_wasm::CompileLimits`].
     ///
     /// # Errors
     ///
-    /// [`InstantiateError::Validation`] when the module is invalid.
+    /// [`InstantiateError::Validation`] when the module is invalid;
+    /// [`InstantiateError::CompileLimit`] when it busts a compile bound.
     pub fn new(module: &Module) -> Result<Self, InstantiateError> {
-        validate(module)?;
-        let (types, funcs) = precompile(module);
+        Self::with_limits(module, &cage_wasm::CompileLimits::default())
+    }
+
+    /// Like [`Precompiled::new`], but under caller-chosen compile
+    /// limits. One fuel budget covers the whole module: validation
+    /// pre-scans plus both bytecode tiers for every function.
+    ///
+    /// # Errors
+    ///
+    /// [`InstantiateError::Validation`] when the module is invalid;
+    /// [`InstantiateError::CompileLimit`] when it busts a compile bound.
+    pub fn with_limits(
+        module: &Module,
+        limits: &cage_wasm::CompileLimits,
+    ) -> Result<Self, InstantiateError> {
+        let fuel = limits.fuel();
+        cage_wasm::validate_with_limits(module, limits, &fuel).map_err(|e| match e.limit() {
+            Some(l) => InstantiateError::CompileLimit(l.clone()),
+            None => InstantiateError::Validation(e),
+        })?;
+        let (types, funcs) = precompile(module, limits, &fuel)?;
         Ok(Precompiled {
             module: Arc::new(module.clone()),
             types,
@@ -337,7 +376,11 @@ impl Store {
         imports: &Imports,
     ) -> Result<InstanceHandle, InstantiateError> {
         validate(module)?;
-        let (types, funcs) = precompile(module);
+        // Direct instantiation is the trusted embedder path (the engine's
+        // own tests instantiate pathologically deep fixtures); untrusted
+        // modules go through `Precompiled::with_limits`.
+        let limits = cage_wasm::CompileLimits::unlimited();
+        let (types, funcs) = precompile(module, &limits, &limits.fuel())?;
         self.instantiate_prepared(Arc::new(module.clone()), types, funcs, imports)
     }
 
@@ -405,14 +448,15 @@ impl Store {
                 } else {
                     MteMode::Disabled
                 };
-                let mut mem = LinearMemory::new(
+                let mut mem = LinearMemory::try_new(
                     ty.limits.min,
                     ty.limits.max,
                     ty.memory64,
                     scheme,
                     mode,
                     self.rng.gen(),
-                );
+                )
+                .map_err(InstantiateError::LimitExceeded)?;
                 mem.set_page_limit(limits.max_memory_pages);
                 Some(mem)
             }
@@ -425,7 +469,12 @@ impl Store {
             .map(|g| global_init(&g.init))
             .collect();
 
-        let table_size = module.tables.first().map_or(0, |t| t.limits.min) as usize;
+        let table_min = module.tables.first().map_or(0, |t| t.limits.min);
+        let table_size = usize::try_from(table_min).map_err(|_| {
+            InstantiateError::LimitExceeded(format!(
+                "table of {table_min} elements is unallocatable"
+            ))
+        })?;
         if let Some(cap) = limits.max_table_elements {
             if table_size > cap {
                 return Err(InstantiateError::LimitExceeded(format!(
@@ -433,10 +482,23 @@ impl Store {
                 )));
             }
         }
-        let mut table = vec![None; table_size];
+        // A hostile module can declare any table size; allocate fallibly
+        // so an absurd declaration is an error, not an OOM abort.
+        let mut table: Vec<Option<u32>> = Vec::new();
+        table.try_reserve_exact(table_size).map_err(|_| {
+            InstantiateError::LimitExceeded(format!(
+                "table of {table_size} elements is unallocatable"
+            ))
+        })?;
+        table.resize(table_size, None);
         for elem in &module.elems {
-            let start = elem.offset as usize;
-            let end = start + elem.funcs.len();
+            let start =
+                usize::try_from(elem.offset).map_err(|_| InstantiateError::SegmentOutOfRange)?;
+            // `start + len` is checked, not assumed: a segment offset near
+            // `usize::MAX` must not wrap past the bounds test below.
+            let end = start
+                .checked_add(elem.funcs.len())
+                .ok_or(InstantiateError::SegmentOutOfRange)?;
             if end > table.len() {
                 return Err(InstantiateError::SegmentOutOfRange);
             }

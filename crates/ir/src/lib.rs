@@ -41,7 +41,7 @@ pub mod types;
 
 pub use builder::FunctionBuilder;
 pub use instr::{BinOp, Callee, CastKind, Expr, MemTy, Operand, Stmt, UnOp};
-pub use lower::{lower, LowerError, LowerOptions, PtrWidth};
+pub use lower::{lower, lower_with_limits, LowerError, LowerOptions, PtrWidth};
 pub use module::{
     Alloca, AllocaId, ExternFunc, FuncId, GlobalData, GlobalId, IrFunction, IrModule, ValueId,
 };

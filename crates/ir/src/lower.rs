@@ -84,6 +84,13 @@ pub enum LowerError {
     CageRequiresWasm64(&'static str),
     /// Data + stack exceed the configured memory.
     MemoryTooSmall,
+    /// The statement tree is structurally invalid — `break`/`continue`
+    /// outside a loop, or a float constant as a pointer index. A correct
+    /// frontend never produces these; hand-built (possibly hostile) IR
+    /// can, and the recursive lowering would panic on them.
+    Malformed(&'static str),
+    /// A compile limit was exceeded (see [`cage_wasm::CompileLimits`]).
+    Limit(cage_wasm::LimitError),
 }
 
 impl fmt::Display for LowerError {
@@ -93,11 +100,19 @@ impl fmt::Display for LowerError {
                 write!(f, "{what} requires the wasm64 target")
             }
             LowerError::MemoryTooSmall => f.write_str("memory too small for stack + data"),
+            LowerError::Malformed(what) => write!(f, "malformed IR: {what}"),
+            LowerError::Limit(e) => e.fmt(f),
         }
     }
 }
 
 impl std::error::Error for LowerError {}
+
+impl From<cage_wasm::LimitError> for LowerError {
+    fn from(e: cage_wasm::LimitError) -> Self {
+        LowerError::Limit(e)
+    }
+}
 
 /// Result of lowering: the module plus layout facts the runtime needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,37 +127,147 @@ pub struct Lowered {
     pub table_slots: HashMap<FuncId, u32>,
 }
 
-/// Lowers `ir` to a wasm module.
+/// Iteratively checks one statement tree before the recursive lowering
+/// touches it. Rejects what the recursion would panic on (`break`/
+/// `continue` outside a loop, float pointer indices, Cage constructs on
+/// wasm32), bounds nesting depth so the recursion cannot overflow host
+/// stack, and charges one fuel unit per statement.
+fn prescan_body(
+    body: &[Stmt],
+    pw: PtrWidth,
+    max_depth: usize,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<(), LowerError> {
+    // (sequence, next index, enclosing loop count, nesting level).
+    let mut work: Vec<(&[Stmt], usize, u64, usize)> = vec![(body, 0, 0, 1)];
+    while let Some(frame) = work.last_mut() {
+        let (seq, idx, loops, level) = (frame.0, &mut frame.1, frame.2, frame.3);
+        let Some(stmt) = seq.get(*idx) else {
+            work.pop();
+            continue;
+        };
+        *idx += 1;
+        fuel.charge(1)?;
+        let too_deep = || {
+            LowerError::Limit(cage_wasm::LimitError {
+                what: "statement nesting depth",
+                limit: max_depth as u64,
+                actual: max_depth as u64 + 1,
+            })
+        };
+        let float_index = |op: &Operand| {
+            matches!(op, Operand::ConstF64(_))
+                .then_some(LowerError::Malformed("float used as pointer index"))
+        };
+        match stmt {
+            Stmt::Break if loops == 0 => return Err(LowerError::Malformed("break outside loop")),
+            Stmt::Continue if loops == 0 => {
+                return Err(LowerError::Malformed("continue outside loop"));
+            }
+            Stmt::If { then, els, .. } => {
+                if level >= max_depth {
+                    return Err(too_deep());
+                }
+                work.push((then, 0, loops, level + 1));
+                work.push((els, 0, loops, level + 1));
+            }
+            Stmt::While { header, body, .. } => {
+                if level >= max_depth {
+                    return Err(too_deep());
+                }
+                work.push((header, 0, loops + 1, level + 1));
+                work.push((body, 0, loops + 1, level + 1));
+            }
+            Stmt::SegmentSetTag { .. } | Stmt::SegmentFree { .. } if pw == PtrWidth::W32 => {
+                return Err(LowerError::CageRequiresWasm64("segment instructions"));
+            }
+            Stmt::Assign { expr, .. } | Stmt::Perform(expr) => match expr {
+                Expr::SegmentNew { .. } | Expr::TagIncrement { .. } if pw == PtrWidth::W32 => {
+                    return Err(LowerError::CageRequiresWasm64("segment instructions"));
+                }
+                Expr::PointerSign(_) | Expr::PointerAuth(_) if pw == PtrWidth::W32 => {
+                    return Err(LowerError::CageRequiresWasm64("pointer authentication"));
+                }
+                Expr::Gep { index, .. } if index.as_const_int().is_none() => {
+                    if let Some(e) = float_index(index) {
+                        return Err(e);
+                    }
+                }
+                Expr::BinOp {
+                    ty: IrType::Ptr,
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    if let Some(e) = float_index(lhs).or_else(|| float_index(rhs)) {
+                        return Err(e);
+                    }
+                }
+                Expr::BinOp {
+                    ty: IrType::F64,
+                    op,
+                    ..
+                } if !float_binop_defined(*op) => {
+                    return Err(LowerError::Malformed("operator undefined on f64"));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Lowers `ir` to a wasm module with no resource bounds (trusted,
+/// internal callers).
 ///
 /// # Errors
 ///
 /// See [`LowerError`].
 pub fn lower(ir: &IrModule, opts: &LowerOptions) -> Result<Lowered, LowerError> {
+    lower_with_limits(
+        ir,
+        opts,
+        &cage_wasm::CompileLimits::unlimited(),
+        &cage_wasm::CompileLimits::unlimited().fuel(),
+    )
+}
+
+/// Lowers `ir` to a wasm module, bounding function count, global bytes,
+/// statement nesting depth and total work against `limits`/`fuel`.
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower_with_limits(
+    ir: &IrModule,
+    opts: &LowerOptions,
+    limits: &cage_wasm::CompileLimits,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<Lowered, LowerError> {
     let pw = opts.ptr_width;
 
-    // Reject Cage constructs on wasm32 targets early.
-    if pw == PtrWidth::W32 {
-        for f in &ir.functions {
-            let mut bad: Option<&'static str> = None;
-            crate::instr::visit_stmts(&f.body, &mut |stmt| match stmt {
-                Stmt::SegmentSetTag { .. } | Stmt::SegmentFree { .. } => {
-                    bad = Some("segment instructions");
-                }
-                Stmt::Assign { expr, .. } | Stmt::Perform(expr) => match expr {
-                    Expr::SegmentNew { .. } | Expr::TagIncrement { .. } => {
-                        bad = Some("segment instructions");
-                    }
-                    Expr::PointerSign(_) | Expr::PointerAuth(_) => {
-                        bad = Some("pointer authentication");
-                    }
-                    _ => {}
-                },
-                _ => {}
-            });
-            if let Some(what) = bad {
-                return Err(LowerError::CageRequiresWasm64(what));
-            }
-        }
+    let funcs = ir.externs.len() + ir.functions.len();
+    if funcs > limits.max_functions {
+        return Err(LowerError::Limit(cage_wasm::LimitError {
+            what: "functions",
+            limit: limits.max_functions as u64,
+            actual: funcs as u64,
+        }));
+    }
+    let global_bytes: u64 = ir.globals.iter().map(|g| g.bytes.len() as u64).sum();
+    if global_bytes > limits.max_global_bytes {
+        return Err(LowerError::Limit(cage_wasm::LimitError {
+            what: "global bytes",
+            limit: limits.max_global_bytes,
+            actual: global_bytes,
+        }));
+    }
+    // Pre-scan every body before the recursive lowering below touches
+    // it: everything the recursion would panic or overflow on is
+    // rejected here, iteratively.
+    for f in &ir.functions {
+        prescan_body(&f.body, pw, limits.max_nesting_depth, fuel)?;
     }
 
     // Layout: stack, then globals, then heap.
@@ -797,6 +922,17 @@ impl<'a> FuncLowering<'a> {
     fn sig_type_index(&mut self, params: &[IrType], ret: Option<IrType>) -> u32 {
         self.sig_types[&sig_key(params, ret, self.pw)]
     }
+}
+
+/// The operators [`binop_instr`] can emit for `f64` operands — the rest
+/// (remainder, bitwise, shifts) have no wasm float form and must be
+/// rejected by [`prescan_body`] before lowering.
+fn float_binop_defined(op: BinOp) -> bool {
+    use BinOp::*;
+    matches!(
+        op,
+        Add | Sub | Mul | DivS | DivU | Eq | Ne | LtS | LtU | LeS | LeU | GtS | GtU | GeS | GeU
+    )
 }
 
 fn binop_instr(op: BinOp, ty: IrType, pw: PtrWidth) -> Instr {

@@ -71,7 +71,50 @@ pub fn run_pipeline(module: &mut IrModule, config: HardenConfig) {
 
 /// Runs an explicitly configured pipeline (see [`PipelineConfig`]).
 pub fn run_pipeline_config(module: &mut IrModule, config: &PipelineConfig) {
+    let fuel = cage_wasm::CompileLimits::unlimited().fuel();
+    run_pipeline_config_fueled(module, config, &fuel).expect("unlimited fuel cannot run out");
+}
+
+/// Like [`run_pipeline_config`], but charges `fuel` proportionally to
+/// the work each pass will do (one unit per statement per pass), so a
+/// hostile program cannot buy unbounded optimiser time.
+///
+/// # Errors
+///
+/// [`cage_wasm::LimitError`] when the fuel budget runs out; the module
+/// may be partially transformed (callers discard it on error).
+pub fn run_pipeline_config_fueled(
+    module: &mut IrModule,
+    config: &PipelineConfig,
+    fuel: &cage_wasm::CompileFuel,
+) -> Result<(), cage_wasm::LimitError> {
+    // Iterative statement count: passes recurse over bodies, so the
+    // charge happens before any recursion touches them.
+    let cost_of = |module: &IrModule| -> u64 {
+        let mut cost = 0u64;
+        for func in &module.functions {
+            let mut work: Vec<&[crate::instr::Stmt]> = vec![&func.body];
+            while let Some(seq) = work.pop() {
+                cost = cost.saturating_add(seq.len() as u64);
+                for stmt in seq {
+                    match stmt {
+                        crate::instr::Stmt::If { then, els, .. } => {
+                            work.push(then);
+                            work.push(els);
+                        }
+                        crate::instr::Stmt::While { header, body, .. } => {
+                            work.push(header);
+                            work.push(body);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        cost
+    };
     if config.optimize {
+        fuel.charge(cost_of(module).saturating_mul(3))?;
         for func in &mut module.functions {
             mem2reg::run(func);
             const_fold::run(func);
@@ -79,13 +122,16 @@ pub fn run_pipeline_config(module: &mut IrModule, config: &PipelineConfig) {
         }
     }
     if config.harden.stack_safety {
+        fuel.charge(cost_of(module))?;
         for func in &mut module.functions {
             stack_safety::run(func);
         }
     }
     if config.harden.ptr_auth {
+        fuel.charge(cost_of(module))?;
         ptr_auth::run(module);
     }
+    Ok(())
 }
 
 #[cfg(test)]

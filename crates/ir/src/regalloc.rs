@@ -18,6 +18,8 @@
 //! disassembler) because it is the contract the native tier will
 //! inherit, not because the interpreter pays for it.
 
+use cage_wasm::LimitError;
+
 /// One read or write of a value at a linearised position.
 #[derive(Debug, Clone, Copy)]
 pub struct ValueRef {
@@ -225,8 +227,30 @@ pub const NO_SLOT: u16 = u16::MAX;
 /// # Panics
 ///
 /// Panics if more than `u16::MAX - 1` simultaneous slots are required.
+/// Untrusted callers should use [`try_linear_scan`].
 #[must_use]
 pub fn linear_scan(intervals: &[Option<Interval>], hot: u16) -> Allocation {
+    match try_linear_scan(intervals, hot) {
+        Ok(a) => a,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`linear_scan`], but returns a [`LimitError`] instead of
+/// panicking when a function needs more than `u16::MAX - 1` simultaneous
+/// frame slots — reachable from hostile input (e.g. tens of thousands of
+/// values all live at once), so the instantiation path must not abort.
+///
+/// # Errors
+///
+/// [`LimitError`] (`what: "frame slots"`) on slot overflow.
+pub fn try_linear_scan(intervals: &[Option<Interval>], hot: u16) -> Result<Allocation, LimitError> {
+    const SLOT_LIMIT: u64 = u16::MAX as u64 - 1;
+    let overflow = || LimitError {
+        what: "frame slots",
+        limit: SLOT_LIMIT,
+        actual: SLOT_LIMIT + 1,
+    };
     let mut order: Vec<(u32, Interval)> = intervals
         .iter()
         .enumerate()
@@ -270,11 +294,14 @@ pub fn linear_scan(intervals: &[Option<Interval>], hot: u16) -> Allocation {
             (s, false)
         } else {
             spilled += 1;
-            let ordinal = free_spill.pop().unwrap_or_else(|| {
-                let o = next_spill;
-                next_spill = next_spill.checked_add(1).expect("frame slot overflow");
-                o
-            });
+            let ordinal = match free_spill.pop() {
+                Some(o) => o,
+                None => {
+                    let o = next_spill;
+                    next_spill = next_spill.checked_add(1).ok_or_else(overflow)?;
+                    o
+                }
+            };
             (ordinal, true)
         };
         slot[v as usize] = s;
@@ -285,19 +312,21 @@ pub fn linear_scan(intervals: &[Option<Interval>], hot: u16) -> Allocation {
 
     // Spill ordinals were provisional (the hot watermark was still
     // moving); rebase them to sit directly above the hot region.
-    let frame_size =
-        u16::try_from(u32::from(hot_used) + u32::from(next_spill)).expect("frame slot overflow");
+    let frame_size = u16::try_from(u32::from(hot_used) + u32::from(next_spill))
+        .ok()
+        .filter(|&f| f != NO_SLOT)
+        .ok_or_else(overflow)?;
     for (v, s) in slot.iter_mut().enumerate() {
         if *s != NO_SLOT && is_spill[v] {
             *s += hot_used;
         }
     }
-    Allocation {
+    Ok(Allocation {
         slot,
         frame_size,
         hot_used,
         spilled,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -416,6 +445,18 @@ mod tests {
         let a = linear_scan(&iv, 8);
         assert_ne!(a.slot[0], a.slot[2]);
         assert_ne!(a.slot[1], a.slot[2]);
+    }
+
+    #[test]
+    fn slot_overflow_is_an_error_not_a_panic() {
+        // 70k values all live simultaneously: more simultaneous slots
+        // than u16 can index. try_linear_scan must report it.
+        let n = 70_000u32;
+        let intervals: Vec<Option<Interval>> = (0..n)
+            .map(|_| Some(Interval { start: 0, end: 1 }))
+            .collect();
+        let err = try_linear_scan(&intervals, 16).unwrap_err();
+        assert_eq!(err.what, "frame slots");
     }
 
     #[test]

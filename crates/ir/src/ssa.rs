@@ -50,6 +50,28 @@ struct PhiData {
     operands: Vec<(Block, Value)>,
 }
 
+/// One frame of the explicit reaching-definition walk
+/// ([`SsaBuilder::run_read`]); replaces the recursion of Braun et al.'s
+/// `readVariableRecursive`/`addPhiOperands` pair.
+enum Walk {
+    /// Resolve the variable's value at the end of `block`.
+    Read { block: Block },
+    /// A single-predecessor chain hop: once the predecessor's value is
+    /// known, memoize it in `block` too.
+    Store { block: Block },
+    /// Fill `phi`'s operands from `preds`; `next` predecessors have been
+    /// dispatched so far. `write_back` distinguishes a read-triggered
+    /// phi (memoize the resolved value in the block's def map) from a
+    /// seal-triggered completion (leave the def map alone).
+    Fill {
+        phi: Value,
+        block: Block,
+        preds: Vec<Block>,
+        next: usize,
+        write_back: bool,
+    },
+}
+
 /// Incremental SSA builder. See the module docs for the protocol:
 /// create blocks, add predecessor edges, read/write variables, seal each
 /// block once its predecessors are final, then call
@@ -107,35 +129,15 @@ impl SsaBuilder {
 
     /// The value of `var` at the current end of `block`, creating phis
     /// as needed. Returns [`UNDEF`] only for reads in unreachable code.
+    ///
+    /// The reaching-definition walk over predecessor chains runs on an
+    /// explicit work stack: its depth scales with the longest acyclic
+    /// CFG path (one hop per block for straight-line chains, one per
+    /// join for branchy code), so a recursive walk would overflow the
+    /// host stack on pathological but valid inputs — e.g. a variable
+    /// defined once and read after a hundred thousand sequential `if`s.
     pub fn read_var(&mut self, var: Var, block: Block) -> Value {
-        if let Some(&v) = self.blocks[block as usize].defs.get(&var) {
-            return self.resolve(v);
-        }
-        self.read_var_recursive(var, block)
-    }
-
-    fn read_var_recursive(&mut self, var: Var, block: Block) -> Value {
-        let data = &self.blocks[block as usize];
-        let val = if !data.sealed {
-            let phi = self.new_phi(block);
-            self.blocks[block as usize].incomplete.push((var, phi));
-            phi
-        } else if data.preds.len() == 1 {
-            let p = data.preds[0];
-            self.read_var(var, p)
-        } else if data.preds.is_empty() {
-            UNDEF
-        } else {
-            // Break potential cycles (loops) by writing the phi before
-            // collecting its operands.
-            let phi = self.new_phi(block);
-            self.write_var(var, block, phi);
-            let resolved = self.add_phi_operands(var, phi);
-            self.write_var(var, block, resolved);
-            return resolved;
-        };
-        self.write_var(var, block, val);
-        val
+        self.run_read(var, Walk::Read { block })
     }
 
     /// Marks the predecessor set of `block` as final, completing any
@@ -150,8 +152,110 @@ impl SsaBuilder {
         data.sealed = true;
         let incomplete = std::mem::take(&mut data.incomplete);
         for (var, phi) in incomplete {
-            self.add_phi_operands(var, phi);
+            let block = self.phis[&phi].block;
+            let preds = self.blocks[block as usize].preds.clone();
+            // Seal-time completion leaves the block's def map alone: the
+            // phi stays recorded and redirects through `replaced` if it
+            // turns out trivial.
+            self.run_read(
+                var,
+                Walk::Fill {
+                    phi,
+                    block,
+                    preds,
+                    next: 0,
+                    write_back: false,
+                },
+            );
         }
+    }
+
+    /// The iterative engine behind [`SsaBuilder::read_var`] and
+    /// [`SsaBuilder::seal_block`]: a faithful explicit-stack rendering
+    /// of Braun et al.'s mutually recursive `readVariable` /
+    /// `addPhiOperands`, preserving the exact order of value allocation
+    /// and operand insertion (the bytecode derived from this feeds the
+    /// cycle golden file).
+    fn run_read(&mut self, var: Var, start: Walk) -> Value {
+        let mut stack = vec![start];
+        // The value produced by the most recently completed frame.
+        let mut ret = UNDEF;
+        while let Some(top) = stack.last_mut() {
+            match top {
+                Walk::Read { block } => {
+                    let block = *block;
+                    stack.pop();
+                    if let Some(&v) = self.blocks[block as usize].defs.get(&var) {
+                        ret = self.resolve(v);
+                        continue;
+                    }
+                    let data = &self.blocks[block as usize];
+                    if !data.sealed {
+                        let phi = self.new_phi(block);
+                        self.blocks[block as usize].incomplete.push((var, phi));
+                        self.write_var(var, block, phi);
+                        ret = phi;
+                    } else if data.preds.is_empty() {
+                        self.write_var(var, block, UNDEF);
+                        ret = UNDEF;
+                    } else if data.preds.len() == 1 {
+                        let p = data.preds[0];
+                        stack.push(Walk::Store { block });
+                        stack.push(Walk::Read { block: p });
+                    } else {
+                        // Break potential cycles (loops) by writing the
+                        // phi before collecting its operands.
+                        let preds = data.preds.clone();
+                        let phi = self.new_phi(block);
+                        self.write_var(var, block, phi);
+                        stack.push(Walk::Fill {
+                            phi,
+                            block,
+                            preds,
+                            next: 0,
+                            write_back: true,
+                        });
+                    }
+                }
+                Walk::Store { block } => {
+                    let block = *block;
+                    stack.pop();
+                    self.write_var(var, block, ret);
+                }
+                Walk::Fill {
+                    phi,
+                    block,
+                    preds,
+                    next,
+                    write_back,
+                } => {
+                    if *next > 0 {
+                        // A predecessor read just completed: record it.
+                        let p = preds[*next - 1];
+                        let (phi, value) = (*phi, ret);
+                        self.phis
+                            .get_mut(&phi)
+                            .expect("phi live while adding operands")
+                            .operands
+                            .push((p, value));
+                    }
+                    if *next < preds.len() {
+                        let p = preds[*next];
+                        *next += 1;
+                        stack.push(Walk::Read { block: p });
+                    } else {
+                        let (phi, block, write_back) = (*phi, *block, *write_back);
+                        stack.pop();
+                        let resolved = self.try_remove_trivial(phi);
+                        if write_back {
+                            self.write_var(var, block, resolved);
+                        }
+                        ret = resolved;
+                    }
+                }
+            }
+        }
+        ret
     }
 
     /// Creates an operand-less phi in `block` for the client to fill via
@@ -182,20 +286,6 @@ impl SsaBuilder {
             .expect("operand added to non-phi value")
             .operands
             .push((pred, value));
-    }
-
-    fn add_phi_operands(&mut self, var: Var, phi: Value) -> Value {
-        let block = self.phis[&phi].block;
-        let preds = self.blocks[block as usize].preds.clone();
-        for p in preds {
-            let v = self.read_var(var, p);
-            self.phis
-                .get_mut(&phi)
-                .expect("phi live while adding operands")
-                .operands
-                .push((p, v));
-        }
-        self.try_remove_trivial(phi)
     }
 
     /// Replaces `phi` by its unique operand when all operands agree
@@ -427,6 +517,57 @@ mod tests {
         let orphan = b.new_block();
         b.seal_block(orphan);
         assert_eq!(b.read_var(7, orphan), UNDEF);
+    }
+
+    #[test]
+    fn deep_single_pred_chain_reads_without_recursion() {
+        // 200k straight-line blocks: the variable is written once at the
+        // top and read at the bottom. The read walk must traverse the
+        // whole chain with its explicit stack — the old recursive
+        // implementation overflowed the host stack around 100k here.
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let v0 = b.new_value();
+        b.write_var(0, entry, v0);
+        let mut prev = entry;
+        for _ in 0..200_000 {
+            let blk = b.new_block();
+            b.add_pred(blk, prev);
+            b.seal_block(blk);
+            prev = blk;
+        }
+        let got = b.read_var(0, prev);
+        assert_eq!(b.resolve(got), v0);
+    }
+
+    #[test]
+    fn deep_diamond_chain_seals_without_recursion() {
+        // 100k sequential diamonds, each writing the variable in one arm:
+        // every join needs a phi whose operands come from the previous
+        // join's phi — the longest acyclic chain the seal path walks.
+        let mut b = SsaBuilder::new();
+        let entry = b.new_block();
+        b.seal_block(entry);
+        let v0 = b.new_value();
+        b.write_var(0, entry, v0);
+        let mut prev = entry;
+        for _ in 0..100_000 {
+            let (t, e, join) = (b.new_block(), b.new_block(), b.new_block());
+            b.add_pred(t, prev);
+            b.add_pred(e, prev);
+            b.seal_block(t);
+            b.seal_block(e);
+            let w = b.new_value();
+            b.write_var(0, t, w);
+            b.add_pred(join, t);
+            b.add_pred(join, e);
+            b.seal_block(join);
+            prev = join;
+        }
+        let v = b.read_var(0, prev);
+        b.finish();
+        assert!(b.is_phi(v));
     }
 
     #[test]

@@ -614,3 +614,115 @@ fn tag_increment_discipline_gives_distinct_adjacent_tags() {
         assert!(err.is_memory_safety_violation(), "seed {seed}: {err}");
     }
 }
+
+// ---- Prescan robustness: malformed IR errors instead of panicking ----
+
+#[test]
+fn break_outside_loop_is_an_error() {
+    let mut b = FunctionBuilder::new("bad", &[], None);
+    b.stmt(Stmt::Break);
+    let mut m = IrModule::new();
+    m.functions.push(b.finish());
+    assert!(matches!(
+        lower(&m, &LowerOptions::default()),
+        Err(cage_ir::LowerError::Malformed("break outside loop"))
+    ));
+}
+
+#[test]
+fn continue_outside_loop_is_an_error() {
+    let mut b = FunctionBuilder::new("bad", &[], None);
+    b.stmt(Stmt::Continue);
+    let mut m = IrModule::new();
+    m.functions.push(b.finish());
+    assert!(matches!(
+        lower(&m, &LowerOptions::default()),
+        Err(cage_ir::LowerError::Malformed("continue outside loop"))
+    ));
+}
+
+#[test]
+fn float_pointer_index_is_an_error() {
+    let mut b = FunctionBuilder::new("bad", &[IrType::Ptr], Some(IrType::I64));
+    let addr = b.assign(
+        IrType::Ptr,
+        Expr::Gep {
+            base: b.param(0),
+            index: Operand::ConstF64(1.5),
+            scale: 8,
+            offset: 0,
+        },
+    );
+    let v = b.load(MemTy::I64, addr, 0);
+    b.stmt(Stmt::Return(Some(v)));
+    let mut m = IrModule::new();
+    m.functions.push(b.finish());
+    assert!(matches!(
+        lower(&m, &LowerOptions::default()),
+        Err(cage_ir::LowerError::Malformed(
+            "float used as pointer index"
+        ))
+    ));
+}
+
+#[test]
+fn integer_only_operator_on_f64_is_an_error() {
+    let mut b = FunctionBuilder::new("bad", &[IrType::F64], Some(IrType::F64));
+    let r = b.binop(BinOp::RemS, IrType::F64, b.param(0), Operand::ConstF64(2.0));
+    b.stmt(Stmt::Return(Some(r)));
+    let mut m = IrModule::new();
+    m.functions.push(b.finish());
+    assert!(matches!(
+        lower(&m, &LowerOptions::default()),
+        Err(cage_ir::LowerError::Malformed("operator undefined on f64"))
+    ));
+}
+
+#[test]
+fn nesting_beyond_limits_is_rejected_before_recursion() {
+    // 100k nested ifs: plain `lower` would recurse over them, so the
+    // limited entry point must reject the body in its iterative prescan.
+    let mut b = FunctionBuilder::new("deep", &[], None);
+    b.stmt(Stmt::Return(None));
+    let mut f = b.finish();
+    let mut body = std::mem::take(&mut f.body);
+    for _ in 0..100_000 {
+        body = vec![Stmt::If {
+            cond: Operand::ConstI32(1),
+            then: body,
+            els: vec![],
+        }];
+    }
+    f.body = body;
+    let mut m = IrModule::new();
+    m.functions.push(f);
+    let limits = cage_wasm::CompileLimits::default();
+    let err = cage_ir::lower_with_limits(&m, &LowerOptions::default(), &limits, &limits.fuel())
+        .unwrap_err();
+    assert!(
+        matches!(err, cage_ir::LowerError::Limit(ref e) if e.what == "statement nesting depth")
+    );
+    // Dropping the 100k-deep tree would itself recurse through nested
+    // Vec drops in some layouts; unravel it iteratively instead.
+    let mut flat: Vec<Stmt> = Vec::new();
+    let mut work = std::mem::take(&mut m.functions[0].body);
+    while let Some(stmt) = work.pop() {
+        match stmt {
+            Stmt::If { then, els, .. } => {
+                work.extend(then);
+                work.extend(els);
+            }
+            other => flat.push(other),
+        }
+    }
+    drop(flat);
+}
+
+#[test]
+fn compile_fuel_exhaustion_is_reported() {
+    let m = sum_array_module();
+    let limits = cage_wasm::CompileLimits::default();
+    let fuel = cage_wasm::CompileFuel::new(2);
+    let err = cage_ir::lower_with_limits(&m, &LowerOptions::default(), &limits, &fuel).unwrap_err();
+    assert!(matches!(err, cage_ir::LowerError::Limit(ref e) if e.what == "compile fuel"));
+}

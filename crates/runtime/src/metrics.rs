@@ -82,6 +82,9 @@ pub struct PoolMetrics {
     /// Checked-out instances never released before the pool was dropped
     /// (the leak detector's tally).
     pub leaked: u64,
+    /// Modules refused at template-build time because they exceeded a
+    /// compile limit (counted via `Pool::record_rejection`).
+    pub rejected: u64,
 }
 
 impl PoolMetrics {
@@ -103,6 +106,7 @@ impl PoolMetrics {
         self.quarantined += other.quarantined;
         self.exhausted += other.exhausted;
         self.leaked += other.leaked;
+        self.rejected += other.rejected;
     }
 }
 

@@ -83,6 +83,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -93,7 +94,7 @@ use cage_engine::{InstanceHandle, InstanceLimits, Precompiled, Store, Trap, Valu
 use cage_libc::Libc;
 use cage_mte::Core;
 use cage_runtime::{Linker, PoolMetrics, Variant};
-use cage_wasm::Module;
+use cage_wasm::{CompileLimits, LimitError, Module};
 
 mod chaos;
 
@@ -158,6 +159,15 @@ pub enum ServeError {
         /// The cap that was hit.
         capacity: usize,
     },
+    /// The module exceeded a compile limit at template-build time — too
+    /// big or too deep to ingest under the serving tier's
+    /// [`CompileLimits`]. The tenant's module is refused, not the server
+    /// degraded; count it with [`Pool::record_rejection`].
+    Rejected(LimitError),
+    /// A compile stage panicked while building the template. The panic
+    /// was caught at the [`InstancePre`] boundary (the worker is fine)
+    /// and counted in [`compile_panic_count`]; the module is refused.
+    CompilePanic(String),
 }
 
 impl fmt::Display for ServeError {
@@ -168,6 +178,10 @@ impl fmt::Display for ServeError {
             ServeError::Exhausted { capacity } => {
                 write!(f, "pool exhausted: all {capacity} slots in use")
             }
+            ServeError::Rejected(l) => write!(f, "module rejected: {l}"),
+            ServeError::CompilePanic(msg) => {
+                write!(f, "internal compiler panic (caught): {msg}")
+            }
         }
     }
 }
@@ -176,7 +190,10 @@ impl std::error::Error for ServeError {}
 
 impl From<InstantiateError> for ServeError {
     fn from(e: InstantiateError) -> Self {
-        ServeError::Instantiate(e)
+        match e {
+            InstantiateError::CompileLimit(l) => ServeError::Rejected(l),
+            other => ServeError::Instantiate(other),
+        }
     }
 }
 
@@ -202,24 +219,87 @@ pub struct InstancePre {
     host: HostProfile,
 }
 
+/// Compile stages that panicked while building an [`InstancePre`] and
+/// were caught at the template boundary (each one is a toolchain bug —
+/// the pipeline is supposed to reject every input with a structured
+/// error).
+static TEMPLATE_COMPILE_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// How many template builds have ever panicked inside a compile stage
+/// (and been converted to [`ServeError::CompilePanic`]). Process-wide,
+/// monotonic — a serving fleet alerts on any increase.
+#[must_use]
+pub fn compile_panic_count() -> u64 {
+    TEMPLATE_COMPILE_PANICS.load(Ordering::Relaxed)
+}
+
+/// Renders a caught panic payload for diagnostics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 impl InstancePre {
-    /// Compiles `module` once into a template for `variant` on `core`.
+    /// Compiles `module` once into a template for `variant` on `core`,
+    /// under the default (generous) [`CompileLimits`].
     ///
     /// `heap_base` is where the hardened libc's allocator starts (the
     /// module's `__heap_base`); it is ignored for [`HostProfile::Empty`].
     ///
     /// # Errors
     ///
-    /// [`InstantiateError`] when the module fails validation.
+    /// [`ServeError::Rejected`] when the module exceeds a compile limit,
+    /// [`ServeError::Instantiate`] when it fails validation, and
+    /// [`ServeError::CompilePanic`] if a compile stage panicked (caught
+    /// here — the worker survives).
     pub fn new(
         variant: Variant,
         core: Core,
         module: &Module,
         heap_base: u64,
         host: HostProfile,
-    ) -> Result<Self, InstantiateError> {
+    ) -> Result<Self, ServeError> {
+        Self::with_limits(
+            variant,
+            core,
+            module,
+            heap_base,
+            host,
+            &CompileLimits::default(),
+        )
+    }
+
+    /// Like [`InstancePre::new`] with an explicit per-tenant limit
+    /// policy — e.g. a tighter tier for anonymous uploads.
+    ///
+    /// # Errors
+    ///
+    /// As [`InstancePre::new`].
+    pub fn with_limits(
+        variant: Variant,
+        core: Core,
+        module: &Module,
+        heap_base: u64,
+        host: HostProfile,
+        limits: &CompileLimits,
+    ) -> Result<Self, ServeError> {
+        // Validation and bytecode compilation both run here, on a
+        // tenant-supplied module: a residual panic in either must take
+        // down this template build, not the worker thread.
+        let pre = match catch_unwind(AssertUnwindSafe(|| {
+            Precompiled::with_limits(module, limits)
+        })) {
+            Ok(result) => result?,
+            Err(payload) => {
+                TEMPLATE_COMPILE_PANICS.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::CompilePanic(panic_message(&*payload)));
+            }
+        };
         Ok(InstancePre {
-            pre: Precompiled::new(module)?,
+            pre,
             heap_base,
             variant,
             core,
@@ -581,6 +661,15 @@ impl Pool {
     #[must_use]
     pub fn quarantined(&self) -> usize {
         self.quarantined
+    }
+
+    /// Records a module refused at template-build time
+    /// ([`ServeError::Rejected`] / [`ServeError::CompilePanic`] from
+    /// [`InstancePre::new`]) in this pool's metrics, so per-worker
+    /// rejection counts merge into the fleet totals alongside
+    /// `exhausted` and `quarantined`.
+    pub fn record_rejection(&mut self) {
+        self.metrics.rejected += 1;
     }
 
     /// Snapshot of the pool totals.
@@ -997,6 +1086,66 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn limit_busting_module_is_rejected_and_counted() {
+        use cage_wasm::builder::ModuleBuilder;
+        use cage_wasm::{Instr, ValType};
+
+        // 5k instructions against a 1k op bound: the template build must
+        // refuse the module with `Rejected`, not wedge the worker.
+        let mut b = ModuleBuilder::new();
+        let mut body = Vec::new();
+        for _ in 0..2_500 {
+            body.push(Instr::I64Const(1));
+            body.push(Instr::Drop);
+        }
+        body.push(Instr::I64Const(0));
+        let f = b.add_function(&[], &[ValType::I64], &[], body);
+        b.export_func("run", f);
+        let module = b.build();
+
+        let tight = CompileLimits {
+            max_body_ops: 1_000,
+            ..CompileLimits::generous()
+        };
+        let err = InstancePre::with_limits(
+            Variant::BaselineWasm64,
+            Core::CortexX3,
+            &module,
+            0,
+            HostProfile::Empty,
+            &tight,
+        )
+        .expect_err("5k ops against a 1k bound");
+        match err {
+            ServeError::Rejected(l) => assert_eq!(l.what, "body ops"),
+            other => panic!("expected Rejected, got {other}"),
+        }
+
+        // The same module sails through the default limits, and the
+        // worker's pool ledger can absorb the earlier rejection.
+        let pre = Arc::new(
+            InstancePre::new(
+                Variant::BaselineWasm64,
+                Core::CortexX3,
+                &module,
+                0,
+                HostProfile::Empty,
+            )
+            .expect("fine under default limits"),
+        );
+        let mut pool = Pool::new(pre);
+        pool.record_rejection();
+        let inst = pool.checkout().unwrap();
+        assert_eq!(pool.invoke(&inst, "run", &[]).unwrap(), vec![Value::I64(0)]);
+        pool.release(inst);
+
+        let mut fleet = PoolMetrics::default();
+        fleet.merge(&pool.metrics());
+        assert_eq!(fleet.rejected, 1, "rejection merges into fleet totals");
+        assert_eq!(compile_panic_count(), 0, "no stage panicked");
     }
 
     #[cfg(debug_assertions)]

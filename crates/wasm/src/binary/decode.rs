@@ -39,6 +39,19 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Maximum `block`/`loop`/`if` nesting the decoder accepts. Decoding
+/// itself is iterative, but the `Instr` tree it builds is consumed (and
+/// eventually dropped) by recursive walkers, so the nesting of what we
+/// hand out must stay bounded; this is above the default
+/// [`crate::CompileLimits`] nesting bound and far above anything the
+/// toolchain emits.
+const MAX_DECODE_DEPTH: usize = 400;
+
+/// Maximum declared locals the decoder expands. A local run is two bytes
+/// of input but declares up to 2^32 locals, so the expansion must be
+/// capped independently of input length.
+const MAX_DECODE_LOCALS: usize = 1_000_000;
+
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -47,6 +60,13 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn err(&self, message: impl Into<String>) -> DecodeError {
         DecodeError::new(self.pos, message)
+    }
+
+    /// A `Vec` capacity claim bounded by the input actually left: every
+    /// decoded element consumes at least one byte, so a hostile count
+    /// cannot reserve more memory than the input could ever fill.
+    fn capacity_hint(&self, claimed: usize) -> usize {
+        claimed.min(self.bytes.len() - self.pos)
     }
 
     fn byte(&mut self) -> Result<u8, DecodeError> {
@@ -186,16 +206,59 @@ impl<'a> Reader<'a> {
         }
     }
 
-    /// Parses an instruction sequence up to (and consuming) a terminator.
-    /// Returns the instructions and the terminator opcode (`0x0B` end or
-    /// `0x05` else).
-    fn instr_seq(&mut self) -> Result<(Vec<Instr>, u8), DecodeError> {
-        let mut out = Vec::new();
+    /// Parses a full instruction sequence up to (and consuming) its
+    /// terminating `end`, with an explicit stack for `block`/`loop`/`if`
+    /// nesting — no host-stack recursion, however deep the input nests.
+    fn instr_seq(&mut self) -> Result<Vec<Instr>, DecodeError> {
+        enum Open {
+            Block(BlockType),
+            Loop(BlockType),
+            /// `if` whose then-arm is still being decoded.
+            Then(BlockType),
+            /// `if` whose else-arm is being decoded (then-arm finished).
+            Else(BlockType, Vec<Instr>),
+        }
+        let mut open: Vec<(Open, Vec<Instr>)> = Vec::new();
+        let mut cur: Vec<Instr> = Vec::new();
         loop {
             let op = self.byte()?;
             match op {
-                0x0B | 0x05 => return Ok((out, op)),
-                _ => out.push(self.instr(op)?),
+                0x0B => {
+                    // `end`: close the innermost construct, or finish.
+                    let Some((kind, outer)) = open.pop() else {
+                        return Ok(cur);
+                    };
+                    let inner = std::mem::replace(&mut cur, outer);
+                    cur.push(match kind {
+                        Open::Block(bt) => Instr::Block(bt, inner),
+                        Open::Loop(bt) => Instr::Loop(bt, inner),
+                        Open::Then(bt) => Instr::If(bt, inner, Vec::new()),
+                        Open::Else(bt, then_arm) => Instr::If(bt, then_arm, inner),
+                    });
+                }
+                0x05 => match open.pop() {
+                    Some((Open::Then(bt), outer)) => {
+                        let then_arm = std::mem::take(&mut cur);
+                        open.push((Open::Else(bt, then_arm), outer));
+                    }
+                    _ => return Err(self.err("else outside if")),
+                },
+                0x02..=0x04 => {
+                    if open.len() >= MAX_DECODE_DEPTH {
+                        return Err(self.err(format!(
+                            "instruction nesting exceeds the {MAX_DECODE_DEPTH}-level \
+                             decode limit"
+                        )));
+                    }
+                    let bt = self.block_type()?;
+                    let kind = match op {
+                        0x02 => Open::Block(bt),
+                        0x03 => Open::Loop(bt),
+                        _ => Open::Then(bt),
+                    };
+                    open.push((kind, std::mem::take(&mut cur)));
+                }
+                _ => cur.push(self.instr(op)?),
             }
         }
     }
@@ -205,41 +268,11 @@ impl<'a> Reader<'a> {
         Ok(match op {
             0x00 => Unreachable,
             0x01 => Nop,
-            0x02 => {
-                let bt = self.block_type()?;
-                let (body, term) = self.instr_seq()?;
-                if term != 0x0B {
-                    return Err(self.err("block terminated by else"));
-                }
-                Block(bt, body)
-            }
-            0x03 => {
-                let bt = self.block_type()?;
-                let (body, term) = self.instr_seq()?;
-                if term != 0x0B {
-                    return Err(self.err("loop terminated by else"));
-                }
-                Loop(bt, body)
-            }
-            0x04 => {
-                let bt = self.block_type()?;
-                let (then, term) = self.instr_seq()?;
-                let els = if term == 0x05 {
-                    let (els, term2) = self.instr_seq()?;
-                    if term2 != 0x0B {
-                        return Err(self.err("else terminated by else"));
-                    }
-                    els
-                } else {
-                    Vec::new()
-                };
-                If(bt, then, els)
-            }
             0x0C => Br(self.u32()?),
             0x0D => BrIf(self.u32()?),
             0x0E => {
                 let n = self.u32()? as usize;
-                let mut targets = Vec::with_capacity(n);
+                let mut targets = Vec::with_capacity(self.capacity_hint(n));
                 for _ in 0..n {
                     targets.push(self.u32()?);
                 }
@@ -519,12 +552,12 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                         return Err(r.err("function type must start with 0x60"));
                     }
                     let np = r.u32()? as usize;
-                    let mut params = Vec::with_capacity(np);
+                    let mut params = Vec::with_capacity(r.capacity_hint(np));
                     for _ in 0..np {
                         params.push(r.valtype()?);
                     }
                     let nr = r.u32()? as usize;
-                    let mut results = Vec::with_capacity(nr);
+                    let mut results = Vec::with_capacity(r.capacity_hint(nr));
                     for _ in 0..nr {
                         results.push(r.valtype()?);
                     }
@@ -599,7 +632,7 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                     let table = r.u32()?;
                     let offset = r.const_offset()?;
                     let count = r.u32()? as usize;
-                    let mut funcs = Vec::with_capacity(count);
+                    let mut funcs = Vec::with_capacity(r.capacity_hint(count));
                     for _ in 0..count {
                         funcs.push(r.u32()?);
                     }
@@ -623,14 +656,16 @@ pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
                     for _ in 0..runs {
                         let count = r.u32()?;
                         let ty = r.valtype()?;
+                        if locals.len() + count as usize > MAX_DECODE_LOCALS {
+                            return Err(r.err(format!(
+                                "local declarations exceed the {MAX_DECODE_LOCALS} decode limit"
+                            )));
+                        }
                         for _ in 0..count {
                             locals.push(ty);
                         }
                     }
-                    let (body, term) = r.instr_seq()?;
-                    if term != 0x0B {
-                        return Err(r.err("function body terminated by else"));
-                    }
+                    let body = r.instr_seq()?;
                     if r.pos != body_end {
                         return Err(r.err("function body size mismatch"));
                     }
@@ -698,6 +733,72 @@ mod tests {
         bytes.push(1); // type section
         bytes.push(100); // claims 100 bytes, but input ends
         assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_block_nesting_without_overflowing() {
+        // One function whose body opens 100k blocks and never closes
+        // them: the decoder must reject at its depth limit instead of
+        // recursing one host frame per level.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[1, 4, 1, 0x60, 0, 0]); // type () -> ()
+        bytes.extend_from_slice(&[3, 2, 1, 0]); // one function of type 0
+        let mut body = vec![0u8]; // zero local runs
+        for _ in 0..100_000 {
+            body.extend_from_slice(&[0x02, 0x40]); // block (empty)
+        }
+        let mut code = Vec::new();
+        code.push(1u8); // one body
+        crate::leb::write_u32(&mut code, body.len() as u32);
+        code.extend_from_slice(&body);
+        bytes.push(10);
+        crate::leb::write_u32(&mut bytes, code.len() as u32);
+        bytes.extend_from_slice(&code);
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn huge_count_claims_do_not_preallocate() {
+        // A br_table claiming u32::MAX targets in a 20-byte input: the
+        // capacity hint must be bounded by the bytes actually present.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[1, 4, 1, 0x60, 0, 0]);
+        bytes.extend_from_slice(&[3, 2, 1, 0]);
+        let mut body = vec![0u8];
+        body.push(0x41); // i32.const
+        body.push(0);
+        body.push(0x0E); // br_table
+        crate::leb::write_u32(&mut body, u32::MAX); // hostile target count
+        let mut code = Vec::new();
+        code.push(1u8);
+        crate::leb::write_u32(&mut code, body.len() as u32);
+        code.extend_from_slice(&body);
+        bytes.push(10);
+        crate::leb::write_u32(&mut bytes, code.len() as u32);
+        bytes.extend_from_slice(&code);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_local_count_bombs() {
+        // Two bytes of input declaring 2^32 - 1 locals.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[1, 4, 1, 0x60, 0, 0]);
+        bytes.extend_from_slice(&[3, 2, 1, 0]);
+        let mut body = vec![1u8]; // one local run
+        crate::leb::write_u32(&mut body, u32::MAX); // count
+        body.push(0x7E); // i64
+        body.push(0x0B); // end
+        let mut code = Vec::new();
+        code.push(1u8);
+        crate::leb::write_u32(&mut code, body.len() as u32);
+        code.extend_from_slice(&body);
+        bytes.push(10);
+        crate::leb::write_u32(&mut bytes, code.len() as u32);
+        bytes.extend_from_slice(&code);
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.message.contains("local"), "{err}");
     }
 
     #[test]

@@ -51,12 +51,14 @@ pub mod binary;
 pub mod builder;
 pub mod instr;
 pub mod leb;
+pub mod limits;
 pub mod module;
 pub mod text;
 pub mod types;
 pub mod validate;
 
 pub use instr::{BlockType, Instr, MemArg};
+pub use limits::{CompileFuel, CompileLimits, LimitError};
 pub use module::{Data, Elem, Export, ExportKind, Function, Global, Import, ImportKind, Module};
 pub use types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
-pub use validate::{numeric_signature, validate, ValidationError};
+pub use validate::{numeric_signature, validate, validate_with_limits, ValidationError};

@@ -15,6 +15,7 @@
 use std::fmt;
 
 use crate::instr::Instr;
+use crate::limits::{CompileFuel, CompileLimits, LimitError};
 use crate::module::{ExportKind, ImportKind, Module};
 use crate::types::{FuncType, ValType};
 
@@ -25,6 +26,9 @@ pub struct ValidationError {
     pub func: Option<u32>,
     /// Human-readable description.
     pub message: String,
+    /// Set when the failure is a resource-limit violation rather than a
+    /// type error (see [`ValidationError::limit`]).
+    limit: Option<LimitError>,
 }
 
 impl ValidationError {
@@ -32,6 +36,25 @@ impl ValidationError {
         ValidationError {
             func: None,
             message: message.into(),
+            limit: None,
+        }
+    }
+
+    /// The [`LimitError`] behind this failure, when the module was
+    /// rejected for exceeding a [`CompileLimits`] bound rather than for
+    /// being ill-typed.
+    #[must_use]
+    pub fn limit(&self) -> Option<&LimitError> {
+        self.limit.as_ref()
+    }
+}
+
+impl From<LimitError> for ValidationError {
+    fn from(e: LimitError) -> Self {
+        ValidationError {
+            func: None,
+            message: e.to_string(),
+            limit: Some(e),
         }
     }
 }
@@ -69,6 +92,29 @@ pub fn validate(module: &Module) -> VResult<()> {
         })?;
     }
     Ok(())
+}
+
+/// Validates a module under [`CompileLimits`]: the iterative size/depth
+/// pre-scan runs *first* (so hostile bodies are rejected before the
+/// recursive type-checking walk touches them), each op charges `fuel`,
+/// and only then does ordinary validation run.
+///
+/// # Errors
+///
+/// A [`ValidationError`] carrying a [`LimitError`] (see
+/// [`ValidationError::limit`]) for limit violations, or the first
+/// ordinary validation failure.
+pub fn validate_with_limits(
+    module: &Module,
+    limits: &CompileLimits,
+    fuel: &CompileFuel,
+) -> VResult<()> {
+    limits.check_module(module)?;
+    for func in &module.funcs {
+        let stats = crate::limits::body_stats(&func.body, limits.max_body_ops);
+        fuel.charge(stats.ops as u64)?;
+    }
+    validate(module)
 }
 
 fn validate_structure(module: &Module) -> VResult<()> {

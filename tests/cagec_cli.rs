@@ -1,7 +1,9 @@
-//! CLI tests for `cagec --dump-bytecode`: the disassembly must show the
-//! register bytecode the interpreter executes — pcs, 3-address ops over
-//! linear-scan slots, resolved branch targets, charge recipes — and
-//! unknown functions must fail with the usage exit code.
+//! CLI tests for `cagec`: the `--dump-bytecode` disassembly must show
+//! the register bytecode the interpreter executes — pcs, 3-address ops
+//! over linear-scan slots, resolved branch targets, charge recipes —
+//! unknown functions must fail with the usage exit code, and hostile
+//! inputs (empty, binary, limit-busting) must exit with the documented
+//! codes rather than crash.
 
 use std::process::Command;
 
@@ -163,6 +165,50 @@ fn dump_bytecode_renders_register_form() {
     // Dissolved stack shuffles survive as charge-recipe letters (the
     // load absorbs simple charges plus its own memory charge).
     assert!(stdout.contains("; charges ssm"), "{stdout}");
+}
+
+#[test]
+fn empty_source_compiles_without_crashing() {
+    let program = tempfile::with_suffix(".c", "");
+    let out = cagec()
+        .arg(program.path())
+        .args(["--variant", "wasm64", "--list-exports"])
+        .output()
+        .expect("cagec runs");
+    assert!(
+        out.status.success(),
+        "empty input must compile to an empty module, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn non_utf8_source_is_a_clean_compile_error() {
+    let program = tempfile::with_suffix(".c", "long f() { return 1; }");
+    std::fs::write(program.path(), [0x6c, 0x6f, 0x6e, 0x67, 0xff, 0xfe, 0x00])
+        .expect("write binary garbage");
+    let out = cagec().arg(program.path()).output().expect("cagec runs");
+    assert_eq!(out.status.code(), Some(1), "compile-error exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not valid UTF-8"), "{stderr}");
+}
+
+#[test]
+fn limit_busting_source_exits_with_code_5() {
+    // 300 paren levels: double the parser's stack-safe nesting bound.
+    // The rejection must be the dedicated limit exit code, so callers
+    // can tell "program too big" from "program malformed".
+    let source = format!(
+        "long f() {{ return {}1{}; }}",
+        "(".repeat(300),
+        ")".repeat(300)
+    );
+    let program = tempfile::with_suffix(".c", &source);
+    let out = cagec().arg(program.path()).output().expect("cagec runs");
+    assert_eq!(out.status.code(), Some(5), "limit exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("compile limit exceeded"), "{stderr}");
+    assert!(stderr.contains("nesting depth"), "{stderr}");
 }
 
 #[test]

@@ -2,16 +2,20 @@
 //!
 //! Runs each hot-path kernel (the same sources and arguments as
 //! `benches/hotpath.rs`, plus PolyBench gemm) a fixed number of times per
-//! variant, and writes `results/bench_hotpath.json` mapping kernel →
-//! median wall-clock nanoseconds — so the interpreter's performance
-//! trajectory is recorded per PR instead of living only in commit
+//! variant — under both the standard pipeline and the full IR optimiser
+//! — and writes `results/bench_hotpath.json` mapping kernel → median
+//! wall-clock nanoseconds and retired instruction count, so the
+//! interpreter's performance trajectory (and the optimiser's
+//! retired-op win) is recorded per PR instead of living only in commit
 //! messages. Instantiation happens outside the timed region; only guest
-//! execution is measured, exactly like the criterion bench.
+//! execution is measured, exactly like the criterion bench. The
+//! hand-built `br_table` modules bypass the C→IR pipeline, so they are
+//! recorded once per variant under the standard pipeline only.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cage::{Engine, Linker, Value, Variant};
+use cage::{Engine, Linker, OptPasses, Value, Variant};
 use cage_bench::hotpath::{branch_module, c_kernels};
 
 const SAMPLES: usize = 10;
@@ -36,9 +40,11 @@ fn median_ns<I>(mut setup: impl FnMut() -> I, mut run: impl FnMut(I)) -> (u128, 
 struct Row {
     kernel: String,
     variant: &'static str,
+    pipeline: &'static str,
     median_ns: u128,
     min_ns: u128,
     max_ns: u128,
+    retired: u64,
 }
 
 fn main() {
@@ -46,24 +52,61 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
     for variant in variants {
-        let engine = Engine::new(variant);
-        for (name, source, arg) in c_kernels() {
-            let artifact = engine.compile(source).expect("kernel builds");
+        let pipelines = [
+            ("standard", Engine::new(variant)),
+            (
+                "opt",
+                Engine::builder(variant)
+                    .opt_passes(OptPasses::full())
+                    .build(),
+            ),
+        ];
+        for (pipeline, engine) in &pipelines {
+            for (name, source, arg) in c_kernels() {
+                let artifact = engine.compile(source).expect("kernel builds");
+                let (median, min, max) = median_ns(
+                    || engine.instantiate(&artifact).expect("instantiates"),
+                    |mut inst| {
+                        let t = inst.invoke("run", &[Value::I64(arg)]).expect("runs");
+                        std::hint::black_box(t);
+                    },
+                );
+                let mut probe = engine.instantiate(&artifact).expect("instantiates");
+                probe.invoke("run", &[Value::I64(arg)]).expect("runs");
+                rows.push(Row {
+                    kernel: name.to_string(),
+                    variant: variant.label(),
+                    pipeline,
+                    median_ns: median,
+                    min_ns: min,
+                    max_ns: max,
+                    retired: probe.instr_count(),
+                });
+            }
+
+            // PolyBench gemm: the paper suite's float/memory workhorse.
+            let gemm = cage_polybench::kernel("gemm").expect("gemm in suite");
+            let artifact = engine.compile(gemm.source).expect("gemm builds");
             let (median, min, max) = median_ns(
                 || engine.instantiate(&artifact).expect("instantiates"),
                 |mut inst| {
-                    let t = inst.invoke("run", &[Value::I64(arg)]).expect("runs");
+                    let t = inst.invoke("run", &[]).expect("runs");
                     std::hint::black_box(t);
                 },
             );
+            let mut probe = engine.instantiate(&artifact).expect("instantiates");
+            probe.invoke("run", &[]).expect("runs");
             rows.push(Row {
-                kernel: name.to_string(),
+                kernel: "gemm".to_string(),
                 variant: variant.label(),
+                pipeline,
                 median_ns: median,
                 min_ns: min,
                 max_ns: max,
+                retired: probe.instr_count(),
             });
         }
+        let engine = Engine::new(variant);
 
         // Hand-built br_table kernels through the raw runtime.
         let module = branch_module();
@@ -83,45 +126,35 @@ fn main() {
                     std::hint::black_box(t);
                 },
             );
+            let mut rt = engine.runtime();
+            let token = rt
+                .instantiate_linked(&module, 0, &Linker::new())
+                .expect("instantiates");
+            rt.invoke(token, export, &[Value::I64(500_000)])
+                .expect("runs");
             rows.push(Row {
                 kernel: format!("br_table_{export}"),
                 variant: variant.label(),
+                pipeline: "standard",
                 median_ns: median,
                 min_ns: min,
                 max_ns: max,
+                retired: rt.instr_count(token),
             });
         }
-
-        // PolyBench gemm: the paper suite's float/memory workhorse.
-        let gemm = cage_polybench::kernel("gemm").expect("gemm in suite");
-        let artifact = engine.compile(gemm.source).expect("gemm builds");
-        let (median, min, max) = median_ns(
-            || engine.instantiate(&artifact).expect("instantiates"),
-            |mut inst| {
-                let t = inst.invoke("run", &[]).expect("runs");
-                std::hint::black_box(t);
-            },
-        );
-        rows.push(Row {
-            kernel: "gemm".to_string(),
-            variant: variant.label(),
-            median_ns: median,
-            min_ns: min,
-            max_ns: max,
-        });
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"cage-bench-hotpath/1\",");
+    let _ = writeln!(json, "  \"schema\": \"cage-bench-hotpath/2\",");
     let _ = writeln!(json, "  \"samples\": {SAMPLES},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"median_ns\": {}, \
-             \"min_ns\": {}, \"max_ns\": {}}}{comma}",
-            r.kernel, r.variant, r.median_ns, r.min_ns, r.max_ns
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"pipeline\": \"{}\", \
+             \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"retired\": {}}}{comma}",
+            r.kernel, r.variant, r.pipeline, r.median_ns, r.min_ns, r.max_ns, r.retired
         );
     }
     json.push_str("  ]\n}\n");
@@ -130,8 +163,8 @@ fn main() {
     println!("wrote {}", path.display());
     for r in &rows {
         println!(
-            "{:<20} {:<16} median {:>12} ns",
-            r.kernel, r.variant, r.median_ns
+            "{:<20} {:<16} {:<9} median {:>12} ns, {:>10} retired",
+            r.kernel, r.variant, r.pipeline, r.median_ns, r.retired
         );
     }
 }

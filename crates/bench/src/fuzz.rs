@@ -32,7 +32,7 @@ use cage::engine::{ExecConfig, Imports, Store, Trap, Value};
 use cage::serve::{HostProfile, InstancePre, ServeError};
 use cage::wasm::builder::ModuleBuilder;
 use cage::wasm::{BlockType, CompileLimits, Instr, Module, ValType};
-use cage::{Core, Engine, Error, Variant};
+use cage::{Core, Engine, Error, OptPasses, Variant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -84,6 +84,9 @@ pub struct FuzzReport {
     pub decode_rejected: u64,
     /// Accepted modules run through all three execution tiers.
     pub differential_runs: u64,
+    /// Accepted C sources swept across pipeline configs (no-opt,
+    /// standard, full-opt) with cross-config outcome comparison.
+    pub pipeline_sweeps: u64,
     /// Compile-stage panics caught by the backstops (must be zero).
     pub compile_panics: u64,
     /// Largest frontend fuel consumption observed on the sampled cases.
@@ -335,6 +338,76 @@ fn i64_exports(module: &Module) -> Vec<(u32, usize)> {
 /// One execution tier's entry point, for the differential driver.
 type Tier = fn(&mut Store, cage::engine::InstanceHandle, u32, &[Value]) -> Result<Vec<Value>, Trap>;
 
+/// Per-export outcomes of one module on the register tier.
+type ExportOutcomes = Vec<Result<Vec<Value>, Trap>>;
+
+/// Register-tier outcome of every i64 export under a fuel budget —
+/// the observable the pipeline sweep compares across configs.
+/// `None` when the module needs imports (e.g. a mutant that calls
+/// `malloc`); the sweep skips such sources, matching `run_differential`.
+fn register_outcomes(module: &Module) -> Option<ExportOutcomes> {
+    i64_exports(module)
+        .into_iter()
+        .map(|(func_idx, arity)| {
+            let mut store = Store::new(ExecConfig::default());
+            let handle = store.instantiate(module, &Imports::new()).ok()?;
+            store.set_fuel(handle, Some(200_000));
+            Some(store.call(handle, func_idx, &vec![Value::I64(3); arity]))
+        })
+        .collect()
+}
+
+/// Sweeps one accepted C source across the three `PipelineConfig`
+/// levels: each level's module runs all three execution tiers (they
+/// must agree), and the register-tier outcomes are compared across
+/// levels — the optimiser may only change *cost*, never values or
+/// traps. Returns whether a full cross-level comparison happened.
+///
+/// # Panics
+///
+/// Panics on any cross-config or cross-tier divergence — that is the
+/// fuzz finding.
+fn sweep_pipelines(source: &str, sweep_engines: &[Engine; 3]) -> bool {
+    let mut modules = Vec::new();
+    for engine in sweep_engines {
+        match engine.compile(source) {
+            Ok(artifact) => modules.push(artifact.module().clone()),
+            // A level rejecting what another accepted is legitimate:
+            // the extended passes charge more compile fuel.
+            Err(_) => return false,
+        }
+    }
+    let Some(outcomes): Option<Vec<ExportOutcomes>> =
+        modules.iter().map(register_outcomes).collect()
+    else {
+        return false;
+    };
+    if outcomes
+        .iter()
+        .flatten()
+        .any(|o| matches!(o, Err(Trap::FuelExhausted)))
+    {
+        // Fuel exhaustion is the one legitimate cross-level divergence
+        // (fewer retired ops stretch the same budget further) — and the
+        // tree oracle below does not implement fuel at all, so an
+        // unbounded mutant (`for(;;)`) would hang it. Any level running
+        // dry skips both comparisons.
+        return false;
+    }
+    // The register tier completed on every level, so execution is
+    // bounded and the fuel-less tree oracle is safe to run.
+    for module in &modules {
+        run_differential(module);
+    }
+    for (level, other) in outcomes.iter().enumerate().skip(1) {
+        assert_eq!(
+            &outcomes[0], other,
+            "pipeline level {level} diverged from no-opt on accepted source:\n{source}"
+        );
+    }
+    true
+}
+
 /// Runs one accepted, import-free module through all three execution
 /// tiers under a fuel budget and asserts they agree on every export.
 ///
@@ -390,6 +463,17 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
     };
     let corpus = c_corpus();
     let engines: Vec<Engine> = Variant::ALL.iter().map(|&v| Engine::new(v)).collect();
+    // One engine per pipeline level for the optimiser sweep, all on the
+    // same variant so the only degree of freedom is the pass set.
+    let sweep_engines = [
+        Engine::builder(Variant::BaselineWasm64)
+            .optimize(false)
+            .build(),
+        Engine::builder(Variant::BaselineWasm64).build(),
+        Engine::builder(Variant::BaselineWasm64)
+            .opt_passes(OptPasses::full())
+            .build(),
+    ];
 
     // Module seeds: hand-built br_table nests plus real lowered C.
     let mut module_seeds: Vec<Module> = vec![hotpath::branch_module(), small_module()];
@@ -410,7 +494,12 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
                 let mutated = mutate_source(&mut rng, seed, other);
                 let engine = &engines[(case as usize / 3) % engines.len()];
                 match engine.compile(&mutated) {
-                    Ok(_) => report.c_accepted += 1,
+                    Ok(_) => {
+                        report.c_accepted += 1;
+                        if sweep_pipelines(&mutated, &sweep_engines) {
+                            report.pipeline_sweeps += 1;
+                        }
+                    }
                     Err(e) if e.limit().is_some() => report.c_limit += 1,
                     Err(Error::CompilePanic { message }) => {
                         panic!("compile panic leaked to the report: {message}")
@@ -512,6 +601,7 @@ mod tests {
         let a = run(&config);
         let b = run(&config);
         assert_eq!(a.c_accepted, b.c_accepted);
+        assert_eq!(a.pipeline_sweeps, b.pipeline_sweeps);
         assert_eq!(a.module_rejected, b.module_rejected);
         assert_eq!(a.decode_rejected, b.decode_rejected);
         assert_eq!(a.compile_panics, 0);

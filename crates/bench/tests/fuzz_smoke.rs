@@ -29,6 +29,9 @@ fn seeded_sweep_is_panic_free_and_bounded() {
     // differential (otherwise the three-tier check is dead code).
     assert!(report.c_accepted > 0, "{report:?}");
     assert!(report.differential_runs > 0, "{report:?}");
+    // The optimiser sweep is live: at least one accepted C source was
+    // compiled at every pipeline level and compared across them.
+    assert!(report.pipeline_sweeps > 0, "{report:?}");
     // The sampled frontend runs stayed inside the fuel budget.
     assert!(
         report.max_frontend_fuel <= cage::wasm::CompileLimits::default().max_compile_fuel,
@@ -37,7 +40,7 @@ fn seeded_sweep_is_panic_free_and_bounded() {
     eprintln!(
         "fuzz: {} cases (seed {:#x}) — C {}/{}/{} ok/limit/malformed, \
          modules {}/{} ok/rejected, decode {}/{} ok/rejected, \
-         {} differential runs, max frontend fuel {}",
+         {} differential runs, {} pipeline sweeps, max frontend fuel {}",
         report.cases,
         config.seed,
         report.c_accepted,
@@ -48,6 +51,7 @@ fn seeded_sweep_is_panic_free_and_bounded() {
         report.decode_accepted,
         report.decode_rejected,
         report.differential_runs,
+        report.pipeline_sweeps,
         report.max_frontend_fuel,
     );
 }

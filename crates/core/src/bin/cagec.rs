@@ -18,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use cage::{Core, Engine, Error, Value, Variant};
+use cage::{Core, Engine, Error, OptPasses, Value, Variant};
 
 /// Compile (or usage/I-O) failure.
 const EXIT_COMPILE: u8 = 1;
@@ -43,6 +43,19 @@ struct Args {
     dump_bytecode: Option<String>,
     stats: bool,
     memory_pages: u64,
+    opt: OptLevel,
+}
+
+/// Optimisation level selected on the command line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OptLevel {
+    /// The standard pipeline (mem2reg, const-fold, DCE).
+    Default,
+    /// `--opt`: standard plus CSE, store-to-load forwarding, strength
+    /// reduction and CFG simplification.
+    Full,
+    /// `-O0`: no optimisation passes at all (sanitizers only).
+    None,
 }
 
 const USAGE: &str = "\
@@ -61,6 +74,10 @@ options:
                    disassemble the flat bytecode of an exported function
                    (pc, op, resolved branch targets)
   --memory <pages> linear memory size in 64 KiB pages (default: 64)
+  --opt            enable the full IR optimiser (CSE, load forwarding,
+                   strength reduction, CFG simplify) on top of the
+                   standard passes
+  -O0              disable all optimisation passes (sanitizers only)
   --stats          print simulated cycles/time and memory report
 
 exit codes: 1 compile error, 2 usage, 3 guest trap, 4 instantiation failure,
@@ -79,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
     let mut dump_bytecode = None;
     let mut stats = false;
     let mut memory_pages = 64;
+    let mut opt = OptLevel::Default;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--variant" => {
@@ -130,6 +148,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--memory needs an integer")?;
             }
             "--stats" => stats = true,
+            "--opt" => opt = OptLevel::Full,
+            "-O0" => opt = OptLevel::None,
             "--help" | "-h" => return Err(String::new()),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_string());
@@ -148,6 +168,7 @@ fn parse_args() -> Result<Args, String> {
         dump_bytecode,
         stats,
         memory_pages,
+        opt,
     })
 }
 
@@ -200,10 +221,15 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_COMPILE);
         }
     };
-    let engine = Engine::builder(args.variant)
+    let mut builder = Engine::builder(args.variant)
         .core(args.core)
-        .memory_pages(args.memory_pages)
-        .build();
+        .memory_pages(args.memory_pages);
+    match args.opt {
+        OptLevel::Default => {}
+        OptLevel::Full => builder = builder.opt_passes(OptPasses::full()),
+        OptLevel::None => builder = builder.optimize(false),
+    }
+    let engine = builder.build();
     let artifact = match engine.compile(&source) {
         Ok(a) => a,
         Err(e) => {

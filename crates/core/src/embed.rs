@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cage_engine::{CostModel, ExecConfig, WasmParams, WasmResults};
-use cage_ir::passes::{HardenConfig, PipelineConfig};
+use cage_ir::passes::{HardenConfig, OptPasses, PipelineConfig};
 use cage_mte::Core;
 use cage_runtime::{InstanceToken, Linker, MemoryReport, Runtime, Variant};
 use cage_wasm::{CompileLimits, ValType};
@@ -324,6 +324,18 @@ impl EngineBuilder {
     #[must_use]
     pub fn optimize(mut self, optimize: bool) -> Self {
         self.pipeline.optimize = optimize;
+        self
+    }
+
+    /// Selects the extended optimiser passes (CSE, store-to-load
+    /// forwarding, strength reduction, CFG simplification) layered on
+    /// top of the standard trio. Off by default: the default
+    /// pipeline's output is pinned byte-for-byte by the PolyBench
+    /// cycle golden file, while the optimised pipeline has its own
+    /// golden variant (charges follow the surviving ops).
+    #[must_use]
+    pub fn opt_passes(mut self, opt: OptPasses) -> Self {
+        self.pipeline.opt = opt;
         self
     }
 

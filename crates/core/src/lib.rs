@@ -78,6 +78,7 @@ mod embed;
 mod error;
 pub mod gallery;
 
+pub use cage_ir::passes::OptPasses;
 pub use embed::{compile_panic_count, Artifact, Engine, EngineBuilder, Instance, TypedFunc};
 pub use error::Error;
 

@@ -1201,3 +1201,516 @@ fn trap_rate_stays_in_a_healthy_band() {
         100.0 * rate
     );
 }
+
+// ---------------------------------------------------------------------------
+// Pipeline-config sweep: the optimiser must be invisible.
+//
+// Everything above differentially pins the three execution tiers on raw
+// wasm modules. This section pins the *compiler*: random structured IR
+// bodies are pushed through every `PipelineConfig` variant (no passes,
+// the standard trio, the full extended optimiser) and each lowering runs
+// on all three tiers. Within a variant the tiers must be bit-identical —
+// results, traps, cycle bits, retired counts. Across variants the
+// retired counts legitimately differ (that is the optimiser's whole
+// job), but results and traps must not.
+//
+// The generator keeps every potentially-trapping op live (div/rem
+// results always flow into the returned accumulator), because dead-code
+// elimination is allowed to delete an unused trapping division — cross-
+// variant trap equality is only a theorem for live ops.
+// ---------------------------------------------------------------------------
+
+use cage_ir::passes::{run_pipeline_config, HardenConfig, PipelineConfig};
+use cage_ir::{
+    lower as ir_lower, BinOp, CastKind, Expr, FunctionBuilder, IrModule, IrType, LowerOptions,
+    MemTy, Operand, Stmt, UnOp, ValueId,
+};
+
+struct IrGen {
+    rng: StdRng,
+}
+
+impl IrGen {
+    fn upto(&mut self, n: usize) -> usize {
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    fn i64_const(&mut self) -> Operand {
+        Operand::ConstI64([0, 1, -1, 2, 8, 16, 31, 32, 63, 64, i64::MIN, i64::MAX][self.upto(12)])
+    }
+
+    fn i32_const(&mut self) -> Operand {
+        Operand::ConstI32([0, 1, -1, 2, 8, 31, 32, i32::MIN, i32::MAX][self.upto(9)])
+    }
+
+    fn pick(&mut self, pool: &[Operand]) -> Operand {
+        pool[self.upto(pool.len())]
+    }
+
+    fn pure_op(&mut self) -> BinOp {
+        use BinOp::*;
+        [Add, Sub, Mul, And, Or, Xor, Shl, ShrS, ShrU][self.upto(9)]
+    }
+
+    fn compare_op(&mut self) -> BinOp {
+        use BinOp::*;
+        [Eq, Ne, LtS, LtU, LeS, GtS, GeU][self.upto(7)]
+    }
+
+    fn trap_op(&mut self) -> BinOp {
+        use BinOp::*;
+        [DivS, DivU, RemS, RemU][self.upto(4)]
+    }
+}
+
+/// Shared mutable state of one generated function: the value pools the
+/// statement generator draws from and feeds back into.
+struct IrCtx {
+    /// Immutable i64 temporaries (single-assignment, folded into the
+    /// return value so nothing the generator makes is dead).
+    pool: Vec<Operand>,
+    /// i32 temporaries (width-bug bait for the typed const folder).
+    pool32: Vec<Operand>,
+    /// Reassignable i64 registers (If-arm and loop-body targets).
+    muts: Vec<ValueId>,
+    /// In-bounds base pointers into the 256-byte alloca.
+    ptrs: Vec<Operand>,
+}
+
+/// One statement at nesting depth `depth`. Statements inside If-arms and
+/// loop bodies only reassign `muts` or write memory — values defined
+/// there never escape their block, so conditional execution cannot leave
+/// a register undefined on one path.
+fn ir_statement(g: &mut IrGen, b: &mut FunctionBuilder, cx: &mut IrCtx, depth: usize) {
+    let nested = depth > 0;
+    let max = if depth >= 2 { 6 } else { 8 };
+    match g.upto(max) {
+        // Pure i64 arithmetic; occasionally repeat the exact same
+        // operands a second time (CSE bait), and half the constants are
+        // powers of two (strength-reduction bait).
+        0 => {
+            let op = g.pure_op();
+            let lhs = g.pick(&cx.pool);
+            let rhs = if g.upto(2) == 0 {
+                g.i64_const()
+            } else {
+                g.pick(&cx.pool)
+            };
+            let v = b.binop(op, IrType::I64, lhs, rhs);
+            let v2 = if g.upto(3) == 0 {
+                b.binop(op, IrType::I64, lhs, rhs)
+            } else {
+                v
+            };
+            if nested {
+                let m = cx.muts[g.upto(cx.muts.len())];
+                b.reassign(
+                    m,
+                    Expr::BinOp {
+                        op: BinOp::Xor,
+                        ty: IrType::I64,
+                        lhs: Operand::Value(m),
+                        rhs: v2,
+                    },
+                );
+            } else {
+                cx.pool.push(v);
+                cx.pool.push(v2);
+            }
+        }
+        // i32 arithmetic over boundary constants: shift counts at and
+        // past the width, sign-extension bait for the unsigned ops.
+        1 => {
+            let op = if g.upto(3) == 0 {
+                g.trap_op()
+            } else {
+                g.pure_op()
+            };
+            let lhs = if cx.pool32.is_empty() || g.upto(2) == 0 {
+                g.i32_const()
+            } else {
+                g.pick(&cx.pool32)
+            };
+            let rhs = g.i32_const();
+            let v = b.binop(op, IrType::I32, lhs, rhs);
+            if nested {
+                let widened = b.assign(
+                    IrType::I64,
+                    Expr::Cast {
+                        kind: CastKind::I32ToI64S,
+                        operand: v,
+                    },
+                );
+                let m = cx.muts[g.upto(cx.muts.len())];
+                b.reassign(
+                    m,
+                    Expr::BinOp {
+                        op: BinOp::Add,
+                        ty: IrType::I64,
+                        lhs: Operand::Value(m),
+                        rhs: widened,
+                    },
+                );
+            } else {
+                cx.pool32.push(v);
+            }
+        }
+        // Trapping i64 div/rem: the divisor is a masked pool value
+        // (zero often enough for a healthy trap rate) or a constant.
+        2 => {
+            let num = g.pick(&cx.pool);
+            let den = if g.upto(2) == 0 {
+                b.binop(
+                    BinOp::And,
+                    IrType::I64,
+                    g.pick(&cx.pool),
+                    Operand::ConstI64(3),
+                )
+            } else {
+                Operand::ConstI64([1, 2, 3, 8, -1][g.upto(5)])
+            };
+            let q = b.binop(g.trap_op(), IrType::I64, num, den);
+            if nested {
+                let m = cx.muts[g.upto(cx.muts.len())];
+                b.reassign(
+                    m,
+                    Expr::BinOp {
+                        op: BinOp::Xor,
+                        ty: IrType::I64,
+                        lhs: Operand::Value(m),
+                        rhs: q,
+                    },
+                );
+            } else {
+                cx.pool.push(q);
+            }
+        }
+        // Memory traffic on the alloca: store a value, usually load it
+        // straight back (store-to-load forwarding bait), sub-word
+        // widths included (which the forwarder must refuse).
+        3 => {
+            let base = g.pick(&cx.ptrs);
+            let offset = (g.upto(24) * 8) as u64;
+            match g.upto(3) {
+                0 => {
+                    let v = g.pick(&cx.pool);
+                    b.store(MemTy::I64, base, offset, v);
+                    if g.upto(2) == 0 && !nested {
+                        let back = b.load(MemTy::I64, base, offset);
+                        cx.pool.push(back);
+                    }
+                }
+                1 => {
+                    let v = if cx.pool32.is_empty() {
+                        g.i32_const()
+                    } else {
+                        g.pick(&cx.pool32)
+                    };
+                    let sub = if g.upto(2) == 0 {
+                        MemTy::I8
+                    } else {
+                        MemTy::I32
+                    };
+                    b.store(sub, base, offset, v);
+                    if !nested {
+                        let back = b.load(
+                            if sub == MemTy::I8 {
+                                MemTy::U8
+                            } else {
+                                MemTy::I32
+                            },
+                            base,
+                            offset,
+                        );
+                        cx.pool32.push(back);
+                    }
+                }
+                _ => {
+                    let l = b.load(MemTy::I64, base, offset);
+                    if nested {
+                        let m = cx.muts[g.upto(cx.muts.len())];
+                        b.reassign(
+                            m,
+                            Expr::BinOp {
+                                op: BinOp::Add,
+                                ty: IrType::I64,
+                                lhs: Operand::Value(m),
+                                rhs: l,
+                            },
+                        );
+                    } else {
+                        cx.pool.push(l);
+                    }
+                }
+            }
+        }
+        // Unary ops (Not yields i32 — the width audit's territory).
+        4 => {
+            let v = g.pick(&cx.pool);
+            let (op, is_i32) = match g.upto(3) {
+                0 => (UnOp::Neg, false),
+                1 => (UnOp::BitNot, false),
+                _ => (UnOp::Not, true),
+            };
+            let r = b.unop(op, IrType::I64, v);
+            if nested {
+                let m = cx.muts[g.upto(cx.muts.len())];
+                let wide = if is_i32 {
+                    b.assign(
+                        IrType::I64,
+                        Expr::Cast {
+                            kind: CastKind::I32ToI64U,
+                            operand: r,
+                        },
+                    )
+                } else {
+                    r
+                };
+                b.reassign(
+                    m,
+                    Expr::BinOp {
+                        op: BinOp::Xor,
+                        ty: IrType::I64,
+                        lhs: Operand::Value(m),
+                        rhs: wide,
+                    },
+                );
+            } else if is_i32 {
+                cx.pool32.push(r);
+            } else {
+                cx.pool.push(r);
+            }
+        }
+        // Reassign a mutable register (CSE's version counters, and the
+        // propagation-kill paths).
+        5 => {
+            let m = cx.muts[g.upto(cx.muts.len())];
+            let rhs = if g.upto(2) == 0 {
+                g.pick(&cx.pool)
+            } else {
+                g.i64_const()
+            };
+            b.reassign(
+                m,
+                Expr::BinOp {
+                    op: g.pure_op(),
+                    ty: IrType::I64,
+                    lhs: Operand::Value(m),
+                    rhs,
+                },
+            );
+        }
+        // If / if-else: real compare conditions and constant conditions
+        // (the CFG simplifier's prune-and-splice path).
+        6 => {
+            let cond = match g.upto(4) {
+                0 => Operand::ConstI32(0),
+                1 => Operand::ConstI32(1),
+                _ => b.binop(
+                    g.compare_op(),
+                    IrType::I64,
+                    g.pick(&cx.pool),
+                    g.pick(&cx.pool),
+                ),
+            };
+            b.push_block();
+            for _ in 0..1 + g.upto(2) {
+                ir_statement(g, b, cx, depth + 1);
+            }
+            let then = b.pop_block();
+            b.push_block();
+            if g.upto(3) != 0 {
+                ir_statement(g, b, cx, depth + 1);
+            }
+            let els = b.pop_block();
+            b.stmt(Stmt::If { cond, then, els });
+        }
+        // Counted loop, constant trip count 0..=4 (zero-trip loops are
+        // the While-false splice bait).
+        _ => {
+            let i = b.copy(IrType::I64, Operand::ConstI64(0));
+            let bound = Operand::ConstI64(g.upto(5) as i64);
+            b.push_block();
+            let cond = b.binop(BinOp::LtS, IrType::I64, Operand::Value(i), bound);
+            let header = b.pop_block();
+            b.push_block();
+            for _ in 0..1 + g.upto(2) {
+                ir_statement(g, b, cx, depth + 1);
+            }
+            b.reassign(
+                i,
+                Expr::BinOp {
+                    op: BinOp::Add,
+                    ty: IrType::I64,
+                    lhs: Operand::Value(i),
+                    rhs: Operand::ConstI64(1),
+                },
+            );
+            let body = b.pop_block();
+            b.stmt(Stmt::While { header, cond, body });
+        }
+    }
+}
+
+/// A random structured-IR module: one exported `run(n: i64) -> i64`
+/// whose result observes every value the generator created.
+fn random_ir_module(seed: u64) -> IrModule {
+    let mut g = IrGen {
+        rng: StdRng::seed_from_u64(seed),
+    };
+    let mut b = FunctionBuilder::new("run", &[IrType::I64], Some(IrType::I64));
+    b.set_exported(true);
+    let buf = b.alloca(256, "buf");
+    let base = b.alloca_addr(buf);
+    let base16 = b.binop(BinOp::Add, IrType::Ptr, base, Operand::ConstI64(16));
+    let p0 = b.param(0);
+    b.store(MemTy::I64, base, 0, p0);
+    b.store(MemTy::I64, base, 8, Operand::ConstI64(0x5DEE_CE66));
+    let mut cx = IrCtx {
+        pool: vec![p0, Operand::ConstI64(3)],
+        pool32: vec![Operand::ConstI32(5)],
+        muts: vec![
+            b.copy(IrType::I64, p0),
+            b.copy(IrType::I64, Operand::ConstI64(7)),
+            b.copy(IrType::I64, Operand::ConstI64(-1)),
+        ],
+        ptrs: vec![base, base16],
+    };
+    for _ in 0..8 + g.upto(13) {
+        ir_statement(&mut g, &mut b, &mut cx, 0);
+    }
+    // Fold *everything* into the return value: the pools, the mutable
+    // registers, and a final read of the scratch memory — so no
+    // generated op is dead and DCE cannot legally change a trap.
+    let mut acc = g.pick(&cx.pool);
+    for v in cx.pool.clone() {
+        acc = b.binop(BinOp::Xor, IrType::I64, acc, v);
+    }
+    for v32 in cx.pool32.clone() {
+        let wide = b.assign(
+            IrType::I64,
+            Expr::Cast {
+                kind: CastKind::I32ToI64S,
+                operand: v32,
+            },
+        );
+        acc = b.binop(BinOp::Xor, IrType::I64, acc, wide);
+    }
+    for m in cx.muts.clone() {
+        acc = b.binop(BinOp::Add, IrType::I64, acc, Operand::Value(m));
+    }
+    let tail = b.load(MemTy::I64, base, 0);
+    acc = b.binop(BinOp::Xor, IrType::I64, acc, tail);
+    b.stmt(Stmt::Return(Some(acc)));
+    let mut module = IrModule::new();
+    module.functions.push(b.finish());
+    module
+}
+
+/// Lowers `ir` under `config` and observes all three tiers.
+fn observe_pipeline(ir: &IrModule, config: &PipelineConfig, arg: i64, seed: u64) -> [Observed; 3] {
+    let mut module = ir.clone();
+    run_pipeline_config(&mut module, config);
+    let lowered = ir_lower(&module, &LowerOptions::default())
+        .unwrap_or_else(|e| panic!("seed {seed}: lowering failed: {e}"));
+    validate(&lowered.module)
+        .unwrap_or_else(|e| panic!("seed {seed}: lowered module invalid: {e}"));
+    let run_idx = lowered
+        .module
+        .exports
+        .iter()
+        .find_map(|e| match e.kind {
+            cage_wasm::ExportKind::Func(i) if e.name == "run" => Some(i),
+            _ => None,
+        })
+        .expect("run is exported");
+    let args = [Value::I64(arg)];
+    let mut out = Vec::new();
+    for tier in 0u8..3 {
+        let mut store = Store::new(ExecConfig::default());
+        let h = store
+            .instantiate(&lowered.module, &Imports::new())
+            .expect("instantiates");
+        let result = match tier {
+            0 => store.call(h, run_idx, &args),
+            1 => store.call_stack(h, run_idx, &args),
+            _ => store.call_tree(h, run_idx, &args),
+        };
+        out.push((result, store.cycles(h).to_bits(), store.instr_count(h)));
+    }
+    out.try_into().expect("three tiers")
+}
+
+/// The sweep: three pipeline variants, three tiers each.
+fn check_pipeline_equivalence(seed: u64, arg: i64) {
+    let ir = random_ir_module(seed);
+    let variants: [(&str, PipelineConfig); 3] = [
+        ("no-opt", PipelineConfig::no_opt(HardenConfig::none())),
+        ("standard", PipelineConfig::standard(HardenConfig::none())),
+        ("full-opt", PipelineConfig::full_opt(HardenConfig::none())),
+    ];
+    let mut per_variant: Vec<(&str, Result<Vec<Value>, crate::trap::Trap>)> = Vec::new();
+    for (name, config) in variants {
+        let [reg, stack, tree] = observe_pipeline(&ir, &config, arg, seed);
+        // Within a variant the tiers execute the same lowered module:
+        // bit-identical, retired counts included.
+        for (label, other) in [("stack", &stack), ("tree", &tree)] {
+            match (&reg.0, &other.0) {
+                (Ok(a), Ok(b)) => assert!(
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bit_eq(y)),
+                    "seed {seed} [{name}]: register vs {label} results diverged: {a:?} vs {b:?}"
+                ),
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        a, b,
+                        "seed {seed} [{name}]: register vs {label} traps diverged"
+                    );
+                }
+                _ => panic!(
+                    "seed {seed} [{name}]: register vs {label} outcome diverged: {:?} vs {:?}",
+                    reg.0, other.0
+                ),
+            }
+            assert_eq!(
+                (reg.1, reg.2),
+                (other.1, other.2),
+                "seed {seed} [{name}]: register vs {label} cycle/retired counts diverged"
+            );
+        }
+        per_variant.push((name, reg.0));
+    }
+    // Across variants only the semantics is pinned: same values, same
+    // trap kind. Cycle and retired counts legitimately shrink.
+    let (base_name, base) = &per_variant[0];
+    for (name, outcome) in &per_variant[1..] {
+        match (base, outcome) {
+            (Ok(a), Ok(b)) => assert!(
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bit_eq(y)),
+                "seed {seed}: {base_name} vs {name} results diverged: {a:?} vs {b:?}"
+            ),
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "seed {seed}: {base_name} vs {name} traps diverged");
+            }
+            _ => panic!(
+                "seed {seed}: {base_name} vs {name} outcome diverged: {base:?} vs {outcome:?}"
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn pipeline_variants_are_semantically_identical(seed: u64, arg: i64) {
+        check_pipeline_equivalence(seed, arg);
+    }
+}
+
+#[test]
+fn known_seeds_sweep_every_pipeline_variant() {
+    for seed in [0, 1, 2, 42, 0xCA9E, 0x0004_5500, u64::MAX] {
+        check_pipeline_equivalence(seed, 7);
+        check_pipeline_equivalence(seed, -3);
+        check_pipeline_equivalence(seed, i64::MIN);
+    }
+}

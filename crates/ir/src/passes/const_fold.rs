@@ -1,4 +1,24 @@
 //! Constant folding and algebraic simplification.
+//!
+//! The evaluator is *typed*: every integer op is evaluated at the width
+//! of the expression's `IrType`, matching what the lowered wasm (and the
+//! engine tiers) will compute at runtime. Getting this wrong silently
+//! diverges optimized from unoptimized code — historically `eval_int`
+//! ran everything at 64 bits, so `i32.shl x, 32` folded to `0` instead
+//! of `x` (wasm masks the shift count mod 32), `i32.shr_u -1, 1` folded
+//! to `-1` instead of `0x7FFF_FFFF` (the sign-extended constant leaked
+//! phantom high bits into unsigned ops), and `i32.div_s INT_MIN, -1`
+//! folded to a value where the spec mandates a trap.
+//!
+//! Folding rules:
+//! - shifts mask their count mod the operand width (mod 32 at i32);
+//! - unsigned div/rem/shift/compare zero-extend 32-bit operands;
+//! - ops that trap at runtime (`div`/`rem` by zero, `div_s MIN, -1`)
+//!   are never folded — the trap must survive to runtime;
+//! - `Ptr`-typed ops fold only when the result is truncation-compatible
+//!   (`add`/`sub`/`mul`/`and`/`or`/`xor`), because the pointer width is
+//!   decided later by the lowering target (8 bytes on wasm64, 4 on
+//!   wasm32) and anything width-sensitive would bake in the wrong one.
 
 use crate::instr::{BinOp, Expr, Operand, Stmt, UnOp};
 use crate::module::IrFunction;
@@ -24,14 +44,17 @@ fn fold(expr: &Expr) -> Option<Expr> {
 }
 
 fn fold_binop(op: BinOp, ty: IrType, lhs: &Operand, rhs: &Operand) -> Option<Expr> {
-    // Integer constant folding.
+    // Integer constant folding, at the expression's width.
     if let (Some(a), Some(b)) = (lhs.as_const_int(), rhs.as_const_int()) {
         if ty != IrType::F64 {
-            let v = eval_int(op, a, b)?;
-            return Some(Expr::Use(match ty {
-                IrType::I32 => Operand::ConstI32(v as i32),
-                _ if op.is_comparison() => Operand::ConstI32(v as i32),
-                _ => Operand::ConstI64(v),
+            let v = eval_int(op, ty, a, b)?;
+            return Some(Expr::Use(if op.is_comparison() {
+                Operand::ConstI32(v as i32)
+            } else {
+                match ty {
+                    IrType::I32 => Operand::ConstI32(v as i32),
+                    _ => Operand::ConstI64(v),
+                }
             }));
         }
     }
@@ -50,16 +73,19 @@ fn fold_binop(op: BinOp, ty: IrType, lhs: &Operand, rhs: &Operand) -> Option<Exp
     // under NaN/signed zero).
     if ty != IrType::F64 {
         match (op, rhs.as_const_int()) {
-            (
-                BinOp::Add
-                | BinOp::Sub
-                | BinOp::Or
-                | BinOp::Xor
-                | BinOp::Shl
-                | BinOp::ShrS
-                | BinOp::ShrU,
-                Some(0),
-            ) => {
+            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, Some(0)) => {
+                return Some(Expr::Use(*lhs));
+            }
+            // A shift is a no-op when the *masked* count is zero; the
+            // mask depends on the width, so Ptr (width unknown until
+            // lowering) only qualifies for a literal zero count.
+            (BinOp::Shl | BinOp::ShrS | BinOp::ShrU, Some(c))
+                if match ty {
+                    IrType::I32 => c & 31 == 0,
+                    IrType::I64 => c & 63 == 0,
+                    _ => c == 0,
+                } =>
+            {
                 return Some(Expr::Use(*lhs));
             }
             (BinOp::Mul, Some(1)) | (BinOp::DivS | BinOp::DivU, Some(1)) => {
@@ -77,69 +103,122 @@ fn fold_binop(op: BinOp, ty: IrType, lhs: &Operand, rhs: &Operand) -> Option<Exp
     None
 }
 
-fn eval_int(op: BinOp, a: i64, b: i64) -> Option<i64> {
-    Some(match op {
+/// Evaluates an integer binop at the width of `ty`, returning `None`
+/// when the op must not be folded (runtime-trapping, or `Ptr`-typed and
+/// width-sensitive). Results are sign-extended to i64; comparisons
+/// yield 0/1.
+fn eval_int(op: BinOp, ty: IrType, a: i64, b: i64) -> Option<i64> {
+    match ty {
+        IrType::I32 => eval_i32(op, a as i32, b as i32),
+        IrType::I64 => eval_i64(op, a, b),
+        // Pointer width is a lowering decision; only ops whose 64-bit
+        // result truncates to the correct 32-bit result are safe here.
+        IrType::Ptr => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor => {
+                eval_i64(op, a, b)
+            }
+            _ => None,
+        },
+        IrType::F64 => None,
+    }
+}
+
+fn eval_i32(op: BinOp, a: i32, b: i32) -> Option<i64> {
+    let au = a as u32;
+    let bu = b as u32;
+    let v: i32 = match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
         BinOp::DivS => {
-            if b == 0 {
-                return None; // leave the trap to runtime
-            }
+            // b == 0 and MIN/-1 both trap at runtime; leave them.
             a.checked_div(b)?
         }
-        BinOp::DivU => {
+        BinOp::DivU => au.checked_div(bu)? as i32,
+        BinOp::RemS => {
             if b == 0 {
                 return None;
             }
-            ((a as u64) / (b as u64)) as i64
+            // MIN % -1 is 0 in wasm (no trap).
+            a.wrapping_rem(b)
         }
+        BinOp::RemU => au.checked_rem(bu)? as i32,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        // wrapping_sh{l,r} mask the count mod 32 — wasm semantics.
+        BinOp::Shl => a.wrapping_shl(bu),
+        BinOp::ShrS => a.wrapping_shr(bu),
+        BinOp::ShrU => au.wrapping_shr(bu) as i32,
+        BinOp::Eq => i32::from(a == b),
+        BinOp::Ne => i32::from(a != b),
+        BinOp::LtS => i32::from(a < b),
+        BinOp::LtU => i32::from(au < bu),
+        BinOp::LeS => i32::from(a <= b),
+        BinOp::LeU => i32::from(au <= bu),
+        BinOp::GtS => i32::from(a > b),
+        BinOp::GtU => i32::from(au > bu),
+        BinOp::GeS => i32::from(a >= b),
+        BinOp::GeU => i32::from(au >= bu),
+    };
+    Some(i64::from(v))
+}
+
+fn eval_i64(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    let au = a as u64;
+    let bu = b as u64;
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::DivS => a.checked_div(b)?,
+        BinOp::DivU => (au.checked_div(bu)?) as i64,
         BinOp::RemS => {
             if b == 0 {
                 return None;
             }
             a.wrapping_rem(b)
         }
-        BinOp::RemU => {
-            if b == 0 {
-                return None;
-            }
-            ((a as u64) % (b as u64)) as i64
-        }
+        BinOp::RemU => (au.checked_rem(bu)?) as i64,
         BinOp::And => a & b,
         BinOp::Or => a | b,
         BinOp::Xor => a ^ b,
         BinOp::Shl => a.wrapping_shl(b as u32),
         BinOp::ShrS => a.wrapping_shr(b as u32),
-        BinOp::ShrU => ((a as u64).wrapping_shr(b as u32)) as i64,
+        BinOp::ShrU => au.wrapping_shr(b as u32) as i64,
         BinOp::Eq => i64::from(a == b),
         BinOp::Ne => i64::from(a != b),
         BinOp::LtS => i64::from(a < b),
-        BinOp::LtU => i64::from((a as u64) < b as u64),
+        BinOp::LtU => i64::from(au < bu),
         BinOp::LeS => i64::from(a <= b),
-        BinOp::LeU => i64::from((a as u64) <= b as u64),
+        BinOp::LeU => i64::from(au <= bu),
         BinOp::GtS => i64::from(a > b),
-        BinOp::GtU => i64::from(a as u64 > b as u64),
+        BinOp::GtU => i64::from(au > bu),
         BinOp::GeS => i64::from(a >= b),
-        BinOp::GeU => i64::from(a as u64 >= b as u64),
+        BinOp::GeU => i64::from(au >= bu),
     })
 }
 
 fn fold_unop(op: UnOp, ty: IrType, operand: &Operand) -> Option<Expr> {
     if let Some(a) = operand.as_const_int() {
-        if ty != IrType::F64 {
-            let v = match op {
-                UnOp::Neg => a.wrapping_neg(),
-                UnOp::Not => i64::from(a == 0),
-                UnOp::BitNot => !a,
-                _ => return None,
-            };
-            return Some(Expr::Use(match ty {
-                IrType::I32 => Operand::ConstI32(v as i32),
-                _ if op == UnOp::Not => Operand::ConstI32(v as i32),
-                _ => Operand::ConstI64(v),
-            }));
-        }
+        // Width audit: `Neg` and `BitNot` commute with truncation, so a
+        // 64-bit evaluation truncated to i32 is exact at i32 (including
+        // `-INT_MIN`, which wraps — wasm has no trapping negate).
+        // `Not` (`x == 0`) is width-stable for sign-extended constants
+        // (zero iff zero) but NOT truncation-stable, so it is refused
+        // at `Ptr` where the width is unknown until lowering.
+        let v = match (op, ty) {
+            (_, IrType::F64) => return None,
+            (UnOp::Neg, _) => a.wrapping_neg(),
+            (UnOp::Not, IrType::I32 | IrType::I64) => i64::from(a == 0),
+            (UnOp::BitNot, _) => !a,
+            _ => return None,
+        };
+        return Some(Expr::Use(match ty {
+            IrType::I32 => Operand::ConstI32(v as i32),
+            _ if op == UnOp::Not => Operand::ConstI32(v as i32),
+            _ => Operand::ConstI64(v),
+        }));
     }
     if let Operand::ConstF64(a) = operand {
         let v = match op {
@@ -170,15 +249,26 @@ mod tests {
         }
     }
 
+    fn bin(op: BinOp, ty: IrType, lhs: Operand, rhs: Operand) -> Expr {
+        Expr::BinOp { op, ty, lhs, rhs }
+    }
+
+    fn fold_i32(op: BinOp, a: i32, b: i32) -> Expr {
+        fold_one(
+            bin(op, IrType::I32, Operand::ConstI32(a), Operand::ConstI32(b)),
+            IrType::I32,
+        )
+    }
+
     #[test]
     fn folds_integer_arithmetic() {
         let e = fold_one(
-            Expr::BinOp {
-                op: BinOp::Add,
-                ty: IrType::I64,
-                lhs: Operand::ConstI64(40),
-                rhs: Operand::ConstI64(2),
-            },
+            bin(
+                BinOp::Add,
+                IrType::I64,
+                Operand::ConstI64(40),
+                Operand::ConstI64(2),
+            ),
             IrType::I64,
         );
         assert_eq!(e, Expr::Use(Operand::ConstI64(42)));
@@ -187,12 +277,12 @@ mod tests {
     #[test]
     fn folds_comparisons_to_i32() {
         let e = fold_one(
-            Expr::BinOp {
-                op: BinOp::LtS,
-                ty: IrType::I64,
-                lhs: Operand::ConstI64(1),
-                rhs: Operand::ConstI64(2),
-            },
+            bin(
+                BinOp::LtS,
+                IrType::I64,
+                Operand::ConstI64(1),
+                Operand::ConstI64(2),
+            ),
             IrType::I32,
         );
         assert_eq!(e, Expr::Use(Operand::ConstI32(1)));
@@ -200,35 +290,201 @@ mod tests {
 
     #[test]
     fn division_by_zero_not_folded() {
-        let orig = Expr::BinOp {
-            op: BinOp::DivS,
-            ty: IrType::I64,
-            lhs: Operand::ConstI64(1),
-            rhs: Operand::ConstI64(0),
-        };
+        for ty in [IrType::I32, IrType::I64] {
+            for op in [BinOp::DivS, BinOp::DivU, BinOp::RemS, BinOp::RemU] {
+                let orig = bin(op, ty, Operand::ConstI32(1), Operand::ConstI32(0));
+                assert_eq!(fold_one(orig.clone(), ty), orig, "{op:?} {ty:?}");
+            }
+        }
+    }
+
+    // --- The i32-width regression matrix: each of these folded to the
+    // wrong value (or folded where the spec mandates a trap) when the
+    // evaluator ran everything at 64 bits. ---
+
+    #[test]
+    fn i32_shift_counts_mask_mod_32() {
+        // 1 << 32 masks to 1 << 0 == 1 at i32 (used to fold to 0).
+        assert_eq!(fold_i32(BinOp::Shl, 1, 32), Expr::Use(Operand::ConstI32(1)));
+        // 7 << 33 == 7 << 1 == 14.
+        assert_eq!(
+            fold_i32(BinOp::Shl, 7, 33),
+            Expr::Use(Operand::ConstI32(14))
+        );
+        // -8 >> 33 (arith) == -8 >> 1 == -4.
+        assert_eq!(
+            fold_i32(BinOp::ShrS, -8, 33),
+            Expr::Use(Operand::ConstI32(-4))
+        );
+        // i64 counts mask mod 64.
+        let e = fold_one(
+            bin(
+                BinOp::Shl,
+                IrType::I64,
+                Operand::ConstI64(1),
+                Operand::ConstI64(64),
+            ),
+            IrType::I64,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI64(1)));
+    }
+
+    #[test]
+    fn i32_unsigned_ops_zero_extend() {
+        // -1 >>u 1 at i32 is 0x7FFF_FFFF (used to fold to -1 via the
+        // sign-extended 64-bit value).
+        assert_eq!(
+            fold_i32(BinOp::ShrU, -1, 1),
+            Expr::Use(Operand::ConstI32(0x7FFF_FFFF))
+        );
+        // 0xFFFF_FFFF /u 2 == 0x7FFF_FFFF.
+        assert_eq!(
+            fold_i32(BinOp::DivU, -1, 2),
+            Expr::Use(Operand::ConstI32(0x7FFF_FFFF))
+        );
+        // 0xFFFF_FFFF %u 10 == 5.
+        assert_eq!(
+            fold_i32(BinOp::RemU, -1, 10),
+            Expr::Use(Operand::ConstI32(5))
+        );
+        // -1 <u 1 is false at i32 (0xFFFF_FFFF is large unsigned).
+        assert_eq!(fold_i32(BinOp::LtU, -1, 1), Expr::Use(Operand::ConstI32(0)));
+        assert_eq!(fold_i32(BinOp::GtU, -1, 1), Expr::Use(Operand::ConstI32(1)));
+    }
+
+    #[test]
+    fn div_s_min_by_minus_one_not_folded() {
+        // Traps in wasm at both widths; must never fold.
+        let orig = bin(
+            BinOp::DivS,
+            IrType::I32,
+            Operand::ConstI32(i32::MIN),
+            Operand::ConstI32(-1),
+        );
+        assert_eq!(fold_one(orig.clone(), IrType::I32), orig);
+        let orig = bin(
+            BinOp::DivS,
+            IrType::I64,
+            Operand::ConstI64(i64::MIN),
+            Operand::ConstI64(-1),
+        );
         assert_eq!(fold_one(orig.clone(), IrType::I64), orig);
+        // rem_s MIN, -1 is 0, NOT a trap.
+        assert_eq!(
+            fold_i32(BinOp::RemS, i32::MIN, -1),
+            Expr::Use(Operand::ConstI32(0))
+        );
+    }
+
+    #[test]
+    fn i32_arith_wraps_at_32_bits() {
+        assert_eq!(
+            fold_i32(BinOp::Add, i32::MAX, 1),
+            Expr::Use(Operand::ConstI32(i32::MIN))
+        );
+        assert_eq!(
+            fold_i32(BinOp::Mul, 0x10000, 0x10000),
+            Expr::Use(Operand::ConstI32(0))
+        );
+    }
+
+    #[test]
+    fn ptr_width_sensitive_ops_not_folded() {
+        // Shift/div/compare results differ between 32- and 64-bit
+        // pointer targets; only truncation-safe ops fold at Ptr.
+        let orig = bin(
+            BinOp::ShrU,
+            IrType::Ptr,
+            Operand::ConstI64(-1),
+            Operand::ConstI64(1),
+        );
+        assert_eq!(fold_one(orig.clone(), IrType::I64), orig);
+        let e = fold_one(
+            bin(
+                BinOp::Add,
+                IrType::Ptr,
+                Operand::ConstI64(8),
+                Operand::ConstI64(8),
+            ),
+            IrType::Ptr,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI64(16)));
+    }
+
+    #[test]
+    fn shift_identity_is_width_aware() {
+        let x = Operand::Value(ValueId(0));
+        // x << 32 at i32 is x (count masks to 0).
+        let e = fold_one(
+            bin(BinOp::Shl, IrType::I32, x, Operand::ConstI32(32)),
+            IrType::I32,
+        );
+        assert_eq!(e, Expr::Use(x));
+        // x << 32 at i64 is NOT x.
+        let orig = bin(BinOp::Shl, IrType::I64, x, Operand::ConstI64(32));
+        assert_eq!(fold_one(orig.clone(), IrType::I64), orig);
+        // x << 64 at i64 is x.
+        let e = fold_one(
+            bin(BinOp::Shl, IrType::I64, x, Operand::ConstI64(64)),
+            IrType::I64,
+        );
+        assert_eq!(e, Expr::Use(x));
+        // Ptr width is unknown: only a literal zero count is an identity.
+        let orig = bin(BinOp::Shl, IrType::Ptr, x, Operand::ConstI64(32));
+        assert_eq!(fold_one(orig.clone(), IrType::Ptr), orig);
+    }
+
+    #[test]
+    fn unop_width_audit() {
+        // Neg wraps at i32: -INT_MIN == INT_MIN, no trap.
+        let e = fold_one(
+            Expr::UnOp {
+                op: UnOp::Neg,
+                ty: IrType::I32,
+                operand: Operand::ConstI32(i32::MIN),
+            },
+            IrType::I32,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI32(i32::MIN)));
+        // BitNot truncates exactly.
+        let e = fold_one(
+            Expr::UnOp {
+                op: UnOp::BitNot,
+                ty: IrType::I32,
+                operand: Operand::ConstI32(0x0F0F_0F0F),
+            },
+            IrType::I32,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI32(!0x0F0F_0F0F)));
+        // Not yields i32 0/1 at both widths.
+        let e = fold_one(
+            Expr::UnOp {
+                op: UnOp::Not,
+                ty: IrType::I64,
+                operand: Operand::ConstI64(0),
+            },
+            IrType::I32,
+        );
+        assert_eq!(e, Expr::Use(Operand::ConstI32(1)));
+        // Not at Ptr is width-sensitive under truncation: refused.
+        let orig = Expr::UnOp {
+            op: UnOp::Not,
+            ty: IrType::Ptr,
+            operand: Operand::ConstI64(0x1_0000_0000),
+        };
+        assert_eq!(fold_one(orig.clone(), IrType::I32), orig);
     }
 
     #[test]
     fn identity_simplifications() {
         let x = Operand::Value(ValueId(0));
         let e = fold_one(
-            Expr::BinOp {
-                op: BinOp::Add,
-                ty: IrType::I64,
-                lhs: x,
-                rhs: Operand::ConstI64(0),
-            },
+            bin(BinOp::Add, IrType::I64, x, Operand::ConstI64(0)),
             IrType::I64,
         );
         assert_eq!(e, Expr::Use(x));
         let e = fold_one(
-            Expr::BinOp {
-                op: BinOp::Mul,
-                ty: IrType::I64,
-                lhs: x,
-                rhs: Operand::ConstI64(0),
-            },
+            bin(BinOp::Mul, IrType::I64, x, Operand::ConstI64(0)),
             IrType::I64,
         );
         assert_eq!(e, Expr::Use(Operand::ConstI64(0)));
@@ -250,12 +506,12 @@ mod tests {
     #[test]
     fn folds_float_constants_and_unops() {
         let e = fold_one(
-            Expr::BinOp {
-                op: BinOp::Mul,
-                ty: IrType::F64,
-                lhs: Operand::ConstF64(3.0),
-                rhs: Operand::ConstF64(4.0),
-            },
+            bin(
+                BinOp::Mul,
+                IrType::F64,
+                Operand::ConstF64(3.0),
+                Operand::ConstF64(4.0),
+            ),
             IrType::F64,
         );
         assert_eq!(e, Expr::Use(Operand::ConstF64(12.0)));

@@ -5,10 +5,14 @@
 //! sanitizer passes.
 
 pub mod const_fold;
+pub mod cse;
 pub mod dce;
+pub mod load_forward;
 pub mod mem2reg;
 pub mod ptr_auth;
+pub mod simplify_cfg;
 pub mod stack_safety;
+pub mod strength_reduce;
 
 use crate::module::IrModule;
 
@@ -38,6 +42,51 @@ impl HardenConfig {
     }
 }
 
+/// Per-pass toggles for the extended optimiser (beyond the standard
+/// `mem2reg`/const-fold/DCE trio).
+///
+/// All off by default: the standard pipeline's output — and therefore
+/// the PolyBench cycle golden file — is byte-for-byte unchanged unless
+/// an embedder opts in. The optimised pipeline has its own golden
+/// variant (see `crates/bench/tests/cycle_regression.rs`): the cycle
+/// model's contract is that *charges follow the surviving ops*, so an
+/// op the optimiser removes charges nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptPasses {
+    /// Local value numbering (CSE) with constant/copy propagation.
+    pub cse: bool,
+    /// Store-to-load forwarding and redundant-load elimination.
+    pub load_forward: bool,
+    /// Mul/divu/remu by powers of two become shifts/masks.
+    pub strength_reduce: bool,
+    /// Constant-condition `If`/`While` pruning and unreachable-code
+    /// removal.
+    pub simplify_cfg: bool,
+}
+
+impl OptPasses {
+    /// Everything on — the `-O` configuration.
+    #[must_use]
+    pub fn full() -> Self {
+        OptPasses {
+            cse: true,
+            load_forward: true,
+            strength_reduce: true,
+            simplify_cfg: true,
+        }
+    }
+
+    /// Everything off — the standard pipeline (the default).
+    #[must_use]
+    pub fn none() -> Self {
+        OptPasses::default()
+    }
+
+    fn any(self) -> bool {
+        self.cse || self.load_forward || self.strength_reduce || self.simplify_cfg
+    }
+}
+
 /// Full pipeline configuration: optimisation level plus sanitizers.
 ///
 /// [`run_pipeline`] is the common fixed-shape entry; embedders that need
@@ -48,6 +97,10 @@ pub struct PipelineConfig {
     /// Run the optimisation passes (`mem2reg`, const-fold, DCE) before the
     /// sanitizers — the paper's §6.1 ordering.
     pub optimize: bool,
+    /// Extended optimiser passes layered on top of `optimize` (ignored
+    /// unless `optimize` is set — they rely on `mem2reg` having
+    /// promoted allocas first).
+    pub opt: OptPasses,
     /// Which sanitizer passes follow.
     pub harden: HardenConfig,
 }
@@ -58,6 +111,28 @@ impl PipelineConfig {
     pub fn standard(harden: HardenConfig) -> Self {
         PipelineConfig {
             optimize: true,
+            opt: OptPasses::none(),
+            harden,
+        }
+    }
+
+    /// The fully optimised pipeline: standard passes plus the whole
+    /// extended set.
+    #[must_use]
+    pub fn full_opt(harden: HardenConfig) -> Self {
+        PipelineConfig {
+            optimize: true,
+            opt: OptPasses::full(),
+            harden,
+        }
+    }
+
+    /// No optimisation at all (`-O0`): sanitizers only.
+    #[must_use]
+    pub fn no_opt(harden: HardenConfig) -> Self {
+        PipelineConfig {
+            optimize: false,
+            opt: OptPasses::none(),
             harden,
         }
     }
@@ -118,6 +193,33 @@ pub fn run_pipeline_config_fueled(
         for func in &mut module.functions {
             mem2reg::run(func);
             const_fold::run(func);
+        }
+        if config.opt.any() {
+            // One charge unit per statement per extended pass run (the
+            // CSE toggle buys a constant-fold rerun: propagation turns
+            // register operands into constants that fold).
+            let runs = u64::from(config.opt.cse) * 2
+                + u64::from(config.opt.simplify_cfg)
+                + u64::from(config.opt.load_forward)
+                + u64::from(config.opt.strength_reduce);
+            fuel.charge(cost_of(module).saturating_mul(runs))?;
+            for func in &mut module.functions {
+                if config.opt.cse {
+                    cse::run(func);
+                    const_fold::run(func);
+                }
+                if config.opt.simplify_cfg {
+                    simplify_cfg::run(func);
+                }
+                if config.opt.load_forward {
+                    load_forward::run(func);
+                }
+                if config.opt.strength_reduce {
+                    strength_reduce::run(func);
+                }
+            }
+        }
+        for func in &mut module.functions {
             dce::run(func);
         }
     }
@@ -143,5 +245,57 @@ mod tests {
         assert!(HardenConfig::full().stack_safety);
         assert!(HardenConfig::full().ptr_auth);
         assert!(!HardenConfig::none().stack_safety);
+    }
+
+    #[test]
+    fn opt_passes_constructors() {
+        assert!(OptPasses::full().any());
+        assert!(!OptPasses::none().any());
+        // The default (and therefore the standard pipeline) keeps the
+        // extended passes off — the golden-file contract.
+        assert_eq!(
+            PipelineConfig::standard(HardenConfig::none()).opt,
+            OptPasses::none()
+        );
+        assert_eq!(
+            PipelineConfig::full_opt(HardenConfig::none()).opt,
+            OptPasses::full()
+        );
+        assert!(!PipelineConfig::no_opt(HardenConfig::none()).optimize);
+    }
+
+    #[test]
+    fn full_opt_pipeline_shrinks_redundant_code() {
+        use crate::builder::FunctionBuilder;
+        use crate::instr::{BinOp, Operand, Stmt};
+        use crate::types::IrType;
+
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], Some(IrType::I64));
+        let x = b.binop(BinOp::Mul, IrType::I64, b.param(0), Operand::ConstI64(8));
+        let y = b.binop(BinOp::Mul, IrType::I64, b.param(0), Operand::ConstI64(8));
+        let s = b.binop(BinOp::Add, IrType::I64, x, y);
+        b.stmt(Stmt::Return(Some(s)));
+        let f = b.finish();
+        let mut module = IrModule::default();
+        module.functions.push(f);
+        run_pipeline_config(&mut module, &PipelineConfig::full_opt(HardenConfig::none()));
+        let func = &module.functions[0];
+        // CSE merged the two muls, strength reduction turned the
+        // survivor into a shift, DCE swept the copy.
+        let muls = func
+            .body
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Stmt::Assign {
+                        expr: crate::instr::Expr::BinOp { op: BinOp::Mul, .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(muls, 0, "{:?}", func.body);
+        assert!(func.body.len() <= 3, "{:?}", func.body);
     }
 }

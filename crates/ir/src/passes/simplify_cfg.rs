@@ -1,0 +1,249 @@
+//! Control-flow simplification for the structured IR.
+//!
+//! - `If` with a constant condition is replaced by the taken arm
+//!   (spliced inline — `Break`/`Continue` inside keep their binding,
+//!   since `If` does not open a loop scope).
+//! - `If` with two empty arms is dropped (the condition operand is a
+//!   pure register/constant use).
+//! - `While` whose condition is a constant zero runs its header once
+//!   and exits: it is replaced by the header, provided the header has
+//!   no `Break`/`Continue` bound to *this* loop (splicing would rebind
+//!   them to an enclosing loop).
+//! - Statements after a terminator (`Return`/`Break`/`Continue`) in
+//!   the same block are unreachable and dropped — nothing jumps into
+//!   the middle of a structured block.
+//!
+//! Together with constant/copy propagation (the CSE pass) and constant
+//! folding, this is the jump-threading cleanup for this IR: folded
+//! conditions feed If-pruning, and pruning exposes more straight-line
+//! code to the scalar passes. Runs to a bounded fixpoint; every rewrite
+//! strictly shrinks the statement tree, so the bound is never hit in
+//! practice.
+
+use crate::instr::{Operand, Stmt};
+use crate::module::IrFunction;
+
+/// Runs CFG simplification to a (bounded) fixpoint over `func`.
+pub fn run(func: &mut IrFunction) {
+    for _ in 0..64 {
+        if !simplify(&mut func.body) {
+            break;
+        }
+    }
+}
+
+fn const_cond(op: &Operand) -> Option<i64> {
+    op.as_const_int()
+}
+
+/// Whether `stmts` contains a `Break`/`Continue` bound to the loop
+/// directly enclosing them (recursing through `If` arms, where the
+/// binding passes through, but not into nested loops, which capture
+/// their own).
+fn has_loose_loop_exit(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Break | Stmt::Continue => true,
+        Stmt::If { then, els, .. } => has_loose_loop_exit(then) || has_loose_loop_exit(els),
+        _ => false,
+    })
+}
+
+fn simplify(stmts: &mut Vec<Stmt>) -> bool {
+    let mut changed = false;
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::If { then, els, .. } => {
+                changed |= simplify(then);
+                changed |= simplify(els);
+            }
+            Stmt::While { header, body, .. } => {
+                changed |= simplify(header);
+                changed |= simplify(body);
+            }
+            _ => {}
+        }
+    }
+    let needs_rewrite = stmts.iter().enumerate().any(|(i, s)| match s {
+        Stmt::If { cond, then, els } => {
+            const_cond(cond).is_some() || (then.is_empty() && els.is_empty())
+        }
+        Stmt::While { header, cond, .. } => {
+            const_cond(cond) == Some(0) && !has_loose_loop_exit(header)
+        }
+        Stmt::Return(_) | Stmt::Break | Stmt::Continue => i + 1 < stmts.len(),
+        _ => false,
+    });
+    if !needs_rewrite {
+        return changed;
+    }
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in std::mem::take(stmts) {
+        match s {
+            Stmt::If { cond, then, els } => match const_cond(&cond) {
+                Some(c) => out.extend(if c != 0 { then } else { els }),
+                None if then.is_empty() && els.is_empty() => {}
+                None => out.push(Stmt::If { cond, then, els }),
+            },
+            Stmt::While { header, cond, body }
+                if const_cond(&cond) == Some(0) && !has_loose_loop_exit(&header) =>
+            {
+                out.extend(header);
+                drop(body);
+            }
+            s @ (Stmt::Return(_) | Stmt::Break | Stmt::Continue) => {
+                out.push(s);
+                break;
+            }
+            s => out.push(s),
+        }
+    }
+    *stmts = out;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, Expr};
+    use crate::types::IrType;
+
+    #[test]
+    fn const_true_if_splices_then_arm() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        b.stmt(Stmt::If {
+            cond: Operand::ConstI32(1),
+            then: vec![Stmt::Return(Some(Operand::ConstI64(1)))],
+            els: vec![Stmt::Return(Some(Operand::ConstI64(2)))],
+        });
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body, vec![Stmt::Return(Some(Operand::ConstI64(1)))]);
+    }
+
+    #[test]
+    fn const_false_if_splices_else_arm() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        b.stmt(Stmt::If {
+            cond: Operand::ConstI32(0),
+            then: vec![Stmt::Return(Some(Operand::ConstI64(1)))],
+            els: vec![Stmt::Return(Some(Operand::ConstI64(2)))],
+        });
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body, vec![Stmt::Return(Some(Operand::ConstI64(2)))]);
+    }
+
+    #[test]
+    fn empty_if_dropped() {
+        let mut b = FunctionBuilder::new("f", &[IrType::I32], Some(IrType::I64));
+        b.stmt(Stmt::If {
+            cond: b.param(0),
+            then: vec![],
+            els: vec![],
+        });
+        b.stmt(Stmt::Return(Some(Operand::ConstI64(0))));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn dead_code_after_return_dropped() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        b.stmt(Stmt::Return(Some(Operand::ConstI64(1))));
+        let _dead = b.binop(
+            BinOp::Add,
+            IrType::I64,
+            Operand::ConstI64(1),
+            Operand::ConstI64(2),
+        );
+        b.stmt(Stmt::Return(Some(Operand::ConstI64(2))));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body, vec![Stmt::Return(Some(Operand::ConstI64(1)))]);
+    }
+
+    #[test]
+    fn const_false_while_keeps_header_once() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        b.stmt(Stmt::While {
+            header: vec![Stmt::Assign {
+                dst: crate::module::ValueId(0),
+                expr: Expr::Use(Operand::ConstI64(3)),
+            }],
+            cond: Operand::ConstI32(0),
+            body: vec![Stmt::Return(Some(Operand::ConstI64(9)))],
+        });
+        b.stmt(Stmt::Return(Some(Operand::ConstI64(0))));
+        let mut f = b.finish();
+        // Give the header's register a type slot.
+        f.value_types.resize(1, IrType::I64);
+        run(&mut f);
+        assert_eq!(
+            f.body,
+            vec![
+                Stmt::Assign {
+                    dst: crate::module::ValueId(0),
+                    expr: Expr::Use(Operand::ConstI64(3)),
+                },
+                Stmt::Return(Some(Operand::ConstI64(0))),
+            ]
+        );
+    }
+
+    #[test]
+    fn while_with_loose_break_in_header_kept() {
+        // `break` in the header binds to THIS loop; splicing would
+        // rebind it to an enclosing loop. Must stay.
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        b.stmt(Stmt::While {
+            header: vec![Stmt::If {
+                cond: Operand::Value(crate::module::ValueId(0)),
+                then: vec![Stmt::Break],
+                els: vec![],
+            }],
+            cond: Operand::ConstI32(0),
+            body: vec![],
+        });
+        b.stmt(Stmt::Return(Some(Operand::ConstI64(0))));
+        let mut f = b.finish();
+        f.value_types.resize(1, IrType::I32);
+        run(&mut f);
+        assert!(
+            matches!(f.body[0], Stmt::While { .. }),
+            "header with break must not be spliced: {:?}",
+            f.body
+        );
+    }
+
+    #[test]
+    fn infinite_loop_kept() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.stmt(Stmt::While {
+            header: vec![],
+            cond: Operand::ConstI32(1),
+            body: vec![Stmt::Break],
+        });
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.body[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn nested_const_ifs_collapse_to_fixpoint() {
+        let mut b = FunctionBuilder::new("f", &[], Some(IrType::I64));
+        b.stmt(Stmt::If {
+            cond: Operand::ConstI32(1),
+            then: vec![Stmt::If {
+                cond: Operand::ConstI32(0),
+                then: vec![Stmt::Return(Some(Operand::ConstI64(1)))],
+                els: vec![Stmt::Return(Some(Operand::ConstI64(2)))],
+            }],
+            els: vec![],
+        });
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.body, vec![Stmt::Return(Some(Operand::ConstI64(2)))]);
+    }
+}

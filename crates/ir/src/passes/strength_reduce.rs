@@ -1,0 +1,271 @@
+//! Strength reduction: multiply / unsigned divide / unsigned remainder
+//! by a power of two become shift / mask ops.
+//!
+//! Width discipline mirrors the constant folder: the power-of-two test
+//! runs at the expression's width (an `i32` constant is inspected as
+//! `u32`, so `-2147483648` is `0x8000_0000` — a power of two — and
+//! `i32.mul x, 0x8000_0000` legitimately becomes `x << 31`). Signed
+//! division is never touched: `div_s` rounds toward zero, a shift
+//! rounds toward negative infinity, and rewriting `div_s x, -1` would
+//! erase the `INT_MIN` trap. `Ptr`-typed ops are skipped because the
+//! operand width is a lowering decision.
+//!
+//! Replacement constants are emitted at the expression's own width so
+//! lowering keeps producing well-typed wasm.
+
+use crate::instr::{BinOp, Expr, Operand, Stmt};
+use crate::module::IrFunction;
+use crate::types::IrType;
+
+/// Runs strength reduction over `func`.
+pub fn run(func: &mut IrFunction) {
+    crate::instr::visit_stmts_mut(&mut func.body, &mut |stmt| {
+        if let Stmt::Assign { expr, .. } = stmt {
+            if let Some(r) = reduce(expr) {
+                *expr = r;
+            }
+        }
+    });
+}
+
+/// The constant's unsigned value at the expression's width, if the
+/// operand is an integer constant of the matching width.
+fn const_unsigned(ty: IrType, op: &Operand) -> Option<u64> {
+    match (ty, op) {
+        (IrType::I32, Operand::ConstI32(c)) => Some(u64::from(*c as u32)),
+        (IrType::I64, Operand::ConstI64(c)) => Some(*c as u64),
+        _ => None,
+    }
+}
+
+fn shift_const(ty: IrType, k: u32) -> Operand {
+    match ty {
+        IrType::I32 => Operand::ConstI32(k as i32),
+        _ => Operand::ConstI64(i64::from(k)),
+    }
+}
+
+fn reduce(expr: &Expr) -> Option<Expr> {
+    let Expr::BinOp { op, ty, lhs, rhs } = expr else {
+        return None;
+    };
+    let (op, ty) = (*op, *ty);
+    if !matches!(ty, IrType::I32 | IrType::I64) {
+        return None;
+    }
+    match op {
+        BinOp::Mul => {
+            // x * 2^k  ->  x << k   (both operand orders).
+            let (x, c) = match (const_unsigned(ty, lhs), const_unsigned(ty, rhs)) {
+                (_, Some(c)) => (*lhs, c),
+                (Some(c), None) => (*rhs, c),
+                _ => return None,
+            };
+            if c.is_power_of_two() && c > 1 {
+                return Some(Expr::BinOp {
+                    op: BinOp::Shl,
+                    ty,
+                    lhs: x,
+                    rhs: shift_const(ty, c.trailing_zeros()),
+                });
+            }
+            None
+        }
+        BinOp::DivU => {
+            // x /u 2^k  ->  x >>u k. Division by a nonzero constant
+            // cannot trap, so the rewrite drops no trap.
+            let c = const_unsigned(ty, rhs)?;
+            if c.is_power_of_two() && c > 1 {
+                return Some(Expr::BinOp {
+                    op: BinOp::ShrU,
+                    ty,
+                    lhs: *lhs,
+                    rhs: shift_const(ty, c.trailing_zeros()),
+                });
+            }
+            None
+        }
+        BinOp::RemU => {
+            // x %u 2^k  ->  x & (2^k - 1); x %u 1 is always 0.
+            let c = const_unsigned(ty, rhs)?;
+            if c == 1 {
+                return Some(Expr::Use(match ty {
+                    IrType::I32 => Operand::ConstI32(0),
+                    _ => Operand::ConstI64(0),
+                }));
+            }
+            if c.is_power_of_two() {
+                let mask = c - 1;
+                return Some(Expr::BinOp {
+                    op: BinOp::And,
+                    ty,
+                    lhs: *lhs,
+                    rhs: match ty {
+                        IrType::I32 => Operand::ConstI32(mask as u32 as i32),
+                        _ => Operand::ConstI64(mask as i64),
+                    },
+                });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn reduce_one(expr: Expr, ty: IrType) -> Expr {
+        let mut b = FunctionBuilder::new("f", &[IrType::I64], None);
+        b.assign(ty, expr);
+        let mut f = b.finish();
+        run(&mut f);
+        match &f.body[0] {
+            Stmt::Assign { expr, .. } => expr.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mul_pow2_becomes_shift() {
+        let x = Operand::Value(crate::module::ValueId(0));
+        let e = reduce_one(
+            Expr::BinOp {
+                op: BinOp::Mul,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(8),
+            },
+            IrType::I64,
+        );
+        assert_eq!(
+            e,
+            Expr::BinOp {
+                op: BinOp::Shl,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(3),
+            }
+        );
+        // Commuted.
+        let e = reduce_one(
+            Expr::BinOp {
+                op: BinOp::Mul,
+                ty: IrType::I32,
+                lhs: Operand::ConstI32(4),
+                rhs: x,
+            },
+            IrType::I32,
+        );
+        assert_eq!(
+            e,
+            Expr::BinOp {
+                op: BinOp::Shl,
+                ty: IrType::I32,
+                lhs: x,
+                rhs: Operand::ConstI32(2),
+            }
+        );
+    }
+
+    #[test]
+    fn i32_min_is_a_power_of_two_unsigned() {
+        let x = Operand::Value(crate::module::ValueId(0));
+        let e = reduce_one(
+            Expr::BinOp {
+                op: BinOp::Mul,
+                ty: IrType::I32,
+                lhs: x,
+                rhs: Operand::ConstI32(i32::MIN),
+            },
+            IrType::I32,
+        );
+        assert_eq!(
+            e,
+            Expr::BinOp {
+                op: BinOp::Shl,
+                ty: IrType::I32,
+                lhs: x,
+                rhs: Operand::ConstI32(31),
+            }
+        );
+    }
+
+    #[test]
+    fn divu_and_remu_pow2() {
+        let x = Operand::Value(crate::module::ValueId(0));
+        let e = reduce_one(
+            Expr::BinOp {
+                op: BinOp::DivU,
+                ty: IrType::I32,
+                lhs: x,
+                rhs: Operand::ConstI32(16),
+            },
+            IrType::I32,
+        );
+        assert_eq!(
+            e,
+            Expr::BinOp {
+                op: BinOp::ShrU,
+                ty: IrType::I32,
+                lhs: x,
+                rhs: Operand::ConstI32(4),
+            }
+        );
+        let e = reduce_one(
+            Expr::BinOp {
+                op: BinOp::RemU,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(16),
+            },
+            IrType::I64,
+        );
+        assert_eq!(
+            e,
+            Expr::BinOp {
+                op: BinOp::And,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(15),
+            }
+        );
+    }
+
+    #[test]
+    fn signed_div_untouched() {
+        let x = Operand::Value(crate::module::ValueId(0));
+        for (op, c) in [(BinOp::DivS, 8), (BinOp::DivS, -1), (BinOp::RemS, 8)] {
+            let orig = Expr::BinOp {
+                op,
+                ty: IrType::I64,
+                lhs: x,
+                rhs: Operand::ConstI64(c),
+            };
+            assert_eq!(reduce_one(orig.clone(), IrType::I64), orig, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn width_mismatched_constants_skipped() {
+        let x = Operand::Value(crate::module::ValueId(0));
+        // An i64 constant in an i32-typed op is malformed; don't touch.
+        let orig = Expr::BinOp {
+            op: BinOp::Mul,
+            ty: IrType::I32,
+            lhs: x,
+            rhs: Operand::ConstI64(8),
+        };
+        assert_eq!(reduce_one(orig.clone(), IrType::I32), orig);
+        // Ptr width is unknown until lowering.
+        let orig = Expr::BinOp {
+            op: BinOp::Mul,
+            ty: IrType::Ptr,
+            lhs: x,
+            rhs: Operand::ConstI64(8),
+        };
+        assert_eq!(reduce_one(orig.clone(), IrType::Ptr), orig);
+    }
+}

@@ -1,0 +1,147 @@
+//! Const-fold soundness matrix: for every integer `BinOp` × {I32, I64}
+//! × boundary-constant pair, the folder's verdict is checked against
+//! the engine running the *unoptimized* lowering of the same op:
+//!
+//! - if the folder produced a constant, the runtime must produce the
+//!   same value (and must not trap);
+//! - if the runtime traps, the folder must have refused to fold (the
+//!   trap belongs to runtime semantics).
+//!
+//! This matrix fails loudly on the historical width bugs: a 64-bit
+//! evaluator folds `i32.shl 1, 32` to `0` (runtime: `1`),
+//! `i32.shr_u -1, 1` to `-1` (runtime: `0x7FFF_FFFF`), and
+//! `i32.div_s INT_MIN, -1` to `INT_MIN` (runtime: trap).
+
+use cage_engine::{ExecConfig, Imports, Store, Value};
+use cage_ir::passes::const_fold;
+use cage_ir::{
+    lower, BinOp, CastKind, Expr, FunctionBuilder, IrModule, IrType, LowerOptions, Operand, Stmt,
+};
+
+const OPS: [BinOp; 23] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::DivS,
+    BinOp::DivU,
+    BinOp::RemS,
+    BinOp::RemU,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::ShrS,
+    BinOp::ShrU,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::LtS,
+    BinOp::LtU,
+    BinOp::LeS,
+    BinOp::LeU,
+    BinOp::GtS,
+    BinOp::GtU,
+    BinOp::GeS,
+    BinOp::GeU,
+];
+
+const I32_BOUNDARIES: [i64; 8] = [0, 1, -1, 2, 31, 32, i32::MIN as i64, i32::MAX as i64];
+const I64_BOUNDARIES: [i64; 8] = [0, 1, -1, 2, 63, 64, i64::MIN, i64::MAX];
+
+/// `return (i64)(a op b)` with both operands as literal constants.
+fn build(op: BinOp, ty: IrType, a: i64, b: i64) -> IrModule {
+    let mut bld = FunctionBuilder::new("f", &[], Some(IrType::I64));
+    bld.set_exported(true);
+    let (lhs, rhs) = match ty {
+        IrType::I32 => (Operand::ConstI32(a as i32), Operand::ConstI32(b as i32)),
+        _ => (Operand::ConstI64(a), Operand::ConstI64(b)),
+    };
+    let v = bld.binop(op, ty, lhs, rhs);
+    let out = if ty == IrType::I32 || op.is_comparison() {
+        bld.assign(
+            IrType::I64,
+            Expr::Cast {
+                kind: CastKind::I32ToI64S,
+                operand: v,
+            },
+        )
+    } else {
+        v
+    };
+    bld.stmt(Stmt::Return(Some(out)));
+    let mut m = IrModule::new();
+    m.functions.push(bld.finish());
+    m
+}
+
+/// What the folder says: `Some(constant, sign-extended)` or `None`.
+fn folded_const(op: BinOp, ty: IrType, a: i64, b: i64) -> Option<i64> {
+    let mut m = build(op, ty, a, b);
+    const_fold::run(&mut m.functions[0]);
+    match &m.functions[0].body[0] {
+        Stmt::Assign {
+            expr: Expr::Use(c), ..
+        } => c.as_const_int(),
+        _ => None,
+    }
+}
+
+/// What the engine says, with NO optimisation passes at all.
+fn runtime_result(op: BinOp, ty: IrType, a: i64, b: i64) -> Result<i64, cage_engine::Trap> {
+    let ir = build(op, ty, a, b);
+    let lowered = lower(&ir, &LowerOptions::default()).expect("lowering");
+    cage_wasm::validate(&lowered.module).expect("module validates");
+    let mut store = Store::new(ExecConfig::default());
+    let h = store
+        .instantiate(&lowered.module, &Imports::new())
+        .expect("instantiate");
+    let out = store.invoke(h, "f", &[])?;
+    match out.as_slice() {
+        [Value::I64(v)] => Ok(*v),
+        other => panic!("unexpected result shape {other:?}"),
+    }
+}
+
+#[test]
+fn fold_matches_runtime_for_every_op_and_boundary_pair() {
+    let mut checked = 0u32;
+    let mut folded = 0u32;
+    let mut trapping = 0u32;
+    for ty in [IrType::I32, IrType::I64] {
+        let consts = match ty {
+            IrType::I32 => &I32_BOUNDARIES,
+            _ => &I64_BOUNDARIES,
+        };
+        for &op in &OPS {
+            for &a in consts {
+                for &b in consts {
+                    checked += 1;
+                    let fold = folded_const(op, ty, a, b);
+                    let runtime = runtime_result(op, ty, a, b);
+                    match (&fold, &runtime) {
+                        (Some(f), Ok(r)) => {
+                            assert_eq!(
+                                f, r,
+                                "{op:?} {ty:?} ({a}, {b}): folded {f:#x} != runtime {r:#x}"
+                            );
+                            folded += 1;
+                        }
+                        (Some(f), Err(trap)) => {
+                            panic!(
+                                "{op:?} {ty:?} ({a}, {b}): folded to {f:#x} but runtime traps \
+                                 ({trap:?}) — fold must preserve the trap"
+                            );
+                        }
+                        (None, Err(_)) => trapping += 1,
+                        // Refusing to fold a non-trapping case is merely
+                        // conservative; integer div/rem by zero and
+                        // div_s MIN/-1 are the only expected refusals.
+                        (None, Ok(_)) => {}
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 23 * 8 * 8 * 2);
+    assert!(folded > 2000, "folder should fold most cases: {folded}");
+    assert!(trapping > 0, "matrix must include trapping cases");
+}

@@ -223,3 +223,57 @@ fn dump_bytecode_unknown_function_is_a_usage_error() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("ghost"), "{stderr}");
 }
+
+#[test]
+fn opt_levels_agree_on_results() {
+    // `--opt` (full IR optimiser) and `-O0` (no passes) must compute
+    // the same answer as the default pipeline: the optimiser may only
+    // change *how*, never *what*.
+    let program = write_program();
+    let mut results = Vec::new();
+    for flags in [&[][..], &["--opt"][..], &["-O0"][..]] {
+        let out = cagec()
+            .arg(program.path())
+            .args(["--variant", "wasm64", "--invoke", "work", "9"])
+            .args(flags)
+            .output()
+            .expect("cagec runs");
+        assert!(
+            out.status.success(),
+            "flags {flags:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        results.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    // 0 + 2 + 4 + 6 + 8 = 20 under every optimisation level.
+    for r in &results {
+        assert!(r.contains("20: i64"), "{r}");
+    }
+}
+
+#[test]
+fn opt_flag_shrinks_dumped_bytecode() {
+    // The redundant loads in MEM_PROGRAM give the optimiser something
+    // to remove; the dumped register bytecode must not grow.
+    let program = tempfile::with_suffix(".c", MEM_PROGRAM);
+    let mut op_counts = Vec::new();
+    for flags in [&[][..], &["--opt"][..]] {
+        let out = cagec()
+            .arg(program.path())
+            .args(["--variant", "wasm64", "--dump-bytecode", "run"])
+            .args(flags)
+            .output()
+            .expect("cagec runs");
+        assert!(
+            out.status.success(),
+            "flags {flags:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        op_counts.push(stdout.lines().filter(|l| l.contains(": ")).count());
+    }
+    assert!(
+        op_counts[1] <= op_counts[0],
+        "--opt grew the bytecode: {op_counts:?}"
+    );
+}
